@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one experiment of DESIGN.md's per-experiment
+index (EXP-*).  Since the paper's evaluation consists of complexity theorems
+rather than measured tables, the benchmarks report (a) decision times on
+scaled synthetic families, whose growth exhibits the predicted separations,
+and (b) the qualitative outcomes (who wins / which answer is certain), which
+must match the paper's statements exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def record(benchmark, **info) -> None:
+    """Attach experiment metadata to a benchmark result."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

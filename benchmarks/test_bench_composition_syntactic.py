@@ -1,0 +1,136 @@
+"""EXP-THM5 / EXP-PROP6 — syntactic composition: closure classes and the
+non-closure witness.
+
+* Theorem 5: all-open CQ-SkSTD mappings and all-closed FO-SkSTD mappings are
+  closed under composition.  The benchmark runs the Lemma 5 algorithm on
+  chains of mappings, reports the size of the composed mapping, and verifies
+  (on sampled instances / Skolem functions) that it agrees with the semantic
+  composition.
+* Proposition 6: for the witness mappings, the composition relates ``S_0`` to
+  the single-shared-value targets and to nothing thinner — the pattern no
+  FO-STD mapping can express.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.core.composition import in_composition
+from repro.core.compose_syntactic import compose_syntactic, to_cq_skstds
+from repro.core.mapping import mapping_from_rules
+from repro.core.skolem import FunctionTable, sk_in_semantics, skolemize, sol_f
+from repro.reductions.nonclosure import (
+    nonclosure_mappings,
+    nonclosure_source,
+    nonclosure_witness,
+    spread_target,
+)
+from repro.relational.builders import make_instance
+
+
+def _closed_chain(length: int):
+    """A chain of ``length`` all-closed copy-and-project mappings."""
+    mappings = []
+    for step in range(length):
+        mappings.append(
+            mapping_from_rules(
+                [f"L{step+1}(x^cl, z^cl) :- L{step}(x, y)"],
+                source={f"L{step}": 2},
+                target={f"L{step+1}": 2},
+                name=f"step{step}",
+            )
+        )
+    return mappings
+
+
+@pytest.mark.parametrize("length", [2, 3, 4])
+def test_theorem5_closed_chain_composes(benchmark, length):
+    """Closed FO-SkSTD mappings compose; the output size stays linear here."""
+    chain = [skolemize(m) for m in _closed_chain(length)]
+
+    def compose_chain():
+        current = chain[0]
+        for nxt in chain[1:]:
+            current = compose_syntactic(current, nxt)
+        return current
+
+    composed = benchmark.pedantic(compose_chain, rounds=1, iterations=1)
+    assert composed.is_all_closed()
+    assert len(composed.skstds) == 1
+    record(
+        benchmark,
+        experiment="EXP-THM5",
+        chain_length=length,
+        output_rules=len(composed.skstds),
+        output_functions=len(composed.functions()),
+    )
+
+
+def test_theorem5_open_cq_composition_agrees_with_semantics(benchmark):
+    """All-open CQ-SkSTD composition: output is CQ and matches the semantics."""
+    first = mapping_from_rules(
+        ["Emp2(e^op, z^op) :- Emp1(e)"], source={"Emp1": 1}, target={"Emp2": 2}
+    )
+    second = mapping_from_rules(
+        ["Mgr(e^op, m^op) :- Emp2(e, m)"], source={"Emp2": 2}, target={"Mgr": 2}
+    )
+
+    def run():
+        gamma = to_cq_skstds(compose_syntactic(skolemize(first), skolemize(second)))
+        source = make_instance({"Emp1": [("ann",), ("bob",)]})
+        member = make_instance({"Mgr": [("ann", "m1"), ("bob", "m2")]})
+        non_member = make_instance({"Mgr": [("ann", "m1")]})
+        agreement = 0
+        for target, expected in ((member, True), (non_member, False)):
+            assert in_composition(first, second, source, target).member is expected
+            assert (sk_in_semantics(gamma, source, target) is not None) is expected
+            agreement += 1
+        return gamma, agreement
+
+    gamma, agreement = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(skstd.is_cq() for skstd in gamma.skstds)
+    record(benchmark, experiment="EXP-THM5", case="all-open CQ", checked_instances=agreement)
+
+
+def test_theorem5_closed_case_claim7b_factorisation(benchmark):
+    """Claim 7(b): evaluating the composed mapping equals sequential evaluation."""
+    first = mapping_from_rules(
+        ["Emp(id^cl, em^cl) :- Works(em, proj)"], source={"Works": 2}, target={"Emp": 2}
+    )
+    second = mapping_from_rules(
+        ["Payroll(i^cl) :- Emp(i, em)"], source={"Emp": 2}, target={"Payroll": 1}
+    )
+    sk1, sk2 = skolemize(first), skolemize(second)
+    gamma = compose_syntactic(sk1, sk2)
+    source = make_instance({"Works": [("ann", "P1"), ("bob", "P2"), ("cia", "P3")]})
+    (fname, _), = sk1.functions()
+
+    def run():
+        ids = FunctionTable({}, default="id-0")
+        middle = sol_f(sk1, source, {fname: ids}).rel()
+        sequential = sol_f(sk2, middle, {}).rel()
+        direct = sol_f(gamma, source, {fname: ids}).rel()
+        assert sequential == direct
+        return len(direct)
+
+    size = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, experiment="EXP-THM5", case="claim7b", output_tuples=size)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_prop6_nonclosure_witness_family(benchmark, n):
+    """Proposition 6: the shared-unknown pattern is in the composition, the
+    all-distinct pattern is not — for growing ``n`` this defeats any fixed
+    FO-STD candidate composition mapping."""
+    first, second = nonclosure_mappings()
+    source = nonclosure_source(n)
+
+    def run():
+        good = in_composition(first, second, source, nonclosure_witness(n)).member
+        bad = in_composition(first, second, source, spread_target(n)).member
+        return good, bad
+
+    good, bad = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert good and not bad
+    record(benchmark, experiment="EXP-PROP6", n=n, witness_member=good, spread_member=bad)

@@ -1,0 +1,45 @@
+"""EXP-PROP3 — Proposition 3 / Corollary 3: positive queries are easy.
+
+For positive (indeed monotone) queries, certain answers equal the naive
+evaluation of the query over the canonical solution, for *every* annotation.
+The benchmark measures end-to-end certain-answer computation (chase + naive
+evaluation) on the conference workload at increasing sizes — the growth must
+stay polynomial — and asserts the annotation-invariance that Proposition 3
+predicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.core.certain import certain_answers_positive
+from repro.logic.cq import cq
+from repro.workloads.conference import conference_mapping, conference_source
+
+
+REVIEWED = cq(["p"], [("Reviews", ["p", "r"])], name="reviewed")
+SUBMITTED_AND_REVIEWED = cq(
+    ["p"], [("Submissions", ["p", "a"]), ("Reviews", ["p", "r"])], name="submitted_and_reviewed"
+)
+
+
+@pytest.mark.parametrize("papers", [20, 60, 120, 240])
+def test_positive_certain_answers_scale_polynomially(benchmark, papers):
+    mapping = conference_mapping()
+    source = conference_source(papers=papers, assigned_fraction=0.5, seed=11)
+    answers = benchmark(certain_answers_positive, mapping, source, SUBMITTED_AND_REVIEWED)
+    assert len(answers) == papers  # every paper is certainly submitted and reviewed
+    record(benchmark, experiment="EXP-PROP3", papers=papers, answers=len(answers))
+
+
+@pytest.mark.parametrize("annotation", ["mixed", "open", "closed"])
+def test_positive_certain_answers_annotation_invariant(benchmark, annotation):
+    """The same certain answers regardless of the annotation (Proposition 3)."""
+    base = conference_mapping()
+    mapping = {"mixed": base, "open": base.open_variant(), "closed": base.closed_variant()}[annotation]
+    source = conference_source(papers=80, assigned_fraction=0.4, seed=3)
+    answers = benchmark(certain_answers_positive, mapping, source, REVIEWED)
+    reference = certain_answers_positive(base, source, REVIEWED)
+    assert answers == reference
+    record(benchmark, experiment="EXP-PROP3", annotation=annotation, answers=len(answers))

@@ -1,0 +1,62 @@
+"""EXP-THM2 — Theorem 2: complexity of recognition ``T ∈ ⟦S⟧_Σα``.
+
+The paper proves the problem is solvable in polynomial time when all
+annotations are open and NP-complete as soon as one closed position occurs
+(reduction from tripartite matching).  The benchmark regenerates the
+corresponding "table": recognition time for
+
+* the all-open copying control family (polynomial growth), and
+* the tripartite-matching family with ``#cl = 1`` (combinatorial growth,
+  positive and negative instances),
+
+and asserts that every decision agrees with the brute-force ground truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.core.recognition import recognize
+from repro.reductions.tripartite import TripartiteMatchingInstance, tripartite_to_recognition
+from repro.workloads.graphs import copy_graph_mapping, random_edges
+from repro.relational.builders import graph_instance
+
+
+@pytest.mark.parametrize("edges", [20, 60, 120])
+def test_recognition_all_open_copying_is_polynomial(benchmark, edges):
+    """Control row: #cl = 0 — the PTIME check of Theorem 2."""
+    mapping = copy_graph_mapping(annotation="op")
+    source = graph_instance(random_edges(max(edges // 3, 3), edges, seed=7))
+    target = source.rename_relations({"E": "Et", "V": "Vt"})
+    result = benchmark(recognize, mapping, source, target)
+    assert result.member and result.method == "ptime-all-open"
+    record(benchmark, experiment="EXP-THM2", family="all-open-copying", edges=edges)
+
+
+@pytest.mark.parametrize("size,satisfiable", [(2, True), (3, True), (4, True), (3, False), (4, False)])
+def test_recognition_tripartite_matching_np_family(benchmark, size, satisfiable):
+    """Hard row: #cl = 1 — the tripartite-matching reduction of Theorem 2."""
+    instance = TripartiteMatchingInstance.random(size, satisfiable=satisfiable, seed=size)
+    mapping, source, target = tripartite_to_recognition(instance)
+    result = benchmark.pedantic(recognize, args=(mapping, source, target), rounds=1, iterations=1)
+    assert result.member == instance.has_matching()
+    record(
+        benchmark,
+        experiment="EXP-THM2",
+        family="tripartite-#cl=1",
+        n=size,
+        satisfiable=satisfiable,
+        member=result.member,
+        nulls=result.nulls,
+    )
+
+
+@pytest.mark.parametrize("closed_positions", [1, 2, 3])
+def test_recognition_hardness_for_every_positive_closed_arity(benchmark, closed_positions):
+    """Theorem 2 holds for every #cl = k > 0: the same reduction replicated."""
+    instance = TripartiteMatchingInstance.random(3, satisfiable=True, seed=1)
+    mapping, source, target = tripartite_to_recognition(instance, closed_positions=closed_positions)
+    result = benchmark.pedantic(recognize, args=(mapping, source, target), rounds=1, iterations=1)
+    assert result.member
+    record(benchmark, experiment="EXP-THM2", family="closed-arity-sweep", closed_positions=closed_positions)

@@ -1,0 +1,136 @@
+"""EXP-T1 / EXP-THM4 — Table 1: complexity of the composition problem.
+
+Table 1 of the paper classifies ``Comp(Σα, Δα′)`` by ``#op(Σα)`` (rows 0 / 1 /
+>1) and by the shape of ``Δ`` (arbitrary vs all-open monotone).  The benchmark
+regenerates the table's qualitative content:
+
+* row ``#op = 0`` — the NP procedure, exercised on the 3-colorability
+  reduction of Theorem 4 (positive and negative instances) and on the
+  Proposition 6 family;
+* row ``#op = 1`` — the budgeted search over replicated middle instances;
+* column "monotone Δ, all-open" — Lemma 3's collapse to the minimal middle
+  instances, which keeps the problem in NP regardless of ``#op(Σα)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.core.composition import in_composition
+from repro.core.mapping import mapping_from_rules
+from repro.reductions.coloring import coloring_to_composition, is_three_colorable, odd_wheel, random_graph
+from repro.reductions.nonclosure import nonclosure_mappings, nonclosure_source, nonclosure_witness
+from repro.relational.builders import make_instance
+
+
+@pytest.mark.parametrize("n,probability", [(4, 0.4), (5, 0.4)])
+def test_table1_row_op0_coloring_family(benchmark, n, probability):
+    """Row #op = 0 (NP-complete): the 3-colorability reduction, random graphs."""
+    edges = random_graph(n, probability, seed=n)
+    first, second, source, target = coloring_to_composition(edges)
+    result = benchmark.pedantic(
+        in_composition,
+        args=(first, second, source, target),
+        kwargs={"extra_constants": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.member == is_three_colorable(edges)
+    record(
+        benchmark,
+        experiment="EXP-T1",
+        cell="#op=0 / arbitrary Δ",
+        vertices=n,
+        colorable=result.member,
+        candidates=result.candidates_checked,
+    )
+
+
+def test_table1_row_op0_negative_wheel(benchmark):
+    """Row #op = 0, a guaranteed negative instance (K4 = wheel with 3 spokes)."""
+    edges = odd_wheel(3)
+    first, second, source, target = coloring_to_composition(edges)
+    result = benchmark.pedantic(
+        in_composition,
+        args=(first, second, source, target),
+        kwargs={"extra_constants": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert not result.member
+    record(benchmark, experiment="EXP-T1", cell="#op=0 / arbitrary Δ", graph="K4", member=False)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_table1_row_op0_prop6_family(benchmark, n):
+    """Row #op = 0 on the Proposition 6 mappings (shared-unknown pattern)."""
+    first, second = nonclosure_mappings()
+    source = nonclosure_source(n)
+    target = nonclosure_witness(n)
+    result = benchmark.pedantic(
+        in_composition, args=(first, second, source, target), rounds=1, iterations=1
+    )
+    assert result.member
+    record(benchmark, experiment="EXP-T1", cell="#op=0 / arbitrary Δ", family="prop6", n=n)
+
+
+@pytest.mark.parametrize("replicas", [1, 2, 3])
+def test_table1_row_op1_replicated_middle(benchmark, replicas):
+    """Row #op = 1: the middle instance must replicate an open tuple."""
+    open_first = mapping_from_rules(
+        ["N(x^cl, z^op) :- R(x)"], source={"R": 1}, target={"N": 2}
+    )
+    closed_second = mapping_from_rules(
+        ["M(x^cl, z^cl) :- N(x, z)"], source={"N": 2}, target={"M": 2}
+    )
+    source = make_instance({"R": [("a",)]})
+    target = make_instance({"M": [("a", i) for i in range(replicas)]})
+    result = benchmark.pedantic(
+        in_composition,
+        args=(open_first, closed_second, source, target),
+        kwargs={"max_extra_tuples": replicas, "extra_constants": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.member
+    assert result.method == "budgeted-open-first-mapping"
+    record(
+        benchmark,
+        experiment="EXP-T1",
+        cell="#op=1 / arbitrary Δ",
+        replicas=replicas,
+        candidates=result.candidates_checked,
+    )
+
+
+@pytest.mark.parametrize("opens", [1, 2])
+def test_table1_column_monotone_open_second_mapping(benchmark, opens):
+    """Column 'α′ = op and monotone STDs': Lemma 3 keeps the search minimal
+    even when the first mapping has one or two open positions per atom."""
+    annotation = ", ".join(["z%d^op" % i for i in range(opens)])
+    first = mapping_from_rules(
+        [f"N(x^cl, {annotation}) :- R(x)"],
+        source={"R": 1},
+        target={"N": 1 + opens},
+    )
+    second_vars = ", ".join(["z%d" % i for i in range(opens)])
+    second = mapping_from_rules(
+        [f"M(x^op) :- N(x, {second_vars})"],
+        source={"N": 1 + opens},
+        target={"M": 1},
+    )
+    source = make_instance({"R": [("a",), ("b",)]})
+    target = make_instance({"M": [("a",), ("b",), ("extra",)]})
+    result = benchmark.pedantic(
+        in_composition, args=(first, second, source, target), rounds=1, iterations=1
+    )
+    assert result.member
+    assert result.method == "np-open-monotone-second-mapping"
+    assert result.complete
+    record(
+        benchmark,
+        experiment="EXP-T1",
+        cell=f"#op={opens} / monotone all-open Δ",
+        candidates=result.candidates_checked,
+    )

@@ -1,0 +1,71 @@
+"""Query-answering anomalies of pure OWA and pure CWA semantics (Sections 1 & 4).
+
+The paper motivates mixed annotations by two symmetrical anomalies:
+
+* under the **OWA**, negative information is never certain — even for plain
+  copying mappings, a query like "there is no edge from c to a" can never be
+  certainly true because solutions are open to arbitrary new tuples;
+* under the **CWA**, the "uniqueness of value" artefact makes queries like
+  "every paper has exactly one author" certainly true even though the source
+  says nothing about authors.
+
+Mixing annotations keeps the good behaviour of both.
+
+Run with::
+
+    python examples/query_anomalies.py
+"""
+
+from repro import Query, certain_answers, make_instance, mapping_from_rules, parse_formula
+from repro.core.certain import certain_answer_boolean
+
+
+def heading(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+def main() -> None:
+    graph = make_instance({"E": [("a", "b"), ("b", "c")]})
+    copy_rules = ["Et(x^cl, y^cl) :- E(x, y)"]
+    copy_cl = mapping_from_rules(copy_rules, source={"E": 2}, target={"Et": 2}, name="copy_cl")
+    copy_op = copy_cl.open_variant()
+
+    heading("Anomaly 1: OWA loses negative information (copying mapping)")
+    no_back_edge = Query(parse_formula("~ Et('c', 'a')"), [])
+    print("  query: the copied graph has no edge (c, a)")
+    print("    CWA copy:", certain_answer_boolean(copy_cl, graph, no_back_edge))
+    print("    OWA copy:", certain_answer_boolean(copy_op, graph, no_back_edge))
+
+    non_symmetric = Query(parse_formula("Et(x, y) & ~ Et(y, x)"), ["x", "y"])
+    print("  query: edges without a reverse edge")
+    print("    CWA copy:", sorted(certain_answers(copy_cl, graph, non_symmetric)))
+    print("    OWA copy:", sorted(certain_answers(copy_op, graph, non_symmetric)))
+
+    heading("Anomaly 2: CWA invents uniqueness (papers and authors)")
+    papers = make_instance({"Papers": [("p1", "t1"), ("p2", "t2")]})
+    one_author = Query(
+        parse_formula("forall p a b . (Subs(p, a) & Subs(p, b)) -> a = b"), []
+    )
+    for label, annotation in (("all-closed (CWA)", "cl"), ("author open (mixed)", "op")):
+        mapping = mapping_from_rules(
+            [f"Subs(x^cl, z^{annotation}) :- Papers(x, y)"],
+            source={"Papers": 2},
+            target={"Subs": 2},
+        )
+        print(f"  'every paper has exactly one author' under {label}:",
+              certain_answer_boolean(mapping, papers, one_author))
+
+    heading("The mixed mapping keeps both good behaviours")
+    mixed = mapping_from_rules(
+        ["Subs(x^cl, z^op) :- Papers(x, y)"], source={"Papers": 2}, target={"Subs": 2}
+    )
+    no_foreign_paper = Query(parse_formula("~ exists a . Subs('p999', a)"), [])
+    print("  'the unknown paper p999 is not in the target' (negative information):",
+          certain_answer_boolean(mixed, papers, no_foreign_paper))
+    some_author = Query(parse_formula("forall p . (exists t . Papers(p, t)) -> exists a . Subs(p, a)"), [])
+    print("  'every source paper has some author' (positive information):",
+          certain_answer_boolean(mixed, papers, some_author))
+
+
+if __name__ == "__main__":
+    main()

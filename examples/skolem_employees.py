@@ -1,0 +1,74 @@
+"""Skolemized STDs: inventing employee ids with one-id-per-name semantics.
+
+This is example (8) of Section 5: the SkSTD
+
+    Emp(f(em)^cl, em^cl, g(em, proj)^op) :- Works(em, proj)
+
+creates one id per employee *name* (the Skolem function ``f`` depends on the
+name only — a plain STD null would be created per (name, project) pair) and
+leaves the phone attribute open, so employees may have any number of phones.
+
+Run with::
+
+    python examples/skolem_employees.py
+"""
+
+from repro import make_instance, sk_in_semantics, sol_f
+from repro.core.skolem import FunctionTable
+from repro.workloads.employees import employee_skolem_mapping, employee_source
+
+
+def main() -> None:
+    mapping = employee_skolem_mapping()
+    print("SkSTD mapping:")
+    for skstd in mapping.skstds:
+        print("  ", skstd)
+
+    source = make_instance(
+        {"Works": [("john", "P1"), ("john", "P2"), ("mary", "P2")]}
+    )
+    print("\nSource:")
+    print("  Works:", sorted(source.relation("Works")))
+
+    ids = FunctionTable({("john",): "E-001", ("mary",): "E-002"})
+    phones = FunctionTable(
+        {("john", "P1"): "555-0101", ("john", "P2"): "555-0102", ("mary", "P2"): "555-0201"}
+    )
+    print("\nSol_F'(S) for explicit Skolem functions F' = {f: names→ids, g: pairs→phones}:")
+    solution = sol_f(mapping, source, {"f": ids, "g": phones})
+    for name, annotated_tuple in sorted(solution, key=repr):
+        print(f"  {name}{annotated_tuple}")
+
+    print("\nMembership in the semantics (⋃_F' RepA(Sol_F'(S))):")
+    targets = {
+        "one id per name, extra phone for john": make_instance(
+            {
+                "Emp": [
+                    ("E-1", "john", "555-1"),
+                    ("E-1", "john", "555-2"),
+                    ("E-1", "john", "555-3"),
+                    ("E-2", "mary", "555-9"),
+                ]
+            }
+        ),
+        "two different ids for john (violates f)": make_instance(
+            {
+                "Emp": [
+                    ("E-1", "john", "555-1"),
+                    ("E-9", "john", "555-2"),
+                    ("E-2", "mary", "555-9"),
+                ]
+            }
+        ),
+    }
+    for label, target in targets.items():
+        witness = sk_in_semantics(mapping, source, target)
+        verdict = "member" if witness is not None else "not a member"
+        print(f"  {label:45s} -> {verdict}")
+        if witness is not None:
+            table = witness["f"].table
+            print(f"      witnessing id function f = {dict(table)}")
+
+
+if __name__ == "__main__":
+    main()

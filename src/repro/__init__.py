@@ -1,0 +1,126 @@
+"""repro — reference implementation of
+"Data exchange and schema mappings in open and closed worlds"
+(Libkin & Sirangelo, PODS 2008 / JCSS 2011).
+
+The package is organised as:
+
+* :mod:`repro.relational` — instances over ``Const ∪ Null``, annotated
+  instances, valuations, homomorphisms, the ``Rep``/``RepA`` semantics;
+* :mod:`repro.logic` — first-order formulas, conjunctive queries, evaluation;
+* :mod:`repro.algebra` — relational algebra and naive evaluation;
+* :mod:`repro.chase` — a chase engine for target tgds/egds (weak acyclicity);
+* :mod:`repro.core` — annotated STDs and schema mappings, canonical solutions,
+  solution semantics, certain answers, DEQA, Skolemized STDs and composition;
+* :mod:`repro.reductions` — the executable hardness reductions of the paper;
+* :mod:`repro.workloads` — deterministic workload generators for the
+  benchmarks and examples.
+
+Quickstart::
+
+    from repro import *
+
+    mapping = mapping_from_rules(
+        ["Submissions(x^cl, z^op) :- Papers(x, y)"],
+        source={"Papers": 2}, target={"Submissions": 2},
+    )
+    source = make_instance({"Papers": [("p1", "Title A"), ("p2", "Title B")]})
+    csol = canonical_solution(mapping, source)
+    print(csol.annotated)
+"""
+
+from repro.relational import (
+    AnnotatedInstance,
+    AnnotatedTuple,
+    Annotation,
+    Instance,
+    Null,
+    RelationSchema,
+    Schema,
+    Valuation,
+    fresh_null,
+    rep_a_contains,
+    rep_contains,
+)
+from repro.relational.builders import graph_instance, make_annotated_instance, make_instance
+from repro.logic import ConjunctiveQuery, Query, UnionOfConjunctiveQueries, parse_formula
+from repro.logic.cq import cq
+from repro.core import (
+    CL,
+    OP,
+    STD,
+    CanonicalSolution,
+    SchemaMapping,
+    SkolemMapping,
+    SkSTD,
+    canonical_solution,
+    certain_answers,
+    certain_answers_naive,
+    certain_answers_positive,
+    compose_syntactic,
+    copying_mapping,
+    in_composition,
+    is_annotated_solution,
+    is_certain,
+    is_cwa_solution,
+    is_owa_solution,
+    parse_skstd,
+    parse_std,
+    recognize,
+    sk_in_semantics,
+    skolemize,
+    sol_f,
+)
+from repro.core.mapping import mapping_from_rules
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # relational
+    "Instance",
+    "AnnotatedInstance",
+    "AnnotatedTuple",
+    "Annotation",
+    "Null",
+    "fresh_null",
+    "Schema",
+    "RelationSchema",
+    "Valuation",
+    "rep_contains",
+    "rep_a_contains",
+    "make_instance",
+    "make_annotated_instance",
+    "graph_instance",
+    # logic
+    "Query",
+    "ConjunctiveQuery",
+    "UnionOfConjunctiveQueries",
+    "cq",
+    "parse_formula",
+    # core
+    "OP",
+    "CL",
+    "STD",
+    "parse_std",
+    "SchemaMapping",
+    "mapping_from_rules",
+    "copying_mapping",
+    "CanonicalSolution",
+    "canonical_solution",
+    "is_owa_solution",
+    "is_cwa_solution",
+    "is_annotated_solution",
+    "recognize",
+    "certain_answers",
+    "certain_answers_naive",
+    "certain_answers_positive",
+    "is_certain",
+    "SkSTD",
+    "SkolemMapping",
+    "parse_skstd",
+    "skolemize",
+    "sol_f",
+    "sk_in_semantics",
+    "in_composition",
+    "compose_syntactic",
+]

@@ -1,0 +1,60 @@
+"""Relational algebra substrate.
+
+Provides an expression tree for (positional) relational algebra, evaluation
+over instances with or without nulls, the positive fragment check, naive
+evaluation (nulls as values, null-free output), and a translation of algebra
+expressions to first-order formulas.
+"""
+
+from repro.algebra.expressions import (
+    Difference,
+    EquiJoin,
+    Intersection,
+    Product,
+    Projection,
+    RAExpression,
+    RelationRef,
+    Rename,
+    Selection,
+    Union,
+    col,
+    const,
+)
+from repro.algebra.conditions import (
+    AndCond,
+    ColumnRef,
+    Condition,
+    ConstRef,
+    EqCond,
+    NotCond,
+    OrCond,
+)
+from repro.algebra.evaluation import evaluate_algebra
+from repro.algebra.naive import is_positive_expression, naive_evaluate_algebra
+from repro.algebra.translate import algebra_to_formula
+
+__all__ = [
+    "RAExpression",
+    "RelationRef",
+    "Selection",
+    "Projection",
+    "Product",
+    "EquiJoin",
+    "Union",
+    "Intersection",
+    "Difference",
+    "Rename",
+    "Condition",
+    "ColumnRef",
+    "ConstRef",
+    "EqCond",
+    "AndCond",
+    "OrCond",
+    "NotCond",
+    "col",
+    "const",
+    "evaluate_algebra",
+    "naive_evaluate_algebra",
+    "is_positive_expression",
+    "algebra_to_formula",
+]

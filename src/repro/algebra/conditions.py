@@ -1,0 +1,121 @@
+"""Selection conditions for relational algebra expressions.
+
+Conditions are boolean combinations of equalities between column references
+and constants.  The *positive* fragment allows only positive boolean
+combinations of equalities, matching the paper's definition of positive
+relational algebra ("selection with positive Boolean combinations of
+equalities").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+class Condition:
+    """Abstract base class of selection conditions."""
+
+    def evaluate(self, row: tuple) -> bool:
+        raise NotImplementedError
+
+    def is_positive(self) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return AndCond(self, other)
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return OrCond(self, other)
+
+    def __invert__(self) -> "Condition":
+        return NotCond(self)
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A reference to the ``index``-th column of the input row (0-based)."""
+
+    index: int
+
+    def value(self, row: tuple) -> Any:
+        return row[self.index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"#{self.index}"
+
+
+@dataclass(frozen=True)
+class ConstRef:
+    """A constant operand of a comparison."""
+
+    constant: Any
+
+    def value(self, row: tuple) -> Any:
+        return self.constant
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self.constant)
+
+
+@dataclass(frozen=True)
+class EqCond(Condition):
+    """Equality between two operands (columns or constants)."""
+
+    left: ColumnRef | ConstRef
+    right: ColumnRef | ConstRef
+
+    def evaluate(self, row: tuple) -> bool:
+        return self.left.value(row) == self.right.value(row)
+
+    def is_positive(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.left!r} = {self.right!r}"
+
+
+@dataclass(frozen=True)
+class AndCond(Condition):
+    left: Condition
+    right: Condition
+
+    def evaluate(self, row: tuple) -> bool:
+        return self.left.evaluate(row) and self.right.evaluate(row)
+
+    def is_positive(self) -> bool:
+        return self.left.is_positive() and self.right.is_positive()
+
+
+@dataclass(frozen=True)
+class OrCond(Condition):
+    left: Condition
+    right: Condition
+
+    def evaluate(self, row: tuple) -> bool:
+        return self.left.evaluate(row) or self.right.evaluate(row)
+
+    def is_positive(self) -> bool:
+        return self.left.is_positive() and self.right.is_positive()
+
+
+@dataclass(frozen=True)
+class NotCond(Condition):
+    operand: Condition
+
+    def evaluate(self, row: tuple) -> bool:
+        return not self.operand.evaluate(row)
+
+    def is_positive(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class TrueCond(Condition):
+    """The always-true condition."""
+
+    def evaluate(self, row: tuple) -> bool:
+        return True
+
+    def is_positive(self) -> bool:
+        return True

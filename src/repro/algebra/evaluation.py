@@ -1,0 +1,59 @@
+"""Evaluation of relational algebra expressions over instances."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algebra.expressions import (
+    Difference,
+    EquiJoin,
+    Intersection,
+    Product,
+    Projection,
+    RAExpression,
+    RelationRef,
+    Rename,
+    Selection,
+    Union,
+)
+from repro.relational.instance import Instance
+
+
+def evaluate_algebra(expression: RAExpression, instance: Instance) -> set[tuple]:
+    """Evaluate an algebra expression, treating nulls as ordinary values."""
+    if isinstance(expression, RelationRef):
+        return set(instance.relation(expression.name))
+    if isinstance(expression, Selection):
+        rows = evaluate_algebra(expression.expression, instance)
+        return {row for row in rows if expression.condition.evaluate(row)}
+    if isinstance(expression, Projection):
+        rows = evaluate_algebra(expression.expression, instance)
+        return {tuple(row[i] for i in expression.columns) for row in rows}
+    if isinstance(expression, Product):
+        left = evaluate_algebra(expression.left, instance)
+        right = evaluate_algebra(expression.right, instance)
+        return {l + r for l in left for r in right}
+    if isinstance(expression, EquiJoin):
+        left = evaluate_algebra(expression.left, instance)
+        right = evaluate_algebra(expression.right, instance)
+        out: set[tuple] = set()
+        for l in left:
+            for r in right:
+                if all(l[a] == r[b] for a, b in expression.pairs):
+                    out.add(l + r)
+        return out
+    if isinstance(expression, Union):
+        return evaluate_algebra(expression.left, instance) | evaluate_algebra(
+            expression.right, instance
+        )
+    if isinstance(expression, Intersection):
+        return evaluate_algebra(expression.left, instance) & evaluate_algebra(
+            expression.right, instance
+        )
+    if isinstance(expression, Difference):
+        return evaluate_algebra(expression.left, instance) - evaluate_algebra(
+            expression.right, instance
+        )
+    if isinstance(expression, Rename):
+        return evaluate_algebra(expression.expression, instance)
+    raise TypeError(f"unknown algebra expression {expression!r}")

@@ -1,0 +1,235 @@
+"""Relational algebra expression trees (positional attributes).
+
+The operators are those of full relational algebra: relation references,
+selection, projection, cartesian product, equi-join, union, intersection,
+difference, and renaming (a no-op on positional tuples, retained so algebra
+trees can mirror textbook expressions).  The *positive* fragment — projection,
+union, product and selection with positive conditions — is what Proposition 3
+calls positive relational algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.algebra.conditions import ColumnRef, Condition, ConstRef, EqCond
+
+
+class RAExpression:
+    """Abstract base class of relational algebra expressions."""
+
+    def arity(self, schema_arities: dict[str, int]) -> int:
+        raise NotImplementedError
+
+    def relations(self) -> set[str]:
+        raise NotImplementedError
+
+    def children(self) -> tuple["RAExpression", ...]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RelationRef(RAExpression):
+    """A reference to a base relation."""
+
+    name: str
+
+    def arity(self, schema_arities: dict[str, int]) -> int:
+        return schema_arities[self.name]
+
+    def relations(self) -> set[str]:
+        return {self.name}
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class Selection(RAExpression):
+    """``σ_condition(expr)``."""
+
+    expression: RAExpression
+    condition: Condition
+
+    def arity(self, schema_arities: dict[str, int]) -> int:
+        return self.expression.arity(schema_arities)
+
+    def relations(self) -> set[str]:
+        return self.expression.relations()
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.expression,)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"σ[{self.condition!r}]({self.expression!r})"
+
+
+@dataclass(frozen=True)
+class Projection(RAExpression):
+    """``π_columns(expr)`` with 0-based column indices."""
+
+    expression: RAExpression
+    columns: tuple[int, ...]
+
+    def __init__(self, expression: RAExpression, columns: Iterable[int]):
+        object.__setattr__(self, "expression", expression)
+        object.__setattr__(self, "columns", tuple(columns))
+
+    def arity(self, schema_arities: dict[str, int]) -> int:
+        return len(self.columns)
+
+    def relations(self) -> set[str]:
+        return self.expression.relations()
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.expression,)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"π[{','.join(map(str, self.columns))}]({self.expression!r})"
+
+
+@dataclass(frozen=True)
+class Product(RAExpression):
+    """Cartesian product."""
+
+    left: RAExpression
+    right: RAExpression
+
+    def arity(self, schema_arities: dict[str, int]) -> int:
+        return self.left.arity(schema_arities) + self.right.arity(schema_arities)
+
+    def relations(self) -> set[str]:
+        return self.left.relations() | self.right.relations()
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} × {self.right!r})"
+
+
+@dataclass(frozen=True)
+class EquiJoin(RAExpression):
+    """Equi-join on pairs of column indices ``(left_col, right_col)``."""
+
+    left: RAExpression
+    right: RAExpression
+    pairs: tuple[tuple[int, int], ...]
+
+    def __init__(self, left: RAExpression, right: RAExpression, pairs: Iterable[tuple[int, int]]):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "pairs", tuple(tuple(p) for p in pairs))
+
+    def arity(self, schema_arities: dict[str, int]) -> int:
+        return self.left.arity(schema_arities) + self.right.arity(schema_arities)
+
+    def relations(self) -> set[str]:
+        return self.left.relations() | self.right.relations()
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = ", ".join(f"{a}={b}" for a, b in self.pairs)
+        return f"({self.left!r} ⋈[{pairs}] {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Union(RAExpression):
+    left: RAExpression
+    right: RAExpression
+
+    def arity(self, schema_arities: dict[str, int]) -> int:
+        return self.left.arity(schema_arities)
+
+    def relations(self) -> set[str]:
+        return self.left.relations() | self.right.relations()
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} ∪ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Intersection(RAExpression):
+    left: RAExpression
+    right: RAExpression
+
+    def arity(self, schema_arities: dict[str, int]) -> int:
+        return self.left.arity(schema_arities)
+
+    def relations(self) -> set[str]:
+        return self.left.relations() | self.right.relations()
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} ∩ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Difference(RAExpression):
+    left: RAExpression
+    right: RAExpression
+
+    def arity(self, schema_arities: dict[str, int]) -> int:
+        return self.left.arity(schema_arities)
+
+    def relations(self) -> set[str]:
+        return self.left.relations() | self.right.relations()
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} − {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Rename(RAExpression):
+    """Attribute renaming; a no-op on positional tuples but kept for fidelity."""
+
+    expression: RAExpression
+    names: tuple[str, ...]
+
+    def __init__(self, expression: RAExpression, names: Iterable[str]):
+        object.__setattr__(self, "expression", expression)
+        object.__setattr__(self, "names", tuple(names))
+
+    def arity(self, schema_arities: dict[str, int]) -> int:
+        return self.expression.arity(schema_arities)
+
+    def relations(self) -> set[str]:
+        return self.expression.relations()
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.expression,)
+
+
+def col(index: int) -> ColumnRef:
+    """Shorthand for a column reference in selection conditions."""
+    return ColumnRef(index)
+
+
+def const(value: Any) -> ConstRef:
+    """Shorthand for a constant operand in selection conditions."""
+    return ConstRef(value)
+
+
+def eq(left: ColumnRef | ConstRef | int, right: ColumnRef | ConstRef | Any) -> EqCond:
+    """Shorthand equality condition; bare ints are column indices."""
+    left_ref = ColumnRef(left) if isinstance(left, int) else left
+    right_ref = ColumnRef(right) if isinstance(right, int) else right
+    if not isinstance(left_ref, (ColumnRef, ConstRef)):
+        left_ref = ConstRef(left_ref)
+    if not isinstance(right_ref, (ColumnRef, ConstRef)):
+        right_ref = ConstRef(right_ref)
+    return EqCond(left_ref, right_ref)

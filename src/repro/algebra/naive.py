@@ -1,0 +1,57 @@
+"""Positive fragment check and naive evaluation for relational algebra.
+
+For positive relational algebra queries, the naive evaluation — treating nulls
+as ordinary values and discarding tuples containing nulls from the output —
+computes the certain answers ``Q(T)`` of the query over a naive table ``T``
+(Imieliński–Lipski); this is the fact underlying Proposition 3 and Corollary 3
+of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.evaluation import evaluate_algebra
+from repro.algebra.expressions import (
+    Difference,
+    EquiJoin,
+    Intersection,
+    Product,
+    Projection,
+    RAExpression,
+    RelationRef,
+    Rename,
+    Selection,
+    Union,
+)
+from repro.relational.domain import is_null
+from repro.relational.instance import Instance
+
+
+def is_positive_expression(expression: RAExpression) -> bool:
+    """Is the expression in positive relational algebra?
+
+    Positive relational algebra allows projection, union, product (and
+    equi-join, which is expressible from product and positive selection), and
+    selection with positive boolean combinations of equalities.  Difference is
+    excluded; intersection is allowed (it is expressible positively).
+    """
+    if isinstance(expression, RelationRef):
+        return True
+    if isinstance(expression, Selection):
+        return expression.condition.is_positive() and is_positive_expression(
+            expression.expression
+        )
+    if isinstance(expression, (Projection, Rename)):
+        return is_positive_expression(expression.expression)
+    if isinstance(expression, (Product, EquiJoin, Union, Intersection)):
+        return is_positive_expression(expression.left) and is_positive_expression(
+            expression.right
+        )
+    if isinstance(expression, Difference):
+        return False
+    raise TypeError(f"unknown algebra expression {expression!r}")
+
+
+def naive_evaluate_algebra(expression: RAExpression, instance: Instance) -> set[tuple]:
+    """Naive evaluation: evaluate with nulls as values, keep only null-free rows."""
+    rows = evaluate_algebra(expression, instance)
+    return {row for row in rows if not any(is_null(v) for v in row)}

@@ -1,0 +1,159 @@
+"""Translation of relational algebra expressions into first-order formulas.
+
+The translation is the textbook one: an expression of arity ``k`` becomes a
+formula with free variables ``x_0, ..., x_{k-1}`` describing its answer
+tuples.  It lets the algebra layer reuse all the query-answering machinery
+built for formulas (certain answers, DEQA procedures), and the tests check
+that algebra evaluation and the FO translation agree.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.algebra.conditions import (
+    AndCond,
+    ColumnRef,
+    Condition,
+    ConstRef,
+    EqCond,
+    NotCond,
+    OrCond,
+    TrueCond,
+)
+from repro.algebra.expressions import (
+    Difference,
+    EquiJoin,
+    Intersection,
+    Product,
+    Projection,
+    RAExpression,
+    RelationRef,
+    Rename,
+    Selection,
+    Union,
+)
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Eq,
+    Exists,
+    Formula,
+    Not,
+    Or,
+    TrueFormula,
+)
+from repro.logic.queries import Query
+from repro.logic.terms import Const, Var
+
+
+_fresh_counter = itertools.count(1)
+
+
+def _fresh_vars(count: int) -> list[Var]:
+    return [Var(f"v{next(_fresh_counter)}") for _ in range(count)]
+
+
+def _condition_to_formula(condition: Condition, variables: list[Var]) -> Formula:
+    if isinstance(condition, TrueCond):
+        return TrueFormula()
+    if isinstance(condition, EqCond):
+        left = (
+            variables[condition.left.index]
+            if isinstance(condition.left, ColumnRef)
+            else Const(condition.left.constant)
+        )
+        right = (
+            variables[condition.right.index]
+            if isinstance(condition.right, ColumnRef)
+            else Const(condition.right.constant)
+        )
+        return Eq(left, right)
+    if isinstance(condition, AndCond):
+        return And(
+            _condition_to_formula(condition.left, variables),
+            _condition_to_formula(condition.right, variables),
+        )
+    if isinstance(condition, OrCond):
+        return Or(
+            _condition_to_formula(condition.left, variables),
+            _condition_to_formula(condition.right, variables),
+        )
+    if isinstance(condition, NotCond):
+        return Not(_condition_to_formula(condition.operand, variables))
+    raise TypeError(f"unknown condition {condition!r}")
+
+
+def _translate(expression: RAExpression, arities: dict[str, int]) -> tuple[Formula, list[Var]]:
+    """Return ``(formula, output_variables)`` for the expression."""
+    if isinstance(expression, RelationRef):
+        variables = _fresh_vars(arities[expression.name])
+        return Atom(expression.name, tuple(variables)), variables
+    if isinstance(expression, Selection):
+        body, variables = _translate(expression.expression, arities)
+        return And(body, _condition_to_formula(expression.condition, variables)), variables
+    if isinstance(expression, Projection):
+        body, variables = _translate(expression.expression, arities)
+        kept = [variables[i] for i in expression.columns]
+        dropped = [v for i, v in enumerate(variables) if i not in expression.columns]
+        formula: Formula = body
+        if dropped:
+            formula = Exists(tuple(dropped), body)
+        # A projection may repeat columns; repeated output variables are fine
+        # because the caller equates them through the shared Var objects.
+        return formula, kept
+    if isinstance(expression, (Product, EquiJoin)):
+        left, left_vars = _translate(expression.left, arities)
+        right, right_vars = _translate(expression.right, arities)
+        formula = And(left, right)
+        if isinstance(expression, EquiJoin):
+            for a, b in expression.pairs:
+                formula = And(formula, Eq(left_vars[a], right_vars[b]))
+        return formula, left_vars + right_vars
+    if isinstance(expression, (Union, Or)) and isinstance(expression, Union):
+        left, left_vars = _translate(expression.left, arities)
+        right, right_vars = _translate(expression.right, arities)
+        renaming = dict(zip(right_vars, left_vars))
+        from repro.logic.formulas import substitute
+
+        right = substitute(right, renaming)
+        return Or(left, right), left_vars
+    if isinstance(expression, Intersection):
+        left, left_vars = _translate(expression.left, arities)
+        right, right_vars = _translate(expression.right, arities)
+        from repro.logic.formulas import substitute
+
+        right = substitute(right, dict(zip(right_vars, left_vars)))
+        return And(left, right), left_vars
+    if isinstance(expression, Difference):
+        left, left_vars = _translate(expression.left, arities)
+        right, right_vars = _translate(expression.right, arities)
+        from repro.logic.formulas import substitute
+
+        right = substitute(right, dict(zip(right_vars, left_vars)))
+        return And(left, Not(right)), left_vars
+    if isinstance(expression, Rename):
+        return _translate(expression.expression, arities)
+    raise TypeError(f"unknown algebra expression {expression!r}")
+
+
+def algebra_to_formula(
+    expression: RAExpression, arities: dict[str, int]
+) -> tuple[Formula, tuple[Var, ...]]:
+    """Translate an algebra expression into ``(formula, answer_variables)``."""
+    formula, variables = _translate(expression, arities)
+    return formula, tuple(variables)
+
+
+def algebra_to_query(expression: RAExpression, arities: dict[str, int], name: str = "Q") -> Query:
+    """Translate an algebra expression into a :class:`repro.logic.queries.Query`."""
+    formula, variables = algebra_to_formula(expression, arities)
+    monotone = None
+    try:
+        from repro.algebra.naive import is_positive_expression
+
+        monotone = True if is_positive_expression(expression) else None
+    except TypeError:  # pragma: no cover - defensive
+        monotone = None
+    return Query(formula, variables, name=name, monotone=monotone)

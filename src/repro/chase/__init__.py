@@ -1,0 +1,25 @@
+"""Chase engine for target dependencies (tgds and egds).
+
+The paper's concluding section points to the extension of annotated mappings
+with *target constraints*, citing the weakly-acyclic chase of
+Fagin–Kolaitis–Miller–Popa [11] and the closed-world treatment of
+Hernich–Schweikardt [16].  This package provides that substrate: tgds/egds,
+the weak-acyclicity test that guarantees chase termination, and a standard
+chase engine over instances with labelled nulls, with step-by-step tracing.
+"""
+
+from repro.chase.dependencies import EGD, TGD, parse_egd, parse_tgd
+from repro.chase.weak_acyclicity import dependency_graph, is_weakly_acyclic
+from repro.chase.engine import ChaseFailure, ChaseResult, chase
+
+__all__ = [
+    "TGD",
+    "EGD",
+    "parse_tgd",
+    "parse_egd",
+    "dependency_graph",
+    "is_weakly_acyclic",
+    "chase",
+    "ChaseResult",
+    "ChaseFailure",
+]

@@ -1,0 +1,134 @@
+"""Target dependencies: tuple-generating and equality-generating dependencies.
+
+A tgd has the form ``∀x̄ (φ(x̄) → ∃z̄ ψ(x̄, z̄))`` with ``φ, ψ`` conjunctions of
+relational atoms; an egd has the form ``∀x̄ (φ(x̄) → x_i = x_j)``.  Both are
+written here in rule syntax, reusing the STD parser conventions::
+
+    parse_tgd("Emp(e) -> exists d . Dept(e, d)")
+    parse_egd("Dept(e, d1) & Dept(e, d2) -> d1 = d2")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.logic.formulas import (
+    Atom,
+    Eq,
+    Exists,
+    Formula,
+    atoms_of_conjunction,
+    free_variables,
+    is_conjunction_of_atoms,
+)
+from repro.logic.parser import ParseError, parse_formula
+from repro.logic.terms import Var
+
+
+@dataclass(frozen=True)
+class TGD:
+    """A tuple-generating dependency ``φ(x̄) → ∃z̄ ψ(x̄, z̄)``."""
+
+    body: tuple[Atom, ...]
+    head: tuple[Atom, ...]
+    name: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.body or not self.head:
+            raise ValueError("a tgd needs a non-empty body and head")
+
+    def body_variables(self) -> set[Var]:
+        out: set[Var] = set()
+        for atom in self.body:
+            out |= free_variables(atom)
+        return out
+
+    def head_variables(self) -> set[Var]:
+        out: set[Var] = set()
+        for atom in self.head:
+            out |= free_variables(atom)
+        return out
+
+    def existential_variables(self) -> set[Var]:
+        return self.head_variables() - self.body_variables()
+
+    def frontier_variables(self) -> set[Var]:
+        """Variables shared by body and head (exported through the chase step)."""
+        return self.head_variables() & self.body_variables()
+
+    def is_full(self) -> bool:
+        return not self.existential_variables()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = " & ".join(map(repr, self.body))
+        head = " & ".join(map(repr, self.head))
+        return f"{body} -> {head}"
+
+
+@dataclass(frozen=True)
+class EGD:
+    """An equality-generating dependency ``φ(x̄) → x_i = x_j``."""
+
+    body: tuple[Atom, ...]
+    left: Var
+    right: Var
+    name: str | None = field(default=None, compare=False)
+
+    def body_variables(self) -> set[Var]:
+        out: set[Var] = set()
+        for atom in self.body:
+            out |= free_variables(atom)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = " & ".join(map(repr, self.body))
+        return f"{body} -> {self.left!r} = {self.right!r}"
+
+
+def _conjunction_atoms(formula: Formula, what: str) -> list[Atom]:
+    if not is_conjunction_of_atoms(formula):
+        raise ParseError(f"{what} must be a conjunction of relational atoms, got {formula!r}")
+    return atoms_of_conjunction(formula)
+
+
+def parse_tgd(rule: str, name: str | None = None) -> TGD:
+    """Parse a tgd written as ``body -> head`` (head may be ``exists z̄ . ...``)."""
+    formula = parse_formula(rule)
+    from repro.logic.formulas import Implies
+
+    if not isinstance(formula, Implies):
+        raise ParseError("a tgd rule must be an implication 'body -> head'")
+    body = _conjunction_atoms(formula.left, "tgd body")
+    head_formula = formula.right
+    while isinstance(head_formula, Exists):
+        head_formula = head_formula.body
+    head = _conjunction_atoms(head_formula, "tgd head")
+    return TGD(tuple(body), tuple(head), name=name)
+
+
+def parse_egd(rule: str, name: str | None = None) -> EGD:
+    """Parse an egd written as ``body -> x = y``."""
+    formula = parse_formula(rule)
+    from repro.logic.formulas import Implies
+
+    if not isinstance(formula, Implies):
+        raise ParseError("an egd rule must be an implication 'body -> x = y'")
+    body = _conjunction_atoms(formula.left, "egd body")
+    if not isinstance(formula.right, Eq):
+        raise ParseError("the head of an egd must be an equality between variables")
+    left, right = formula.right.left, formula.right.right
+    if not isinstance(left, Var) or not isinstance(right, Var):
+        raise ParseError("egd equalities must relate two variables")
+    return EGD(tuple(body), left, right, name=name)
+
+
+def parse_dependencies(rules: Iterable[str]) -> list[TGD | EGD]:
+    """Parse a mixed list of tgd/egd rules, dispatching on the head shape."""
+    out: list[TGD | EGD] = []
+    for rule in rules:
+        try:
+            out.append(parse_tgd(rule))
+        except ParseError:
+            out.append(parse_egd(rule))
+    return out

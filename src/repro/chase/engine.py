@@ -1,0 +1,136 @@
+"""The standard chase over instances with labelled nulls.
+
+The engine applies tgd and egd chase steps to a target instance until no
+dependency is violated (success), an egd equates two distinct constants
+(failure), or a step budget is exhausted (possible non-termination — which the
+weak-acyclicity test of :mod:`repro.chase.weak_acyclicity` rules out).
+
+The tgd step is the *standard* (non-oblivious) chase: a trigger fires only if
+its head cannot already be satisfied in the current instance by extending the
+trigger homomorphism, which keeps chase results small and is the variant used
+to build universal solutions in data exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.chase.dependencies import EGD, TGD
+from repro.logic.cq import match_atoms
+from repro.logic.terms import Const, Var
+from repro.relational.domain import Null, NullFactory, is_null
+from repro.relational.instance import Instance
+
+
+class ChaseFailure(Exception):
+    """Raised when an egd requires equating two distinct constants."""
+
+
+@dataclass
+class ChaseStep:
+    """One applied chase step, for tracing and debugging."""
+
+    kind: str
+    dependency: object
+    trigger: dict
+    added: list[tuple[str, tuple]] = field(default_factory=list)
+    equated: Optional[tuple] = None
+
+
+@dataclass
+class ChaseResult:
+    """The chased instance together with the applied steps."""
+
+    instance: Instance
+    steps: list[ChaseStep]
+    terminated: bool
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def _head_satisfiable(tgd: TGD, assignment: dict[Var, object], instance: Instance) -> bool:
+    """Can the head be satisfied extending ``assignment`` within ``instance``?"""
+    existential = sorted(tgd.existential_variables(), key=lambda v: v.name)
+    head_atoms = list(tgd.head)
+    for extension in match_atoms(head_atoms, instance, dict(assignment)):
+        return True
+    return False
+
+
+def _apply_tgd(
+    tgd: TGD, instance: Instance, factory: NullFactory
+) -> Optional[ChaseStep]:
+    for assignment in match_atoms(list(tgd.body), instance):
+        frontier = {v: assignment[v] for v in tgd.frontier_variables()}
+        if _head_satisfiable(tgd, frontier, instance):
+            continue
+        nulls = {
+            z: factory.fresh(label=z.name)
+            for z in sorted(tgd.existential_variables(), key=lambda v: v.name)
+        }
+        added = []
+        for atom in tgd.head:
+            values = []
+            for term in atom.terms:
+                if isinstance(term, Const):
+                    values.append(term.value)
+                elif term in frontier:
+                    values.append(frontier[term])
+                else:
+                    values.append(nulls[term])
+            instance.add(atom.relation, tuple(values))
+            added.append((atom.relation, tuple(values)))
+        return ChaseStep("tgd", tgd, frontier, added=added)
+    return None
+
+
+def _apply_egd(egd: EGD, instance: Instance) -> Optional[ChaseStep]:
+    for assignment in match_atoms(list(egd.body), instance):
+        left = assignment[egd.left]
+        right = assignment[egd.right]
+        if left == right:
+            continue
+        if not is_null(left) and not is_null(right):
+            raise ChaseFailure(f"egd {egd!r} requires {left!r} = {right!r}")
+        # Replace the null by the other value (prefer keeping constants).
+        if is_null(left):
+            source, target = left, right
+        else:
+            source, target = right, left
+        replacement = instance.map_values(lambda v: target if v == source else v)
+        instance._relations = replacement._relations  # in-place update
+        return ChaseStep("egd", egd, dict(assignment), equated=(source, target))
+    return None
+
+
+def chase(
+    instance: Instance,
+    dependencies: Iterable[TGD | EGD],
+    max_steps: int = 10_000,
+) -> ChaseResult:
+    """Chase ``instance`` with the given dependencies.
+
+    Returns a :class:`ChaseResult`; raises :class:`ChaseFailure` if an egd
+    fails.  ``terminated`` is ``False`` when the step budget ran out, which
+    cannot happen for weakly acyclic tgd sets.
+    """
+    working = instance.copy()
+    factory = NullFactory(prefix="chase")
+    steps: list[ChaseStep] = []
+    dependencies = list(dependencies)
+    for _ in range(max_steps):
+        progressed = False
+        for dependency in dependencies:
+            if isinstance(dependency, TGD):
+                step = _apply_tgd(dependency, working, factory)
+            else:
+                step = _apply_egd(dependency, working)
+            if step is not None:
+                steps.append(step)
+                progressed = True
+                break
+        if not progressed:
+            return ChaseResult(working, steps, terminated=True)
+    return ChaseResult(working, steps, terminated=False)

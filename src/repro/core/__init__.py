@@ -1,0 +1,86 @@
+"""Core library: annotated schema mappings in open and closed worlds.
+
+This package implements the paper's contribution proper:
+
+* annotated source-to-target dependencies and schema mappings (§3),
+* annotated canonical solutions and the Σα-solution semantics (§3),
+* the recognition problem ``T ∈ ⟦S⟧_Σα`` (Theorem 2),
+* certain answers and the DEQA decision procedures (§4),
+* Skolemized STDs and schema-mapping composition, semantic and syntactic (§5).
+"""
+
+from repro.core.annotations import (
+    CL,
+    OP,
+    annotation_leq,
+    max_closed_per_atom,
+    max_open_per_atom,
+)
+from repro.core.std import STD, TargetAtom, parse_std
+from repro.core.mapping import SchemaMapping, copying_mapping
+from repro.core.canonical import CanonicalSolution, Justification, canonical_solution
+from repro.core.solutions import (
+    Fact,
+    expansion_homomorphism,
+    is_annotated_solution,
+    is_cwa_presolution,
+    is_cwa_solution,
+    is_owa_solution,
+    satisfies_cl,
+)
+from repro.core.recognition import RecognitionResult, recognize
+from repro.core.certain import (
+    certain_answers,
+    certain_answers_naive,
+    certain_answers_positive,
+)
+from repro.core.deqa import Certainty, is_certain
+from repro.core.skolem import (
+    SkolemMapping,
+    SkSTD,
+    parse_skstd,
+    skolemize,
+    sk_in_semantics,
+    sol_f,
+)
+from repro.core.composition import CompositionResult, in_composition
+from repro.core.compose_syntactic import compose_syntactic
+
+__all__ = [
+    "OP",
+    "CL",
+    "annotation_leq",
+    "max_open_per_atom",
+    "max_closed_per_atom",
+    "STD",
+    "TargetAtom",
+    "parse_std",
+    "SchemaMapping",
+    "copying_mapping",
+    "CanonicalSolution",
+    "Justification",
+    "canonical_solution",
+    "Fact",
+    "satisfies_cl",
+    "is_owa_solution",
+    "is_cwa_presolution",
+    "is_cwa_solution",
+    "is_annotated_solution",
+    "expansion_homomorphism",
+    "RecognitionResult",
+    "recognize",
+    "certain_answers",
+    "certain_answers_naive",
+    "certain_answers_positive",
+    "Certainty",
+    "is_certain",
+    "SkSTD",
+    "SkolemMapping",
+    "parse_skstd",
+    "skolemize",
+    "sol_f",
+    "sk_in_semantics",
+    "CompositionResult",
+    "in_composition",
+    "compose_syntactic",
+]

@@ -1,0 +1,63 @@
+"""Annotation-level measures on sets of annotated STDs.
+
+The paper classifies complexity by two parameters of an annotated mapping
+``Σα``:
+
+* ``#op(Σα)`` — the maximum number of *open* positions per atom in an STD of
+  ``Σα`` (Theorems 3 and 4);
+* ``#cl(Σα)`` — the maximum number of *closed* positions per atom (Theorem 2).
+
+Both are per-atom, not per-rule: for the rule ``T(x^cl, y^op) ∧ T(x^cl, z^op)
+:– φ`` the value of ``#op`` is 1 even though two open variables occur.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.relational.annotated import CL, OP, Annotation
+
+__all__ = ["OP", "CL", "Annotation", "annotation_leq", "max_open_per_atom", "max_closed_per_atom"]
+
+
+def annotation_leq(alpha: "AnnotationAssignment", alpha_prime: "AnnotationAssignment") -> bool:
+    """The order ``α ⪯ α′`` on annotations of the *same* set of STDs.
+
+    Both arguments are sequences of per-atom :class:`Annotation` objects in the
+    same order (as produced by :meth:`repro.core.mapping.SchemaMapping.annotations`).
+    ``α ⪯ α′`` holds when every occurrence annotated closed by ``α′`` is also
+    annotated closed by ``α`` — i.e. closed annotations may only be relaxed to
+    open when moving from ``α`` to ``α′``.
+    """
+    alpha = list(alpha)
+    alpha_prime = list(alpha_prime)
+    if len(alpha) != len(alpha_prime):
+        raise ValueError("annotation assignments cover different numbers of atoms")
+    return all(a.leq(b) for a, b in zip(alpha, alpha_prime))
+
+
+AnnotationAssignment = Iterable[Annotation]
+
+
+def max_open_per_atom(stds: Iterable["STDLike"]) -> int:
+    """``#op(Σα)``: maximum number of open positions in a single target atom."""
+    best = 0
+    for std in stds:
+        for atom in std.head:
+            best = max(best, atom.annotation.open_count())
+    return best
+
+
+def max_closed_per_atom(stds: Iterable["STDLike"]) -> int:
+    """``#cl(Σα)``: maximum number of closed positions in a single target atom."""
+    best = 0
+    for std in stds:
+        for atom in std.head:
+            best = max(best, atom.annotation.closed_count())
+    return best
+
+
+class STDLike:  # pragma: no cover - typing helper only
+    """Structural type used for documentation: anything with a ``head`` of atoms."""
+
+    head: list

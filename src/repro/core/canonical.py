@@ -1,0 +1,145 @@
+"""Canonical solutions, plain and annotated (Sections 2 and 3).
+
+For a mapping ``(σ, τ, Σ)`` and a ground source ``S``, the canonical solution
+``CSol(S)`` is produced by the standard source-to-target chase: for each STD
+``ψ(x̄, z̄) :– φ(x̄, ȳ)`` and each pair of tuples ``(ā, b̄)`` with
+``φ(ā, b̄)`` true in ``S``, a fresh tuple of distinct nulls ``⊥̄`` is created
+(one null per variable of ``z̄``, one tuple per *justification*
+``(φ, ψ, ā, b̄, z)``), and the head is materialised with those nulls.
+
+The annotated canonical solution ``CSolA(S)`` is computed the same way but
+every materialised atom keeps the annotation prescribed by the STD; when the
+body of an STD has no satisfying assignment, *empty annotated tuples* are
+added for each head atom (they matter only for all-open annotations, where
+they permit arbitrary tuples in the represented instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.core.mapping import SchemaMapping
+from repro.core.std import STD
+from repro.logic.terms import Const, FuncTerm, Term, Var
+from repro.relational.annotated import AnnotatedInstance, AnnotatedTuple
+from repro.relational.domain import Null, NullFactory
+from repro.relational.instance import Instance
+
+
+@dataclass(frozen=True)
+class Justification:
+    """A justification ``(φ, ψ, ā, b̄, z)`` for a null of the canonical solution."""
+
+    std_index: int
+    assignment: tuple[tuple[str, Any], ...]
+    variable: str
+
+    @classmethod
+    def build(cls, std_index: int, assignment: dict[Var, Any], variable: Var) -> "Justification":
+        frozen = tuple(sorted((v.name, value) for v, value in assignment.items()))
+        return cls(std_index, frozen, variable.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = ", ".join(f"{n}={v!r}" for n, v in self.assignment)
+        return f"Justification(std#{self.std_index}, {{{pairs}}}, {self.variable})"
+
+
+class CanonicalSolution:
+    """The result of the source-to-target chase.
+
+    Attributes
+    ----------
+    annotated:
+        the annotated canonical solution ``CSolA(S)``;
+    justifications:
+        a map from each created null to its :class:`Justification`;
+    triggers:
+        the list of ``(std_index, assignment)`` pairs that fired, in order.
+    """
+
+    def __init__(
+        self,
+        mapping: SchemaMapping,
+        source: Instance,
+        annotated: AnnotatedInstance,
+        justifications: dict[Null, Justification],
+        triggers: list[tuple[int, dict[Var, Any]]],
+    ):
+        self.mapping = mapping
+        self.source = source
+        self.annotated = annotated
+        self.justifications = justifications
+        self.triggers = triggers
+
+    @property
+    def instance(self) -> Instance:
+        """The plain canonical solution ``CSol(S) = rel(CSolA(S))``."""
+        return self.annotated.rel()
+
+    def nulls(self) -> set[Null]:
+        return self.annotated.nulls()
+
+    def null_for(self, justification: Justification) -> Null | None:
+        for null, just in self.justifications.items():
+            if just == justification:
+                return null
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CanonicalSolution({len(self.annotated)} annotated tuples, {len(self.justifications)} nulls)"
+
+
+def _head_value(term: Term, assignment: dict[Var, Any], nulls: dict[Var, Null]) -> Any:
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Var):
+        if term in assignment:
+            return assignment[term]
+        return nulls[term]
+    if isinstance(term, FuncTerm):
+        raise ValueError(
+            "function terms are not allowed in plain STDs; use repro.core.skolem"
+        )
+    raise TypeError(f"unknown term {term!r}")
+
+
+def canonical_solution(mapping: SchemaMapping, source: Instance) -> CanonicalSolution:
+    """Compute the annotated canonical solution ``CSolA(S)`` (and ``CSol(S)``).
+
+    The construction runs in time polynomial in ``|S|`` for a fixed mapping,
+    matching the paper's observation that the canonical solution is a
+    polynomial-time computable target instance.
+    """
+    factory = NullFactory()
+    annotated = AnnotatedInstance(schema=mapping.target)
+    justifications: dict[Null, Justification] = {}
+    triggers: list[tuple[int, dict[Var, Any]]] = []
+
+    for index, std in enumerate(mapping.stds):
+        assignments = list(std.body_assignments(source))
+        if not assignments:
+            # Unsatisfied body: add empty annotated tuples (relevant only for
+            # open annotations, but recorded uniformly as in the paper).
+            for atom in std.head:
+                annotated.add_empty(atom.relation, atom.annotation)
+            continue
+        existential = sorted(std.existential_variables(), key=lambda v: v.name)
+        for assignment in assignments:
+            triggers.append((index, dict(assignment)))
+            nulls: dict[Var, Null] = {}
+            for variable in existential:
+                justification = Justification.build(index, assignment, variable)
+                null = factory.for_key(justification, label=variable.name)
+                nulls[variable] = null
+                justifications[null] = justification
+            for atom in std.head:
+                values = tuple(_head_value(t, assignment, nulls) for t in atom.terms)
+                annotated.add(atom.relation, AnnotatedTuple(values, atom.annotation))
+
+    return CanonicalSolution(mapping, source, annotated, justifications, triggers)
+
+
+def canonical_instance(mapping: SchemaMapping, source: Instance) -> Instance:
+    """Shorthand for the plain canonical solution ``CSol(S)``."""
+    return canonical_solution(mapping, source).instance

@@ -1,0 +1,314 @@
+"""Syntactic composition of SkSTD mappings (Lemma 5 and Theorem 5).
+
+Given two annotated SkSTD mappings ``Σα : σ → τ`` and ``Δα′ : τ → ω`` such
+that either
+
+* ``Δα′`` is all-open with monotone SkSTD bodies, or
+* ``Σα`` is all-closed,
+
+the algorithm constructs an annotated SkSTD mapping ``Γα′ : σ → ω`` with
+``(|Γα′|) = (|Σα|) ∘ (|Δα′|)``.  It follows the proof of Lemma 5:
+
+1. rename variables and function symbols apart;
+2. normalise ``Σα`` so every SkSTD has a single head atom;
+3. in every SkSTD ``ψ :– η`` of ``Δα′``, replace each relational atom
+   ``R(ȳ)`` of ``η`` by::
+
+       β_R(ȳ)  =  ⋁_j ∃z̄_j ( φ_j(z̄_j) ∧ ȳ = ū_j )
+
+   where ``R(ū_j) :– φ_j(z̄_j)`` ranges over the normalised Σ-SkSTDs with an
+   ``R`` head; the left-hand sides and annotations of ``Δα′`` are kept.
+
+Theorem 5's two closure classes follow: all-open CQ-SkSTD mappings (the
+classical result of Fagin–Kolaitis–Popa–Tan) and all-closed FO-SkSTD mappings.
+Proposition 6's counterexample (no closure for plain FO-STD mappings) lives in
+:mod:`repro.reductions.nonclosure`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator
+
+from repro.core.skolem import SkolemMapping, SkSTD
+from repro.core.std import TargetAtom
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Eq,
+    Exists,
+    FalseFormula,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TrueFormula,
+    conjunction,
+    disjunction,
+    free_variables,
+)
+from repro.logic.terms import Const, FuncTerm, Term, Var
+
+
+class CompositionNotSupported(ValueError):
+    """Raised when the pair of mappings falls outside Lemma 5's hypotheses."""
+
+
+# ---------------------------------------------------------------------------
+# Renaming utilities
+# ---------------------------------------------------------------------------
+
+
+def _rename_term(term: Term, variable_prefix: str, function_renaming: dict[str, str]) -> Term:
+    if isinstance(term, Var):
+        return Var(variable_prefix + term.name)
+    if isinstance(term, Const):
+        return term
+    if isinstance(term, FuncTerm):
+        return FuncTerm(
+            function_renaming.get(term.function, term.function),
+            tuple(_rename_term(a, variable_prefix, function_renaming) for a in term.args),
+        )
+    raise TypeError(f"unknown term {term!r}")
+
+
+def _rename_formula(
+    formula: Formula, variable_prefix: str, function_renaming: dict[str, str]
+) -> Formula:
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, Atom):
+        return Atom(
+            formula.relation,
+            tuple(_rename_term(t, variable_prefix, function_renaming) for t in formula.terms),
+        )
+    if isinstance(formula, Eq):
+        return Eq(
+            _rename_term(formula.left, variable_prefix, function_renaming),
+            _rename_term(formula.right, variable_prefix, function_renaming),
+        )
+    if isinstance(formula, Not):
+        return Not(_rename_formula(formula.operand, variable_prefix, function_renaming))
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        cls = type(formula)
+        return cls(
+            _rename_formula(formula.left, variable_prefix, function_renaming),
+            _rename_formula(formula.right, variable_prefix, function_renaming),
+        )
+    if isinstance(formula, (Exists, ForAll)):
+        cls = type(formula)
+        renamed_vars = tuple(Var(variable_prefix + v.name) for v in formula.variables)
+        return cls(renamed_vars, _rename_formula(formula.body, variable_prefix, function_renaming))
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def _rename_apart(first: SkolemMapping, second: SkolemMapping) -> SkolemMapping:
+    """Rename variables and function symbols of ``first`` apart from ``second``."""
+    second_functions = {name for name, _ in second.functions()}
+    function_renaming = {
+        name: (f"s_{name}" if name in second_functions else name)
+        for name, _ in first.functions()
+    }
+    renamed = []
+    for skstd in first.skstds:
+        head = [
+            TargetAtom(
+                atom.relation,
+                tuple(_rename_term(t, "s_", function_renaming) for t in atom.terms),
+                atom.annotation,
+            )
+            for atom in skstd.head
+        ]
+        body = _rename_formula(skstd.body, "s_", function_renaming)
+        renamed.append(SkSTD(head, body, name=skstd.name))
+    return SkolemMapping(first.source, first.target, renamed, name=first.name)
+
+
+# ---------------------------------------------------------------------------
+# Normalisation: single-atom heads
+# ---------------------------------------------------------------------------
+
+
+def normalize(skmapping: SkolemMapping) -> SkolemMapping:
+    """Split every SkSTD ``R_1(ū_1) ∧ ... ∧ R_m(ū_m) :– φ`` into ``m`` SkSTDs.
+
+    The transformation preserves the semantics ``(|Σα|)`` (step 2 of the
+    composition algorithm).
+    """
+    out = []
+    for skstd in skmapping.skstds:
+        for atom in skstd.head:
+            out.append(SkSTD([atom], skstd.body, name=skstd.name))
+    return SkolemMapping(skmapping.source, skmapping.target, out, name=skmapping.name)
+
+
+# ---------------------------------------------------------------------------
+# Atom replacement
+# ---------------------------------------------------------------------------
+
+
+def _replace_atoms(formula: Formula, replacer: Callable[[Atom], Formula]) -> Formula:
+    if isinstance(formula, Atom):
+        return replacer(formula)
+    if isinstance(formula, (TrueFormula, FalseFormula, Eq)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_replace_atoms(formula.operand, replacer))
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        cls = type(formula)
+        return cls(
+            _replace_atoms(formula.left, replacer),
+            _replace_atoms(formula.right, replacer),
+        )
+    if isinstance(formula, (Exists, ForAll)):
+        cls = type(formula)
+        return cls(formula.variables, _replace_atoms(formula.body, replacer))
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+class _FreshVariables:
+    """Generates fresh copies of body variables, one batch per atom occurrence."""
+
+    def __init__(self, prefix: str = "w"):
+        self._counter = itertools.count(1)
+        self.prefix = prefix
+
+    def copy_of(self, variables: Iterable[Var]) -> dict[Var, Var]:
+        batch = next(self._counter)
+        return {v: Var(f"{self.prefix}{batch}_{v.name}") for v in variables}
+
+
+def _beta_formula(
+    atom: Atom, defining_skstds: list[SkSTD], fresh: _FreshVariables
+) -> Formula:
+    """Build ``β_R(ȳ)`` for an occurrence of ``R(ȳ)`` in a Δ body."""
+    disjuncts: list[Formula] = []
+    for skstd in defining_skstds:
+        head_atom = skstd.head[0]
+        body_vars = sorted(free_variables(skstd.body), key=lambda v: v.name)
+        renaming = fresh.copy_of(
+            set(body_vars) | set().union(*(t.variables() for t in head_atom.terms)) | set()
+        )
+
+        def rename(term: Term) -> Term:
+            if isinstance(term, Var):
+                return renaming.get(term, term)
+            if isinstance(term, FuncTerm):
+                return FuncTerm(term.function, tuple(rename(a) for a in term.args))
+            return term
+
+        from repro.logic.formulas import substitute
+
+        body = substitute(skstd.body, {v: renaming[v] for v in renaming})
+        equalities = [
+            Eq(y_term, rename(u_term))
+            for y_term, u_term in zip(atom.terms, head_atom.terms)
+        ]
+        inner = conjunction([body, *equalities])
+        quantified_vars = tuple(renaming[v] for v in body_vars)
+        disjuncts.append(Exists(quantified_vars, inner) if quantified_vars else inner)
+    return disjunction(disjuncts)
+
+
+# ---------------------------------------------------------------------------
+# The composition algorithm
+# ---------------------------------------------------------------------------
+
+
+def compose_syntactic(
+    first: SkolemMapping,
+    second: SkolemMapping,
+    name: str | None = None,
+    check_applicability: bool = True,
+) -> SkolemMapping:
+    """Compose two annotated SkSTD mappings syntactically (Lemma 5).
+
+    The result has the source schema of ``first``, the target schema of
+    ``second``, and SkSTDs with the same left-hand sides and annotations as
+    ``second``.  Lemma 5 guarantees ``(|result|) = (|first|) ∘ (|second|)``
+    when ``second`` is all-open with monotone bodies, or when ``first`` is
+    all-closed; other combinations raise :class:`CompositionNotSupported`
+    unless ``check_applicability=False`` (Proposition 6 shows no FO-STD
+    mapping can capture the composition in general).
+    """
+    if check_applicability:
+        open_monotone = second.is_all_open() and second.is_monotone_mapping()
+        closed_first = first.is_all_closed()
+        if not (open_monotone or closed_first):
+            raise CompositionNotSupported(
+                "Lemma 5 requires the second mapping to be all-open and monotone, "
+                "or the first mapping to be all-closed"
+            )
+    renamed_first = _rename_apart(first, second)
+    normalised = normalize(renamed_first)
+    by_relation: dict[str, list[SkSTD]] = {}
+    for skstd in normalised.skstds:
+        by_relation.setdefault(skstd.head[0].relation, []).append(skstd)
+
+    fresh = _FreshVariables()
+    composed: list[SkSTD] = []
+    for skstd in second.skstds:
+        def replacer(atom: Atom) -> Formula:
+            defining = by_relation.get(atom.relation, [])
+            if not defining:
+                return FalseFormula()
+            return _beta_formula(atom, defining, fresh)
+
+        new_body = _replace_atoms(skstd.body, replacer)
+        composed.append(SkSTD(list(skstd.head), new_body, name=skstd.name))
+    return SkolemMapping(
+        first.source, second.target, composed, name=name or f"{first.name}∘{second.name}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# CQ normal form of the composed mapping
+# ---------------------------------------------------------------------------
+
+
+def _to_dnf_conjuncts(formula: Formula) -> Iterator[list[Formula]]:
+    """Enumerate the conjunct lists of a DNF of a positive ∃∧∨ formula.
+
+    Existential quantifiers are dropped: as observed in the proof of Lemma 5,
+    for SkSTD bodies the quantified variables do not occur in head terms, so
+    removing the quantifiers does not change ``Sol_{F'}(S)``.
+    """
+    if isinstance(formula, (Atom, Eq, TrueFormula)):
+        yield [formula]
+        return
+    if isinstance(formula, FalseFormula):
+        return
+    if isinstance(formula, Exists):
+        yield from _to_dnf_conjuncts(formula.body)
+        return
+    if isinstance(formula, And):
+        for left in _to_dnf_conjuncts(formula.left):
+            for right in _to_dnf_conjuncts(formula.right):
+                yield left + right
+        return
+    if isinstance(formula, Or):
+        yield from _to_dnf_conjuncts(formula.left)
+        yield from _to_dnf_conjuncts(formula.right)
+        return
+    raise ValueError(f"formula {formula!r} is not positive existential")
+
+
+def to_cq_skstds(skmapping: SkolemMapping) -> SkolemMapping:
+    """Rewrite a composed mapping with positive bodies into CQ-SkSTD form.
+
+    Each SkSTD whose body is a positive ∃∧∨ formula is replaced by one SkSTD
+    per disjunct of its DNF (Lemma 5's final step, which shows the class of
+    all-open CQ-SkSTD mappings is closed under composition).
+    """
+    out: list[SkSTD] = []
+    for skstd in skmapping.skstds:
+        disjuncts = list(_to_dnf_conjuncts(skstd.body))
+        if not disjuncts:
+            # Body equivalent to FALSE: the SkSTD never fires and can be dropped.
+            continue
+        for index, conjuncts in enumerate(disjuncts):
+            body = conjunction(conjuncts)
+            out.append(SkSTD(list(skstd.head), body, name=f"{skstd.name or 'sk'}_{index}"))
+    return SkolemMapping(skmapping.source, skmapping.target, out, name=skmapping.name + "_cq")

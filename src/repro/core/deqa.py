@@ -1,0 +1,234 @@
+"""DEQA — the data-exchange query-answering decision problem (Section 4).
+
+``DEQA(Σα, Q)``: given a ground source ``S`` and a tuple ``t̄``, decide
+whether ``t̄ ∈ certain_Σα(Q, S)``.  By Corollary 2 this is equivalent to
+asking whether ``t̄ ∈ Q̄(CSolA(S))``, i.e. whether ``t̄ ∈ Q(I)`` for every
+``I ∈ RepA(CSolA(S))``.
+
+Theorem 3 classifies the complexity of this problem for FO queries by the
+parameter ``#op(Σα)``:
+
+* ``#op = 0`` (all-closed / CWA): coNP-complete;
+* ``#op = 1``: coNEXPTIME-complete;
+* ``#op > 1``: undecidable.
+
+The procedures below are *counterexample searches* over a bounded fragment of
+``RepA(CSolA(S))``; the bounds follow the membership arguments of the paper:
+
+* monotone queries: naive evaluation over ``CSol(S)`` is complete
+  (Propositions 3–4), no search needed;
+* ``#op = 0``: valuations of the nulls over the active domain plus ``#nulls``
+  fresh constants suffice (genericity; this is the coNP procedure of [21]);
+* ∀*∃* queries: a counterexample can be shrunk to the valuation image plus at
+  most ``l·arity(τ)`` additional constants, where ``l`` is the number of
+  universally quantified variables of the query (Proposition 5);
+* general FO queries with open nulls: Lemma 2 gives an exponential bound on
+  the number of replicated open tuples; exhausting it is the coNEXPTIME
+  procedure and is infeasible beyond toy instances, so the search takes an
+  explicit budget and reports whether it was exhaustive for that budget.
+
+Every negative answer returns the counterexample instance as a certificate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.core.canonical import CanonicalSolution, canonical_solution
+from repro.core.mapping import SchemaMapping
+from repro.logic.formulas import ForAll, constants_of
+from repro.logic.queries import Query
+from repro.relational.annotated import AnnotatedInstance
+from repro.relational.domain import fresh_constant_pool
+from repro.relational.instance import Instance
+from repro.relational.rep import _open_completions
+from repro.relational.valuation import enumerate_valuations
+
+
+@dataclass
+class Certainty:
+    """Result of a certain-answer check.
+
+    ``complete`` records whether the search exhausted a fragment of
+    ``RepA(CSolA(S))`` that the paper's bounds prove sufficient; when it is
+    ``False`` a positive ``certain`` verdict means "no counterexample within
+    the budget".
+    """
+
+    certain: bool
+    counterexample: Optional[Instance]
+    complete: bool
+    method: str
+    worlds_checked: int
+
+
+def _leading_universal_count(query: Query) -> int:
+    """Number of leading universally quantified variables (for Proposition 5)."""
+    count = 0
+    formula = query.formula
+    while isinstance(formula, ForAll):
+        count += len(formula.variables)
+        formula = formula.body
+    return count
+
+
+def _default_budgets(
+    mapping: SchemaMapping,
+    canonical: CanonicalSolution,
+    query: Query,
+    extra_constants: Optional[int],
+    max_extra_tuples: Optional[int],
+) -> tuple[int, Optional[int], str, bool]:
+    """Choose search budgets and classify the method used.
+
+    Returns ``(extra_constants, max_extra_tuples, method, provably_complete)``
+    where ``provably_complete`` refers to the *constant* budget; tuple-subset
+    exhaustiveness is decided at search time.
+    """
+    nulls = len(canonical.nulls())
+    open_positions = canonical.annotated.max_open_per_tuple()
+    arity_bound = max(mapping.target.max_arity(), 1)
+    if open_positions == 0:
+        method = "conp-closed-world"
+        default_constants = nulls
+        default_tuples: Optional[int] = 0
+        provably_complete = True
+    elif query.is_universal_existential():
+        method = "conp-forall-exists"
+        default_constants = nulls + _leading_universal_count(query) * arity_bound
+        default_tuples = None  # all subsets of the candidate completions
+        provably_complete = True
+    else:
+        method = "budgeted-open-world"
+        default_constants = nulls + 1
+        default_tuples = None
+        provably_complete = False
+    chosen_constants = default_constants if extra_constants is None else extra_constants
+    chosen_tuples = default_tuples if max_extra_tuples is None else max_extra_tuples
+    if extra_constants is not None and extra_constants < default_constants:
+        provably_complete = False
+    return chosen_constants, chosen_tuples, method, provably_complete
+
+
+def find_counterexample(
+    annotated: AnnotatedInstance,
+    query: Query,
+    answer: tuple,
+    extra_constants: int,
+    max_extra_tuples: Optional[int],
+) -> tuple[Optional[Instance], int, bool]:
+    """Search ``RepA(annotated)`` (bounded) for an instance where ``answer ∉ Q``.
+
+    Returns ``(counterexample or None, worlds checked, search_was_exhaustive)``
+    where exhaustiveness refers to the subset enumeration of open completions
+    (the constant pool is fixed by the caller).
+    """
+    base_pool = sorted(
+        set(annotated.constants()) | set(constants_of(query.formula)) | set(answer),
+        key=repr,
+    )
+    pool = base_pool + fresh_constant_pool(extra_constants, avoid=base_pool)
+    nulls = sorted(annotated.nulls(), key=lambda n: n.ident)
+    worlds = 0
+    exhaustive = True
+    for valuation in enumerate_valuations(nulls, pool or ["#c0"]):
+        applied = valuation.apply_annotated(annotated)
+        mandatory = applied.rel()
+        extras = [f for f in _open_completions(applied, pool) if f not in mandatory]
+        if max_extra_tuples is None:
+            limit = len(extras)
+        else:
+            limit = min(max_extra_tuples, len(extras))
+            if limit < len(extras):
+                exhaustive = False
+        for size in range(0, limit + 1):
+            for chosen in itertools.combinations(extras, size):
+                candidate = mandatory.copy()
+                for name, tup in chosen:
+                    candidate.add(name, tup)
+                worlds += 1
+                if not query.holds(candidate, answer):
+                    return candidate, worlds, exhaustive
+    return None, worlds, exhaustive
+
+
+def is_certain(
+    mapping: SchemaMapping,
+    source: Instance,
+    query: Query,
+    answer: tuple = (),
+    extra_constants: Optional[int] = None,
+    max_extra_tuples: Optional[int] = None,
+) -> Certainty:
+    """Decide ``answer ∈ certain_Σα(Q, S)`` (the DEQA problem).
+
+    See the module docstring for the completeness guarantees attached to each
+    query/mapping class; the returned :class:`Certainty` records which method
+    was used and whether the search was exhaustive for the proved bound.
+    """
+    if len(answer) != query.arity:
+        raise ValueError(f"answer arity {len(answer)} differs from query arity {query.arity}")
+    canonical = canonical_solution(mapping, source)
+    if query.is_monotone():
+        certain = answer in _monotone_answers(canonical, query, answer)
+        return Certainty(
+            certain=certain,
+            counterexample=None,
+            complete=True,
+            method="monotone-naive-eval",
+            worlds_checked=0,
+        )
+    constants, tuples_budget, method, provably_complete = _default_budgets(
+        mapping, canonical, query, extra_constants, max_extra_tuples
+    )
+    counterexample, worlds, exhaustive = find_counterexample(
+        canonical.annotated, query, answer, constants, tuples_budget
+    )
+    return Certainty(
+        certain=counterexample is None,
+        counterexample=counterexample,
+        complete=provably_complete and exhaustive,
+        method=method,
+        worlds_checked=worlds,
+    )
+
+
+def _monotone_answers(canonical: CanonicalSolution, query: Query, answer: tuple) -> set[tuple]:
+    """Naive evaluation over the plain canonical solution, for monotone queries."""
+    instance = canonical.instance
+    if query.arity == 0:
+        domain = sorted(
+            instance.active_domain() | constants_of(query.formula) | set(answer), key=repr
+        )
+        return {()} if query.holds(instance, (), domain=domain) else set()
+    return query.naive_evaluate(instance)
+
+
+def certain_owa(
+    mapping: SchemaMapping,
+    source: Instance,
+    query: Query,
+    answer: tuple = (),
+    **budgets: Any,
+) -> Certainty:
+    """Certain answers under the classical OWA semantics of [11] (Proposition 2).
+
+    Equivalent to evaluating under the all-open re-annotation of the mapping.
+    """
+    return is_certain(mapping.open_variant(), source, query, answer, **budgets)
+
+
+def certain_cwa(
+    mapping: SchemaMapping,
+    source: Instance,
+    query: Query,
+    answer: tuple = (),
+    **budgets: Any,
+) -> Certainty:
+    """Certain answers under the CWA semantics of [21] (Proposition 2).
+
+    Equivalent to evaluating under the all-closed re-annotation of the mapping.
+    """
+    return is_certain(mapping.closed_variant(), source, query, answer, **budgets)

@@ -1,0 +1,154 @@
+"""Schema mappings ``(σ, τ, Σα)``.
+
+A :class:`SchemaMapping` bundles a source schema, a target schema and a set of
+(annotated) STDs, and exposes the structural parameters the paper's complexity
+results are phrased in (``#op``, ``#cl``, CQ vs monotone vs FO bodies).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.annotations import max_closed_per_atom, max_open_per_atom
+from repro.core.std import STD, TargetAtom, parse_std
+from repro.logic.formulas import Atom
+from repro.logic.terms import Var
+from repro.relational.annotated import CL, OP, Annotation
+from repro.relational.schema import RelationSchema, Schema
+
+
+class SchemaMapping:
+    """An annotated schema mapping between a source and a target schema."""
+
+    def __init__(
+        self,
+        source: Schema,
+        target: Schema,
+        stds: Iterable[STD],
+        name: str = "M",
+        validate: bool = True,
+    ):
+        self.source = source
+        self.target = target
+        self.stds: list[STD] = list(stds)
+        self.name = name
+        if validate:
+            self.validate()
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check that STDs use source relations in bodies and target relations in heads."""
+        for std in self.stds:
+            for relation in std.target_relations():
+                if relation not in self.target:
+                    raise ValueError(
+                        f"STD head uses relation {relation!r} not in the target schema"
+                    )
+            for atom in std.head:
+                expected = self.target.arity(atom.relation)
+                if atom.arity != expected:
+                    raise ValueError(
+                        f"head atom {atom!r} has arity {atom.arity}, target relation "
+                        f"{atom.relation!r} expects {expected}"
+                    )
+            for relation in std.source_relations():
+                if relation not in self.source:
+                    raise ValueError(
+                        f"STD body uses relation {relation!r} not in the source schema"
+                    )
+
+    # -- structural parameters ----------------------------------------------------
+
+    def max_open_per_atom(self) -> int:
+        """The paper's ``#op(Σα)`` (drives Theorems 3 and 4)."""
+        return max_open_per_atom(self.stds)
+
+    def max_closed_per_atom(self) -> int:
+        """The paper's ``#cl(Σα)`` (drives Theorem 2)."""
+        return max_closed_per_atom(self.stds)
+
+    def is_all_open(self) -> bool:
+        return all(atom.annotation.is_all_open() for std in self.stds for atom in std.head)
+
+    def is_all_closed(self) -> bool:
+        return all(atom.annotation.is_all_closed() for std in self.stds for atom in std.head)
+
+    def is_cq_mapping(self) -> bool:
+        """Do all STDs have conjunctive-query bodies (the setting of [11-13])?"""
+        return all(std.is_cq() for std in self.stds)
+
+    def is_monotone_mapping(self) -> bool:
+        """Do all STDs have monotone (positive existential) bodies?"""
+        return all(std.is_monotone() for std in self.stds)
+
+    def is_copying(self) -> bool:
+        return all(std.is_copying() for std in self.stds)
+
+    def annotations(self) -> list[Annotation]:
+        """The per-atom annotation assignment, in STD/head-atom order."""
+        return [atom.annotation for std in self.stds for atom in std.head]
+
+    # -- re-annotation -----------------------------------------------------------
+
+    def with_uniform_annotation(self, mark: str, name: str | None = None) -> "SchemaMapping":
+        """The mapping ``Σ_op`` or ``Σ_cl``: every position annotated ``mark``."""
+        return SchemaMapping(
+            self.source,
+            self.target,
+            [std.with_uniform_annotation(mark) for std in self.stds],
+            name=name or f"{self.name}_{mark}",
+        )
+
+    def open_variant(self) -> "SchemaMapping":
+        return self.with_uniform_annotation(OP)
+
+    def closed_variant(self) -> "SchemaMapping":
+        return self.with_uniform_annotation(CL)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rules = "; ".join(map(repr, self.stds))
+        return f"SchemaMapping({self.name}: {rules})"
+
+
+def copying_mapping(
+    schema: Schema,
+    annotation_mark: str = OP,
+    target_suffix: str = "_t",
+    rename: Mapping[str, str] | None = None,
+) -> SchemaMapping:
+    """The copying mapping: one STD ``R'(x̄) :– R(x̄)`` per source relation.
+
+    Copying mappings are the paper's recurring minimal example: even for them,
+    OWA certain answering of FO queries misbehaves ([3]) while the CWA behaves
+    well.  ``annotation_mark`` annotates every target position uniformly.
+    """
+    rename = dict(rename or {})
+    target_relations = []
+    stds = []
+    for relation in schema.relations():
+        target_name = rename.get(relation.name, relation.name + target_suffix)
+        target_relations.append(
+            RelationSchema(target_name, relation.arity, relation.attributes)
+        )
+        variables = tuple(Var(f"x{i}") for i in range(relation.arity))
+        head = TargetAtom(
+            target_name, variables, Annotation((annotation_mark,) * relation.arity)
+        )
+        body = Atom(relation.name, variables)
+        stds.append(STD([head], body, name=f"copy_{relation.name}"))
+    return SchemaMapping(schema, Schema(target_relations), stds, name="copying")
+
+
+def mapping_from_rules(
+    rules: Iterable[str],
+    source: Schema | Mapping[str, int],
+    target: Schema | Mapping[str, int],
+    default_annotation: str = OP,
+    name: str = "M",
+) -> SchemaMapping:
+    """Build a mapping from textual STD rules plus schema declarations."""
+    source_schema = source if isinstance(source, Schema) else Schema(source)
+    target_schema = target if isinstance(target, Schema) else Schema(target)
+    stds = [parse_std(rule, default_annotation=default_annotation) for rule in rules]
+    return SchemaMapping(source_schema, target_schema, stds, name=name)

@@ -1,0 +1,76 @@
+"""The recognition problem: is ``T ∈ ⟦S⟧_Σα``?  (Theorem 2.)
+
+Theorem 2 shows the problem is always in NP, is solvable in polynomial time
+when all annotations are open (``#cl(Σα) = 0``), and is NP-complete for some
+mapping with ``#cl(Σα) = k`` for every ``k > 0`` (via a reduction from
+tripartite matching, implemented in :mod:`repro.reductions.tripartite`).
+
+The implementation mirrors the proof:
+
+* all-open annotation — check ``(S, T) |= Σ`` directly (polynomial time,
+  Theorem 1 item 2);
+* otherwise — guess a valuation ``v`` of the nulls of ``CSolA(S)`` and verify
+  that ``T ⊇ v(rel(CSolA(S)))`` and every tuple of ``T`` coincides with some
+  tuple of ``v(CSolA(S))`` on closed positions.  The "guess" is realised by a
+  backtracking search over the active domain of ``T``, so positive answers
+  come with the valuation as a certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.canonical import canonical_solution
+from repro.core.mapping import SchemaMapping
+from repro.core.solutions import is_owa_solution
+from repro.relational.instance import Instance
+from repro.relational.rep import rep_a_contains
+from repro.relational.valuation import Valuation
+
+
+@dataclass
+class RecognitionResult:
+    """Outcome of a recognition check, with statistics used by the benchmarks.
+
+    ``canonical`` is the canonical solution the check was performed against,
+    so a positive ``valuation`` certificate can be re-verified independently.
+    """
+
+    member: bool
+    valuation: Optional[Valuation]
+    method: str
+    canonical_size: int
+    nulls: int
+    canonical: object = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.member
+
+
+def recognize(
+    mapping: SchemaMapping, source: Instance, target: Instance
+) -> RecognitionResult:
+    """Decide ``target ∈ ⟦source⟧_Σα`` for a ground target instance."""
+    if not target.is_ground():
+        raise ValueError("recognition is defined for ground target instances")
+    canonical = canonical_solution(mapping, source)
+    if mapping.is_all_open():
+        member = is_owa_solution(mapping, source, target)
+        return RecognitionResult(
+            member=member,
+            valuation=None,
+            method="ptime-all-open",
+            canonical_size=len(canonical.annotated),
+            nulls=len(canonical.nulls()),
+            canonical=canonical,
+        )
+    valuation = rep_a_contains(canonical.annotated, target)
+    return RecognitionResult(
+        member=valuation is not None,
+        valuation=valuation,
+        method="np-guess-valuation",
+        canonical_size=len(canonical.annotated),
+        nulls=len(canonical.nulls()),
+        canonical=canonical,
+    )

@@ -1,0 +1,532 @@
+"""Skolemized STDs (SkSTDs) and their semantics (Section 5).
+
+An annotated SkSTD is an expression ``ψ_τ(u_1, ..., u_k) :– φ_σ(x_1, ..., x_n)``
+where ``φ_σ`` is an FO formula over the source schema and function symbols
+(atomic sub-formulae are relational atoms or equalities ``y = f(z̄)``), ``ψ_τ``
+is a conjunction of target atoms whose terms are source variables or function
+applications, and every target position carries an ``op``/``cl`` annotation.
+
+Given *actual functions* ``F'`` interpreting the function symbols, the
+solution ``Sol_{F'}(S)`` is a ground annotated instance; the semantics of the
+mapping is ``⟦S⟧_Σα = ⋃_{F'} RepA(Sol_{F'}(S))``.
+
+Key results implemented here:
+
+* Proposition 7: for all-open annotations this coincides with the second-order
+  (∃ Skolem functions) semantics of Fagin–Kolaitis–Popa–Tan;
+* Lemma 4: every STD-based annotated mapping is equivalent to an SkSTD-based
+  one with the same annotations (:func:`skolemize`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
+
+from repro.core.canonical import canonical_solution
+from repro.core.mapping import SchemaMapping
+from repro.core.std import STD, TargetAtom, _parse_head_atom, _split_top_level
+from repro.logic.evaluation import evaluate, satisfying_assignments
+from repro.logic.formulas import (
+    Atom,
+    Eq,
+    Formula,
+    free_variables,
+    functions_of,
+    is_positive_existential,
+    relations_of,
+)
+from repro.logic.parser import ParseError, parse_formula
+from repro.logic.terms import Const, FuncTerm, Term, Var
+from repro.relational.annotated import CL, OP, AnnotatedInstance, AnnotatedTuple, Annotation
+from repro.relational.domain import fresh_constant_pool
+from repro.relational.instance import Instance
+from repro.relational.rep import rep_a_contains
+from repro.relational.schema import Schema
+
+
+class SkSTD:
+    """An annotated Skolemized source-to-target dependency."""
+
+    def __init__(self, head: Iterable[TargetAtom], body: Formula, name: str | None = None):
+        self.head: list[TargetAtom] = list(head)
+        self.body = body
+        self.name = name
+        if not self.head:
+            raise ValueError("an SkSTD needs at least one head atom")
+
+    # -- structure --------------------------------------------------------------
+
+    def body_variables(self) -> set[Var]:
+        return free_variables(self.body)
+
+    def head_variables(self) -> set[Var]:
+        out: set[Var] = set()
+        for atom in self.head:
+            out |= atom.variables()
+        return out
+
+    def functions(self) -> set[tuple[str, int]]:
+        """Function symbols used, with their arities."""
+        out: set[tuple[str, int]] = set()
+
+        def collect(term: Term) -> None:
+            if isinstance(term, FuncTerm):
+                out.add((term.function, term.arity))
+                for arg in term.args:
+                    collect(arg)
+
+        for atom in self.head:
+            for term in atom.terms:
+                collect(term)
+        out |= {(name, _function_arity(self.body, name)) for name in functions_of(self.body)}
+        return out
+
+    def is_cq(self) -> bool:
+        """Is the body a positive existential formula (CQ-SkSTD)?"""
+        return is_positive_existential(self.body)
+
+    def is_monotone(self) -> bool:
+        return is_positive_existential(self.body)
+
+    def max_open_per_atom(self) -> int:
+        return max((a.annotation.open_count() for a in self.head), default=0)
+
+    def source_relations(self) -> set[str]:
+        return relations_of(self.body)
+
+    def target_relations(self) -> set[str]:
+        return {a.relation for a in self.head}
+
+    def with_uniform_annotation(self, mark: str) -> "SkSTD":
+        head = [TargetAtom(a.relation, a.terms, Annotation((mark,) * a.arity)) for a in self.head]
+        return SkSTD(head, self.body, name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = ", ".join(map(repr, self.head))
+        return f"{head} :- {self.body!r}"
+
+
+def _function_arity(formula: Formula, name: str) -> int:
+    """Find the arity of a function symbol by scanning the formula's terms."""
+
+    def scan_term(term: Term) -> Optional[int]:
+        if isinstance(term, FuncTerm):
+            if term.function == name:
+                return term.arity
+            for arg in term.args:
+                found = scan_term(arg)
+                if found is not None:
+                    return found
+        return None
+
+    def scan(f: Formula) -> Optional[int]:
+        if isinstance(f, Atom):
+            for t in f.terms:
+                found = scan_term(t)
+                if found is not None:
+                    return found
+            return None
+        if isinstance(f, Eq):
+            return scan_term(f.left) or scan_term(f.right)
+        for attr in ("operand", "left", "right", "body"):
+            child = getattr(f, attr, None)
+            if isinstance(child, Formula):
+                found = scan(child)
+                if found is not None:
+                    return found
+        return None
+
+    return scan(formula) or 0
+
+
+class SkolemMapping:
+    """A schema mapping given by annotated SkSTDs."""
+
+    def __init__(
+        self,
+        source: Schema,
+        target: Schema,
+        skstds: Iterable[SkSTD],
+        name: str = "M_sk",
+    ):
+        self.source = source
+        self.target = target
+        self.skstds: list[SkSTD] = list(skstds)
+        self.name = name
+
+    def functions(self) -> set[tuple[str, int]]:
+        out: set[tuple[str, int]] = set()
+        for skstd in self.skstds:
+            out |= skstd.functions()
+        return out
+
+    def is_cq_mapping(self) -> bool:
+        return all(s.is_cq() for s in self.skstds)
+
+    def is_monotone_mapping(self) -> bool:
+        return all(s.is_monotone() for s in self.skstds)
+
+    def is_all_open(self) -> bool:
+        return all(a.annotation.is_all_open() for s in self.skstds for a in s.head)
+
+    def is_all_closed(self) -> bool:
+        return all(a.annotation.is_all_closed() for s in self.skstds for a in s.head)
+
+    def max_open_per_atom(self) -> int:
+        return max((s.max_open_per_atom() for s in self.skstds), default=0)
+
+    def with_uniform_annotation(self, mark: str, name: str | None = None) -> "SkolemMapping":
+        return SkolemMapping(
+            self.source,
+            self.target,
+            [s.with_uniform_annotation(mark) for s in self.skstds],
+            name=name or f"{self.name}_{mark}",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SkolemMapping({self.name}: {'; '.join(map(repr, self.skstds))})"
+
+
+# ---------------------------------------------------------------------------
+# Lemma 4: STDs → SkSTDs
+# ---------------------------------------------------------------------------
+
+
+def skolemize(mapping: SchemaMapping, name: str | None = None) -> SkolemMapping:
+    """Translate an STD-based mapping into an equivalent SkSTD-based one (Lemma 4).
+
+    Each existential (head-only) variable ``z`` of an STD ``ψ :– φ(x̄, ȳ)`` is
+    replaced by the function term ``f_{(i,z)}(x̄, ȳ)``; annotations and
+    right-hand sides are preserved, so the resulting Skolemized mapping has the
+    same semantics ``(|Σα|)``.
+    """
+    skstds = []
+    for index, std in enumerate(mapping.stds):
+        body_vars = sorted(std.body_variables(), key=lambda v: v.name)
+        replacements: dict[Var, FuncTerm] = {}
+        for z in sorted(std.existential_variables(), key=lambda v: v.name):
+            function_name = f"f_{index}_{z.name}"
+            replacements[z] = FuncTerm(function_name, tuple(body_vars))
+        head = []
+        for atom in std.head:
+            terms = tuple(replacements.get(t, t) if isinstance(t, Var) else t for t in atom.terms)
+            head.append(TargetAtom(atom.relation, terms, atom.annotation))
+        skstds.append(SkSTD(head, std.body, name=std.name))
+    return SkolemMapping(mapping.source, mapping.target, skstds, name=name or f"{mapping.name}_sk")
+
+
+# ---------------------------------------------------------------------------
+# Sol_{F'}(S) and the semantics of SkSTD mappings
+# ---------------------------------------------------------------------------
+
+
+def _evaluation_domain_with_functions(
+    source: Instance, functions: Mapping[str, Callable[..., Any]], arities: Mapping[str, int]
+) -> list[Any]:
+    """Active domain of the source closed (one level) under the actual functions.
+
+    Bodies produced by the composition algorithm contain equalities
+    ``y = f(z̄)`` whose value may lie outside the source's active domain; the
+    evaluation domain therefore includes all function values on argument
+    tuples over the active domain.  One level of closure suffices because the
+    constructions in the paper never nest function applications.
+    """
+    base = sorted(source.active_domain(), key=repr)
+    extended = set(base)
+    for name, arity in arities.items():
+        if name not in functions:
+            continue
+        fn = functions[name]
+        for args in itertools.product(base, repeat=arity):
+            try:
+                extended.add(fn(*args))
+            except KeyError:
+                continue
+    return sorted(extended, key=repr)
+
+
+def _term_value(term: Term, assignment: dict[Var, Any], functions: Mapping[str, Callable[..., Any]]) -> Any:
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Var):
+        return assignment[term]
+    if isinstance(term, FuncTerm):
+        args = tuple(_term_value(a, assignment, functions) for a in term.args)
+        return functions[term.function](*args)
+    raise TypeError(f"unknown term {term!r}")
+
+
+def sol_f(
+    skmapping: SkolemMapping,
+    source: Instance,
+    functions: Mapping[str, Callable[..., Any]],
+) -> AnnotatedInstance:
+    """Compute ``Sol_{F'}(S)`` for actual functions ``F'``.
+
+    For each SkSTD the body is evaluated over the source (with the function
+    symbols interpreted by ``functions``); for each satisfying assignment the
+    head atoms are materialised with terms evaluated under the assignment and
+    the actual functions.  If a body has no satisfying assignment, empty
+    annotated tuples are added, exactly as for the canonical solution.
+    """
+    arities = {name: arity for name, arity in skmapping.functions()}
+    domain = _evaluation_domain_with_functions(source, functions, arities)
+    result = AnnotatedInstance(schema=skmapping.target)
+    for skstd in skmapping.skstds:
+        free_vars = sorted(skstd.body_variables(), key=lambda v: v.name)
+        assignments = list(
+            satisfying_assignments(skstd.body, free_vars, source, domain=domain, functions=dict(functions))
+        )
+        if not assignments:
+            for atom in skstd.head:
+                result.add_empty(atom.relation, atom.annotation)
+            continue
+        for assignment in assignments:
+            for atom in skstd.head:
+                values = tuple(_term_value(t, assignment, functions) for t in atom.terms)
+                result.add(atom.relation, AnnotatedTuple(values, atom.annotation))
+    return result
+
+
+class FunctionTable:
+    """A finite actual function: explicit table with a default value.
+
+    Used by the membership search to represent candidate Skolem functions over
+    the finitely many argument tuples that actually matter.
+    """
+
+    def __init__(self, table: Mapping[tuple, Any], default: Any = None):
+        self.table = dict(table)
+        self.default = default
+
+    def __call__(self, *args: Any) -> Any:
+        if args in self.table:
+            return self.table[args]
+        if self.default is not None:
+            return self.default
+        raise KeyError(args)
+
+
+def _needed_argument_tuples(
+    skmapping: SkolemMapping, source: Instance
+) -> dict[str, set[tuple]]:
+    """Argument tuples on which each Skolem function may be applied.
+
+    For SkSTDs whose bodies are function-free (the output of
+    :func:`skolemize`), function symbols only occur in head terms applied to
+    body variables, so the relevant argument tuples are exactly those arising
+    from satisfying assignments of the body over the source — typically one
+    per chase trigger.  For bodies that themselves mention function symbols
+    (as produced by the composition algorithm), we fall back to all tuples
+    over the source's active domain of the right arity, which keeps the search
+    complete at the price of a larger space.
+    """
+    arities = dict(skmapping.functions())
+    base = sorted(source.active_domain(), key=repr)
+    needed: dict[str, set[tuple]] = {name: set() for name in arities}
+
+    def head_function_terms(skstd: SkSTD) -> Iterator[FuncTerm]:
+        for atom in skstd.head:
+            for term in atom.terms:
+                if isinstance(term, FuncTerm):
+                    yield term
+
+    for skstd in skmapping.skstds:
+        if functions_of(skstd.body):
+            for name in {t.function for t in head_function_terms(skstd)} | functions_of(skstd.body):
+                needed[name] |= set(itertools.product(base, repeat=arities[name]))
+            continue
+        free_vars = sorted(skstd.body_variables(), key=lambda v: v.name)
+        assignments = list(satisfying_assignments(skstd.body, free_vars, source))
+        for term in head_function_terms(skstd):
+            for assignment in assignments:
+                try:
+                    args = tuple(
+                        _term_value(arg, assignment, {}) for arg in term.args
+                    )
+                except (KeyError, TypeError):
+                    needed[term.function] |= set(
+                        itertools.product(base, repeat=arities[term.function])
+                    )
+                    break
+                needed[term.function].add(args)
+    return needed
+
+
+def _constrained_slot_assignments(
+    skmapping: SkolemMapping, source: Instance, target: Instance
+) -> Optional[Iterator[dict[tuple[str, tuple], Any]]]:
+    """Enumerate Skolem-value assignments forced by the mandatory tuples.
+
+    For SkSTDs with *function-free* bodies, every satisfying assignment of the
+    body produces a mandatory head tuple which must occur in ``target``
+    (because ``rel(Sol_{F'}(S)) ⊆ T`` for any witness ``F'``).  Matching those
+    head tuples against the target tuples constrains the values of the
+    function applications occurring in them; this generator enumerates the
+    consistent combinations by backtracking.  Returns ``None`` when some
+    SkSTD's body mentions function symbols (the caller then falls back to the
+    brute-force search).
+    """
+    constraints: list[tuple[SkSTD, dict[Var, Any]]] = []
+    for skstd in skmapping.skstds:
+        if functions_of(skstd.body):
+            return None
+        free_vars = sorted(skstd.body_variables(), key=lambda v: v.name)
+        for assignment in satisfying_assignments(skstd.body, free_vars, source):
+            constraints.append((skstd, assignment))
+
+    def head_requirements(
+        skstd: SkSTD, assignment: dict[Var, Any]
+    ) -> list[tuple[str, list]]:
+        """Per head atom: relation name and a per-position pattern.
+
+        A pattern entry is either a ground value or a ``('slot', name, args)``
+        triple for a function application whose value is to be determined.
+        """
+        out = []
+        for atom in skstd.head:
+            pattern: list = []
+            for term in atom.terms:
+                if isinstance(term, FuncTerm):
+                    args = tuple(_term_value(a, assignment, {}) for a in term.args)
+                    pattern.append(("slot", term.function, args))
+                else:
+                    pattern.append(_term_value(term, assignment, {}))
+            out.append((atom.relation, pattern))
+        return out
+
+    requirements: list[tuple[str, list]] = []
+    for skstd, assignment in constraints:
+        requirements.extend(head_requirements(skstd, assignment))
+
+    def search(index: int, slots: dict[tuple[str, tuple], Any]) -> Iterator[dict]:
+        if index == len(requirements):
+            yield dict(slots)
+            return
+        relation, pattern = requirements[index]
+        for candidate in target.relation(relation):
+            if len(candidate) != len(pattern):
+                continue
+            new = dict(slots)
+            ok = True
+            for expected, actual in zip(pattern, candidate):
+                if isinstance(expected, tuple) and len(expected) == 3 and expected[0] == "slot":
+                    key = (expected[1], expected[2])
+                    if key in new:
+                        if new[key] != actual:
+                            ok = False
+                            break
+                    else:
+                        new[key] = actual
+                elif expected != actual:
+                    ok = False
+                    break
+            if ok:
+                yield from search(index + 1, new)
+
+    return search(0, {})
+
+
+def sk_in_semantics(
+    skmapping: SkolemMapping,
+    source: Instance,
+    target: Instance,
+    extra_constants: int = 1,
+) -> Optional[dict[str, FunctionTable]]:
+    """Is ``target ∈ ⟦source⟧`` for the SkSTD mapping?  Return witnessing functions.
+
+    Two strategies are combined:
+
+    * when every SkSTD body is function-free (mappings produced by
+      :func:`skolemize`), the mandatory head tuples constrain the Skolem
+      values directly and a backtracking match against the target enumerates
+      the consistent choices;
+    * otherwise (e.g. mappings produced by the composition algorithm, whose
+      bodies mention function symbols) the search enumerates actual functions
+      with outputs in the target/source active domains plus
+      ``extra_constants`` fresh constants.
+
+    Either way every candidate is verified with the ``RepA`` membership check,
+    so a returned witness is a genuine certificate.  The search is exponential
+    in the number of relevant function applications — intended for the small
+    instances used in tests and benchmarks.
+    """
+
+    def verify(functions: dict[str, FunctionTable]) -> bool:
+        solution = sol_f(skmapping, source, functions)
+        return rep_a_contains(solution, target) is not None
+
+    all_function_names = {name for name, _ in skmapping.functions()}
+    fallback_value = next(iter(sorted(target.active_domain() | source.active_domain(), key=repr)), "#c0")
+
+    constrained = _constrained_slot_assignments(skmapping, source, target)
+    if constrained is not None:
+        for slots in constrained:
+            tables: dict[str, dict[tuple, Any]] = {name: {} for name in all_function_names}
+            for (name, args), value in slots.items():
+                tables.setdefault(name, {})[args] = value
+            functions = {
+                name: FunctionTable(table, default=fallback_value)
+                for name, table in tables.items()
+            }
+            if verify(functions):
+                return functions
+        return None
+
+    needed = _needed_argument_tuples(skmapping, source)
+    candidate_values = sorted(
+        set(target.active_domain()) | set(source.active_domain()), key=repr
+    )
+    candidate_values += fresh_constant_pool(extra_constants, avoid=candidate_values)
+    application_slots: list[tuple[str, tuple]] = []
+    for name in sorted(needed):
+        for args in sorted(needed[name], key=repr):
+            application_slots.append((name, args))
+    if len(candidate_values) == 0:
+        candidate_values = ["#c0"]
+
+    for combo in itertools.product(candidate_values, repeat=len(application_slots)):
+        tables = {name: {} for name in needed}
+        for (name, args), value in zip(application_slots, combo):
+            tables[name][args] = value
+        functions = {
+            name: FunctionTable(table, default=candidate_values[0])
+            for name, table in tables.items()
+        }
+        if verify(functions):
+            return functions
+    if not application_slots:
+        functions = {name: FunctionTable({}, default=candidate_values[0]) for name in needed}
+        if verify(functions):
+            return functions
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Parsing SkSTD rules
+# ---------------------------------------------------------------------------
+
+
+def parse_skstd(rule: str, default_annotation: str = OP, name: str | None = None) -> SkSTD:
+    """Parse an annotated SkSTD such as::
+
+        T(f(em)^cl, em^cl, g(em, proj)^op) :- S(em, proj)
+
+    Function applications are allowed in head terms and (via equalities) in
+    the body; annotation markers follow the same ``^op``/``^cl`` convention as
+    plain STDs.
+    """
+    if ":-" not in rule:
+        raise ParseError("an SkSTD rule must contain ':-'")
+    head_text, body_text = rule.split(":-", 1)
+    head_atoms = []
+    for atom_text in _split_top_level(head_text.strip()):
+        if atom_text:
+            head_atoms.append(_parse_head_atom(atom_text, default_annotation))
+    if not head_atoms:
+        raise ParseError("an SkSTD rule needs at least one head atom")
+    body = parse_formula(body_text.strip())
+    return SkSTD(head_atoms, body, name=name)

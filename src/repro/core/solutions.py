@@ -1,0 +1,402 @@
+"""Solutions under OWA, CWA, and annotated (mixed) semantics.
+
+This module implements, for a mapping ``(σ, τ, Σα)`` and a ground source
+``S``:
+
+* OWA-solutions (any target ``T`` with ``(S, T) |= Σ``), as in [11];
+* CWA-presolutions and CWA-solutions of [21], via the characterisation used in
+  the paper: homomorphic images of ``CSol(S)`` that map homomorphically back
+  into ``CSol(S)``;
+* annotated facts and satisfaction ``|=_cl`` restricted to closed positions;
+* Σα-solutions via Proposition 1 (homomorphic image of ``CSolA(S)`` that maps
+  back into an *expansion* of ``CSolA(S)``), together with the fact-based
+  definition so the two can be cross-checked in tests;
+* the semantics ``⟦S⟧_Σα`` of Theorem 1 (delegating membership to ``RepA`` of
+  the annotated canonical solution).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.core.canonical import CanonicalSolution, canonical_solution
+from repro.core.mapping import SchemaMapping
+from repro.core.std import STD
+from repro.logic.evaluation import evaluate, evaluation_domain
+from repro.logic.formulas import conjunction
+from repro.logic.terms import Const, Var
+from repro.relational.annotated import (
+    CL,
+    OP,
+    AnnotatedInstance,
+    AnnotatedTuple,
+    Annotation,
+)
+from repro.relational.domain import Null, is_null
+from repro.relational.homomorphism import (
+    apply_null_mapping_annotated,
+    find_annotated_homomorphism,
+    find_homomorphism,
+    find_onto_homomorphism,
+)
+from repro.relational.instance import Instance
+from repro.relational.rep import rep_a_contains
+from repro.relational.valuation import Valuation
+
+
+# ---------------------------------------------------------------------------
+# OWA-solutions
+# ---------------------------------------------------------------------------
+
+
+def is_owa_solution(mapping: SchemaMapping, source: Instance, target: Instance) -> bool:
+    """Is ``target`` an OWA-solution for ``source``, i.e. does ``(S, T) |= Σ`` hold?
+
+    For every STD ``ψ(x̄, z̄) :– φ(x̄, ȳ)`` and every assignment making the
+    body true in the source, there must exist an assignment of the existential
+    variables making every head atom true in the target.  Annotations play no
+    role here (they only affect which ground instances a solution represents).
+    """
+    target_domain = sorted(target.active_domain(), key=repr) or ["#empty"]
+    for std in mapping.stds:
+        existential = sorted(std.existential_variables(), key=lambda v: v.name)
+        for assignment in std.body_assignments(source):
+            if not _head_satisfiable(std, assignment, existential, target, target_domain):
+                return False
+    return True
+
+
+def _head_satisfiable(
+    std: STD,
+    assignment: dict[Var, Any],
+    existential: list[Var],
+    target: Instance,
+    domain: list[Any],
+) -> bool:
+    def atom_holds(full_assignment: dict[Var, Any]) -> bool:
+        for atom in std.head:
+            values = []
+            for term in atom.terms:
+                if isinstance(term, Const):
+                    values.append(term.value)
+                else:
+                    values.append(full_assignment[term])
+            if tuple(values) not in target.relation(atom.relation):
+                return False
+        return True
+
+    if not existential:
+        return atom_holds(assignment)
+    for combo in itertools.product(domain, repeat=len(existential)):
+        full = dict(assignment)
+        full.update(zip(existential, combo))
+        if atom_holds(full):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# CWA-solutions ([21])
+# ---------------------------------------------------------------------------
+
+
+def is_cwa_presolution(
+    mapping: SchemaMapping, source: Instance, target: Instance
+) -> Optional[dict[Null, Null]]:
+    """Is ``target`` a CWA-presolution: a homomorphic image of ``CSol(S)``?
+
+    Returns the witnessing onto homomorphism (nulls of the canonical solution
+    onto the nulls of ``target``) or ``None``.
+    """
+    canonical = canonical_solution(mapping, source)
+    source_annotated = AnnotatedInstance.from_instance(canonical.instance, CL)
+    target_annotated = AnnotatedInstance.from_instance(target, CL)
+    return find_onto_homomorphism(source_annotated, target_annotated)
+
+
+def is_cwa_solution(
+    mapping: SchemaMapping, source: Instance, target: Instance
+) -> bool:
+    """Is ``target`` a CWA-solution for ``source`` under ``Σ`` (ignoring annotations)?
+
+    Uses the characterisation recalled in Section 2: CWA-solutions are exactly
+    the homomorphic images of ``CSol(S)`` that admit a homomorphism back into
+    ``CSol(S)``.
+    """
+    canonical = canonical_solution(mapping, source)
+    onto = is_cwa_presolution(mapping, source, target)
+    if onto is None:
+        return False
+    back = find_homomorphism(target, canonical.instance, nulls_to_nulls=True)
+    return back is not None
+
+
+def enumerate_cwa_solutions(
+    mapping: SchemaMapping, source: Instance
+) -> Iterator[Instance]:
+    """Enumerate all CWA-solutions for ``source`` (small instances only).
+
+    CWA-solutions are images of ``CSol(S)`` under identifications of its
+    nulls; the enumeration ranges over all partitions of the nulls (surjective
+    renamings) and keeps those whose image maps back into ``CSol(S)``.
+    """
+    canonical = canonical_solution(mapping, source)
+    nulls = sorted(canonical.nulls(), key=lambda n: n.ident)
+    csol = canonical.instance
+    seen: set[frozenset] = set()
+    if not nulls:
+        yield csol
+        return
+    for partition in _partitions(nulls):
+        representative = {n: block[0] for block in partition for n in block}
+        image = csol.map_values(lambda v: representative.get(v, v) if is_null(v) else v)
+        if find_homomorphism(image, csol, nulls_to_nulls=True) is None:
+            continue
+        key = image.freeze()
+        if key not in seen:
+            seen.add(key)
+            yield image
+
+
+def _partitions(items: list) -> Iterator[list[list]]:
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _partitions(rest):
+        for i, block in enumerate(partition):
+            yield partition[:i] + [[first] + block] + partition[i + 1 :]
+        yield [[first]] + partition
+
+
+# ---------------------------------------------------------------------------
+# Annotated facts and |=_cl (Section 3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fact:
+    """An annotated fact ``(f(ā), α)`` with ``f(ā) = ∃z̄ γ(ā, z̄)``.
+
+    ``atoms`` is the list of atoms of ``γ`` with values drawn from constants
+    and *fact variables* (plain strings standing for the existential ``z̄``);
+    ``annotations`` gives the per-atom annotation ``α``.
+    """
+
+    atoms: tuple[tuple[str, tuple], ...]
+    annotations: tuple[Annotation, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.atoms) != len(self.annotations):
+            raise ValueError("each atom of a fact needs an annotation")
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        for _, values in self.atoms:
+            out.update(v for v in values if isinstance(v, _FactVar))
+        return out
+
+
+class _FactVar(str):
+    """A fact-level existential variable (distinct from constants and nulls)."""
+
+
+def fact_var(name: str) -> _FactVar:
+    """Create an existential variable for use inside a :class:`Fact`."""
+    return _FactVar(name)
+
+
+def satisfies_cl(instance: AnnotatedInstance, fact: Fact) -> bool:
+    """Does ``instance |=_cl fact`` hold?
+
+    Satisfaction restricted to closed positions: there must exist an
+    assignment of the fact's existential variables to nulls of the instance
+    such that each instantiated atom coincides with some annotated tuple of
+    the instance on the positions that tuple annotates as closed.
+    """
+    variables = sorted(fact.variables())
+    candidates = sorted(instance.nulls(), key=lambda n: n.ident)
+    if variables and not candidates:
+        candidates = [None]
+
+    def atom_ok(relation: str, values: tuple, assignment: dict[str, Any]) -> bool:
+        instantiated = tuple(
+            assignment[v] if isinstance(v, _FactVar) else v for v in values
+        )
+        for candidate in instance.relation(relation):
+            if candidate.is_empty:
+                if candidate.annotation.is_all_open():
+                    return True
+                continue
+            if len(candidate.values) != len(instantiated):
+                continue
+            if all(
+                instantiated[i] == candidate.values[i]
+                for i in candidate.annotation.closed_positions()
+            ):
+                return True
+        return False
+
+    for combo in itertools.product(candidates, repeat=len(variables)):
+        if variables and None in combo:
+            continue
+        assignment = dict(zip(variables, combo))
+        if all(atom_ok(rel, values, assignment) for rel, values in fact.atoms):
+            return True
+    return not variables and all(
+        atom_ok(rel, values, {}) for rel, values in fact.atoms
+    )
+
+
+def diagram_fact(instance: AnnotatedInstance) -> Fact:
+    """The positive-diagram fact of an annotated instance (as in Proposition 1).
+
+    Nulls of the instance become existential fact variables; constants stay.
+    """
+    atoms: list[tuple[str, tuple]] = []
+    annotations: list[Annotation] = []
+    for name, at in sorted(instance.annotated_facts(), key=lambda f: (f[0], repr(f[1]))):
+        if at.is_empty:
+            continue
+        values = tuple(
+            fact_var(f"z{v.ident}") if is_null(v) else v for v in at.values
+        )
+        atoms.append((name, values))
+        annotations.append(at.annotation)
+    return Fact(tuple(atoms), tuple(annotations))
+
+
+# ---------------------------------------------------------------------------
+# Σα-solutions (Proposition 1)
+# ---------------------------------------------------------------------------
+
+
+def expansion_homomorphism(
+    instance: AnnotatedInstance, canonical: AnnotatedInstance
+) -> Optional[dict[Null, Null]]:
+    """Find a homomorphism from ``instance`` into an *expansion* of ``canonical``.
+
+    An expansion of ``C`` may add tuples coinciding with some tuple of ``C``
+    on that tuple's closed positions.  Hence a null mapping ``g`` works iff for
+    every annotated tuple ``(t, α)`` of ``instance`` there is a *licensing*
+    tuple ``(t₀, α₀)`` of ``canonical`` in the same relation such that ``g(t)``
+    agrees with ``t₀`` on all positions closed in ``α₀`` (constants must match
+    outright; nulls of ``t`` must be mapped to the corresponding value of
+    ``t₀``, which is required to be a null since homomorphisms map nulls to
+    nulls).  Empty tuples of ``instance`` must occur in ``canonical``.
+    """
+    facts = sorted(
+        instance.annotated_facts(), key=lambda f: (f[0], f[1].is_empty, repr(f[1]))
+    )
+
+    def license_options(name: str, at: AnnotatedTuple, mapping: dict[Null, Null]) -> Iterator[dict[Null, Null]]:
+        for candidate in canonical.relation(name):
+            if at.is_empty:
+                if candidate.is_empty and candidate.annotation == at.annotation:
+                    yield mapping
+                continue
+            if candidate.is_empty or len(candidate.values) != len(at.values):
+                continue
+            new = dict(mapping)
+            ok = True
+            for position in candidate.annotation.closed_positions():
+                mine = at.values[position]
+                theirs = candidate.values[position]
+                if is_null(mine):
+                    if not is_null(theirs):
+                        ok = False
+                        break
+                    if mine in new and new[mine] != theirs:
+                        ok = False
+                        break
+                    new[mine] = theirs
+                else:
+                    if mine != theirs:
+                        ok = False
+                        break
+            if ok:
+                yield new
+
+    def search(index: int, mapping: dict[Null, Null]) -> Optional[dict[Null, Null]]:
+        if index == len(facts):
+            return mapping
+        name, at = facts[index]
+        for extended in license_options(name, at, mapping):
+            result = search(index + 1, extended)
+            if result is not None:
+                return result
+        return None
+
+    return search(0, {})
+
+
+def is_annotated_solution(
+    mapping: SchemaMapping, source: Instance, target: AnnotatedInstance
+) -> bool:
+    """Is ``target`` a Σα-solution for ``source`` (Proposition 1 characterisation)?
+
+    ``target`` must be (i) a homomorphic image of ``CSolA(S)`` — a presolution —
+    and (ii) admit a homomorphism into an expansion of ``CSolA(S)``.
+    """
+    canonical = canonical_solution(mapping, source).annotated
+    onto = find_onto_homomorphism(canonical, target)
+    if onto is None:
+        return False
+    return expansion_homomorphism(target, canonical) is not None
+
+
+def is_annotated_presolution(
+    mapping: SchemaMapping, source: Instance, target: AnnotatedInstance
+) -> bool:
+    """Is ``target`` a presolution, i.e. a homomorphic image of ``CSolA(S)``?"""
+    canonical = canonical_solution(mapping, source).annotated
+    return find_onto_homomorphism(canonical, target) is not None
+
+
+def is_annotated_solution_by_facts(
+    mapping: SchemaMapping, source: Instance, target: AnnotatedInstance
+) -> bool:
+    """The fact-based definition of Σα-solutions (used to cross-check Prop. 1).
+
+    A presolution ``T`` is a Σα-solution iff every annotated fact true in ``T``
+    under ``|=_cl`` is true in ``CSolA(S)`` under ``|=_cl``; as in the proof of
+    Proposition 1 it suffices to check the positive-diagram fact of ``T``.
+    """
+    canonical = canonical_solution(mapping, source).annotated
+    if find_onto_homomorphism(canonical, target) is None:
+        return False
+    fact = diagram_fact(target)
+    return satisfies_cl(canonical, fact)
+
+
+# ---------------------------------------------------------------------------
+# The semantics ⟦S⟧_Σα (Theorem 1)
+# ---------------------------------------------------------------------------
+
+
+def in_semantics(
+    mapping: SchemaMapping, source: Instance, ground: Instance
+) -> Optional[Valuation]:
+    """Is the ground instance in ``⟦S⟧_Σα``?
+
+    By Theorem 1 (item 4), ``⟦S⟧_Σα = RepA(CSolA(S))``, so membership reduces
+    to the ``RepA`` check of the annotated canonical solution.  Returns the
+    witnessing valuation or ``None``.
+    """
+    canonical = canonical_solution(mapping, source).annotated
+    return rep_a_contains(canonical, ground)
+
+
+def enumerate_semantics(
+    mapping: SchemaMapping,
+    source: Instance,
+    extra_constants: int = 1,
+    max_extra_tuples: int = 2,
+) -> Iterator[Instance]:
+    """Enumerate a bounded fragment of ``⟦S⟧_Σα`` (ground instances)."""
+    from repro.relational.rep import enumerate_rep_a
+
+    canonical = canonical_solution(mapping, source).annotated
+    yield from enumerate_rep_a(canonical, extra_constants, max_extra_tuples)

@@ -1,0 +1,292 @@
+"""Source-to-target dependencies (STDs) and their annotated variants.
+
+An STD is a rule ``ψ_τ(x̄, z̄) :– φ_σ(x̄, ȳ)`` where ``φ_σ`` is a first-order
+formula over the source schema and ``ψ_τ`` is a conjunction of target atoms.
+An *annotated* STD additionally marks every position of every target atom as
+open (``op``) or closed (``cl``).
+
+The concrete rule syntax accepted by :func:`parse_std` follows the paper::
+
+    Submissions(x^cl, z^op) :- Papers(x, y)
+    Reviews(x^cl, z^op)     :- Papers(x, y) & ~ exists r. Assignments(x, r)
+
+Variables without an explicit annotation receive the ``default_annotation``
+(open by default, matching the classical OWA reading of un-annotated STDs).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.logic.cq import match_atoms
+from repro.logic.evaluation import satisfying_assignments
+from repro.logic.formulas import (
+    Atom,
+    Eq,
+    Exists,
+    Formula,
+    And,
+    free_variables,
+    is_conjunction_of_atoms,
+    is_positive_existential,
+    relations_of,
+)
+from repro.logic.parser import ParseError, parse_formula, parse_term
+from repro.logic.terms import Const, FuncTerm, Term, Var
+from repro.relational.annotated import CL, OP, Annotation
+from repro.relational.instance import Instance
+
+
+@dataclass(frozen=True)
+class TargetAtom:
+    """An annotated atom of the target side of an STD.
+
+    ``terms`` may contain variables and constants (function terms are used
+    only by Skolemized STDs, see :mod:`repro.core.skolem`); ``annotation``
+    assigns ``op``/``cl`` to each position.
+    """
+
+    relation: str
+    terms: tuple[Term, ...]
+    annotation: Annotation
+
+    def __post_init__(self) -> None:
+        if len(self.terms) != len(self.annotation):
+            raise ValueError(
+                f"atom {self.relation}: {len(self.terms)} terms but annotation of "
+                f"arity {len(self.annotation)}"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> set[Var]:
+        out: set[Var] = set()
+        for term in self.terms:
+            out |= term.variables()
+        return out
+
+    def with_annotation(self, annotation: Annotation) -> "TargetAtom":
+        return TargetAtom(self.relation, self.terms, annotation)
+
+    def to_atom(self) -> Atom:
+        return Atom(self.relation, self.terms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{t!r}^{m}" for t, m in zip(self.terms, self.annotation)]
+        return f"{self.relation}({', '.join(parts)})"
+
+
+class STD:
+    """An annotated source-to-target dependency ``ψ(x̄, z̄) :– φ(x̄, ȳ)``."""
+
+    def __init__(self, head: Iterable[TargetAtom], body: Formula, name: str | None = None):
+        self.head: list[TargetAtom] = list(head)
+        self.body = body
+        self.name = name
+        if not self.head:
+            raise ValueError("an STD needs at least one head atom")
+
+    # -- variable bookkeeping ------------------------------------------------
+
+    def body_variables(self) -> set[Var]:
+        """Free variables of the body (the paper's ``x̄ ∪ ȳ``)."""
+        return free_variables(self.body)
+
+    def head_variables(self) -> set[Var]:
+        out: set[Var] = set()
+        for atom in self.head:
+            out |= atom.variables()
+        return out
+
+    def exported_variables(self) -> set[Var]:
+        """Variables shared between head and body (the paper's ``x̄``)."""
+        return self.head_variables() & self.body_variables()
+
+    def existential_variables(self) -> set[Var]:
+        """Head-only variables (the paper's ``z̄``), instantiated with nulls."""
+        return self.head_variables() - self.body_variables()
+
+    # -- classification --------------------------------------------------------
+
+    def is_cq(self) -> bool:
+        """Is the body a conjunctive query (conjunction of atoms, possibly ∃)?"""
+        body = self.body
+        while isinstance(body, Exists):
+            body = body.body
+        return is_conjunction_of_atoms(body) or _is_conjunction_of_atoms_and_equalities(body)
+
+    def is_monotone(self) -> bool:
+        """Is the body (syntactically) monotone, i.e. positive existential?"""
+        return is_positive_existential(self.body)
+
+    def is_full(self) -> bool:
+        """A *full* STD has no existential (head-only) variables."""
+        return not self.existential_variables()
+
+    def is_copying(self) -> bool:
+        """Is this a copying STD ``R'(x̄) :– R(x̄)``?"""
+        if len(self.head) != 1 or not isinstance(self.body, Atom):
+            return False
+        head = self.head[0]
+        if not all(isinstance(t, Var) for t in head.terms):
+            return False
+        return tuple(head.terms) == tuple(self.body.terms)
+
+    def max_open_per_atom(self) -> int:
+        return max((atom.annotation.open_count() for atom in self.head), default=0)
+
+    def max_closed_per_atom(self) -> int:
+        return max((atom.annotation.closed_count() for atom in self.head), default=0)
+
+    def source_relations(self) -> set[str]:
+        return relations_of(self.body)
+
+    def target_relations(self) -> set[str]:
+        return {atom.relation for atom in self.head}
+
+    # -- annotation manipulation ------------------------------------------------
+
+    def with_uniform_annotation(self, mark: str) -> "STD":
+        """Return a copy of the STD with every position annotated ``mark``."""
+        head = [
+            TargetAtom(a.relation, a.terms, Annotation((mark,) * a.arity)) for a in self.head
+        ]
+        return STD(head, self.body, name=self.name)
+
+    def annotations(self) -> list[Annotation]:
+        return [atom.annotation for atom in self.head]
+
+    # -- evaluation over a source instance ----------------------------------------
+
+    def body_assignments(self, source: Instance) -> Iterator[dict[Var, Any]]:
+        """Assignments of the body's free variables satisfying it over ``source``.
+
+        Conjunctive (and positive existential conjunctions of atoms) bodies are
+        matched by backtracking joins; arbitrary FO bodies fall back to
+        active-domain evaluation.
+        """
+        body = self.body
+        quantified: list[Var] = []
+        while isinstance(body, Exists):
+            quantified.extend(body.variables)
+            body = body.body
+        free_vars = sorted(self.body_variables(), key=lambda v: v.name)
+        if _is_conjunction_of_atoms_and_equalities(body):
+            atoms, equalities = _split_atoms_equalities(body)
+            seen: set[tuple] = set()
+            for assignment in match_atoms(atoms, source, equalities=equalities):
+                projected = {v: assignment[v] for v in free_vars if v in assignment}
+                key = tuple(projected[v] for v in free_vars if v in projected)
+                if key not in seen:
+                    seen.add(key)
+                    yield projected
+            return
+        yield from satisfying_assignments(self.body, free_vars, source)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = ", ".join(map(repr, self.head))
+        return f"{head} :- {self.body!r}"
+
+
+def _is_conjunction_of_atoms_and_equalities(formula: Formula) -> bool:
+    if isinstance(formula, (Atom, Eq)):
+        return True
+    if isinstance(formula, And):
+        return _is_conjunction_of_atoms_and_equalities(formula.left) and _is_conjunction_of_atoms_and_equalities(
+            formula.right
+        )
+    return False
+
+
+def _split_atoms_equalities(formula: Formula) -> tuple[list[Atom], list[Eq]]:
+    if isinstance(formula, Atom):
+        return [formula], []
+    if isinstance(formula, Eq):
+        return [], [formula]
+    if isinstance(formula, And):
+        left_atoms, left_eqs = _split_atoms_equalities(formula.left)
+        right_atoms, right_eqs = _split_atoms_equalities(formula.right)
+        return left_atoms + right_atoms, left_eqs + right_eqs
+    raise ValueError(f"{formula!r} is not a conjunction of atoms and equalities")
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_HEAD_ATOM_REGEX = re.compile(r"([A-Za-z_][A-Za-z_0-9]*)\s*\(([^()]*(?:\([^()]*\)[^()]*)*)\)")
+_ANNOTATION_SUFFIX = re.compile(r"\^\s*(op|cl)\s*$")
+
+
+def _split_top_level(text: str, separator: str = ",") -> list[str]:
+    """Split on a separator at parenthesis depth zero."""
+    parts: list[str] = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == separator and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    final = "".join(current).strip()
+    if final:
+        parts.append(final)
+    return parts
+
+
+def _parse_head_atom(text: str, default_annotation: str) -> TargetAtom:
+    match = _HEAD_ATOM_REGEX.fullmatch(text.strip())
+    if match is None:
+        raise ParseError(f"cannot parse head atom {text!r}")
+    relation = match.group(1)
+    args_text = match.group(2).strip()
+    terms: list[Term] = []
+    marks: list[str] = []
+    if args_text:
+        for raw in _split_top_level(args_text):
+            mark_match = _ANNOTATION_SUFFIX.search(raw)
+            if mark_match:
+                mark = mark_match.group(1)
+                raw = raw[: mark_match.start()].strip()
+            else:
+                mark = default_annotation
+            terms.append(parse_term(raw))
+            marks.append(mark)
+    return TargetAtom(relation, tuple(terms), Annotation(marks))
+
+
+def parse_std(rule: str, default_annotation: str = OP, name: str | None = None) -> STD:
+    """Parse an annotated STD from its rule syntax.
+
+    Example::
+
+        parse_std("Reviews(x^cl, z^op) :- Papers(x, y) & ~ exists r. Assignments(x, r)")
+
+    Positions without an explicit ``^op``/``^cl`` marker get
+    ``default_annotation`` (open by default).
+    """
+    if ":-" not in rule:
+        raise ParseError("an STD rule must contain ':-'")
+    head_text, body_text = rule.split(":-", 1)
+    head_atoms = []
+    for atom_text in _split_top_level(head_text.strip()):
+        if atom_text:
+            head_atoms.append(_parse_head_atom(atom_text, default_annotation))
+    if not head_atoms:
+        raise ParseError("an STD rule needs at least one head atom")
+    body = parse_formula(body_text.strip())
+    return STD(head_atoms, body, name=name)
+
+
+def parse_stds(rules: Iterable[str], default_annotation: str = OP) -> list[STD]:
+    """Parse a list of STD rules (see :func:`parse_std`)."""
+    return [parse_std(rule, default_annotation=default_annotation) for rule in rules]

@@ -1,0 +1,147 @@
+"""Data exchange with target constraints (the paper's Section 6 outlook).
+
+The concluding section of the paper points to the extension of annotated
+mappings with target dependencies, "as was done in [16]" (Hernich–Schweikardt)
+and in the weakly-acyclic setting of [11] (Fagin–Kolaitis–Miller–Popa).  This
+module provides that extension on top of the existing machinery:
+
+* an :class:`ExchangeSetting` bundles an annotated schema mapping with a set
+  of target tgds/egds;
+* :func:`exchange` chases the source into the annotated canonical solution and
+  then chases the *target* dependencies over its relational part, producing a
+  canonical universal solution (or failing, when an egd equates distinct
+  constants);
+* the core of the result is available through :func:`core_solution`
+  (Fagin–Kolaitis–Popa, "getting to the core").
+
+Annotations are preserved through the target chase: tuples created by target
+tgds inherit the all-open annotation on positions holding fresh nulls and the
+closed annotation elsewhere, the conservative reading compatible with both
+[11] and [16]; users needing different conventions can re-annotate the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.chase.dependencies import EGD, TGD
+from repro.chase.engine import ChaseFailure, ChaseResult, chase
+from repro.chase.weak_acyclicity import is_weakly_acyclic
+from repro.core.canonical import CanonicalSolution, canonical_solution
+from repro.core.mapping import SchemaMapping
+from repro.relational.annotated import CL, OP, AnnotatedInstance, AnnotatedTuple, Annotation
+from repro.relational.domain import is_null
+from repro.relational.homomorphism import core_of
+from repro.relational.instance import Instance
+
+
+@dataclass
+class ExchangeSetting:
+    """A data-exchange setting ``(σ, τ, Σα, Σ_t)`` with target dependencies."""
+
+    mapping: SchemaMapping
+    target_dependencies: Sequence[TGD | EGD] = field(default_factory=tuple)
+
+    def tgds(self) -> list[TGD]:
+        return [d for d in self.target_dependencies if isinstance(d, TGD)]
+
+    def egds(self) -> list[EGD]:
+        return [d for d in self.target_dependencies if isinstance(d, EGD)]
+
+    def is_weakly_acyclic(self) -> bool:
+        """Does the tgd part guarantee chase termination (weak acyclicity)?"""
+        return is_weakly_acyclic(self.tgds())
+
+
+@dataclass
+class ExchangeResult:
+    """Outcome of a data exchange with target constraints."""
+
+    setting: ExchangeSetting
+    canonical: CanonicalSolution
+    chase_result: ChaseResult
+    annotated: AnnotatedInstance
+
+    @property
+    def instance(self) -> Instance:
+        """The chased (universal) solution as a plain instance with nulls."""
+        return self.chase_result.instance
+
+    @property
+    def terminated(self) -> bool:
+        return self.chase_result.terminated
+
+
+class ExchangeError(Exception):
+    """Raised when the data exchange has no solution (an egd fails)."""
+
+
+def _reannotate_chased(
+    before: AnnotatedInstance, after: Instance
+) -> AnnotatedInstance:
+    """Carry annotations from the pre-chase solution onto the chased instance.
+
+    Tuples already present keep their annotation (annotations refer to
+    positions, so egd-driven renamings of nulls keep them valid); tuples added
+    by target tgds are annotated open on null positions and closed on constant
+    positions.
+    """
+    known: dict[tuple[str, tuple], Annotation] = {}
+    for name, annotated_tuple in before.annotated_facts():
+        if not annotated_tuple.is_empty:
+            known[(name, annotated_tuple.values)] = annotated_tuple.annotation
+    out = AnnotatedInstance(schema=before.schema)
+    for name, values in after.facts():
+        annotation = known.get((name, values))
+        if annotation is None:
+            annotation = Annotation(
+                tuple(OP if is_null(v) else CL for v in values)
+            )
+        out.add(name, AnnotatedTuple(values, annotation))
+    # Keep the empty annotated tuples of the pre-chase solution (they only
+    # matter for all-open annotations and are unaffected by the target chase).
+    for name, annotated_tuple in before.annotated_facts():
+        if annotated_tuple.is_empty:
+            out.add(name, annotated_tuple)
+    return out
+
+
+def exchange(
+    setting: ExchangeSetting,
+    source: Instance,
+    max_steps: int = 10_000,
+    require_weak_acyclicity: bool = True,
+) -> ExchangeResult:
+    """Run the data exchange: source-to-target chase, then target chase.
+
+    Raises :class:`ExchangeError` when an egd fails (no solution exists) and
+    ``ValueError`` when ``require_weak_acyclicity`` is set but the tgds are
+    not weakly acyclic (termination would not be guaranteed).
+    """
+    if require_weak_acyclicity and not setting.is_weakly_acyclic():
+        raise ValueError(
+            "the target tgds are not weakly acyclic; pass "
+            "require_weak_acyclicity=False to chase with a step budget anyway"
+        )
+    canonical = canonical_solution(setting.mapping, source)
+    try:
+        chased = chase(canonical.instance, setting.target_dependencies, max_steps=max_steps)
+    except ChaseFailure as failure:
+        raise ExchangeError(str(failure)) from failure
+    # Null renamings applied by egd steps must also be applied to the
+    # annotated view before re-annotating.
+    renamed = canonical.annotated
+    for step in chased.steps:
+        if step.kind == "egd" and step.equated is not None:
+            source_null, target_value = step.equated
+            renamed = renamed.map_values(
+                lambda v, s=source_null, t=target_value: t if v == s else v
+            )
+    annotated = _reannotate_chased(renamed, chased.instance)
+    return ExchangeResult(setting, canonical, chased, annotated)
+
+
+def core_solution(result: ExchangeResult) -> Instance:
+    """The core of the chased solution (the smallest universal solution)."""
+    return core_of(result.instance)

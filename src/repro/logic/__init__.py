@@ -1,0 +1,70 @@
+"""First-order logic substrate.
+
+Provides terms (variables, constants, Skolem function terms), first-order
+formulas with their standard syntactic measures (free variables, quantifier
+rank, positivity), active-domain evaluation over finite instances, conjunctive
+queries and their unions, and a small parser for the rule and formula syntax
+used throughout examples and tests.
+"""
+
+from repro.logic.terms import Const, FuncTerm, Term, Var
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Eq,
+    Exists,
+    FalseFormula,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TrueFormula,
+    constants_of,
+    free_variables,
+    is_existential,
+    is_positive_existential,
+    is_universal_existential,
+    quantifier_rank,
+    relations_of,
+    substitute,
+)
+from repro.logic.evaluation import evaluate, query_answers
+from repro.logic.cq import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.logic.queries import Query
+from repro.logic.parser import parse_formula, parse_term
+
+__all__ = [
+    "Term",
+    "Var",
+    "Const",
+    "FuncTerm",
+    "Formula",
+    "Atom",
+    "Eq",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Exists",
+    "ForAll",
+    "TrueFormula",
+    "FalseFormula",
+    "free_variables",
+    "quantifier_rank",
+    "is_positive_existential",
+    "is_existential",
+    "is_universal_existential",
+    "relations_of",
+    "constants_of",
+    "substitute",
+    "evaluate",
+    "query_answers",
+    "ConjunctiveQuery",
+    "UnionOfConjunctiveQueries",
+    "Query",
+    "parse_formula",
+    "parse_term",
+]

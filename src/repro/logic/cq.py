@@ -1,0 +1,269 @@
+"""Conjunctive queries and unions of conjunctive queries.
+
+Conjunctive queries (CQs) are the workhorse of data exchange: the paper's
+CQ-STDs have CQ bodies, and Proposition 3 shows that for positive queries
+certain answers reduce to naive evaluation.  The implementation here evaluates
+CQs by backtracking joins (not by quantifying over the active domain), so it
+scales to the workload sizes used in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.logic.formulas import (
+    Atom,
+    Eq,
+    Exists,
+    Formula,
+    conjunction,
+    free_variables,
+)
+from repro.logic.terms import Const, FuncTerm, Term, Var, term_tuple
+from repro.relational.domain import fresh_null, is_null
+from repro.relational.instance import Instance
+
+
+def _match_tuple(
+    terms: tuple[Term, ...], values: tuple, assignment: dict[Var, Any]
+) -> Optional[dict[Var, Any]]:
+    """Try to unify a tuple of terms with a tuple of database values."""
+    if len(terms) != len(values):
+        return None
+    new = dict(assignment)
+    for term, value in zip(terms, values):
+        if isinstance(term, Const):
+            if term.value != value:
+                return None
+        elif isinstance(term, Var):
+            if term in new:
+                if new[term] != value:
+                    return None
+            else:
+                new[term] = value
+        else:
+            raise TypeError(f"function term {term!r} not allowed in CQ atoms")
+    return new
+
+
+def match_atoms(
+    atoms: list[Atom],
+    instance: Instance,
+    assignment: dict[Var, Any] | None = None,
+    equalities: list[Eq] | None = None,
+) -> Iterator[dict[Var, Any]]:
+    """Enumerate assignments satisfying a conjunction of atoms (plus equalities).
+
+    Atoms are matched against the instance via backtracking; equalities are
+    checked once all their variables are bound (all equalities here are
+    variable/constant equalities, as produced by the parser and the
+    composition algorithm's normal form).
+    """
+    assignment = dict(assignment or {})
+    equalities = list(equalities or [])
+    ordered = sorted(atoms, key=lambda a: len(instance.relation(a.relation)))
+
+    def check_equalities(current: dict[Var, Any]) -> bool:
+        for eq in equalities:
+            left = _term_value(eq.left, current)
+            right = _term_value(eq.right, current)
+            if left is _UNBOUND or right is _UNBOUND:
+                continue
+            if left != right:
+                return False
+        return True
+
+    def search(index: int, current: dict[Var, Any]) -> Iterator[dict[Var, Any]]:
+        if not check_equalities(current):
+            return
+        if index == len(ordered):
+            # final equality check requires all bound
+            for eq in equalities:
+                left = _term_value(eq.left, current)
+                right = _term_value(eq.right, current)
+                if left is _UNBOUND or right is _UNBOUND or left != right:
+                    return
+            yield dict(current)
+            return
+        atom = ordered[index]
+        for values in instance.relation(atom.relation):
+            extended = _match_tuple(atom.terms, values, current)
+            if extended is not None:
+                yield from search(index + 1, extended)
+
+    yield from search(0, assignment)
+
+
+_UNBOUND = object()
+
+
+def _term_value(term: Term, assignment: dict[Var, Any]) -> Any:
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Var):
+        return assignment.get(term, _UNBOUND)
+    raise TypeError(f"function term {term!r} not allowed here")
+
+
+class ConjunctiveQuery:
+    """A conjunctive query ``q(x̄) :- A_1, ..., A_k``.
+
+    ``head`` lists the answer variables; ``atoms`` is the list of body atoms.
+    Equality atoms between variables and constants are also allowed.
+    """
+
+    def __init__(
+        self,
+        head: Iterable[Var | str],
+        atoms: Iterable[Atom],
+        equalities: Iterable[Eq] = (),
+        name: str = "q",
+    ):
+        self.head: tuple[Var, ...] = tuple(Var(v) if isinstance(v, str) else v for v in head)
+        self.atoms: list[Atom] = list(atoms)
+        self.equalities: list[Eq] = list(equalities)
+        self.name = name
+        body_vars = set()
+        for atom in self.atoms:
+            body_vars |= free_variables(atom)
+        for eq in self.equalities:
+            body_vars |= free_variables(eq)
+        missing = set(self.head) - body_vars
+        if missing:
+            raise ValueError(f"head variables {missing} do not occur in the body")
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    def variables(self) -> set[Var]:
+        out = set(self.head)
+        for atom in self.atoms:
+            out |= free_variables(atom)
+        for eq in self.equalities:
+            out |= free_variables(eq)
+        return out
+
+    def existential_variables(self) -> set[Var]:
+        return self.variables() - set(self.head)
+
+    def relations(self) -> set[str]:
+        return {a.relation for a in self.atoms}
+
+    def to_formula(self) -> Formula:
+        """The query as an FO formula with the head variables free."""
+        body = conjunction([*self.atoms, *self.equalities])
+        existentials = sorted(self.existential_variables(), key=lambda v: v.name)
+        if existentials:
+            return Exists(tuple(existentials), body)
+        return body
+
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(self, instance: Instance) -> set[tuple]:
+        """All answer tuples over ``instance`` (nulls treated as plain values)."""
+        answers: set[tuple] = set()
+        for assignment in match_atoms(self.atoms, instance, equalities=self.equalities):
+            answers.add(tuple(assignment[v] for v in self.head))
+        return answers
+
+    def naive_evaluate(self, instance: Instance) -> set[tuple]:
+        """Naive evaluation: evaluate treating nulls as values, keep null-free answers.
+
+        For unions of conjunctive queries this computes the certain answers
+        ``Q(T)`` of the query over the naive table ``T`` (Imieliński–Lipski),
+        which is what Proposition 3 relies on.
+        """
+        return {t for t in self.evaluate(instance) if not any(is_null(v) for v in t)}
+
+    def holds(self, instance: Instance, assignment: dict[Var, Any] | None = None) -> bool:
+        """Boolean-query satisfaction (optionally with some variables pre-bound)."""
+        for _ in match_atoms(self.atoms, instance, assignment, self.equalities):
+            return True
+        return False
+
+    # -- classical CQ tooling ------------------------------------------------------
+
+    def canonical_database(self) -> tuple[Instance, dict[Var, Any]]:
+        """The frozen body of the query as an instance (variables become nulls)."""
+        mapping: dict[Var, Any] = {}
+        instance = Instance()
+        for atom in self.atoms:
+            values = []
+            for term in atom.terms:
+                if isinstance(term, Const):
+                    values.append(term.value)
+                else:
+                    if term not in mapping:
+                        mapping[term] = fresh_null(label=term.name)
+                    values.append(mapping[term])
+            instance.add(atom.relation, tuple(values))
+        return instance, mapping
+
+    def is_contained_in(self, other: "ConjunctiveQuery") -> bool:
+        """Classical CQ containment via the homomorphism theorem (Chandra–Merlin)."""
+        if self.arity != other.arity:
+            return False
+        canonical, mapping = self.canonical_database()
+        head_tuple = tuple(
+            mapping.get(v, v.name if isinstance(v, Var) else v) for v in self.head
+        )
+        for assignment in match_atoms(other.atoms, canonical, equalities=other.equalities):
+            if tuple(assignment[v] for v in other.head) == head_tuple:
+                return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = ", ".join(v.name for v in self.head)
+        body = ", ".join(map(repr, [*self.atoms, *self.equalities]))
+        return f"{self.name}({head}) :- {body}"
+
+
+class UnionOfConjunctiveQueries:
+    """A union of conjunctive queries of identical arity."""
+
+    def __init__(self, disjuncts: Iterable[ConjunctiveQuery], name: str = "q"):
+        self.disjuncts = list(disjuncts)
+        if not self.disjuncts:
+            raise ValueError("a UCQ needs at least one disjunct")
+        arities = {d.arity for d in self.disjuncts}
+        if len(arities) != 1:
+            raise ValueError("all disjuncts of a UCQ must have the same arity")
+        self.name = name
+
+    @property
+    def arity(self) -> int:
+        return self.disjuncts[0].arity
+
+    def evaluate(self, instance: Instance) -> set[tuple]:
+        out: set[tuple] = set()
+        for cq in self.disjuncts:
+            out |= cq.evaluate(instance)
+        return out
+
+    def naive_evaluate(self, instance: Instance) -> set[tuple]:
+        return {t for t in self.evaluate(instance) if not any(is_null(v) for v in t)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return " ∪ ".join(map(repr, self.disjuncts))
+
+
+def cq(head: Iterable[str], body: Iterable[tuple[str, Iterable[Any]]], name: str = "q") -> ConjunctiveQuery:
+    """Small helper to build a CQ from ``(relation, terms)`` pairs.
+
+    Terms follow the :func:`repro.logic.terms.to_term` convention: strings are
+    variables, other values are constants.
+    """
+    atoms = [Atom(rel, term_tuple(terms)) for rel, terms in body]
+    return ConjunctiveQuery(head, atoms, name=name)
+
+
+def product_pool(domain: Iterable[Any], arity: int) -> Iterator[tuple]:
+    """All tuples of the given arity over ``domain`` (used by test oracles)."""
+    return itertools.product(list(domain), repeat=arity)

@@ -1,0 +1,179 @@
+"""Active-domain evaluation of first-order formulas over finite instances.
+
+Quantifiers range over the *evaluation domain*: by default the active domain
+of the instance together with the constants mentioned in the formula (and, for
+data-exchange query answering, any constants of the candidate answer tuple the
+caller adds).  This is the standard active-domain semantics used implicitly in
+the paper when queries are evaluated over solutions.
+
+Nulls are treated as ordinary domain values ("naive" treatment): two nulls are
+equal iff they are the same labelled null.  Certain-answer computations on top
+of this are built in :mod:`repro.core.certain`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Eq,
+    Exists,
+    FalseFormula,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TrueFormula,
+    constants_of,
+    free_variables,
+)
+from repro.logic.terms import Const, FuncTerm, Term, Var, evaluate_term
+from repro.relational.instance import Instance
+
+
+def evaluation_domain(instance: Instance, formula: Formula, extra: Iterable[Any] = ()) -> list[Any]:
+    """The domain over which quantifiers range (active domain + formula constants)."""
+    domain = set(instance.active_domain()) | constants_of(formula) | set(extra)
+    return sorted(domain, key=repr)
+
+
+def evaluate(
+    formula: Formula,
+    instance: Instance,
+    assignment: dict[Var, Any] | None = None,
+    domain: Iterable[Any] | None = None,
+    functions: dict[str, Any] | None = None,
+) -> bool:
+    """Evaluate ``formula`` over ``instance`` under ``assignment``.
+
+    ``domain`` overrides the quantification domain; ``functions`` provides
+    interpretations for function symbols (needed only for Skolemized bodies).
+    """
+    assignment = dict(assignment or {})
+    if domain is None:
+        dom = evaluation_domain(instance, formula, assignment.values())
+    else:
+        dom = list(domain)
+    return _eval(formula, instance, assignment, dom, functions)
+
+
+def _eval_term(term: Term, assignment: dict[Var, Any], functions: dict[str, Any] | None) -> Any:
+    return evaluate_term(term, assignment, functions)
+
+
+def _eval(
+    formula: Formula,
+    instance: Instance,
+    assignment: dict[Var, Any],
+    domain: list[Any],
+    functions: dict[str, Any] | None,
+) -> bool:
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, FalseFormula):
+        return False
+    if isinstance(formula, Atom):
+        values = tuple(_eval_term(t, assignment, functions) for t in formula.terms)
+        return values in instance.relation(formula.relation)
+    if isinstance(formula, Eq):
+        return _eval_term(formula.left, assignment, functions) == _eval_term(
+            formula.right, assignment, functions
+        )
+    if isinstance(formula, Not):
+        return not _eval(formula.operand, instance, assignment, domain, functions)
+    if isinstance(formula, And):
+        return _eval(formula.left, instance, assignment, domain, functions) and _eval(
+            formula.right, instance, assignment, domain, functions
+        )
+    if isinstance(formula, Or):
+        return _eval(formula.left, instance, assignment, domain, functions) or _eval(
+            formula.right, instance, assignment, domain, functions
+        )
+    if isinstance(formula, Implies):
+        return (not _eval(formula.left, instance, assignment, domain, functions)) or _eval(
+            formula.right, instance, assignment, domain, functions
+        )
+    if isinstance(formula, Iff):
+        return _eval(formula.left, instance, assignment, domain, functions) == _eval(
+            formula.right, instance, assignment, domain, functions
+        )
+    if isinstance(formula, Exists):
+        return any(
+            _eval(formula.body, instance, _extended(assignment, formula.variables, combo), domain, functions)
+            for combo in _assignments(domain, len(formula.variables))
+        )
+    if isinstance(formula, ForAll):
+        return all(
+            _eval(formula.body, instance, _extended(assignment, formula.variables, combo), domain, functions)
+            for combo in _assignments(domain, len(formula.variables))
+        )
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def _assignments(domain: list[Any], count: int) -> Iterator[tuple]:
+    if count == 0:
+        yield ()
+        return
+    for value in domain:
+        for rest in _assignments(domain, count - 1):
+            yield (value,) + rest
+
+
+def _extended(assignment: dict[Var, Any], variables: tuple[Var, ...], values: tuple) -> dict[Var, Any]:
+    new = dict(assignment)
+    for var, val in zip(variables, values):
+        new[var] = val
+    return new
+
+
+def query_answers(
+    formula: Formula,
+    answer_variables: Iterable[Var | str],
+    instance: Instance,
+    domain: Iterable[Any] | None = None,
+    functions: dict[str, Any] | None = None,
+) -> set[tuple]:
+    """All tuples of domain values (in ``answer_variables`` order) satisfying ``formula``.
+
+    For atoms and conjunctive bodies a join-based evaluation would be faster;
+    the generic implementation quantifies the answer variables over the
+    evaluation domain, which is adequate for the instance sizes handled by the
+    library's decision procedures and is used as a reference semantics
+    everywhere.
+    """
+    answer_vars = tuple(Var(v) if isinstance(v, str) else v for v in answer_variables)
+    unknown = set(answer_vars) - free_variables(formula) if answer_vars else set()
+    if domain is None:
+        dom = evaluation_domain(instance, formula)
+    else:
+        dom = list(domain)
+    if unknown:
+        # Answer variables not occurring free range over the whole domain;
+        # this matches active-domain semantics of "safe-range" queries and is
+        # mostly useful for degenerate test cases.
+        pass
+    answers: set[tuple] = set()
+    for combo in _assignments(dom, len(answer_vars)):
+        assignment = dict(zip(answer_vars, combo))
+        if _eval(formula, instance, assignment, dom, functions):
+            answers.add(combo)
+    return answers
+
+
+def satisfying_assignments(
+    formula: Formula,
+    variables: Iterable[Var | str],
+    instance: Instance,
+    domain: Iterable[Any] | None = None,
+    functions: dict[str, Any] | None = None,
+) -> Iterator[dict[Var, Any]]:
+    """Iterate over assignments of ``variables`` satisfying ``formula``."""
+    variables = tuple(Var(v) if isinstance(v, str) else v for v in variables)
+    for combo in sorted(
+        query_answers(formula, variables, instance, domain, functions), key=repr
+    ):
+        yield dict(zip(variables, combo))

@@ -1,0 +1,384 @@
+"""First-order formulas over a relational vocabulary.
+
+The formula language covers full relational calculus: relational atoms,
+equalities between terms, the boolean connectives, and quantifiers.  Syntactic
+measures needed by the paper — free variables, quantifier rank, the positive
+existential / existential / ∀*∃* fragments — are provided as functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.logic.terms import Const, FuncTerm, Term, Var, substitute_term, term_tuple
+
+
+class Formula:
+    """Abstract base class of first-order formulas."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The always-true formula."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "TRUE"
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    """The always-false formula."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "FALSE"
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A relational atom ``R(t_1, ..., t_k)``."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __init__(self, relation: str, terms: Iterable[Any]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", term_tuple(terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.relation}({', '.join(map(repr, self.terms))})"
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """An equality atom ``t_1 = t_2``."""
+
+    left: Term
+    right: Term
+
+    def __init__(self, left: Any, right: Any):
+        from repro.logic.terms import to_term
+
+        object.__setattr__(self, "left", to_term(left))
+        object.__setattr__(self, "right", to_term(right))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.left!r} = {self.right!r}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"¬({self.operand!r})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} ∧ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} ∨ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} → {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} ↔ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification over one or more variables."""
+
+    variables: tuple[Var, ...]
+    body: Formula
+
+    def __init__(self, variables: Iterable[Var | str] | Var | str, body: Formula):
+        if isinstance(variables, (Var, str)):
+            variables = (variables,)
+        vars_tuple = tuple(Var(v) if isinstance(v, str) else v for v in variables)
+        object.__setattr__(self, "variables", vars_tuple)
+        object.__setattr__(self, "body", body)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = " ".join(v.name for v in self.variables)
+        return f"∃{names}.({self.body!r})"
+
+
+@dataclass(frozen=True)
+class ForAll(Formula):
+    """Universal quantification over one or more variables."""
+
+    variables: tuple[Var, ...]
+    body: Formula
+
+    def __init__(self, variables: Iterable[Var | str] | Var | str, body: Formula):
+        if isinstance(variables, (Var, str)):
+            variables = (variables,)
+        vars_tuple = tuple(Var(v) if isinstance(v, str) else v for v in variables)
+        object.__setattr__(self, "variables", vars_tuple)
+        object.__setattr__(self, "body", body)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = " ".join(v.name for v in self.variables)
+        return f"∀{names}.({self.body!r})"
+
+
+def conjunction(formulas: Iterable[Formula]) -> Formula:
+    """Right-fold a sequence into a conjunction (``TRUE`` for the empty sequence)."""
+    formulas = list(formulas)
+    if not formulas:
+        return TrueFormula()
+    result = formulas[0]
+    for f in formulas[1:]:
+        result = And(result, f)
+    return result
+
+
+def disjunction(formulas: Iterable[Formula]) -> Formula:
+    """Right-fold a sequence into a disjunction (``FALSE`` for the empty sequence)."""
+    formulas = list(formulas)
+    if not formulas:
+        return FalseFormula()
+    result = formulas[0]
+    for f in formulas[1:]:
+        result = Or(result, f)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Syntactic measures
+# ---------------------------------------------------------------------------
+
+
+def free_variables(formula: Formula) -> set[Var]:
+    """The set of free variables of a formula."""
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return set()
+    if isinstance(formula, Atom):
+        out: set[Var] = set()
+        for t in formula.terms:
+            out |= t.variables()
+        return out
+    if isinstance(formula, Eq):
+        return formula.left.variables() | formula.right.variables()
+    if isinstance(formula, Not):
+        return free_variables(formula.operand)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return free_variables(formula.left) | free_variables(formula.right)
+    if isinstance(formula, (Exists, ForAll)):
+        return free_variables(formula.body) - set(formula.variables)
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def quantifier_rank(formula: Formula) -> int:
+    """Quantifier rank (nesting depth of quantifiers)."""
+    if isinstance(formula, (TrueFormula, FalseFormula, Atom, Eq)):
+        return 0
+    if isinstance(formula, Not):
+        return quantifier_rank(formula.operand)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return max(quantifier_rank(formula.left), quantifier_rank(formula.right))
+    if isinstance(formula, (Exists, ForAll)):
+        return len(formula.variables) + quantifier_rank(formula.body)
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def relations_of(formula: Formula) -> set[str]:
+    """Relation symbols occurring in the formula."""
+    if isinstance(formula, Atom):
+        return {formula.relation}
+    if isinstance(formula, (TrueFormula, FalseFormula, Eq)):
+        return set()
+    if isinstance(formula, Not):
+        return relations_of(formula.operand)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return relations_of(formula.left) | relations_of(formula.right)
+    if isinstance(formula, (Exists, ForAll)):
+        return relations_of(formula.body)
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def constants_of(formula: Formula) -> set[Any]:
+    """Constant values mentioned in the formula (the paper's ``C_φ``)."""
+
+    def of_term(term: Term) -> set[Any]:
+        if isinstance(term, Const):
+            return {term.value}
+        if isinstance(term, FuncTerm):
+            out: set[Any] = set()
+            for a in term.args:
+                out |= of_term(a)
+            return out
+        return set()
+
+    if isinstance(formula, Atom):
+        out: set[Any] = set()
+        for t in formula.terms:
+            out |= of_term(t)
+        return out
+    if isinstance(formula, Eq):
+        return of_term(formula.left) | of_term(formula.right)
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return set()
+    if isinstance(formula, Not):
+        return constants_of(formula.operand)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return constants_of(formula.left) | constants_of(formula.right)
+    if isinstance(formula, (Exists, ForAll)):
+        return constants_of(formula.body)
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def functions_of(formula: Formula) -> set[str]:
+    """Function symbols occurring in the formula (Skolemized settings only)."""
+    if isinstance(formula, Atom):
+        out: set[str] = set()
+        for t in formula.terms:
+            out |= t.functions()
+        return out
+    if isinstance(formula, Eq):
+        return formula.left.functions() | formula.right.functions()
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return set()
+    if isinstance(formula, Not):
+        return functions_of(formula.operand)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return functions_of(formula.left) | functions_of(formula.right)
+    if isinstance(formula, (Exists, ForAll)):
+        return functions_of(formula.body)
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def is_positive_existential(formula: Formula) -> bool:
+    """Does the formula lie in the positive existential fragment (∃, ∧, ∨)?
+
+    This fragment corresponds to unions of conjunctive queries and to positive
+    relational algebra; it is monotone, which Proposition 3 exploits.
+    """
+    if isinstance(formula, (TrueFormula, FalseFormula, Atom)):
+        return True
+    if isinstance(formula, Eq):
+        return True
+    if isinstance(formula, (And, Or)):
+        return is_positive_existential(formula.left) and is_positive_existential(formula.right)
+    if isinstance(formula, Exists):
+        return is_positive_existential(formula.body)
+    return False
+
+
+def is_quantifier_free(formula: Formula) -> bool:
+    if isinstance(formula, (TrueFormula, FalseFormula, Atom, Eq)):
+        return True
+    if isinstance(formula, Not):
+        return is_quantifier_free(formula.operand)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return is_quantifier_free(formula.left) and is_quantifier_free(formula.right)
+    return False
+
+
+def is_existential(formula: Formula) -> bool:
+    """Is the formula of the form ``∃* (quantifier-free)``?"""
+    body = formula
+    while isinstance(body, Exists):
+        body = body.body
+    return is_quantifier_free(body)
+
+
+def is_universal_existential(formula: Formula) -> bool:
+    """Is the formula of the form ``∀*∃* (quantifier-free)`` (Proposition 5)?"""
+    body = formula
+    while isinstance(body, ForAll):
+        body = body.body
+    return is_existential(body)
+
+
+def is_conjunction_of_atoms(formula: Formula) -> bool:
+    """Is the formula a conjunction of relational atoms (no quantifiers/negation)?"""
+    if isinstance(formula, Atom):
+        return True
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, And):
+        return is_conjunction_of_atoms(formula.left) and is_conjunction_of_atoms(formula.right)
+    return False
+
+
+def atoms_of_conjunction(formula: Formula) -> list[Atom]:
+    """Flatten a conjunction of relational atoms into a list of atoms."""
+    if isinstance(formula, Atom):
+        return [formula]
+    if isinstance(formula, TrueFormula):
+        return []
+    if isinstance(formula, And):
+        return atoms_of_conjunction(formula.left) + atoms_of_conjunction(formula.right)
+    raise ValueError(f"{formula!r} is not a conjunction of atoms")
+
+
+def substitute(formula: Formula, assignment: dict[Var, Term]) -> Formula:
+    """Capture-avoiding-enough substitution of variables by terms.
+
+    Bound variables shadow the substitution (entries for them are dropped in
+    the scope of their quantifier); the caller is responsible for not
+    substituting terms whose variables would be captured — in this code base
+    substitutions always use fresh constants, nulls or fresh variables, so
+    capture cannot occur.
+    """
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, Atom):
+        return Atom(formula.relation, tuple(substitute_term(t, assignment) for t in formula.terms))
+    if isinstance(formula, Eq):
+        return Eq(substitute_term(formula.left, assignment), substitute_term(formula.right, assignment))
+    if isinstance(formula, Not):
+        return Not(substitute(formula.operand, assignment))
+    if isinstance(formula, And):
+        return And(substitute(formula.left, assignment), substitute(formula.right, assignment))
+    if isinstance(formula, Or):
+        return Or(substitute(formula.left, assignment), substitute(formula.right, assignment))
+    if isinstance(formula, Implies):
+        return Implies(substitute(formula.left, assignment), substitute(formula.right, assignment))
+    if isinstance(formula, Iff):
+        return Iff(substitute(formula.left, assignment), substitute(formula.right, assignment))
+    if isinstance(formula, (Exists, ForAll)):
+        inner = {v: t for v, t in assignment.items() if v not in formula.variables}
+        cls = Exists if isinstance(formula, Exists) else ForAll
+        return cls(formula.variables, substitute(formula.body, inner))
+    raise TypeError(f"unknown formula {formula!r}")

@@ -1,0 +1,246 @@
+"""A small parser for the formula syntax used in examples and tests.
+
+Grammar (informal)::
+
+    formula    := iff
+    iff        := implies ("<->" implies)*
+    implies    := or ("->" or)*
+    or         := and (("|" | "or") and)*
+    and        := unary (("&" | "and" | ",") unary)*
+    unary      := ("~" | "!" | "not") unary | quantifier | primary
+    quantifier := ("exists" | "forall") var+ "." formula
+    primary    := "(" formula ")" | "true" | "false" | atom | comparison
+    atom       := NAME "(" term ("," term)* ")"
+    comparison := term ("=" | "!=") term
+    term       := NAME ["(" term ("," term)* ")"]  |  "'" chars "'"  |  NUMBER
+
+Conventions: bare identifiers are variables, identifiers applied to arguments
+are function terms, quoted strings and numbers are constants.  Relation and
+function names share the identifier syntax; which is which is determined by
+position (atom head vs term).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Eq,
+    Exists,
+    FalseFormula,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TrueFormula,
+)
+from repro.logic.terms import Const, FuncTerm, Term, Var
+
+_TOKEN_REGEX = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow><->|->)
+  | (?P<neq>!=)
+  | (?P<op>[()=,.&|~!])
+  | (?P<quoted>'[^']*')
+  | (?P<number>-?\d+(\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"exists", "forall", "true", "false", "and", "or", "not"}
+
+
+class ParseError(ValueError):
+    """Raised when the input cannot be parsed."""
+
+
+def tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_REGEX.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at position {pos}")
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        tokens.append(match.group())
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def peek(self) -> str | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def advance(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self.index += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        actual = self.advance()
+        if actual != token:
+            raise ParseError(f"expected {token!r}, got {actual!r}")
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_formula(self) -> Formula:
+        return self._iff()
+
+    def _iff(self) -> Formula:
+        left = self._implies()
+        while self.peek() == "<->":
+            self.advance()
+            right = self._implies()
+            left = Iff(left, right)
+        return left
+
+    def _implies(self) -> Formula:
+        left = self._or()
+        if self.peek() == "->":
+            self.advance()
+            right = self._implies()
+            return Implies(left, right)
+        return left
+
+    def _or(self) -> Formula:
+        left = self._and()
+        while self.peek() in ("|", "or"):
+            self.advance()
+            right = self._and()
+            left = Or(left, right)
+        return left
+
+    def _and(self) -> Formula:
+        left = self._unary()
+        while self.peek() in ("&", "and", ","):
+            self.advance()
+            right = self._unary()
+            left = And(left, right)
+        return left
+
+    def _unary(self) -> Formula:
+        token = self.peek()
+        if token in ("~", "!", "not"):
+            self.advance()
+            return Not(self._unary())
+        if token in ("exists", "forall"):
+            self.advance()
+            variables: list[Var] = []
+            while self.peek() is not None and re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", self.peek() or ""):
+                name = self.advance()
+                if name in _KEYWORDS:
+                    raise ParseError(f"keyword {name!r} cannot be a variable")
+                variables.append(Var(name))
+            if not variables:
+                raise ParseError(f"quantifier {token!r} without variables")
+            self.expect(".")
+            # The dot extends as far to the right as possible, so the body is a
+            # full formula; parenthesise the quantified formula to limit its scope.
+            body = self.parse_formula()
+            return Exists(tuple(variables), body) if token == "exists" else ForAll(tuple(variables), body)
+        return self._primary()
+
+    def _primary(self) -> Formula:
+        token = self.peek()
+        if token == "(":
+            self.advance()
+            inner = self.parse_formula()
+            self.expect(")")
+            return inner
+        if token == "true":
+            self.advance()
+            return TrueFormula()
+        if token == "false":
+            self.advance()
+            return FalseFormula()
+        # Either an atom R(...), or a comparison between terms.
+        term = self._term(allow_atom=True)
+        if isinstance(term, Formula):
+            return term
+        operator = self.peek()
+        if operator in ("=", "!="):
+            self.advance()
+            right = self._term(allow_atom=False)
+            if isinstance(right, Formula):
+                raise ParseError("relation atom on the right-hand side of a comparison")
+            eq = Eq(term, right)
+            return Not(eq) if operator == "!=" else eq
+        raise ParseError(f"expected '=' or '!=' after term {term!r}, got {operator!r}")
+
+    def _term(self, allow_atom: bool) -> Term | Formula:
+        token = self.advance()
+        if token.startswith("'") and token.endswith("'"):
+            return Const(token[1:-1])
+        if re.fullmatch(r"-?\d+", token):
+            return Const(int(token))
+        if re.fullmatch(r"-?\d+\.\d+", token):
+            return Const(float(token))
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token):
+            raise ParseError(f"unexpected token {token!r}")
+        if token in _KEYWORDS:
+            raise ParseError(f"keyword {token!r} used as a term")
+        if self.peek() == "(":
+            self.advance()
+            args: list[Term] = []
+            if self.peek() != ")":
+                while True:
+                    arg = self._term(allow_atom=False)
+                    if isinstance(arg, Formula):
+                        raise ParseError("formula used as a term argument")
+                    args.append(arg)
+                    if self.peek() == ",":
+                        self.advance()
+                        continue
+                    break
+            self.expect(")")
+            if allow_atom:
+                return Atom(token, tuple(args))
+            return FuncTerm(token, tuple(args))
+        return Var(token)
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a formula from its textual representation."""
+    parser = _Parser(tokenize(text))
+    formula = parser.parse_formula()
+    if not parser.at_end():
+        raise ParseError(f"trailing input starting at token {parser.peek()!r}")
+    return formula
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term (variable, constant, or function application)."""
+    parser = _Parser(tokenize(text))
+    term = parser._term(allow_atom=False)
+    if isinstance(term, Formula):
+        raise ParseError("expected a term, found an atom")
+    if not parser.at_end():
+        raise ParseError(f"trailing input starting at token {parser.peek()!r}")
+    return term
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single relational atom ``R(t_1, ..., t_k)``."""
+    formula = parse_formula(text)
+    if not isinstance(formula, Atom):
+        raise ParseError(f"expected an atom, got {formula!r}")
+    return formula

@@ -1,0 +1,112 @@
+"""Query objects: an FO formula with an explicit tuple of answer variables.
+
+A :class:`Query` bundles the formula, the ordered answer variables, and the
+classification predicates the paper's results are parameterised by (positive /
+monotone / existential / ∀*∃* / full FO).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.logic.evaluation import query_answers
+from repro.logic.formulas import (
+    Formula,
+    free_variables,
+    is_existential,
+    is_positive_existential,
+    is_universal_existential,
+    quantifier_rank,
+)
+from repro.logic.parser import parse_formula
+from repro.logic.terms import Var
+from repro.relational.domain import is_null
+from repro.relational.instance import Instance
+
+
+class Query:
+    """A relational-calculus query ``Q(x̄)`` given by a formula ``φ(x̄)``.
+
+    ``monotone`` may be passed explicitly for queries that are semantically
+    monotone without being syntactically positive (Proposition 4 covers
+    "monotone polynomial-time" queries); by default monotonicity is inferred
+    syntactically from positivity.
+    """
+
+    def __init__(
+        self,
+        formula: Formula | str,
+        answer_variables: Iterable[Var | str] = (),
+        name: str = "Q",
+        monotone: bool | None = None,
+    ):
+        self.formula = parse_formula(formula) if isinstance(formula, str) else formula
+        self.answer_variables: tuple[Var, ...] = tuple(
+            Var(v) if isinstance(v, str) else v for v in answer_variables
+        )
+        self.name = name
+        free = free_variables(self.formula)
+        extra = free - set(self.answer_variables)
+        if extra:
+            raise ValueError(
+                f"free variables {sorted(v.name for v in extra)} are not answer variables"
+            )
+        self._monotone_override = monotone
+
+    # -- classification ----------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.answer_variables)
+
+    def is_boolean(self) -> bool:
+        return self.arity == 0
+
+    def is_positive(self) -> bool:
+        """Positive existential (∃, ∧, ∨) — corresponds to unions of CQs."""
+        return is_positive_existential(self.formula)
+
+    def is_monotone(self) -> bool:
+        """Monotone queries: positive ones, or those declared monotone by the caller."""
+        if self._monotone_override is not None:
+            return self._monotone_override
+        return self.is_positive()
+
+    def is_existential(self) -> bool:
+        return is_existential(self.formula)
+
+    def is_universal_existential(self) -> bool:
+        """∀*∃* prefix queries — the class covered by Proposition 5."""
+        return is_universal_existential(self.formula)
+
+    def quantifier_rank(self) -> int:
+        return quantifier_rank(self.formula)
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def evaluate(self, instance: Instance, domain: Iterable[Any] | None = None) -> set[tuple]:
+        """Evaluate naively (nulls as plain values), returning all answer tuples."""
+        return query_answers(self.formula, self.answer_variables, instance, domain=domain)
+
+    def naive_evaluate(self, instance: Instance, domain: Iterable[Any] | None = None) -> set[tuple]:
+        """Naive evaluation ``Q_naive``: evaluate, then discard tuples containing nulls."""
+        return {
+            t
+            for t in self.evaluate(instance, domain=domain)
+            if not any(is_null(v) for v in t)
+        }
+
+    def holds(self, instance: Instance, answer: tuple = (), domain: Iterable[Any] | None = None) -> bool:
+        """Does ``answer ∈ Q(instance)`` under naive evaluation of the formula?"""
+        if len(answer) != self.arity:
+            raise ValueError(f"answer arity {len(answer)} != query arity {self.arity}")
+        from repro.logic.evaluation import evaluate, evaluation_domain
+
+        assignment = dict(zip(self.answer_variables, answer))
+        if domain is None:
+            domain = evaluation_domain(instance, self.formula, answer)
+        return evaluate(self.formula, instance, assignment, domain=domain)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = ", ".join(v.name for v in self.answer_variables)
+        return f"{self.name}({head}) := {self.formula!r}"

@@ -1,0 +1,131 @@
+"""Terms of first-order formulas: variables, constants and function terms.
+
+Function terms are used only by Skolemized STDs (Section 5 of the paper); the
+plain STD language is function-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+
+class Term:
+    """Abstract base class of terms."""
+
+    def variables(self) -> set["Var"]:
+        raise NotImplementedError
+
+    def functions(self) -> set[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A first-order variable."""
+
+    name: str
+
+    def variables(self) -> set["Var"]:
+        return {self}
+
+    def functions(self) -> set[str]:
+        return set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A constant symbol carrying its own value."""
+
+    value: Any
+
+    def variables(self) -> set[Var]:
+        return set()
+
+    def functions(self) -> set[str]:
+        return set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"'{self.value}'"
+
+
+@dataclass(frozen=True)
+class FuncTerm(Term):
+    """An application ``f(t_1, ..., t_k)`` of a (Skolem) function symbol."""
+
+    function: str
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> set[Var]:
+        out: set[Var] = set()
+        for arg in self.args:
+            out |= arg.variables()
+        return out
+
+    def functions(self) -> set[str]:
+        out = {self.function}
+        for arg in self.args:
+            out |= arg.functions()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.function}({', '.join(map(repr, self.args))})"
+
+
+def to_term(value: Any) -> Term:
+    """Coerce a Python value into a term.
+
+    Strings are treated as variable names; everything already a :class:`Term`
+    passes through; other values become constants.  Use :class:`Const`
+    explicitly for string-valued constants.
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str):
+        return Var(value)
+    return Const(value)
+
+
+def term_tuple(values: Iterable[Any]) -> tuple[Term, ...]:
+    """Coerce an iterable of values into a tuple of terms (see :func:`to_term`)."""
+    return tuple(to_term(v) for v in values)
+
+
+def substitute_term(term: Term, assignment: dict[Var, Term]) -> Term:
+    """Substitute variables by terms inside a term."""
+    if isinstance(term, Var):
+        return assignment.get(term, term)
+    if isinstance(term, FuncTerm):
+        return FuncTerm(term.function, tuple(substitute_term(a, assignment) for a in term.args))
+    return term
+
+
+def evaluate_term(term: Term, assignment: dict[Var, Any], functions: dict[str, Any] | None = None) -> Any:
+    """Evaluate a term to a domain value under an assignment.
+
+    ``functions`` maps function names to Python callables (actual Skolem
+    functions ``F'`` in the paper's notation); it is required whenever the term
+    contains function applications.
+    """
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Var):
+        if term not in assignment:
+            raise KeyError(f"unassigned variable {term.name!r}")
+        return assignment[term]
+    if isinstance(term, FuncTerm):
+        if not functions or term.function not in functions:
+            raise KeyError(f"no interpretation for function {term.function!r}")
+        args = tuple(evaluate_term(a, assignment, functions) for a in term.args)
+        return functions[term.function](*args)
+    raise TypeError(f"unknown term {term!r}")

@@ -1,0 +1,36 @@
+"""Executable hardness reductions from the paper.
+
+Each module builds, from an instance of the source combinatorial problem, the
+schema mapping(s), instances and (where relevant) query of the corresponding
+reduction in the paper, so the hardness constructions themselves can be run,
+tested and benchmarked:
+
+* :mod:`repro.reductions.tripartite` — tripartite matching → recognition
+  (Theorem 2);
+* :mod:`repro.reductions.coloring` — 3-colorability → composition with an
+  all-closed first mapping (Theorem 4);
+* :mod:`repro.reductions.tiling` — exponential tiling → DEQA with ``#op = 1``
+  (Theorem 3);
+* :mod:`repro.reductions.powerset` — the powerset encoding behind the
+  PH-hardness sketch for ``#op = 1`` (Section 4);
+* :mod:`repro.reductions.nonclosure` — the Proposition 6 witness that plain
+  FO-STD mappings are not closed under composition.
+"""
+
+from repro.reductions.tripartite import TripartiteMatchingInstance, tripartite_to_recognition
+from repro.reductions.coloring import coloring_to_composition
+from repro.reductions.tiling import TilingInstance, tiling_to_deqa
+from repro.reductions.powerset import powerset_mapping, powerset_axioms
+from repro.reductions.nonclosure import nonclosure_mappings, nonclosure_witness
+
+__all__ = [
+    "TripartiteMatchingInstance",
+    "tripartite_to_recognition",
+    "coloring_to_composition",
+    "TilingInstance",
+    "tiling_to_deqa",
+    "powerset_mapping",
+    "powerset_axioms",
+    "nonclosure_mappings",
+    "nonclosure_witness",
+]

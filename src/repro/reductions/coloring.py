@@ -1,0 +1,107 @@
+"""3-colorability → composition with an all-closed first mapping (Theorem 4).
+
+The reduction (taken from the proof of Theorem 4, itself adapted from the
+OWA-composition hardness proof of Fagin–Kolaitis–Popa–Tan) uses::
+
+    Σ:  C(x^cl, z^cl) :- V(x)
+        E'(x^cl, y^cl) :- E(x, y)
+        D'(x^cl, y^cl) :- D(x, y)
+
+    Δ:  Dbar(u, v) :- E'(x, y) & C(x, u) & C(y, v)
+        Dbar(u, v) :- D'(u, v)
+
+For a graph ``G``, the source interprets ``V, E`` as the graph and ``D`` as
+the inequality relation on the three colors; the ``ω``-instance interprets
+``Dbar`` the same way.  Then ``(S, W) ∈ Σ_cl ∘ Δ_α'`` iff ``G`` is
+3-colorable, for every annotation ``α'``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from repro.core.mapping import SchemaMapping, mapping_from_rules
+from repro.relational.annotated import CL
+from repro.relational.instance import Instance
+
+COLORS = ("red", "green", "blue")
+
+
+def coloring_mappings(second_annotation: str = CL) -> tuple[SchemaMapping, SchemaMapping]:
+    """The two mappings ``Σ_cl`` and ``Δ_α'`` of the reduction."""
+    first = mapping_from_rules(
+        [
+            "C(x^cl, z^cl) :- V(x)",
+            "Ep(x^cl, y^cl) :- E(x, y)",
+            "Dp(x^cl, y^cl) :- D(x, y)",
+        ],
+        source={"V": 1, "E": 2, "D": 2},
+        target={"C": 2, "Ep": 2, "Dp": 2},
+        name="coloring_first",
+    )
+    second = mapping_from_rules(
+        [
+            f"Dbar(u^{second_annotation}, v^{second_annotation}) :- Ep(x, y) & C(x, u) & C(y, v)",
+            f"Dbar(u^{second_annotation}, v^{second_annotation}) :- Dp(u, v)",
+        ],
+        source={"C": 2, "Ep": 2, "Dp": 2},
+        target={"Dbar": 2},
+        name="coloring_second",
+    )
+    return first, second
+
+
+def coloring_to_composition(
+    edges: Iterable[tuple], second_annotation: str = CL
+) -> tuple[SchemaMapping, SchemaMapping, Instance, Instance]:
+    """Build ``(Σ_cl, Δ, S, W)`` such that ``(S, W) ∈ Σ_cl ∘ Δ`` iff the graph
+    with the given edges is 3-colorable."""
+    first, second = coloring_mappings(second_annotation)
+    edges = [tuple(e) for e in edges]
+    vertices = sorted({v for e in edges for v in e}, key=repr)
+    inequality = [(a, b) for a in COLORS for b in COLORS if a != b]
+    source = Instance()
+    for v in vertices:
+        source.add("V", (v,))
+    for a, b in edges:
+        source.add("E", (a, b))
+    for pair in inequality:
+        source.add("D", pair)
+    target = Instance()
+    for pair in inequality:
+        target.add("Dbar", pair)
+    return first, second, source, target
+
+
+def is_three_colorable(edges: Iterable[tuple]) -> bool:
+    """Brute-force 3-colorability (ground truth for tests and benchmarks)."""
+    edges = [tuple(e) for e in edges]
+    vertices = sorted({v for e in edges for v in e}, key=repr)
+    for assignment in itertools.product(COLORS, repeat=len(vertices)):
+        coloring = dict(zip(vertices, assignment))
+        if all(coloring[a] != coloring[b] for a, b in edges):
+            return True
+    return not vertices
+
+
+def random_graph(n: int, probability: float = 0.5, seed: int = 0) -> list[tuple]:
+    """A random (Erdős–Rényi) graph's edge list, deterministic under ``seed``."""
+    graph = nx.gnp_random_graph(n, probability, seed=seed)
+    return [(f"v{a}", f"v{b}") for a, b in graph.edges()]
+
+
+def odd_wheel(spokes: int) -> list[tuple]:
+    """An odd wheel graph, which is not 3-colorable for an odd cycle length ≥ 3.
+
+    The wheel ``W_k`` (a ``k``-cycle plus a hub adjacent to every cycle
+    vertex) is 4-chromatic exactly when ``k`` is odd, giving a family of
+    negative composition instances.
+    """
+    if spokes < 3:
+        raise ValueError("a wheel needs at least 3 spokes")
+    edges = [(f"c{i}", f"c{(i + 1) % spokes}") for i in range(spokes)]
+    edges += [("hub", f"c{i}") for i in range(spokes)]
+    return edges

@@ -1,0 +1,76 @@
+"""The Proposition 6 witness: FO-STD mappings are not closed under composition.
+
+The two CQ-STD mappings are::
+
+    Σ:  N(y) :- R(x)          (y existential — one null for the whole relation)
+        C(x) :- P(x)
+
+    Δ:  D(x, y) :- C(x) & N(y)
+
+For the source ``S_0`` with ``R = {0}`` and ``P = {1..n}``, every instance in
+the composition must contain ``{1..n} × {c}`` for a single value ``c``
+(Claim 6) — a "single shared unknown" pattern that no FO-STD mapping over the
+original schemas can express once ``n`` exceeds the number of atoms of any
+candidate mapping.  The module provides the mappings, the family of sources
+``S_0(n)``, and the witness targets used in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.mapping import SchemaMapping, mapping_from_rules
+from repro.relational.instance import Instance
+
+
+def nonclosure_mappings(annotation: str = "cl") -> tuple[SchemaMapping, SchemaMapping]:
+    """The two mappings of Proposition 6 with a uniform annotation."""
+    first = mapping_from_rules(
+        [
+            f"N(y^{annotation}) :- R(x)",
+            f"C(x^{annotation}) :- P(x)",
+        ],
+        source={"R": 1, "P": 1},
+        target={"N": 1, "C": 1},
+        name="prop6_first",
+    )
+    second = mapping_from_rules(
+        [f"D(x^{annotation}, y^{annotation}) :- C(x) & N(y)"],
+        source={"N": 1, "C": 1},
+        target={"D": 2},
+        name="prop6_second",
+    )
+    return first, second
+
+
+def nonclosure_source(n: int) -> Instance:
+    """The source ``S_0`` with ``R = {0}`` and ``P = {1, ..., n}``."""
+    source = Instance()
+    source.add("R", (0,))
+    for i in range(1, n + 1):
+        source.add("P", (i,))
+    return source
+
+
+def nonclosure_witness(n: int, value: str = "c") -> Instance:
+    """A valuation of ``T_0 = {(i, ⊥) : 1 ≤ i ≤ n}``: the target ``{1..n} × {value}``.
+
+    By Claim 6(1) every such instance belongs to the composition; by Claim 6(2)
+    every member of the composition contains one of them.
+    """
+    target = Instance()
+    for i in range(1, n + 1):
+        target.add("D", (i, value))
+    return target
+
+
+def spread_target(n: int) -> Instance:
+    """The "all-different second column" target used in Case 2 of the proof.
+
+    It does *not* belong to the composition (no single shared value), which is
+    what defeats any candidate composition mapping with fewer than ``n`` atoms.
+    """
+    target = Instance()
+    for i in range(1, n + 1):
+        target.add("D", (i, f"d{i}"))
+    return target

@@ -1,0 +1,89 @@
+"""The powerset encoding behind the ``#op = 1`` hardness sketch (Section 4).
+
+The sketch preceding the proof of Theorem 3 copies a graph to the target and
+adds the rule ``P(x^cl, z^op) :- V(x)``, so the semantics of ``P`` is *any*
+relation whose first projection is ``V``.  A sentence ``Φ_p`` states that the
+open column of ``P`` encodes the powerset of ``V``: every set of vertices is
+the ``P``-preimage of some value.  Conditioning a monadic second-order
+property on ``Φ_p`` turns it into a first-order query over ``{E', P}``, which
+is how the query answering problem climbs the polynomial hierarchy.
+
+This module builds the mapping, the sentence ``Φ_p`` and some example MSO-style
+properties rewritten over the powerset encoding; benchmarks use them on very
+small graphs, as intended counterexamples have exponentially many ``P``-values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.mapping import SchemaMapping, mapping_from_rules
+from repro.logic.parser import parse_formula
+from repro.logic.queries import Query
+from repro.relational.instance import Instance
+
+
+def powerset_mapping() -> SchemaMapping:
+    """The copying + open-null mapping of the hardness sketch (``#op = 1``)."""
+    return mapping_from_rules(
+        [
+            "Ep(x^cl, y^cl) :- E(x, y)",
+            "P(x^cl, z^op) :- V(x)",
+        ],
+        source={"V": 1, "E": 2},
+        target={"Ep": 2, "P": 2},
+        name="powerset",
+    )
+
+
+def powerset_axioms() -> str:
+    """The sentence ``Φ_p``: the second column of ``P`` encodes the powerset of ``V``.
+
+    Following the sketch: (i) every vertex has a private singleton code, and
+    (ii) codes are closed under union.  (The sketch's exact phrasing; on tiny
+    graphs the bounded counterexample search can meet it.)
+    """
+    singleton = (
+        "forall a . (exists b . P(a, b)) -> "
+        "(exists c . P(a, c) & (forall a2 . P(a2, c) -> a2 = a))"
+    )
+    union = (
+        "forall c1 c2 . ((exists a . P(a, c1)) & (exists a2 . P(a2, c2))) -> "
+        "(exists c . forall a . (P(a, c) <-> (P(a, c1) | P(a, c2))))"
+    )
+    return f"({singleton}) & ({union})"
+
+
+def graph_source(edges: Iterable[tuple]) -> Instance:
+    """Translate a graph into a source instance for :func:`powerset_mapping`."""
+    edges = [tuple(e) for e in edges]
+    vertices = sorted({v for e in edges for v in e}, key=repr)
+    source = Instance()
+    for v in vertices:
+        source.add("V", (v,))
+    for a, b in edges:
+        source.add("Ep".replace("Ep", "E"), (a, b))
+    return source
+
+
+def dominating_set_query(size_bound: int = 1) -> Query:
+    """An example property conditioned on the powerset axioms.
+
+    "If ``P`` encodes the powerset, then every code ``c`` that dominates the
+    graph (every vertex is in ``c`` or adjacent to a member of ``c``) contains
+    at least ``size_bound`` vertices" — a stand-in for the MSO properties the
+    sketch quantifies over.  The certain answer is computed as a boolean query
+    ``Φ_p → ψ``.
+    """
+    members = " | ".join(
+        "exists " + " ".join(f"m{i}" for i in range(size_bound)) + " . "
+        + " & ".join(f"P(m{i}, c)" for i in range(size_bound))
+        for _ in range(1)
+    )
+    dominates = (
+        "forall v . (exists u . P(u, c)) -> "
+        "(P(v, c) | (exists w . P(w, c) & (Ep(w, v) | Ep(v, w))))"
+    )
+    psi = f"forall c . ({dominates}) -> ({members})"
+    formula = parse_formula(f"({powerset_axioms()}) -> ({psi})")
+    return Query(formula, [], name="powerset_domination")

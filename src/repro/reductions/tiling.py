@@ -1,0 +1,157 @@
+"""Exponential tiling → DEQA with ``#op = 1`` (Theorem 3, coNEXPTIME-hardness).
+
+An input of the tiling problem consists of tile types ``T = {t_0, ..., t_k}``,
+horizontal/vertical compatibility relations ``H, V ⊆ T × T`` and a number
+``n`` in unary; the question is whether the ``2^n × 2^n`` grid can be tiled
+respecting ``H`` and ``V`` with ``t_0`` at the origin.
+
+The reduction constructs the fixed mapping of the proof (one open null per
+atom, ``#op(Σα) = 1``) and the query ``¬(β ∧ Empty(x))`` whose certain answer
+over the translated source is *false* iff a tiling exists.  The full sentence
+``β`` (with the bit-vector successor arithmetic) is materialised exactly as in
+the proof, which makes this module a good stress test for the FO evaluator;
+the benchmarks run it only for ``n = 1`` and tiny tile sets, as the intended
+counterexamples have ``2^n × 2^n`` cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.mapping import SchemaMapping, mapping_from_rules
+from repro.logic.parser import parse_formula
+from repro.logic.queries import Query
+from repro.relational.instance import Instance
+
+
+@dataclass(frozen=True)
+class TilingInstance:
+    """An instance of the exponential tiling problem."""
+
+    tiles: tuple[str, ...]
+    horizontal: tuple[tuple[str, str], ...]
+    vertical: tuple[tuple[str, str], ...]
+    n: int
+
+    def grid_side(self) -> int:
+        return 2 ** self.n
+
+    def has_tiling(self) -> bool:
+        """Brute-force tiling decision (only feasible for ``n = 1`` and few tiles)."""
+        side = self.grid_side()
+        cells = [(i, j) for j in range(side) for i in range(side)]
+        horizontal = set(self.horizontal)
+        vertical = set(self.vertical)
+
+        def backtrack(index: int, assignment: dict[tuple[int, int], str]) -> bool:
+            if index == len(cells):
+                return True
+            cell = cells[index]
+            i, j = cell
+            for tile in self.tiles:
+                if cell == (0, 0) and tile != self.tiles[0]:
+                    continue
+                if i > 0 and (assignment[(i - 1, j)], tile) not in horizontal:
+                    continue
+                if j > 0 and (assignment[(i, j - 1)], tile) not in vertical:
+                    continue
+                assignment[cell] = tile
+                if backtrack(index + 1, assignment):
+                    return True
+                del assignment[cell]
+            return False
+
+        return backtrack(0, {})
+
+
+def tiling_mapping() -> SchemaMapping:
+    """The fixed annotated mapping of the Theorem 3 hardness proof (``#op = 1``)."""
+    rules = [
+        "H(x^cl, y^cl) :- Hs(x, y)",
+        "V(x^cl, y^cl) :- Vs(x, y)",
+        "N(x^cl) :- Ns(x)",
+        "Gh(x^cl, y^op) :- Ns(x)",
+        "Gv(x^cl, y^op) :- Ns(x)",
+        "F(x^cl, y^op) :- T(x)",
+        "Empty(x^cl) :- Emptys(x)",
+        "Lt(x^cl, y^cl) :- Lts(x, y)",
+    ]
+    return mapping_from_rules(
+        rules,
+        source={"Hs": 2, "Vs": 2, "Ns": 1, "T": 1, "Emptys": 1, "Lts": 2},
+        target={"H": 2, "V": 2, "N": 1, "Gh": 2, "Gv": 2, "F": 2, "Empty": 1, "Lt": 2},
+        name="tiling",
+    )
+
+
+def _successor_formula(axis: str) -> str:
+    """The ``a-succ(z, y)`` formula comparing bit-vector encodings (proof of Thm 3)."""
+    same, moved = ("Gv", "Gh") if axis == "h" else ("Gh", "Gv")
+    return (
+        f"(forall i . ({same}(i, z) <-> {same}(i, y)))"
+        f" & (exists i . {moved}(i, y) & ~ {moved}(i, z)"
+        f" & (forall j . Lt(j, i) -> ({moved}(j, z) & ~ {moved}(j, y)))"
+        f" & (forall j . Lt(i, j) -> ({moved}(j, z) <-> {moved}(j, y))))"
+    )
+
+
+def tiling_sentence(first_tile: str) -> str:
+    """The sentence ``β`` forcing ``F``, ``Gh``, ``Gv`` to encode a tiling."""
+    pos = "(~ Empty(y) & exists t . F(t, y))"
+    beta1 = (
+        "~ (exists t y1 y2 . F(t, y1) & F(t, y2) & Empty(y1) & ~ Empty(y2))"
+    )
+    beta2 = "forall x t t2 . (~ Empty(x) & F(t, x) & F(t2, x)) -> t = t2"
+    beta31 = (
+        "exists y . ("
+        + pos.replace("y)", "y)")
+        + " & (forall i . N(i) -> (Gh(i, y) & Gv(i, y)))"
+        + " & (forall y2 . ((~ Empty(y2) & exists t . F(t, y2))"
+        + " & (forall i . N(i) -> (Gh(i, y2) & Gv(i, y2)))) -> y = y2))"
+    )
+    pred_h = (
+        "((exists i . Gh(i, y)) -> (exists z . (~ Empty(z) & exists t . F(t, z)) & "
+        + _successor_formula("h").replace("z,", "z,")
+        + "))"
+    )
+    pred_v = (
+        "((exists i . Gv(i, y)) -> (exists z . (~ Empty(z) & exists t . F(t, z)) & "
+        + _successor_formula("v")
+        + "))"
+    )
+    beta32 = f"forall y . {pos} -> ({pred_h} & {pred_v})"
+    beta41 = (
+        f"exists y . F('{first_tile}', y) & ~ Empty(y) & ~ (exists i . Gh(i, y) | Gv(i, y))"
+    )
+    hsucc = _successor_formula("h").replace("(i, z)", "(i, x)").replace("(i, y)", "(i, y)")
+    beta42 = (
+        "forall x y t t2 . (F(t, x) & F(t2, y) & ~ Empty(x) & ~ Empty(y)) -> "
+        "((" + _successor_formula("h").replace("z", "x") + " -> H(t, t2))"
+        " & (" + _successor_formula("v").replace("z", "x") + " -> V(t, t2)))"
+    )
+    return " & ".join(f"({part})" for part in (beta1, beta2, beta31, beta32, beta41, beta42))
+
+
+def tiling_to_deqa(
+    instance: TilingInstance,
+) -> tuple[SchemaMapping, Instance, Query, tuple]:
+    """Build ``(Σα, S, Q, t̄)`` such that ``t̄ ∈ certain_Σα(Q, S)`` iff there is
+    *no* tiling (the reduction targets the complement of DEQA)."""
+    mapping = tiling_mapping()
+    source = Instance()
+    for pair in instance.horizontal:
+        source.add("Hs", pair)
+    for pair in instance.vertical:
+        source.add("Vs", pair)
+    for i in range(1, instance.n + 1):
+        source.add("Ns", (i,))
+    for tile in instance.tiles:
+        source.add("T", (tile,))
+    source.add("Emptys", ("empty",))
+    for i in range(1, instance.n + 1):
+        for j in range(i + 1, instance.n + 1):
+            source.add("Lts", (i, j))
+    beta = tiling_sentence(instance.tiles[0])
+    query = Query(parse_formula(f"~ (({beta}) & Empty(x))"), ["x"], name="tiling_query")
+    return mapping, source, query, ("empty",)

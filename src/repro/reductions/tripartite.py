@@ -1,0 +1,142 @@
+"""Tripartite matching → recognition (Theorem 2, NP-hardness).
+
+Input: disjoint sets ``B0, G0, H0`` of equal size ``n`` and a compatibility
+relation ``C0 ⊆ B0 × G0 × H0``.  Question: is there a subset of ``n`` triples
+of ``C0`` covering all elements of ``B0 ∪ G0 ∪ H0``?
+
+The reduction builds the mapping (``#cl(Σα) = 1``)::
+
+    C(x^op, y^op, z^op), B(x^cl), G(y^cl), H(z^cl) :- N(w)
+    C(x^op, y^op, z^op)                            :- Cs(x, y, z)
+
+a source interpreting ``N`` as ``{1..n}`` and ``Cs`` as ``C0``, and a target
+interpreting ``B, G, H, C`` as ``B0, G0, H0, C0``; the target belongs to
+``⟦S⟧_Σα`` iff the matching instance has a solution.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.mapping import SchemaMapping, mapping_from_rules
+from repro.relational.instance import Instance
+
+
+@dataclass(frozen=True)
+class TripartiteMatchingInstance:
+    """An instance of the tripartite (3-dimensional) matching problem."""
+
+    boys: tuple
+    girls: tuple
+    homes: tuple
+    triples: tuple[tuple, ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.boys) == len(self.girls) == len(self.homes)):
+            raise ValueError("the three sets must have the same size")
+
+    @property
+    def size(self) -> int:
+        return len(self.boys)
+
+    def has_matching(self) -> bool:
+        """Brute-force decision (used as ground truth in tests and benches)."""
+        n = self.size
+        for subset in itertools.combinations(self.triples, n):
+            if (
+                {t[0] for t in subset} == set(self.boys)
+                and {t[1] for t in subset} == set(self.girls)
+                and {t[2] for t in subset} == set(self.homes)
+            ):
+                return True
+        return n == 0
+
+    @classmethod
+    def random(
+        cls, n: int, extra_triples: int = 2, satisfiable: bool = True, seed: int = 0
+    ) -> "TripartiteMatchingInstance":
+        """Generate a random instance of size ``n``.
+
+        With ``satisfiable=True`` a perfect matching is planted; otherwise one
+        element of ``H`` is left out of every triple, making a matching
+        impossible (for ``n >= 1``).
+        """
+        rng = random.Random(seed)
+        boys = tuple(f"b{i}" for i in range(n))
+        girls = tuple(f"g{i}" for i in range(n))
+        homes = tuple(f"h{i}" for i in range(n))
+        triples: set[tuple] = set()
+        if satisfiable:
+            permutation = list(range(n))
+            rng.shuffle(permutation)
+            for i in range(n):
+                triples.add((boys[i], girls[permutation[i]], homes[(i + 1) % n]))
+        for _ in range(extra_triples):
+            allowed_homes = homes if satisfiable else homes[: max(n - 1, 0)] or homes[:1]
+            triples.add(
+                (rng.choice(boys), rng.choice(girls), rng.choice(allowed_homes))
+            )
+        if not satisfiable and n >= 1:
+            # Ensure the last home never occurs, so no perfect matching exists.
+            triples = {t for t in triples if t[2] != homes[-1]}
+            if not triples:
+                triples = {(boys[0], girls[0], homes[0] if n == 1 else homes[0])}
+                triples = {t for t in triples if t[2] != homes[-1]} or {
+                    (boys[0], girls[0], homes[0])
+                }
+        return cls(boys, girls, homes, tuple(sorted(triples)))
+
+
+def tripartite_mapping(closed_positions: int = 1) -> SchemaMapping:
+    """The reduction's annotated mapping; ``closed_positions`` replicates the
+    closed variable to exhibit ``#cl(Σα) = k`` for any ``k ≥ 1`` (as in the
+    proof, higher values reuse the same reduction)."""
+    if closed_positions < 1:
+        raise ValueError("the reduction needs at least one closed position")
+    # For k > 1 the proof replicates one closed variable; with binary relations
+    # for B, G, H whose positions are all closed and equal.
+    if closed_positions == 1:
+        rules = [
+            "C(x^op, y^op, z^op), B(x^cl), G(y^cl), H(z^cl) :- N(w)",
+            "C(x^op, y^op, z^op) :- Cs(x, y, z)",
+        ]
+        target = {"C": 3, "B": 1, "G": 1, "H": 1}
+    else:
+        k = closed_positions
+        def widen(var: str) -> str:
+            return ", ".join([f"{var}^cl"] * k)
+
+        rules = [
+            f"C(x^op, y^op, z^op), B({widen('x')}), G({widen('y')}), H({widen('z')}) :- N(w)",
+            "C(x^op, y^op, z^op) :- Cs(x, y, z)",
+        ]
+        target = {"C": 3, "B": k, "G": k, "H": k}
+    return mapping_from_rules(
+        rules, source={"N": 1, "Cs": 3}, target=target, name="tripartite"
+    )
+
+
+def tripartite_to_recognition(
+    instance: TripartiteMatchingInstance, closed_positions: int = 1
+) -> tuple[SchemaMapping, Instance, Instance]:
+    """Build ``(Σα, S, T)`` such that ``T ∈ ⟦S⟧_Σα`` iff a matching exists."""
+    mapping = tripartite_mapping(closed_positions)
+    source = Instance()
+    for i in range(1, instance.size + 1):
+        source.add("N", (i,))
+    for triple in instance.triples:
+        source.add("Cs", triple)
+    target = Instance()
+    k = closed_positions
+    for b in instance.boys:
+        target.add("B", (b,) * max(k, 1))
+    for g in instance.girls:
+        target.add("G", (g,) * max(k, 1))
+    for h in instance.homes:
+        target.add("H", (h,) * max(k, 1))
+    for triple in instance.triples:
+        target.add("C", triple)
+    return mapping, source, target

@@ -1,0 +1,65 @@
+"""Relational substrate: instances over ``Const ∪ Null`` and their semantics.
+
+This package implements the data model of Section 2 of the paper:
+
+* plain relational schemas and instances (:mod:`repro.relational.schema`,
+  :mod:`repro.relational.instance`);
+* labelled nulls and valuations (:mod:`repro.relational.domain`,
+  :mod:`repro.relational.valuation`);
+* annotated tuples, relations and instances of Section 3
+  (:mod:`repro.relational.annotated`);
+* homomorphisms of plain and annotated instances
+  (:mod:`repro.relational.homomorphism`);
+* the ``Rep`` and ``RepA`` semantics of incomplete instances
+  (:mod:`repro.relational.rep`).
+"""
+
+from repro.relational.domain import Null, NullFactory, fresh_null, is_constant, is_null
+from repro.relational.schema import RelationSchema, Schema
+from repro.relational.instance import Instance
+from repro.relational.annotated import (
+    CL,
+    OP,
+    AnnotatedInstance,
+    AnnotatedTuple,
+    Annotation,
+)
+from repro.relational.valuation import Valuation, enumerate_valuations
+from repro.relational.homomorphism import (
+    find_annotated_homomorphism,
+    find_homomorphism,
+    find_onto_homomorphism,
+    is_homomorphically_equivalent,
+)
+from repro.relational.rep import (
+    enumerate_rep,
+    enumerate_rep_a,
+    rep_a_contains,
+    rep_contains,
+)
+
+__all__ = [
+    "Null",
+    "NullFactory",
+    "fresh_null",
+    "is_constant",
+    "is_null",
+    "RelationSchema",
+    "Schema",
+    "Instance",
+    "OP",
+    "CL",
+    "Annotation",
+    "AnnotatedTuple",
+    "AnnotatedInstance",
+    "Valuation",
+    "enumerate_valuations",
+    "find_homomorphism",
+    "find_annotated_homomorphism",
+    "find_onto_homomorphism",
+    "is_homomorphically_equivalent",
+    "rep_contains",
+    "rep_a_contains",
+    "enumerate_rep",
+    "enumerate_rep_a",
+]

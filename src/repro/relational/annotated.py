@@ -1,0 +1,307 @@
+"""Annotated tuples, relations and instances (Section 3 of the paper).
+
+An *annotated tuple* is a pair ``(t, α)`` where ``t`` is an ordinary tuple and
+``α`` maps each position to ``op`` (open) or ``cl`` (closed).  An *annotated
+instance* is a set of annotated relations.  For purely technical reasons (to
+deal with empty tables after a chase step with an unsatisfied body), the paper
+also introduces *empty annotated tuples* ``(_, α)``; they are represented here
+by an :class:`AnnotatedTuple` whose ``values`` field is ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.relational.domain import Null, is_null
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+
+#: Annotation constants, matching the paper's superscripts ``op`` and ``cl``.
+OP = "op"
+CL = "cl"
+
+
+class Annotation(tuple):
+    """A per-position annotation: a tuple over ``{OP, CL}``.
+
+    ``Annotation`` is an immutable tuple subclass so it can be used inside sets
+    and as part of annotated tuples.
+    """
+
+    def __new__(cls, marks: Iterable[str]):
+        marks = tuple(marks)
+        for m in marks:
+            if m not in (OP, CL):
+                raise ValueError(f"annotation marks must be 'op' or 'cl', got {m!r}")
+        return super().__new__(cls, marks)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def all_open(cls, arity: int) -> "Annotation":
+        return cls((OP,) * arity)
+
+    @classmethod
+    def all_closed(cls, arity: int) -> "Annotation":
+        return cls((CL,) * arity)
+
+    @classmethod
+    def from_string(cls, spec: str) -> "Annotation":
+        """Parse a compact spec such as ``"cl,op"`` or ``"co"`` (c=cl, o=op)."""
+        spec = spec.strip()
+        if "," in spec or spec in (OP, CL):
+            parts = [p.strip() for p in spec.split(",")]
+            return cls(parts)
+        mapping = {"c": CL, "o": OP}
+        return cls(mapping[ch] for ch in spec)
+
+    # -- measures ------------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self)
+
+    def open_positions(self) -> list[int]:
+        return [i for i, m in enumerate(self) if m == OP]
+
+    def closed_positions(self) -> list[int]:
+        return [i for i, m in enumerate(self) if m == CL]
+
+    def open_count(self) -> int:
+        return sum(1 for m in self if m == OP)
+
+    def closed_count(self) -> int:
+        return sum(1 for m in self if m == CL)
+
+    def is_all_open(self) -> bool:
+        return all(m == OP for m in self)
+
+    def is_all_closed(self) -> bool:
+        return all(m == CL for m in self)
+
+    # -- order ----------------------------------------------------------------
+
+    def leq(self, other: "Annotation") -> bool:
+        """The paper's order ``α ⪯ α′``: closed marks may be relaxed to open.
+
+        Formally, for each position either both are ``cl`` or ``other`` is
+        ``op``; equivalently, every position closed in ``other`` is closed in
+        ``self``.
+        """
+        if len(self) != len(other):
+            raise ValueError("annotations of different arity are incomparable")
+        return all(o == OP or s == CL for s, o in zip(self, other))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Annotation({','.join(self)})"
+
+
+@dataclass(frozen=True)
+class AnnotatedTuple:
+    """A pair ``(t, α)``; ``values is None`` encodes the empty tuple ``(_, α)``."""
+
+    values: tuple | None
+    annotation: Annotation
+
+    def __post_init__(self) -> None:
+        if self.values is not None and len(self.values) != len(self.annotation):
+            raise ValueError(
+                f"tuple {self.values!r} and annotation {self.annotation!r} disagree on arity"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        return self.values is None
+
+    @property
+    def arity(self) -> int:
+        return len(self.annotation)
+
+    def nulls(self) -> set[Null]:
+        if self.values is None:
+            return set()
+        return {v for v in self.values if is_null(v)}
+
+    def coincides_on_closed(self, ground: tuple) -> bool:
+        """Does ``ground`` agree with this tuple on every closed position?
+
+        Used by the ``RepA`` semantics: a tuple of a represented instance must
+        coincide with (a valuation of) some annotated tuple on all positions
+        that tuple annotates as closed.  Empty annotated tuples impose no
+        constraint (they "license" arbitrary tuples only when all-open; the
+        caller checks that).
+        """
+        if self.values is None:
+            return self.annotation.is_all_open()
+        if len(ground) != len(self.values):
+            return False
+        return all(
+            ground[i] == self.values[i] for i in self.annotation.closed_positions()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.values is None:
+            return f"(_, {','.join(self.annotation)})"
+        parts = [f"{v!r}^{m}" for v, m in zip(self.values, self.annotation)]
+        return f"({', '.join(parts)})"
+
+
+class AnnotatedInstance:
+    """A finite set of annotated relations.
+
+    The instance stores, per relation name, a set of :class:`AnnotatedTuple`.
+    The *relational part* ``rel(T)`` — the plain instance of non-empty tuples —
+    is available via :meth:`rel`.
+    """
+
+    def __init__(
+        self,
+        data: Mapping[str, Iterable[AnnotatedTuple]] | None = None,
+        schema: Schema | None = None,
+    ):
+        self._relations: dict[str, set[AnnotatedTuple]] = {}
+        self.schema = schema
+        if data:
+            for name, atuples in data.items():
+                for at in atuples:
+                    self.add(name, at)
+
+    # -- construction ---------------------------------------------------------
+
+    def add(self, relation: str, annotated_tuple: AnnotatedTuple) -> None:
+        if self.schema is not None and relation in self.schema:
+            expected = self.schema.arity(relation)
+            if annotated_tuple.arity != expected:
+                raise ValueError(
+                    f"annotated tuple of arity {annotated_tuple.arity} added to "
+                    f"relation {relation!r} of arity {expected}"
+                )
+        self._relations.setdefault(relation, set()).add(annotated_tuple)
+
+    def add_tuple(
+        self, relation: str, values: Iterable[Any], annotation: Annotation | str
+    ) -> AnnotatedTuple:
+        """Convenience: add ``(values, annotation)`` and return the annotated tuple."""
+        if isinstance(annotation, str):
+            annotation = Annotation.from_string(annotation)
+        at = AnnotatedTuple(tuple(values), annotation)
+        self.add(relation, at)
+        return at
+
+    def add_empty(self, relation: str, annotation: Annotation) -> AnnotatedTuple:
+        at = AnnotatedTuple(None, annotation)
+        self.add(relation, at)
+        return at
+
+    @classmethod
+    def from_instance(cls, instance: Instance, annotation_mark: str = CL) -> "AnnotatedInstance":
+        """Lift a plain instance, annotating every position with ``annotation_mark``."""
+        out = cls(schema=instance.schema)
+        for name, tup in instance.facts():
+            marks = Annotation((annotation_mark,) * len(tup))
+            out.add(name, AnnotatedTuple(tup, marks))
+        return out
+
+    def copy(self) -> "AnnotatedInstance":
+        out = AnnotatedInstance(schema=self.schema)
+        for name, atuples in self._relations.items():
+            out._relations[name] = set(atuples)
+        return out
+
+    # -- access ---------------------------------------------------------------
+
+    def relation(self, name: str) -> set[AnnotatedTuple]:
+        return self._relations.get(name, set())
+
+    def relation_names(self) -> list[str]:
+        return [name for name, atuples in self._relations.items() if atuples]
+
+    def annotated_facts(self) -> Iterator[tuple[str, AnnotatedTuple]]:
+        for name, atuples in self._relations.items():
+            for at in atuples:
+                yield name, at
+
+    def __iter__(self) -> Iterator[tuple[str, AnnotatedTuple]]:
+        return self.annotated_facts()
+
+    def __len__(self) -> int:
+        return sum(len(atuples) for atuples in self._relations.values())
+
+    def __contains__(self, fact: tuple[str, AnnotatedTuple]) -> bool:
+        name, at = fact
+        return at in self._relations.get(name, set())
+
+    # -- derived ---------------------------------------------------------------
+
+    def rel(self) -> Instance:
+        """The relational part ``rel(T)``: all non-empty plain tuples."""
+        out = Instance(schema=self.schema)
+        for name, at in self.annotated_facts():
+            if not at.is_empty:
+                out.add(name, at.values)
+        return out
+
+    def nulls(self) -> set[Null]:
+        out: set[Null] = set()
+        for _, at in self.annotated_facts():
+            out.update(at.nulls())
+        return out
+
+    def constants(self) -> set[Any]:
+        out: set[Any] = set()
+        for _, at in self.annotated_facts():
+            if at.values is not None:
+                out.update(v for v in at.values if not is_null(v))
+        return out
+
+    def active_domain(self) -> set[Any]:
+        out: set[Any] = set()
+        for _, at in self.annotated_facts():
+            if at.values is not None:
+                out.update(at.values)
+        return out
+
+    def max_open_per_tuple(self) -> int:
+        """Maximum number of open positions over all annotated tuples."""
+        return max(
+            (at.annotation.open_count() for _, at in self.annotated_facts()), default=0
+        )
+
+    def is_all_open(self) -> bool:
+        return all(at.annotation.is_all_open() for _, at in self.annotated_facts())
+
+    def is_all_closed(self) -> bool:
+        return all(at.annotation.is_all_closed() for _, at in self.annotated_facts())
+
+    def union(self, other: "AnnotatedInstance") -> "AnnotatedInstance":
+        out = self.copy()
+        for name, at in other.annotated_facts():
+            out.add(name, at)
+        return out
+
+    def map_values(self, fn) -> "AnnotatedInstance":
+        """Apply ``fn`` to every value of every non-empty tuple, keeping annotations."""
+        out = AnnotatedInstance(schema=self.schema)
+        for name, at in self.annotated_facts():
+            if at.is_empty:
+                out.add(name, at)
+            else:
+                out.add(name, AnnotatedTuple(tuple(fn(v) for v in at.values), at.annotation))
+        return out
+
+    # -- comparisons -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AnnotatedInstance):
+            return NotImplemented
+        mine = {n: s for n, s in self._relations.items() if s}
+        theirs = {n: s for n, s in other._relations.items() if s}
+        return mine == theirs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        for name in sorted(self._relations):
+            atuples = ", ".join(sorted(map(repr, self._relations[name])))
+            parts.append(f"{name}={{{atuples}}}")
+        return f"AnnotatedInstance({'; '.join(parts)})"

@@ -1,0 +1,57 @@
+"""Convenience builders for instances used in examples and tests."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.relational.annotated import (
+    AnnotatedInstance,
+    AnnotatedTuple,
+    Annotation,
+)
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+
+
+def make_instance(data: Mapping[str, Iterable[Iterable[Any]]], schema: Schema | None = None) -> Instance:
+    """Build an :class:`Instance` from ``{"R": [(a, b), ...]}``-style data."""
+    instance = Instance(schema=schema)
+    for name, tuples in data.items():
+        for tup in tuples:
+            instance.add(name, tuple(tup))
+    return instance
+
+
+def make_annotated_instance(
+    data: Mapping[str, Iterable[tuple[Iterable[Any], str]]],
+    schema: Schema | None = None,
+) -> AnnotatedInstance:
+    """Build an :class:`AnnotatedInstance` from ``{"R": [((a, b), "cl,op"), ...]}``.
+
+    The second component of each entry is an annotation spec accepted by
+    :meth:`Annotation.from_string`; use ``None`` values inside the tuple spec
+    to create empty annotated tuples, e.g. ``((None, None), "oo")`` is not
+    valid — pass ``(None, "oo")`` instead.
+    """
+    instance = AnnotatedInstance(schema=schema)
+    for name, entries in data.items():
+        for values, spec in entries:
+            annotation = Annotation.from_string(spec)
+            if values is None:
+                instance.add(name, AnnotatedTuple(None, annotation))
+            else:
+                instance.add(name, AnnotatedTuple(tuple(values), annotation))
+    return instance
+
+
+def graph_instance(edges: Iterable[tuple[Any, Any]], edge_relation: str = "E", vertex_relation: str | None = "V") -> Instance:
+    """Build a graph instance with an edge relation and optional vertex relation."""
+    instance = Instance()
+    vertices: set[Any] = set()
+    for a, b in edges:
+        instance.add(edge_relation, (a, b))
+        vertices.update((a, b))
+    if vertex_relation is not None:
+        for v in sorted(vertices, key=repr):
+            instance.add(vertex_relation, (v,))
+    return instance

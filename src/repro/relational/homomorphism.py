@@ -1,0 +1,194 @@
+"""Homomorphisms between instances with nulls.
+
+Two flavours are needed by the paper:
+
+* *plain* homomorphisms ``h : A → B`` mapping the nulls of ``A`` to values of
+  ``B`` (nulls or constants), the identity on constants, such that every fact
+  of ``A`` is mapped to a fact of ``B`` — used for CWA-solutions and cores;
+* *annotated* homomorphisms mapping nulls to nulls and preserving annotations,
+  as in Section 3 ("homomorphisms preserve annotations").
+
+Both are found by straightforward backtracking over the facts of the source
+instance; instances in this library are small enough (canonical solutions of
+laptop-scale sources) that no sophisticated join ordering is required.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.relational.annotated import AnnotatedInstance
+from repro.relational.domain import Null, is_null
+from repro.relational.instance import Instance
+
+
+def _extend_mapping(
+    mapping: dict[Null, Any], src: tuple, dst: tuple, nulls_to_nulls: bool
+) -> Optional[dict[Null, Any]]:
+    """Try to extend ``mapping`` so that ``src`` maps onto ``dst`` position-wise."""
+    if len(src) != len(dst):
+        return None
+    new = dict(mapping)
+    for s, d in zip(src, dst):
+        if is_null(s):
+            if nulls_to_nulls and not is_null(d):
+                return None
+            if s in new:
+                if new[s] != d:
+                    return None
+            else:
+                new[s] = d
+        else:
+            if s != d:
+                return None
+    return new
+
+
+def find_homomorphism(
+    source: Instance, target: Instance, nulls_to_nulls: bool = False
+) -> Optional[dict[Null, Any]]:
+    """Find a homomorphism from ``source`` into ``target``.
+
+    Returns a dictionary mapping each null of ``source`` to a value of
+    ``target`` such that the image of every fact of ``source`` is a fact of
+    ``target``, or ``None`` if no such homomorphism exists.  With
+    ``nulls_to_nulls=True`` nulls may only map to nulls.
+    """
+    facts = sorted(source.facts(), key=lambda f: (f[0], len(f[1])))
+
+    def search(index: int, mapping: dict[Null, Any]) -> Optional[dict[Null, Any]]:
+        if index == len(facts):
+            return mapping
+        name, tup = facts[index]
+        for candidate in target.relation(name):
+            extended = _extend_mapping(mapping, tup, candidate, nulls_to_nulls)
+            if extended is not None:
+                result = search(index + 1, extended)
+                if result is not None:
+                    return result
+        return None
+
+    return search(0, {})
+
+
+def find_annotated_homomorphism(
+    source: AnnotatedInstance, target: AnnotatedInstance
+) -> Optional[dict[Null, Null]]:
+    """Find an annotation-preserving homomorphism between annotated instances.
+
+    A homomorphism of annotated instances maps nulls to nulls, is the identity
+    on constants, and sends every annotated tuple ``(t, α)`` of ``source`` to
+    an annotated tuple ``(h(t), α)`` of ``target`` (same annotation).  Empty
+    annotated tuples must occur, with the same annotation, in the target.
+    """
+    facts = sorted(
+        source.annotated_facts(),
+        key=lambda f: (f[0], f[1].is_empty, len(f[1].annotation)),
+    )
+
+    def candidates(name: str, at) -> Iterator[tuple]:
+        for other in target.relation(name):
+            if other.annotation != at.annotation:
+                continue
+            if at.is_empty:
+                if other.is_empty:
+                    yield None
+                continue
+            if other.is_empty:
+                continue
+            yield other.values
+
+    def search(index: int, mapping: dict[Null, Null]) -> Optional[dict[Null, Null]]:
+        if index == len(facts):
+            return mapping
+        name, at = facts[index]
+        if at.is_empty:
+            found = any(True for _ in candidates(name, at))
+            return search(index + 1, mapping) if found else None
+        for dst_values in candidates(name, at):
+            extended = _extend_mapping(mapping, at.values, dst_values, nulls_to_nulls=True)
+            if extended is not None:
+                result = search(index + 1, extended)
+                if result is not None:
+                    return result
+        return None
+
+    return search(0, {})
+
+
+def apply_null_mapping(instance: Instance, mapping: dict[Null, Any]) -> Instance:
+    """Apply a null mapping (homomorphism) to every value of an instance."""
+    return instance.map_values(lambda v: mapping.get(v, v) if is_null(v) else v)
+
+
+def apply_null_mapping_annotated(
+    instance: AnnotatedInstance, mapping: dict[Null, Any]
+) -> AnnotatedInstance:
+    """Apply a null mapping to an annotated instance, keeping annotations."""
+    return instance.map_values(lambda v: mapping.get(v, v) if is_null(v) else v)
+
+
+def find_onto_homomorphism(
+    source: AnnotatedInstance, target: AnnotatedInstance
+) -> Optional[dict[Null, Null]]:
+    """Find ``h`` with ``h(source) = target`` (an annotated homomorphic *image*).
+
+    This is the notion used for presolutions: the target must be exactly the
+    image of the source under an annotation-preserving null mapping.  The
+    search enumerates annotated homomorphisms and keeps the first whose image
+    equals ``target``; to keep the search finite we only consider mappings of
+    nulls of ``source`` to nulls occurring in ``target``.
+    """
+    source_nulls = sorted(source.nulls(), key=lambda n: n.ident)
+    target_nulls = sorted(target.nulls(), key=lambda n: n.ident)
+
+    def image_equals_target(mapping: dict[Null, Null]) -> bool:
+        image = apply_null_mapping_annotated(source, mapping)
+        return image == target
+
+    def search(index: int, mapping: dict[Null, Null]) -> Optional[dict[Null, Null]]:
+        if index == len(source_nulls):
+            return dict(mapping) if image_equals_target(mapping) else None
+        null = source_nulls[index]
+        for candidate in target_nulls or []:
+            mapping[null] = candidate
+            result = search(index + 1, mapping)
+            if result is not None:
+                return result
+            del mapping[null]
+        if not target_nulls:
+            return dict(mapping) if image_equals_target(mapping) else None
+        return None
+
+    if not source_nulls:
+        return {} if image_equals_target({}) else None
+    return search(0, {})
+
+
+def is_homomorphically_equivalent(a: Instance, b: Instance) -> bool:
+    """``True`` iff there are homomorphisms ``a → b`` and ``b → a``."""
+    return find_homomorphism(a, b) is not None and find_homomorphism(b, a) is not None
+
+
+def core_of(instance: Instance) -> Instance:
+    """Compute the core of an instance with nulls.
+
+    The core is the smallest sub-instance to which the instance maps
+    homomorphically; it is unique up to isomorphism (Fagin–Kolaitis–Popa,
+    "Getting to the core").  The implementation greedily tries to retract one
+    fact at a time, which is correct (the core is reached when no proper
+    retract exists) though exponential in the worst case.
+    """
+    current = instance.copy()
+    changed = True
+    while changed:
+        changed = False
+        for name, tup in sorted(current.facts(), key=lambda fact: (fact[0], repr(fact[1]))):
+            candidate = current.copy()
+            candidate.discard(name, tup)
+            hom = find_homomorphism(current, candidate)
+            if hom is not None:
+                current = candidate
+                changed = True
+                break
+    return current

@@ -1,0 +1,209 @@
+"""Plain relational instances over ``Const ∪ Null``.
+
+An :class:`Instance` maps relation names to finite sets of tuples.  Tuples may
+contain constants and labelled nulls; an instance whose tuples contain only
+constants is *ground*.  Source instances in data exchange are always ground;
+target instances (canonical solutions, CWA-solutions, ...) are generally not.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.relational.domain import Null, is_null
+from repro.relational.schema import Schema
+
+
+class Instance:
+    """A finite relational instance.
+
+    The class behaves like a dictionary from relation names to sets of tuples,
+    with convenience methods for the operations used throughout the library:
+    active domains, null extraction, union, subset tests, valuation
+    application, and relation renaming.
+    """
+
+    def __init__(
+        self,
+        data: Mapping[str, Iterable[tuple]] | None = None,
+        schema: Schema | None = None,
+    ):
+        self._relations: dict[str, set[tuple]] = {}
+        self.schema = schema
+        if data:
+            for name, tuples in data.items():
+                for t in tuples:
+                    self.add(name, t)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Iterable[tuple]], schema: Schema | None = None) -> "Instance":
+        return cls(data, schema=schema)
+
+    def add(self, relation: str, values: Iterable[Any]) -> tuple:
+        """Add a tuple to ``relation`` and return it (normalised to a tuple)."""
+        tup = tuple(values)
+        if self.schema is not None and relation in self.schema:
+            expected = self.schema.arity(relation)
+            if len(tup) != expected:
+                raise ValueError(
+                    f"tuple {tup!r} has arity {len(tup)}, relation {relation!r} expects {expected}"
+                )
+        self._relations.setdefault(relation, set()).add(tup)
+        return tup
+
+    def add_all(self, relation: str, tuples: Iterable[Iterable[Any]]) -> None:
+        for t in tuples:
+            self.add(relation, t)
+
+    def discard(self, relation: str, values: Iterable[Any]) -> None:
+        """Remove a tuple if present; silently ignore otherwise."""
+        tup = tuple(values)
+        if relation in self._relations:
+            self._relations[relation].discard(tup)
+            if not self._relations[relation]:
+                del self._relations[relation]
+
+    def copy(self) -> "Instance":
+        out = Instance(schema=self.schema)
+        for name, tuples in self._relations.items():
+            out._relations[name] = set(tuples)
+        return out
+
+    # -- access -----------------------------------------------------------
+
+    def relation(self, name: str) -> set[tuple]:
+        """Return the set of tuples of ``name`` (empty set if absent)."""
+        return self._relations.get(name, set())
+
+    def relation_names(self) -> list[str]:
+        return [name for name, tuples in self._relations.items() if tuples]
+
+    def facts(self) -> Iterator[tuple[str, tuple]]:
+        """Iterate over ``(relation, tuple)`` pairs."""
+        for name, tuples in self._relations.items():
+            for t in tuples:
+                yield name, t
+
+    def __getitem__(self, name: str) -> set[tuple]:
+        return self.relation(name)
+
+    def __contains__(self, fact: tuple[str, tuple]) -> bool:
+        name, tup = fact
+        return tuple(tup) in self._relations.get(name, set())
+
+    def __len__(self) -> int:
+        """Number of tuples in the instance (the paper's ``‖I‖``)."""
+        return sum(len(tuples) for tuples in self._relations.values())
+
+    def __bool__(self) -> bool:
+        return any(self._relations.values())
+
+    def __iter__(self) -> Iterator[tuple[str, tuple]]:
+        return self.facts()
+
+    # -- domains ----------------------------------------------------------
+
+    def active_domain(self) -> set[Any]:
+        """The active domain ``D_I``: all values occurring in some tuple."""
+        dom: set[Any] = set()
+        for _, tup in self.facts():
+            dom.update(tup)
+        return dom
+
+    def constants(self) -> set[Any]:
+        return {v for v in self.active_domain() if not is_null(v)}
+
+    def nulls(self) -> set[Null]:
+        return {v for v in self.active_domain() if is_null(v)}
+
+    def is_ground(self) -> bool:
+        """``True`` iff the instance contains no nulls."""
+        return not self.nulls()
+
+    # -- algebraic operations ---------------------------------------------
+
+    def union(self, other: "Instance") -> "Instance":
+        out = self.copy()
+        for name, tup in other.facts():
+            out.add(name, tup)
+        return out
+
+    def difference(self, other: "Instance") -> "Instance":
+        out = Instance(schema=self.schema)
+        for name, tup in self.facts():
+            if (name, tup) not in other:
+                out.add(name, tup)
+        return out
+
+    def contains_instance(self, other: "Instance") -> bool:
+        """Relation-wise superset test: ``other ⊆ self``."""
+        return all((name, tup) in self for name, tup in other.facts())
+
+    def restrict_to_domain(self, domain: set[Any]) -> "Instance":
+        """Keep only tuples all of whose values lie in ``domain``."""
+        out = Instance(schema=self.schema)
+        for name, tup in self.facts():
+            if all(v in domain for v in tup):
+                out.add(name, tup)
+        return out
+
+    def restrict_to_relations(self, names: Iterable[str]) -> "Instance":
+        keep = set(names)
+        out = Instance(schema=self.schema)
+        for name, tup in self.facts():
+            if name in keep:
+                out.add(name, tup)
+        return out
+
+    def rename_relations(self, renaming: Mapping[str, str]) -> "Instance":
+        out = Instance()
+        for name, tup in self.facts():
+            out.add(renaming.get(name, name), tup)
+        return out
+
+    def map_values(self, fn: Callable[[Any], Any]) -> "Instance":
+        """Apply ``fn`` to every value of every tuple."""
+        out = Instance(schema=self.schema)
+        for name, tup in self.facts():
+            out.add(name, tuple(fn(v) for v in tup))
+        return out
+
+    # -- comparisons --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._as_normalised_dict() == other._as_normalised_dict()
+
+    def __hash__(self) -> int:
+        raise TypeError("Instance is mutable and unhashable; use freeze()")
+
+    def freeze(self) -> frozenset[tuple[str, tuple]]:
+        """A hashable snapshot of the instance (set of facts)."""
+        return frozenset(self.facts())
+
+    def _as_normalised_dict(self) -> dict[str, frozenset[tuple]]:
+        return {
+            name: frozenset(tuples)
+            for name, tuples in self._relations.items()
+            if tuples
+        }
+
+    def to_dict(self) -> dict[str, list[tuple]]:
+        """A plain-Python snapshot, with deterministic ordering where possible."""
+        out: dict[str, list[tuple]] = {}
+        for name in sorted(self._relations):
+            tuples = self._relations[name]
+            try:
+                out[name] = sorted(tuples)
+            except TypeError:
+                out[name] = list(tuples)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        for name in sorted(self._relations):
+            parts.append(f"{name}={sorted(map(repr, self._relations[name]))}")
+        return f"Instance({', '.join(parts)})"

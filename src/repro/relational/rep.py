@@ -1,0 +1,263 @@
+"""The ``Rep`` and ``RepA`` semantics of incomplete instances.
+
+``Rep(T)`` (Imieliński–Lipski) is the set of ground instances obtained by
+applying a valuation to the naive table ``T``.  ``RepA(T)`` (Section 3 of the
+paper) generalises this to *annotated* instances: after applying a valuation,
+tuples may be replicated arbitrarily in their open positions, while closed
+positions pin the represented tuples down.
+
+Formally (quoting the paper): a ground relation ``R`` is in ``RepA(T)`` for
+``T = {(t_i, α_i)}`` if for some valuation ``v``
+
+* ``R`` contains the non-empty tuples among ``v(t_1), ..., v(t_n)``, and
+* every tuple ``t ∈ R`` coincides with some ``v(t_i)`` on all positions
+  annotated as closed by ``α_i``.
+
+The all-open empty tuple ``(_, α)`` permits arbitrary tuples (including the
+empty relation); empty tuples with a closed position do not change the
+semantics.
+
+Membership tests return the witnessing valuation, which doubles as a
+certificate checked independently in the test-suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.relational.annotated import AnnotatedInstance
+from repro.relational.domain import fresh_constant_pool
+from repro.relational.instance import Instance
+from repro.relational.valuation import Valuation, enumerate_valuations
+
+
+def _match_tuple_to_ground(
+    pattern: tuple, ground_tuple: tuple, mapping: dict
+) -> Optional[dict]:
+    """Extend a null→constant mapping so that the pattern maps onto the ground tuple."""
+    if len(pattern) != len(ground_tuple):
+        return None
+    new = dict(mapping)
+    for p, g in zip(pattern, ground_tuple):
+        from repro.relational.domain import is_null
+
+        if is_null(p):
+            if p in new:
+                if new[p] != g:
+                    return None
+            else:
+                new[p] = g
+        elif p != g:
+            return None
+    return new
+
+
+def rep_contains(table: Instance, ground: Instance) -> Optional[Valuation]:
+    """Is ``ground ∈ Rep(table)``?  Return a witnessing valuation or ``None``.
+
+    ``Rep(T) = { v(T) | v a valuation }`` so membership requires the ground
+    instance to be *exactly* a valuation image of the table.  Nulls must map
+    into the active domain of ``ground`` (otherwise the image could not equal
+    it); the search proceeds by matching the table's facts against the ground
+    facts one at a time (backtracking), then verifying image equality.
+    """
+    facts = sorted(table.facts(), key=lambda f: (f[0], repr(f[1])))
+
+    def search(index: int, mapping: dict) -> Optional[dict]:
+        if index == len(facts):
+            valuation = Valuation(mapping)
+            return mapping if valuation.apply_instance(table) == ground else None
+        name, pattern = facts[index]
+        for candidate in ground.relation(name):
+            extended = _match_tuple_to_ground(pattern, candidate, mapping)
+            if extended is not None:
+                found = search(index + 1, extended)
+                if found is not None:
+                    return found
+        return None
+
+    if not table.nulls():
+        return Valuation() if table == ground else None
+    found = search(0, {})
+    return Valuation(found) if found is not None else None
+
+
+def rep_a_contains(
+    table: AnnotatedInstance, ground: Instance
+) -> Optional[Valuation]:
+    """Is ``ground ∈ RepA(table)``?  Return a witnessing valuation or ``None``.
+
+    This is the NP membership check of Theorem 2 (item "always in NP"): guess a
+    valuation ``v`` of the nulls of ``table``, then verify in polynomial time
+    that (1) ``ground ⊇ v(rel(table))`` and (2) every tuple of ``ground``
+    coincides with some tuple of ``v(table)`` on that tuple's closed
+    positions.
+
+    Because condition (1) forces the image of every non-empty annotated tuple
+    to be a tuple of ``ground``, the "guess" is realised by matching the
+    non-empty annotated tuples against ground tuples one at a time
+    (backtracking with consistency propagation), which also ensures every null
+    receives a value from the active domain of ``ground``.
+    """
+    facts = [
+        (name, at)
+        for name, at in sorted(
+            table.annotated_facts(), key=lambda f: (f[0], repr(f[1]))
+        )
+        if not at.is_empty
+    ]
+
+    def search(index: int, mapping: dict) -> Optional[dict]:
+        if index == len(facts):
+            valuation = Valuation(mapping)
+            return mapping if _check_rep_a(table, ground, valuation) else None
+        name, at = facts[index]
+        for candidate in ground.relation(name):
+            extended = _match_tuple_to_ground(at.values, candidate, mapping)
+            if extended is not None:
+                found = search(index + 1, extended)
+                if found is not None:
+                    return found
+        return None
+
+    found = search(0, {})
+    return Valuation(found) if found is not None else None
+
+
+def _check_rep_a(
+    table: AnnotatedInstance, ground: Instance, valuation: Valuation
+) -> bool:
+    """Polynomial-time verification step of the RepA membership check."""
+    applied = valuation.apply_annotated(table)
+    # (1) ground must contain the valuation image of the relational part.
+    if not ground.contains_instance(applied.rel()):
+        return False
+    # (2) every ground tuple must be licensed by some annotated tuple.
+    for name, tup in ground.facts():
+        atuples = applied.relation(name)
+        if not any(at.coincides_on_closed(tup) for at in atuples):
+            return False
+    return True
+
+
+def check_rep_a_with_valuation(
+    table: AnnotatedInstance, ground: Instance, valuation: Valuation
+) -> bool:
+    """Public wrapper: verify a claimed RepA membership certificate."""
+    return _check_rep_a(table, ground, valuation)
+
+
+def enumerate_rep(
+    table: Instance, extra_constants: int = 0
+) -> Iterator[Instance]:
+    """Enumerate ``Rep(table)`` up to isomorphism of the fresh constants used.
+
+    The enumeration uses valuations into the constants of the table plus
+    ``extra_constants`` fresh constants.  For generic queries this captures all
+    relevant possible worlds with at most that many "new" values; tests use it
+    as a ground-truth oracle on tiny instances.
+    """
+    pool = sorted(table.constants(), key=repr)
+    pool += fresh_constant_pool(extra_constants, avoid=pool)
+    seen: set[frozenset] = set()
+    for valuation in enumerate_valuations(table.nulls(), pool or ["#c0"]):
+        image = valuation.apply_instance(table)
+        key = image.freeze()
+        if key not in seen:
+            seen.add(key)
+            yield image
+
+
+def _open_completions(
+    applied: AnnotatedInstance, pool: list[Any]
+) -> list[tuple[str, tuple]]:
+    """All extra facts licensed by open positions, with open values from ``pool``.
+
+    For each annotated tuple, extra tuples must agree on its closed positions
+    and may take any pool value on its open positions.  All-closed tuples
+    license nothing beyond themselves.  Empty all-open tuples license every
+    tuple over the pool.
+    """
+    extras: set[tuple[str, tuple]] = set()
+    for name, at in applied.annotated_facts():
+        annotation = at.annotation
+        if annotation.is_all_closed():
+            continue
+        open_positions = annotation.open_positions()
+        base: list[Any]
+        if at.is_empty:
+            if not annotation.is_all_open():
+                continue
+            base = [None] * annotation.arity
+        else:
+            base = list(at.values)
+        for combo in itertools.product(pool, repeat=len(open_positions)):
+            new = list(base)
+            for pos, value in zip(open_positions, combo):
+                new[pos] = value
+            if None in new:
+                continue
+            fact = (name, tuple(new))
+            extras.add(fact)
+    return sorted(extras, key=repr)
+
+
+def enumerate_rep_a(
+    table: AnnotatedInstance,
+    extra_constants: int = 1,
+    max_extra_tuples: int = 2,
+    extra_pool: Iterable[Any] = (),
+) -> Iterator[Instance]:
+    """Enumerate a bounded fragment of ``RepA(table)``.
+
+    ``RepA`` is infinite whenever some position is open, so the enumeration is
+    parameterised by two budgets mirroring the bounds used in the paper's
+    membership proofs:
+
+    * ``extra_constants`` — how many fresh constants (beyond the constants of
+      ``table``) valuations and open replications may use;
+    * ``max_extra_tuples`` — how many replicated tuples (beyond the mandatory
+      ``v(rel(table))``) may be added through open positions;
+    * ``extra_pool`` — explicit additional constants the valuations and open
+      replications may use (e.g. the active domain of a downstream instance in
+      composition checks).
+
+    The enumeration is exact for all-closed tables (where ``RepA`` coincides
+    with ``Rep``) and serves as a ground-truth oracle for small cases
+    otherwise; decision procedures document which budget makes them complete.
+    """
+    base_pool = sorted(set(table.constants()) | set(extra_pool), key=repr)
+    pool = base_pool + fresh_constant_pool(extra_constants, avoid=base_pool)
+    nulls = sorted(table.nulls(), key=lambda n: n.ident)
+    seen: set[frozenset] = set()
+    for valuation in enumerate_valuations(nulls, pool or ["#c0"]):
+        applied = valuation.apply_annotated(table)
+        mandatory = applied.rel()
+        extras = [f for f in _open_completions(applied, pool) if f not in mandatory]
+        for k in range(0, min(max_extra_tuples, len(extras)) + 1):
+            for chosen in itertools.combinations(extras, k):
+                candidate = mandatory.copy()
+                for name, tup in chosen:
+                    candidate.add(name, tup)
+                key = candidate.freeze()
+                if key not in seen:
+                    seen.add(key)
+                    yield candidate
+
+
+def rep_a_is_subset_bounded(
+    smaller: AnnotatedInstance,
+    larger: AnnotatedInstance,
+    extra_constants: int = 1,
+    max_extra_tuples: int = 2,
+) -> bool:
+    """Bounded test for ``RepA(smaller) ⊆ RepA(larger)``.
+
+    Enumerates the bounded fragment of ``RepA(smaller)`` and checks each member
+    for membership in ``RepA(larger)``; used in tests of Theorem 1 (item 3).
+    """
+    for ground in enumerate_rep_a(smaller, extra_constants, max_extra_tuples):
+        if rep_a_contains(larger, ground) is None:
+            return False
+    return True

@@ -1,0 +1,133 @@
+"""Relational schemas.
+
+A schema is a finite set of relation symbols, each with a fixed arity and,
+optionally, named attributes.  Schemas are used both as *source* (``σ``) and
+*target* (``τ``) vocabularies of schema mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation symbol with its arity and attribute names."""
+
+    name: str
+    arity: int
+    attributes: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise ValueError(f"arity of {self.name!r} must be non-negative")
+        if not self.attributes:
+            object.__setattr__(
+                self, "attributes", tuple(f"a{i}" for i in range(1, self.arity + 1))
+            )
+        if len(self.attributes) != self.arity:
+            raise ValueError(
+                f"relation {self.name!r}: {len(self.attributes)} attribute names "
+                f"for arity {self.arity}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}/{self.arity}"
+
+
+class Schema:
+    """A relational schema: a mapping from relation names to their signatures.
+
+    Construction accepts either :class:`RelationSchema` objects or a mapping
+    from names to arities::
+
+        Schema({"E": 2, "V": 1})
+        Schema([RelationSchema("Papers", 2, ("paper", "title"))])
+    """
+
+    def __init__(
+        self,
+        relations: Mapping[str, int] | Iterable[RelationSchema] | None = None,
+    ):
+        self._relations: dict[str, RelationSchema] = {}
+        if relations is None:
+            return
+        if isinstance(relations, Mapping):
+            for name, arity in relations.items():
+                self.add(RelationSchema(name, arity))
+        else:
+            for rel in relations:
+                self.add(rel)
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, relation: RelationSchema) -> None:
+        """Add a relation symbol; re-adding an identical signature is a no-op."""
+        existing = self._relations.get(relation.name)
+        if existing is not None and existing != relation:
+            raise ValueError(f"conflicting declarations for relation {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def union(self, other: "Schema") -> "Schema":
+        """Return the union of two schemas; arities must agree on shared names."""
+        result = Schema(list(self._relations.values()))
+        for rel in other.relations():
+            result.add(rel)
+        return result
+
+    def restrict(self, names: Iterable[str]) -> "Schema":
+        """Return the sub-schema containing only the given relation names."""
+        keep = set(names)
+        return Schema([r for r in self.relations() if r.name in keep])
+
+    def rename(self, renaming: Mapping[str, str]) -> "Schema":
+        """Return a copy with relations renamed according to ``renaming``."""
+        return Schema(
+            [
+                RelationSchema(renaming.get(r.name, r.name), r.arity, r.attributes)
+                for r in self.relations()
+            ]
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    def relations(self) -> list[RelationSchema]:
+        return list(self._relations.values())
+
+    def names(self) -> list[str]:
+        return list(self._relations)
+
+    def arity(self, name: str) -> int:
+        return self[name].arity
+
+    def max_arity(self) -> int:
+        """Maximum arity of a relation in the schema (0 for the empty schema)."""
+        return max((r.arity for r in self.relations()), default=0)
+
+    def is_disjoint_from(self, other: "Schema") -> bool:
+        return not (set(self.names()) & set(other.names()))
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rels = ", ".join(f"{r.name}/{r.arity}" for r in self.relations())
+        return f"Schema({{{rels}}})"

@@ -1,0 +1,132 @@
+"""Valuations of nulls.
+
+A *valuation* is a partial map from nulls to constants.  Applying a valuation
+``v`` to an instance ``T`` replaces every null ``⊥`` by ``v(⊥)``; the paper
+writes ``v(T)``.  Valuations drive the ``Rep``/``RepA`` semantics and all the
+guess-and-check decision procedures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.relational.annotated import AnnotatedInstance, AnnotatedTuple
+from repro.relational.domain import Null, is_null
+from repro.relational.instance import Instance
+
+
+class Valuation:
+    """A partial map ``Null → Const``.
+
+    The class is deliberately small: a dictionary plus application helpers.
+    Unmapped nulls are left untouched by :meth:`value`, which makes partial
+    application convenient when building homomorphism-like certificates.
+    """
+
+    def __init__(self, mapping: Mapping[Null, Any] | None = None):
+        self._map: dict[Null, Any] = dict(mapping or {})
+        for key, val in self._map.items():
+            if not is_null(key):
+                raise TypeError(f"valuation keys must be nulls, got {key!r}")
+            if is_null(val):
+                raise TypeError(f"valuation values must be constants, got {val!r}")
+
+    # -- basic operations ------------------------------------------------------
+
+    def value(self, v: Any) -> Any:
+        """Image of a single value: constants map to themselves."""
+        if is_null(v):
+            return self._map.get(v, v)
+        return v
+
+    def apply_tuple(self, tup: tuple) -> tuple:
+        return tuple(self.value(v) for v in tup)
+
+    def apply_instance(self, instance: Instance) -> Instance:
+        return instance.map_values(self.value)
+
+    def apply_annotated(self, instance: AnnotatedInstance) -> AnnotatedInstance:
+        return instance.map_values(self.value)
+
+    def apply_annotated_tuple(self, at: AnnotatedTuple) -> AnnotatedTuple:
+        if at.is_empty:
+            return at
+        return AnnotatedTuple(self.apply_tuple(at.values), at.annotation)
+
+    # -- construction ------------------------------------------------------------
+
+    def extend(self, null: Null, constant: Any) -> "Valuation":
+        """Return a new valuation additionally mapping ``null`` to ``constant``."""
+        new = dict(self._map)
+        new[null] = constant
+        return Valuation(new)
+
+    def update(self, other: "Valuation | Mapping[Null, Any]") -> "Valuation":
+        new = dict(self._map)
+        items = other.items() if isinstance(other, Mapping) else other._map.items()
+        new.update(items)
+        return Valuation(new)
+
+    def restrict(self, nulls: Iterable[Null]) -> "Valuation":
+        keep = set(nulls)
+        return Valuation({n: c for n, c in self._map.items() if n in keep})
+
+    def compose_after(self, homomorphism: Mapping[Null, Any]) -> "Valuation":
+        """Return ``self ∘ h``: first apply ``h`` (nulls to nulls/constants), then ``self``."""
+        out: dict[Null, Any] = {}
+        for null, image in homomorphism.items():
+            out[null] = self.value(image)
+        for null, const in self._map.items():
+            out.setdefault(null, const)
+        return Valuation({n: c for n, c in out.items() if not is_null(c)})
+
+    # -- dict-like interface -------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[Null, Any]]:
+        return iter(self._map.items())
+
+    def keys(self) -> Iterator[Null]:
+        return iter(self._map)
+
+    def __getitem__(self, null: Null) -> Any:
+        return self._map[null]
+
+    def get(self, null: Null, default: Any = None) -> Any:
+        return self._map.get(null, default)
+
+    def __contains__(self, null: Null) -> bool:
+        return null in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Valuation):
+            return NotImplemented
+        return self._map == other._map
+
+    def defined_on(self, nulls: Iterable[Null]) -> bool:
+        return all(n in self._map for n in nulls)
+
+    def as_dict(self) -> dict[Null, Any]:
+        return dict(self._map)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = ", ".join(f"{n!r}→{c!r}" for n, c in sorted(self._map.items(), key=lambda p: p[0].ident))
+        return f"Valuation({{{pairs}}})"
+
+
+def enumerate_valuations(nulls: Iterable[Null], pool: Iterable[Any]) -> Iterator[Valuation]:
+    """Enumerate all total valuations of ``nulls`` with values from ``pool``.
+
+    The enumeration is the brute-force backbone of the small-case ground-truth
+    oracles used in tests; its size is ``|pool| ** |nulls|``.
+    """
+    nulls = sorted(set(nulls), key=lambda n: n.ident)
+    pool = list(dict.fromkeys(pool))
+    if not nulls:
+        yield Valuation()
+        return
+    for combo in itertools.product(pool, repeat=len(nulls)):
+        yield Valuation(dict(zip(nulls, combo)))

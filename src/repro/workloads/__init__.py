@@ -1,0 +1,26 @@
+"""Deterministic workload generators for examples, tests and benchmarks."""
+
+from repro.workloads.conference import (
+    conference_mapping,
+    conference_source,
+    one_author_per_paper_query,
+)
+from repro.workloads.employees import employee_mapping, employee_skolem_mapping, employee_source
+from repro.workloads.graphs import copy_graph_mapping, path_graph, random_edges
+from repro.workloads.random_mappings import random_annotated_mapping, random_source
+from repro.workloads.scaling import scaled_copying_workload
+
+__all__ = [
+    "conference_mapping",
+    "conference_source",
+    "one_author_per_paper_query",
+    "employee_mapping",
+    "employee_skolem_mapping",
+    "employee_source",
+    "copy_graph_mapping",
+    "path_graph",
+    "random_edges",
+    "random_annotated_mapping",
+    "random_source",
+    "scaled_copying_workload",
+]

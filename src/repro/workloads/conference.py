@@ -1,0 +1,82 @@
+"""The conference-reviewing scenario from the paper's introduction.
+
+Source schema: ``Papers(paper, title)``, ``Assignments(paper, reviewer)``.
+Target schema: ``Reviews(paper, review)``, ``Submissions(paper, author)``.
+
+The annotated mapping is the one spelled out in Section 1:
+
+* submitted papers are copied (closed paper number), with an *open* author
+  null modelling the one-to-many paper/author relationship;
+* assigned papers get exactly one review per reviewer (all-closed);
+* unassigned papers get an *open* review null (any number of reviews).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.core.mapping import SchemaMapping, mapping_from_rules
+from repro.logic.parser import parse_formula
+from repro.logic.queries import Query
+from repro.relational.instance import Instance
+
+
+def conference_mapping() -> SchemaMapping:
+    """The annotated mapping of the introduction's example."""
+    return mapping_from_rules(
+        [
+            "Submissions(x^cl, z^op) :- Papers(x, y)",
+            "Reviews(x^cl, z^cl) :- Assignments(x, y)",
+            "Reviews(x^cl, z^op) :- Papers(x, y) & ~ exists r . Assignments(x, r)",
+        ],
+        source={"Papers": 2, "Assignments": 2},
+        target={"Submissions": 2, "Reviews": 2},
+        name="conference",
+    )
+
+
+def conference_source(
+    papers: int = 3, assigned_fraction: float = 0.5, reviewers_per_paper: int = 1, seed: int = 0
+) -> Instance:
+    """A synthetic conference source with the given number of papers.
+
+    A deterministic fraction of the papers is assigned to reviewers; the rest
+    are unassigned (and therefore exercised by the negated rule).
+    """
+    rng = random.Random(seed)
+    source = Instance()
+    assigned_count = int(round(papers * assigned_fraction))
+    for i in range(papers):
+        paper = f"p{i}"
+        source.add("Papers", (paper, f"Title {i}"))
+        if i < assigned_count:
+            for r in range(max(reviewers_per_paper, 1)):
+                source.add("Assignments", (paper, f"rev{rng.randrange(papers * 2)}_{r}"))
+    return source
+
+
+def one_author_per_paper_query() -> Query:
+    """The "every paper has exactly one author" query from the introduction.
+
+    Its certain answer is (counter-intuitively) *true* under the pure CWA and
+    *false* once the author attribute is annotated open.
+    """
+    formula = parse_formula(
+        "forall p a b . (Submissions(p, a) & Submissions(p, b)) -> a = b"
+    )
+    return Query(formula, [], name="one_author_per_paper")
+
+
+def reviewed_papers_query() -> Query:
+    """A positive query: papers having at least one review (certain answers via naive eval)."""
+    return Query(parse_formula("exists r . Reviews(p, r)"), ["p"], name="reviewed_papers")
+
+
+def unreviewed_submission_query() -> Query:
+    """A non-monotone query: submitted papers with no review at all."""
+    return Query(
+        parse_formula("(exists a . Submissions(p, a)) & ~ (exists r . Reviews(p, r))"),
+        ["p"],
+        name="unreviewed_submission",
+    )

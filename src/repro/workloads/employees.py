@@ -1,0 +1,67 @@
+"""The employee/projects scenario used for Skolemized STDs (Section 5).
+
+The source holds ``Works(employee, project)`` tuples; the target invents
+employee ids and phone numbers::
+
+    T(f(em)^cl, em^cl, g(em, proj)^op) :- Works(em, proj)
+
+One id is created per employee name (the Skolem function ``f`` depends on the
+name only), whereas phones are open — employees may have any number of them.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.mapping import SchemaMapping, mapping_from_rules
+from repro.core.skolem import SkolemMapping, SkSTD, parse_skstd
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+
+
+def employee_mapping() -> SchemaMapping:
+    """A plain annotated STD version (ids become per-tuple nulls)."""
+    return mapping_from_rules(
+        ["Emp(z^cl, em^cl, w^op) :- Works(em, proj)"],
+        source={"Works": 2},
+        target={"Emp": 3},
+        name="employees_std",
+    )
+
+
+def employee_skolem_mapping() -> SkolemMapping:
+    """The SkSTD version of example (8): one id per employee name, open phones."""
+    skstd = parse_skstd(
+        "Emp(f(em)^cl, em^cl, g(em, proj)^op) :- Works(em, proj)",
+        name="employees",
+    )
+    return SkolemMapping(
+        Schema({"Works": 2}), Schema({"Emp": 3}), [skstd], name="employees_sk"
+    )
+
+
+def employee_source(employees: int = 3, projects_per_employee: int = 2, seed: int = 0) -> Instance:
+    """A synthetic ``Works`` relation."""
+    rng = random.Random(seed)
+    source = Instance()
+    for e in range(employees):
+        for p in range(max(projects_per_employee, 1)):
+            source.add("Works", (f"emp{e}", f"proj{rng.randrange(projects_per_employee * 2)}_{p}"))
+    return source
+
+
+def payroll_mapping() -> SkolemMapping:
+    """A follow-up mapping from the employee target to a payroll schema.
+
+    Used by the schema-evolution example and the composition benchmarks:
+    ``Payroll(id, em)`` keeps the id/name correspondence, all-closed, so the
+    pair (employee mapping restricted to closed annotations, payroll mapping)
+    falls into Theorem 5's second closure class.
+    """
+    skstd = parse_skstd(
+        "Payroll(i^cl, em^cl) :- Emp(i, em, ph)",
+        name="payroll",
+    )
+    return SkolemMapping(
+        Schema({"Emp": 3}), Schema({"Payroll": 2}), [skstd], name="payroll_sk"
+    )

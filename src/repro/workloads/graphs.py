@@ -1,0 +1,62 @@
+"""Graph-shaped workloads: copying mappings and edge generators."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.core.mapping import SchemaMapping, mapping_from_rules
+from repro.relational.builders import graph_instance
+from repro.relational.instance import Instance
+
+
+def copy_graph_mapping(annotation: str = "cl", with_vertices: bool = True) -> SchemaMapping:
+    """The copying mapping ``E'(x, y) :- E(x, y)`` (plus ``V' :- V``) used in §4."""
+    rules = [f"Et(x^{annotation}, y^{annotation}) :- E(x, y)"]
+    source = {"E": 2}
+    target = {"Et": 2}
+    if with_vertices:
+        rules.append(f"Vt(x^{annotation}) :- V(x)")
+        source["V"] = 1
+        target["Vt"] = 1
+    return mapping_from_rules(rules, source=source, target=target, name="copy_graph")
+
+
+def path_graph(length: int) -> Instance:
+    """A directed path ``v0 → v1 → ... → v_length``."""
+    return graph_instance([(f"v{i}", f"v{i+1}") for i in range(length)])
+
+
+def cycle_graph(length: int) -> Instance:
+    """A directed cycle of the given length."""
+    return graph_instance([(f"v{i}", f"v{(i+1) % length}") for i in range(length)])
+
+
+def random_edges(n: int, m: int, seed: int = 0) -> list[tuple[str, str]]:
+    """``m`` random directed edges over ``n`` vertices (no self-loops), seeded."""
+    rng = random.Random(seed)
+    edges: set[tuple[str, str]] = set()
+    attempts = 0
+    while len(edges) < m and attempts < 50 * m + 50:
+        a, b = rng.randrange(n), rng.randrange(n)
+        attempts += 1
+        if a != b:
+            edges.add((f"v{a}", f"v{b}"))
+    return sorted(edges)
+
+
+def open_successor_mapping() -> SchemaMapping:
+    """The two-rule mapping witnessing #op = 1 hardness: copy plus open nulls.
+
+    ``R'_1(x̄^cl) :- R_1(x̄)``, ``R'_2(x^cl, z^op) :- R_2(x)`` — the shape the
+    paper points out is already enough for coNEXPTIME-hardness of DEQA.
+    """
+    return mapping_from_rules(
+        [
+            "R1t(x^cl, y^cl) :- R1(x, y)",
+            "R2t(x^cl, z^op) :- R2(x)",
+        ],
+        source={"R1": 2, "R2": 1},
+        target={"R1t": 2, "R2t": 2},
+        name="open_successor",
+    )

@@ -1,0 +1,73 @@
+"""Random annotated mappings and sources with controlled structural parameters."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.core.mapping import SchemaMapping
+from repro.core.std import STD, TargetAtom
+from repro.logic.formulas import Atom, conjunction
+from repro.logic.terms import Var
+from repro.relational.annotated import CL, OP, Annotation
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationSchema, Schema
+
+
+def random_annotated_mapping(
+    source_relations: int = 2,
+    target_relations: int = 2,
+    stds: int = 3,
+    max_arity: int = 2,
+    open_per_atom: int = 1,
+    seed: int = 0,
+) -> SchemaMapping:
+    """Generate a random CQ-STD mapping with ``#op(Σα) ≤ open_per_atom``.
+
+    Bodies are conjunctions of 1–2 source atoms over shared variables; heads
+    are single target atoms whose first positions re-export body variables
+    (closed) and whose last ``open_per_atom`` positions are fresh existential
+    variables annotated open (or closed when ``open_per_atom = 0``).
+    """
+    rng = random.Random(seed)
+    source = Schema(
+        [RelationSchema(f"S{i}", rng.randint(1, max_arity)) for i in range(source_relations)]
+    )
+    target = Schema(
+        [RelationSchema(f"T{i}", rng.randint(1, max_arity) + (1 if open_per_atom else 0)) for i in range(target_relations)]
+    )
+    rules: list[STD] = []
+    for index in range(stds):
+        source_rel = source.relations()[rng.randrange(len(source.relations()))]
+        body_vars = [Var(f"x{index}_{i}") for i in range(source_rel.arity)]
+        body_atoms = [Atom(source_rel.name, tuple(body_vars))]
+        if rng.random() < 0.4 and len(source.relations()) > 1:
+            other = source.relations()[rng.randrange(len(source.relations()))]
+            shared = body_vars[0]
+            extra_vars = [shared] + [Var(f"y{index}_{i}") for i in range(other.arity - 1)]
+            body_atoms.append(Atom(other.name, tuple(extra_vars[: other.arity])))
+        target_rel = target.relations()[rng.randrange(len(target.relations()))]
+        head_terms: list[Var] = []
+        marks: list[str] = []
+        open_budget = min(open_per_atom, target_rel.arity)
+        closed_count = target_rel.arity - open_budget
+        for position in range(closed_count):
+            head_terms.append(body_vars[position % len(body_vars)])
+            marks.append(CL)
+        for position in range(open_budget):
+            head_terms.append(Var(f"z{index}_{position}"))
+            marks.append(OP)
+        head = TargetAtom(target_rel.name, tuple(head_terms), Annotation(marks))
+        rules.append(STD([head], conjunction(body_atoms), name=f"std{index}"))
+    return SchemaMapping(source, target, rules, name=f"random_seed{seed}")
+
+
+def random_source(schema: Schema, tuples_per_relation: int = 4, domain_size: int = 6, seed: int = 0) -> Instance:
+    """A random ground source instance for the given schema."""
+    rng = random.Random(seed)
+    instance = Instance(schema=schema)
+    domain = [f"c{i}" for i in range(domain_size)]
+    for relation in schema.relations():
+        for _ in range(tuples_per_relation):
+            instance.add(relation.name, tuple(rng.choice(domain) for _ in range(relation.arity)))
+    return instance

@@ -1,0 +1,57 @@
+"""Scaling workloads used by the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.mapping import SchemaMapping
+from repro.relational.instance import Instance
+from repro.workloads.conference import conference_mapping, conference_source
+from repro.workloads.graphs import copy_graph_mapping, random_edges
+from repro.relational.builders import graph_instance
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named (mapping, source) pair with the parameters that produced it."""
+
+    name: str
+    mapping: SchemaMapping
+    source: Instance
+    parameters: tuple[tuple[str, object], ...]
+
+    def parameter(self, key: str) -> object:
+        return dict(self.parameters)[key]
+
+
+def scaled_copying_workload(sizes: Iterable[int], annotation: str = "cl", seed: int = 0) -> list[Workload]:
+    """Copy-the-graph workloads with increasing numbers of edges."""
+    out = []
+    for n in sizes:
+        edges = random_edges(max(n // 2, 2), n, seed=seed)
+        source = graph_instance(edges)
+        out.append(
+            Workload(
+                name=f"copy_{annotation}_{n}",
+                mapping=copy_graph_mapping(annotation=annotation),
+                source=source,
+                parameters=(("edges", n), ("annotation", annotation)),
+            )
+        )
+    return out
+
+
+def scaled_conference_workload(paper_counts: Iterable[int], seed: int = 0) -> list[Workload]:
+    """Conference workloads with increasing numbers of papers."""
+    out = []
+    for papers in paper_counts:
+        out.append(
+            Workload(
+                name=f"conference_{papers}",
+                mapping=conference_mapping(),
+                source=conference_source(papers=papers, seed=seed),
+                parameters=(("papers", papers),),
+            )
+        )
+    return out

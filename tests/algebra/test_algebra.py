@@ -1,0 +1,121 @@
+"""Tests for relational algebra expressions, evaluation, and naive semantics."""
+
+import pytest
+
+from repro.algebra.conditions import EqCond, NotCond, TrueCond
+from repro.algebra.evaluation import evaluate_algebra
+from repro.algebra.expressions import (
+    Difference,
+    EquiJoin,
+    Intersection,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    Union,
+    col,
+    const,
+    eq,
+)
+from repro.algebra.naive import is_positive_expression, naive_evaluate_algebra
+from repro.algebra.translate import algebra_to_query
+from repro.relational.builders import make_instance
+from repro.relational.domain import fresh_null
+
+DB = make_instance(
+    {
+        "E": [("a", "b"), ("b", "c"), ("c", "a")],
+        "L": [("a",), ("b",)],
+    }
+)
+ARITIES = {"E": 2, "L": 1}
+
+
+def test_relation_ref_and_projection():
+    assert evaluate_algebra(RelationRef("L"), DB) == {("a",), ("b",)}
+    first_column = Projection(RelationRef("E"), [0])
+    assert evaluate_algebra(first_column, DB) == {("a",), ("b",), ("c",)}
+
+
+def test_selection_with_conditions():
+    expr = Selection(RelationRef("E"), EqCond(col(0), const("a")))
+    assert evaluate_algebra(expr, DB) == {("a", "b")}
+    negated = Selection(RelationRef("E"), NotCond(EqCond(col(0), const("a"))))
+    assert evaluate_algebra(negated, DB) == {("b", "c"), ("c", "a")}
+    assert evaluate_algebra(Selection(RelationRef("E"), TrueCond()), DB) == DB.relation("E")
+
+
+def test_product_and_equijoin():
+    product = Product(RelationRef("L"), RelationRef("L"))
+    assert len(evaluate_algebra(product, DB)) == 4
+    join = EquiJoin(RelationRef("E"), RelationRef("E"), [(1, 0)])
+    paths = {(row[0], row[3]) for row in evaluate_algebra(join, DB)}
+    assert ("a", "c") in paths and ("b", "a") in paths
+
+
+def test_union_intersection_difference():
+    swapped = Projection(RelationRef("E"), [1, 0])
+    union = Union(RelationRef("E"), swapped)
+    assert len(evaluate_algebra(union, DB)) == 6
+    inter = Intersection(RelationRef("E"), swapped)
+    assert evaluate_algebra(inter, DB) == set()
+    diff = Difference(RelationRef("E"), Selection(RelationRef("E"), EqCond(col(0), const("a"))))
+    assert evaluate_algebra(diff, DB) == {("b", "c"), ("c", "a")}
+
+
+def test_rename_is_noop_on_positional_tuples():
+    renamed = Rename(RelationRef("E"), ["from", "to"])
+    assert evaluate_algebra(renamed, DB) == DB.relation("E")
+    assert renamed.arity(ARITIES) == 2
+
+
+def test_positive_fragment_classification():
+    positive = Projection(Selection(RelationRef("E"), EqCond(col(0), col(1))), [0])
+    assert is_positive_expression(positive)
+    assert not is_positive_expression(Difference(RelationRef("E"), RelationRef("E")))
+    assert not is_positive_expression(
+        Selection(RelationRef("E"), NotCond(EqCond(col(0), const("a"))))
+    )
+    assert is_positive_expression(Union(RelationRef("E"), RelationRef("E")))
+
+
+def test_naive_evaluation_discards_null_rows():
+    null = fresh_null()
+    db = make_instance({"E": [("a", "b")]})
+    db.add("E", ("c", null))
+    projection_first = Projection(RelationRef("E"), [0])
+    assert naive_evaluate_algebra(projection_first, db) == {("a",), ("c",)}
+    assert naive_evaluate_algebra(RelationRef("E"), db) == {("a", "b")}
+
+
+def test_algebra_to_query_agrees_with_direct_evaluation():
+    expressions = [
+        Projection(Selection(RelationRef("E"), EqCond(col(0), const("a"))), [1]),
+        Union(Projection(RelationRef("E"), [0]), RelationRef("L")),
+        Difference(RelationRef("L"), Projection(RelationRef("E"), [1])),
+        EquiJoin(RelationRef("E"), RelationRef("E"), [(1, 0)]),
+        Intersection(Projection(RelationRef("E"), [0]), RelationRef("L")),
+    ]
+    for expression in expressions:
+        query = algebra_to_query(expression, ARITIES)
+        assert query.evaluate(DB) == evaluate_algebra(expression, DB), expression
+
+
+def test_arity_computation():
+    assert Product(RelationRef("E"), RelationRef("L")).arity(ARITIES) == 3
+    assert Projection(RelationRef("E"), [0]).arity(ARITIES) == 1
+    assert Union(RelationRef("E"), RelationRef("E")).arity(ARITIES) == 2
+
+
+def test_eq_shorthand():
+    condition = eq(0, 1)
+    assert condition.evaluate(("a", "a"))
+    assert not condition.evaluate(("a", "b"))
+    constant_condition = eq(0, const("a"))
+    assert constant_condition.evaluate(("a", "x"))
+
+
+def test_relations_collected():
+    expr = Union(RelationRef("E"), Projection(RelationRef("L"), [0]))
+    assert expr.relations() == {"E", "L"}

@@ -1,0 +1,110 @@
+"""Tests for target dependencies, weak acyclicity and the chase engine."""
+
+import pytest
+
+from repro.chase.dependencies import EGD, TGD, parse_dependencies, parse_egd, parse_tgd
+from repro.chase.engine import ChaseFailure, chase
+from repro.chase.weak_acyclicity import dependency_graph, is_weakly_acyclic
+from repro.logic.parser import ParseError
+from repro.relational.builders import make_instance
+
+
+def test_parse_tgd_structure():
+    tgd = parse_tgd("Emp(e) -> exists d . Dept(e, d)")
+    assert [a.relation for a in tgd.body] == ["Emp"]
+    assert [a.relation for a in tgd.head] == ["Dept"]
+    assert {v.name for v in tgd.existential_variables()} == {"d"}
+    assert {v.name for v in tgd.frontier_variables()} == {"e"}
+    assert not tgd.is_full()
+    assert parse_tgd("A(x) -> B(x)").is_full()
+
+
+def test_parse_egd_structure():
+    egd = parse_egd("Dept(e, d1) & Dept(e, d2) -> d1 = d2")
+    assert egd.left.name == "d1" and egd.right.name == "d2"
+    assert len(egd.body) == 2
+
+
+def test_parse_dependency_errors():
+    with pytest.raises(ParseError):
+        parse_tgd("Emp(e) & Dept(e, d)")
+    with pytest.raises(ParseError):
+        parse_tgd("~Emp(e) -> Dept(e, d)")
+    with pytest.raises(ParseError):
+        parse_egd("Dept(e, d) -> Dept(d, e)")
+
+
+def test_parse_dependencies_dispatch():
+    deps = parse_dependencies(
+        ["Emp(e) -> exists d . Dept(e, d)", "Dept(e, d1) & Dept(e, d2) -> d1 = d2"]
+    )
+    assert isinstance(deps[0], TGD) and isinstance(deps[1], EGD)
+
+
+def test_weak_acyclicity_positive_and_negative():
+    acyclic = [parse_tgd("Emp(e) -> exists d . Dept(e, d)")]
+    assert is_weakly_acyclic(acyclic)
+    # Classic non-terminating example: each null spawns a new null.
+    cyclic = [parse_tgd("E(x, y) -> exists z . E(y, z)")]
+    assert not is_weakly_acyclic(cyclic)
+    # Full tgds are always weakly acyclic.
+    assert is_weakly_acyclic([parse_tgd("E(x, y) -> E(y, x)")])
+
+
+def test_dependency_graph_edges():
+    edges = dependency_graph([parse_tgd("E(x, y) -> exists z . F(y, z)")])
+    assert (("E", 1), ("F", 0), False) in edges
+    assert (("E", 1), ("F", 1), True) in edges
+    # x is frontier? x does not occur in the head, so no edge from ("E", 0) to F positions 0
+    assert not any(source == ("E", 0) and not special for source, _, special in edges)
+
+
+def test_chase_adds_required_tuples_once():
+    tgds = [parse_tgd("Emp(e) -> exists d . Dept(e, d)")]
+    result = chase(make_instance({"Emp": [("ann",), ("bob",)]}), tgds)
+    assert result.terminated
+    assert len(result.instance.relation("Dept")) == 2
+    # Chasing again is a no-op (the standard chase checks satisfiability first).
+    again = chase(result.instance, tgds)
+    assert len(again) == 0
+
+
+def test_chase_egd_equates_nulls():
+    dependencies = parse_dependencies(
+        [
+            "Emp(e) -> exists d . Dept(e, d)",
+            "Proj(e, p) -> exists d . Dept(e, d)",
+            "Dept(e, d1) & Dept(e, d2) -> d1 = d2",
+        ]
+    )
+    instance = make_instance({"Emp": [("ann",)], "Proj": [("ann", "p1")]})
+    result = chase(instance, dependencies)
+    assert result.terminated
+    assert len(result.instance.relation("Dept")) == 1
+
+
+def test_chase_egd_failure_on_constants():
+    egd = parse_egd("Dept(e, d1) & Dept(e, d2) -> d1 = d2")
+    instance = make_instance({"Dept": [("ann", "sales"), ("ann", "hr")]})
+    with pytest.raises(ChaseFailure):
+        chase(instance, [egd])
+
+
+def test_chase_full_tgd_closure():
+    tgd = parse_tgd("E(x, y) -> E(y, x)")
+    result = chase(make_instance({"E": [("a", "b")]}), [tgd])
+    assert result.instance.relation("E") == {("a", "b"), ("b", "a")}
+
+
+def test_chase_step_budget_detects_nontermination():
+    cyclic = [parse_tgd("E(x, y) -> exists z . E(y, z)")]
+    result = chase(make_instance({"E": [("a", "b")]}), cyclic, max_steps=5)
+    assert not result.terminated
+    assert len(result) == 5
+
+
+def test_chase_trace_records_added_facts():
+    tgds = [parse_tgd("Emp(e) -> exists d . Dept(e, d)")]
+    result = chase(make_instance({"Emp": [("ann",)]}), tgds)
+    assert result.steps[0].kind == "tgd"
+    assert result.steps[0].added[0][0] == "Dept"

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mapping import SchemaMapping, mapping_from_rules
+from repro.relational.builders import make_instance
+from repro.relational.instance import Instance
+
+
+@pytest.fixture
+def conference_mapping() -> SchemaMapping:
+    """The annotated mapping from the paper's introduction."""
+    return mapping_from_rules(
+        [
+            "Submissions(x^cl, z^op) :- Papers(x, y)",
+            "Reviews(x^cl, z^cl) :- Assignments(x, y)",
+            "Reviews(x^cl, z^op) :- Papers(x, y) & ~ exists r . Assignments(x, r)",
+        ],
+        source={"Papers": 2, "Assignments": 2},
+        target={"Submissions": 2, "Reviews": 2},
+        name="conference",
+    )
+
+
+@pytest.fixture
+def conference_source() -> Instance:
+    return make_instance(
+        {
+            "Papers": [("p1", "Title 1"), ("p2", "Title 2")],
+            "Assignments": [("p1", "alice")],
+        }
+    )
+
+
+@pytest.fixture
+def simple_copy_mapping() -> SchemaMapping:
+    """The running example ``R(x, z) :- E(x, y)`` from Section 2 (all-open)."""
+    return mapping_from_rules(
+        ["R(x, z) :- E(x, y)"], source={"E": 2}, target={"R": 2}, name="section2"
+    )
+
+
+@pytest.fixture
+def simple_copy_source() -> Instance:
+    return make_instance({"E": [("a", "c1"), ("a", "c2"), ("b", "c3")]})

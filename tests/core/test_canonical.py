@@ -1,0 +1,103 @@
+"""Tests for the (annotated) canonical solution construction."""
+
+from repro.core.canonical import canonical_instance, canonical_solution
+from repro.core.mapping import mapping_from_rules
+from repro.relational.annotated import Annotation
+from repro.relational.builders import make_instance
+from repro.relational.domain import is_null
+
+
+def test_section2_example_canonical_solution(simple_copy_mapping, simple_copy_source):
+    """E = {(a,c1),(a,c2),(b,c3)} with R(x,z) :- E(x,y) gives three distinct nulls."""
+    result = canonical_solution(simple_copy_mapping, simple_copy_source)
+    tuples = result.instance.relation("R")
+    assert len(tuples) == 3
+    assert {t[0] for t in tuples} == {"a", "b"}
+    nulls = [t[1] for t in tuples]
+    assert all(is_null(n) for n in nulls)
+    assert len(set(nulls)) == 3  # one fresh null per justification
+    assert len(result.justifications) == 3
+
+
+def test_annotations_follow_the_std(conference_mapping, conference_source):
+    result = canonical_solution(conference_mapping, conference_source)
+    submissions = result.annotated.relation("Submissions")
+    assert all(at.annotation == Annotation.from_string("cl,op") for at in submissions)
+    reviews = {at.annotation for at in result.annotated.relation("Reviews")}
+    # p1 is assigned (closed review), p2 is not (open review)
+    assert Annotation.from_string("cl,cl") in reviews
+    assert Annotation.from_string("cl,op") in reviews
+
+
+def test_same_variable_annotated_differently_in_different_atoms():
+    mapping = mapping_from_rules(
+        ["R(x^op, z1^cl), R(x^cl, z2^op) :- E(x, y)"],
+        source={"E": 2},
+        target={"R": 2},
+    )
+    source = make_instance({"E": [("a", "c")]})
+    annotated = canonical_solution(mapping, source).annotated
+    annotations = {at.annotation for at in annotated.relation("R")}
+    assert Annotation.from_string("op,cl") in annotations
+    assert Annotation.from_string("cl,op") in annotations
+    assert len(annotated.relation("R")) == 2
+
+
+def test_empty_body_adds_empty_annotated_tuples():
+    mapping = mapping_from_rules(
+        ["R(x^cl, z^op) :- E(x, y)"], source={"E": 2}, target={"R": 2}
+    )
+    empty_source = make_instance({})
+    result = canonical_solution(mapping, empty_source)
+    annotated_tuples = list(result.annotated.relation("R"))
+    assert len(annotated_tuples) == 1
+    assert annotated_tuples[0].is_empty
+    assert result.instance.relation("R") == set()  # rel() drops empty tuples
+
+
+def test_nulls_shared_across_head_atoms_of_same_rule():
+    mapping = mapping_from_rules(
+        ["A(x^cl, z^op), B(z^op) :- E(x, y)"], source={"E": 2}, target={"A": 2, "B": 1}
+    )
+    source = make_instance({"E": [("a", "b")]})
+    result = canonical_solution(mapping, source)
+    a_null = next(iter(result.instance.relation("A")))[1]
+    b_null = next(iter(result.instance.relation("B")))[0]
+    assert a_null == b_null  # same justification, same null
+
+
+def test_different_assignments_get_different_nulls():
+    mapping = mapping_from_rules(
+        ["R(x^cl, z^cl) :- E(x, y)"], source={"E": 2}, target={"R": 2}
+    )
+    source = make_instance({"E": [("a", "b1"), ("a", "b2")]})
+    result = canonical_solution(mapping, source)
+    nulls = {t[1] for t in result.instance.relation("R")}
+    assert len(nulls) == 2
+
+
+def test_canonical_solution_polynomial_shape():
+    """|CSol(S)| is exactly (number of triggers) x (head atoms)."""
+    mapping = mapping_from_rules(
+        ["R(x^cl, z^op) :- E(x, y)"], source={"E": 2}, target={"R": 2}
+    )
+    source = make_instance({"E": [(f"a{i}", f"b{i}") for i in range(10)]})
+    result = canonical_solution(mapping, source)
+    assert len(result.instance) == 10
+    assert len(result.triggers) == 10
+
+
+def test_canonical_instance_shorthand(simple_copy_mapping, simple_copy_source):
+    """Fresh nulls differ between runs, so compare up to null renaming."""
+    from repro.relational.homomorphism import is_homomorphically_equivalent
+
+    first = canonical_instance(simple_copy_mapping, simple_copy_source)
+    second = canonical_solution(simple_copy_mapping, simple_copy_source).instance
+    assert len(first) == len(second)
+    assert is_homomorphically_equivalent(first, second)
+
+
+def test_justification_lookup(simple_copy_mapping, simple_copy_source):
+    result = canonical_solution(simple_copy_mapping, simple_copy_source)
+    for null, justification in result.justifications.items():
+        assert result.null_for(justification) == null

@@ -1,0 +1,163 @@
+"""Tests for certain answers and the DEQA decision procedures (Section 4)."""
+
+import pytest
+
+from repro.algebra.expressions import Projection, RelationRef
+from repro.core.certain import (
+    certain_answer_boolean,
+    certain_answers,
+    certain_answers_naive,
+    certain_answers_positive,
+)
+from repro.core.deqa import certain_cwa, certain_owa, is_certain
+from repro.core.mapping import mapping_from_rules
+from repro.logic.cq import UnionOfConjunctiveQueries, cq
+from repro.logic.queries import Query
+from repro.relational.builders import make_instance
+
+
+COPY_CL = mapping_from_rules(
+    ["Et(x^cl, y^cl) :- E(x, y)"], source={"E": 2}, target={"Et": 2}
+)
+COPY_OP = COPY_CL.open_variant()
+GRAPH = make_instance({"E": [("a", "b"), ("b", "c")]})
+
+
+def test_positive_query_certain_answers_equal_naive_eval():
+    query = cq(["x"], [("Et", ["x", "y"])])
+    for mapping in (COPY_CL, COPY_OP):
+        assert certain_answers_positive(mapping, GRAPH, query) == {("a",), ("b",)}
+        assert certain_answers(mapping, GRAPH, query) == {("a",), ("b",)}
+
+
+def test_positive_query_null_columns_give_no_certain_answers():
+    mapping = mapping_from_rules(
+        ["T(x^cl, z^op) :- E(x, y)"], source={"E": 2}, target={"T": 2}
+    )
+    query = cq(["x", "z"], [("T", ["x", "z"])])
+    # The second column holds nulls only, so no tuple is certain.
+    assert certain_answers_positive(mapping, GRAPH, query) == set()
+    projection = cq(["x"], [("T", ["x", "z"])])
+    assert certain_answers_positive(mapping, GRAPH, projection) == {("a",), ("b",)}
+
+
+def test_certain_answers_accept_ucq_and_algebra_queries():
+    ucq = UnionOfConjunctiveQueries(
+        [cq(["x"], [("Et", ["x", "y"])]), cq(["x"], [("Et", ["y", "x"])])]
+    )
+    assert certain_answers(COPY_CL, GRAPH, ucq) == {("a",), ("b",), ("c",)}
+    algebra = Projection(RelationRef("Et"), [1])
+    assert certain_answers(COPY_CL, GRAPH, algebra) == {("b",), ("c",)}
+    assert certain_answers_naive(algebra, make_instance({"Et": [("x", "y")]})) == {("y",)}
+
+
+def test_full_fo_query_under_cwa_copying():
+    """Under the CWA, FO queries over copying mappings behave as over the source."""
+    query = Query("Et(x, y) & ~ Et(y, x)", ["x", "y"])
+    assert certain_answers(COPY_CL, GRAPH, query) == {("a", "b"), ("b", "c")}
+
+
+def test_full_fo_query_under_owa_copying_loses_negative_information():
+    """Under the OWA the negated conjunct can always be falsified by adding tuples."""
+    query = Query("Et(x, y) & ~ Et(y, x)", ["x", "y"])
+    assert certain_answers(COPY_OP, GRAPH, query) == set()
+
+
+def test_boolean_negative_query_owa_vs_cwa():
+    absent = Query("~ Et('c', 'a')", [])
+    assert certain_answer_boolean(COPY_CL, GRAPH, absent) is True
+    assert certain_answer_boolean(COPY_OP, GRAPH, absent) is False
+
+
+def test_one_author_anomaly_from_the_introduction():
+    """paper#: closed key; author: open vs closed — the motivating example."""
+    source = make_instance({"Papers": [("p1", "t1"), ("p2", "t2")]})
+    one_author = Query(
+        "forall p a b . (Subs(p, a) & Subs(p, b)) -> a = b", []
+    )
+    closed = mapping_from_rules(
+        ["Subs(x^cl, z^cl) :- Papers(x, y)"], source={"Papers": 2}, target={"Subs": 2}
+    )
+    mixed = mapping_from_rules(
+        ["Subs(x^cl, z^op) :- Papers(x, y)"], source={"Papers": 2}, target={"Subs": 2}
+    )
+    assert certain_answer_boolean(closed, source, one_author) is True
+    assert certain_answer_boolean(mixed, source, one_author) is False
+
+
+def test_is_certain_reports_counterexample_and_method():
+    query = Query("~ Et('c', 'a')", [])
+    result = is_certain(COPY_OP, GRAPH, query, ())
+    assert not result.certain
+    assert result.counterexample is not None
+    assert ("Et", ("c", "a")) in result.counterexample
+    closed_result = is_certain(COPY_CL, GRAPH, query, ())
+    assert closed_result.certain and closed_result.method == "conp-closed-world"
+    assert closed_result.complete
+
+
+def test_is_certain_monotone_shortcut():
+    query = Query("exists y . Et(x, y)", ["x"])
+    result = is_certain(COPY_OP, GRAPH, query, ("a",))
+    assert result.certain and result.method == "monotone-naive-eval"
+    assert not is_certain(COPY_OP, GRAPH, query, ("c",)).certain
+
+
+def test_is_certain_arity_check():
+    query = Query("exists y . Et(x, y)", ["x"])
+    with pytest.raises(ValueError):
+        is_certain(COPY_CL, GRAPH, query, ())
+
+
+def test_forall_exists_query_uses_prop5_budget():
+    mapping = mapping_from_rules(
+        ["T(x^cl, z^op) :- E(x, y)"], source={"E": 2}, target={"T": 2}
+    )
+    # Constraint: the second column is a key for the first — certainly false
+    # with an open second attribute (two values may be invented for 'a').
+    key_constraint = Query(
+        "forall x1 x2 z . (T(x1, z) & T(x2, z)) -> x1 = x2", []
+    )
+    result = is_certain(mapping, GRAPH, key_constraint, ())
+    assert result.method == "conp-forall-exists"
+    assert not result.certain
+    # The reverse functional constraint (one value per paper) is also false
+    # under the open annotation but true under the closed one.
+    functional = Query("forall x z1 z2 . (T(x, z1) & T(x, z2)) -> z1 = z2", [])
+    assert not is_certain(mapping, GRAPH, functional, ()).certain
+    assert is_certain(mapping.closed_variant(), GRAPH, functional, ()).certain
+
+
+def test_certain_owa_cwa_wrappers_match_reannotation():
+    query = Query("~ Et('c', 'a')", [])
+    assert certain_cwa(COPY_OP, GRAPH, query).certain is True
+    assert certain_owa(COPY_CL, GRAPH, query).certain is False
+
+
+def test_proposition2_sandwich_on_boolean_queries():
+    """certain_Σop ⊆ certain_Σα ⊆ certain_Σcl on a mixed mapping."""
+    mixed = mapping_from_rules(
+        ["T(x^cl, z^op) :- E(x, y)"], source={"E": 2}, target={"T": 2}
+    )
+    queries = [
+        Query("forall x z1 z2 . (T(x, z1) & T(x, z2)) -> z1 = z2", []),
+        Query("exists x z . T(x, z)", []),
+        Query("~ T('zzz', 'w')", []),
+    ]
+    for query in queries:
+        open_answer = is_certain(mixed.open_variant(), GRAPH, query, ()).certain
+        mixed_answer = is_certain(mixed, GRAPH, query, ()).certain
+        closed_answer = is_certain(mixed.closed_variant(), GRAPH, query, ()).certain
+        assert (not open_answer) or mixed_answer  # open ⊆ mixed
+        assert (not mixed_answer) or closed_answer  # mixed ⊆ closed
+
+
+def test_budget_limits_reported_as_incomplete():
+    mixed = mapping_from_rules(
+        ["T(x^cl, z^op) :- E(x, y)"], source={"E": 2}, target={"T": 2}
+    )
+    query = Query("exists x y z . T(x, y) & T(x, z) & ~ y = z", [])
+    generous = is_certain(mixed, GRAPH, Query("~ (exists x y . T(x, y))", []), ())
+    assert not generous.certain
+    tight = is_certain(mixed, GRAPH, query, (), extra_constants=0, max_extra_tuples=0)
+    assert not tight.complete

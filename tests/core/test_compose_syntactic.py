@@ -1,0 +1,155 @@
+"""Tests for the syntactic composition algorithm (Lemma 5, Theorem 5)."""
+
+import itertools
+
+import pytest
+
+from repro.core.compose_syntactic import (
+    CompositionNotSupported,
+    compose_syntactic,
+    normalize,
+    to_cq_skstds,
+)
+from repro.core.composition import in_composition
+from repro.core.mapping import mapping_from_rules
+from repro.core.skolem import FunctionTable, SkolemMapping, parse_skstd, sk_in_semantics, skolemize, sol_f
+from repro.relational.builders import make_instance
+from repro.relational.schema import Schema
+
+
+def _closed_pair():
+    first = mapping_from_rules(
+        ["N(y^cl) :- R(x)", "C(x^cl) :- P(x)"],
+        source={"R": 1, "P": 1},
+        target={"N": 1, "C": 1},
+        name="first",
+    )
+    second = mapping_from_rules(
+        ["D(x^cl, y^cl) :- C(x) & N(y)"],
+        source={"N": 1, "C": 1},
+        target={"D": 2},
+        name="second",
+    )
+    return skolemize(first), skolemize(second)
+
+
+def test_normalize_splits_multi_atom_heads():
+    mapping = mapping_from_rules(
+        ["A(x^cl), B(x^cl) :- S(x)"], source={"S": 1}, target={"A": 1, "B": 1}
+    )
+    sk = skolemize(mapping)
+    normalised = normalize(sk)
+    assert len(normalised.skstds) == 2
+    assert {s.head[0].relation for s in normalised.skstds} == {"A", "B"}
+
+
+def test_compose_keeps_second_mapping_heads_and_annotations():
+    sk1, sk2 = _closed_pair()
+    gamma = compose_syntactic(sk1, sk2)
+    assert len(gamma.skstds) == len(sk2.skstds)
+    assert gamma.skstds[0].head[0].relation == "D"
+    assert gamma.skstds[0].head[0].annotation == sk2.skstds[0].head[0].annotation
+    assert gamma.source == sk1.source and gamma.target == sk2.target
+
+
+def test_compose_agrees_with_semantic_composition_closed_case():
+    sk1, sk2 = _closed_pair()
+    first = mapping_from_rules(
+        ["N(y^cl) :- R(x)", "C(x^cl) :- P(x)"],
+        source={"R": 1, "P": 1},
+        target={"N": 1, "C": 1},
+    )
+    second = mapping_from_rules(
+        ["D(x^cl, y^cl) :- C(x) & N(y)"],
+        source={"N": 1, "C": 1},
+        target={"D": 2},
+    )
+    gamma = compose_syntactic(sk1, sk2)
+    source = make_instance({"R": [(0,)], "P": [(1,), (2,)]})
+    candidates = [
+        make_instance({"D": [(1, "v"), (2, "v")]}),
+        make_instance({"D": [(1, "v1"), (2, "v2")]}),
+        make_instance({"D": [(1, "v")]}),
+        make_instance({"D": [(1, "v"), (2, "v"), (3, "v")]}),
+    ]
+    for candidate in candidates:
+        semantic = in_composition(first, second, source, candidate).member
+        syntactic = sk_in_semantics(gamma, source, candidate) is not None
+        assert semantic == syntactic, candidate
+
+
+def test_compose_claim7b_factorisation():
+    """Claim 7(b): Sol^Γ_{H'}(S) = Sol^Δ_{G'}(rel(Sol^Σ_{F'}(S))) for all-closed Σ."""
+    sk1, sk2 = _closed_pair()
+    gamma = compose_syntactic(sk1, sk2)
+    source = make_instance({"R": [(0,)], "P": [(1,), (2,)]})
+    # sk1's only Skolem function comes from N(y) :- R(x); find its name.
+    (function_name, arity), = sk1.functions()
+    for value in ("v", 1):
+        functions = {f"s_{function_name}": FunctionTable({}, default=value),
+                     function_name: FunctionTable({}, default=value)}
+        middle = sol_f(sk1, source, {function_name: functions[function_name]}).rel()
+        direct = sol_f(sk2, middle, {})
+        composed = sol_f(gamma, source, functions)
+        assert composed.rel() == direct.rel()
+
+
+def test_compose_open_cq_case_matches_fkpt():
+    """Theorem 5(1): all-open CQ-SkSTD mappings compose; result stays CQ."""
+    first = mapping_from_rules(
+        ["Emp2(e^op, z^op) :- Emp1(e)"], source={"Emp1": 1}, target={"Emp2": 2}
+    )
+    second = mapping_from_rules(
+        ["Mgr(e^op, m^op) :- Emp2(e, m)"], source={"Emp2": 2}, target={"Mgr": 2}
+    )
+    sk1, sk2 = skolemize(first), skolemize(second)
+    gamma = compose_syntactic(sk1, sk2)
+    cq_gamma = to_cq_skstds(gamma)
+    assert all(skstd.is_cq() for skstd in cq_gamma.skstds)
+    source = make_instance({"Emp1": [("ann",), ("bob",)]})
+    member = make_instance({"Mgr": [("ann", "m1"), ("bob", "m2"), ("x", "y")]})
+    non_member = make_instance({"Mgr": [("ann", "m1")]})
+    for target, expected in ((member, True), (non_member, False)):
+        assert (sk_in_semantics(gamma, source, target) is not None) is expected
+        assert (sk_in_semantics(cq_gamma, source, target) is not None) is expected
+        assert in_composition(first, second, source, target).member is expected
+
+
+def test_compose_unreferenced_relation_becomes_false():
+    first = mapping_from_rules(
+        ["A(x^cl) :- S(x)"], source={"S": 1}, target={"A": 1, "B": 1}
+    )
+    second = mapping_from_rules(
+        ["Out(x^cl) :- B(x)"], source={"A": 1, "B": 1}, target={"Out": 1}
+    )
+    gamma = compose_syntactic(skolemize(first), skolemize(second))
+    source = make_instance({"S": [("a",)]})
+    # B is never populated by the first mapping, so Out must be empty.
+    assert sk_in_semantics(gamma, source, make_instance({})) is not None
+    assert sk_in_semantics(gamma, source, make_instance({"Out": [("a",)]})) is None
+    assert to_cq_skstds(gamma).skstds == []
+
+
+def test_compose_applicability_check():
+    # Second mapping closed and first mapping not all-closed: outside Lemma 5.
+    first = mapping_from_rules(
+        ["A(x^op) :- S(x)"], source={"S": 1}, target={"A": 1}
+    )
+    second = mapping_from_rules(
+        ["Out(x^cl) :- A(x)"], source={"A": 1}, target={"Out": 1}
+    )
+    with pytest.raises(CompositionNotSupported):
+        compose_syntactic(skolemize(first), skolemize(second))
+    # Override is possible for experimentation.
+    gamma = compose_syntactic(skolemize(first), skolemize(second), check_applicability=False)
+    assert gamma.skstds
+
+
+def test_compose_renames_clashing_function_symbols():
+    skstd1 = parse_skstd("Mid(f(x)^cl) :- In(x)")
+    skstd2 = parse_skstd("Out(f(y)^cl) :- Mid(y)")
+    sk1 = SkolemMapping(Schema({"In": 1}), Schema({"Mid": 1}), [skstd1])
+    sk2 = SkolemMapping(Schema({"Mid": 1}), Schema({"Out": 1}), [skstd2])
+    gamma = compose_syntactic(sk1, sk2)
+    names = {name for name, _ in gamma.functions()}
+    assert "f" in names and "s_f" in names

@@ -1,0 +1,86 @@
+"""Tests for semantic composition (Section 5, Theorem 4 membership side)."""
+
+import pytest
+
+from repro.core.composition import in_composition
+from repro.core.mapping import mapping_from_rules
+from repro.relational.builders import make_instance
+
+
+FIRST = mapping_from_rules(
+    ["N(y^cl) :- R(x)", "C(x^cl) :- P(x)"],
+    source={"R": 1, "P": 1},
+    target={"N": 1, "C": 1},
+    name="prop6_first",
+)
+SECOND = mapping_from_rules(
+    ["D(x^cl, y^cl) :- C(x) & N(y)"],
+    source={"N": 1, "C": 1},
+    target={"D": 2},
+    name="prop6_second",
+)
+SOURCE = make_instance({"R": [(0,)], "P": [(1,), (2,)]})
+
+
+def test_composition_positive_with_middle_certificate():
+    target = make_instance({"D": [(1, "v"), (2, "v")]})
+    result = in_composition(FIRST, SECOND, SOURCE, target)
+    assert result.member
+    # The middle instance must itself be a solution for the source and have
+    # the target as a solution — spot-check the first part.
+    assert result.middle is not None
+    assert result.middle.relation("C") == {(1,), (2,)}
+    assert len(result.middle.relation("N")) == 1
+
+
+def test_composition_negative_all_different_values():
+    """Claim 6 / Case 2: a target whose second column has no shared value."""
+    target = make_instance({"D": [(1, "v1"), (2, "v2")]})
+    result = in_composition(FIRST, SECOND, SOURCE, target)
+    assert not result.member
+    assert result.complete  # all-closed first mapping: the NP procedure is complete
+
+
+def test_composition_negative_missing_tuple():
+    target = make_instance({"D": [(1, "v")]})
+    assert not in_composition(FIRST, SECOND, SOURCE, target).member
+
+
+def test_composition_open_second_mapping_allows_supersets():
+    open_second = SECOND.open_variant()
+    target = make_instance({"D": [(1, "v"), (2, "v"), ("extra", "w")]})
+    assert in_composition(FIRST, open_second, SOURCE, target).member
+    # With the closed second mapping the extra tuple is not licensed.
+    assert not in_composition(FIRST, SECOND, SOURCE, target).member
+
+
+def test_composition_open_first_mapping_budgeted():
+    open_first = mapping_from_rules(
+        ["N(x^cl, z^op) :- R(x)"], source={"R": 1}, target={"N": 2}, name="open_first"
+    )
+    second = mapping_from_rules(
+        ["M(x^cl, z^cl) :- N(x, z)"], source={"N": 2}, target={"M": 2}, name="copy_n"
+    )
+    source = make_instance({"R": [("a",)]})
+    # Middle instances may replicate ("a", *): the target with two tuples needs
+    # one replicated middle tuple.
+    target = make_instance({"M": [("a", 1), ("a", 2)]})
+    result = in_composition(open_first, second, source, target, max_extra_tuples=2)
+    assert result.member
+    assert result.method == "budgeted-open-first-mapping"
+    absent = make_instance({"M": [("b", 1)]})
+    assert not in_composition(open_first, second, source, absent, max_extra_tuples=1).member
+
+
+def test_composition_schema_mismatch_rejected():
+    other = mapping_from_rules(
+        ["Z(x^cl) :- W(x)"], source={"W": 1}, target={"Z": 1}
+    )
+    with pytest.raises(ValueError):
+        in_composition(FIRST, other, SOURCE, make_instance({"Z": [(1,)]}))
+
+
+def test_composition_counts_candidates():
+    target = make_instance({"D": [(1, "v"), (2, "v")]})
+    result = in_composition(FIRST, SECOND, SOURCE, target)
+    assert result.candidates_checked >= 1

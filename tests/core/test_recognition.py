@@ -1,0 +1,78 @@
+"""Tests for the recognition problem T ∈ ⟦S⟧_Σα (Theorem 2)."""
+
+import pytest
+
+from repro.core.mapping import mapping_from_rules
+from repro.core.recognition import recognize
+from repro.relational.builders import make_instance
+from repro.relational.rep import check_rep_a_with_valuation
+from repro.core.canonical import canonical_solution
+
+
+def test_all_open_mapping_uses_ptime_path(simple_copy_mapping, simple_copy_source):
+    target = make_instance({"R": [("a", 1), ("b", 2), ("extra", "tuple")]})
+    result = recognize(simple_copy_mapping, simple_copy_source, target)
+    assert result.member
+    assert result.method == "ptime-all-open"
+    missing = make_instance({"R": [("a", 1)]})
+    assert not recognize(simple_copy_mapping, simple_copy_source, missing).member
+
+
+def test_closed_mapping_uses_np_path_with_certificate():
+    mapping = mapping_from_rules(
+        ["R(x^cl, z^cl) :- E(x, y)"], source={"E": 2}, target={"R": 2}
+    )
+    source = make_instance({"E": [("a", "c1"), ("b", "c2")]})
+    target = make_instance({"R": [("a", 1), ("b", 2)]})
+    result = recognize(mapping, source, target)
+    assert result.member and result.method == "np-guess-valuation"
+    assert check_rep_a_with_valuation(result.canonical.annotated, target, result.valuation)
+
+
+def test_closed_mapping_rejects_extra_tuples():
+    mapping = mapping_from_rules(
+        ["R(x^cl, z^cl) :- E(x, y)"], source={"E": 2}, target={"R": 2}
+    )
+    source = make_instance({"E": [("a", "c1")]})
+    assert recognize(mapping, source, make_instance({"R": [("a", 1)]})).member
+    assert not recognize(mapping, source, make_instance({"R": [("a", 1), ("a", 2)]})).member
+    assert not recognize(mapping, source, make_instance({"R": [("a", 1), ("b", 1)]})).member
+
+
+def test_mixed_annotation_open_column_allows_replication(conference_mapping, conference_source):
+    target = make_instance(
+        {
+            "Submissions": [("p1", "a1"), ("p1", "a2"), ("p2", "a3")],
+            "Reviews": [("p1", "r1"), ("p2", "r2"), ("p2", "r3")],
+        }
+    )
+    assert recognize(conference_mapping, conference_source, target).member
+    # p1 is assigned, so its review position is closed: a second p1 review is not licensed.
+    overfull = make_instance(
+        {
+            "Submissions": [("p1", "a1"), ("p2", "a3")],
+            "Reviews": [("p1", "r1"), ("p1", "r1b"), ("p2", "r2")],
+        }
+    )
+    assert not recognize(conference_mapping, conference_source, overfull).member
+
+
+def test_recognition_requires_ground_target(simple_copy_mapping, simple_copy_source):
+    from repro.relational.domain import fresh_null
+
+    target = make_instance({"R": []})
+    target.add("R", ("a", fresh_null()))
+    with pytest.raises(ValueError):
+        recognize(simple_copy_mapping, simple_copy_source, target)
+
+
+def test_recognition_statistics_reported(conference_mapping, conference_source):
+    target = make_instance(
+        {
+            "Submissions": [("p1", "a1"), ("p2", "a2")],
+            "Reviews": [("p1", "r1"), ("p2", "r2")],
+        }
+    )
+    result = recognize(conference_mapping, conference_source, target)
+    assert result.canonical_size >= 4
+    assert result.nulls >= 3

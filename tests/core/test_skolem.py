@@ -1,0 +1,136 @@
+"""Tests for Skolemized STDs: Lemma 4, Sol_F'(S), and the SkSTD semantics."""
+
+import pytest
+
+from repro.core.canonical import canonical_solution
+from repro.core.mapping import mapping_from_rules
+from repro.core.skolem import (
+    FunctionTable,
+    SkolemMapping,
+    SkSTD,
+    parse_skstd,
+    sk_in_semantics,
+    skolemize,
+    sol_f,
+)
+from repro.logic.terms import FuncTerm, Var
+from repro.relational.builders import make_instance
+from repro.relational.schema import Schema
+
+
+EMPLOYEE_SOURCE = make_instance({"Works": [("john", "P1"), ("mary", "P2"), ("john", "P2")]})
+
+
+def employee_sk() -> SkolemMapping:
+    skstd = parse_skstd("Emp(f(em)^cl, em^cl, g(em, proj)^op) :- Works(em, proj)")
+    return SkolemMapping(Schema({"Works": 2}), Schema({"Emp": 3}), [skstd])
+
+
+def test_parse_skstd_function_terms_and_annotations():
+    skstd = parse_skstd("Emp(f(em)^cl, em^cl, g(em, proj)^op) :- Works(em, proj)")
+    head = skstd.head[0]
+    assert isinstance(head.terms[0], FuncTerm)
+    assert head.annotation.open_positions() == [2]
+    assert skstd.functions() == {("f", 1), ("g", 2)}
+    assert skstd.is_cq()
+
+
+def test_sol_f_applies_actual_functions():
+    """Example (8) of the paper: one id per employee name, one phone per pair."""
+    mapping = employee_sk()
+    ids = FunctionTable({("john",): 1, ("mary",): 2})
+    phones = FunctionTable({("john", "P1"): 111, ("mary", "P2"): 222, ("john", "P2"): 112})
+    solution = sol_f(mapping, EMPLOYEE_SOURCE, {"f": ids, "g": phones})
+    tuples = {at.values for _, at in solution.annotated_facts()}
+    assert (1, "john", 111) in tuples and (1, "john", 112) in tuples
+    assert (2, "mary", 222) in tuples
+    # Same employee name → same id through f, even for different projects.
+    assert all(t[0] == 1 for t in tuples if t[1] == "john")
+
+
+def test_sol_f_empty_body_adds_empty_annotated_tuples():
+    mapping = employee_sk()
+    solution = sol_f(mapping, make_instance({}), {"f": FunctionTable({}), "g": FunctionTable({})})
+    annotated = list(solution.relation("Emp"))
+    assert len(annotated) == 1 and annotated[0].is_empty
+
+
+def test_sk_in_semantics_open_phone_allows_extra_phones():
+    mapping = employee_sk()
+    target = make_instance(
+        {
+            "Emp": [
+                (1, "john", 111),
+                (1, "john", 112),
+                (1, "john", 999),  # extra phone, allowed (open position)
+                (2, "mary", 222),
+            ]
+        }
+    )
+    witness = sk_in_semantics(mapping, EMPLOYEE_SOURCE, target)
+    assert witness is not None
+    # Two different ids for john are not allowed (id is produced by f(em), closed).
+    conflicting = make_instance(
+        {"Emp": [(1, "john", 111), (7, "john", 112), (2, "mary", 222)]}
+    )
+    assert sk_in_semantics(mapping, EMPLOYEE_SOURCE, conflicting) is None
+
+
+def test_lemma4_skolemization_preserves_structure():
+    mapping = mapping_from_rules(
+        ["T(x^cl, z^op) :- S(x, y)"], source={"S": 2}, target={"T": 2}
+    )
+    sk = skolemize(mapping)
+    assert len(sk.skstds) == 1
+    head = sk.skstds[0].head[0]
+    assert isinstance(head.terms[1], FuncTerm)
+    assert head.annotation == mapping.stds[0].head[0].annotation
+    assert sk.functions() == {("f_0_z", 2)}
+
+
+def test_lemma4_same_semantics_on_samples():
+    """⟦S⟧ under the STD mapping and under its Skolemization agree on samples."""
+    mapping = mapping_from_rules(
+        ["T(x^cl, z^cl) :- S(x, y)"], source={"S": 2}, target={"T": 2}
+    )
+    sk = skolemize(mapping)
+    source = make_instance({"S": [("a", "b"), ("c", "d")]})
+    from repro.core.solutions import in_semantics
+
+    candidates = [
+        make_instance({"T": [("a", 1), ("c", 2)]}),
+        make_instance({"T": [("a", 1), ("c", 1)]}),
+        make_instance({"T": [("a", 1)]}),
+        make_instance({"T": [("a", 1), ("c", 2), ("x", 3)]}),
+    ]
+    for candidate in candidates:
+        std_member = in_semantics(mapping, source, candidate) is not None
+        sk_member = sk_in_semantics(sk, source, candidate) is not None
+        assert std_member == sk_member, candidate
+
+
+def test_skolemize_full_std_has_no_functions():
+    mapping = mapping_from_rules(
+        ["T(x^cl, y^cl) :- S(x, y)"], source={"S": 2}, target={"T": 2}
+    )
+    sk = skolemize(mapping)
+    assert sk.functions() == set()
+    target = make_instance({"T": [("a", "b")]})
+    assert sk_in_semantics(sk, make_instance({"S": [("a", "b")]}), target) is not None
+
+
+def test_skolem_mapping_classification():
+    mapping = employee_sk()
+    assert mapping.is_cq_mapping()
+    assert not mapping.is_all_open() and not mapping.is_all_closed()
+    assert mapping.max_open_per_atom() == 1
+    assert mapping.with_uniform_annotation("cl").is_all_closed()
+
+
+def test_function_table_default_and_missing():
+    table = FunctionTable({(1,): "a"}, default="d")
+    assert table(1) == "a"
+    assert table(99) == "d"
+    strict = FunctionTable({(1,): "a"})
+    with pytest.raises(KeyError):
+        strict(99)

@@ -1,0 +1,222 @@
+"""Tests for OWA-, CWA- and Σα-solutions (Sections 2–3, Proposition 1)."""
+
+from repro.core.canonical import canonical_solution
+from repro.core.mapping import mapping_from_rules
+from repro.core.solutions import (
+    Fact,
+    diagram_fact,
+    enumerate_cwa_solutions,
+    expansion_homomorphism,
+    fact_var,
+    in_semantics,
+    is_annotated_presolution,
+    is_annotated_solution,
+    is_annotated_solution_by_facts,
+    is_cwa_presolution,
+    is_cwa_solution,
+    is_owa_solution,
+    satisfies_cl,
+)
+from repro.relational.annotated import AnnotatedInstance, Annotation
+from repro.relational.builders import make_annotated_instance, make_instance
+from repro.relational.domain import fresh_null
+
+
+def _copy_mapping(annotation="cl"):
+    return mapping_from_rules(
+        [f"R(x^{annotation}, z^{annotation}) :- E(x, y)"],
+        source={"E": 2},
+        target={"R": 2},
+    )
+
+
+SOURCE = make_instance({"E": [("a", "c1"), ("a", "c2"), ("b", "c3")]})
+
+
+def test_owa_solutions_allow_extra_tuples():
+    mapping = _copy_mapping("op")
+    base = make_instance({"R": [("a", 1), ("b", 2)]})
+    assert is_owa_solution(mapping, SOURCE, base)
+    extended = base.copy()
+    extended.add("R", ("zzz", "extra"))
+    assert is_owa_solution(mapping, SOURCE, extended)
+    missing = make_instance({"R": [("a", 1)]})  # no tuple for b
+    assert not is_owa_solution(mapping, SOURCE, missing)
+
+
+def test_owa_solution_with_nulls_in_target():
+    mapping = _copy_mapping("op")
+    null = fresh_null()
+    target = make_instance({"R": [("a", null)]})
+    target.add("R", ("b", null))
+    assert is_owa_solution(mapping, SOURCE, target)
+
+
+def test_cwa_presolution_and_solution():
+    """The paper's example: {(a,⊥),(b,⊥')} is a CWA-solution; equating a's and
+    b's nulls creates an unjustified fact and is rejected."""
+    mapping = _copy_mapping("cl")
+    n1, n2 = fresh_null(), fresh_null()
+    good = make_instance({"R": []})
+    good.add("R", ("a", n1))
+    good.add("R", ("b", n2))
+    assert is_cwa_presolution(mapping, SOURCE, good) is not None
+    assert is_cwa_solution(mapping, SOURCE, good)
+
+    shared = fresh_null()
+    bad = make_instance({"R": []})
+    bad.add("R", ("a", shared))
+    bad.add("R", ("b", shared))
+    assert is_cwa_presolution(mapping, SOURCE, bad) is not None  # still a presolution
+    assert not is_cwa_solution(mapping, SOURCE, bad)  # fact not justified
+
+
+def test_cwa_solution_rejects_extra_facts():
+    mapping = _copy_mapping("cl")
+    n1, n2 = fresh_null(), fresh_null()
+    target = make_instance({"R": [("zzz", "extra")]})
+    target.add("R", ("a", n1))
+    target.add("R", ("b", n2))
+    assert is_cwa_presolution(mapping, SOURCE, target) is None
+    assert not is_cwa_solution(mapping, SOURCE, target)
+
+
+def test_canonical_solution_is_a_cwa_solution():
+    mapping = _copy_mapping("cl")
+    csol = canonical_solution(mapping, SOURCE).instance
+    assert is_cwa_solution(mapping, SOURCE, csol)
+
+
+def test_enumerate_cwa_solutions_small_case():
+    mapping = _copy_mapping("cl")
+    source = make_instance({"E": [("a", "c1"), ("b", "c2")]})
+    solutions = list(enumerate_cwa_solutions(mapping, source))
+    # Two nulls, identified or not; identification would connect a and b to the
+    # same value, which is unjustified, so only the non-identified image remains.
+    assert len(solutions) == 1
+    assert len(solutions[0]) == 2
+
+
+def test_satisfies_cl_open_vs_closed():
+    n = fresh_null()
+    open_instance = AnnotatedInstance()
+    open_instance.add_tuple("R", ("a", n), "op,op")
+    closed_instance = AnnotatedInstance()
+    closed_instance.add_tuple("R", ("a", n), "cl,cl")
+    z = fact_var("z")
+    fact = Fact((("R", ("b", z)),), (Annotation.from_string("cl,cl"),))
+    # Under all-open annotation every fact is true; under all-closed it is not.
+    assert satisfies_cl(open_instance, fact)
+    assert not satisfies_cl(closed_instance, fact)
+    matching = Fact((("R", ("a", z)),), (Annotation.from_string("cl,cl"),))
+    assert satisfies_cl(closed_instance, matching)
+
+
+def test_paper_example_annotated_solution():
+    """The worked example after Proposition 1's statement:
+
+    STD  R(x^op, z1^cl) ∧ R(y^cl, z2^cl) :- S(x, y),  source {(a,b)};
+    the presolution obtained by equating the two nulls is a Σα-solution.
+    """
+    mapping = mapping_from_rules(
+        ["R(x^op, z1^cl), R(y^cl, z2^cl) :- S(x, y)"],
+        source={"S": 2},
+        target={"R": 2},
+    )
+    source = make_instance({"S": [("a", "b")]})
+    shared = fresh_null()
+    solution = AnnotatedInstance()
+    solution.add_tuple("R", ("a", shared), "op,cl")
+    solution.add_tuple("R", ("b", shared), "cl,cl")
+    assert is_annotated_presolution(mapping, source, solution)
+    assert is_annotated_solution(mapping, source, solution)
+    assert is_annotated_solution_by_facts(mapping, source, solution)
+
+
+def test_closed_identification_rejected_when_unjustified():
+    """With an all-closed copying mapping, equating the nulls of two different
+    source tuples yields a presolution that is not a Σα-solution."""
+    mapping = _copy_mapping("cl")
+    source = make_instance({"E": [("a", "c1"), ("b", "c2")]})
+    shared = fresh_null()
+    bad = AnnotatedInstance()
+    bad.add_tuple("R", ("a", shared), "cl,cl")
+    bad.add_tuple("R", ("b", shared), "cl,cl")
+    assert is_annotated_presolution(mapping, source, bad)
+    assert not is_annotated_solution(mapping, source, bad)
+    assert not is_annotated_solution_by_facts(mapping, source, bad)
+
+
+def test_open_identification_allowed():
+    """With open second attribute, the identification is licensed by expansion."""
+    mapping = _copy_mapping("op")
+    source = make_instance({"E": [("a", "c1"), ("b", "c2")]})
+    shared = fresh_null()
+    merged = AnnotatedInstance()
+    merged.add_tuple("R", ("a", shared), "op,op")
+    merged.add_tuple("R", ("b", shared), "op,op")
+    assert is_annotated_solution(mapping, source, merged)
+    assert is_annotated_solution_by_facts(mapping, source, merged)
+
+
+def test_prop1_equivalence_on_candidates():
+    """Proposition 1: the homomorphism characterisation agrees with the
+    fact-based definition on a batch of candidate targets."""
+    mapping = mapping_from_rules(
+        ["R(x^cl, z^op) :- E(x, y)"], source={"E": 2}, target={"R": 2}
+    )
+    source = make_instance({"E": [("a", "c1"), ("b", "c2")]})
+    n1, n2, n3 = fresh_null(), fresh_null(), fresh_null()
+    candidates = []
+    for spec in [
+        [(("a", n1), "cl,op"), (("b", n2), "cl,op")],
+        [(("a", n1), "cl,op"), (("b", n1), "cl,op")],
+        [(("a", n1), "cl,op")],
+        [(("a", n1), "cl,op"), (("b", n2), "cl,op"), (("a", n3), "cl,op")],
+    ]:
+        candidate = AnnotatedInstance()
+        for values, marks in spec:
+            candidate.add_tuple("R", values, marks)
+        candidates.append(candidate)
+    for candidate in candidates:
+        assert is_annotated_solution(mapping, source, candidate) == is_annotated_solution_by_facts(
+            mapping, source, candidate
+        )
+
+
+def test_expansion_homomorphism_licenses_open_positions():
+    n1, n2 = fresh_null(), fresh_null()
+    canonical = AnnotatedInstance()
+    canonical.add_tuple("R", ("a", n1), "cl,op")
+    instance = AnnotatedInstance()
+    instance.add_tuple("R", ("a", n2), "cl,op")
+    instance.add_tuple("R", ("a", fresh_null()), "cl,op")
+    assert expansion_homomorphism(instance, canonical) is not None
+    mismatching = AnnotatedInstance()
+    mismatching.add_tuple("R", ("b", n2), "cl,op")
+    assert expansion_homomorphism(mismatching, canonical) is None
+
+
+def test_diagram_fact_round_trip():
+    n = fresh_null()
+    instance = AnnotatedInstance()
+    instance.add_tuple("R", ("a", n), "cl,op")
+    fact = diagram_fact(instance)
+    assert satisfies_cl(instance, fact)
+
+
+def test_in_semantics_matches_theorem1_item4(conference_mapping, conference_source):
+    member = make_instance(
+        {
+            "Submissions": [("p1", "alice"), ("p2", "bob"), ("p2", "carol")],
+            "Reviews": [("p1", "review-1"), ("p2", "review-2")],
+        }
+    )
+    assert in_semantics(conference_mapping, conference_source, member) is not None
+    non_member = make_instance(
+        {
+            "Submissions": [("p1", "alice")],  # p2 missing
+            "Reviews": [("p1", "review-1"), ("p2", "review-2")],
+        }
+    )
+    assert in_semantics(conference_mapping, conference_source, non_member) is None

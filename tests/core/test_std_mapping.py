@@ -1,0 +1,134 @@
+"""Tests for STD parsing, annotations and schema mappings."""
+
+import pytest
+
+from repro.core.annotations import annotation_leq, max_closed_per_atom, max_open_per_atom
+from repro.core.mapping import SchemaMapping, copying_mapping, mapping_from_rules
+from repro.core.std import STD, TargetAtom, parse_std, parse_stds
+from repro.logic.parser import ParseError
+from repro.logic.terms import Var
+from repro.relational.annotated import CL, OP, Annotation
+from repro.relational.builders import make_instance
+from repro.relational.schema import Schema
+
+
+def test_parse_std_annotations_and_variables():
+    std = parse_std("Submissions(x^cl, z^op) :- Papers(x, y)")
+    atom = std.head[0]
+    assert atom.relation == "Submissions"
+    assert atom.annotation == Annotation((CL, OP))
+    assert {v.name for v in std.exported_variables()} == {"x"}
+    assert {v.name for v in std.existential_variables()} == {"z"}
+    assert {v.name for v in std.body_variables()} == {"x", "y"}
+
+
+def test_parse_std_default_annotation():
+    open_default = parse_std("R(x, z) :- E(x, y)")
+    assert open_default.head[0].annotation.is_all_open()
+    closed_default = parse_std("R(x, z) :- E(x, y)", default_annotation=CL)
+    assert closed_default.head[0].annotation.is_all_closed()
+
+
+def test_parse_std_multiple_head_atoms():
+    std = parse_std("C(x^op, y^op, z^op), B(x^cl) :- N(w)")
+    assert [a.relation for a in std.head] == ["C", "B"]
+    assert std.max_open_per_atom() == 3
+    assert std.max_closed_per_atom() == 1
+
+
+def test_parse_std_with_negated_body():
+    std = parse_std("Reviews(x^cl, z^op) :- Papers(x, y) & ~ exists r . Assignments(x, r)")
+    assert not std.is_cq()
+    assert not std.is_monotone()
+
+
+def test_parse_std_errors():
+    with pytest.raises(ParseError):
+        parse_std("no arrow here")
+    with pytest.raises(ParseError):
+        parse_std(" :- E(x, y)")
+    with pytest.raises(ParseError):
+        parse_std("R(x^open) :- E(x, y)")
+
+
+def test_std_classification():
+    copying = parse_std("Et(x^cl, y^cl) :- E(x, y)")
+    assert copying.is_copying() and copying.is_full() and copying.is_cq()
+    non_copying = parse_std("Et(y^cl, x^cl) :- E(x, y)")
+    assert not non_copying.is_copying()
+    existential = parse_std("R(x, z) :- E(x, y)")
+    assert not existential.is_full()
+
+
+def test_std_with_constants_in_head():
+    std = parse_std("Tag(x^cl, 'fixed'^cl) :- E(x, y)")
+    source = make_instance({"E": [("a", "b")]})
+    assignments = list(std.body_assignments(source))
+    assert len(assignments) == 1
+
+
+def test_std_body_assignments_cq_fast_path_and_fo_fallback():
+    source = make_instance({"E": [("a", "b"), ("b", "c")], "P": [("a",)]})
+    cq_std = parse_std("R(x^cl) :- E(x, y) & P(x)")
+    assert [a[Var("x")] for a in cq_std.body_assignments(source)] == ["a"]
+    fo_std = parse_std("R(x^cl) :- P(x) & ~ E(x, x)")
+    assert [a[Var("x")] for a in fo_std.body_assignments(source)] == ["a"]
+
+
+def test_std_uniform_reannotation():
+    std = parse_std("R(x^cl, z^op) :- E(x, y)")
+    assert std.with_uniform_annotation(OP).head[0].annotation.is_all_open()
+    assert std.with_uniform_annotation(CL).head[0].annotation.is_all_closed()
+
+
+def test_target_atom_arity_check():
+    with pytest.raises(ValueError):
+        TargetAtom("R", (Var("x"),), Annotation.all_open(2))
+
+
+def test_mapping_parameters_and_validation():
+    mapping = mapping_from_rules(
+        ["C(x^op, y^op, z^op), B(x^cl) :- N(w)", "C(x^op, y^op, z^op) :- Cs(x, y, z)"],
+        source={"N": 1, "Cs": 3},
+        target={"C": 3, "B": 1},
+    )
+    assert mapping.max_open_per_atom() == 3
+    assert mapping.max_closed_per_atom() == 1
+    assert mapping.is_cq_mapping()
+    assert not mapping.is_all_open() and not mapping.is_all_closed()
+
+
+def test_mapping_validation_errors():
+    with pytest.raises(ValueError):
+        mapping_from_rules(["R(x) :- E(x, y)"], source={"E": 2}, target={"S": 1})
+    with pytest.raises(ValueError):
+        mapping_from_rules(["R(x, y) :- E(x, y)"], source={"E": 2}, target={"R": 1})
+    with pytest.raises(ValueError):
+        mapping_from_rules(["R(x) :- Missing(x)"], source={"E": 2}, target={"R": 1})
+
+
+def test_mapping_uniform_variants():
+    mapping = mapping_from_rules(
+        ["R(x^cl, z^op) :- E(x, y)"], source={"E": 2}, target={"R": 2}
+    )
+    assert mapping.open_variant().is_all_open()
+    assert mapping.closed_variant().is_all_closed()
+    assert mapping.closed_variant().max_open_per_atom() == 0
+
+
+def test_copying_mapping_builder():
+    schema = Schema({"E": 2, "V": 1})
+    mapping = copying_mapping(schema, annotation_mark=CL)
+    assert mapping.is_copying()
+    assert mapping.is_all_closed()
+    assert set(mapping.target.names()) == {"E_t", "V_t"}
+
+
+def test_annotation_measures_and_order():
+    stds = parse_stds(["T(x^cl, y^op) , T(x^cl, z^op) :- E(x, y)"])
+    assert max_open_per_atom(stds) == 1
+    assert max_closed_per_atom(stds) == 1
+    closed = [a for std in parse_stds(["R(x^cl, z^cl) :- E(x, y)"]) for a in std.annotations()]
+    mixed = [a for std in parse_stds(["R(x^cl, z^op) :- E(x, y)"]) for a in std.annotations()]
+    assert annotation_leq(closed, mixed)
+    assert not annotation_leq(mixed, closed)

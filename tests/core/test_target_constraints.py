@@ -1,0 +1,96 @@
+"""Tests for data exchange with target constraints (the Section 6 extension)."""
+
+import pytest
+
+from repro.chase.dependencies import parse_egd, parse_tgd
+from repro.core.mapping import mapping_from_rules
+from repro.core.target_constraints import (
+    ExchangeError,
+    ExchangeSetting,
+    core_solution,
+    exchange,
+)
+from repro.relational.builders import make_instance
+from repro.relational.domain import is_null
+
+
+MAPPING = mapping_from_rules(
+    ["Emp(e^cl, d^op) :- SrcEmp(e)"],
+    source={"SrcEmp": 1},
+    target={"Emp": 2, "Dept": 2},
+)
+SOURCE = make_instance({"SrcEmp": [("ann",), ("bob",)]})
+
+
+def test_exchange_without_target_dependencies_is_the_canonical_solution():
+    setting = ExchangeSetting(MAPPING, [])
+    result = exchange(setting, SOURCE)
+    assert result.terminated
+    assert result.instance == result.canonical.instance
+    assert result.annotated == result.canonical.annotated
+
+
+def test_exchange_with_tgd_adds_required_tuples():
+    setting = ExchangeSetting(
+        MAPPING, [parse_tgd("Emp(e, d) -> exists m . Dept(d, m)")]
+    )
+    assert setting.is_weakly_acyclic()
+    result = exchange(setting, SOURCE)
+    assert result.terminated
+    assert len(result.instance.relation("Dept")) == 2
+    # New tuples are annotated open on null positions, closed otherwise.
+    for annotated_tuple in result.annotated.relation("Dept"):
+        marks = annotated_tuple.annotation
+        for value, mark in zip(annotated_tuple.values, marks):
+            assert (mark == "op") == is_null(value)
+
+
+def test_exchange_with_egd_merges_nulls_and_updates_annotations():
+    mapping = mapping_from_rules(
+        ["Emp(e^cl, d^cl) :- SrcEmp(e)", "Emp(e^cl, d^cl) :- SrcAlso(e)"],
+        source={"SrcEmp": 1, "SrcAlso": 1},
+        target={"Emp": 2},
+    )
+    source = make_instance({"SrcEmp": [("ann",)], "SrcAlso": [("ann",)]})
+    setting = ExchangeSetting(
+        mapping, [parse_egd("Emp(e, d1) & Emp(e, d2) -> d1 = d2")]
+    )
+    result = exchange(setting, source)
+    assert len(result.instance.relation("Emp")) == 1
+    assert len(result.annotated.relation("Emp")) == 1
+
+
+def test_exchange_egd_failure_raises():
+    mapping = mapping_from_rules(
+        ["Emp(e^cl, 'sales'^cl) :- SrcEmp(e)", "Emp(e^cl, 'hr'^cl) :- SrcAlso(e)"],
+        source={"SrcEmp": 1, "SrcAlso": 1},
+        target={"Emp": 2},
+    )
+    source = make_instance({"SrcEmp": [("ann",)], "SrcAlso": [("ann",)]})
+    setting = ExchangeSetting(mapping, [parse_egd("Emp(e, d1) & Emp(e, d2) -> d1 = d2")])
+    with pytest.raises(ExchangeError):
+        exchange(setting, source)
+
+
+def test_exchange_rejects_non_weakly_acyclic_tgds_by_default():
+    setting = ExchangeSetting(MAPPING, [parse_tgd("Emp(e, d) -> exists m . Emp(d, m)")])
+    assert not setting.is_weakly_acyclic()
+    with pytest.raises(ValueError):
+        exchange(setting, SOURCE)
+    # With the safeguard disabled the step budget applies instead.
+    result = exchange(setting, SOURCE, max_steps=10, require_weak_acyclicity=False)
+    assert not result.terminated
+
+
+def test_core_solution_retracts_redundant_tuples():
+    mapping = mapping_from_rules(
+        ["Emp(e^cl, d^op) :- SrcEmp(e)", "Emp(e^cl, 'known'^cl) :- SrcEmp(e)"],
+        source={"SrcEmp": 1},
+        target={"Emp": 2},
+    )
+    setting = ExchangeSetting(mapping, [])
+    result = exchange(setting, make_instance({"SrcEmp": [("ann",)]}))
+    assert len(result.instance) == 2
+    core = core_solution(result)
+    # The null tuple folds onto the constant one in the core.
+    assert core.relation("Emp") == {("ann", "known")}

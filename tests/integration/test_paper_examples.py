@@ -1,0 +1,118 @@
+"""End-to-end tests replaying the worked examples of the paper."""
+
+from repro.core.canonical import canonical_solution
+from repro.core.certain import certain_answer_boolean, certain_answers
+from repro.core.deqa import is_certain
+from repro.core.mapping import mapping_from_rules
+from repro.core.recognition import recognize
+from repro.logic.cq import cq
+from repro.logic.queries import Query
+from repro.relational.annotated import Annotation
+from repro.relational.builders import make_instance
+from repro.relational.domain import is_null
+from repro.workloads.conference import (
+    conference_mapping,
+    one_author_per_paper_query,
+    unreviewed_submission_query,
+)
+
+
+def test_introduction_conference_scenario_end_to_end():
+    """The Papers/Assignments → Submissions/Reviews example of Section 1."""
+    mapping = conference_mapping()
+    source = make_instance(
+        {
+            "Papers": [("p1", "Data exchange"), ("p2", "Schema mappings")],
+            "Assignments": [("p1", "reviewer-A"), ("p1", "reviewer-B")],
+        }
+    )
+    solution = canonical_solution(mapping, source)
+
+    # Exactly the submitted papers are moved (closed paper#), with open author nulls.
+    submissions = solution.annotated.relation("Submissions")
+    assert {at.values[0] for at in submissions} == {"p1", "p2"}
+    assert all(is_null(at.values[1]) and at.annotation == Annotation.from_string("cl,op") for at in submissions)
+
+    # p1 has one (closed) review per reviewer; p2 has one open review null.
+    reviews = solution.annotated.relation("Reviews")
+    p1_reviews = [at for at in reviews if at.values[0] == "p1"]
+    p2_reviews = [at for at in reviews if at.values[0] == "p2"]
+    assert len(p1_reviews) == 2 and all(at.annotation.is_all_closed() for at in p1_reviews)
+    assert len(p2_reviews) == 1 and p2_reviews[0].annotation == Annotation.from_string("cl,op")
+
+    # A target with several authors per paper and several reviews for the
+    # unassigned paper is accepted; one with a foreign paper is not.
+    good = make_instance(
+        {
+            "Submissions": [("p1", "author-1"), ("p1", "author-2"), ("p2", "author-3")],
+            "Reviews": [("p1", "rev-A"), ("p1", "rev-B"), ("p2", "rev-1"), ("p2", "rev-2")],
+        }
+    )
+    assert recognize(mapping, source, good).member
+    foreign = good.copy()
+    foreign.add("Submissions", ("p999", "author-x"))
+    assert not recognize(mapping, source, foreign).member
+
+
+def test_introduction_one_author_query_depends_on_annotation():
+    """The motivating anomaly: 'every paper has exactly one author'."""
+    source = make_instance({"Papers": [("p1", "t1")]})
+    closed = mapping_from_rules(
+        ["Submissions(x^cl, z^cl) :- Papers(x, y)"],
+        source={"Papers": 2},
+        target={"Submissions": 2},
+    )
+    mixed = mapping_from_rules(
+        ["Submissions(x^cl, z^op) :- Papers(x, y)"],
+        source={"Papers": 2},
+        target={"Submissions": 2},
+    )
+    query = one_author_per_paper_query()
+    assert certain_answer_boolean(closed, source, query) is True  # CWA artefact
+    assert certain_answer_boolean(mixed, source, query) is False  # intended answer
+
+
+def test_section2_canonical_solution_example(simple_copy_mapping, simple_copy_source):
+    """R(x, z) :- E(x, y) over E = {(a,c1),(a,c2),(b,c3)}: three nulls."""
+    csol = canonical_solution(simple_copy_mapping, simple_copy_source).instance
+    assert len(csol.relation("R")) == 3
+    firsts = sorted(t[0] for t in csol.relation("R"))
+    assert firsts == ["a", "a", "b"]
+
+
+def test_section4_copying_mapping_cwa_answers_fo_queries_correctly():
+    """For copying mappings, CWA certain answers of FO queries coincide with
+    evaluating the query over the source (renamed) — the OWA does not."""
+    copy_cl = mapping_from_rules(
+        ["Et(x^cl, y^cl) :- E(x, y)"], source={"E": 2}, target={"Et": 2}
+    )
+    source = make_instance({"E": [("a", "b"), ("b", "c"), ("c", "a")]})
+    sink_query = Query("exists y . Et(x, y) & ~ (exists z . Et(y, z))", ["x"])
+    expected = set()  # every vertex has an outgoing edge in the 3-cycle
+    assert certain_answers(copy_cl, source, sink_query) == expected
+    not_edge = Query("~ Et('a', 'c')", [])
+    assert certain_answer_boolean(copy_cl, source, not_edge) is True
+    assert certain_answer_boolean(copy_cl.open_variant(), source, not_edge) is False
+
+
+def test_conference_unreviewed_submission_query_mixed_semantics():
+    """Non-monotone query over the mixed conference mapping: no paper is
+    certainly unreviewed (both rules always provide some review)."""
+    mapping = conference_mapping()
+    source = make_instance(
+        {"Papers": [("p1", "t1"), ("p2", "t2")], "Assignments": [("p1", "r1")]}
+    )
+    answers = certain_answers(mapping, source, unreviewed_submission_query())
+    assert answers == set()
+
+
+def test_positive_queries_annotation_invariant_prop3():
+    """Proposition 3 on the conference scenario: positive certain answers do
+    not depend on the annotation."""
+    source = make_instance(
+        {"Papers": [("p1", "t1"), ("p2", "t2")], "Assignments": [("p1", "r1")]}
+    )
+    query = cq(["p"], [("Submissions", ["p", "a"])])
+    mapping = conference_mapping()
+    for variant in (mapping, mapping.open_variant(), mapping.closed_variant()):
+        assert certain_answers(variant, source, query) == {("p1",), ("p2",)}

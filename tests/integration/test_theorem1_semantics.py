@@ -1,0 +1,91 @@
+"""Integration tests for Lemma 1 and Theorem 1: the semantics lattice.
+
+These tests compare the annotated semantics ``⟦S⟧_Σα`` against the classical
+OWA/CWA semantics and check its monotonicity in the annotation order, using
+bounded enumeration as ground truth on small instances.
+"""
+
+import pytest
+
+from repro.core.canonical import canonical_solution
+from repro.core.mapping import mapping_from_rules
+from repro.core.solutions import enumerate_semantics, in_semantics, is_owa_solution, is_cwa_solution
+from repro.relational.builders import make_instance
+from repro.relational.rep import enumerate_rep, rep_contains
+
+
+MIXED = mapping_from_rules(
+    ["T(x^cl, z^op) :- E(x, y)"], source={"E": 2}, target={"T": 2}
+)
+SOURCE = make_instance({"E": [("a", "c1"), ("b", "c2")]})
+
+
+def test_lemma1_open_semantics_equals_owa_solutions():
+    """⟦S⟧_Σop = all ground instances satisfying the STDs (OWA-solutions over Const)."""
+    open_mapping = MIXED.open_variant()
+    candidates = [
+        make_instance({"T": [("a", 1), ("b", 2)]}),
+        make_instance({"T": [("a", 1), ("b", 2), ("x", "y")]}),
+        make_instance({"T": [("a", 1)]}),
+        make_instance({"T": []}),
+    ]
+    for candidate in candidates:
+        semantic = in_semantics(open_mapping, SOURCE, candidate) is not None
+        owa = is_owa_solution(open_mapping, SOURCE, candidate)
+        assert semantic == owa, candidate
+
+
+def test_lemma1_closed_semantics_equals_rep_of_csol():
+    """⟦S⟧_Σcl = Rep(CSol(S))."""
+    closed = MIXED.closed_variant()
+    csol = canonical_solution(closed, SOURCE).instance
+    candidates = [
+        make_instance({"T": [("a", 1), ("b", 2)]}),
+        make_instance({"T": [("a", 1), ("b", 1)]}),
+        make_instance({"T": [("a", 1), ("b", 2), ("c", 3)]}),
+        make_instance({"T": [("a", 1)]}),
+    ]
+    for candidate in candidates:
+        semantic = in_semantics(closed, SOURCE, candidate) is not None
+        via_rep = rep_contains(csol, candidate) is not None
+        assert semantic == via_rep, candidate
+
+
+def test_theorem1_item3_monotone_in_annotation_order():
+    """α ⪯ α′ implies ⟦S⟧_Σα ⊆ ⟦S⟧_Σα′ (closed: α=cl ⪯ mixed ⪯ op)."""
+    closed = MIXED.closed_variant()
+    open_ = MIXED.open_variant()
+    for member in enumerate_semantics(closed, SOURCE, extra_constants=1, max_extra_tuples=0):
+        assert in_semantics(MIXED, SOURCE, member) is not None
+        assert in_semantics(open_, SOURCE, member) is not None
+    for member in list(enumerate_semantics(MIXED, SOURCE, extra_constants=1, max_extra_tuples=1))[:40]:
+        assert in_semantics(open_, SOURCE, member) is not None
+
+
+def test_theorem1_item4_solutions_represent_no_more_than_csola():
+    """Every ground instance represented by a Σα-solution is in RepA(CSolA(S))."""
+    from repro.relational.annotated import AnnotatedInstance
+    from repro.relational.domain import fresh_null
+    from repro.relational.rep import enumerate_rep_a, rep_a_contains
+
+    canonical = canonical_solution(MIXED, SOURCE).annotated
+    shared = fresh_null()
+    # A Σα-solution for the open-column mapping (identifying is fine in open positions).
+    solution = AnnotatedInstance()
+    solution.add_tuple("T", ("a", shared), "cl,op")
+    solution.add_tuple("T", ("b", shared), "cl,op")
+    from repro.core.solutions import is_annotated_solution
+
+    assert is_annotated_solution(MIXED, SOURCE, solution)
+    for ground in enumerate_rep_a(solution, extra_constants=1, max_extra_tuples=1):
+        assert rep_a_contains(canonical, ground) is not None
+
+
+def test_cwa_solutions_represent_exactly_the_closed_semantics():
+    closed = MIXED.closed_variant()
+    csol = canonical_solution(closed, SOURCE).instance
+    # Every ground instance represented by the canonical solution is in the
+    # semantics, and the canonical solution is itself a CWA-solution.
+    assert is_cwa_solution(closed, SOURCE, csol)
+    for ground in enumerate_rep(csol, extra_constants=2):
+        assert in_semantics(closed, SOURCE, ground) is not None

@@ -1,0 +1,106 @@
+"""Tests for conjunctive queries and unions of conjunctive queries."""
+
+import pytest
+
+from repro.logic.cq import ConjunctiveQuery, UnionOfConjunctiveQueries, cq, match_atoms
+from repro.logic.formulas import Atom, Eq
+from repro.logic.terms import Const, Var
+from repro.relational.builders import make_instance
+from repro.relational.domain import fresh_null
+
+
+GRAPH = make_instance({"E": [("a", "b"), ("b", "c"), ("c", "a"), ("a", "c")]})
+
+
+def test_cq_evaluation_join():
+    two_step = cq(["x", "z"], [("E", ["x", "y"]), ("E", ["y", "z"])])
+    answers = two_step.evaluate(GRAPH)
+    assert ("a", "c") in answers  # a->b->c
+    assert ("a", "a") in answers  # a->c->a
+    assert ("b", "a") in answers  # b->c->a
+    assert all(len(t) == 2 for t in answers)
+
+
+def test_cq_with_constants():
+    query = ConjunctiveQuery(["y"], [Atom("E", (Const("a"), Var("y")))])
+    assert query.evaluate(GRAPH) == {("b",), ("c",)}
+
+
+def test_cq_with_equalities():
+    query = ConjunctiveQuery(
+        ["x"], [Atom("E", ("x", "y"))], equalities=[Eq(Var("y"), Const("c"))]
+    )
+    assert query.evaluate(GRAPH) == {("b",), ("a",)}
+
+
+def test_cq_head_variable_must_occur_in_body():
+    with pytest.raises(ValueError):
+        cq(["z"], [("E", ["x", "y"])])
+
+
+def test_cq_boolean_and_holds():
+    boolean = cq([], [("E", ["x", "x"])])
+    assert boolean.is_boolean()
+    assert not boolean.holds(GRAPH)
+    assert boolean.holds(make_instance({"E": [("a", "a")]}))
+
+
+def test_cq_naive_evaluation_discards_nulls():
+    null = fresh_null()
+    instance = make_instance({"E": [("a", "b")]})
+    instance.add("E", ("a", null))
+    query = cq(["x", "y"], [("E", ["x", "y"])])
+    assert query.naive_evaluate(instance) == {("a", "b")}
+    assert ("a", null) in query.evaluate(instance)
+
+
+def test_cq_to_formula_round_trip():
+    query = cq(["x"], [("E", ["x", "y"])])
+    from repro.logic.queries import Query
+
+    wrapped = Query(query.to_formula(), query.head)
+    assert wrapped.evaluate(GRAPH) == query.evaluate(GRAPH)
+
+
+def test_cq_containment_homomorphism_theorem():
+    specific = cq(["x"], [("E", ["x", "y"]), ("E", ["y", "x"])])
+    general = cq(["x"], [("E", ["x", "y"])])
+    assert specific.is_contained_in(general)
+    assert not general.is_contained_in(specific)
+    assert general.is_contained_in(general)
+
+
+def test_cq_containment_different_arity():
+    assert not cq(["x"], [("E", ["x", "y"])]).is_contained_in(
+        cq(["x", "y"], [("E", ["x", "y"])])
+    )
+
+
+def test_canonical_database_freezes_variables():
+    query = cq(["x"], [("E", ["x", "y"]), ("F", ["y"])])
+    canonical, mapping = query.canonical_database()
+    assert len(canonical) == 2
+    assert set(mapping) == {Var("x"), Var("y")}
+
+
+def test_match_atoms_with_partial_assignment():
+    matches = list(
+        match_atoms([Atom("E", ("x", "y"))], GRAPH, assignment={Var("x"): "a"})
+    )
+    assert {m[Var("y")] for m in matches} == {"b", "c"}
+
+
+def test_ucq_union_semantics():
+    forwards = cq(["x", "y"], [("E", ["x", "y"])])
+    backwards = cq(["x", "y"], [("E", ["y", "x"])])
+    union = UnionOfConjunctiveQueries([forwards, backwards])
+    assert union.arity == 2
+    answers = union.evaluate(GRAPH)
+    assert ("b", "a") in answers and ("a", "b") in answers
+
+
+def test_ucq_arity_mismatch_rejected():
+    with pytest.raises(ValueError):
+        UnionOfConjunctiveQueries([cq(["x"], [("E", ["x", "y"])]), cq(["x", "y"], [("E", ["x", "y"])])])
+    with pytest.raises(ValueError):
+        UnionOfConjunctiveQueries([])

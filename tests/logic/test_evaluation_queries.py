@@ -1,0 +1,83 @@
+"""Tests for FO evaluation and the Query wrapper."""
+
+import pytest
+
+from repro.logic.evaluation import evaluate, query_answers, satisfying_assignments
+from repro.logic.parser import parse_formula
+from repro.logic.queries import Query
+from repro.logic.terms import Var
+from repro.relational.builders import make_instance
+from repro.relational.domain import fresh_null
+
+
+GRAPH = make_instance({"E": [("a", "b"), ("b", "c"), ("c", "a")], "V": [("a",), ("b",), ("c",)]})
+
+
+def test_evaluate_atom_and_negation():
+    assert evaluate(parse_formula("E('a', 'b')"), GRAPH)
+    assert not evaluate(parse_formula("E('b', 'a')"), GRAPH)
+    assert evaluate(parse_formula("~ E('b', 'a')"), GRAPH)
+
+
+def test_evaluate_quantifiers_active_domain():
+    assert evaluate(parse_formula("forall x . V(x) -> exists y . E(x, y)"), GRAPH)
+    assert not evaluate(parse_formula("exists x . V(x) & ~ exists y . E(x, y)"), GRAPH)
+
+
+def test_evaluate_with_assignment():
+    formula = parse_formula("E(x, y)")
+    assert evaluate(formula, GRAPH, {Var("x"): "a", Var("y"): "b"})
+    assert not evaluate(formula, GRAPH, {Var("x"): "a", Var("y"): "c"})
+
+
+def test_query_answers_and_order():
+    answers = query_answers(parse_formula("E(x, y)"), ["y", "x"], GRAPH)
+    assert ("b", "a") in answers and ("a", "b") not in answers
+
+
+def test_satisfying_assignments():
+    assignments = list(satisfying_assignments(parse_formula("E(x, y)"), ["x", "y"], GRAPH))
+    assert {frozenset(a.items()) for a in assignments} == {
+        frozenset({(Var("x"), s), (Var("y"), t)}) for s, t in GRAPH.relation("E")
+    }
+
+
+def test_query_classification():
+    positive = Query("exists y . E(x, y)", ["x"])
+    assert positive.is_positive() and positive.is_monotone() and positive.is_existential()
+    negated = Query("~ exists y . E(x, y)", ["x"])
+    assert not negated.is_positive()
+    declared_monotone = Query("~ exists y . E(x, y)", ["x"], monotone=True)
+    assert declared_monotone.is_monotone()
+    universal = Query("forall x . exists y . E(x, y)", [])
+    assert universal.is_universal_existential()
+    assert universal.is_boolean()
+
+
+def test_query_free_variable_check():
+    with pytest.raises(ValueError):
+        Query("E(x, y)", ["x"])
+
+
+def test_query_naive_evaluation_drops_null_answers():
+    null = fresh_null()
+    instance = make_instance({"R": [("a", "b")]})
+    instance.add("R", ("c", null))
+    query = Query("R(x, y)", ["x", "y"])
+    assert query.evaluate(instance) == {("a", "b"), ("c", null)}
+    assert query.naive_evaluate(instance) == {("a", "b")}
+
+
+def test_query_holds_with_answer_tuple():
+    query = Query("E(x, y) & ~ E(y, x)", ["x", "y"])
+    assert query.holds(GRAPH, ("a", "b"))
+    assert not query.holds(GRAPH, ("b", "a"))
+    with pytest.raises(ValueError):
+        query.holds(GRAPH, ("a",))
+
+
+def test_boolean_query_constants_outside_domain():
+    query = Query("E('a', 'z')", [])
+    assert not query.holds(GRAPH, ())
+    query2 = Query("~ E('a', 'z')", [])
+    assert query2.holds(GRAPH, ())

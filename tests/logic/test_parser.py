@@ -1,0 +1,100 @@
+"""Tests for the formula/term parser."""
+
+import pytest
+
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Eq,
+    Exists,
+    ForAll,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    free_variables,
+)
+from repro.logic.parser import ParseError, parse_atom, parse_formula, parse_term
+from repro.logic.terms import Const, FuncTerm, Var
+
+
+def test_parse_atom_and_terms():
+    atom = parse_atom("E(x, 'const', 3)")
+    assert atom.relation == "E"
+    assert atom.terms == (Var("x"), Const("const"), Const(3))
+
+
+def test_parse_function_terms():
+    term = parse_term("f(x, g(y))")
+    assert isinstance(term, FuncTerm)
+    assert term.function == "f"
+    assert isinstance(term.args[1], FuncTerm)
+
+
+def test_parse_connective_precedence():
+    formula = parse_formula("A(x) & B(x) | C(x)")
+    # & binds tighter than |
+    assert isinstance(formula, Or)
+    assert isinstance(formula.left, And)
+
+
+def test_parse_implication_and_iff():
+    implication = parse_formula("A(x) -> B(x)")
+    assert isinstance(implication, Implies)
+    iff = parse_formula("A(x) <-> B(x)")
+    assert isinstance(iff, Iff)
+
+
+def test_parse_negation_and_inequality():
+    formula = parse_formula("~ A(x) & x != y")
+    assert isinstance(formula, And)
+    assert isinstance(formula.left, Not)
+    assert isinstance(formula.right, Not)
+    assert isinstance(formula.right.operand, Eq)
+
+
+def test_parse_quantifiers_scope_extends_right():
+    formula = parse_formula("forall p a b . (T(p,a) & T(p,b)) -> a = b")
+    assert isinstance(formula, ForAll)
+    assert free_variables(formula) == set()
+    exists = parse_formula("exists x y . E(x, y) & V(x)")
+    assert isinstance(exists, Exists)
+    assert free_variables(exists) == set()
+
+
+def test_parse_nested_quantifiers_and_parens():
+    formula = parse_formula("exists y . (forall x . E(x, y))")
+    assert isinstance(formula, Exists)
+    assert isinstance(formula.body, ForAll)
+
+
+def test_parse_true_false():
+    from repro.logic.formulas import FalseFormula, TrueFormula
+
+    assert isinstance(parse_formula("true"), TrueFormula)
+    assert isinstance(parse_formula("false"), FalseFormula)
+
+
+def test_parse_comma_means_conjunction():
+    formula = parse_formula("A(x), B(x)")
+    assert isinstance(formula, And)
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_formula("A(x")
+    with pytest.raises(ParseError):
+        parse_formula("exists . A(x)")
+    with pytest.raises(ParseError):
+        parse_formula("A(x) B(x)")
+    with pytest.raises(ParseError):
+        parse_formula("x + y")
+    with pytest.raises(ParseError):
+        parse_term("E(x) = y")
+
+
+def test_quoted_constants_with_spaces_and_numbers():
+    atom = parse_atom("Papers(p, 'A Great Title')")
+    assert atom.terms[1] == Const("A Great Title")
+    assert parse_term("-3") == Const(-3)
+    assert parse_term("2.5") == Const(2.5)

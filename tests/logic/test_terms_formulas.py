@@ -1,0 +1,106 @@
+"""Tests for terms and formula syntactic measures."""
+
+import pytest
+
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Eq,
+    Exists,
+    ForAll,
+    Not,
+    Or,
+    TrueFormula,
+    atoms_of_conjunction,
+    conjunction,
+    constants_of,
+    disjunction,
+    free_variables,
+    is_conjunction_of_atoms,
+    is_existential,
+    is_positive_existential,
+    is_universal_existential,
+    quantifier_rank,
+    relations_of,
+    substitute,
+)
+from repro.logic.terms import Const, FuncTerm, Var, evaluate_term, to_term
+
+
+def test_to_term_coercions():
+    assert to_term("x") == Var("x")
+    assert to_term(3) == Const(3)
+    assert to_term(Var("y")) == Var("y")
+
+
+def test_function_term_structure():
+    term = FuncTerm("f", (Var("x"), Const(1)))
+    assert term.arity == 2
+    assert term.variables() == {Var("x")}
+    assert term.functions() == {"f"}
+
+
+def test_evaluate_term_with_functions():
+    term = FuncTerm("f", (Var("x"),))
+    assert evaluate_term(term, {Var("x"): 2}, {"f": lambda v: v * 10}) == 20
+    with pytest.raises(KeyError):
+        evaluate_term(term, {Var("x"): 2}, {})
+    with pytest.raises(KeyError):
+        evaluate_term(Var("y"), {}, {})
+
+
+def test_free_variables_and_quantifiers():
+    formula = Exists("y", And(Atom("E", ("x", "y")), Not(Atom("P", ("x",)))))
+    assert free_variables(formula) == {Var("x")}
+    assert quantifier_rank(formula) == 1
+    nested = ForAll(("a", "b"), Exists("c", Atom("R", ("a", "b", "c"))))
+    assert quantifier_rank(nested) == 3
+    assert free_variables(nested) == set()
+
+
+def test_relations_and_constants():
+    formula = And(Atom("E", ("x", Const("v0"))), Eq("x", Const(7)))
+    assert relations_of(formula) == {"E"}
+    assert constants_of(formula) == {"v0", 7}
+
+
+def test_fragment_classification():
+    positive = Exists("y", Or(Atom("E", ("x", "y")), Atom("F", ("x", "y"))))
+    assert is_positive_existential(positive)
+    assert is_existential(positive)
+    negated = Not(Atom("E", ("x", "y")))
+    assert not is_positive_existential(negated)
+    forall_exists = ForAll("x", Exists("y", Atom("E", ("x", "y"))))
+    assert is_universal_existential(forall_exists)
+    assert not is_universal_existential(Exists("y", ForAll("x", Atom("E", ("x", "y")))))
+
+
+def test_conjunction_of_atoms_helpers():
+    formula = And(Atom("A", ("x",)), And(Atom("B", ("y",)), Atom("C", ("x", "y"))))
+    assert is_conjunction_of_atoms(formula)
+    assert [a.relation for a in atoms_of_conjunction(formula)] == ["A", "B", "C"]
+    assert not is_conjunction_of_atoms(Or(Atom("A", ("x",)), Atom("B", ("x",))))
+    with pytest.raises(ValueError):
+        atoms_of_conjunction(Or(Atom("A", ("x",)), Atom("B", ("x",))))
+
+
+def test_conjunction_disjunction_builders():
+    assert isinstance(conjunction([]), TrueFormula)
+    atoms = [Atom("A", ("x",)), Atom("B", ("x",))]
+    assert relations_of(conjunction(atoms)) == {"A", "B"}
+    assert relations_of(disjunction(atoms)) == {"A", "B"}
+
+
+def test_substitution_respects_binding():
+    formula = Exists("y", Atom("E", ("x", "y")))
+    substituted = substitute(formula, {Var("x"): Const("a"), Var("y"): Const("b")})
+    # x is free and gets replaced; y is bound and must not be replaced.
+    assert constants_of(substituted) == {"a"}
+    assert free_variables(substituted) == set()
+
+
+def test_operator_shorthand():
+    atom = Atom("A", ("x",))
+    assert isinstance(atom & atom, And)
+    assert isinstance(atom | atom, Or)
+    assert isinstance(~atom, Not)

@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) for the library's core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.canonical import canonical_solution
+from repro.core.certain import certain_answers_naive, certain_answers_positive
+from repro.core.mapping import mapping_from_rules
+from repro.core.recognition import recognize
+from repro.logic.cq import cq
+from repro.relational.annotated import CL, OP, Annotation
+from repro.relational.builders import make_instance
+from repro.relational.domain import fresh_null
+from repro.relational.instance import Instance
+from repro.relational.rep import rep_a_contains
+from repro.relational.valuation import Valuation
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+constants = st.sampled_from(["a", "b", "c", "d", "e"])
+small_ints = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def edge_instances(draw, max_edges=5):
+    """A small ground graph instance over relation E."""
+    edges = draw(st.lists(st.tuples(constants, constants), max_size=max_edges))
+    return make_instance({"E": edges})
+
+
+@st.composite
+def annotations(draw, arity=2):
+    return Annotation(tuple(draw(st.sampled_from([OP, CL])) for _ in range(arity)))
+
+
+@st.composite
+def annotated_tables(draw, max_tuples=3):
+    """A small annotated instance over a binary relation R mixing constants and nulls."""
+    from repro.relational.annotated import AnnotatedInstance
+
+    table = AnnotatedInstance()
+    nulls = [fresh_null() for _ in range(2)]
+    values = st.one_of(constants, st.sampled_from(nulls))
+    count = draw(st.integers(min_value=1, max_value=max_tuples))
+    for _ in range(count):
+        tup = (draw(values), draw(values))
+        table.add_tuple("R", tup, draw(annotations()))
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Rep/RepA invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(annotated_tables(), st.data())
+def test_valuation_image_always_in_rep_a(table, data):
+    """For any valuation v, v(rel(T)) ∈ RepA(T)."""
+    pool = ["a", "b", "c"]
+    valuation = Valuation(
+        {null: data.draw(st.sampled_from(pool)) for null in table.nulls()}
+    )
+    ground = valuation.apply_annotated(table).rel()
+    assert rep_a_contains(table, ground) is not None
+
+
+@settings(max_examples=40, deadline=None)
+@given(annotated_tables(), st.data())
+def test_rep_a_open_replication_invariant(table, data):
+    """Adding a tuple that copies an existing all-open licensed tuple stays in RepA."""
+    pool = ["a", "b", "c"]
+    valuation = Valuation(
+        {null: data.draw(st.sampled_from(pool)) for null in table.nulls()}
+    )
+    applied = valuation.apply_annotated(table)
+    ground = applied.rel()
+    open_tuples = [
+        at for _, at in applied.annotated_facts() if not at.is_empty and at.annotation.is_all_open()
+    ]
+    if open_tuples:
+        ground.add("R", (data.draw(st.sampled_from(pool)), data.draw(st.sampled_from(pool))))
+        if not all(
+            any(at.coincides_on_closed(t) for _, at in applied.annotated_facts())
+            for t in ground.relation("R")
+        ):
+            return  # the extra tuple is not licensed by an all-open pattern
+    assert rep_a_contains(table, ground) is not None
+
+
+# ---------------------------------------------------------------------------
+# Canonical solution invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(edge_instances())
+def test_canonical_solution_size_linear_in_triggers(source):
+    mapping = mapping_from_rules(
+        ["T(x^cl, z^op) :- E(x, y)"], source={"E": 2}, target={"T": 2}
+    )
+    result = canonical_solution(mapping, source)
+    edges = len(source.relation("E"))
+    assert len(result.instance) == edges
+    assert len(result.justifications) == edges
+    # Nulls are pairwise distinct and all annotated tuples follow the STD's annotation.
+    assert len(result.nulls()) == edges
+    for at in result.annotated.relation("T"):
+        if not at.is_empty:
+            assert at.annotation == Annotation((CL, OP))
+
+
+@settings(max_examples=30, deadline=None)
+@given(edge_instances())
+def test_canonical_solution_is_recognized_after_valuation(source):
+    """Valuating the canonical solution always yields a member of ⟦S⟧_Σα."""
+    mapping = mapping_from_rules(
+        ["T(x^cl, z^cl) :- E(x, y)"], source={"E": 2}, target={"T": 2}
+    )
+    result = canonical_solution(mapping, source)
+    valuation = Valuation({null: f"v{null.ident % 3}" for null in result.nulls()})
+    ground = valuation.apply_instance(result.instance)
+    assert recognize(mapping, source, ground).member
+
+
+# ---------------------------------------------------------------------------
+# Certain answers invariants (Proposition 3)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(edge_instances())
+def test_positive_certain_answers_annotation_invariant(source):
+    query = cq(["x"], [("T", ["x", "z"])])
+    base = mapping_from_rules(
+        ["T(x^cl, z^op) :- E(x, y)"], source={"E": 2}, target={"T": 2}
+    )
+    reference = certain_answers_positive(base, source, query)
+    for variant in (base.open_variant(), base.closed_variant()):
+        assert certain_answers_positive(variant, source, query) == reference
+    # And they coincide with the source projection (the mapping copies first columns).
+    assert reference == {(x,) for x, _ in source.relation("E")}
+
+
+@settings(max_examples=30, deadline=None)
+@given(edge_instances(), st.sampled_from(["a", "b", "z"]))
+def test_naive_evaluation_certain_answers_are_sound(source, probe):
+    """Naive certain answers of a CQ are answers in every valuation of the table."""
+    mapping = mapping_from_rules(
+        ["T(x^cl, z^op) :- E(x, y)"], source={"E": 2}, target={"T": 2}
+    )
+    csol = canonical_solution(mapping, source)
+    query = cq(["x"], [("T", ["x", "z"])])
+    answers = certain_answers_naive(query, csol.instance)
+    valuation = Valuation({null: probe for null in csol.nulls()})
+    ground = valuation.apply_instance(csol.instance)
+    assert answers <= query.evaluate(ground)
+
+
+# ---------------------------------------------------------------------------
+# Annotation order invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(annotations(), annotations())
+def test_annotation_order_is_a_partial_order(first, second):
+    assert first.leq(first)
+    if first.leq(second) and second.leq(first):
+        assert first == second
+    closed = Annotation.all_closed(2)
+    opened = Annotation.all_open(2)
+    assert closed.leq(first) and first.leq(opened)
+
+
+@settings(max_examples=50, deadline=None)
+@given(annotations())
+def test_annotation_counts_sum_to_arity(annotation):
+    assert annotation.open_count() + annotation.closed_count() == annotation.arity
+    assert set(annotation.open_positions()) | set(annotation.closed_positions()) == set(
+        range(annotation.arity)
+    )

@@ -1,0 +1,73 @@
+"""Property-based tests for the logic layer and the chase engine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chase.dependencies import parse_tgd
+from repro.chase.engine import chase
+from repro.chase.weak_acyclicity import is_weakly_acyclic
+from repro.logic.cq import cq
+from repro.logic.evaluation import evaluate
+from repro.logic.parser import parse_formula
+from repro.logic.queries import Query
+from repro.relational.builders import make_instance
+
+
+constants = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def graphs(draw, max_edges=6):
+    edges = draw(st.lists(st.tuples(constants, constants), max_size=max_edges))
+    return make_instance({"E": edges})
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_cq_evaluation_matches_fo_evaluation(instance):
+    """The join-based CQ evaluator agrees with the generic FO evaluator."""
+    query = cq(["x", "z"], [("E", ["x", "y"]), ("E", ["y", "z"])])
+    wrapped = Query(query.to_formula(), query.head)
+    assert query.evaluate(instance) == wrapped.evaluate(instance)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_de_morgan_on_finite_instances(instance):
+    """¬∃x φ ≡ ∀x ¬φ under active-domain evaluation."""
+    left = parse_formula("~ (exists x . exists y . E(x, y) & ~ E(y, x))")
+    right = parse_formula("forall x y . E(x, y) -> E(y, x)")
+    assert evaluate(left, instance) == evaluate(right, instance)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_monotone_query_is_monotone(instance):
+    """Adding tuples never removes answers of a positive query."""
+    query = cq(["x"], [("E", ["x", "y"])])
+    before = query.evaluate(instance)
+    extended = instance.copy()
+    extended.add("E", ("a", "zz"))
+    after = query.evaluate(extended)
+    assert before <= after
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs())
+def test_chase_with_weakly_acyclic_tgds_terminates_and_satisfies(instance):
+    """Chasing with a weakly acyclic tgd terminates and the result satisfies it."""
+    tgd = parse_tgd("E(x, y) -> exists z . L(y, z)")
+    assert is_weakly_acyclic([tgd])
+    result = chase(instance, [tgd], max_steps=500)
+    assert result.terminated
+    chased = result.instance
+    for _, (x, y) in ((None, t) for t in instance.relation("E")):
+        assert any(l == y for l, _ in chased.relation("L"))
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs())
+def test_chase_is_idempotent(instance):
+    tgd = parse_tgd("E(x, y) -> E(y, y)")
+    once = chase(instance, [tgd]).instance
+    twice = chase(once, [tgd]).instance
+    assert once == twice

@@ -1,0 +1,229 @@
+"""Tests for the executable hardness reductions (Theorems 2–4, Prop. 6)."""
+
+import pytest
+
+from repro.core.composition import in_composition
+from repro.core.compose_syntactic import CompositionNotSupported, compose_syntactic
+from repro.core.deqa import is_certain
+from repro.core.mapping import SchemaMapping
+from repro.core.recognition import recognize
+from repro.core.skolem import skolemize
+from repro.reductions.coloring import (
+    COLORS,
+    coloring_mappings,
+    coloring_to_composition,
+    is_three_colorable,
+    odd_wheel,
+    random_graph,
+)
+from repro.reductions.nonclosure import (
+    nonclosure_mappings,
+    nonclosure_source,
+    nonclosure_witness,
+    spread_target,
+)
+from repro.reductions.powerset import graph_source, powerset_axioms, powerset_mapping
+from repro.reductions.tiling import TilingInstance, tiling_mapping, tiling_to_deqa
+from repro.reductions.tripartite import (
+    TripartiteMatchingInstance,
+    tripartite_mapping,
+    tripartite_to_recognition,
+)
+from repro.relational.builders import make_instance
+
+
+# ---------------------------------------------------------------------------
+# Theorem 2: tripartite matching → recognition
+# ---------------------------------------------------------------------------
+
+
+def test_tripartite_mapping_parameters():
+    mapping = tripartite_mapping()
+    assert mapping.max_closed_per_atom() == 1
+    assert mapping.max_open_per_atom() == 3
+    wide = tripartite_mapping(closed_positions=2)
+    assert wide.max_closed_per_atom() == 2
+
+
+def test_tripartite_reduction_positive_and_negative():
+    for seed in (0, 1):
+        positive = TripartiteMatchingInstance.random(3, satisfiable=True, seed=seed)
+        mapping, source, target = tripartite_to_recognition(positive)
+        assert positive.has_matching()
+        assert recognize(mapping, source, target).member
+
+    negative = TripartiteMatchingInstance.random(3, satisfiable=False, seed=2)
+    mapping, source, target = tripartite_to_recognition(negative)
+    assert not negative.has_matching()
+    assert not recognize(mapping, source, target).member
+
+
+def test_tripartite_reduction_agrees_with_bruteforce_small():
+    """Exhaustively compare on a handcrafted instance."""
+    instance = TripartiteMatchingInstance(
+        boys=("b0", "b1"),
+        girls=("g0", "g1"),
+        homes=("h0", "h1"),
+        triples=(("b0", "g0", "h0"), ("b1", "g1", "h1"), ("b0", "g1", "h0")),
+    )
+    mapping, source, target = tripartite_to_recognition(instance)
+    assert instance.has_matching() == recognize(mapping, source, target).member
+    uncoverable = TripartiteMatchingInstance(
+        boys=("b0", "b1"),
+        girls=("g0", "g1"),
+        homes=("h0", "h1"),
+        triples=(("b0", "g0", "h0"), ("b1", "g1", "h0")),
+    )
+    mapping, source, target = tripartite_to_recognition(uncoverable)
+    assert not uncoverable.has_matching()
+    assert not recognize(mapping, source, target).member
+
+
+def test_tripartite_higher_closed_arity_variant():
+    instance = TripartiteMatchingInstance(
+        boys=("b0",), girls=("g0",), homes=("h0",), triples=(("b0", "g0", "h0"),)
+    )
+    mapping, source, target = tripartite_to_recognition(instance, closed_positions=2)
+    assert recognize(mapping, source, target).member
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4: 3-colorability → composition
+# ---------------------------------------------------------------------------
+
+
+def test_coloring_reduction_positive():
+    triangle = [("a", "b"), ("b", "c"), ("c", "a")]
+    assert is_three_colorable(triangle)
+    first, second, source, target = coloring_to_composition(triangle)
+    assert first.is_all_closed()
+    assert in_composition(first, second, source, target, extra_constants=1).member
+
+
+def test_coloring_reduction_negative():
+    k4 = odd_wheel(3)  # the wheel on a triangle is K4: not 3-colorable
+    assert not is_three_colorable(k4)
+    first, second, source, target = coloring_to_composition(k4)
+    assert not in_composition(first, second, source, target, extra_constants=1).member
+
+
+def test_coloring_reduction_annotation_of_second_mapping_irrelevant():
+    path = [("a", "b"), ("b", "c")]
+    for annotation in ("cl", "op"):
+        first, second, source, target = coloring_to_composition(path, second_annotation=annotation)
+        assert in_composition(first, second, source, target, extra_constants=1).member
+
+
+def test_random_graph_generator_deterministic():
+    assert random_graph(5, 0.5, seed=3) == random_graph(5, 0.5, seed=3)
+    assert is_three_colorable(random_graph(4, 0.3, seed=1)) in (True, False)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3: tiling → DEQA (#op = 1); structure-level checks
+# ---------------------------------------------------------------------------
+
+
+def test_tiling_mapping_has_one_open_position_per_atom():
+    mapping = tiling_mapping()
+    assert mapping.max_open_per_atom() == 1
+
+
+def test_tiling_instance_bruteforce():
+    compatible = TilingInstance(
+        tiles=("t0", "t1"),
+        horizontal=(("t0", "t1"), ("t1", "t0"), ("t0", "t0"), ("t1", "t1")),
+        vertical=(("t0", "t1"), ("t1", "t0"), ("t0", "t0"), ("t1", "t1")),
+        n=1,
+    )
+    assert compatible.grid_side() == 2
+    assert compatible.has_tiling()
+    incompatible = TilingInstance(
+        tiles=("t0",), horizontal=(), vertical=(), n=1
+    )
+    assert not incompatible.has_tiling()
+
+
+def test_tiling_reduction_builds_source_and_query():
+    instance = TilingInstance(
+        tiles=("t0", "t1"),
+        horizontal=(("t0", "t1"),),
+        vertical=(("t0", "t1"),),
+        n=1,
+    )
+    mapping, source, query, answer = tiling_to_deqa(instance)
+    assert source.relation("Ns") == {(1,)}
+    assert ("t0",) in source.relation("T")
+    assert answer == ("empty",)
+    assert query.arity == 1
+    # The query parses into a well-formed FO formula mentioning the target relations.
+    from repro.logic.formulas import relations_of
+
+    assert {"F", "Gh", "Gv", "Empty"} <= relations_of(query.formula)
+
+
+# ---------------------------------------------------------------------------
+# Section 4 sketch: the powerset mapping
+# ---------------------------------------------------------------------------
+
+
+def test_powerset_mapping_and_axioms_parse():
+    mapping = powerset_mapping()
+    assert mapping.max_open_per_atom() == 1
+    from repro.logic.parser import parse_formula
+
+    axioms = parse_formula(powerset_axioms())
+    source = graph_source([("a", "b")])
+    assert source.relation("V") == {("a",), ("b",)}
+
+
+def test_powerset_singleton_axiom_fails_on_canonical_valuations():
+    """With a single vertex the singleton axiom can be met inside the bounded
+    search, so the boolean query 'axioms imply |codes| misbehaviour' is not
+    certainly true — exercising the open-null counterexample machinery."""
+    mapping = powerset_mapping()
+    source = graph_source([])
+    source.add("V", ("a",))
+    from repro.logic.queries import Query
+    from repro.logic.parser import parse_formula
+
+    negated_axioms = Query(parse_formula(f"~ ({powerset_axioms()})"), [])
+    result = is_certain(mapping, source, negated_axioms, (), extra_constants=2, max_extra_tuples=2)
+    assert not result.certain
+    assert result.counterexample is not None
+
+
+# ---------------------------------------------------------------------------
+# Proposition 6: non-closure witness
+# ---------------------------------------------------------------------------
+
+
+def test_nonclosure_claim6_both_directions():
+    first, second = nonclosure_mappings()
+    source = nonclosure_source(3)
+    witness = nonclosure_witness(3)
+    assert in_composition(first, second, source, witness).member
+    assert not in_composition(first, second, source, spread_target(3)).member
+
+
+def test_nonclosure_every_member_contains_a_witness_valuation():
+    first, second = nonclosure_mappings()
+    source = nonclosure_source(2)
+    member = nonclosure_witness(2, value="shared")
+    extra = member.copy()
+    extra.add("D", (1, "other"))
+    # adding tuples breaks the all-closed second mapping's semantics
+    assert not in_composition(first, second, source, extra).member
+
+
+def test_nonclosure_outside_lemma5_hypotheses():
+    """An open first mapping with a closed second mapping falls outside both
+    of Lemma 5's closure classes, so the algorithm refuses to compose them."""
+    first, _ = nonclosure_mappings(annotation="op")
+    _, second = nonclosure_mappings(annotation="cl")
+    sk1, sk2 = skolemize(first), skolemize(second)
+    with pytest.raises(CompositionNotSupported):
+        compose_syntactic(sk1, sk2)
+    # The all-open pair, by contrast, is the classical FKPT case and composes.
+    first_open, second_open = nonclosure_mappings(annotation="op")
+    assert compose_syntactic(skolemize(first_open), skolemize(second_open)).skstds

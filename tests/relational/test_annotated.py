@@ -1,0 +1,114 @@
+"""Tests for annotations, annotated tuples and annotated instances."""
+
+import pytest
+
+from repro.relational.annotated import (
+    CL,
+    OP,
+    AnnotatedInstance,
+    AnnotatedTuple,
+    Annotation,
+)
+from repro.relational.builders import make_instance
+from repro.relational.domain import fresh_null
+
+
+def test_annotation_constructors_and_counts():
+    assert Annotation.all_open(3) == Annotation((OP, OP, OP))
+    assert Annotation.all_closed(2).is_all_closed()
+    annotation = Annotation.from_string("cl,op")
+    assert annotation.open_count() == 1 and annotation.closed_count() == 1
+    assert annotation.open_positions() == [1]
+    assert annotation.closed_positions() == [0]
+    assert Annotation.from_string("co") == annotation
+
+
+def test_annotation_rejects_bad_marks():
+    with pytest.raises(ValueError):
+        Annotation(("open",))
+
+
+def test_annotation_order_closed_relaxes_to_open():
+    closed = Annotation.all_closed(2)
+    mixed = Annotation.from_string("cl,op")
+    open_ = Annotation.all_open(2)
+    assert closed.leq(mixed) and mixed.leq(open_) and closed.leq(open_)
+    assert not open_.leq(closed)
+    assert not mixed.leq(closed)
+    assert mixed.leq(mixed)
+
+
+def test_annotation_order_requires_same_arity():
+    with pytest.raises(ValueError):
+        Annotation.all_open(1).leq(Annotation.all_open(2))
+
+
+def test_annotated_tuple_arity_check_and_empty():
+    with pytest.raises(ValueError):
+        AnnotatedTuple(("a",), Annotation.all_open(2))
+    empty = AnnotatedTuple(None, Annotation.all_open(2))
+    assert empty.is_empty and empty.arity == 2 and empty.nulls() == set()
+
+
+def test_coincides_on_closed():
+    null = fresh_null()
+    at = AnnotatedTuple(("a", null), Annotation.from_string("cl,op"))
+    assert at.coincides_on_closed(("a", "anything"))
+    assert not at.coincides_on_closed(("b", null))
+    all_open_empty = AnnotatedTuple(None, Annotation.all_open(2))
+    assert all_open_empty.coincides_on_closed(("x", "y"))
+    closed_empty = AnnotatedTuple(None, Annotation.from_string("cl,op"))
+    assert not closed_empty.coincides_on_closed(("x", "y"))
+
+
+def test_annotated_instance_rel_drops_empty_tuples():
+    instance = AnnotatedInstance()
+    null = fresh_null()
+    instance.add_tuple("R", ("a", null), "cl,op")
+    instance.add_empty("R", Annotation.all_open(2))
+    relational_part = instance.rel()
+    assert relational_part.relation("R") == {("a", null)}
+    assert len(instance) == 2
+
+
+def test_annotated_instance_domains_and_measures():
+    instance = AnnotatedInstance()
+    n1, n2 = fresh_null(), fresh_null()
+    instance.add_tuple("R", ("a", n1), "cl,op")
+    instance.add_tuple("R", ("b", n2), "cl,cl")
+    assert instance.nulls() == {n1, n2}
+    assert instance.constants() == {"a", "b"}
+    assert instance.max_open_per_tuple() == 1
+    assert not instance.is_all_open() and not instance.is_all_closed()
+
+
+def test_from_instance_lifts_with_uniform_annotation():
+    plain = make_instance({"R": [("a", "b")]})
+    closed = AnnotatedInstance.from_instance(plain, CL)
+    assert closed.is_all_closed()
+    assert closed.rel() == plain
+
+
+def test_map_values_preserves_annotations_and_empties():
+    instance = AnnotatedInstance()
+    null = fresh_null()
+    instance.add_tuple("R", ("a", null), "cl,op")
+    instance.add_empty("R", Annotation.all_open(2))
+    mapped = instance.map_values(lambda v: "X" if v == null else v)
+    values = {at.values for _, at in mapped.annotated_facts()}
+    assert ("a", "X") in values and None in values
+
+
+def test_annotated_instance_equality_ignores_empty_relations():
+    a = AnnotatedInstance()
+    a.add_tuple("R", ("x",), "cl")
+    b = AnnotatedInstance({"R": {AnnotatedTuple(("x",), Annotation.all_closed(1))}, "S": set()})
+    assert a == b
+
+
+def test_schema_arity_enforced():
+    from repro.relational.schema import Schema
+
+    instance = AnnotatedInstance(schema=Schema({"R": 2}))
+    with pytest.raises(ValueError):
+        instance.add_tuple("R", ("a",), "cl")

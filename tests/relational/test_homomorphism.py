@@ -1,0 +1,125 @@
+"""Tests for homomorphisms of plain and annotated instances."""
+
+from repro.relational.annotated import AnnotatedInstance, Annotation, AnnotatedTuple
+from repro.relational.builders import make_instance
+from repro.relational.domain import fresh_null
+from repro.relational.homomorphism import (
+    apply_null_mapping,
+    core_of,
+    find_annotated_homomorphism,
+    find_homomorphism,
+    find_onto_homomorphism,
+    is_homomorphically_equivalent,
+)
+
+
+def test_find_homomorphism_nulls_to_values():
+    n1, n2 = fresh_null(), fresh_null()
+    source = make_instance({"E": [(n1, n2)]})
+    target = make_instance({"E": [("a", "b")]})
+    hom = find_homomorphism(source, target)
+    assert hom == {n1: "a", n2: "b"}
+
+
+def test_find_homomorphism_respects_constants():
+    source = make_instance({"E": [("a", "b")]})
+    target = make_instance({"E": [("a", "c")]})
+    assert find_homomorphism(source, target) is None
+    assert find_homomorphism(source, make_instance({"E": [("a", "b")]})) == {}
+
+
+def test_find_homomorphism_nulls_to_nulls_only():
+    n1 = fresh_null()
+    source = make_instance({"E": [(n1,)]})
+    target = make_instance({"E": [("a",)]})
+    assert find_homomorphism(source, target) is not None
+    assert find_homomorphism(source, target, nulls_to_nulls=True) is None
+
+
+def test_find_homomorphism_requires_consistent_nulls():
+    n = fresh_null()
+    source = make_instance({"E": [(n, n)]})
+    target = make_instance({"E": [("a", "b")]})
+    assert find_homomorphism(source, target) is None
+    target2 = make_instance({"E": [("a", "a")]})
+    assert find_homomorphism(source, target2) == {n: "a"}
+
+
+def test_annotated_homomorphism_preserves_annotations():
+    n1, n2 = fresh_null(), fresh_null()
+    source = AnnotatedInstance()
+    source.add_tuple("R", ("a", n1), "cl,op")
+    target_ok = AnnotatedInstance()
+    target_ok.add_tuple("R", ("a", n2), "cl,op")
+    target_wrong_annotation = AnnotatedInstance()
+    target_wrong_annotation.add_tuple("R", ("a", n2), "cl,cl")
+    assert find_annotated_homomorphism(source, target_ok) == {n1: n2}
+    assert find_annotated_homomorphism(source, target_wrong_annotation) is None
+
+
+def test_annotated_homomorphism_empty_tuples_must_match():
+    source = AnnotatedInstance()
+    source.add_empty("R", Annotation.all_open(2))
+    empty_target = AnnotatedInstance()
+    assert find_annotated_homomorphism(source, empty_target) is None
+    matching_target = AnnotatedInstance()
+    matching_target.add_empty("R", Annotation.all_open(2))
+    assert find_annotated_homomorphism(source, matching_target) == {}
+
+
+def test_onto_homomorphism_identifies_nulls():
+    n1, n2, n3, m1, m2 = (fresh_null() for _ in range(5))
+    source = AnnotatedInstance()
+    for null, first in ((n1, "a"), (n2, "a"), (n3, "b")):
+        source.add_tuple("R", (first, null), "cl,cl")
+    target = AnnotatedInstance()
+    target.add_tuple("R", ("a", m1), "cl,cl")
+    target.add_tuple("R", ("b", m2), "cl,cl")
+    hom = find_onto_homomorphism(source, target)
+    assert hom is not None
+    assert hom[n1] == hom[n2] == m1
+    assert hom[n3] == m2
+
+
+def test_onto_homomorphism_fails_when_target_has_extra_facts():
+    n1, m1 = fresh_null(), fresh_null()
+    source = AnnotatedInstance()
+    source.add_tuple("R", ("a", n1), "cl,cl")
+    target = AnnotatedInstance()
+    target.add_tuple("R", ("a", m1), "cl,cl")
+    target.add_tuple("R", ("b", m1), "cl,cl")
+    assert find_onto_homomorphism(source, target) is None
+
+
+def test_apply_null_mapping():
+    n = fresh_null()
+    instance = make_instance({"R": []})
+    instance.add("R", (n, "x"))
+    assert apply_null_mapping(instance, {n: "v"}).relation("R") == {("v", "x")}
+
+
+def test_homomorphic_equivalence():
+    n1, n2 = fresh_null(), fresh_null()
+    a = make_instance({"E": []})
+    a.add("E", ("c", n1))
+    b = make_instance({"E": []})
+    b.add("E", ("c", n2))
+    b.add("E", ("c", "d"))
+    # a maps into b, and b maps into a? b has ("c","d") which needs ("c", x) with x="d"
+    # in a: only ("c", n1) with null — constants cannot map, so not equivalent.
+    assert find_homomorphism(a, b) is not None
+    assert not is_homomorphically_equivalent(b, a)
+
+
+def test_core_retracts_redundant_nulls():
+    n1, n2 = fresh_null(), fresh_null()
+    instance = make_instance({"E": [("a", "b")]})
+    instance.add("E", ("a", n1))
+    instance.add("E", ("a", n2))
+    core = core_of(instance)
+    assert core.relation("E") == {("a", "b")}
+
+
+def test_core_of_ground_instance_is_itself():
+    instance = make_instance({"E": [("a", "b"), ("b", "c")]})
+    assert core_of(instance) == instance

@@ -1,0 +1,95 @@
+"""Tests for plain relational instances."""
+
+import pytest
+
+from repro.relational.builders import make_instance
+from repro.relational.domain import fresh_null
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+
+
+def test_add_and_lookup_tuples():
+    instance = Instance()
+    instance.add("E", ("a", "b"))
+    instance.add("E", ["a", "c"])
+    assert instance.relation("E") == {("a", "b"), ("a", "c")}
+    assert ("E", ("a", "b")) in instance
+    assert ("E", ("x", "y")) not in instance
+    assert len(instance) == 2
+
+
+def test_schema_validation_on_add():
+    instance = Instance(schema=Schema({"E": 2}))
+    with pytest.raises(ValueError):
+        instance.add("E", ("a",))
+
+
+def test_active_domain_constants_nulls():
+    null = fresh_null()
+    instance = make_instance({"R": [("a", 1)]})
+    instance.add("R", ("b", null))
+    assert instance.active_domain() == {"a", "b", 1, null}
+    assert instance.constants() == {"a", "b", 1}
+    assert instance.nulls() == {null}
+    assert not instance.is_ground()
+    assert make_instance({"R": [("a", 1)]}).is_ground()
+
+
+def test_union_difference_and_containment():
+    a = make_instance({"R": [(1,), (2,)]})
+    b = make_instance({"R": [(2,), (3,)]})
+    union = a.union(b)
+    assert union.relation("R") == {(1,), (2,), (3,)}
+    assert a.union(b).contains_instance(a)
+    assert not a.contains_instance(b)
+    assert a.difference(b).relation("R") == {(1,)}
+
+
+def test_discard_removes_empty_relations():
+    instance = make_instance({"R": [(1,)]})
+    instance.discard("R", (1,))
+    assert not instance
+    assert instance.relation_names() == []
+    instance.discard("R", (9,))  # no error on missing tuples
+
+
+def test_restrict_to_domain_and_relations():
+    instance = make_instance({"R": [(1, 2), (3, 4)], "P": [(1,)]})
+    assert instance.restrict_to_domain({1, 2}).relation("R") == {(1, 2)}
+    assert instance.restrict_to_relations(["P"]).relation("R") == set()
+
+
+def test_rename_relations_and_map_values():
+    instance = make_instance({"R": [(1, 2)]})
+    renamed = instance.rename_relations({"R": "S"})
+    assert renamed.relation("S") == {(1, 2)}
+    doubled = instance.map_values(lambda v: v * 10)
+    assert doubled.relation("R") == {(10, 20)}
+
+
+def test_equality_ignores_empty_relations():
+    a = make_instance({"R": [(1,)]})
+    b = make_instance({"R": [(1,)], "P": []})
+    assert a == b
+
+
+def test_freeze_is_hashable_snapshot():
+    a = make_instance({"R": [(1,)]})
+    b = make_instance({"R": [(1,)]})
+    assert a.freeze() == b.freeze()
+    assert isinstance(hash(a.freeze()), int)
+    with pytest.raises(TypeError):
+        hash(a)
+
+
+def test_copy_is_independent():
+    a = make_instance({"R": [(1,)]})
+    b = a.copy()
+    b.add("R", (2,))
+    assert len(a) == 1 and len(b) == 2
+
+
+def test_to_dict_is_sorted_and_stable():
+    instance = make_instance({"B": [(2,), (1,)], "A": [(3,)]})
+    assert list(instance.to_dict()) == ["A", "B"]
+    assert instance.to_dict()["B"] == [(1,), (2,)]

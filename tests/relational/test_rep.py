@@ -1,0 +1,137 @@
+"""Tests for the Rep and RepA semantics of incomplete instances."""
+
+from repro.relational.annotated import AnnotatedInstance, Annotation
+from repro.relational.builders import make_instance
+from repro.relational.domain import fresh_null
+from repro.relational.rep import (
+    check_rep_a_with_valuation,
+    enumerate_rep,
+    enumerate_rep_a,
+    rep_a_contains,
+    rep_a_is_subset_bounded,
+    rep_contains,
+)
+
+
+def _codd_like_table():
+    n1, n2 = fresh_null(), fresh_null()
+    table = make_instance({"R": []})
+    table.add("R", ("a", n1))
+    table.add("R", ("b", n2))
+    return table, n1, n2
+
+
+def test_rep_contains_exact_valuation_image():
+    table, n1, n2 = _codd_like_table()
+    ground = make_instance({"R": [("a", 1), ("b", 2)]})
+    valuation = rep_contains(table, ground)
+    assert valuation is not None
+    assert valuation.apply_instance(table) == ground
+
+
+def test_rep_contains_rejects_supersets():
+    table, *_ = _codd_like_table()
+    ground = make_instance({"R": [("a", 1), ("b", 2), ("c", 3)]})
+    assert rep_contains(table, ground) is None
+
+
+def test_rep_contains_naive_table_can_equate_nulls():
+    n = fresh_null()
+    table = make_instance({"R": []})
+    table.add("R", ("a", n))
+    table.add("R", ("b", n))
+    assert rep_contains(table, make_instance({"R": [("a", 1), ("b", 1)]})) is not None
+    assert rep_contains(table, make_instance({"R": [("a", 1), ("b", 2)]})) is None
+
+
+def test_rep_contains_ground_table():
+    table = make_instance({"R": [("a",)]})
+    assert rep_contains(table, make_instance({"R": [("a",)]})) is not None
+    assert rep_contains(table, make_instance({"R": [("b",)]})) is None
+
+
+def test_rep_a_open_positions_allow_replication():
+    """RepA({(a^cl, ⊥^op)}) contains every relation with first projection {a}."""
+    n = fresh_null()
+    table = AnnotatedInstance()
+    table.add_tuple("R", ("a", n), "cl,op")
+    assert rep_a_contains(table, make_instance({"R": [("a", 1)]})) is not None
+    assert rep_a_contains(table, make_instance({"R": [("a", 1), ("a", 2), ("a", 3)]})) is not None
+    assert rep_a_contains(table, make_instance({"R": [("a", 1), ("b", 2)]})) is None
+    assert rep_a_contains(table, make_instance({"R": []})) is None
+
+
+def test_rep_a_closed_positions_pin_single_tuple():
+    """RepA({(a^cl, ⊥^cl)}) contains exactly the one-tuple relations {(a, b)}."""
+    n = fresh_null()
+    table = AnnotatedInstance()
+    table.add_tuple("R", ("a", n), "cl,cl")
+    assert rep_a_contains(table, make_instance({"R": [("a", "b")]})) is not None
+    assert rep_a_contains(table, make_instance({"R": [("a", "b"), ("a", "c")]})) is None
+
+
+def test_rep_a_empty_all_open_tuple_allows_anything():
+    table = AnnotatedInstance()
+    table.add_empty("R", Annotation.all_open(2))
+    assert rep_a_contains(table, make_instance({"R": []})) is not None
+    assert rep_a_contains(table, make_instance({"R": [("x", "y")]})) is not None
+
+
+def test_rep_a_empty_tuple_with_closed_position_licenses_nothing():
+    table = AnnotatedInstance()
+    table.add_empty("R", Annotation.from_string("cl,op"))
+    assert rep_a_contains(table, make_instance({"R": []})) is not None
+    assert rep_a_contains(table, make_instance({"R": [("x", "y")]})) is None
+
+
+def test_rep_a_certificate_is_checkable():
+    n = fresh_null()
+    table = AnnotatedInstance()
+    table.add_tuple("R", ("a", n), "cl,op")
+    ground = make_instance({"R": [("a", 1), ("a", 2)]})
+    valuation = rep_a_contains(table, ground)
+    assert valuation is not None
+    assert check_rep_a_with_valuation(table, ground, valuation)
+
+
+def test_enumerate_rep_covers_identifications():
+    n1, n2 = fresh_null(), fresh_null()
+    table = make_instance({"R": []})
+    table.add("R", ("a", n1))
+    table.add("R", ("b", n2))
+    worlds = list(enumerate_rep(table, extra_constants=2))
+    # all worlds are valuation images, include one equating both nulls
+    sizes = {len(world) for world in worlds}
+    assert sizes == {2}
+    assert any(
+        {t[1] for t in world.relation("R")} == {next(iter(world.relation("R")))[1]}
+        for world in worlds
+    )
+
+
+def test_enumerate_rep_a_members_all_verify():
+    n = fresh_null()
+    table = AnnotatedInstance()
+    table.add_tuple("R", ("a", n), "cl,op")
+    members = list(enumerate_rep_a(table, extra_constants=1, max_extra_tuples=2))
+    assert members
+    for member in members:
+        assert rep_a_contains(table, member) is not None
+
+
+def test_enumerate_rep_a_respects_extra_pool():
+    n = fresh_null()
+    table = AnnotatedInstance()
+    table.add_tuple("R", ("a", n), "cl,cl")
+    members = list(enumerate_rep_a(table, extra_constants=0, max_extra_tuples=0, extra_pool=["z"]))
+    assert any(world.relation("R") == {("a", "z")} for world in members)
+
+
+def test_rep_a_subset_bounded_open_refines_closed():
+    n1, n2 = fresh_null(), fresh_null()
+    closed = AnnotatedInstance()
+    closed.add_tuple("R", ("a", n1), "cl,cl")
+    opened = AnnotatedInstance()
+    opened.add_tuple("R", ("a", n2), "cl,op")
+    assert rep_a_is_subset_bounded(closed, opened, extra_constants=1, max_extra_tuples=1)
+    assert not rep_a_is_subset_bounded(opened, closed, extra_constants=1, max_extra_tuples=1)

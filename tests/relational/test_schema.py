@@ -1,0 +1,71 @@
+"""Tests for relation schemas and schemas."""
+
+import pytest
+
+from repro.relational.schema import RelationSchema, Schema
+
+
+def test_relation_schema_default_attribute_names():
+    rel = RelationSchema("R", 3)
+    assert rel.attributes == ("a1", "a2", "a3")
+
+
+def test_relation_schema_explicit_attributes():
+    rel = RelationSchema("Papers", 2, ("paper", "title"))
+    assert rel.attributes == ("paper", "title")
+
+
+def test_relation_schema_attribute_arity_mismatch():
+    with pytest.raises(ValueError):
+        RelationSchema("R", 2, ("only_one",))
+
+
+def test_relation_schema_negative_arity_rejected():
+    with pytest.raises(ValueError):
+        RelationSchema("R", -1)
+
+
+def test_schema_from_mapping():
+    schema = Schema({"E": 2, "V": 1})
+    assert schema.arity("E") == 2
+    assert schema.arity("V") == 1
+    assert "E" in schema and "W" not in schema
+    assert len(schema) == 2
+
+
+def test_schema_conflicting_declarations_rejected():
+    schema = Schema({"E": 2})
+    with pytest.raises(ValueError):
+        schema.add(RelationSchema("E", 3))
+
+
+def test_schema_union_and_restrict():
+    a = Schema({"E": 2})
+    b = Schema({"V": 1})
+    union = a.union(b)
+    assert set(union.names()) == {"E", "V"}
+    assert set(union.restrict(["V"]).names()) == {"V"}
+
+
+def test_schema_rename():
+    schema = Schema({"E": 2}).rename({"E": "Edge"})
+    assert "Edge" in schema and "E" not in schema
+
+
+def test_schema_disjointness_and_max_arity():
+    a = Schema({"E": 2, "T": 3})
+    b = Schema({"V": 1})
+    assert a.is_disjoint_from(b)
+    assert not a.is_disjoint_from(Schema({"E": 2}))
+    assert a.max_arity() == 3
+    assert Schema().max_arity() == 0
+
+
+def test_schema_unknown_relation_raises_keyerror():
+    with pytest.raises(KeyError):
+        Schema({"E": 2})["missing"]
+
+
+def test_schema_equality():
+    assert Schema({"E": 2}) == Schema({"E": 2})
+    assert Schema({"E": 2}) != Schema({"E": 3})

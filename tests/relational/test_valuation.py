@@ -1,0 +1,72 @@
+"""Tests for valuations of nulls."""
+
+import pytest
+
+from repro.relational.builders import make_instance
+from repro.relational.domain import fresh_null
+from repro.relational.valuation import Valuation, enumerate_valuations
+
+
+def test_valuation_maps_nulls_and_fixes_constants():
+    null = fresh_null()
+    v = Valuation({null: "a"})
+    assert v.value(null) == "a"
+    assert v.value("c") == "c"
+    other = fresh_null()
+    assert v.value(other) is other  # unmapped nulls untouched
+
+
+def test_valuation_type_checks():
+    null = fresh_null()
+    with pytest.raises(TypeError):
+        Valuation({"not-a-null": "a"})
+    with pytest.raises(TypeError):
+        Valuation({null: fresh_null()})
+
+
+def test_apply_tuple_and_instance():
+    n1, n2 = fresh_null(), fresh_null()
+    v = Valuation({n1: 1, n2: 2})
+    assert v.apply_tuple(("a", n1, n2)) == ("a", 1, 2)
+    instance = make_instance({"R": []})
+    instance.add("R", (n1, n2))
+    assert v.apply_instance(instance).relation("R") == {(1, 2)}
+
+
+def test_extend_update_restrict():
+    n1, n2 = fresh_null(), fresh_null()
+    v = Valuation({n1: 1})
+    extended = v.extend(n2, 2)
+    assert n2 not in v and extended[n2] == 2
+    updated = v.update(Valuation({n2: 3}))
+    assert updated[n2] == 3
+    assert n2 not in v.restrict([n1])
+    assert v.defined_on([n1]) and not v.defined_on([n1, n2])
+
+
+def test_compose_after_homomorphism():
+    n1, n2 = fresh_null(), fresh_null()
+    v = Valuation({n2: "c"})
+    composed = v.compose_after({n1: n2})
+    assert composed.value(n1) == "c"
+    direct = v.compose_after({n1: "d"})
+    assert direct.value(n1) == "d"
+
+
+def test_enumerate_valuations_counts():
+    n1, n2 = fresh_null(), fresh_null()
+    valuations = list(enumerate_valuations([n1, n2], ["a", "b", "c"]))
+    assert len(valuations) == 9
+    images = {(v.value(n1), v.value(n2)) for v in valuations}
+    assert len(images) == 9
+
+
+def test_enumerate_valuations_no_nulls():
+    assert len(list(enumerate_valuations([], ["a"]))) == 1
+
+
+def test_valuation_equality_and_repr():
+    n = fresh_null()
+    assert Valuation({n: 1}) == Valuation({n: 1})
+    assert Valuation({n: 1}) != Valuation({n: 2})
+    assert len(Valuation({n: 1})) == 1

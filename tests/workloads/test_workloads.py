@@ -1,0 +1,91 @@
+"""Tests for the workload generators."""
+
+from repro.core.canonical import canonical_solution
+from repro.core.certain import certain_answer_boolean, certain_answers
+from repro.workloads.conference import (
+    conference_mapping,
+    conference_source,
+    one_author_per_paper_query,
+    reviewed_papers_query,
+    unreviewed_submission_query,
+)
+from repro.workloads.employees import (
+    employee_mapping,
+    employee_skolem_mapping,
+    employee_source,
+    payroll_mapping,
+)
+from repro.workloads.graphs import (
+    copy_graph_mapping,
+    cycle_graph,
+    open_successor_mapping,
+    path_graph,
+    random_edges,
+)
+from repro.workloads.random_mappings import random_annotated_mapping, random_source
+from repro.workloads.scaling import scaled_conference_workload, scaled_copying_workload
+
+
+def test_conference_workload_shapes():
+    mapping = conference_mapping()
+    assert mapping.max_open_per_atom() == 1
+    source = conference_source(papers=4, assigned_fraction=0.5, seed=1)
+    assert len(source.relation("Papers")) == 4
+    assert 0 < len(source.relation("Assignments")) < 4
+    csol = canonical_solution(mapping, source)
+    assert len(csol.instance.relation("Submissions")) == 4
+
+
+def test_conference_queries_have_expected_classes():
+    assert one_author_per_paper_query().is_universal_existential()
+    assert reviewed_papers_query().is_positive()
+    assert not unreviewed_submission_query().is_positive()
+
+
+def test_conference_positive_query_certain_answers():
+    mapping = conference_mapping()
+    source = conference_source(papers=3, assigned_fraction=0.4, seed=0)
+    papers = {p for p, _ in source.relation("Papers")}
+    answers = certain_answers(mapping, source, reviewed_papers_query())
+    # Every paper certainly has *some* review: assigned papers through the
+    # closed rule, unassigned ones through the open-null rule (the null is
+    # projected away by the existential, so naive evaluation keeps the paper).
+    assert answers == {(p,) for p in papers}
+
+
+def test_employee_workloads():
+    assert employee_mapping().max_open_per_atom() == 1
+    sk = employee_skolem_mapping()
+    assert sk.functions() == {("f", 1), ("g", 2)}
+    assert payroll_mapping().is_all_closed()
+    source = employee_source(employees=2, projects_per_employee=2, seed=1)
+    assert len(source.relation("Works")) == 4
+
+
+def test_graph_workloads():
+    assert len(path_graph(3).relation("E")) == 3
+    assert len(cycle_graph(4).relation("E")) == 4
+    assert copy_graph_mapping("op").is_all_open()
+    assert open_successor_mapping().max_open_per_atom() == 1
+    edges = random_edges(5, 6, seed=2)
+    assert edges == random_edges(5, 6, seed=2)
+    assert all(a != b for a, b in edges)
+
+
+def test_random_mapping_generator_controls_open_positions():
+    for open_count in (0, 1):
+        mapping = random_annotated_mapping(open_per_atom=open_count, seed=3)
+        assert mapping.max_open_per_atom() <= open_count
+        assert mapping.is_cq_mapping()
+        source = random_source(mapping.source, tuples_per_relation=3, seed=3)
+        csol = canonical_solution(mapping, source)
+        assert len(csol.instance) >= 0  # chase runs without errors
+
+
+def test_scaling_workloads():
+    copying = scaled_copying_workload([4, 8], annotation="cl", seed=1)
+    assert [w.parameter("edges") for w in copying] == [4, 8]
+    conferences = scaled_conference_workload([2, 3])
+    assert len(conferences) == 2
+    for workload in copying + conferences:
+        assert len(workload.source) > 0
