@@ -1,0 +1,105 @@
+"""EXP-CHASE — chase-engine scaling: naive restart loop vs delta-driven worklist.
+
+The chase underlies canonical-solution building and data exchange with target
+constraints, and its naive formulation re-enumerates all triggers from scratch
+after every applied step — quadratic in the number of steps.  This benchmark
+runs the department-assignment cascade of
+:func:`repro.workloads.scaling.chase_scaling_workload` (Θ(edges) tgd steps,
+Θ(edges − vertices) egd substitutions) on both engines and asserts:
+
+* the incremental engine is ≥ 5× faster than the naive engine on the
+  ~1k-tuple workload (in practice the gap is 50×+ and grows with size);
+* both engines produce homomorphically equivalent solutions.
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink the sizes (CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.chase import chase, chase_incremental
+from repro.relational.homomorphism import is_homomorphically_equivalent
+from repro.workloads.scaling import chase_scaling_workload
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+# ~1k tuples in the chased instance at the largest full-mode size.
+SIZES = [40, 80] if QUICK else [100, 200, 350]
+SPEEDUP_SIZE = 80 if QUICK else 350
+MAX_STEPS = 100_000
+
+
+@pytest.mark.parametrize("edges", SIZES)
+def test_incremental_chase_scaling(benchmark, edges):
+    """Throughput of the worklist engine as the source grows."""
+    workload = chase_scaling_workload(edges)
+    result = benchmark(chase_incremental, workload.instance, workload.dependencies, MAX_STEPS)
+    assert result.terminated
+    record(
+        benchmark,
+        experiment="EXP-CHASE",
+        family="dept-cascade",
+        engine="incremental",
+        edges=edges,
+        chased_tuples=len(result.instance),
+        steps=len(result.steps),
+    )
+
+
+@pytest.mark.parametrize("edges", [40] if QUICK else [100])
+def test_naive_chase_scaling(benchmark, edges):
+    """Reference curve: the naive engine on the small sizes it can afford."""
+    workload = chase_scaling_workload(edges)
+    result = benchmark.pedantic(
+        chase, args=(workload.instance, workload.dependencies, MAX_STEPS), rounds=1, iterations=1
+    )
+    assert result.terminated
+    record(
+        benchmark,
+        experiment="EXP-CHASE",
+        family="dept-cascade",
+        engine="naive",
+        edges=edges,
+        chased_tuples=len(result.instance),
+        steps=len(result.steps),
+    )
+
+
+def test_incremental_at_least_5x_faster_and_equivalent(benchmark):
+    """The ISSUE acceptance bar: ≥5× on the ~1k-tuple workload, equal results."""
+    workload = chase_scaling_workload(SPEEDUP_SIZE)
+
+    start = time.perf_counter()
+    naive = chase(workload.instance, workload.dependencies, MAX_STEPS)
+    naive_seconds = time.perf_counter() - start
+
+    incremental = benchmark.pedantic(
+        chase_incremental,
+        args=(workload.instance, workload.dependencies, MAX_STEPS),
+        rounds=3,
+        iterations=1,
+    )
+    incremental_seconds = benchmark.stats.stats.mean
+
+    assert naive.terminated and incremental.terminated
+    assert is_homomorphically_equivalent(naive.instance, incremental.instance)
+    assert naive.instance.constants() == incremental.instance.constants()
+    speedup = naive_seconds / incremental_seconds
+    record(
+        benchmark,
+        experiment="EXP-CHASE",
+        family="dept-cascade",
+        edges=SPEEDUP_SIZE,
+        chased_tuples=len(incremental.instance),
+        naive_seconds=round(naive_seconds, 4),
+        speedup=round(speedup, 1),
+    )
+    assert speedup >= 5.0, (
+        f"incremental engine only {speedup:.1f}x faster "
+        f"({naive_seconds:.3f}s vs {incremental_seconds:.3f}s)"
+    )

@@ -8,7 +8,8 @@ The package is organised as:
   instances, valuations, homomorphisms, the ``Rep``/``RepA`` semantics;
 * :mod:`repro.logic` — first-order formulas, conjunctive queries, evaluation;
 * :mod:`repro.algebra` — relational algebra and naive evaluation;
-* :mod:`repro.chase` — a chase engine for target tgds/egds (weak acyclicity);
+* :mod:`repro.chase` — chase engines for target tgds/egds (a naive reference
+  engine and the delta-driven worklist engine), plus weak acyclicity;
 * :mod:`repro.core` — annotated STDs and schema mappings, canonical solutions,
   solution semantics, certain answers, DEQA, Skolemized STDs and composition;
 * :mod:`repro.reductions` — the executable hardness reductions of the paper;
@@ -71,6 +72,7 @@ from repro.core import (
     sol_f,
 )
 from repro.core.mapping import mapping_from_rules
+from repro.chase import chase, chase_incremental, run_chase
 
 __version__ = "1.0.0"
 
@@ -123,4 +125,8 @@ __all__ = [
     "sk_in_semantics",
     "in_composition",
     "compose_syntactic",
+    # chase
+    "chase",
+    "chase_incremental",
+    "run_chase",
 ]

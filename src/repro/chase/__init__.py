@@ -1,16 +1,55 @@
-"""Chase engine for target dependencies (tgds and egds).
+"""Chase engines for target dependencies (tgds and egds).
 
 The paper's concluding section points to the extension of annotated mappings
 with *target constraints*, citing the weakly-acyclic chase of
 Fagin–Kolaitis–Miller–Popa [11] and the closed-world treatment of
 Hernich–Schweikardt [16].  This package provides that substrate: tgds/egds,
-the weak-acyclicity test that guarantees chase termination, and a standard
-chase engine over instances with labelled nulls, with step-by-step tracing.
+the weak-acyclicity test that guarantees chase termination, and two standard
+chase engines over instances with labelled nulls:
+
+* :func:`repro.chase.engine.chase` — the naive reference engine, which
+  re-enumerates triggers from scratch after every step;
+* :func:`repro.chase.incremental.chase_incremental` — the delta-driven
+  worklist engine, which seeds triggers once and afterwards only re-derives
+  triggers touching newly added or rewritten tuples.
+
+Picking an engine
+-----------------
+Use :func:`run_chase` (or ``engine="incremental"`` call sites) everywhere
+performance matters; its output is homomorphically equivalent to the naive
+engine's (identical for full dependencies) and it agrees on egd failures.
+Keep the naive engine for differential testing and as executable
+documentation of the textbook algorithm.
 """
 
 from repro.chase.dependencies import EGD, TGD, parse_egd, parse_tgd
 from repro.chase.weak_acyclicity import dependency_graph, is_weakly_acyclic
-from repro.chase.engine import ChaseFailure, ChaseResult, chase
+from repro.chase.engine import ChaseFailure, ChaseResult, ChaseStep, chase
+from repro.chase.incremental import chase_incremental
+
+from typing import Iterable
+
+from repro.relational.instance import Instance
+
+ENGINES = {
+    "naive": chase,
+    "incremental": chase_incremental,
+}
+
+
+def run_chase(
+    instance: Instance,
+    dependencies: Iterable[TGD | EGD],
+    max_steps: int = 10_000,
+    engine: str = "incremental",
+) -> ChaseResult:
+    """Chase ``instance`` with the selected engine (``incremental`` by default)."""
+    try:
+        chosen = ENGINES[engine]
+    except KeyError:
+        raise ValueError(f"unknown chase engine {engine!r}; pick one of {sorted(ENGINES)}") from None
+    return chosen(instance, dependencies, max_steps=max_steps)
+
 
 __all__ = [
     "TGD",
@@ -20,6 +59,10 @@ __all__ = [
     "dependency_graph",
     "is_weakly_acyclic",
     "chase",
+    "chase_incremental",
+    "run_chase",
+    "ENGINES",
     "ChaseResult",
+    "ChaseStep",
     "ChaseFailure",
 ]

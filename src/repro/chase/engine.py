@@ -1,4 +1,4 @@
-"""The standard chase over instances with labelled nulls.
+"""The standard chase over instances with labelled nulls (reference engine).
 
 The engine applies tgd and egd chase steps to a target instance until no
 dependency is violated (success), an egd equates two distinct constants
@@ -9,6 +9,13 @@ The tgd step is the *standard* (non-oblivious) chase: a trigger fires only if
 its head cannot already be satisfied in the current instance by extending the
 trigger homomorphism, which keeps chase results small and is the variant used
 to build universal solutions in data exchange.
+
+This module is the *naive reference implementation*: after every applied step
+it re-enumerates triggers from scratch, which is quadratic in the number of
+steps.  Production call sites should use the worklist engine in
+:mod:`repro.chase.incremental` (or the :func:`repro.chase.run_chase`
+dispatcher); this engine is kept as the ground truth the incremental engine is
+differential-tested against.
 """
 
 from __future__ import annotations
@@ -52,11 +59,7 @@ class ChaseResult:
 
 def _head_satisfiable(tgd: TGD, assignment: dict[Var, object], instance: Instance) -> bool:
     """Can the head be satisfied extending ``assignment`` within ``instance``?"""
-    existential = sorted(tgd.existential_variables(), key=lambda v: v.name)
-    head_atoms = list(tgd.head)
-    for extension in match_atoms(head_atoms, instance, dict(assignment)):
-        return True
-    return False
+    return next(match_atoms(list(tgd.head), instance, dict(assignment)), None) is not None
 
 
 def _apply_tgd(
@@ -99,8 +102,7 @@ def _apply_egd(egd: EGD, instance: Instance) -> Optional[ChaseStep]:
             source, target = left, right
         else:
             source, target = right, left
-        replacement = instance.map_values(lambda v: target if v == source else v)
-        instance._relations = replacement._relations  # in-place update
+        instance.substitute_value(source, target)
         return ChaseStep("egd", egd, dict(assignment), equated=(source, target))
     return None
 

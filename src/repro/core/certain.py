@@ -16,6 +16,12 @@ Key facts implemented here:
 * For non-monotone queries, certain answers are computed tuple-by-tuple with
   the DEQA procedures of :mod:`repro.core.deqa`, whose completeness bounds
   follow the paper's membership proofs.
+
+Evaluation is routed through the indexed matching layer: canonical solutions
+are built by :func:`repro.logic.cq.match_atoms` joins over the source's
+per-position hash indexes, and CQ-shaped queries are answered by the same join
+over the canonical solution (see :meth:`repro.logic.queries.Query.evaluate`)
+rather than by active-domain quantification.
 """
 
 from __future__ import annotations

@@ -28,6 +28,11 @@ The procedures below are *counterexample searches* over a bounded fragment of
   explicit budget and reports whether it was exhaustive for that budget.
 
 Every negative answer returns the counterexample instance as a certificate.
+
+The per-world query checks go through :meth:`repro.logic.queries.Query.holds`,
+which routes CQ-shaped formulas through the index-aware join of
+:func:`repro.logic.cq.match_atoms`; general FO formulas fall back to
+active-domain evaluation as before.
 """
 
 from __future__ import annotations

@@ -75,6 +75,21 @@ def _head_satisfiable(
     target: Instance,
     domain: list[Any],
 ) -> bool:
+    """Can the head atoms be satisfied in ``target`` extending ``assignment``?
+
+    Existential head variables all occur in head atoms, so instead of ranging
+    them over the target's active domain, the index-aware join of
+    :func:`repro.logic.cq.match_atoms` binds them directly from matching
+    target tuples — the same answers, without the ``|domain|^k`` product.
+    """
+    head_atoms = [atom.to_atom() for atom in std.head]
+    if all(isinstance(t, (Const, Var)) for a in head_atoms for t in a.terms):
+        from repro.logic.cq import match_atoms
+
+        return next(match_atoms(head_atoms, target, dict(assignment)), None) is not None
+
+    # Fallback for exotic term shapes (e.g. Skolemized heads): the original
+    # active-domain product over the existential variables.
     def atom_holds(full_assignment: dict[Var, Any]) -> bool:
         for atom in std.head:
             values = []

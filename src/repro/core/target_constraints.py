@@ -25,8 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.chase import run_chase
 from repro.chase.dependencies import EGD, TGD
-from repro.chase.engine import ChaseFailure, ChaseResult, chase
+from repro.chase.engine import ChaseFailure, ChaseResult
 from repro.chase.weak_acyclicity import is_weakly_acyclic
 from repro.core.canonical import CanonicalSolution, canonical_solution
 from repro.core.mapping import SchemaMapping
@@ -112,10 +113,14 @@ def exchange(
     source: Instance,
     max_steps: int = 10_000,
     require_weak_acyclicity: bool = True,
+    engine: str = "incremental",
 ) -> ExchangeResult:
     """Run the data exchange: source-to-target chase, then target chase.
 
-    Raises :class:`ExchangeError` when an egd fails (no solution exists) and
+    The target chase runs on the delta-driven worklist engine by default;
+    pass ``engine="naive"`` to use the reference engine instead (the two
+    produce homomorphically equivalent solutions).  Raises
+    :class:`ExchangeError` when an egd fails (no solution exists) and
     ``ValueError`` when ``require_weak_acyclicity`` is set but the tgds are
     not weakly acyclic (termination would not be guaranteed).
     """
@@ -126,7 +131,12 @@ def exchange(
         )
     canonical = canonical_solution(setting.mapping, source)
     try:
-        chased = chase(canonical.instance, setting.target_dependencies, max_steps=max_steps)
+        chased = run_chase(
+            canonical.instance,
+            setting.target_dependencies,
+            max_steps=max_steps,
+            engine=engine,
+        )
     except ChaseFailure as failure:
         raise ExchangeError(str(failure)) from failure
     # Null renamings applied by egd steps must also be applied to the

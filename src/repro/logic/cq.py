@@ -3,8 +3,15 @@
 Conjunctive queries (CQs) are the workhorse of data exchange: the paper's
 CQ-STDs have CQ bodies, and Proposition 3 shows that for positive queries
 certain answers reduce to naive evaluation.  The implementation here evaluates
-CQs by backtracking joins (not by quantifying over the active domain), so it
-scales to the workload sizes used in the benchmarks.
+CQs by *index-aware* backtracking joins: at every step of the search the
+remaining atom with the smallest estimated candidate set is matched next, and
+candidates are read from the per-position hash indexes of
+:class:`~repro.relational.instance.Instance` whenever some position of the
+atom is already bound (a constant or a previously bound variable), instead of
+scanning the whole relation.  :func:`match_atoms_delta` additionally exposes a
+semi-naive entry point that enumerates only the assignments using at least one
+tuple from a given delta set — the primitive the incremental chase of
+:mod:`repro.chase.incremental` is built on.
 """
 
 from __future__ import annotations
@@ -47,6 +54,53 @@ def _match_tuple(
     return new
 
 
+def _atom_candidates(
+    atom: Atom, instance: Instance, assignment: dict[Var, Any]
+) -> set[tuple]:
+    """The cheapest available candidate set for ``atom`` under ``assignment``.
+
+    Probes the per-position hash index for every bound position (constant term
+    or already-assigned variable) and returns the smallest bucket; falls back
+    to the full relation when no position is bound.
+    """
+    best = instance.relation(atom.relation)
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Const):
+            value = term.value
+        elif isinstance(term, Var):
+            if term not in assignment:
+                continue
+            value = assignment[term]
+        else:
+            raise TypeError(f"function term {term!r} not allowed in CQ atoms")
+        bucket = instance.lookup(atom.relation, position, value)
+        if len(bucket) < len(best):
+            best = bucket
+            if not best:
+                break
+    return best
+
+
+def _equalities_hold(
+    equalities: list[Eq], current: dict[Var, Any], require_all_bound: bool = False
+) -> bool:
+    """Check the equalities under a (possibly partial) assignment.
+
+    Unbound sides are treated as "not yet falsified" unless
+    ``require_all_bound`` is set (the final check of a complete assignment).
+    """
+    for eq in equalities:
+        left = _term_value(eq.left, current)
+        right = _term_value(eq.right, current)
+        if left is _UNBOUND or right is _UNBOUND:
+            if require_all_bound:
+                return False
+            continue
+        if left != right:
+            return False
+    return True
+
+
 def match_atoms(
     atoms: list[Atom],
     instance: Instance,
@@ -55,44 +109,113 @@ def match_atoms(
 ) -> Iterator[dict[Var, Any]]:
     """Enumerate assignments satisfying a conjunction of atoms (plus equalities).
 
-    Atoms are matched against the instance via backtracking; equalities are
-    checked once all their variables are bound (all equalities here are
-    variable/constant equalities, as produced by the parser and the
-    composition algorithm's normal form).
+    Atoms are matched by an index-aware backtracking join: at each step the
+    remaining atom with the smallest estimated candidate set (via
+    :func:`_atom_candidates`) is bound next.  Equalities are checked as soon
+    as their variables are bound (all equalities here are variable/constant
+    equalities, as produced by the parser and the composition algorithm's
+    normal form).
     """
     assignment = dict(assignment or {})
     equalities = list(equalities or [])
-    ordered = sorted(atoms, key=lambda a: len(instance.relation(a.relation)))
+    atoms = list(atoms)
 
-    def check_equalities(current: dict[Var, Any]) -> bool:
-        for eq in equalities:
-            left = _term_value(eq.left, current)
-            right = _term_value(eq.right, current)
-            if left is _UNBOUND or right is _UNBOUND:
-                continue
-            if left != right:
-                return False
-        return True
-
-    def search(index: int, current: dict[Var, Any]) -> Iterator[dict[Var, Any]]:
-        if not check_equalities(current):
+    def search(remaining: list[Atom], current: dict[Var, Any]) -> Iterator[dict[Var, Any]]:
+        if not _equalities_hold(equalities, current):
             return
-        if index == len(ordered):
-            # final equality check requires all bound
-            for eq in equalities:
-                left = _term_value(eq.left, current)
-                right = _term_value(eq.right, current)
-                if left is _UNBOUND or right is _UNBOUND or left != right:
-                    return
+        if not remaining:
+            if not _equalities_hold(equalities, current, require_all_bound=True):
+                return
             yield dict(current)
             return
-        atom = ordered[index]
-        for values in instance.relation(atom.relation):
+        best_index = 0
+        best_candidates = _atom_candidates(remaining[0], instance, current)
+        for i in range(1, len(remaining)):
+            candidates = _atom_candidates(remaining[i], instance, current)
+            if len(candidates) < len(best_candidates):
+                best_index, best_candidates = i, candidates
+                if not best_candidates:
+                    break
+        atom = remaining[best_index]
+        rest = remaining[:best_index] + remaining[best_index + 1 :]
+        for values in best_candidates:
             extended = _match_tuple(atom.terms, values, current)
             if extended is not None:
-                yield from search(index + 1, extended)
+                yield from search(rest, extended)
 
-    yield from search(0, assignment)
+    yield from search(atoms, assignment)
+
+
+def match_atoms_delta(
+    atoms: list[Atom],
+    instance: Instance,
+    delta: Iterable[tuple[str, tuple]],
+    assignment: dict[Var, Any] | None = None,
+    equalities: list[Eq] | None = None,
+) -> Iterator[dict[Var, Any]]:
+    """Semi-naive matching: assignments using at least one tuple from ``delta``.
+
+    ``delta`` is a set of ``(relation, tuple)`` facts assumed to be contained
+    in ``instance`` (facts absent from the instance are ignored).  Every
+    assignment yielded maps some atom onto a delta tuple, and each assignment
+    is yielded exactly once: pivot atom ``i`` ranges over delta tuples while
+    atoms before it are restricted to non-delta ("old") tuples — the standard
+    duplicate-free semi-naive decomposition.  Assignments whose atoms all
+    match old tuples are *not* produced; a caller that has already processed
+    the pre-delta instance has seen them.
+    """
+    assignment = dict(assignment or {})
+    equalities = list(equalities or [])
+    atoms = list(atoms)
+    delta_by_rel: dict[str, set[tuple]] = {}
+    for name, tup in delta:
+        if tuple(tup) in instance.relation(name):
+            delta_by_rel.setdefault(name, set()).add(tuple(tup))
+    if not delta_by_rel:
+        return
+
+    # Each atom carries a mode: 'delta' | 'old' | 'any' (see pivot loop below).
+    def search(
+        remaining: list[tuple[Atom, str]], current: dict[Var, Any]
+    ) -> Iterator[dict[Var, Any]]:
+        if not _equalities_hold(equalities, current):
+            return
+        if not remaining:
+            if not _equalities_hold(equalities, current, require_all_bound=True):
+                return
+            yield dict(current)
+            return
+        # The 'delta' pivot atom is always expanded first (its candidate set
+        # is small by construction); greedy selection applies to the rest.
+        best_index = next((i for i, (_a, mode) in enumerate(remaining) if mode == "delta"), None)
+        if best_index is None:
+            best_size = None
+            for i, (atom, _mode) in enumerate(remaining):
+                size = len(_atom_candidates(atom, instance, current))
+                if best_size is None or size < best_size:
+                    best_index, best_size = i, size
+        atom, mode = remaining[best_index]
+        rest = remaining[:best_index] + remaining[best_index + 1 :]
+        rel_delta = delta_by_rel.get(atom.relation, set())
+        if mode == "delta":
+            candidates: Iterable[tuple] = rel_delta
+        else:
+            candidates = _atom_candidates(atom, instance, current)
+        for values in candidates:
+            if mode == "old" and values in rel_delta:
+                continue
+            extended = _match_tuple(atom.terms, values, current)
+            if extended is not None:
+                yield from search(rest, extended)
+
+    for pivot in range(len(atoms)):
+        if atoms[pivot].relation not in delta_by_rel:
+            continue
+        tagged = [
+            (atom, "delta" if i == pivot else ("old" if i < pivot else "any"))
+            for i, atom in enumerate(atoms)
+        ]
+        yield from search(tagged, dict(assignment))
 
 
 _UNBOUND = object()

@@ -29,7 +29,6 @@ from repro.logic.formulas import (
     Or,
     TrueFormula,
     constants_of,
-    free_variables,
 )
 from repro.logic.terms import Const, FuncTerm, Term, Var, evaluate_term
 from repro.relational.instance import Instance
@@ -139,23 +138,23 @@ def query_answers(
 ) -> set[tuple]:
     """All tuples of domain values (in ``answer_variables`` order) satisfying ``formula``.
 
-    For atoms and conjunctive bodies a join-based evaluation would be faster;
-    the generic implementation quantifies the answer variables over the
-    evaluation domain, which is adequate for the instance sizes handled by the
-    library's decision procedures and is used as a reference semantics
-    everywhere.
+    For atoms and conjunctive bodies a join-based evaluation would be faster
+    (see :func:`repro.logic.cq.match_atoms`); the generic implementation
+    quantifies the answer variables over the evaluation domain, which is
+    adequate for the instance sizes handled by the library's decision
+    procedures and is used as a reference semantics everywhere.
+
+    Answer variables that do not occur free in the formula genuinely range
+    over the whole evaluation domain (active-domain semantics): if the formula
+    holds, every domain value appears in their position of the answer tuples.
+    This mirrors the behaviour of unsafe relational-calculus queries under
+    active-domain semantics and is exercised by degenerate test cases.
     """
     answer_vars = tuple(Var(v) if isinstance(v, str) else v for v in answer_variables)
-    unknown = set(answer_vars) - free_variables(formula) if answer_vars else set()
     if domain is None:
         dom = evaluation_domain(instance, formula)
     else:
         dom = list(domain)
-    if unknown:
-        # Answer variables not occurring free range over the whole domain;
-        # this matches active-domain semantics of "safe-range" queries and is
-        # mostly useful for degenerate test cases.
-        pass
     answers: set[tuple] = set()
     for combo in _assignments(dom, len(answer_vars)):
         assignment = dict(zip(answer_vars, combo))

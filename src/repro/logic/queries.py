@@ -7,10 +7,14 @@ monotone / existential / ∀*∃* / full FO).
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Iterable, Optional
 
 from repro.logic.evaluation import query_answers
 from repro.logic.formulas import (
+    And,
+    Atom,
+    Eq,
+    Exists,
     Formula,
     free_variables,
     is_existential,
@@ -19,9 +23,45 @@ from repro.logic.formulas import (
     quantifier_rank,
 )
 from repro.logic.parser import parse_formula
-from repro.logic.terms import Var
+from repro.logic.terms import Const, Var
 from repro.relational.domain import is_null
 from repro.relational.instance import Instance
+
+
+def _conjunctive_parts(formula: Formula) -> Optional[tuple[list[Atom], list[Eq]]]:
+    """Decompose an ∃-prefixed conjunction of atoms/equalities, if it is one.
+
+    Returns ``(atoms, equalities)`` when the formula is CQ-shaped *and* every
+    variable occurs in some relational atom with Var/Const terms only — the
+    precondition for evaluating it with the index-aware join of
+    :func:`repro.logic.cq.match_atoms` instead of active-domain quantification.
+    Returns ``None`` otherwise.
+    """
+    body = formula
+    while isinstance(body, Exists):
+        body = body.body
+    atoms: list[Atom] = []
+    equalities: list[Eq] = []
+    stack = [body]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, And):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, Atom):
+            if not all(isinstance(t, (Var, Const)) for t in node.terms):
+                return None
+            atoms.append(node)
+        elif isinstance(node, Eq):
+            equalities.append(node)
+        else:
+            return None
+    atom_vars: set[Var] = set()
+    for atom in atoms:
+        atom_vars |= free_variables(atom)
+    for eq in equalities:
+        if not free_variables(eq) <= atom_vars:
+            return None
+    return atoms, equalities
 
 
 class Query:
@@ -84,8 +124,35 @@ class Query:
 
     # -- evaluation ----------------------------------------------------------------
 
+    def _cq_parts(self) -> Optional[tuple[list, list]]:
+        """Cached CQ decomposition of the formula (``None`` when not CQ-shaped)."""
+        try:
+            return self._cq_parts_cache
+        except AttributeError:
+            self._cq_parts_cache = _conjunctive_parts(self.formula)
+            return self._cq_parts_cache
+
     def evaluate(self, instance: Instance, domain: Iterable[Any] | None = None) -> set[tuple]:
-        """Evaluate naively (nulls as plain values), returning all answer tuples."""
+        """Evaluate naively (nulls as plain values), returning all answer tuples.
+
+        CQ-shaped formulas whose answer variables are all *free* in the
+        formula are routed through the index-aware join of
+        :func:`repro.logic.cq.match_atoms` (when no explicit ``domain``
+        restriction is given).  Answer variables that are absent or shadowed
+        by a quantifier range over the evaluation domain under the reference
+        semantics, which a join cannot reproduce, so those fall back to
+        active-domain evaluation — as does everything non-CQ.
+        """
+        if domain is None:
+            parts = self._cq_parts()
+            if parts is not None and set(self.answer_variables) <= free_variables(self.formula):
+                atoms, equalities = parts
+                from repro.logic.cq import match_atoms
+
+                return {
+                    tuple(a[v] for v in self.answer_variables)
+                    for a in match_atoms(atoms, instance, equalities=equalities)
+                }
         return query_answers(self.formula, self.answer_variables, instance, domain=domain)
 
     def naive_evaluate(self, instance: Instance, domain: Iterable[Any] | None = None) -> set[tuple]:
@@ -104,6 +171,21 @@ class Query:
 
         assignment = dict(zip(self.answer_variables, answer))
         if domain is None:
+            parts = self._cq_parts()
+            # An answer variable shadowed by a quantifier must not be
+            # pre-bound in the join (the reference semantics ignores its
+            # binding inside the quantifier's scope), so fall back then.
+            if parts is not None:
+                atoms, equalities = parts
+                atom_vars = {v for atom in atoms for v in free_variables(atom)}
+                shadowed = atom_vars - free_variables(self.formula)
+                if not (set(self.answer_variables) & shadowed):
+                    from repro.logic.cq import match_atoms
+
+                    return (
+                        next(match_atoms(atoms, instance, assignment, equalities), None)
+                        is not None
+                    )
             domain = evaluation_domain(instance, self.formula, answer)
         return evaluate(self.formula, instance, assignment, domain=domain)
 

@@ -8,9 +8,13 @@ Two flavours are needed by the paper:
 * *annotated* homomorphisms mapping nulls to nulls and preserving annotations,
   as in Section 3 ("homomorphisms preserve annotations").
 
-Both are found by straightforward backtracking over the facts of the source
-instance; instances in this library are small enough (canonical solutions of
-laptop-scale sources) that no sophisticated join ordering is required.
+Plain homomorphisms are found by an *iterative* backtracking search (no
+recursion limit on thousand-fact instances, as produced by the chase-scaling
+workloads) that prunes candidate facts through the per-position hash indexes
+of :class:`~repro.relational.instance.Instance`: for every position of a
+source fact already forced to a concrete value (a constant, or a null the
+partial mapping has committed), only the target tuples carrying that value at
+that position are considered.
 """
 
 from __future__ import annotations
@@ -44,6 +48,24 @@ def _extend_mapping(
     return new
 
 
+def _fact_candidates(
+    target: Instance, name: str, tup: tuple, mapping: dict[Null, Any]
+) -> set[tuple]:
+    """The cheapest index bucket of target facts that could host ``tup``'s image."""
+    best = target.relation(name)
+    for position, value in enumerate(tup):
+        if is_null(value):
+            if value not in mapping:
+                continue
+            value = mapping[value]
+        bucket = target.lookup(name, position, value)
+        if len(bucket) < len(best):
+            best = bucket
+            if not best:
+                break
+    return best
+
+
 def find_homomorphism(
     source: Instance, target: Instance, nulls_to_nulls: bool = False
 ) -> Optional[dict[Null, Any]]:
@@ -53,22 +75,40 @@ def find_homomorphism(
     ``target`` such that the image of every fact of ``source`` is a fact of
     ``target``, or ``None`` if no such homomorphism exists.  With
     ``nulls_to_nulls=True`` nulls may only map to nulls.
+
+    The backtracking search is iterative (an explicit stack of candidate
+    iterators), so instances with thousands of facts do not hit the Python
+    recursion limit, and candidates are pruned through the target's
+    per-position indexes on every bound position.
     """
     facts = sorted(source.facts(), key=lambda f: (f[0], len(f[1])))
+    if not facts:
+        return {}
 
-    def search(index: int, mapping: dict[Null, Any]) -> Optional[dict[Null, Any]]:
-        if index == len(facts):
-            return mapping
+    # stack[i] = (candidate iterator for fact i, mapping before fact i).
+    stack: list[tuple[Iterator[tuple], dict[Null, Any]]] = []
+    mapping: dict[Null, Any] = {}
+    name, tup = facts[0]
+    stack.append((iter(_fact_candidates(target, name, tup, mapping)), mapping))
+    while stack:
+        index = len(stack) - 1
+        candidates, mapping = stack[index]
         name, tup = facts[index]
-        for candidate in target.relation(name):
+        extended = None
+        for candidate in candidates:
             extended = _extend_mapping(mapping, tup, candidate, nulls_to_nulls)
             if extended is not None:
-                result = search(index + 1, extended)
-                if result is not None:
-                    return result
-        return None
-
-    return search(0, {})
+                break
+        if extended is None:
+            stack.pop()
+            continue
+        if index + 1 == len(facts):
+            return extended
+        next_name, next_tup = facts[index + 1]
+        stack.append(
+            (iter(_fact_candidates(target, next_name, next_tup, extended)), extended)
+        )
+    return None
 
 
 def find_annotated_homomorphism(

@@ -1,9 +1,22 @@
-"""Plain relational instances over ``Const ∪ Null``.
+"""Plain relational instances over ``Const ∪ Null``, with secondary indexes.
 
 An :class:`Instance` maps relation names to finite sets of tuples.  Tuples may
 contain constants and labelled nulls; an instance whose tuples contain only
 constants is *ground*.  Source instances in data exchange are always ground;
 target instances (canonical solutions, CWA-solutions, ...) are generally not.
+
+Index layout
+------------
+Besides the primary per-relation tuple sets, an instance maintains *secondary
+hash indexes*: for a relation ``R`` and a position ``i``, ``index(R, i)`` maps
+each value ``v`` to the set of tuples of ``R`` whose ``i``-th component is
+``v``.  Indexes are built lazily on first request and kept consistent by
+``add``/``discard``/``substitute_value`` afterwards, so repeated probes are
+O(bucket) instead of O(relation).  A per-relation *version counter*
+(:meth:`version`) is bumped on every effective mutation, letting derived
+structures (join planners, cached statistics) detect staleness cheaply.  The
+index-aware join in :mod:`repro.logic.cq` and the delta-driven chase in
+:mod:`repro.chase.incremental` are the two main consumers.
 """
 
 from __future__ import annotations
@@ -20,7 +33,7 @@ class Instance:
     The class behaves like a dictionary from relation names to sets of tuples,
     with convenience methods for the operations used throughout the library:
     active domains, null extraction, union, subset tests, valuation
-    application, and relation renaming.
+    application, relation renaming, and per-position index lookups.
     """
 
     def __init__(
@@ -29,6 +42,10 @@ class Instance:
         schema: Schema | None = None,
     ):
         self._relations: dict[str, set[tuple]] = {}
+        # relation -> position -> value -> set of tuples (built lazily).
+        self._indexes: dict[str, dict[int, dict[Any, set[tuple]]]] = {}
+        # relation -> number of effective mutations seen so far.
+        self._versions: dict[str, int] = {}
         self.schema = schema
         if data:
             for name, tuples in data.items():
@@ -50,7 +67,13 @@ class Instance:
                 raise ValueError(
                     f"tuple {tup!r} has arity {len(tup)}, relation {relation!r} expects {expected}"
                 )
-        self._relations.setdefault(relation, set()).add(tup)
+        tuples = self._relations.setdefault(relation, set())
+        if tup not in tuples:
+            tuples.add(tup)
+            self._versions[relation] = self._versions.get(relation, 0) + 1
+            for position, buckets in self._indexes.get(relation, {}).items():
+                if position < len(tup):
+                    buckets.setdefault(tup[position], set()).add(tup)
         return tup
 
     def add_all(self, relation: str, tuples: Iterable[Iterable[Any]]) -> None:
@@ -60,15 +83,26 @@ class Instance:
     def discard(self, relation: str, values: Iterable[Any]) -> None:
         """Remove a tuple if present; silently ignore otherwise."""
         tup = tuple(values)
-        if relation in self._relations:
-            self._relations[relation].discard(tup)
-            if not self._relations[relation]:
-                del self._relations[relation]
+        tuples = self._relations.get(relation)
+        if tuples is None or tup not in tuples:
+            return
+        tuples.discard(tup)
+        self._versions[relation] = self._versions.get(relation, 0) + 1
+        for position, buckets in self._indexes.get(relation, {}).items():
+            if position < len(tup):
+                bucket = buckets.get(tup[position])
+                if bucket is not None:
+                    bucket.discard(tup)
+                    if not bucket:
+                        del buckets[tup[position]]
+        if not tuples:
+            del self._relations[relation]
 
     def copy(self) -> "Instance":
         out = Instance(schema=self.schema)
         for name, tuples in self._relations.items():
             out._relations[name] = set(tuples)
+        # Indexes are rebuilt lazily on the copy; versions restart at zero.
         return out
 
     # -- access -----------------------------------------------------------
@@ -102,6 +136,67 @@ class Instance:
 
     def __iter__(self) -> Iterator[tuple[str, tuple]]:
         return self.facts()
+
+    # -- secondary indexes -------------------------------------------------
+
+    def version(self, relation: str) -> int:
+        """Mutation counter of ``relation`` (0 if never touched).
+
+        Every effective ``add``/``discard`` (including those performed by
+        :meth:`substitute_value`) increments the counter, so derived
+        structures can compare versions instead of diffing tuple sets.
+        """
+        return self._versions.get(relation, 0)
+
+    def index(self, relation: str, position: int) -> Mapping[Any, set[tuple]]:
+        """The hash index ``value -> tuples`` of ``relation`` at ``position``.
+
+        Built on first request (one scan of the relation) and maintained
+        incrementally afterwards.  Callers must treat the result as
+        read-only; tuples shorter than ``position + 1`` are skipped.
+        """
+        positions = self._indexes.setdefault(relation, {})
+        buckets = positions.get(position)
+        if buckets is None:
+            buckets = {}
+            for tup in self._relations.get(relation, ()):
+                if position < len(tup):
+                    buckets.setdefault(tup[position], set()).add(tup)
+            positions[position] = buckets
+        return buckets
+
+    def lookup(self, relation: str, position: int, value: Any) -> set[tuple]:
+        """Tuples of ``relation`` whose ``position``-th component is ``value``."""
+        return self.index(relation, position).get(value, set())
+
+    def substitute_value(self, old: Any, new: Any) -> list[tuple[str, tuple, tuple]]:
+        """Replace ``old`` by ``new`` in every tuple, in place.
+
+        This is the egd chase step's null-substitution primitive: affected
+        tuples are located through the per-position indexes (no full-instance
+        rebuild) and rewritten via ``discard``/``add`` so the indexes and
+        version counters stay consistent.  Returns the list of rewrites as
+        ``(relation, old_tuple, new_tuple)`` triples — the delta a worklist
+        chase needs to re-derive triggers.  Rewrites that collide with an
+        existing tuple simply merge into it.
+        """
+        if old == new:
+            return []
+        changes: list[tuple[str, tuple, tuple]] = []
+        for name in list(self._relations):
+            tuples = self._relations.get(name)
+            if not tuples:
+                continue
+            arity = max(len(t) for t in tuples)
+            affected: set[tuple] = set()
+            for position in range(arity):
+                affected |= self.index(name, position).get(old, set())
+            for tup in affected:
+                new_tup = tuple(new if v == old else v for v in tup)
+                self.discard(name, tup)
+                self.add(name, new_tup)
+                changes.append((name, tup, new_tup))
+        return changes
 
     # -- domains ----------------------------------------------------------
 
@@ -164,7 +259,7 @@ class Instance:
         return out
 
     def map_values(self, fn: Callable[[Any], Any]) -> "Instance":
-        """Apply ``fn`` to every value of every tuple."""
+        """Apply ``fn`` to every value of every tuple (returns a new instance)."""
         out = Instance(schema=self.schema)
         for name, tup in self.facts():
             out.add(name, tuple(fn(v) for v in tup))

@@ -1,10 +1,21 @@
-"""Scaling workloads used by the benchmark harness."""
+"""Scaling workloads used by the benchmark harness.
+
+Besides the mapping-based families (copying graphs, conferences), this module
+provides :func:`chase_scaling_workload`: a target-dependency scenario sized by
+the number of source tuples, designed to stress exactly the chase-engine hot
+paths — long cascades of tgd steps (one per edge), full-tgd propagation, and
+egd steps whose null substitutions rewrite previously derived tuples.  It is
+the workload the ``benchmarks/test_bench_chase_scaling.py`` benchmark uses to
+compare the naive restart-from-scratch engine with the delta-driven worklist
+engine.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.chase.dependencies import EGD, TGD, parse_dependencies
 from repro.core.mapping import SchemaMapping
 from repro.relational.instance import Instance
 from repro.workloads.conference import conference_mapping, conference_source
@@ -40,6 +51,60 @@ def scaled_copying_workload(sizes: Iterable[int], annotation: str = "cl", seed: 
             )
         )
     return out
+
+
+@dataclass(frozen=True)
+class ChaseWorkload:
+    """A named (instance, target dependencies) pair for chase benchmarking."""
+
+    name: str
+    instance: Instance
+    dependencies: tuple[TGD | EGD, ...]
+    parameters: tuple[tuple[str, object], ...]
+
+    def parameter(self, key: str) -> object:
+        return dict(self.parameters)[key]
+
+
+def chase_scaling_workload(edges: int, vertices: int | None = None, seed: int = 0) -> ChaseWorkload:
+    """A chase scenario over a random graph with ``edges`` source tuples.
+
+    The dependency set is the "department assignment" cascade:
+
+    * ``E(x, y) -> ∃d . D(x, d) & P(d, y)`` — one tgd step per edge (each
+      vertex with several out-edges accumulates several department nulls);
+    * ``P(d, y) -> M(y, d)`` — a full tgd propagating every derived tuple;
+    * ``D(x, d1) & D(x, d2) -> d1 = d2`` — an egd merging the departments of
+      each vertex, whose substitutions rewrite the derived ``P``/``M`` tuples.
+
+    The set is weakly acyclic, so both engines terminate; the chase applies
+    Θ(edges) tgd steps and Θ(edges − vertices) egd steps, which makes the
+    naive engine's restart-per-step behaviour quadratic while the worklist
+    engine stays near-linear.
+    """
+    if vertices is None:
+        vertices = max(edges // 4, 2)
+    instance = graph_instance(random_edges(vertices, edges, seed=seed), vertex_relation=None)
+    dependencies = tuple(
+        parse_dependencies(
+            [
+                "E(x, y) -> exists d . D(x, d) & P(d, y)",
+                "P(d, y) -> M(y, d)",
+                "D(x, d1) & D(x, d2) -> d1 = d2",
+            ]
+        )
+    )
+    return ChaseWorkload(
+        name=f"chase_dept_{edges}",
+        instance=instance,
+        dependencies=dependencies,
+        parameters=(("edges", edges), ("vertices", vertices), ("seed", seed)),
+    )
+
+
+def scaled_chase_workloads(sizes: Iterable[int], seed: int = 0) -> list[ChaseWorkload]:
+    """Chase-scaling workloads with increasing numbers of source tuples."""
+    return [chase_scaling_workload(n, seed=seed) for n in sizes]
 
 
 def scaled_conference_workload(paper_counts: Iterable[int], seed: int = 0) -> list[Workload]:

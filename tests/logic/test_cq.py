@@ -104,3 +104,79 @@ def test_ucq_arity_mismatch_rejected():
         UnionOfConjunctiveQueries([cq(["x"], [("E", ["x", "y"])]), cq(["x", "y"], [("E", ["x", "y"])])])
     with pytest.raises(ValueError):
         UnionOfConjunctiveQueries([])
+
+
+# -- delta (semi-naive) matching ---------------------------------------------
+
+
+def _assignment_keys(assignments):
+    return {tuple(sorted((v.name, value) for v, value in a.items())) for a in assignments}
+
+
+def test_match_atoms_delta_only_yields_assignments_using_delta():
+    from repro.logic.cq import match_atoms_delta
+
+    atoms = [Atom("E", (Var("x"), Var("y"))), Atom("E", (Var("y"), Var("z")))]
+    instance = make_instance({"E": [("a", "b"), ("b", "c")]})
+    before = _assignment_keys(match_atoms(atoms, instance))
+    instance.add("E", ("c", "d"))
+    delta = [("E", ("c", "d"))]
+    new = _assignment_keys(match_atoms_delta(atoms, instance, delta))
+    after = _assignment_keys(match_atoms(atoms, instance))
+    # Exactly the assignments that appeared because of the delta tuple.
+    assert new == after - before
+    assert all(any(value in ("c", "d") for _n, value in key) for key in new)
+
+
+def test_match_atoms_delta_is_duplicate_free():
+    from repro.logic.cq import match_atoms_delta
+
+    # Both atoms can match the delta tuple: the pivot decomposition must not
+    # produce the (delta, delta) assignment twice.
+    atoms = [Atom("E", (Var("x"), Var("y"))), Atom("E", (Var("y"), Var("x")))]
+    instance = make_instance({"E": [("a", "a")]})
+    results = list(match_atoms_delta(atoms, instance, [("E", ("a", "a"))]))
+    assert len(results) == 1
+
+
+def test_match_atoms_delta_ignores_facts_absent_from_instance():
+    from repro.logic.cq import match_atoms_delta
+
+    atoms = [Atom("E", (Var("x"), Var("y")))]
+    instance = make_instance({"E": [("a", "b")]})
+    assert list(match_atoms_delta(atoms, instance, [("E", ("zz", "zz"))])) == []
+    assert list(match_atoms_delta(atoms, instance, [])) == []
+
+
+def test_match_atoms_delta_agrees_with_full_matching_randomised():
+    import random
+
+    from repro.logic.cq import match_atoms_delta
+
+    rng = random.Random(7)
+    atoms = [
+        Atom("E", (Var("x"), Var("y"))),
+        Atom("E", (Var("y"), Var("z"))),
+        Atom("F", (Var("z"),)),
+    ]
+    for _trial in range(25):
+        nodes = [f"v{i}" for i in range(5)]
+        instance = make_instance(
+            {
+                "E": [(rng.choice(nodes), rng.choice(nodes)) for _ in range(6)],
+                "F": [(rng.choice(nodes),) for _ in range(3)],
+            }
+        )
+        before = _assignment_keys(match_atoms(atoms, instance))
+        delta = []
+        for _ in range(2):
+            fact = ("E", (rng.choice(nodes), rng.choice(nodes)))
+            if fact[1] not in instance.relation("E"):
+                instance.add(*fact)
+                delta.append(fact)
+        after = _assignment_keys(match_atoms(atoms, instance))
+        new = list(match_atoms_delta(atoms, instance, delta))
+        assert _assignment_keys(new) == after - before
+        # duplicate-freedom
+        keys = [tuple(sorted((v.name, value) for v, value in a.items())) for a in new]
+        assert len(keys) == len(set(keys))

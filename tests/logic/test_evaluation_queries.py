@@ -81,3 +81,42 @@ def test_boolean_query_constants_outside_domain():
     assert not query.holds(GRAPH, ())
     query2 = Query("~ E('a', 'z')", [])
     assert query2.holds(GRAPH, ())
+
+
+def test_query_answers_unbound_answer_variable_ranges_over_domain():
+    """Answer variables absent from the formula range over the whole domain."""
+    formula = parse_formula("exists y . E(x, y)")
+    answers = query_answers(formula, ["x", "u"], GRAPH)
+    domain = set(GRAPH.active_domain())
+    xs = {x for x, _u in answers}
+    assert xs == {x for x, _y in GRAPH.relation("E")}
+    # every domain value appears in the unbound position, for every bound x
+    for x in xs:
+        assert {u for xx, u in answers if xx == x} == domain
+    # an unsatisfiable formula yields no answers, unbound variables or not
+    assert query_answers(parse_formula("exists y . E(y, y)"), ["u"], GRAPH) == set()
+
+
+def test_query_cq_fast_path_matches_reference_semantics():
+    """Query.evaluate's indexed-join fast path agrees with query_answers."""
+    query = Query(parse_formula("exists y . E(x, y) & E(y, z)"), ["x", "z"])
+    fast = query.evaluate(GRAPH)
+    reference = query_answers(query.formula, query.answer_variables, GRAPH)
+    assert fast == reference
+    # an explicit domain forces the reference path; results must still agree
+    domain = sorted(GRAPH.active_domain(), key=repr)
+    assert query.evaluate(GRAPH, domain=domain) == reference
+    # holds() fast path agrees tuple-by-tuple
+    for answer in reference:
+        assert query.holds(GRAPH, answer)
+    assert not query.holds(GRAPH, ("zz", "zz"))
+
+
+def test_query_fast_path_falls_back_for_shadowed_answer_variables():
+    """An answer variable shadowed by ∃ ranges over the domain (no CQ fast path)."""
+    instance = make_instance({"E": [("a", "b")]})
+    query = Query(parse_formula("exists x . E(x, y)"), ["x", "y"])
+    reference = query_answers(query.formula, query.answer_variables, instance)
+    assert query.evaluate(instance) == reference
+    assert ("b", "b") in reference  # shadowed x ranges over the whole domain
+    assert query.holds(instance, ("b", "b"))

@@ -93,3 +93,71 @@ def test_to_dict_is_sorted_and_stable():
     instance = make_instance({"B": [(2,), (1,)], "A": [(3,)]})
     assert list(instance.to_dict()) == ["A", "B"]
     assert instance.to_dict()["B"] == [(1,), (2,)]
+
+
+# -- secondary indexes, versions, in-place substitution ----------------------
+
+
+def test_index_built_lazily_and_maintained():
+    instance = make_instance({"E": [("a", "b"), ("a", "c"), ("b", "c")]})
+    assert instance.lookup("E", 0, "a") == {("a", "b"), ("a", "c")}
+    # Mutations after the index exists keep it consistent.
+    instance.add("E", ("a", "d"))
+    assert instance.lookup("E", 0, "a") == {("a", "b"), ("a", "c"), ("a", "d")}
+    instance.discard("E", ("a", "b"))
+    assert instance.lookup("E", 0, "a") == {("a", "c"), ("a", "d")}
+    assert instance.lookup("E", 1, "c") == {("a", "c"), ("b", "c")}
+    assert instance.lookup("E", 1, "zz") == set()
+    assert instance.lookup("Missing", 0, "a") == set()
+
+
+def test_version_counts_effective_mutations_only():
+    instance = Instance()
+    assert instance.version("E") == 0
+    instance.add("E", ("a", "b"))
+    assert instance.version("E") == 1
+    instance.add("E", ("a", "b"))  # duplicate: no change
+    assert instance.version("E") == 1
+    instance.discard("E", ("x", "y"))  # absent: no change
+    assert instance.version("E") == 1
+    instance.discard("E", ("a", "b"))
+    assert instance.version("E") == 2
+
+
+def test_copy_does_not_share_indexes():
+    instance = make_instance({"E": [("a", "b")]})
+    assert instance.lookup("E", 0, "a") == {("a", "b")}
+    clone = instance.copy()
+    clone.add("E", ("a", "c"))
+    assert instance.lookup("E", 0, "a") == {("a", "b")}
+    assert clone.lookup("E", 0, "a") == {("a", "b"), ("a", "c")}
+
+
+def test_substitute_value_rewrites_in_place():
+    null = fresh_null("n")
+    instance = make_instance({"R": [("a", null), (null, "b")], "S": [("a", "b")]})
+    changes = instance.substitute_value(null, "v")
+    assert instance.relation("R") == {("a", "v"), ("v", "b")}
+    assert instance.relation("S") == {("a", "b")}
+    assert {(name, new) for name, _old, new in changes} == {
+        ("R", ("a", "v")),
+        ("R", ("v", "b")),
+    }
+    # Indexes stay consistent after the rewrite.
+    assert instance.lookup("R", 1, "v") == {("a", "v")}
+    assert instance.lookup("R", 0, null) == set()
+
+
+def test_substitute_value_merges_colliding_tuples():
+    null = fresh_null("n")
+    instance = make_instance({"R": [("a", null), ("a", "v")]})
+    instance.substitute_value(null, "v")
+    assert instance.relation("R") == {("a", "v")}
+    assert len(instance) == 1
+
+
+def test_substitute_value_noop_cases():
+    instance = make_instance({"R": [("a", "b")]})
+    assert instance.substitute_value("zz", "v") == []
+    assert instance.substitute_value("a", "a") == []
+    assert instance.relation("R") == {("a", "b")}
