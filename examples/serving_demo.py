@@ -1,0 +1,66 @@
+"""Serving demo: register a scenario once, then query and update it live.
+
+Run with::
+
+    PYTHONPATH=src python examples/serving_demo.py
+
+The script registers an employees/projects scenario with the serving layer,
+shows the materialized canonical solution and its core, serves a few queries
+(watching the cache go from miss to hit), pushes source updates through the
+incremental update API, and demonstrates that invalidation is scoped to the
+relations an update touches.
+"""
+
+from repro import cq, make_instance, mapping_from_rules
+from repro.serving import ScenarioRegistry
+
+
+def main() -> None:
+    mapping = mapping_from_rules(
+        [
+            "EmpT(e^cl, d^cl) :- Emp(e, d)",
+            "Office(e^cl, z^op) :- Emp(e, d)",
+            "Team(e^cl, p^cl) :- Works(e, p)",
+        ],
+        source={"Emp": 2, "Works": 2},
+        target={"EmpT": 2, "Office": 2, "Team": 2},
+        name="employees",
+    )
+    source = make_instance(
+        {
+            "Emp": [("alice", "search"), ("bob", "infra"), ("carol", "search")],
+            "Works": [("alice", "ranking"), ("bob", "build")],
+        }
+    )
+
+    print("== Register the scenario (compile + materialize once) ==")
+    registry = ScenarioRegistry()
+    exchange = registry.register("employees", mapping, source)
+    print(f"registered: {exchange!r}")
+    print(f"canonical solution: {exchange.canonical.to_dict()}")
+    print(f"core of the target: {exchange.core().to_dict()}")
+
+    print("\n== Serve queries (first computed, then cache hits) ==")
+    by_dept = cq(["e"], [("EmpT", ["e", "d"])], name="employees")
+    teams = cq(["e", "p"], [("Team", ["e", "p"])], name="teams")
+    print(f"employees: {sorted(exchange.certain_answers(by_dept))}")
+    print(f"teams:     {sorted(exchange.certain_answers(teams))}")
+    print(f"employees: {sorted(exchange.certain_answers(by_dept))}  (cached)")
+    print(f"cache stats: {exchange.cache_stats}")
+
+    print("\n== Update the source incrementally ==")
+    exchange.add_source_facts([("Works", ("carol", "ranking"))])
+    print("added Works(carol, ranking)")
+    print(f"teams:     {sorted(exchange.certain_answers(teams))}  (recomputed: Team changed)")
+    print(f"employees: {sorted(exchange.certain_answers(by_dept))}  (still cached: EmpT untouched)")
+    print(f"cache stats: {exchange.cache_stats}")
+
+    print("\n== Retract a source fact ==")
+    exchange.retract_source_facts([("Works", ("bob", "build"))])
+    print("retracted Works(bob, build)")
+    print(f"teams:     {sorted(exchange.certain_answers(teams))}")
+    print(f"final state: {exchange!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,9 @@ The package is organised as:
 * :mod:`repro.core` — annotated STDs and schema mappings, canonical solutions,
   solution semantics, certain answers, DEQA, Skolemized STDs and composition;
 * :mod:`repro.reductions` — the executable hardness reductions of the paper;
+* :mod:`repro.serving` — the materialized-exchange serving layer: scenario
+  registry, incremental materializations with cores, and the version-keyed
+  certain-answer cache;
 * :mod:`repro.workloads` — deterministic workload generators for the
   benchmarks and examples.
 
@@ -73,6 +76,7 @@ from repro.core import (
 )
 from repro.core.mapping import mapping_from_rules
 from repro.chase import chase, chase_incremental, run_chase
+from repro.serving import MaterializedExchange, ScenarioRegistry
 
 __version__ = "1.0.0"
 
@@ -129,4 +133,7 @@ __all__ = [
     "chase",
     "chase_incremental",
     "run_chase",
+    # serving
+    "ScenarioRegistry",
+    "MaterializedExchange",
 ]

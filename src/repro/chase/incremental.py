@@ -72,13 +72,26 @@ def _trigger_key(dep_index: int, assignment: dict[Var, Any]) -> tuple:
 def chase_incremental(
     instance: Instance,
     dependencies: Iterable[TGD | EGD],
-    max_steps: int = 10_000,
+    max_steps: int | None = 10_000,
+    seed_delta: Iterable[tuple[str, tuple]] | None = None,
 ) -> ChaseResult:
     """Chase ``instance`` with a delta-driven worklist (see module docstring).
 
     Drop-in replacement for :func:`repro.chase.engine.chase`: same signature,
     same :class:`ChaseResult`/:class:`ChaseFailure` contract, but triggers are
     derived incrementally instead of re-enumerated after every step.
+    ``max_steps=None`` disables the step budget — appropriate only when
+    termination is otherwise guaranteed (weakly acyclic tgds, as the serving
+    layer enforces at scenario compilation).
+
+    ``seed_delta`` restricts the *seeding* phase: instead of enumerating every
+    trigger over the whole instance, only triggers using at least one of the
+    given ``(relation, tuple)`` facts are queued (via
+    :func:`repro.logic.cq.match_atoms_delta`).  This is sound only when the
+    rest of the instance already satisfies all dependencies — the contract of
+    the serving layer's update path, where ``instance`` is a previously chased
+    materialization plus freshly added facts and ``seed_delta`` is exactly
+    those facts.
     """
     working = instance.copy()
     factory = NullFactory(prefix="chase")
@@ -117,14 +130,18 @@ def chase_incremental(
             for assignment in match_atoms_delta(list(deps[dep_index].body), working, delta):
                 push(dep_index, assignment)
 
-    # Seed: every trigger of every dependency over the initial instance.
-    for dep_index, dep in enumerate(deps):
-        for assignment in match_atoms(list(dep.body), working):
-            push(dep_index, assignment)
+    if seed_delta is None:
+        # Seed: every trigger of every dependency over the initial instance.
+        for dep_index, dep in enumerate(deps):
+            for assignment in match_atoms(list(dep.body), working):
+                push(dep_index, assignment)
+    else:
+        # Seed only triggers touching the delta (instance \ delta is chased).
+        propagate([(name, tuple(tup)) for name, tup in seed_delta])
 
     applied = 0
     while queue:
-        if applied >= max_steps:
+        if max_steps is not None and applied >= max_steps:
             return ChaseResult(working, steps, terminated=False)
         dep_index, assignment, key = queue.popleft()
         queued.discard(key)

@@ -90,7 +90,13 @@ class CanonicalSolution:
         return f"CanonicalSolution({len(self.annotated)} annotated tuples, {len(self.justifications)} nulls)"
 
 
-def _head_value(term: Term, assignment: dict[Var, Any], nulls: dict[Var, Null]) -> Any:
+def head_value(term: Term, assignment: dict[Var, Any], nulls: dict[Var, Null]) -> Any:
+    """Instantiate one head term: constants stay, frontier variables read the
+    assignment, existential variables read their freshly minted nulls.
+
+    Shared by the one-shot chase below and the serving layer's incremental
+    trigger application, so the two canonical-layer builders cannot drift.
+    """
     if isinstance(term, Const):
         return term.value
     if isinstance(term, Var):
@@ -134,7 +140,7 @@ def canonical_solution(mapping: SchemaMapping, source: Instance) -> CanonicalSol
                 nulls[variable] = null
                 justifications[null] = justification
             for atom in std.head:
-                values = tuple(_head_value(t, assignment, nulls) for t in atom.terms)
+                values = tuple(head_value(t, assignment, nulls) for t in atom.terms)
                 annotated.add(atom.relation, AnnotatedTuple(values, atom.annotation))
 
     return CanonicalSolution(mapping, source, annotated, justifications, triggers)

@@ -32,7 +32,7 @@ from typing import Any, Iterable, Optional, Union
 from repro.algebra.expressions import RAExpression
 from repro.algebra.naive import is_positive_expression, naive_evaluate_algebra
 from repro.algebra.translate import algebra_to_query
-from repro.core.canonical import canonical_solution
+from repro.core.canonical import CanonicalSolution, canonical_solution
 from repro.core.deqa import Certainty, is_certain
 from repro.core.mapping import SchemaMapping
 from repro.logic.cq import ConjunctiveQuery, UnionOfConjunctiveQueries
@@ -97,17 +97,17 @@ def certain_answers_positive(
     return certain_answers_naive(query, csol)
 
 
-def _candidate_answers(
-    mapping: SchemaMapping, source: Instance, query: Query
-) -> Iterable[tuple]:
+def _candidate_answers(canonical: CanonicalSolution, query: Query) -> Iterable[tuple]:
     """Candidate certain-answer tuples for a non-monotone query.
 
     By genericity, certain answers consist of constants from the source (which
     are exactly the constants of the canonical solution) together with the
-    constants mentioned in the query.
+    constants mentioned in the query.  The candidate domain is computed once
+    from the supplied canonical solution, which the caller shares with the
+    per-tuple :func:`repro.core.deqa.is_certain` checks instead of re-chasing
+    it for every candidate.
     """
-    csol = canonical_solution(mapping, source).instance
-    pool = sorted(csol.constants() | constants_of(query.formula), key=repr)
+    pool = sorted(canonical.instance.constants() | constants_of(query.formula), key=repr)
     return itertools.product(pool, repeat=query.arity)
 
 
@@ -129,8 +129,9 @@ def certain_answers(
     normalized = _as_query(query, mapping)
     if normalized.is_monotone():
         return certain_answers_positive(mapping, source, query)
+    canonical = canonical_solution(mapping, source)
     answers: set[tuple] = set()
-    for candidate in _candidate_answers(mapping, source, normalized):
+    for candidate in _candidate_answers(canonical, normalized):
         result = is_certain(
             mapping,
             source,
@@ -138,6 +139,7 @@ def certain_answers(
             candidate,
             extra_constants=extra_constants,
             max_extra_tuples=max_extra_tuples,
+            canonical=canonical,
         )
         if result.certain:
             answers.add(candidate)

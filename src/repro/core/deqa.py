@@ -166,16 +166,24 @@ def is_certain(
     answer: tuple = (),
     extra_constants: Optional[int] = None,
     max_extra_tuples: Optional[int] = None,
+    canonical: Optional[CanonicalSolution] = None,
 ) -> Certainty:
     """Decide ``answer ∈ certain_Σα(Q, S)`` (the DEQA problem).
 
     See the module docstring for the completeness guarantees attached to each
     query/mapping class; the returned :class:`Certainty` records which method
     was used and whether the search was exhaustive for the proved bound.
+
+    ``canonical`` lets callers that decide many answer tuples over the same
+    ``(mapping, source)`` pair (e.g. :func:`repro.core.certain.certain_answers`
+    and the serving layer) pass the canonical solution in instead of
+    re-chasing it per tuple; it must be ``canonical_solution(mapping, source)``
+    for exactly these arguments.
     """
     if len(answer) != query.arity:
         raise ValueError(f"answer arity {len(answer)} differs from query arity {query.arity}")
-    canonical = canonical_solution(mapping, source)
+    if canonical is None:
+        canonical = canonical_solution(mapping, source)
     if query.is_monotone():
         certain = answer in _monotone_answers(canonical, query, answer)
         return Certainty(

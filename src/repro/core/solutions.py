@@ -37,6 +37,7 @@ from repro.relational.annotated import (
 from repro.relational.domain import Null, is_null
 from repro.relational.homomorphism import (
     apply_null_mapping_annotated,
+    fact_can_map_into,
     find_annotated_homomorphism,
     find_homomorphism,
     find_onto_homomorphism,
@@ -156,6 +157,14 @@ def enumerate_cwa_solutions(
     CWA-solutions are images of ``CSol(S)`` under identifications of its
     nulls; the enumeration ranges over all partitions of the nulls (surjective
     renamings) and keeps those whose image maps back into ``CSol(S)``.
+
+    The partition search is pruned through the canonical solution's
+    per-position indexes: for every ordered pair ``(n, r)`` of nulls we check
+    once whether the single merge ``n ↦ r`` leaves every fact containing ``n``
+    a candidate image in ``CSol(S)`` (each remaining null treated as a free
+    variable — a relaxation, so a failed check is conclusive).  Partitions
+    placing ``n`` in a block represented by ``r`` with an infeasible pair are
+    skipped before their image instance is built or searched.
     """
     canonical = canonical_solution(mapping, source)
     nulls = sorted(canonical.nulls(), key=lambda n: n.ident)
@@ -164,7 +173,25 @@ def enumerate_cwa_solutions(
     if not nulls:
         yield csol
         return
+    facts_with: dict[Null, list[tuple[str, tuple]]] = {n: [] for n in nulls}
+    for name, tup in csol.facts():
+        for value in set(tup):
+            if is_null(value):
+                facts_with[value].append((name, tup))
+
+    def merge_feasible(null: Null, representative: Null) -> bool:
+        for name, tup in facts_with[null]:
+            merged = tuple(representative if v == null else v for v in tup)
+            if not fact_can_map_into(csol, name, merged, nulls_to_nulls=True):
+                return False
+        return True
+
+    pair_ok = {
+        (n, r): merge_feasible(n, r) for n in nulls for r in nulls if n is not r
+    }
     for partition in _partitions(nulls):
+        if any(not pair_ok[(n, block[0])] for block in partition for n in block[1:]):
+            continue
         representative = {n: block[0] for block in partition for n in block}
         image = csol.map_values(lambda v: representative.get(v, v) if is_null(v) else v)
         if find_homomorphism(image, csol, nulls_to_nulls=True) is None:

@@ -20,7 +20,7 @@ import re
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
-from repro.logic.cq import match_atoms
+from repro.logic.cq import decompose_exists_cq, match_atoms
 from repro.logic.evaluation import satisfying_assignments
 from repro.logic.formulas import (
     Atom,
@@ -167,16 +167,15 @@ class STD:
 
         Conjunctive (and positive existential conjunctions of atoms) bodies are
         matched by backtracking joins; arbitrary FO bodies fall back to
-        active-domain evaluation.
+        active-domain evaluation.  The join-evaluable shape is decided by
+        :func:`repro.logic.cq.decompose_exists_cq` — the same classifier the
+        serving layer's compiled trigger plan uses, so the two paths can never
+        disagree on a body's triggers.
         """
-        body = self.body
-        quantified: list[Var] = []
-        while isinstance(body, Exists):
-            quantified.extend(body.variables)
-            body = body.body
         free_vars = sorted(self.body_variables(), key=lambda v: v.name)
-        if _is_conjunction_of_atoms_and_equalities(body):
-            atoms, equalities = _split_atoms_equalities(body)
+        decomposed = decompose_exists_cq(self.body)
+        if decomposed is not None:
+            atoms, equalities, _quantified = decomposed
             seen: set[tuple] = set()
             for assignment in match_atoms(atoms, source, equalities=equalities):
                 projected = {v: assignment[v] for v in free_vars if v in assignment}
@@ -200,18 +199,6 @@ def _is_conjunction_of_atoms_and_equalities(formula: Formula) -> bool:
             formula.right
         )
     return False
-
-
-def _split_atoms_equalities(formula: Formula) -> tuple[list[Atom], list[Eq]]:
-    if isinstance(formula, Atom):
-        return [formula], []
-    if isinstance(formula, Eq):
-        return [], [formula]
-    if isinstance(formula, And):
-        left_atoms, left_eqs = _split_atoms_equalities(formula.left)
-        right_atoms, right_eqs = _split_atoms_equalities(formula.right)
-        return left_atoms + right_atoms, left_eqs + right_eqs
-    raise ValueError(f"{formula!r} is not a conjunction of atoms and equalities")
 
 
 # ---------------------------------------------------------------------------

@@ -20,6 +20,7 @@ import itertools
 from typing import Any, Iterable, Iterator, Optional
 
 from repro.logic.formulas import (
+    And,
     Atom,
     Eq,
     Exists,
@@ -216,6 +217,44 @@ def match_atoms_delta(
             for i, atom in enumerate(atoms)
         ]
         yield from search(tagged, dict(assignment))
+
+
+def decompose_exists_cq(
+    formula: Formula,
+) -> Optional[tuple[list[Atom], list[Eq], set[Var]]]:
+    """Decompose an ∃-prefixed conjunction of atoms/equalities for joining.
+
+    Strips (possibly nested) ``Exists`` quantifiers, flattens the body's
+    ``And`` tree, and returns ``(atoms, equalities, quantified variables)``
+    when every atom term and equality side is a plain ``Var``/``Const`` — the
+    shape :func:`match_atoms` can evaluate.  Returns ``None`` for any other
+    shape.  Shared by the FO evaluator's ∃-block fast path and the serving
+    layer's STD compilation, so the two agree on what counts as
+    join-evaluable.
+    """
+    quantified: set[Var] = set()
+    body: Formula = formula
+    while isinstance(body, Exists):
+        quantified.update(body.variables)
+        body = body.body
+    atoms: list[Atom] = []
+    equalities: list[Eq] = []
+    stack = [body]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, And):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, Atom):
+            if not all(isinstance(t, (Var, Const)) for t in node.terms):
+                return None
+            atoms.append(node)
+        elif isinstance(node, Eq):
+            if not all(isinstance(t, (Var, Const)) for t in (node.left, node.right)):
+                return None
+            equalities.append(node)
+        else:
+            return None
+    return atoms, equalities, quantified
 
 
 _UNBOUND = object()

@@ -30,6 +30,7 @@ from repro.logic.formulas import (
     TrueFormula,
     constants_of,
 )
+from repro.logic.cq import decompose_exists_cq, match_atoms
 from repro.logic.terms import Const, FuncTerm, Term, Var, evaluate_term
 from repro.relational.instance import Instance
 
@@ -46,22 +47,58 @@ def evaluate(
     assignment: dict[Var, Any] | None = None,
     domain: Iterable[Any] | None = None,
     functions: dict[str, Any] | None = None,
+    joins: bool = True,
 ) -> bool:
     """Evaluate ``formula`` over ``instance`` under ``assignment``.
 
     ``domain`` overrides the quantification domain; ``functions`` provides
     interpretations for function symbols (needed only for Skolemized bodies).
+
+    With ``joins=True`` (the default), ∃-blocks whose body is a conjunction of
+    relational atoms and equalities are decided by the index-aware join of
+    :func:`repro.logic.cq.match_atoms` instead of quantifying the block's
+    variables over the evaluation domain — same answers (every witness of such
+    a block is read off a fact, hence lies in the active domain), without the
+    ``|domain|^k`` product.  The fast path is disabled automatically when the
+    caller restricts ``domain`` explicitly, since a witness found in a fact
+    could then lie outside the allowed domain.  ``joins=False`` forces the
+    pure active-domain reference semantics everywhere (used by the
+    equivalence tests).
     """
     assignment = dict(assignment or {})
     if domain is None:
         dom = evaluation_domain(instance, formula, assignment.values())
+        use_joins = joins
     else:
         dom = list(domain)
-    return _eval(formula, instance, assignment, dom, functions)
+        use_joins = False
+    return _eval(formula, instance, assignment, dom, functions, use_joins)
 
 
 def _eval_term(term: Term, assignment: dict[Var, Any], functions: dict[str, Any] | None) -> Any:
     return evaluate_term(term, assignment, functions)
+
+
+def _exists_join_block(
+    formula: Exists,
+) -> Optional[tuple[list, list, set[Var]]]:
+    """Decompose a (possibly nested) ∃-block into join-evaluable parts.
+
+    On top of :func:`repro.logic.cq.decompose_exists_cq`, requires every
+    quantified variable to occur in some relational atom (so its witnesses
+    necessarily come from facts); returns ``None`` when any condition fails
+    and the caller must fall back to active-domain quantification.
+    """
+    decomposed = decompose_exists_cq(formula)
+    if decomposed is None:
+        return None
+    atoms, equalities, quantified = decomposed
+    atom_vars: set[Var] = set()
+    for atom in atoms:
+        atom_vars.update(t for t in atom.terms if isinstance(t, Var))
+    if not quantified <= atom_vars:
+        return None
+    return atoms, equalities, quantified
 
 
 def _eval(
@@ -70,6 +107,7 @@ def _eval(
     assignment: dict[Var, Any],
     domain: list[Any],
     functions: dict[str, Any] | None,
+    joins: bool = False,
 ) -> bool:
     if isinstance(formula, TrueFormula):
         return True
@@ -83,31 +121,37 @@ def _eval(
             formula.right, assignment, functions
         )
     if isinstance(formula, Not):
-        return not _eval(formula.operand, instance, assignment, domain, functions)
+        return not _eval(formula.operand, instance, assignment, domain, functions, joins)
     if isinstance(formula, And):
-        return _eval(formula.left, instance, assignment, domain, functions) and _eval(
-            formula.right, instance, assignment, domain, functions
+        return _eval(formula.left, instance, assignment, domain, functions, joins) and _eval(
+            formula.right, instance, assignment, domain, functions, joins
         )
     if isinstance(formula, Or):
-        return _eval(formula.left, instance, assignment, domain, functions) or _eval(
-            formula.right, instance, assignment, domain, functions
+        return _eval(formula.left, instance, assignment, domain, functions, joins) or _eval(
+            formula.right, instance, assignment, domain, functions, joins
         )
     if isinstance(formula, Implies):
-        return (not _eval(formula.left, instance, assignment, domain, functions)) or _eval(
-            formula.right, instance, assignment, domain, functions
+        return (not _eval(formula.left, instance, assignment, domain, functions, joins)) or _eval(
+            formula.right, instance, assignment, domain, functions, joins
         )
     if isinstance(formula, Iff):
-        return _eval(formula.left, instance, assignment, domain, functions) == _eval(
-            formula.right, instance, assignment, domain, functions
+        return _eval(formula.left, instance, assignment, domain, functions, joins) == _eval(
+            formula.right, instance, assignment, domain, functions, joins
         )
     if isinstance(formula, Exists):
+        if joins:
+            block = _exists_join_block(formula)
+            if block is not None:
+                atoms, equalities, quantified = block
+                outer = {v: val for v, val in assignment.items() if v not in quantified}
+                return next(match_atoms(atoms, instance, outer, equalities), None) is not None
         return any(
-            _eval(formula.body, instance, _extended(assignment, formula.variables, combo), domain, functions)
+            _eval(formula.body, instance, _extended(assignment, formula.variables, combo), domain, functions, joins)
             for combo in _assignments(domain, len(formula.variables))
         )
     if isinstance(formula, ForAll):
         return all(
-            _eval(formula.body, instance, _extended(assignment, formula.variables, combo), domain, functions)
+            _eval(formula.body, instance, _extended(assignment, formula.variables, combo), domain, functions, joins)
             for combo in _assignments(domain, len(formula.variables))
         )
     raise TypeError(f"unknown formula {formula!r}")
@@ -153,12 +197,14 @@ def query_answers(
     answer_vars = tuple(Var(v) if isinstance(v, str) else v for v in answer_variables)
     if domain is None:
         dom = evaluation_domain(instance, formula)
+        use_joins = True
     else:
         dom = list(domain)
+        use_joins = False
     answers: set[tuple] = set()
     for combo in _assignments(dom, len(answer_vars)):
         assignment = dict(zip(answer_vars, combo))
-        if _eval(formula, instance, assignment, dom, functions):
+        if _eval(formula, instance, assignment, dom, functions, use_joins):
             answers.add(combo)
     return answers
 

@@ -66,6 +66,24 @@ def _fact_candidates(
     return best
 
 
+def fact_can_map_into(
+    target: Instance, name: str, values: tuple, nulls_to_nulls: bool = False
+) -> bool:
+    """Can the single fact ``(name, values)`` map homomorphically into ``target``?
+
+    Each distinct null of ``values`` is treated as an independent variable
+    (consistent within the fact), so this is a *necessary* condition for any
+    homomorphism whose domain contains the fact.  Candidates are read from the
+    target's per-position indexes on the constant positions, making the check
+    O(smallest bucket) — cheap enough to use as a pre-filter in search loops
+    (see :func:`repro.core.solutions.enumerate_cwa_solutions`).
+    """
+    for candidate in _fact_candidates(target, name, values, {}):
+        if _extend_mapping({}, values, candidate, nulls_to_nulls) is not None:
+            return True
+    return False
+
+
 def find_homomorphism(
     source: Instance, target: Instance, nulls_to_nulls: bool = False
 ) -> Optional[dict[Null, Any]]:
@@ -82,6 +100,18 @@ def find_homomorphism(
     per-position indexes on every bound position.
     """
     facts = sorted(source.facts(), key=lambda f: (f[0], len(f[1])))
+    return _search_homomorphism(facts, target, nulls_to_nulls)
+
+
+def _search_homomorphism(
+    facts: list[tuple[str, tuple]], target: Instance, nulls_to_nulls: bool = False
+) -> Optional[dict[Null, Any]]:
+    """Map an explicit list of facts into ``target`` (see :func:`find_homomorphism`).
+
+    Taking the source as a fact list lets callers test homomorphisms from
+    ``I ∪ {f}`` without materialising a fresh instance (and re-deriving its
+    indexes) per probe — :func:`core_of` relies on this.
+    """
     if not facts:
         return {}
 
@@ -210,14 +240,18 @@ def is_homomorphically_equivalent(a: Instance, b: Instance) -> bool:
     return find_homomorphism(a, b) is not None and find_homomorphism(b, a) is not None
 
 
-def core_of(instance: Instance) -> Instance:
-    """Compute the core of an instance with nulls.
+def core_of_bruteforce(instance: Instance) -> Instance:
+    """Compute the core by exhaustive retraction (reference implementation).
 
     The core is the smallest sub-instance to which the instance maps
     homomorphically; it is unique up to isomorphism (Fagin–Kolaitis–Popa,
-    "Getting to the core").  The implementation greedily tries to retract one
-    fact at a time, which is correct (the core is reached when no proper
-    retract exists) though exponential in the worst case.
+    "Getting to the core").  This implementation greedily tries to retract one
+    fact at a time and restarts the scan after every success — correct (the
+    core is reached when no proper retract exists) but quadratic in the number
+    of retraction attempts on top of each homomorphism search.  It is kept as
+    the differential-test oracle for :func:`core_of` and the block-based
+    engine in :mod:`repro.serving.core_engine`; production call sites should
+    not use it.
     """
     current = instance.copy()
     changed = True
@@ -231,4 +265,42 @@ def core_of(instance: Instance) -> Instance:
                 current = candidate
                 changed = True
                 break
+    return current
+
+
+def core_of(instance: Instance) -> Instance:
+    """Compute the core of an instance with nulls (index-pruned search).
+
+    Same result as :func:`core_of_bruteforce`, reached with two prunings on
+    top of the index-aware :func:`find_homomorphism`:
+
+    * only facts containing nulls are retraction candidates — a homomorphism
+      is the identity on constants, so a ground fact always maps to itself and
+      can never leave the image;
+    * each candidate is tried exactly once: if no homomorphism
+      ``I → I \\ {f}`` exists then for every later sub-instance ``I' ⊆ I``
+      reached by composing successful retractions (so some ``g : I → I'``
+      exists) a homomorphism ``h : I' → I' \\ {f}`` would give
+      ``h ∘ g : I → I \\ {f}``, a contradiction — failed facts never become
+      retractable.
+
+    The search is still exponential in the worst case (homomorphism existence
+    is NP-hard) but performs one homomorphism test per null-containing fact
+    instead of restarting the scan after every retraction, and retracts in
+    place — the working instance's position indexes stay warm across probes
+    instead of being rebuilt on a fresh copy per candidate.
+    """
+    current = instance.copy()
+    candidates = sorted(
+        (fact for fact in current.facts() if any(is_null(v) for v in fact[1])),
+        key=lambda fact: (fact[0], repr(fact[1])),
+    )
+    for fact in candidates:
+        name, tup = fact
+        current.discard(name, tup)
+        # Homomorphism source: the instance before the retraction (current
+        # plus the retracted fact), target: the instance after it.
+        facts = sorted([*current.facts(), fact], key=lambda f: (f[0], len(f[1])))
+        if _search_homomorphism(facts, current) is None:
+            current.add(name, tup)
     return current

@@ -1,0 +1,60 @@
+"""Materialized-exchange serving layer.
+
+The modules below turn the one-shot pipeline (chase, then evaluate) into a
+long-lived service, the architecture every later scaling step (sharding,
+async serving, alternative backends) plugs into:
+
+* :mod:`repro.serving.registry` — named ``(mapping, source)`` scenarios; each
+  mapping compiled once (Skolemization, trigger plan, weak-acyclicity check);
+* :mod:`repro.serving.materialized` — the per-scenario materialization:
+  canonical layer with per-trigger support counts, chased target, lazily
+  maintained core, and the ``add_source_facts``/``retract_source_facts``
+  update API driven by semi-naive matching and the delta-seeded worklist
+  chase;
+* :mod:`repro.serving.core_engine` — greedy block-based core computation with
+  candidates pruned through the instance position indexes (replacing the
+  brute-force retraction search on the serving path);
+* :mod:`repro.serving.cache` — the certain-answer cache keyed on
+  ``(query fingerprint, semantics, per-relation version vector)``.
+
+Quickstart::
+
+    from repro.serving import ScenarioRegistry
+
+    registry = ScenarioRegistry()
+    exchange = registry.register("conf", mapping, source)
+    answers = exchange.certain_answers(query)        # computed, cached
+    answers = exchange.certain_answers(query)        # O(lookup)
+    exchange.add_source_facts([("Papers", ("p9", "New title"))])
+    answers = exchange.certain_answers(query)        # recomputed incrementally
+"""
+
+from repro.serving.cache import (
+    CacheStats,
+    CertainAnswerCache,
+    query_fingerprint,
+    version_vector,
+)
+from repro.serving.core_engine import core_of_indexed, null_blocks
+from repro.serving.materialized import MaterializedExchange, ServingError
+from repro.serving.registry import (
+    CompiledMapping,
+    CompiledSTD,
+    ScenarioRegistry,
+    compile_mapping,
+)
+
+__all__ = [
+    "CacheStats",
+    "CertainAnswerCache",
+    "query_fingerprint",
+    "version_vector",
+    "core_of_indexed",
+    "null_blocks",
+    "MaterializedExchange",
+    "ServingError",
+    "CompiledMapping",
+    "CompiledSTD",
+    "ScenarioRegistry",
+    "compile_mapping",
+]

@@ -1,0 +1,107 @@
+"""Version-keyed certain-answer cache.
+
+A cache entry is addressed by ``(query fingerprint, semantics)`` and guarded
+by a *version vector*: the per-relation mutation counters
+(:meth:`repro.relational.instance.Instance.version`) of exactly the relations
+the query can observe, sampled when the answer was computed.  A lookup whose
+current version vector differs from the stored one is a *stale miss* — the
+entry is recomputed and overwritten.  Because the vector only covers the
+relations a query touches, mutations invalidate only the queries that could
+see them: updating source relation ``R`` leaves every cached query whose
+target relations are fed by other relations untouched.
+
+The cache stores answer sets as ``frozenset`` and returns copies, so callers
+can mutate results freely without corrupting the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.relational.instance import Instance
+
+VersionVector = tuple[tuple[str, int], ...]
+
+
+def version_vector(instance: Instance, relations: Iterable[str]) -> VersionVector:
+    """The current version vector of ``relations`` in ``instance`` (sorted)."""
+    return tuple((name, instance.version(name)) for name in sorted(set(relations)))
+
+
+def query_fingerprint(query: object) -> str:
+    """A stable identity for a query object.
+
+    The textual form (``repr``) of every query class in the library is
+    deterministic and complete — it spells out head variables, atoms,
+    equalities and formula structure — so two structurally equal queries share
+    a fingerprint and a query mutated in place (unsupported) would miss.
+    """
+    return f"{type(query).__name__}:{query!r}"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for observability and the benchmark assertions."""
+
+    hits: int = 0
+    misses: int = 0
+    stale: int = 0
+    stores: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _Entry:
+    versions: VersionVector
+    answers: frozenset
+
+
+class CertainAnswerCache:
+    """A per-materialization cache of certain-answer sets.
+
+    One entry is kept per ``(fingerprint, semantics)`` pair — repeated queries
+    are O(dictionary lookup + version comparison); a mutation of any relation
+    in the entry's version vector turns the next lookup into a stale miss that
+    the caller repairs with :meth:`put`.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, str], _Entry] = {}
+        self.stats = CacheStats()
+
+    def get(
+        self, fingerprint: str, semantics: str, versions: VersionVector
+    ) -> Optional[frozenset]:
+        entry = self._entries.get((fingerprint, semantics))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.versions != versions:
+            self.stats.stale += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry.answers
+
+    def put(
+        self,
+        fingerprint: str,
+        semantics: str,
+        versions: VersionVector,
+        answers: Iterable[tuple],
+    ) -> frozenset:
+        frozen = frozenset(answers)
+        self._entries[(fingerprint, semantics)] = _Entry(versions, frozen)
+        self.stats.stores += 1
+        return frozen
+
+    def invalidate_all(self) -> None:
+        """Drop every entry (used when a materialization is rebuilt wholesale)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,485 @@
+"""Long-lived materialized exchanges: incremental state plus cached answers.
+
+A :class:`MaterializedExchange` keeps, for one registered scenario:
+
+* the live **source** instance (owned copy; mutated only through the update
+  API below);
+* the **canonical layer** — the plain canonical solution ``CSol(S)``,
+  maintained *per trigger*: every satisfied STD-body assignment is recorded
+  with the head facts it justifies, nulls are minted deterministically from
+  the paper's justification keys, and a support count per fact makes
+  retraction exact (a fact leaves the materialization when its last
+  justifying trigger disappears);
+* the **target** — the canonical layer chased with the scenario's target
+  dependencies (the two coincide when there are none);
+* the **core** of the target, recomputed lazily by the block-based engine of
+  :mod:`repro.serving.core_engine` whenever the target has changed since the
+  cached core was built — the core suffices for answering unions of
+  conjunctive queries, which is what the serving layer evaluates against it;
+* a version-keyed :class:`~repro.serving.cache.CertainAnswerCache` so repeated
+  queries are O(lookup) and an update invalidates only the queries that can
+  observe the touched relations.
+
+Update propagation: ``add_source_facts`` routes the added tuples through the
+compiled trigger plan — semi-naive matching
+(:func:`repro.logic.cq.match_atoms_delta`) for CQ bodies, a full re-evaluation
+with diffing for non-monotone FO bodies (where additions may also *revoke*
+triggers) — and then extends the target chase with the delta-seeded worklist
+engine instead of re-chasing from scratch.  ``retract_source_facts``
+re-evaluates the affected STDs, drops unsupported canonical facts, and — only
+when target dependencies exist, whose chase is not incrementally retractable —
+re-chases the target layer from the maintained canonical layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.chase.engine import ChaseFailure
+from repro.chase.incremental import chase_incremental
+from repro.core.canonical import Justification, head_value
+from repro.core.certain import AnyQuery, _as_query, certain_answers, certain_answers_naive
+from repro.logic.cq import ConjunctiveQuery, UnionOfConjunctiveQueries, match_atoms_delta
+from repro.logic.formulas import relations_of
+from repro.logic.queries import Query
+from repro.logic.terms import Var
+from repro.relational.domain import NullFactory
+from repro.relational.instance import Instance
+from repro.serving.cache import (
+    CacheStats,
+    CertainAnswerCache,
+    VersionVector,
+    query_fingerprint,
+    version_vector,
+)
+from repro.serving.core_engine import core_of_delta, core_of_indexed
+from repro.serving.registry import CompiledMapping, CompiledSTD
+
+Fact = tuple[str, tuple]
+TriggerKey = tuple[int, tuple]
+
+
+class ServingError(Exception):
+    """Raised when a scenario cannot serve a request (failed chase, bad query)."""
+
+
+class MaterializedExchange:
+    """One scenario's materialized state (see module docstring)."""
+
+    def __init__(
+        self,
+        name: str,
+        compiled: CompiledMapping,
+        source: Instance,
+        max_chase_steps: int | None = None,
+    ):
+        self.name = name
+        self.compiled = compiled
+        self.source = source.copy()
+        # None = unbounded: the compiled mapping's weak-acyclicity gate
+        # guarantees chase termination, so scenarios are not size-capped by a
+        # fixed budget; set a bound to trade completeness for latency control.
+        self.max_chase_steps = max_chase_steps
+        self._factory = NullFactory()
+        self._canonical = Instance(schema=compiled.mapping.target)
+        self._support: dict[Fact, set[TriggerKey]] = {}
+        self._trigger_facts: dict[TriggerKey, tuple[Fact, ...]] = {}
+        self._assignments: dict[int, dict[TriggerKey, dict[Var, Any]]] = {
+            cstd.index: {} for cstd in compiled.stds
+        }
+        self._cache = CertainAnswerCache()
+        self._core: Optional[Instance] = None
+        self._core_versions: Optional[VersionVector] = None
+        # Facts added to the target since the cached core was computed, or
+        # None when the target changed in a way (removal, egd rewrite, no core
+        # yet) that requires a full core recomputation.
+        self._core_delta: Optional[list[Fact]] = None
+        # Per-relation offsets added to the target's raw version counters.
+        # Instance.copy() (and hence every chase result) restarts counters at
+        # zero, so whenever self._target is rebound the offsets are recomputed
+        # to keep the *combined* version of an unchanged relation identical
+        # (cache entries stay valid) and to strictly advance changed ones.
+        self._version_base: dict[str, int] = {}
+
+        for cstd in compiled.stds:
+            for projected in cstd.std.body_assignments(self.source):
+                key = self._trigger_key(cstd.index, projected)
+                if key not in self._assignments[cstd.index]:
+                    self._apply_trigger(cstd, projected, key)
+        if compiled.target_dependencies:
+            self._target = self._full_chase(self._canonical)
+        else:
+            self._target = self._canonical
+
+    # -- read access -------------------------------------------------------
+
+    @property
+    def mapping(self):
+        return self.compiled.mapping
+
+    @property
+    def canonical(self) -> Instance:
+        """The maintained plain canonical solution ``CSol(S)``."""
+        return self._canonical
+
+    @property
+    def target(self) -> Instance:
+        """The chased materialization queries are answered against."""
+        return self._target
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def core(self) -> Instance:
+        """The core of the target, maintained rather than recomputed.
+
+        After addition-only changes the cached core is repaired by
+        :func:`~repro.serving.core_engine.core_of_delta` (only blocks in
+        relations that gained facts are re-folded); retractions and egd
+        rewrites fall back to a full block-based recomputation.
+        """
+        versions = self._target_versions()
+        if self._core is not None and self._core_versions == versions:
+            return self._core
+        if self._core is not None and self._core_delta is not None:
+            self._core = core_of_delta(self._core, self._core_delta)
+        else:
+            self._core = core_of_indexed(self._target)
+        self._core_versions = versions
+        self._core_delta = []
+        return self._core
+
+    # -- trigger bookkeeping ----------------------------------------------
+
+    @staticmethod
+    def _trigger_key(std_index: int, assignment: Mapping[Var, Any]) -> TriggerKey:
+        return (
+            std_index,
+            tuple(sorted((v.name, value) for v, value in assignment.items())),
+        )
+
+    def _apply_trigger(
+        self, cstd: CompiledSTD, assignment: dict[Var, Any], key: TriggerKey
+    ) -> list[Fact]:
+        """Materialize one trigger's head facts; returns the facts new to CSol."""
+        self._assignments[cstd.index][key] = assignment
+        nulls = {
+            z: self._factory.for_key(
+                Justification.build(cstd.index, assignment, z), label=z.name
+            )
+            for z in cstd.existential
+        }
+        facts: list[Fact] = []
+        new_facts: list[Fact] = []
+        for atom in cstd.std.head:
+            fact = (
+                atom.relation,
+                tuple(head_value(t, assignment, nulls) for t in atom.terms),
+            )
+            facts.append(fact)
+            supporters = self._support.setdefault(fact, set())
+            if not supporters:
+                new_facts.append(fact)
+                self._canonical.add(*fact)
+            supporters.add(key)
+        self._trigger_facts[key] = tuple(facts)
+        return new_facts
+
+    def _retract_trigger(self, std_index: int, key: TriggerKey) -> list[Fact]:
+        """Withdraw one trigger; returns the canonical facts that lost all support."""
+        del self._assignments[std_index][key]
+        removed: list[Fact] = []
+        for fact in self._trigger_facts.pop(key):
+            supporters = self._support.get(fact)
+            if supporters is None:
+                continue
+            supporters.discard(key)
+            if not supporters:
+                del self._support[fact]
+                self._canonical.discard(*fact)
+                removed.append(fact)
+        return removed
+
+    def _resync_std(self, cstd: CompiledSTD) -> tuple[list[Fact], list[Fact]]:
+        """Re-evaluate one STD's body in full and diff against the stored triggers.
+
+        Needed for non-CQ (possibly non-monotone) bodies on any update, and
+        for CQ bodies on retraction (semi-naive matching covers additions
+        only).  Returns ``(facts added to CSol, facts removed from CSol)``.
+        """
+        fresh: dict[TriggerKey, dict[Var, Any]] = {}
+        for projected in cstd.std.body_assignments(self.source):
+            fresh[self._trigger_key(cstd.index, projected)] = projected
+        stored = self._assignments[cstd.index]
+        added: list[Fact] = []
+        removed: list[Fact] = []
+        for key in sorted(fresh.keys() - stored.keys(), key=repr):
+            added.extend(self._apply_trigger(cstd, fresh[key], key))
+        for key in sorted(stored.keys() - fresh.keys(), key=repr):
+            removed.extend(self._retract_trigger(cstd.index, key))
+        return added, removed
+
+    # -- update API --------------------------------------------------------
+
+    def add_source_facts(self, facts: Iterable[tuple[str, Iterable[Any]]]) -> int:
+        """Add source tuples and refresh the materialization incrementally.
+
+        Returns the number of tuples actually added (duplicates are ignored).
+        """
+        delta: list[Fact] = []
+        for name, values in facts:
+            tup = tuple(values)
+            if (name, tup) not in self.source:
+                self.source.add(name, tup)
+                delta.append((name, tup))
+        if not delta:
+            return 0
+        touched = sorted({name for name, _ in delta})
+        added: list[Fact] = []
+        removed: list[Fact] = []
+        for cstd in self.compiled.listeners(touched):
+            if cstd.incremental:
+                stored = self._assignments[cstd.index]
+                for assignment in match_atoms_delta(
+                    list(cstd.atoms), self.source, delta, equalities=list(cstd.equalities)
+                ):
+                    projected = {
+                        v: assignment[v] for v in cstd.free_vars if v in assignment
+                    }
+                    key = self._trigger_key(cstd.index, projected)
+                    if key not in stored:
+                        added.extend(self._apply_trigger(cstd, projected, key))
+            else:
+                std_added, std_removed = self._resync_std(cstd)
+                added.extend(std_added)
+                removed.extend(std_removed)
+        try:
+            self._refresh_target(added, removed)
+        except ServingError:
+            self._undo_source_update(to_remove=delta, to_restore=[])
+            raise
+        return len(delta)
+
+    def retract_source_facts(self, facts: Iterable[tuple[str, Iterable[Any]]]) -> int:
+        """Remove source tuples and withdraw everything they justified.
+
+        Returns the number of tuples actually removed.  The canonical layer is
+        repaired exactly through the per-fact support counts; with target
+        dependencies the chased layer is additionally re-chased from the
+        repaired canonical layer (tgd/egd consequences of a removed fact are
+        not incrementally retractable).
+        """
+        delta: list[Fact] = []
+        for name, values in facts:
+            tup = tuple(values)
+            if (name, tup) in self.source:
+                self.source.discard(name, tup)
+                delta.append((name, tup))
+        if not delta:
+            return 0
+        touched = sorted({name for name, _ in delta})
+        added: list[Fact] = []
+        removed: list[Fact] = []
+        for cstd in self.compiled.listeners(touched):
+            std_added, std_removed = self._resync_std(cstd)
+            added.extend(std_added)
+            removed.extend(std_removed)
+        try:
+            self._refresh_target(added, removed)
+        except ServingError:
+            self._undo_source_update(to_remove=[], to_restore=delta)
+            raise
+        return len(delta)
+
+    def _undo_source_update(self, to_remove: list[Fact], to_restore: list[Fact]) -> None:
+        """Roll the exchange back to its pre-update state after a failed chase.
+
+        A failing update (an egd conflict, a blown step budget) means the
+        *updated* source has no solution — the update is rejected: the source
+        mutation is reverted, the canonical layer re-synced through the same
+        trigger diffing that applied it, and the chased target rebuilt from
+        the (again consistent) canonical layer, so the exchange keeps serving
+        the pre-update scenario.
+        """
+        for name, tup in to_remove:
+            self.source.discard(name, tup)
+        for name, tup in to_restore:
+            self.source.add(name, tup)
+        touched = sorted(
+            {name for name, _ in to_remove} | {name for name, _ in to_restore}
+        )
+        for cstd in self.compiled.listeners(touched):
+            self._resync_std(cstd)
+        if self.compiled.target_dependencies:
+            self._rebind_target(
+                self._full_chase(self._canonical), self._target_versions(), None
+            )
+        self._core_delta = None
+
+    def _full_chase(self, canonical: Instance) -> Instance:
+        try:
+            result = chase_incremental(
+                canonical,
+                self.compiled.target_dependencies,
+                max_steps=self.max_chase_steps,
+            )
+        except ChaseFailure as failure:
+            raise ServingError(
+                f"scenario {self.name!r} has no solution: {failure}"
+            ) from failure
+        if not result.terminated:
+            raise ServingError(f"target chase of scenario {self.name!r} did not terminate")
+        return result.instance
+
+    def _refresh_target(self, added: list[Fact], removed: list[Fact]) -> None:
+        if not self.compiled.target_dependencies:
+            # The target *is* the canonical layer, already repaired in place;
+            # only the core-maintenance bookkeeping remains.
+            if removed:
+                self._core_delta = None
+            elif added and self._core_delta is not None:
+                self._core_delta.extend(added)
+            return
+        old_versions = self._target_versions()
+        if removed:
+            # Re-chase of the affected component: the canonical layer is exact,
+            # the chased layer is rebuilt from it.
+            self._rebind_target(self._full_chase(self._canonical), old_versions, None)
+            self._core_delta = None
+            return
+        if not added:
+            return
+        for fact in added:
+            self._target.add(*fact)
+        try:
+            result = chase_incremental(
+                self._target,
+                self.compiled.target_dependencies,
+                max_steps=self.max_chase_steps,
+                seed_delta=added,
+            )
+        except ChaseFailure as failure:
+            raise ServingError(
+                f"scenario {self.name!r} has no solution: {failure}"
+            ) from failure
+        if not result.terminated:
+            raise ServingError(f"target chase of scenario {self.name!r} did not terminate")
+        if any(step.kind == "egd" for step in result.steps):
+            # Substitutions rewrote existing facts in unrecorded relations.
+            self._rebind_target(result.instance, old_versions, None)
+            self._core_delta = None
+            return
+        chase_added = [fact for step in result.steps for fact in step.added]
+        changed = {name for name, _ in added} | {name for name, _ in chase_added}
+        self._rebind_target(result.instance, old_versions, changed)
+        if self._core_delta is not None:
+            self._core_delta.extend(added)
+            self._core_delta.extend(chase_added)
+
+    # -- query serving -----------------------------------------------------
+
+    def _target_versions(self, relations: Iterable[str] | None = None) -> VersionVector:
+        if relations is None:
+            relations = [r.name for r in self.compiled.mapping.target.relations()]
+        return tuple(
+            (name, self._version_base.get(name, 0) + self._target.version(name))
+            for name in sorted(set(relations))
+        )
+
+    def _rebind_target(
+        self,
+        new_target: Instance,
+        old_versions: VersionVector,
+        changed: set[str] | None,
+    ) -> None:
+        """Install a fresh chase result as the target, preserving version continuity.
+
+        ``old_versions`` is the combined version vector sampled *before* the
+        update began; ``changed`` names the relations whose contents may
+        differ from then (``None`` = assume all).  Unchanged relations keep
+        their combined version, changed ones advance past it.
+        """
+        old = dict(old_versions)
+        self._version_base = {
+            name: old.get(name, 0)
+            + (1 if changed is None or name in changed else 0)
+            - new_target.version(name)
+            for name in [r.name for r in self.compiled.mapping.target.relations()]
+        }
+        self._target = new_target
+
+    def _source_versions(self) -> VersionVector:
+        return version_vector(
+            self.source, [r.name for r in self.compiled.mapping.source.relations()]
+        )
+
+    def _query_target_relations(self, query: AnyQuery, normalized: Query) -> list[str]:
+        if isinstance(query, ConjunctiveQuery):
+            return sorted(query.relations())
+        if isinstance(query, UnionOfConjunctiveQueries):
+            return sorted({r for cq in query.disjuncts for r in cq.relations()})
+        if isinstance(query, Query):
+            return sorted(relations_of(query.formula))
+        return sorted(relations_of(normalized.formula))
+
+    def certain_answers(
+        self,
+        query: AnyQuery,
+        extra_constants: int | None = None,
+        max_extra_tuples: int | None = None,
+    ) -> set[tuple]:
+        """Serve ``certain_Σα(Q, S)`` from the materialization and the cache.
+
+        The dispatch decision is made here, once per (query, state) pair:
+
+        * monotone queries — naive evaluation over the materialized target;
+          unions of conjunctive queries are evaluated over its *core* (smaller,
+          and sufficient: null-free UCQ answers are invariant under the
+          homomorphic equivalence of target and core);
+        * non-monotone queries — the DEQA procedures over the live source
+          (only for scenarios without target dependencies, whose semantics
+          DEQA implements), cached on the source's version vector.
+        """
+        normalized = _as_query(query, self.compiled.mapping)
+        fingerprint = query_fingerprint(normalized)
+        if normalized.is_monotone():
+            semantics = "monotone"
+            versions = self._target_versions(
+                self._query_target_relations(query, normalized)
+            )
+            cached = self._cache.get(fingerprint, semantics, versions)
+            if cached is not None:
+                return set(cached)
+            if isinstance(query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+                answers = certain_answers_naive(query, self.core())
+            else:
+                answers = certain_answers_naive(query, self._target)
+            self._cache.put(fingerprint, semantics, versions, answers)
+            return set(answers)
+
+        if self.compiled.target_dependencies:
+            raise ServingError(
+                "non-monotone queries are served only for scenarios without "
+                "target dependencies (DEQA is defined for the mapping alone)"
+            )
+        semantics = f"deqa:{extra_constants}:{max_extra_tuples}"
+        versions = self._source_versions()
+        cached = self._cache.get(fingerprint, semantics, versions)
+        if cached is not None:
+            return set(cached)
+        answers = certain_answers(
+            self.compiled.mapping,
+            self.source,
+            query,
+            extra_constants=extra_constants,
+            max_extra_tuples=max_extra_tuples,
+        )
+        self._cache.put(fingerprint, semantics, versions, answers)
+        return set(answers)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MaterializedExchange({self.name!r}: |S|={len(self.source)}, "
+            f"|T|={len(self._target)}, cache={len(self._cache)})"
+        )

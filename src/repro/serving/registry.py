@@ -1,0 +1,210 @@
+"""Scenario registry: named ``(mapping, source)`` pairs, compiled once.
+
+A *scenario* is a named data-exchange deployment: an annotated schema mapping,
+an optional set of target dependencies, and a live source instance.  The
+registry compiles each distinct mapping exactly once — Skolemization, the
+per-STD trigger plan (which source relations feed which STDs, and whether each
+body is a conjunctive query the semi-naive matcher can drive), and the
+weak-acyclicity check of the target tgds — and shares the compilation between
+every scenario that uses the mapping.  Registration hands back a
+:class:`~repro.serving.materialized.MaterializedExchange`, the long-lived
+object queries and updates are served from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.chase.dependencies import EGD, TGD
+from repro.chase.weak_acyclicity import is_weakly_acyclic
+from repro.core.mapping import SchemaMapping
+from repro.core.skolem import SkolemMapping, skolemize
+from repro.core.std import STD
+from repro.logic.cq import decompose_exists_cq
+from repro.logic.formulas import Atom, Eq
+from repro.logic.terms import Var
+from repro.relational.instance import Instance
+
+
+@dataclass(frozen=True)
+class CompiledSTD:
+    """One STD with its body pre-analysed for incremental matching.
+
+    ``atoms``/``equalities`` hold the conjunctive decomposition of the body
+    when it is CQ-shaped (``None`` otherwise — such bodies are re-evaluated in
+    full on every update), ``free_vars`` are the body's free variables in the
+    order assignments are projected to, and ``existential`` the head-only
+    variables instantiated with nulls.
+    """
+
+    index: int
+    std: STD
+    atoms: tuple[Atom, ...] | None
+    equalities: tuple[Eq, ...] | None
+    free_vars: tuple[Var, ...]
+    existential: tuple[Var, ...]
+    source_relations: frozenset[str]
+
+    @property
+    def incremental(self) -> bool:
+        """Can additions be matched semi-naively through ``match_atoms_delta``?"""
+        return self.atoms is not None
+
+
+@dataclass(frozen=True)
+class CompiledMapping:
+    """A mapping compiled for serving: analysis done once, reused per scenario."""
+
+    mapping: SchemaMapping
+    skolem: SkolemMapping
+    stds: tuple[CompiledSTD, ...]
+    # source relation -> indexes of the STDs whose body mentions it.
+    trigger_plan: dict[str, tuple[int, ...]]
+    # Weakly acyclic by construction: compile_mapping rejects anything else.
+    target_dependencies: tuple[TGD | EGD, ...]
+
+    def listeners(self, relations: Sequence[str]) -> list[CompiledSTD]:
+        """The compiled STDs whose bodies mention any of ``relations``."""
+        indexes = sorted(
+            {i for name in relations for i in self.trigger_plan.get(name, ())}
+        )
+        return [self.stds[i] for i in indexes]
+
+
+def _compile_std(index: int, std: STD) -> CompiledSTD:
+    atoms: tuple[Atom, ...] | None = None
+    equalities: tuple[Eq, ...] | None = None
+    decomposed = decompose_exists_cq(std.body)
+    if decomposed is not None:
+        atom_list, eq_list, _quantified = decomposed
+        atoms = tuple(atom_list)
+        equalities = tuple(eq_list)
+    return CompiledSTD(
+        index=index,
+        std=std,
+        atoms=atoms,
+        equalities=equalities,
+        free_vars=tuple(sorted(std.body_variables(), key=lambda v: v.name)),
+        existential=tuple(sorted(std.existential_variables(), key=lambda v: v.name)),
+        source_relations=frozenset(std.source_relations()),
+    )
+
+
+def compile_mapping(
+    mapping: SchemaMapping,
+    target_dependencies: Sequence[TGD | EGD] = (),
+) -> CompiledMapping:
+    """Compile a mapping for serving (see module docstring).
+
+    Raises ``ValueError`` when the target tgds are not weakly acyclic: a
+    long-lived materialization cannot be maintained by a chase whose
+    termination is not guaranteed.
+    """
+    deps = tuple(target_dependencies)
+    tgds = [d for d in deps if isinstance(d, TGD)]
+    if not is_weakly_acyclic(tgds):
+        raise ValueError(
+            "the target tgds are not weakly acyclic; a materialized exchange "
+            "requires guaranteed chase termination"
+        )
+    stds = tuple(_compile_std(i, std) for i, std in enumerate(mapping.stds))
+    trigger_plan: dict[str, list[int]] = {}
+    for compiled in stds:
+        for relation in compiled.source_relations:
+            trigger_plan.setdefault(relation, []).append(compiled.index)
+    return CompiledMapping(
+        mapping=mapping,
+        skolem=skolemize(mapping),
+        stds=stds,
+        trigger_plan={name: tuple(ids) for name, ids in trigger_plan.items()},
+        target_dependencies=deps,
+    )
+
+
+class ScenarioRegistry:
+    """Registry of named scenarios sharing per-mapping compilations.
+
+    ``register`` copies the supplied source instance (the registry owns the
+    live state; callers mutate it through the returned
+    :class:`~repro.serving.materialized.MaterializedExchange` update API, never
+    by touching the original instance).
+    """
+
+    def __init__(self) -> None:
+        # Compilation cache keyed by identity of (mapping, dependency tuple);
+        # the cache holds strong references, keeping the ids stable.  Each
+        # scenario records its compilation key so deregistration can evict
+        # compilations no registered scenario uses any more.
+        self._compilations: dict[tuple[int, tuple[int, ...]], CompiledMapping] = {}
+        self._scenarios: dict[str, "MaterializedExchange"] = {}
+        self._scenario_keys: dict[str, tuple[int, tuple[int, ...]]] = {}
+
+    @staticmethod
+    def _compilation_key(
+        mapping: SchemaMapping, target_dependencies: Sequence[TGD | EGD]
+    ) -> tuple[int, tuple[int, ...]]:
+        return (id(mapping), tuple(id(d) for d in target_dependencies))
+
+    def compile(
+        self,
+        mapping: SchemaMapping,
+        target_dependencies: Sequence[TGD | EGD] = (),
+    ) -> CompiledMapping:
+        key = self._compilation_key(mapping, target_dependencies)
+        compiled = self._compilations.get(key)
+        if compiled is None:
+            compiled = compile_mapping(mapping, target_dependencies)
+            self._compilations[key] = compiled
+        return compiled
+
+    def register(
+        self,
+        name: str,
+        mapping: SchemaMapping,
+        source: Instance,
+        target_dependencies: Sequence[TGD | EGD] = (),
+        max_chase_steps: int | None = None,
+    ) -> "MaterializedExchange":
+        from repro.serving.materialized import MaterializedExchange
+
+        if name in self._scenarios:
+            raise ValueError(f"scenario {name!r} is already registered")
+        key = self._compilation_key(mapping, target_dependencies)
+        compiled = self._compilations.get(key)
+        if compiled is None:
+            compiled = compile_mapping(mapping, target_dependencies)
+        # Materialization may fail (e.g. an egd conflict); cache the
+        # compilation only once the scenario actually registers, so failed
+        # registrations leave nothing pinned behind.
+        exchange = MaterializedExchange(
+            name, compiled, source, max_chase_steps=max_chase_steps
+        )
+        self._compilations[key] = compiled
+        self._scenarios[name] = exchange
+        self._scenario_keys[name] = key
+        return exchange
+
+    def get(self, name: str) -> "MaterializedExchange":
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise KeyError(f"no scenario named {name!r} is registered") from None
+
+    def deregister(self, name: str) -> None:
+        self._scenarios.pop(name, None)
+        key = self._scenario_keys.pop(name, None)
+        if key is not None and key not in self._scenario_keys.values():
+            self._compilations.pop(key, None)
+
+    def names(self) -> list[str]:
+        return sorted(self._scenarios)
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __iter__(self) -> Iterator["MaterializedExchange"]:
+        return iter(self._scenarios[name] for name in self.names())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._scenarios

@@ -8,6 +8,12 @@ from repro.workloads.conference import (
 from repro.workloads.employees import employee_mapping, employee_skolem_mapping, employee_source
 from repro.workloads.graphs import copy_graph_mapping, path_graph, random_edges
 from repro.workloads.random_mappings import random_annotated_mapping, random_source
+from repro.workloads.serving import (
+    ServingWorkload,
+    serving_mapping,
+    serving_queries,
+    serving_workload,
+)
 from repro.workloads.scaling import (
     ChaseWorkload,
     chase_scaling_workload,
@@ -31,4 +37,8 @@ __all__ = [
     "chase_scaling_workload",
     "scaled_chase_workloads",
     "scaled_copying_workload",
+    "ServingWorkload",
+    "serving_mapping",
+    "serving_queries",
+    "serving_workload",
 ]

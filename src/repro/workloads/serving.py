@@ -1,0 +1,145 @@
+"""Hot-query serving workloads.
+
+:func:`serving_workload` builds the scenario the serving benchmark and the
+cache-invalidation tests replay: an employees/projects/assignments source with
+O(1k) tuples, a five-STD mapping producing copying, existential and join
+shapes in the target, a pool of repeated queries of mixed shapes
+(selective CQs, a join CQ, a union, an FO-formula query), and a stream of
+update batches that touch only the ``Works`` relation — so queries over the
+other target relations must stay cache-hot across updates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.mapping import SchemaMapping, mapping_from_rules
+from repro.logic.cq import UnionOfConjunctiveQueries, cq
+from repro.logic.queries import Query
+from repro.logic.terms import Const
+from repro.relational.instance import Instance
+
+
+@dataclass(frozen=True)
+class ServingWorkload:
+    """A named serving scenario: mapping, source, query pool, update stream."""
+
+    name: str
+    mapping: SchemaMapping
+    source: Instance
+    queries: tuple
+    updates: tuple[tuple[tuple[str, tuple], ...], ...]
+    parameters: tuple[tuple[str, object], ...]
+
+    def parameter(self, key: str) -> object:
+        return dict(self.parameters)[key]
+
+
+def serving_mapping() -> SchemaMapping:
+    """The employees/projects mapping used by the serving workloads."""
+    return mapping_from_rules(
+        [
+            "EmpT(e^cl, d^cl) :- Emp(e, d)",
+            "Office(e^cl, z^op) :- Emp(e, d)",
+            "Team(e^cl, p^cl) :- Works(e, p)",
+            "ProjT(p^cl, d^cl) :- Proj(p, d)",
+            "Colleague(e^cl, d^cl, p^cl) :- Works(e, p) & Emp(e, d)",
+        ],
+        source={"Emp": 2, "Proj": 2, "Works": 2},
+        target={"EmpT": 2, "Office": 2, "Team": 2, "ProjT": 2, "Colleague": 3},
+        name="serving_employees",
+    )
+
+
+def serving_queries() -> tuple:
+    """Ten mixed-shape queries replayed round-robin by the hot-query loop.
+
+    Department names are :class:`~repro.logic.terms.Const` terms (bare strings
+    would parse as variables under the ``cq`` helper's conventions), making
+    most queries selective — the shape a hot serving workload actually sees.
+    """
+    d0, d1, d2 = Const("d0"), Const("d1"), Const("d2")
+    return (
+        cq(["e"], [("EmpT", ["e", d0])], name="emp_d0"),
+        cq(["e"], [("EmpT", ["e", d1])], name="emp_d1"),
+        cq(["p"], [("ProjT", ["p", d2])], name="proj_d2"),
+        cq(["e", "p"], [("Team", ["e", "p"])], name="team"),
+        cq(["e"], [("Office", ["e", "z"])], name="office"),
+        cq(
+            ["e1", "e2"],
+            [("Colleague", ["e1", d0, "p"]), ("Colleague", ["e2", d0, "p"])],
+            name="pairs_d0",
+        ),
+        cq(["e", "p"], [("Colleague", ["e", d0, "p"])], name="colleague_d0"),
+        UnionOfConjunctiveQueries(
+            [
+                cq(["x"], [("EmpT", ["x", d0])]),
+                cq(["x"], [("ProjT", ["x", d0])]),
+            ],
+            name="named_d0",
+        ),
+        Query(
+            "exists p . exists d . (Team(e, p) & ProjT(p, d))",
+            ("e",),
+            name="staffed",
+        ),
+        cq(["e", "d"], [("Colleague", ["e", "d", "p"]), ("ProjT", ["p", "d"])], name="aligned"),
+    )
+
+
+def serving_workload(
+    employees: int = 400,
+    projects: int = 120,
+    assignments: int = 500,
+    departments: int = 12,
+    update_batches: int = 10,
+    batch_size: int = 5,
+    seed: int = 0,
+) -> ServingWorkload:
+    """Build the hot-query scenario (~``employees + projects + assignments``
+    source tuples at the defaults, i.e. ≈1k).
+
+    Update batches add fresh ``Works`` tuples only, leaving ``Emp``/``Proj``
+    untouched — the invalidation contract the benchmark asserts is that only
+    queries reading ``Team``/``Colleague`` go stale.
+    """
+    rng = random.Random(seed)
+    source = Instance()
+    for e in range(employees):
+        source.add("Emp", (f"e{e}", f"d{e % departments}"))
+    for p in range(projects):
+        source.add("Proj", (f"p{p}", f"d{p % departments}"))
+    seen: set[tuple[str, str]] = set()
+    while len(seen) < assignments:
+        pair = (f"e{rng.randrange(employees)}", f"p{rng.randrange(projects)}")
+        seen.add(pair)
+    for pair in sorted(seen):
+        source.add("Works", pair)
+
+    updates = []
+    for _ in range(update_batches):
+        batch = []
+        while len(batch) < batch_size:
+            fact = ("Works", (f"e{rng.randrange(employees)}", f"p{rng.randrange(projects)}"))
+            if fact[1] not in seen and fact not in batch:
+                seen.add(fact[1])
+                batch.append(fact)
+        updates.append(tuple(batch))
+
+    return ServingWorkload(
+        name=f"serving_{employees}_{projects}_{assignments}",
+        mapping=serving_mapping(),
+        source=source,
+        queries=serving_queries(),
+        updates=tuple(updates),
+        parameters=(
+            ("employees", employees),
+            ("projects", projects),
+            ("assignments", assignments),
+            ("departments", departments),
+            ("update_batches", update_batches),
+            ("batch_size", batch_size),
+            ("seed", seed),
+        ),
+    )

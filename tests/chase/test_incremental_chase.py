@@ -266,3 +266,31 @@ def test_property_engines_agree_with_constant_conflicts(instance, add_colors):
         ]
     )
     assert_engines_agree(instance, dependencies)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.lists(st.tuples(st.sampled_from("abcdefgh"), st.sampled_from("abcdefgh")), min_size=1, max_size=3))
+def test_property_delta_seeded_chase_equals_full_chase(instance, extra_edges):
+    """Chasing a chased instance plus a delta, seeding only from the delta,
+    must agree with chasing everything from scratch."""
+    dependencies = parse_dependencies(
+        [
+            "E(x, y) -> exists d . D(x, d) & P(d, y)",
+            "P(d, y) -> M(y, d)",
+            "D(x, d1) & D(x, d2) -> d1 = d2",
+        ]
+    )
+    chased = chase_incremental(instance, dependencies).instance
+    delta = []
+    for a, b in extra_edges:
+        if ("E", (a, b)) not in chased:
+            chased.add("E", (a, b))
+            delta.append(("E", (a, b)))
+    seeded = chase_incremental(chased, dependencies, seed_delta=delta)
+    full_source = instance.copy()
+    for name, tup in delta:
+        full_source.add(name, tup)
+    reference = chase_incremental(full_source, dependencies)
+    assert seeded.terminated and reference.terminated
+    assert is_homomorphically_equivalent(seeded.instance, reference.instance)
+    assert seeded.instance.constants() == reference.instance.constants()

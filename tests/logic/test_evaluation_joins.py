@@ -1,0 +1,73 @@
+"""∃-block join fast path vs the pure active-domain reference evaluator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.evaluation import evaluate, query_answers
+from repro.logic.formulas import And, Atom, Eq, Exists, ForAll, Not, Or
+from repro.logic.terms import Const, Var
+from repro.relational.builders import make_instance
+
+x, y, z, w = Var("x"), Var("y"), Var("z"), Var("w")
+
+
+def edge(a, b):
+    return Atom("E", (a, b))
+
+
+values = st.sampled_from(["a", "b", "c"])
+instances = st.builds(
+    lambda edges, marks: make_instance({"E": edges, "V": [(m,) for m in marks]}),
+    st.lists(st.tuples(values, values), max_size=6),
+    st.lists(values, max_size=3),
+)
+
+# Formula shapes mixing join-evaluable ∃-blocks with connectives the fast
+# path must recurse through, plus shapes that force the fallback.
+formulas = st.sampled_from(
+    [
+        Exists((y,), edge(x, y)),
+        Exists((y, z), And(edge(x, y), edge(y, z))),
+        Exists((y,), And(edge(x, y), Atom("V", (y,)))),
+        Exists((y,), And(edge(x, y), Eq(y, Const("b")))),
+        Exists((y,), Exists((z,), And(edge(x, y), edge(z, y)))),  # nested block
+        Not(Exists((y,), edge(x, y))),
+        Or(Exists((y,), edge(x, y)), Atom("V", (x,))),
+        ForAll((y,), Not(And(edge(x, y), edge(y, x)))),
+        Exists((y,), Or(edge(x, y), edge(y, x))),  # Or inside: fallback
+        Exists((y,), Eq(x, y)),  # y not in any atom: fallback
+        Exists((x,), edge(x, x)),  # shadows the free x
+    ]
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(instance=instances, formula=formulas, value=values)
+def test_join_fast_path_agrees_with_reference(instance, formula, value):
+    assignment = {x: value}
+    fast = evaluate(formula, instance, assignment, joins=True)
+    naive = evaluate(formula, instance, assignment, joins=False)
+    assert fast == naive
+
+
+@settings(max_examples=60, deadline=None)
+@given(instance=instances, formula=formulas)
+def test_query_answers_uses_the_same_semantics(instance, formula):
+    from repro.logic.evaluation import evaluation_domain
+
+    reference_domain = evaluation_domain(instance, formula)
+    fast = query_answers(formula, (x,), instance)
+    naive = {
+        (v,)
+        for v in reference_domain
+        if evaluate(formula, instance, {x: v}, domain=reference_domain)
+    }
+    assert fast == naive
+
+
+def test_explicit_domain_disables_the_fast_path():
+    instance = make_instance({"E": [("a", "b")]})
+    formula = Exists((y,), edge(x, y))
+    # Restricting the domain must restrict witnesses under the reference
+    # semantics — the join (which would find the fact) must not be used.
+    assert evaluate(formula, instance, {x: "a"}) is True
+    assert evaluate(formula, instance, {x: "a"}, domain=["a"]) is False

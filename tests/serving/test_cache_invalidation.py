@@ -1,0 +1,81 @@
+"""Property test: any interleaving of updates and queries serves exactly the
+answers a from-scratch exchange would compute for the current source.
+
+This is the serving layer's end-to-end invariant — it exercises together the
+incremental canonical maintenance (semi-naive additions, support-counted
+retractions, FO-body revocation), the version-keyed cache (a wrong version
+vector would surface as a stale answer), and the core-based evaluation of
+conjunctive queries (a wrong core would change some query's answers).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.certain import certain_answers_positive
+from repro.core.mapping import mapping_from_rules
+from repro.logic.cq import cq
+from repro.logic.terms import Const
+from repro.relational.builders import make_instance
+from repro.serving import ScenarioRegistry
+
+
+def build_mapping():
+    return mapping_from_rules(
+        [
+            "T(x, y) :- R(x, y)",
+            "U(x, z^op) :- R(x, y)",
+            "J(x, w) :- R(x, y) & S(y, w)",
+            "Lone(x, z^op) :- R(x, y) & ~ (exists w . S(y, w))",
+        ],
+        source={"R": 2, "S": 2},
+        target={"T": 2, "U": 2, "J": 2, "Lone": 2},
+    )
+
+
+QUERIES = (
+    cq(["x", "y"], [("T", ["x", "y"])], name="t"),
+    cq(["x"], [("U", ["x", "z"])], name="u"),
+    cq(["x", "w"], [("J", ["x", "w"])], name="j"),
+    cq(["x"], [("Lone", ["x", "z"])], name="lone"),
+    cq(["x"], [("T", ["x", Const("b")])], name="t_b"),
+    cq(["x", "w"], [("T", ["x", "y"]), ("J", ["x", "w"])], name="tj"),
+)
+
+values = st.sampled_from(["a", "b", "c", "d"])
+facts = st.tuples(st.sampled_from(["R", "S"]), st.tuples(values, values))
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.lists(facts, min_size=1, max_size=3)),
+        st.tuples(st.just("retract"), st.lists(facts, min_size=1, max_size=2)),
+        st.tuples(st.just("query"), st.integers(min_value=0, max_value=len(QUERIES) - 1)),
+    ),
+    max_size=12,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    initial=st.lists(facts, max_size=5),
+    ops=operations,
+)
+def test_interleaved_updates_and_queries_match_from_scratch(initial, ops):
+    mapping = build_mapping()
+    registry = ScenarioRegistry()
+    exchange = registry.register(
+        "prop", mapping, make_instance({}), target_dependencies=()
+    )
+    exchange.add_source_facts(initial)
+    for op, payload in ops:
+        if op == "add":
+            exchange.add_source_facts(payload)
+        elif op == "retract":
+            exchange.retract_source_facts(payload)
+        else:
+            query = QUERIES[payload]
+            served = exchange.certain_answers(query)
+            expected = certain_answers_positive(mapping, exchange.source, query)
+            assert served == expected, f"query {query.name} diverged"
+    # Final sweep: every query agrees after the whole interleaving.
+    for query in QUERIES:
+        assert exchange.certain_answers(query) == certain_answers_positive(
+            mapping, exchange.source, query
+        )

@@ -1,0 +1,93 @@
+"""Differential tests: block-based core engine vs the brute-force reference."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.canonical import canonical_solution
+from repro.relational.builders import make_instance
+from repro.relational.domain import fresh_null
+from repro.relational.homomorphism import (
+    core_of,
+    core_of_bruteforce,
+    is_homomorphically_equivalent,
+)
+from repro.relational.instance import Instance
+from repro.serving.core_engine import core_of_delta, core_of_indexed, null_blocks
+from repro.workloads.conference import conference_mapping, conference_source
+from repro.workloads.employees import employee_mapping, employee_source
+from repro.workloads.random_mappings import random_annotated_mapping, random_source
+
+
+def assert_same_core(instance):
+    reference = core_of_bruteforce(instance)
+    for computed in (core_of_indexed(instance), core_of(instance)):
+        assert len(computed) == len(reference)
+        assert is_homomorphically_equivalent(computed, reference)
+        assert instance.contains_instance(computed)
+
+
+def test_core_engines_agree_on_workload_canonical_solutions():
+    for mapping, source in [
+        (conference_mapping(), conference_source(papers=4, seed=1)),
+        (employee_mapping(), employee_source()),
+    ]:
+        assert_same_core(canonical_solution(mapping, source).instance)
+
+
+def test_core_engines_agree_on_random_mappings():
+    for seed in range(6):
+        mapping = random_annotated_mapping(seed=seed)
+        source = random_source(mapping.source, tuples_per_relation=4, seed=seed)
+        assert_same_core(canonical_solution(mapping, source).instance)
+
+
+def test_core_folds_cross_block_targets():
+    # A null block can fold onto another block's facts.
+    n1, n2 = fresh_null("n1"), fresh_null("n2")
+    instance = make_instance({"E": [("a", n1), ("a", n2), (n2, "b")]})
+    assert_same_core(instance)
+    core = core_of_indexed(instance)
+    assert len(core) == 2  # E(a, n1) folds onto E(a, n2)
+
+
+def test_null_blocks_partition_null_facts():
+    n1, n2, n3 = (fresh_null(f"m{i}") for i in range(3))
+    instance = make_instance(
+        {"E": [("a", "b"), (n1, n2), ("c", n2), ("x", n3)]}
+    )
+    blocks = null_blocks(instance)
+    assert sorted(len(b) for b in blocks) == [1, 2]
+    covered = {fact for block in blocks for fact in block}
+    assert covered == {("E", (n1, n2)), ("E", ("c", n2)), ("E", ("x", n3))}
+
+
+def test_core_of_delta_matches_full_recomputation():
+    mapping = employee_mapping()
+    source = employee_source()
+    base = canonical_solution(mapping, source).instance
+    core = core_of_indexed(base)
+    grown = base.copy()
+    extra = [("Office", ("e9", fresh_null("z"))), ("Office", ("e9", "hq"))]
+    for name, tup in extra:
+        grown.add(name, tup)
+    incremental = core_of_delta(core, extra)
+    full = core_of_bruteforce(grown)
+    assert len(incremental) == len(full)
+    assert is_homomorphically_equivalent(incremental, full)
+
+
+nulls = st.sampled_from([fresh_null(f"h{i}") for i in range(3)])
+values = st.one_of(st.sampled_from(["a", "b", "c"]), nulls)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    edges=st.lists(st.tuples(values, values), max_size=6),
+    unary=st.lists(values, max_size=3),
+)
+def test_core_engines_agree_on_random_instances(edges, unary):
+    instance = Instance()
+    for edge in edges:
+        instance.add("E", edge)
+    for value in unary:
+        instance.add("V", (value,))
+    assert_same_core(instance)

@@ -1,0 +1,258 @@
+"""MaterializedExchange: materialization, updates, core, cache, dispatch."""
+
+import pytest
+
+from repro.chase.dependencies import parse_dependencies
+from repro.core.canonical import canonical_solution
+from repro.core.certain import certain_answers, certain_answers_positive
+from repro.core.mapping import mapping_from_rules
+from repro.core.target_constraints import ExchangeSetting, exchange
+from repro.logic.cq import cq
+from repro.logic.queries import Query
+from repro.relational.builders import make_instance
+from repro.relational.homomorphism import is_homomorphically_equivalent
+from repro.serving import MaterializedExchange, ScenarioRegistry, ServingError
+
+
+def employees_mapping():
+    return mapping_from_rules(
+        [
+            "EmpT(e, d) :- Emp(e, d)",
+            "Office(e, z^op) :- Emp(e, d)",
+            "Team(e, p) :- Works(e, p)",
+        ],
+        source={"Emp": 2, "Works": 2},
+        target={"EmpT": 2, "Office": 2, "Team": 2},
+    )
+
+
+def employees_source():
+    return make_instance(
+        {
+            "Emp": [("alice", "d1"), ("bob", "d2")],
+            "Works": [("alice", "p1")],
+        }
+    )
+
+
+def register(mapping=None, source=None, deps=()):
+    registry = ScenarioRegistry()
+    return registry.register(
+        "t", mapping or employees_mapping(), source or employees_source(), deps
+    )
+
+
+def test_initial_materialization_matches_canonical_solution():
+    exchange_ = register()
+    reference = canonical_solution(employees_mapping(), employees_source()).instance
+    assert is_homomorphically_equivalent(exchange_.canonical, reference)
+    assert len(exchange_.canonical) == len(reference)
+
+
+def test_add_source_facts_matches_from_scratch_exchange():
+    exchange_ = register()
+    added = exchange_.add_source_facts(
+        [("Emp", ("carol", "d1")), ("Works", ("carol", "p2"))]
+    )
+    assert added == 2
+    reference = canonical_solution(employees_mapping(), exchange_.source).instance
+    assert is_homomorphically_equivalent(exchange_.target, reference)
+    assert len(exchange_.target) == len(reference)
+    # Duplicates are ignored and leave the state untouched.
+    version_before = exchange_.target.version("EmpT")
+    assert exchange_.add_source_facts([("Emp", ("carol", "d1"))]) == 0
+    assert exchange_.target.version("EmpT") == version_before
+
+
+def test_retract_source_facts_is_exact_support_counting():
+    mapping = mapping_from_rules(
+        ["T(y) :- S(x, y)"], source={"S": 2}, target={"T": 1}
+    )
+    source = make_instance({"S": [("a", "v"), ("b", "v"), ("c", "w")]})
+    exchange_ = register(mapping, source)
+    # T(v) is supported by two triggers: retracting one keeps it.
+    exchange_.retract_source_facts([("S", ("a", "v"))])
+    assert ("T", ("v",)) in exchange_.target
+    exchange_.retract_source_facts([("S", ("b", "v"))])
+    assert ("T", ("v",)) not in exchange_.target
+    assert ("T", ("w",)) in exchange_.target
+    assert exchange_.retract_source_facts([("S", ("zz", "zz"))]) == 0
+
+
+def test_non_monotone_std_bodies_are_revoked_and_restored():
+    mapping = mapping_from_rules(
+        ["Reviews(x, z^op) :- Papers(x, y) & ~ (exists r . Assigned(x, r))"],
+        source={"Papers": 2, "Assigned": 2},
+        target={"Reviews": 2},
+    )
+    source = make_instance({"Papers": [("p1", "t1"), ("p2", "t2")]})
+    exchange_ = register(mapping, source)
+    q = cq(["x"], [("Reviews", ["x", "r"])])
+    assert exchange_.certain_answers(q) == {("p1",), ("p2",)}
+    exchange_.add_source_facts([("Assigned", ("p1", "alice"))])
+    assert exchange_.certain_answers(q) == {("p2",)}
+    exchange_.retract_source_facts([("Assigned", ("p1", "alice"))])
+    assert exchange_.certain_answers(q) == {("p1",), ("p2",)}
+
+
+DEPT_DEPS = [
+    "P(d, y) -> M(y, d)",
+    "D(x, d1) & D(x, d2) -> d1 = d2",
+]
+
+
+def dept_mapping():
+    return mapping_from_rules(
+        ["D(x, z^op), P(z^op, y) :- E(x, y)"],
+        source={"E": 2},
+        target={"D": 2, "P": 2, "M": 2},
+    )
+
+
+def test_target_dependencies_updates_match_reference_exchange():
+    deps = parse_dependencies(DEPT_DEPS)
+    exchange_ = register(
+        dept_mapping(), make_instance({"E": [("a", "b"), ("a", "c")]}), deps
+    )
+    setting = ExchangeSetting(dept_mapping(), deps)
+    assert is_homomorphically_equivalent(
+        exchange_.target, exchange(setting, exchange_.source).instance
+    )
+    exchange_.add_source_facts([("E", ("b", "d")), ("E", ("c", "e"))])
+    assert is_homomorphically_equivalent(
+        exchange_.target, exchange(setting, exchange_.source).instance
+    )
+    exchange_.retract_source_facts([("E", ("a", "b"))])
+    assert is_homomorphically_equivalent(
+        exchange_.target, exchange(setting, exchange_.source).instance
+    )
+
+
+def test_core_is_a_retract_and_tracks_updates():
+    exchange_ = register()
+    core = exchange_.core()
+    assert exchange_.target.contains_instance(core)
+    assert is_homomorphically_equivalent(core, exchange_.target)
+    assert exchange_.core() is core  # cached while the target is unchanged
+    exchange_.add_source_facts([("Emp", ("dave", "d3"))])
+    updated = exchange_.core()
+    assert updated is not core
+    assert exchange_.target.contains_instance(updated)
+    assert is_homomorphically_equivalent(updated, exchange_.target)
+
+
+def test_cache_hits_and_relation_scoped_invalidation():
+    exchange_ = register()
+    q_emp = cq(["e"], [("EmpT", ["e", "d"])])
+    q_team = cq(["e"], [("Team", ["e", "p"])])
+    exchange_.certain_answers(q_emp)
+    exchange_.certain_answers(q_team)
+    exchange_.certain_answers(q_emp)
+    assert exchange_.cache_stats.hits == 1
+    # Works feeds only Team: the EmpT entry must survive the update.
+    exchange_.add_source_facts([("Works", ("bob", "p9"))])
+    assert exchange_.certain_answers(q_emp) == {("alice",), ("bob",)}
+    assert exchange_.cache_stats.hits == 2
+    before_stale = exchange_.cache_stats.stale
+    assert exchange_.certain_answers(q_team) == {("alice",), ("bob",)}
+    assert exchange_.cache_stats.stale == before_stale + 1
+
+
+def test_non_monotone_queries_served_through_deqa():
+    exchange_ = register()
+    query = Query("~ (exists z . Team(x, z))", ("x",), name="idle")
+    expected = certain_answers(employees_mapping(), exchange_.source, query)
+    assert exchange_.certain_answers(query) == expected
+    assert exchange_.certain_answers(query) == expected  # cached
+    assert exchange_.cache_stats.hits == 1
+    exchange_.add_source_facts([("Works", ("bob", "p2"))])
+    assert exchange_.certain_answers(query) == certain_answers(
+        employees_mapping(), exchange_.source, query
+    )
+
+
+def test_non_monotone_queries_rejected_with_target_dependencies():
+    deps = parse_dependencies(DEPT_DEPS)
+    exchange_ = register(dept_mapping(), make_instance({"E": [("a", "b")]}), deps)
+    with pytest.raises(ServingError, match="non-monotone"):
+        exchange_.certain_answers(Query("~ (exists y . M(x, y))", ("x",)))
+
+
+def test_monotone_answers_match_certain_answers_positive():
+    exchange_ = register()
+    queries = [
+        cq(["e"], [("EmpT", ["e", "d"])]),
+        cq(["e", "p"], [("Team", ["e", "p"])]),
+        cq(["e"], [("Office", ["e", "z"])]),
+    ]
+    for q in queries:
+        assert exchange_.certain_answers(q) == certain_answers_positive(
+            employees_mapping(), exchange_.source, q
+        )
+
+
+def test_failing_egd_surfaces_as_serving_error():
+    deps = parse_dependencies(["T(x, d1) & T(y, d2) -> d1 = d2"])
+    mapping = mapping_from_rules(
+        ["T(x, y) :- S(x, y)"], source={"S": 2}, target={"T": 2}
+    )
+    registry = ScenarioRegistry()
+    with pytest.raises(ServingError, match="no solution"):
+        registry.register(
+            "bad", mapping, make_instance({"S": [("a", "1"), ("b", "2")]}), deps
+        )
+
+
+def test_version_continuity_across_target_rebinds():
+    # Regression: chase results are fresh Instance copies whose version
+    # counters restart at zero; a retract + add cycle must not produce a
+    # version vector colliding with one cached before the updates.
+    mapping = mapping_from_rules(
+        ["R(x) :- S(x)"], source={"S": 1}, target={"R": 1, "T": 1}
+    )
+    deps = parse_dependencies(["R(x) -> T(x)"])
+    exchange_ = register(mapping, make_instance({"S": [("a",)]}), deps)
+    q = cq(["x"], [("R", ["x"])])
+    assert exchange_.certain_answers(q) == {("a",)}
+    exchange_.retract_source_facts([("S", ("a",))])
+    exchange_.add_source_facts([("S", ("b",))])
+    assert exchange_.certain_answers(q) == {("b",)}
+    assert exchange_.core().relation("T") == {("b",)}
+
+
+def test_untouched_relations_stay_cached_across_target_rebinds():
+    mapping = mapping_from_rules(
+        ["R(x) :- S(x)", "U(y) :- W(y)"],
+        source={"S": 1, "W": 1},
+        target={"R": 1, "T": 1, "U": 1},
+    )
+    deps = parse_dependencies(["R(x) -> T(x)"])
+    exchange_ = register(
+        mapping, make_instance({"S": [("a",)], "W": [("w",)]}), deps
+    )
+    q_u = cq(["y"], [("U", ["y"])])
+    assert exchange_.certain_answers(q_u) == {("w",)}
+    # The seeded-chase rebind after this addition touches only R/T.
+    exchange_.add_source_facts([("S", ("b",))])
+    assert exchange_.certain_answers(q_u) == {("w",)}
+    assert exchange_.cache_stats.hits == 1 and exchange_.cache_stats.stale == 0
+
+
+def test_failed_update_rolls_back_to_the_pre_update_state():
+    # Regression: a chase failure mid-update must not leave the exchange
+    # half-applied and serving answers for a scenario with no solution.
+    mapping = mapping_from_rules(
+        ["D(x, d) :- S(x, d)"], source={"S": 2}, target={"D": 2}
+    )
+    deps = parse_dependencies(["D(x, d1) & D(x, d2) -> d1 = d2"])
+    exchange_ = register(mapping, make_instance({"S": [("a", "1")]}), deps)
+    q = cq(["x", "d"], [("D", ["x", "d"])])
+    assert exchange_.certain_answers(q) == {("a", "1")}
+    with pytest.raises(ServingError, match="no solution"):
+        exchange_.add_source_facts([("S", ("a", "2"))])
+    assert ("S", ("a", "2")) not in exchange_.source
+    assert exchange_.certain_answers(q) == {("a", "1")}
+    assert exchange_.core().relation("D") == {("a", "1")}
+    # The exchange keeps working after the rejected update.
+    exchange_.add_source_facts([("S", ("b", "2"))])
+    assert exchange_.certain_answers(q) == {("a", "1"), ("b", "2")}

@@ -1,0 +1,95 @@
+"""Scenario registry and mapping compilation."""
+
+import pytest
+
+from repro.chase.dependencies import parse_dependencies
+from repro.core.mapping import mapping_from_rules
+from repro.relational.builders import make_instance
+from repro.serving import ScenarioRegistry, compile_mapping
+
+
+def simple_mapping():
+    return mapping_from_rules(
+        [
+            "T(x, y) :- S(x, y)",
+            "U(x, z^op) :- S(x, y)",
+            "W(x) :- S(x, y) & ~ (exists r . B(x, r))",
+        ],
+        source={"S": 2, "B": 2},
+        target={"T": 2, "U": 2, "W": 1},
+    )
+
+
+def test_compile_analyses_bodies_and_plan():
+    compiled = compile_mapping(simple_mapping())
+    assert [c.incremental for c in compiled.stds] == [True, True, False]
+    assert compiled.trigger_plan["S"] == (0, 1, 2)
+    assert compiled.trigger_plan["B"] == (2,)
+    assert [c.index for c in compiled.listeners(["B"])] == [2]
+    assert [c.index for c in compiled.listeners(["S", "B"])] == [0, 1, 2]
+    # Skolemization happened at compile time: one function per existential.
+    assert {name for name, _ in compiled.skolem.functions()} == {"f_1_z"}
+
+
+def test_compile_rejects_non_weakly_acyclic_target_tgds():
+    deps = parse_dependencies(["T(x, y) -> exists z . T(y, z)"])
+    with pytest.raises(ValueError, match="weakly acyclic"):
+        compile_mapping(simple_mapping(), deps)
+
+
+def test_registry_shares_compilations_and_names_scenarios():
+    mapping = simple_mapping()
+    registry = ScenarioRegistry()
+    a = registry.register("a", mapping, make_instance({"S": [("1", "2")]}))
+    b = registry.register("b", mapping, make_instance({"S": [("3", "4")]}))
+    assert a.compiled is b.compiled
+    assert registry.names() == ["a", "b"]
+    assert registry.get("a") is a
+    assert "a" in registry and "missing" not in registry
+    assert len(registry) == 2
+    assert list(registry) == [a, b]
+
+
+def test_registry_rejects_duplicate_names_and_unknown_lookups():
+    registry = ScenarioRegistry()
+    registry.register("dup", simple_mapping(), make_instance({}))
+    with pytest.raises(ValueError, match="already registered"):
+        registry.register("dup", simple_mapping(), make_instance({}))
+    with pytest.raises(KeyError, match="no scenario"):
+        registry.get("missing")
+    registry.deregister("dup")
+    assert "dup" not in registry
+
+
+def test_registered_exchange_owns_a_copy_of_the_source():
+    source = make_instance({"S": [("1", "2")]})
+    registry = ScenarioRegistry()
+    exchange = registry.register("own", simple_mapping(), source)
+    source.add("S", ("3", "4"))  # mutating the original must not leak in
+    assert ("S", ("3", "4")) not in exchange.source
+    assert len(exchange.target.relation("T")) == 1
+
+
+def test_registry_evicts_compilations_with_their_scenarios():
+    from repro.serving import ServingError
+
+    registry = ScenarioRegistry()
+    mapping = simple_mapping()
+    registry.register("a", mapping, make_instance({}))
+    registry.register("b", mapping, make_instance({}))
+    assert len(registry._compilations) == 1
+    registry.deregister("a")
+    assert len(registry._compilations) == 1  # still used by "b"
+    registry.deregister("b")
+    assert len(registry._compilations) == 0
+
+    # A failed registration (egd conflict at materialization) pins nothing.
+    egd_mapping = mapping_from_rules(
+        ["T(x, y) :- S(x, y)"], source={"S": 2}, target={"T": 2}
+    )
+    deps = parse_dependencies(["T(x, d1) & T(y, d2) -> d1 = d2"])
+    with pytest.raises(ServingError):
+        registry.register(
+            "bad", egd_mapping, make_instance({"S": [("a", "1"), ("b", "2")]}), deps
+        )
+    assert len(registry._compilations) == 0
