@@ -1,0 +1,190 @@
+"""EXP-RETRACT — delete-and-rederive vs re-chase-per-delete.
+
+PR 2 made additions incremental but left every deletion on a cliff: with
+target dependencies, ``retract_source_facts`` re-chased the whole target
+layer from the repaired canonical layer.  This benchmark replays the
+:func:`repro.workloads.churn.churn_workload` stream (~560 source tuples, 24
+interleaved retract/add batches, including retract-then-re-add) in two ways:
+
+* **baseline** — re-chase per delete: every retraction batch repairs the
+  canonical layer (support counts, already cheap) but rebuilds the chased
+  target from scratch — exactly what the serving layer did before
+  delete-and-rederive, reproduced by forcing the retraction entry point onto
+  its replay fallback;
+* **DRed** — retractions repair the target in place through the derivation
+  provenance (over-delete + re-derive), additions extend it with the
+  delta-seeded chase.
+
+Asserts the ISSUE acceptance bar: the DRed update loop is ≥ 5× faster than
+re-chase-per-delete on the same stream (measured ~16× loop-level, ~25× on
+the retractions alone), never falls back to a full chase (the workload's
+target dependencies are tgd-only, so every batch is on the happy path), and
+produces a target homomorphically equivalent to the baseline's after every
+batch — the forced-replay path is the differential oracle.
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink the sizes (CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import record
+from repro.chase.incremental import RetractionResult
+from repro.relational.homomorphism import is_homomorphically_equivalent
+from repro.relational.instance import Instance
+from repro.serving import ScenarioRegistry, materialized
+from repro.workloads.churn import churn_workload
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+WORKLOAD_KWARGS = (
+    dict(employees=200, squads=30, departments=15, batches=10, batch_size=5)
+    if QUICK
+    else dict(employees=500, squads=60, departments=25, batches=24, batch_size=6)
+)
+
+
+def _register(workload, name):
+    registry = ScenarioRegistry()
+    return registry.register(
+        name, workload.mapping, workload.source, workload.target_dependencies
+    )
+
+
+def _force_rechase_per_delete():
+    """Swap the retraction entry point for an immediate replay verdict.
+
+    ``retract_source_facts`` then runs resync + full chase + rebind — the
+    pre-DRed code path, byte for byte.  Returns the undo closure.
+    """
+    original = materialized.retract_incremental
+    materialized.retract_incremental = (
+        lambda instance, *args, **kwargs: RetractionResult(
+            instance, replay_required=True
+        )
+    )
+
+    def undo():
+        materialized.retract_incremental = original
+
+    return undo
+
+
+def _replay(exchange, operations, snapshots: bool = False):
+    """Run the update stream; optionally freeze the target after every batch."""
+    frozen = []
+    for op, facts in operations:
+        if op == "add":
+            exchange.add_source_facts(facts)
+        else:
+            exchange.retract_source_facts(facts)
+        if snapshots:
+            frozen.append(exchange.target.freeze())
+    return frozen
+
+
+def _thaw(frozen) -> Instance:
+    instance = Instance()
+    for name, tup in frozen:
+        instance.add(name, tup)
+    return instance
+
+
+def test_dred_at_least_5x_faster_than_rechase_and_equivalent(benchmark):
+    """The ISSUE acceptance bar: ≥5× over re-chase-per-delete, same targets."""
+    workload = churn_workload(**WORKLOAD_KWARGS)
+
+    # Untimed differential pass first: after every batch the two paths must
+    # produce homomorphically equivalent targets (fresh nulls differ), and
+    # the DRed path must stay off the full-chase fallback throughout.
+    undo = _force_rechase_per_delete()
+    try:
+        oracle = _replay(_register(workload, "oracle"), workload.operations, snapshots=True)
+    finally:
+        undo()
+    checked = _register(workload, "checked")
+    full_chases = []
+    original_full_chase = checked._full_chase
+    checked._full_chase = lambda canonical: (
+        full_chases.append(1),
+        original_full_chase(canonical),
+    )[1]
+    ours = _replay(checked, workload.operations, snapshots=True)
+    assert not full_chases, f"{len(full_chases)} full re-chases on the happy path"
+    assert len(ours) == len(oracle)
+    for mine, reference in zip(ours, oracle):
+        assert is_homomorphically_equivalent(_thaw(mine), _thaw(reference))
+
+    # Timed passes: registration is identical setup for both, so only the
+    # update loop is measured.
+    undo = _force_rechase_per_delete()
+    try:
+        baseline_exchange = _register(workload, "baseline")
+        start = time.perf_counter()
+        _replay(baseline_exchange, workload.operations)
+        baseline_seconds = time.perf_counter() - start
+    finally:
+        undo()
+
+    benchmark.pedantic(
+        lambda exchange: _replay(exchange, workload.operations),
+        setup=lambda: ((_register(workload, "dred"),), {}),
+        rounds=3,
+        iterations=1,
+    )
+    dred_seconds = benchmark.stats.stats.mean
+
+    speedup = baseline_seconds / dred_seconds
+    retractions = sum(1 for op, _ in workload.operations if op == "retract")
+    record(
+        benchmark,
+        experiment="EXP-RETRACT",
+        family="churn",
+        source_tuples=len(workload.source),
+        target_tuples=len(checked.target),
+        batches=len(workload.operations),
+        retraction_batches=retractions,
+        baseline_seconds=round(baseline_seconds, 4),
+        speedup=round(speedup, 1),
+    )
+    assert speedup >= 5.0, (
+        f"delete-and-rederive only {speedup:.1f}x faster than re-chase-per-delete "
+        f"({baseline_seconds:.3f}s vs {dred_seconds:.3f}s)"
+    )
+
+
+def test_repaired_core_matches_full_recomputation_after_churn(benchmark):
+    """The block-local core repair under removals equals a from-scratch core."""
+    from repro.relational.homomorphism import core_of_bruteforce
+    from repro.serving.core_engine import core_of_indexed
+
+    workload = churn_workload(
+        employees=60, squads=10, departments=8, batches=6, batch_size=4, seed=5
+    )
+    exchange = _register(workload, "core-churn")
+    exchange.core()  # prime the cache so every later core() call is a repair
+
+    def churn_and_repair():
+        for op, facts in workload.operations:
+            if op == "add":
+                exchange.add_source_facts(facts)
+            else:
+                exchange.retract_source_facts(facts)
+            exchange.core()
+        return exchange.core()
+
+    repaired = benchmark.pedantic(churn_and_repair, rounds=1, iterations=1)
+    recomputed = core_of_indexed(exchange.target)
+    assert len(repaired) == len(recomputed)
+    assert len(repaired) == len(core_of_bruteforce(exchange.target))
+    assert exchange.target.contains_instance(repaired)
+    assert is_homomorphically_equivalent(repaired, exchange.target)
+    record(
+        benchmark,
+        experiment="EXP-RETRACT",
+        family="core-repair",
+        target_tuples=len(exchange.target),
+        core_tuples=len(repaired),
+    )

@@ -13,6 +13,12 @@ chase engines over instances with labelled nulls:
   worklist engine, which seeds triggers once and afterwards only re-derives
   triggers touching newly added or rewritten tuples.
 
+For long-lived chase results, :class:`repro.chase.incremental.ChaseProvenance`
+records per-step derivations and :func:`repro.chase.incremental.retract_incremental`
+repairs the instance in place after base-fact withdrawals (delete-and-rederive),
+so maintained materializations never re-chase on deletes unless an egd merge
+is entangled.
+
 Picking an engine
 -----------------
 Use :func:`run_chase` (or ``engine="incremental"`` call sites) everywhere
@@ -25,7 +31,12 @@ documentation of the textbook algorithm.
 from repro.chase.dependencies import EGD, TGD, parse_egd, parse_tgd
 from repro.chase.weak_acyclicity import dependency_graph, is_weakly_acyclic
 from repro.chase.engine import ChaseFailure, ChaseResult, ChaseStep, chase
-from repro.chase.incremental import chase_incremental
+from repro.chase.incremental import (
+    ChaseProvenance,
+    RetractionResult,
+    chase_incremental,
+    retract_incremental,
+)
 
 from typing import Iterable
 
@@ -60,6 +71,9 @@ __all__ = [
     "is_weakly_acyclic",
     "chase",
     "chase_incremental",
+    "retract_incremental",
+    "ChaseProvenance",
+    "RetractionResult",
     "run_chase",
     "ENGINES",
     "ChaseResult",

@@ -64,7 +64,7 @@ def _atom_candidates(
     or already-assigned variable) and returns the smallest bucket; falls back
     to the full relation when no position is bound.
     """
-    best = instance.relation(atom.relation)
+    best = instance._tuples(atom.relation)
     for position, term in enumerate(atom.terms):
         if isinstance(term, Const):
             value = term.value
@@ -74,7 +74,7 @@ def _atom_candidates(
             value = assignment[term]
         else:
             raise TypeError(f"function term {term!r} not allowed in CQ atoms")
-        bucket = instance.lookup(atom.relation, position, value)
+        bucket = instance._bucket(atom.relation, position, value)
         if len(bucket) < len(best):
             best = bucket
             if not best:
@@ -170,7 +170,7 @@ def match_atoms_delta(
     atoms = list(atoms)
     delta_by_rel: dict[str, set[tuple]] = {}
     for name, tup in delta:
-        if tuple(tup) in instance.relation(name):
+        if (name, tuple(tup)) in instance:
             delta_by_rel.setdefault(name, set()).add(tuple(tup))
     if not delta_by_rel:
         return

@@ -115,7 +115,7 @@ def _eval(
         return False
     if isinstance(formula, Atom):
         values = tuple(_eval_term(t, assignment, functions) for t in formula.terms)
-        return values in instance.relation(formula.relation)
+        return (formula.relation, values) in instance
     if isinstance(formula, Eq):
         return _eval_term(formula.left, assignment, functions) == _eval_term(
             formula.right, assignment, functions

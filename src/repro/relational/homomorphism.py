@@ -52,13 +52,13 @@ def _fact_candidates(
     target: Instance, name: str, tup: tuple, mapping: dict[Null, Any]
 ) -> set[tuple]:
     """The cheapest index bucket of target facts that could host ``tup``'s image."""
-    best = target.relation(name)
+    best = target._tuples(name)
     for position, value in enumerate(tup):
         if is_null(value):
             if value not in mapping:
                 continue
             value = mapping[value]
-        bucket = target.lookup(name, position, value)
+        bucket = target._bucket(name, position, value)
         if len(bucket) < len(best):
             best = bucket
             if not best:

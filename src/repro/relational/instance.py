@@ -21,10 +21,93 @@ index-aware join in :mod:`repro.logic.cq` and the delta-driven chase in
 
 from __future__ import annotations
 
+from collections.abc import Mapping as MappingABC, Set as SetABC
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.relational.domain import Null, is_null
 from repro.relational.schema import Schema
+
+_EMPTY: frozenset = frozenset()
+
+
+class RelationView(SetABC):
+    """A read-only, *live* view of one of an instance's internal tuple sets.
+
+    The public accessors :meth:`Instance.relation` and :meth:`Instance.lookup`
+    hand these out instead of the underlying mutable sets: a caller holding a
+    view sees mutations made through the instance's own API, but cannot
+    ``add``/``discard`` behind the instance's back — which would silently
+    desynchronise the position indexes and the per-relation version counters
+    (and with them every version-vector-guarded cache).  The view re-resolves
+    the underlying set on every access, so it stays live even across a
+    relation (or index bucket) draining empty and being repopulated — the
+    instance deletes and recreates the backing set objects in that cycle.
+    Set operators (``|``, ``&``, ``-``, comparisons) work and return plain
+    ``set`` objects.
+    """
+
+    __slots__ = ("_resolve",)
+
+    def __init__(self, resolve: Callable[[], SetABC]):
+        self._resolve = resolve
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._resolve()
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._resolve())
+
+    def __len__(self) -> int:
+        return len(self._resolve())
+
+    @classmethod
+    def _from_iterable(cls, iterable: Iterable) -> set:
+        # Set-algebra results are detached plain sets, not live views.
+        return set(iterable)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RelationView({set(self._resolve())!r})"
+
+
+class IndexView(MappingABC):
+    """A read-only, live view of one per-(relation, position) hash index.
+
+    Maps each value to a :class:`RelationView` of the tuples carrying it at
+    the indexed position (resolved live, like the relation views); see
+    :meth:`Instance.index`.
+    """
+
+    __slots__ = ("_instance", "_relation", "_position")
+
+    def __init__(self, instance: "Instance", relation: str, position: int):
+        self._instance = instance
+        self._relation = relation
+        self._position = position
+
+    def _buckets(self) -> dict[Any, set[tuple]]:
+        return self._instance._index(self._relation, self._position)
+
+    def __getitem__(self, value: Any) -> RelationView:
+        if value not in self._buckets():
+            raise KeyError(value)
+        return self._instance.lookup(self._relation, self._position, value)
+
+    def get(self, value: Any, default: Any = None) -> Any:
+        if value not in self._buckets():
+            return default
+        return self._instance.lookup(self._relation, self._position, value)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._buckets()
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._buckets())
+
+    def __len__(self) -> int:
+        return len(self._buckets())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IndexView({self._buckets()!r})"
 
 
 class Instance:
@@ -107,9 +190,23 @@ class Instance:
 
     # -- access -----------------------------------------------------------
 
-    def relation(self, name: str) -> set[tuple]:
-        """Return the set of tuples of ``name`` (empty set if absent)."""
-        return self._relations.get(name, set())
+    def relation(self, name: str) -> RelationView:
+        """A read-only live view of the tuples of ``name`` (empty if absent).
+
+        The view tracks subsequent mutations made through the instance's API
+        (including a relation draining empty and being repopulated); mutating
+        the view itself is impossible (snapshot with ``set(view)`` if a
+        detached mutable copy is needed).
+        """
+        return RelationView(lambda: self._relations.get(name, _EMPTY))
+
+    def _tuples(self, name: str) -> set[tuple] | frozenset:
+        """The internal tuple set of ``name`` — for trusted read-only hot paths.
+
+        Callers must not mutate the result; the join and chase inner loops use
+        this instead of :meth:`relation` to avoid a view allocation per probe.
+        """
+        return self._relations.get(name, _EMPTY)
 
     def relation_names(self) -> list[str]:
         return [name for name, tuples in self._relations.items() if tuples]
@@ -120,12 +217,12 @@ class Instance:
             for t in tuples:
                 yield name, t
 
-    def __getitem__(self, name: str) -> set[tuple]:
+    def __getitem__(self, name: str) -> RelationView:
         return self.relation(name)
 
     def __contains__(self, fact: tuple[str, tuple]) -> bool:
         name, tup = fact
-        return tuple(tup) in self._relations.get(name, set())
+        return tuple(tup) in self._relations.get(name, _EMPTY)
 
     def __len__(self) -> int:
         """Number of tuples in the instance (the paper's ``‖I‖``)."""
@@ -148,13 +245,18 @@ class Instance:
         """
         return self._versions.get(relation, 0)
 
-    def index(self, relation: str, position: int) -> Mapping[Any, set[tuple]]:
+    def index(self, relation: str, position: int) -> IndexView:
         """The hash index ``value -> tuples`` of ``relation`` at ``position``.
 
         Built on first request (one scan of the relation) and maintained
-        incrementally afterwards.  Callers must treat the result as
-        read-only; tuples shorter than ``position + 1`` are skipped.
+        incrementally afterwards.  The result is a read-only live view
+        (mutating it would desynchronise the index from the primary tuple
+        sets); tuples shorter than ``position + 1`` are skipped.
         """
+        return IndexView(self, relation, position)
+
+    def _index(self, relation: str, position: int) -> dict[Any, set[tuple]]:
+        """The raw (mutable) index buckets — internal maintenance use only."""
         positions = self._indexes.setdefault(relation, {})
         buckets = positions.get(position)
         if buckets is None:
@@ -165,9 +267,16 @@ class Instance:
             positions[position] = buckets
         return buckets
 
-    def lookup(self, relation: str, position: int, value: Any) -> set[tuple]:
-        """Tuples of ``relation`` whose ``position``-th component is ``value``."""
-        return self.index(relation, position).get(value, set())
+    def lookup(self, relation: str, position: int, value: Any) -> RelationView:
+        """Tuples of ``relation`` whose ``position``-th component is ``value``.
+
+        Read-only live view, like :meth:`relation`.
+        """
+        return RelationView(lambda: self._bucket(relation, position, value))
+
+    def _bucket(self, relation: str, position: int, value: Any) -> set[tuple] | frozenset:
+        """Raw index bucket for trusted read-only hot paths (see :meth:`_tuples`)."""
+        return self._index(relation, position).get(value, _EMPTY)
 
     def substitute_value(self, old: Any, new: Any) -> list[tuple[str, tuple, tuple]]:
         """Replace ``old`` by ``new`` in every tuple, in place.
@@ -190,7 +299,7 @@ class Instance:
             arity = max(len(t) for t in tuples)
             affected: set[tuple] = set()
             for position in range(arity):
-                affected |= self.index(name, position).get(old, set())
+                affected |= self._bucket(name, position, old)
             for tup in affected:
                 new_tup = tuple(new if v == old else v for v in tup)
                 self.discard(name, tup)

@@ -9,8 +9,9 @@ async serving, alternative backends) plugs into:
 * :mod:`repro.serving.materialized` — the per-scenario materialization:
   canonical layer with per-trigger support counts, chased target, lazily
   maintained core, and the ``add_source_facts``/``retract_source_facts``
-  update API driven by semi-naive matching and the delta-seeded worklist
-  chase;
+  update API driven by semi-naive matching, the delta-seeded worklist chase,
+  and delete-and-rederive retraction over the maintained derivation
+  provenance;
 * :mod:`repro.serving.core_engine` — greedy block-based core computation with
   candidates pruned through the instance position indexes (replacing the
   brute-force retraction search on the serving path);
@@ -35,7 +36,7 @@ from repro.serving.cache import (
     query_fingerprint,
     version_vector,
 )
-from repro.serving.core_engine import core_of_indexed, null_blocks
+from repro.serving.core_engine import core_of_delta, core_of_indexed, null_blocks
 from repro.serving.materialized import MaterializedExchange, ServingError
 from repro.serving.registry import (
     CompiledMapping,
@@ -49,6 +50,7 @@ __all__ = [
     "CertainAnswerCache",
     "query_fingerprint",
     "version_vector",
+    "core_of_delta",
     "core_of_indexed",
     "null_blocks",
     "MaterializedExchange",

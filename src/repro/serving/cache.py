@@ -48,6 +48,7 @@ class CacheStats:
     misses: int = 0
     stale: int = 0
     stores: int = 0
+    evictions: int = 0
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -67,16 +68,29 @@ class CertainAnswerCache:
     are O(dictionary lookup + version comparison); a mutation of any relation
     in the entry's version vector turns the next lookup into a stale miss that
     the caller repairs with :meth:`put`.
+
+    ``capacity`` bounds the entry count for long-lived services whose query
+    fingerprints never repeat (ad-hoc queries would otherwise accumulate
+    forever): on overflow the least-recently-*used* entry is evicted (every
+    hit refreshes recency, a :meth:`put` counts as a use) and
+    ``stats.evictions`` is bumped.  ``capacity=None`` keeps the cache
+    unbounded, which is appropriate for fixed query pools.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("cache capacity must be at least 1 (or None)")
+        self.capacity = capacity
+        # dict iteration order doubles as the LRU order: least recently used
+        # first, refreshed by delete-and-reinsert on every hit and store.
         self._entries: dict[tuple[str, str], _Entry] = {}
         self.stats = CacheStats()
 
     def get(
         self, fingerprint: str, semantics: str, versions: VersionVector
     ) -> Optional[frozenset]:
-        entry = self._entries.get((fingerprint, semantics))
+        key = (fingerprint, semantics)
+        entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
             return None
@@ -84,6 +98,8 @@ class CertainAnswerCache:
             self.stats.stale += 1
             self.stats.misses += 1
             return None
+        del self._entries[key]
+        self._entries[key] = entry
         self.stats.hits += 1
         return entry.answers
 
@@ -95,12 +111,23 @@ class CertainAnswerCache:
         answers: Iterable[tuple],
     ) -> frozenset:
         frozen = frozenset(answers)
-        self._entries[(fingerprint, semantics)] = _Entry(versions, frozen)
+        key = (fingerprint, semantics)
+        self._entries.pop(key, None)
+        self._entries[key] = _Entry(versions, frozen)
         self.stats.stores += 1
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+            self.stats.evictions += 1
         return frozen
 
     def invalidate_all(self) -> None:
-        """Drop every entry (used when a materialization is rebuilt wholesale)."""
+        """Drop every entry (used when a materialization is rolled back wholesale).
+
+        Wired into :meth:`MaterializedExchange._undo_source_update`: after a
+        rejected update the version counters of touched-then-restored
+        relations are not guaranteed continuous with the cached vectors, so
+        the rollback clears the cache instead of auditing them.
+        """
         self._entries.clear()
 
     def __len__(self) -> int:

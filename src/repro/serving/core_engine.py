@@ -129,32 +129,120 @@ def _fold_blocks(current: Instance, blocks: Iterable[list[tuple[str, tuple]]]) -
                 current.add(name, tup)
 
 
-def core_of_delta(
-    core: Instance, added_facts: Iterable[tuple[str, tuple]]
-) -> Instance:
-    """Update a core after *pure additions* to the instance it was computed from.
+def _added_nulls_entangled(
+    added: list[tuple[str, tuple]], core: Instance, target: Instance | None
+) -> bool:
+    """Does an added fact reuse a null the old instance already contained?
 
-    ``core`` must be the core of some instance ``T`` and ``added_facts`` the
-    facts added to ``T`` since — nothing removed, no values rewritten (the
-    caller falls back to :func:`core_of_indexed` otherwise, e.g. after a
-    retraction or an egd substitution).  ``core ∪ added`` is homomorphically
-    equivalent to the grown instance (extend the old retraction by the
-    identity on the added facts), so its core is *the* core; and because a
-    homomorphism maps facts relation-wise, a block none of whose facts lies in
-    a relation that gained facts has exactly the fold options it had before —
-    it was unfoldable then and stays unfoldable now.  Only blocks touching a
-    gained relation (including blocks formed by the added facts themselves)
-    are re-folded.
+    The addition-only repair extends the old retraction by the identity on
+    the added facts — inconsistent if an added fact mentions a null the old
+    retraction may have mapped elsewhere (i.e. one that occurs in the current
+    target beyond the added facts themselves but not in the cached core,
+    hence was folded away).  Detectable only when ``target`` is supplied;
+    without it the caller guarantees added nulls are fresh (the serving
+    layer's chase mints fresh nulls, and justification nulls are reused only
+    after their facts left the target entirely).
+    """
+    if target is None:
+        return False
+    added_set = set(added)
+    core_nulls = core.nulls()
+    suspects = {
+        value
+        for _name, tup in added
+        for value in tup
+        if is_null(value) and value not in core_nulls
+    }
+    if not suspects:
+        return False
+    return any(
+        any(value in suspects for value in tup)
+        for name, tup in target.facts()
+        if (name, tup) not in added_set
+    )
+
+
+def core_of_delta(
+    core: Instance,
+    added_facts: Iterable[tuple[str, tuple]],
+    removed_facts: Iterable[tuple[str, tuple]] = (),
+    target: Instance | None = None,
+) -> Instance:
+    """Update a cached core after additions and removals, re-folding locally.
+
+    ``core`` must be the core of some instance ``T``; ``added_facts`` and
+    ``removed_facts`` the net changes turning ``T`` into the *current* target
+    ``target`` (required whenever something was removed; values must not have
+    been rewritten by an egd in between — the caller falls back to
+    :func:`core_of_indexed` for that).
+
+    **Additions only** (the PR 2 contract, unchanged): ``core ∪ added`` is
+    homomorphically equivalent to the grown instance (extend the old
+    retraction by the identity on the added facts), so its core is *the*
+    core; and because a homomorphism maps facts relation-wise, a block none
+    of whose facts lies in a relation that gained facts has exactly the fold
+    options it had before — it was unfoldable then and stays unfoldable now.
+    Only blocks touching a gained relation (including blocks formed by the
+    added facts themselves) are re-folded.
+
+    **With removals** the locality argument needs two refinements.  A block
+    is *touched* when any of its facts lies in a relation that gained or lost
+    facts: a fold maps every fact into its own relation, so an untouched
+    block kept both its fold candidates (nothing its relations could fold
+    into was removed) and its unfoldability certificate (nothing was added
+    they could newly fold into).  Touched blocks are restored to their full
+    current-target fact set first — a removal may have invalidated exactly
+    the fold that justified dropping a fact, in which case the previously
+    folded-away facts must come back — and then re-folded.  Finally, restored
+    or added facts that *survive* the re-fold are new core members that
+    earlier fold passes never saw, so blocks in their relations get one more
+    fold pass (folding only ever shrinks the instance, so the pass cannot
+    create new fold opportunities for facts already tried — the single-try
+    persistence argument of :func:`core_of_indexed` applies unchanged).
     """
     current = core.copy()
-    delta = [(name, tuple(tup)) for name, tup in added_facts]
-    for name, tup in delta:
-        current.add(name, tup)
-    touched = {name for name, _ in delta}
-    blocks = [
+    added = [(name, tuple(tup)) for name, tup in added_facts]
+    removed = [(name, tuple(tup)) for name, tup in removed_facts]
+    if not removed and not _added_nulls_entangled(added, core, target):
+        for name, tup in added:
+            current.add(name, tup)
+        touched_relations = {name for name, _ in added}
+        blocks = [
+            block
+            for block in null_blocks(current)
+            if any(name in touched_relations for name, _ in block)
+        ]
+        _fold_blocks(current, blocks)
+        return current
+
+    if target is None:
+        raise ValueError("core_of_delta needs the current target to repair removals")
+    old_core = set(core.facts())
+    changed_relations = {name for name, _ in added} | {name for name, _ in removed}
+    for fact in [f for f in current.facts() if f not in target]:
+        current.discard(*fact)
+    for fact in added:
+        if fact in target:  # a later batch may have removed an earlier addition
+            current.add(*fact)
+    touched = [
         block
-        for block in null_blocks(current)
-        if any(name in touched for name, _ in block)
+        for block in null_blocks(target)
+        if any(name in changed_relations for name, _ in block)
     ]
-    _fold_blocks(current, blocks)
+    restored: set[tuple[str, tuple]] = set()
+    for block in touched:
+        for fact in block:
+            current.add(*fact)
+            restored.add(fact)
+    _fold_blocks(current, touched)
+    # Minimality pass: survivors outside the old core are fresh fold targets.
+    extra = {name for name, tup in current.facts() if (name, tup) not in old_core}
+    if extra:
+        again = [
+            block
+            for block in null_blocks(current)
+            if block[0] not in restored
+            and any(name in extra for name, _ in block)
+        ]
+        _fold_blocks(current, again)
     return current

@@ -26,9 +26,15 @@ compiled trigger plan — semi-naive matching
 with diffing for non-monotone FO bodies (where additions may also *revoke*
 triggers) — and then extends the target chase with the delta-seeded worklist
 engine instead of re-chasing from scratch.  ``retract_source_facts``
-re-evaluates the affected STDs, drops unsupported canonical facts, and — only
-when target dependencies exist, whose chase is not incrementally retractable —
-re-chases the target layer from the maintained canonical layer.
+re-evaluates the affected STDs, drops unsupported canonical facts, and —
+when target dependencies exist — repairs the chased layer in place by
+delete-and-rederive (:func:`repro.chase.incremental.retract_incremental`)
+over the maintained :class:`~repro.chase.incremental.ChaseProvenance`;
+only a retraction entangled with an egd merge falls back to a full
+re-chase.  The cached core follows the same philosophy: additions *and*
+removals are repaired block-locally by
+:func:`~repro.serving.core_engine.core_of_delta`, with full recomputation
+reserved for egd rewrites.
 """
 
 from __future__ import annotations
@@ -36,10 +42,19 @@ from __future__ import annotations
 from typing import Any, Iterable, Mapping, Optional
 
 from repro.chase.engine import ChaseFailure
-from repro.chase.incremental import chase_incremental
+from repro.chase.incremental import (
+    ChaseProvenance,
+    chase_incremental,
+    retract_incremental,
+)
 from repro.core.canonical import Justification, head_value
 from repro.core.certain import AnyQuery, _as_query, certain_answers, certain_answers_naive
-from repro.logic.cq import ConjunctiveQuery, UnionOfConjunctiveQueries, match_atoms_delta
+from repro.logic.cq import (
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    match_atoms,
+    match_atoms_delta,
+)
 from repro.logic.formulas import relations_of
 from repro.logic.queries import Query
 from repro.logic.terms import Var
@@ -72,6 +87,7 @@ class MaterializedExchange:
         compiled: CompiledMapping,
         source: Instance,
         max_chase_steps: int | None = None,
+        cache_capacity: int | None = None,
     ):
         self.name = name
         self.compiled = compiled
@@ -87,13 +103,17 @@ class MaterializedExchange:
         self._assignments: dict[int, dict[TriggerKey, dict[Var, Any]]] = {
             cstd.index: {} for cstd in compiled.stds
         }
-        self._cache = CertainAnswerCache()
+        self._cache = CertainAnswerCache(capacity=cache_capacity)
         self._core: Optional[Instance] = None
         self._core_versions: Optional[VersionVector] = None
-        # Facts added to the target since the cached core was computed, or
-        # None when the target changed in a way (removal, egd rewrite, no core
-        # yet) that requires a full core recomputation.
-        self._core_delta: Optional[list[Fact]] = None
+        # Net (added, removed) target facts since the cached core was
+        # computed, or None when the target changed in a way (egd rewrite, no
+        # core yet) that requires a full core recomputation.
+        self._core_delta: Optional[tuple[list[Fact], list[Fact]]] = None
+        # Derivation bookkeeping of the chased target layer, driving
+        # delete-and-rederive; None when there are no target dependencies
+        # (the canonical layer's support counts already repair everything).
+        self._provenance: Optional[ChaseProvenance] = None
         # Per-relation offsets added to the target's raw version counters.
         # Instance.copy() (and hence every chase result) restarts counters at
         # zero, so whenever self._target is rebound the offsets are recomputed
@@ -134,20 +154,31 @@ class MaterializedExchange:
     def core(self) -> Instance:
         """The core of the target, maintained rather than recomputed.
 
-        After addition-only changes the cached core is repaired by
-        :func:`~repro.serving.core_engine.core_of_delta` (only blocks in
-        relations that gained facts are re-folded); retractions and egd
-        rewrites fall back to a full block-based recomputation.
+        After additions *and* removals the cached core is repaired by
+        :func:`~repro.serving.core_engine.core_of_delta`: only blocks whose
+        relations gained or lost facts are re-folded (removals first restore
+        the previously folded-away facts of those blocks, since a deletion
+        may have invalidated the fold that justified dropping them).  Only
+        egd rewrites — whose substitutions touch unrecorded relations — fall
+        back to a full block-based recomputation.
         """
         versions = self._target_versions()
         if self._core is not None and self._core_versions == versions:
             return self._core
         if self._core is not None and self._core_delta is not None:
-            self._core = core_of_delta(self._core, self._core_delta)
+            added, removed = self._core_delta
+            # Addition-only deltas omit the target on purpose: serving-layer
+            # additions never reuse a folded-away null (chase nulls are fresh;
+            # a justification null returns only after its facts left the
+            # target, i.e. through a removal), so the reused-null scan
+            # core_of_delta runs when given a target would be pure overhead.
+            self._core = core_of_delta(
+                self._core, added, removed, target=self._target if removed else None
+            )
         else:
             self._core = core_of_indexed(self._target)
         self._core_versions = versions
-        self._core_delta = []
+        self._core_delta = ([], [])
         return self._core
 
     # -- trigger bookkeeping ----------------------------------------------
@@ -266,25 +297,69 @@ class MaterializedExchange:
 
         Returns the number of tuples actually removed.  The canonical layer is
         repaired exactly through the per-fact support counts; with target
-        dependencies the chased layer is additionally re-chased from the
-        repaired canonical layer (tgd/egd consequences of a removed fact are
-        not incrementally retractable).
+        dependencies the chased layer is repaired *in place* by
+        delete-and-rederive over the maintained derivation provenance
+        (over-delete the downward closure of the withdrawn facts, then
+        re-derive survivors with the ordinary worklist).  Only when a
+        withdrawn fact is entangled with an egd merge — whose substitution
+        cannot be unwound — is the target re-chased from the repaired
+        canonical layer.
         """
         delta: list[Fact] = []
+        seen: set[Fact] = set()
         for name, values in facts:
-            tup = tuple(values)
-            if (name, tup) in self.source:
-                self.source.discard(name, tup)
-                delta.append((name, tup))
+            fact = (name, tuple(values))
+            if fact in self.source and fact not in seen:
+                seen.add(fact)
+                delta.append(fact)
         if not delta:
             return 0
         touched = sorted({name for name, _ in delta})
+        listeners = self.compiled.listeners(touched)
+        # Semi-naive withdrawal for CQ bodies: a stored trigger can only
+        # disappear if some instantiation of its body used a removed fact, so
+        # the delta join over the *pre-removal* source enumerates exactly the
+        # candidate trigger keys — O(delta), not O(source).
+        candidates: dict[int, set[TriggerKey]] = {}
+        for cstd in listeners:
+            if not cstd.incremental:
+                continue
+            stored = self._assignments[cstd.index]
+            keys: set[TriggerKey] = set()
+            for assignment in match_atoms_delta(
+                list(cstd.atoms), self.source, delta, equalities=list(cstd.equalities)
+            ):
+                projected = {v: assignment[v] for v in cstd.free_vars if v in assignment}
+                key = self._trigger_key(cstd.index, projected)
+                if key in stored:
+                    keys.add(key)
+            candidates[cstd.index] = keys
+        for fact in delta:
+            self.source.discard(*fact)
         added: list[Fact] = []
         removed: list[Fact] = []
-        for cstd in self.compiled.listeners(touched):
-            std_added, std_removed = self._resync_std(cstd)
-            added.extend(std_added)
-            removed.extend(std_removed)
+        for cstd in listeners:
+            if cstd.incremental:
+                stored = self._assignments[cstd.index]
+                for key in sorted(candidates[cstd.index], key=repr):
+                    # The projection drops ∃-quantified body variables, so a
+                    # candidate may have surviving witnesses: re-join with the
+                    # trigger's bindings fixed before withdrawing it.
+                    survivor = next(
+                        match_atoms(
+                            list(cstd.atoms),
+                            self.source,
+                            dict(stored[key]),
+                            equalities=list(cstd.equalities),
+                        ),
+                        None,
+                    )
+                    if survivor is None:
+                        removed.extend(self._retract_trigger(cstd.index, key))
+            else:
+                std_added, std_removed = self._resync_std(cstd)
+                added.extend(std_added)
+                removed.extend(std_removed)
         try:
             self._refresh_target(added, removed)
         except ServingError:
@@ -316,13 +391,22 @@ class MaterializedExchange:
                 self._full_chase(self._canonical), self._target_versions(), None
             )
         self._core_delta = None
+        # A failed update may have bumped versions of relations that are now
+        # back to their old contents; dropping every cached answer is cheaper
+        # (and more obviously safe) than auditing version continuity across a
+        # half-applied update, and rollbacks are rare.
+        self._cache.invalidate_all()
 
     def _full_chase(self, canonical: Instance) -> Instance:
+        """Chase the canonical layer from scratch, rebuilding the provenance."""
+        provenance = ChaseProvenance()
+        provenance.add_base(canonical.facts())
         try:
             result = chase_incremental(
                 canonical,
                 self.compiled.target_dependencies,
                 max_steps=self.max_chase_steps,
+                provenance=provenance,
             )
         except ChaseFailure as failure:
             raise ServingError(
@@ -330,26 +414,59 @@ class MaterializedExchange:
             ) from failure
         if not result.terminated:
             raise ServingError(f"target chase of scenario {self.name!r} did not terminate")
+        self._provenance = provenance
         return result.instance
 
     def _refresh_target(self, added: list[Fact], removed: list[Fact]) -> None:
         if not self.compiled.target_dependencies:
             # The target *is* the canonical layer, already repaired in place;
-            # only the core-maintenance bookkeeping remains.
-            if removed:
-                self._core_delta = None
-            elif added and self._core_delta is not None:
-                self._core_delta.extend(added)
+            # only the core-maintenance bookkeeping remains (removals repair
+            # the core block-locally too — no fallback needed).
+            if self._core_delta is not None:
+                self._core_delta[0].extend(added)
+                self._core_delta[1].extend(removed)
             return
         old_versions = self._target_versions()
         if removed:
-            # Re-chase of the affected component: the canonical layer is exact,
-            # the chased layer is rebuilt from it.
-            self._rebind_target(self._full_chase(self._canonical), old_versions, None)
-            self._core_delta = None
-            return
+            try:
+                retraction = retract_incremental(
+                    self._target,
+                    self.compiled.target_dependencies,
+                    removed,
+                    self._provenance,
+                    max_steps=self.max_chase_steps,
+                )
+            except ChaseFailure as failure:  # pragma: no cover - defensive: a
+                # shrunken base keeps every solution of the old one
+                raise ServingError(
+                    f"scenario {self.name!r} has no solution: {failure}"
+                ) from failure
+            if retraction.replay_required:
+                # A withdrawn fact supported an egd merge whose substitution
+                # cannot be unwound: replay from the repaired canonical layer
+                # (which already reflects `added` as well).
+                self._rebind_target(
+                    self._full_chase(self._canonical), old_versions, None
+                )
+                self._core_delta = None
+                return
+            if not retraction.terminated:
+                raise ServingError(
+                    f"target chase of scenario {self.name!r} did not terminate"
+                )
+            # The target was repaired in place: raw version counters advanced
+            # for exactly the touched relations, so no rebind is needed.
+            if any(step.kind == "egd" for step in retraction.steps):
+                self._core_delta = None
+            elif self._core_delta is not None:
+                self._core_delta[0].extend(retraction.added)
+                self._core_delta[1].extend(retraction.removed)
         if not added:
             return
+        # Re-sample after the in-place retraction so its version advances are
+        # preserved by the rebind below.
+        old_versions = self._target_versions()
+        self._provenance.add_base(added)
         for fact in added:
             self._target.add(*fact)
         try:
@@ -358,6 +475,7 @@ class MaterializedExchange:
                 self.compiled.target_dependencies,
                 max_steps=self.max_chase_steps,
                 seed_delta=added,
+                provenance=self._provenance,
             )
         except ChaseFailure as failure:
             raise ServingError(
@@ -374,8 +492,8 @@ class MaterializedExchange:
         changed = {name for name, _ in added} | {name for name, _ in chase_added}
         self._rebind_target(result.instance, old_versions, changed)
         if self._core_delta is not None:
-            self._core_delta.extend(added)
-            self._core_delta.extend(chase_added)
+            self._core_delta[0].extend(added)
+            self._core_delta[0].extend(chase_added)
 
     # -- query serving -----------------------------------------------------
 

@@ -165,6 +165,7 @@ class ScenarioRegistry:
         source: Instance,
         target_dependencies: Sequence[TGD | EGD] = (),
         max_chase_steps: int | None = None,
+        cache_capacity: int | None = None,
     ) -> "MaterializedExchange":
         from repro.serving.materialized import MaterializedExchange
 
@@ -178,7 +179,11 @@ class ScenarioRegistry:
         # compilation only once the scenario actually registers, so failed
         # registrations leave nothing pinned behind.
         exchange = MaterializedExchange(
-            name, compiled, source, max_chase_steps=max_chase_steps
+            name,
+            compiled,
+            source,
+            max_chase_steps=max_chase_steps,
+            cache_capacity=cache_capacity,
         )
         self._compilations[key] = compiled
         self._scenarios[name] = exchange

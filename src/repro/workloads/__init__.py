@@ -1,5 +1,11 @@
 """Deterministic workload generators for examples, tests and benchmarks."""
 
+from repro.workloads.churn import (
+    ChurnWorkload,
+    churn_dependencies,
+    churn_mapping,
+    churn_workload,
+)
 from repro.workloads.conference import (
     conference_mapping,
     conference_source,
@@ -22,6 +28,10 @@ from repro.workloads.scaling import (
 )
 
 __all__ = [
+    "ChurnWorkload",
+    "churn_dependencies",
+    "churn_mapping",
+    "churn_workload",
     "conference_mapping",
     "conference_source",
     "one_author_per_paper_query",

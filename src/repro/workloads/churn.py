@@ -1,0 +1,133 @@
+"""Retraction-heavy ("churn") serving workloads.
+
+:func:`churn_workload` builds the scenario the retraction benchmark and the
+delete-and-rederive differential tests replay: an employees source feeding a
+mapping *with target dependencies* (a department-manager cascade of two tgds),
+and a stream of interleaved add/retract batches.  Deletions dominate the
+stream by design — the point of the workload is the retraction path of the
+incremental chase — and a slice of every retraction batch is re-added a few
+batches later, covering the retract-then-re-add lifecycle of a fact (fresh
+justification nulls, re-fired target triggers).
+
+The target dependencies are tgd-only, so the delete-and-rederive happy path
+applies to every batch; egd-entangled scenarios (which fall back to a replay)
+are exercised separately by the serving tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.chase.dependencies import EGD, TGD, parse_dependencies
+from repro.core.mapping import SchemaMapping, mapping_from_rules
+from repro.relational.instance import Instance
+
+Operation = tuple[str, tuple[tuple[str, tuple], ...]]
+
+
+@dataclass(frozen=True)
+class ChurnWorkload:
+    """A named churn scenario: mapping + target deps, source, update stream."""
+
+    name: str
+    mapping: SchemaMapping
+    target_dependencies: tuple[TGD | EGD, ...]
+    source: Instance
+    operations: tuple[Operation, ...]
+    parameters: tuple[tuple[str, object], ...]
+
+    def parameter(self, key: str) -> object:
+        return dict(self.parameters)[key]
+
+
+def churn_mapping() -> SchemaMapping:
+    """The employees/departments mapping used by the churn workloads."""
+    return mapping_from_rules(
+        [
+            "Rec(e^cl, d^cl) :- Emp(e, d)",
+            "Member(e^cl, p^cl) :- Squad(e, p)",
+        ],
+        source={"Emp": 2, "Squad": 2},
+        target={"Rec": 2, "Member": 2, "Mgr": 2, "Roster": 2},
+        name="churn_employees",
+    )
+
+
+def churn_dependencies() -> tuple[TGD | EGD, ...]:
+    """A weakly acyclic tgd cascade: every department gets a manager null,
+    every manager a roster entry — so retracting an employee cascades through
+    derived target facts whose provenance delete-and-rederive must track."""
+    return tuple(
+        parse_dependencies(
+            [
+                "Rec(e, d) -> exists m . Mgr(d, m)",
+                "Mgr(d, m) -> Roster(m, d)",
+            ]
+        )
+    )
+
+
+def churn_workload(
+    employees: int = 500,
+    squads: int = 60,
+    departments: int = 25,
+    batches: int = 24,
+    batch_size: int = 6,
+    readd_lag: int = 3,
+    seed: int = 0,
+) -> ChurnWorkload:
+    """Build the interleaved add/retract stream (~``employees + squads`` source
+    tuples at the defaults).
+
+    Every batch retracts ``batch_size`` random live ``Emp`` facts and adds
+    ``batch_size // 2`` fresh ones; every ``readd_lag``-th batch additionally
+    re-adds facts retracted ``readd_lag`` batches earlier.  Department sizes
+    (≈ ``employees / departments``) make most retractions hit departments
+    with survivors — the over-delete/re-derive case — while some empty a
+    department entirely — the pure cascade-delete case.
+    """
+    rng = random.Random(seed)
+    source = Instance()
+    live: list[tuple[str, tuple]] = []
+    for e in range(employees):
+        fact = ("Emp", (f"e{e}", f"d{e % departments}"))
+        source.add(*fact)
+        live.append(fact)
+    for s in range(squads):
+        source.add("Squad", (f"e{s % employees}", f"p{s % 9}"))
+
+    operations: list[Operation] = []
+    retired: list[list[tuple[str, tuple]]] = []
+    fresh = employees
+    for batch in range(batches):
+        k = min(batch_size, len(live))
+        victims = [live.pop(rng.randrange(len(live))) for _ in range(k)]
+        operations.append(("retract", tuple(victims)))
+        retired.append(victims)
+        additions: list[tuple[str, tuple]] = []
+        for _ in range(batch_size // 2):
+            additions.append(("Emp", (f"e{fresh}", f"d{rng.randrange(departments)}")))
+            fresh += 1
+        if batch >= readd_lag and batch % readd_lag == 0:
+            additions.extend(retired[batch - readd_lag][: batch_size // 2])
+        if additions:
+            operations.append(("add", tuple(additions)))
+            live.extend(additions)
+
+    return ChurnWorkload(
+        name=f"churn_{employees}_{batches}x{batch_size}",
+        mapping=churn_mapping(),
+        target_dependencies=churn_dependencies(),
+        source=source,
+        operations=tuple(operations),
+        parameters=(
+            ("employees", employees),
+            ("squads", squads),
+            ("departments", departments),
+            ("batches", batches),
+            ("batch_size", batch_size),
+            ("readd_lag", readd_lag),
+            ("seed", seed),
+        ),
+    )

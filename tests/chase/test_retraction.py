@@ -1,0 +1,355 @@
+"""Delete-and-rederive: unit, differential and property tests.
+
+The contract of :func:`repro.chase.incremental.retract_incremental`: repairing
+a maintained chase result after base-fact withdrawals is equivalent (up to
+homomorphic equivalence — re-derivations mint fresh nulls) to chasing the
+repaired base from scratch; and a retraction entangled with an egd merge
+reports ``replay_required`` without mutating anything.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chase import ChaseProvenance, chase_incremental, retract_incremental
+from repro.chase.dependencies import parse_dependencies
+from repro.chase.incremental import resolve_compressed
+from repro.core.canonical import canonical_instance
+from repro.relational.builders import make_instance
+from repro.relational.domain import fresh_null
+from repro.relational.homomorphism import is_homomorphically_equivalent
+from repro.workloads.churn import churn_dependencies
+from repro.workloads.conference import conference_mapping, conference_source
+from repro.workloads.employees import employee_mapping, employee_source
+from repro.workloads.scaling import chase_scaling_workload
+
+CASCADE = [
+    "E(x, y) -> exists d . D(x, d) & P(d, y)",
+    "P(d, y) -> M(y, d)",
+]
+
+
+def chase_with_provenance(base, dependencies):
+    provenance = ChaseProvenance()
+    provenance.add_base(base.facts())
+    result = chase_incremental(base, dependencies, provenance=provenance)
+    assert result.terminated
+    return result.instance, provenance
+
+
+def assert_matches_scratch(base, dependencies, removed):
+    """Retract ``removed`` incrementally; compare against a from-scratch chase.
+
+    Returns the retraction result.  On ``replay_required`` asserts the
+    no-mutation guarantee instead of equivalence (the caller re-chases).
+    """
+    chased, provenance = chase_with_provenance(base, dependencies)
+    before = chased.to_dict()
+    result = retract_incremental(chased, dependencies, removed, provenance)
+    reduced = base.copy()
+    for name, tup in removed:
+        reduced.discard(name, tup)
+    if result.replay_required:
+        assert chased.to_dict() == before
+        return result
+    reference = chase_incremental(reduced, dependencies)
+    assert reference.terminated
+    assert is_homomorphically_equivalent(result.instance, reference.instance)
+    assert result.instance.constants() == reference.instance.constants()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Path compression (satellite: egd substitution map)
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_compressed_flattens_merge_chains():
+    nulls = [fresh_null(f"c{i}") for i in range(6)]
+    canon = {nulls[i]: nulls[i + 1] for i in range(5)}
+    assert resolve_compressed(canon, nulls[0]) is nulls[5]
+    # Every entry on the walked path now points directly at the root.
+    assert all(canon[n] is nulls[5] for n in nulls[:5])
+    # Untracked values resolve to themselves without creating entries.
+    fresh = fresh_null("x")
+    assert resolve_compressed(canon, fresh) is fresh
+    assert fresh not in canon
+
+
+def test_merge_chain_workload_collapses_to_one_null():
+    """A chain of egd merges: queued triggers are renormalised through the
+    compressed substitution map, and the result is a single department."""
+    dependencies = parse_dependencies(
+        [f"S{i}(x) -> exists d . D(x, d)" for i in range(6)]
+        + ["D(x, d1) & D(x, d2) -> d1 = d2"]
+    )
+    instance = make_instance({f"S{i}": [("v",)] for i in range(6)})
+    result = chase_incremental(instance, dependencies)
+    assert result.terminated
+    assert len(result.instance.relation("D")) == 1
+
+
+# ---------------------------------------------------------------------------
+# Unit behaviour of retract_incremental
+# ---------------------------------------------------------------------------
+
+
+def test_cascade_deletion_removes_downward_closure():
+    deps = parse_dependencies(CASCADE)
+    base = make_instance({"E": [("a", "b")]})
+    chased, provenance = chase_with_provenance(base, deps)
+    assert len(chased) == 4  # E, D, P, M
+    result = retract_incremental(chased, deps, [("E", ("a", "b"))], provenance)
+    assert not result.replay_required
+    assert len(chased) == 0
+    assert len(result.removed) == 4
+    assert not provenance.support and not provenance.base
+
+
+def test_shared_witness_is_rederived_with_fresh_nulls():
+    # Mgr(d1, m) is first derived from the direct R(d1); withdrawing R(d1)
+    # over-deletes it, and the surviving S-derived R(d1) re-derives it.
+    deps = parse_dependencies(
+        [
+            "S(d) -> R(d)",
+            "R(d) -> exists m . Mgr(d, m)",
+            "Mgr(d, m) -> Roster(m, d)",
+        ]
+    )
+    base = make_instance({"R": [("d1",)], "S": [("d1",)]})
+    chased, provenance = chase_with_provenance(base, deps)
+    old_mgr = next(iter(chased.relation("Mgr")))
+    result = retract_incremental(chased, deps, [("R", ("d1",))], provenance)
+    assert not result.replay_required
+    assert len(chased.relation("Mgr")) == 1
+    new_mgr = next(iter(chased.relation("Mgr")))
+    assert new_mgr[1] != old_mgr[1]  # fresh null, not the unwound one
+    assert ("R", ("d1",)) in chased  # re-derived from S(d1)
+    reference = chase_incremental(make_instance({"S": [("d1",)]}), deps)
+    assert is_homomorphically_equivalent(chased, reference.instance)
+
+
+def test_multiply_supported_base_fact_survives_partial_withdrawal():
+    deps = tuple(parse_dependencies(["R(d) -> exists m . Mgr(d, m)"]))
+    base = make_instance({"R": [("d1",)]})
+    chased, provenance = chase_with_provenance(base, deps)
+    provenance.add_base([("R", ("d1",))])  # second registration (second justifier)
+    chased_size = len(chased)
+    result = retract_incremental(chased, deps, [("R", ("d1",))], provenance)
+    assert not result.replay_required and not result.removed
+    assert len(chased) == chased_size  # one registration remains
+    result = retract_incremental(chased, deps, [("R", ("d1",))], provenance)
+    assert len(chased) == 0
+
+
+def test_egd_entangled_retraction_requires_replay_and_mutates_nothing():
+    deps = parse_dependencies(
+        [
+            "A(x) -> exists d . D(x, d)",
+            "B(x, d) -> D(x, d)",
+            "D(x, d1) & D(x, d2) -> d1 = d2",
+        ]
+    )
+    base = make_instance({"A": [("v",)], "B": [("v", "c")]})
+    chased, provenance = chase_with_provenance(base, deps)
+    assert chased.relation("D") == {("v", "c")}  # null merged into the constant
+    before = chased.to_dict()
+    for victim in [("B", ("v", "c")), ("A", ("v",))]:
+        result = retract_incremental(chased, deps, [victim], provenance)
+        assert result.replay_required
+        assert chased.to_dict() == before
+
+
+def test_retracting_absent_facts_is_a_noop():
+    deps = parse_dependencies(CASCADE)
+    base = make_instance({"E": [("a", "b")]})
+    chased, provenance = chase_with_provenance(base, deps)
+    result = retract_incremental(chased, deps, [("E", ("zz", "zz"))], provenance)
+    assert not result.replay_required and not result.removed and not result.added
+    assert len(chased) == 4
+
+
+def test_provenance_survives_interleaved_extend_and_retract():
+    deps = parse_dependencies(CASCADE)
+    base = make_instance({"E": [("a", "b")]})
+    chased, provenance = chase_with_provenance(base, deps)
+    live = {("a", "b")}
+    rng = random.Random(4)
+    for step in range(30):
+        if live and rng.random() < 0.5:
+            edge = rng.choice(sorted(live))
+            live.discard(edge)
+            result = retract_incremental(chased, deps, [("E", edge)], provenance)
+            assert not result.replay_required  # tgd-only: always repairable
+        else:
+            edge = (f"v{rng.randrange(6)}", f"v{rng.randrange(6)}")
+            if ("E", edge) in chased:
+                continue
+            live.add(edge)
+            provenance.add_base([("E", edge)])
+            chased.add("E", edge)
+            chase_result = chase_incremental(
+                chased, deps, seed_delta=[("E", edge)], provenance=provenance
+            )
+            chased = chase_result.instance
+        reference = chase_incremental(make_instance({"E": sorted(live)}), deps)
+        assert is_homomorphically_equivalent(chased, reference.instance)
+
+
+# ---------------------------------------------------------------------------
+# Differential tests across the chase workloads
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("edges", [10, 30, 60])
+def test_dred_matches_full_rechase_on_chase_scaling_workload(edges):
+    workload = chase_scaling_workload(edges, seed=edges)
+    base_facts = sorted(workload.instance.facts(), key=repr)
+    rng = random.Random(edges)
+    removed = rng.sample(base_facts, k=max(1, len(base_facts) // 5))
+    assert_matches_scratch(workload.instance, workload.dependencies, removed)
+
+
+@pytest.mark.parametrize(
+    "mapping,source,dependencies",
+    [
+        (
+            conference_mapping(),
+            conference_source(papers=6, seed=3),
+            [
+                "Submissions(p, t) -> exists r . Reviews(p, r)",
+                "Reviews(p, r1) & Reviews(p, r2) -> r1 = r2",
+            ],
+        ),
+        (
+            employee_mapping(),
+            employee_source(),
+            [
+                "Emp(i, em, ph) -> exists d . Dept(em, d)",
+                "Dept(em, d1) & Dept(em, d2) -> d1 = d2",
+                "Dept(em, d) -> DeptList(d)",
+            ],
+        ),
+    ],
+)
+def test_dred_matches_full_rechase_on_mapping_workloads(mapping, source, dependencies):
+    csol = canonical_instance(mapping, source)
+    deps = parse_dependencies(dependencies)
+    base_facts = sorted(csol.facts(), key=repr)
+    rng = random.Random(len(base_facts))
+    for trial in range(3):
+        removed = rng.sample(base_facts, k=max(1, len(base_facts) // 6))
+        assert_matches_scratch(csol, deps, removed)
+
+
+def test_dred_matches_full_rechase_on_churn_dependencies():
+    deps = churn_dependencies()
+    base = make_instance(
+        {"Rec": [(f"e{i}", f"d{i % 4}") for i in range(12)]}
+    )
+    rng = random.Random(1)
+    facts = sorted(base.facts(), key=repr)
+    for trial in range(4):
+        removed = rng.sample(facts, k=3)
+        result = assert_matches_scratch(base, deps, removed)
+        assert not result.replay_required  # tgd-only cascade: always local
+
+
+# ---------------------------------------------------------------------------
+# Property-based differential test
+# ---------------------------------------------------------------------------
+
+
+constants = st.sampled_from(["a", "b", "c", "d"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    edges=st.lists(st.tuples(constants, constants), min_size=1, max_size=8),
+    selector=st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=4),
+)
+def test_property_dred_equals_rechase_on_tgd_cascades(edges, selector):
+    dependencies = parse_dependencies(CASCADE)
+    base = make_instance({"E": edges})
+    base_facts = sorted(base.facts(), key=repr)
+    removed = sorted({base_facts[i % len(base_facts)] for i in selector}, key=repr)
+    result = assert_matches_scratch(base, dependencies, removed)
+    assert not result.replay_required  # no egds: replay never needed
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    edges=st.lists(st.tuples(constants, constants), min_size=1, max_size=8),
+    selector=st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=4),
+)
+def test_property_dred_sound_under_egd_merges(edges, selector):
+    """With egds in play the retraction may demand a replay, but when it
+    claims success the repaired instance must match the from-scratch chase."""
+    dependencies = parse_dependencies(
+        [
+            "E(x, y) -> exists d . D(x, d) & P(d, y)",
+            "P(d, y) -> M(y, d)",
+            "D(x, d1) & D(x, d2) -> d1 = d2",
+        ]
+    )
+    base = make_instance({"E": edges})
+    base_facts = sorted(base.facts(), key=repr)
+    removed = sorted({base_facts[i % len(base_facts)] for i in selector}, key=repr)
+    assert_matches_scratch(base, dependencies, removed)
+
+
+def test_cyclic_support_does_not_keep_underivable_clusters_alive():
+    # Regression: a tgd whose multi-atom head re-derives an ancestor creates
+    # a support cycle (the second step "supports" the pre-existing P(a)).
+    # Trusting that supporter would keep the whole cluster alive after the
+    # base is withdrawn; classic over-deletion must empty it instead.
+    deps = parse_dependencies(["P(x) -> Q(x) & R(x)", "Q(x) -> P(x) & S(x)"])
+    base = make_instance({"P": [("a",)]})
+    chased, provenance = chase_with_provenance(base, deps)
+    assert len(chased) == 4
+    result = retract_incremental(chased, deps, [("P", ("a",))], provenance)
+    assert not result.replay_required
+    assert len(chased) == 0
+    assert not provenance.support and not provenance.base and not len(provenance)
+
+
+def test_externally_supported_cycle_is_rederived():
+    # The same cycle, but with an independent external derivation of Q(a):
+    # over-deletion clears the cluster, re-derivation rebuilds it from B(a).
+    deps = parse_dependencies(["P(x) -> Q(x)", "Q(x) -> P(x)", "B(x) -> Q(x)"])
+    base = make_instance({"P": [("a",)], "B": [("a",)]})
+    chased, provenance = chase_with_provenance(base, deps)
+    result = retract_incremental(chased, deps, [("P", ("a",))], provenance)
+    assert not result.replay_required
+    reference = chase_incremental(make_instance({"B": [("a",)]}), deps)
+    assert is_homomorphically_equivalent(chased, reference.instance)
+    assert chased.relation("Q") == {("a",)} and chased.relation("P") == {("a",)}
+
+
+def test_withdrawal_closes_only_its_own_lineage():
+    # A null-carrying seed fact registered twice and renamed by an egd (no
+    # collision: the post-rename form was absent).  Withdrawing one
+    # registration must keep the rewrite lineage alive: the second
+    # withdrawal, issued by the as-registered form, must still find the
+    # renamed fact (here: and report the egd entanglement) instead of
+    # silently no-opping against a dropped translation.
+    n1 = fresh_null("w1")
+    deps = parse_dependencies(["D(x, d1) & E(x, d2) -> d1 = d2"])
+    base = make_instance({"D": [("a", n1)], "E": [("a", "c")]})
+    provenance = ChaseProvenance()
+    provenance.add_base(base.facts())
+    provenance.add_base([("D", ("a", n1))])  # second registration
+    result = chase_incremental(base, deps, provenance=provenance)
+    assert result.terminated
+    chased = result.instance
+    assert chased.relation("D") == {("a", "c")}  # renamed, no collision
+    assert provenance.base[("D", ("a", "c"))] == 2
+    first = retract_incremental(chased, deps, [("D", ("a", n1))], provenance)
+    assert not first.replay_required and not first.removed
+    assert provenance.base[("D", ("a", "c"))] == 1
+    assert provenance.current_form(("D", ("a", n1))) == ("D", ("a", "c"))
+    second = retract_incremental(chased, deps, [("D", ("a", n1))], provenance)
+    # The last registration closes: the fact dies, which entangles the egd
+    # that renamed it — a replay, not a silent no-op.
+    assert second.replay_required

@@ -161,3 +161,64 @@ def test_substitute_value_noop_cases():
     assert instance.substitute_value("zz", "v") == []
     assert instance.substitute_value("a", "a") == []
     assert instance.relation("R") == {("a", "b")}
+
+
+def test_relation_and_lookup_views_are_read_only_and_live():
+    instance = make_instance({"E": [("a", "b")]})
+    view = instance.relation("E")
+    bucket = instance.lookup("E", 0, "a")
+    version = instance.version("E")
+    # No mutation surface: a caller cannot desynchronise indexes/versions.
+    for method in ("add", "discard", "remove", "clear", "update", "pop"):
+        assert not hasattr(view, method)
+        assert not hasattr(bucket, method)
+    assert instance.version("E") == version
+    # The views are live: mutations through the instance API show up.
+    instance.add("E", ("a", "c"))
+    assert ("a", "c") in view
+    assert bucket == {("a", "b"), ("a", "c")}
+    # Set algebra works and detaches (plain sets, safely mutable).
+    detached = view | {("x", "y")}
+    detached.add(("z", "z"))
+    assert ("z", "z") not in instance.relation("E")
+    assert instance.version("E") == version + 1
+
+
+def test_index_view_is_read_only_and_live():
+    instance = make_instance({"E": [("a", "b"), ("a", "c")]})
+    index = instance.index("E", 0)
+    with pytest.raises(TypeError):
+        index["a"] = set()  # type: ignore[index]
+    assert index["a"] == {("a", "b"), ("a", "c")}
+    assert index.get("zz") is None
+    assert index.get("zz", frozenset()) == frozenset()
+    instance.discard("E", ("a", "c"))
+    assert index["a"] == {("a", "b")}
+    # Buckets handed out are themselves read-only views.
+    assert not hasattr(index["a"], "add")
+
+
+def test_empty_relation_view_is_inert():
+    instance = Instance()
+    assert len(instance.relation("Missing")) == 0
+    assert ("a",) not in instance.relation("Missing")
+    assert list(instance.lookup("Missing", 0, "a")) == []
+
+
+def test_views_stay_live_across_drain_and_repopulate():
+    # Regression: discard deletes a drained relation's backing set (and empty
+    # index buckets); a previously handed-out view must keep resolving.
+    instance = make_instance({"E": [("a", "b")]})
+    view = instance.relation("E")
+    bucket = instance.lookup("E", 0, "a")
+    index = instance.index("E", 0)
+    instance.discard("E", ("a", "b"))
+    assert len(view) == 0 and len(bucket) == 0 and "a" not in index
+    instance.add("E", ("a", "c"))
+    assert ("a", "c") in view
+    assert bucket == {("a", "c")}
+    assert index["a"] == {("a", "c")}
+    # A view taken before the relation's first fact is live too.
+    early = instance.relation("Fresh")
+    instance.add("Fresh", ("x",))
+    assert ("x",) in early

@@ -1,0 +1,98 @@
+"""CertainAnswerCache: LRU capacity, eviction accounting, rollback wiring."""
+
+import pytest
+
+from repro.chase.dependencies import parse_dependencies
+from repro.core.mapping import mapping_from_rules
+from repro.logic.cq import cq
+from repro.relational.builders import make_instance
+from repro.serving import ScenarioRegistry, ServingError
+from repro.serving.cache import CertainAnswerCache
+
+
+V = (("R", 1),)
+
+
+def test_unbounded_by_default():
+    cache = CertainAnswerCache()
+    for i in range(100):
+        cache.put(f"q{i}", "monotone", V, [(i,)])
+    assert len(cache) == 100
+    assert cache.stats.evictions == 0
+
+
+def test_capacity_evicts_least_recently_used():
+    cache = CertainAnswerCache(capacity=2)
+    cache.put("q0", "monotone", V, [(0,)])
+    cache.put("q1", "monotone", V, [(1,)])
+    assert cache.get("q0", "monotone", V) == frozenset({(0,)})  # refreshes q0
+    cache.put("q2", "monotone", V, [(2,)])  # evicts q1, the LRU entry
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+    assert cache.get("q1", "monotone", V) is None
+    assert cache.get("q0", "monotone", V) == frozenset({(0,)})
+    assert cache.get("q2", "monotone", V) == frozenset({(2,)})
+
+
+def test_put_refreshes_recency_and_overwrites_in_place():
+    cache = CertainAnswerCache(capacity=2)
+    cache.put("q0", "monotone", V, [(0,)])
+    cache.put("q1", "monotone", V, [(1,)])
+    cache.put("q0", "monotone", V, [(9,)])  # overwrite: no eviction, q0 newest
+    assert len(cache) == 2 and cache.stats.evictions == 0
+    cache.put("q2", "monotone", V, [(2,)])  # evicts q1
+    assert cache.get("q0", "monotone", V) == frozenset({(9,)})
+    assert cache.get("q1", "monotone", V) is None
+
+
+def test_stale_entries_do_not_refresh_recency():
+    cache = CertainAnswerCache(capacity=2)
+    cache.put("q0", "monotone", V, [(0,)])
+    cache.put("q1", "monotone", V, [(1,)])
+    assert cache.get("q0", "monotone", (("R", 2),)) is None  # stale miss
+    cache.put("q2", "monotone", V, [(2,)])  # q0 is still the LRU entry
+    assert cache.get("q0", "monotone", V) is None
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        CertainAnswerCache(capacity=0)
+
+
+def test_exchange_cache_capacity_bounds_distinct_queries():
+    mapping = mapping_from_rules(
+        ["T(x, y) :- R(x, y)"], source={"R": 2}, target={"T": 2}
+    )
+    registry = ScenarioRegistry()
+    exchange = registry.register(
+        "bounded", mapping, make_instance({"R": [("a", "b")]}), cache_capacity=3
+    )
+    from repro.logic.terms import Const
+
+    for i in range(10):
+        exchange.certain_answers(cq(["x"], [("T", ["x", Const(f"k{i}")])]))
+    assert len(exchange._cache) == 3
+    assert exchange.cache_stats.evictions == 7
+
+
+def test_rollback_invalidates_every_cached_answer():
+    # invalidate_all is wired into _undo_source_update: after a rejected
+    # update the cache restarts cold rather than trusting version continuity.
+    mapping = mapping_from_rules(
+        ["D(x, d) :- S(x, d)"], source={"S": 2}, target={"D": 2}
+    )
+    deps = parse_dependencies(["D(x, d1) & D(x, d2) -> d1 = d2"])
+    registry = ScenarioRegistry()
+    exchange = registry.register(
+        "rollback", mapping, make_instance({"S": [("a", "1")]}), deps
+    )
+    q = cq(["x", "d"], [("D", ["x", "d"])])
+    assert exchange.certain_answers(q) == {("a", "1")}
+    assert len(exchange._cache) == 1
+    with pytest.raises(ServingError):
+        exchange.add_source_facts([("S", ("a", "2"))])
+    assert len(exchange._cache) == 0
+    # Correct answers (a fresh miss) after the rollback.
+    misses_before = exchange.cache_stats.misses
+    assert exchange.certain_answers(q) == {("a", "1")}
+    assert exchange.cache_stats.misses == misses_before + 1

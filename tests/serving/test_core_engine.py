@@ -91,3 +91,76 @@ def test_core_engines_agree_on_random_instances(edges, unary):
     for value in unary:
         instance.add("V", (value,))
     assert_same_core(instance)
+
+
+def test_core_of_delta_repairs_removals():
+    # Three facts share department null n1; removing the fold target of a
+    # block must resurrect the previously folded-away fact.
+    n1, n2 = fresh_null("d1"), fresh_null("d2")
+    base = make_instance(
+        {"D": [("a", n1), ("a", n2), ("b", n1)], "P": [(n1, "x")]}
+    )
+    core = core_of_indexed(base)
+    # D(a, n2) folds onto D(a, n1) (n1 is anchored by P and b).
+    assert len(core) == 3
+    target = base.copy()
+    target.discard("D", ("b", n1))
+    repaired = core_of_delta(core, [], [("D", ("b", n1))], target=target)
+    reference = core_of_bruteforce(target)
+    assert len(repaired) == len(reference)
+    assert is_homomorphically_equivalent(repaired, reference)
+    assert target.contains_instance(repaired)
+
+
+def test_core_of_delta_mixed_additions_and_removals():
+    mapping = employee_mapping()
+    base = canonical_solution(mapping, employee_source()).instance
+    core = core_of_indexed(base)
+    target = base.copy()
+    removed = sorted(base.facts(), key=repr)[::4][:3]
+    for name, tup in removed:
+        target.discard(name, tup)
+    added = [("Office", ("e9", fresh_null("z9"))), ("Office", ("e9", "hq"))]
+    for name, tup in added:
+        target.add(name, tup)
+    repaired = core_of_delta(core, added, removed, target=target)
+    reference = core_of_bruteforce(target)
+    assert len(repaired) == len(reference)
+    assert is_homomorphically_equivalent(repaired, reference)
+    assert target.contains_instance(repaired)
+
+
+def test_core_of_delta_requires_target_for_removals():
+    import pytest
+
+    core = core_of_indexed(make_instance({"E": [("a", "b")]}))
+    with pytest.raises(ValueError):
+        core_of_delta(core, [], [("E", ("a", "b"))])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    edges=st.lists(st.tuples(values, values), min_size=1, max_size=7),
+    removals=st.lists(st.integers(min_value=0, max_value=6), max_size=3),
+    additions=st.lists(st.tuples(values, values), max_size=2),
+)
+def test_property_core_of_delta_matches_recomputation(edges, removals, additions):
+    base = Instance()
+    for edge in edges:
+        base.add("E", edge)
+    core = core_of_indexed(base)
+    target = base.copy()
+    facts = sorted(base.facts(), key=repr)
+    removed = sorted({facts[i % len(facts)] for i in removals}, key=repr)
+    for name, tup in removed:
+        target.discard(name, tup)
+    added = []
+    for edge in additions:
+        if ("E", edge) not in target:
+            target.add("E", edge)
+            added.append(("E", edge))
+    repaired = core_of_delta(core, added, removed, target=target)
+    reference = core_of_bruteforce(target)
+    assert len(repaired) == len(reference)
+    assert is_homomorphically_equivalent(repaired, reference)
+    assert target.contains_instance(repaired)

@@ -256,3 +256,111 @@ def test_failed_update_rolls_back_to_the_pre_update_state():
     # The exchange keeps working after the rejected update.
     exchange_.add_source_facts([("S", ("b", "2"))])
     assert exchange_.certain_answers(q) == {("a", "1"), ("b", "2")}
+
+
+TGD_ONLY_DEPS = [
+    "Rec(e, d) -> exists m . Mgr(d, m)",
+    "Mgr(d, m) -> Roster(m, d)",
+]
+
+
+def cascade_mapping():
+    return mapping_from_rules(
+        ["Rec(e^cl, d^cl) :- Emp(e, d)"],
+        source={"Emp": 2},
+        target={"Rec": 2, "Mgr": 2, "Roster": 2},
+    )
+
+
+def count_full_chases(exchange_):
+    calls = []
+    original = exchange_._full_chase
+    exchange_._full_chase = lambda canonical: (calls.append(1), original(canonical))[1]
+    return calls
+
+
+def test_retraction_with_target_dependencies_avoids_full_chase():
+    # The DRed happy path: tgd-only target dependencies, so a retraction is
+    # repaired in place and never re-chases the target layer.
+    deps = parse_dependencies(TGD_ONLY_DEPS)
+    source = make_instance({"Emp": [(f"e{i}", f"d{i % 3}") for i in range(9)]})
+    exchange_ = register(cascade_mapping(), source, deps)
+    calls = count_full_chases(exchange_)
+    setting = ExchangeSetting(cascade_mapping(), tuple(deps))
+    # Drains d2 entirely (cascade delete) and thins d0 (over-delete + re-derive).
+    exchange_.retract_source_facts(
+        [("Emp", ("e0", "d0")), ("Emp", ("e2", "d2")), ("Emp", ("e5", "d2")), ("Emp", ("e8", "d2"))]
+    )
+    assert not calls
+    assert is_homomorphically_equivalent(
+        exchange_.target, exchange(setting, exchange_.source).instance
+    )
+    # Retract-then-re-add of the same fact: fresh justification, same semantics.
+    exchange_.retract_source_facts([("Emp", ("e1", "d1"))])
+    exchange_.add_source_facts([("Emp", ("e1", "d1"))])
+    assert not calls
+    assert is_homomorphically_equivalent(
+        exchange_.target, exchange(setting, exchange_.source).instance
+    )
+
+
+def test_retraction_repairs_core_without_full_recomputation():
+    from repro.relational.homomorphism import core_of_bruteforce
+
+    deps = parse_dependencies(TGD_ONLY_DEPS)
+    source = make_instance({"Emp": [(f"e{i}", f"d{i % 3}") for i in range(9)]})
+    exchange_ = register(cascade_mapping(), source, deps)
+    exchange_.core()  # prime the cache: later calls must take the repair path
+    exchange_.retract_source_facts([("Emp", ("e2", "d2")), ("Emp", ("e5", "d2"))])
+    assert exchange_._core_delta is not None  # repair, not recomputation
+    repaired = exchange_.core()
+    assert exchange_.target.contains_instance(repaired)
+    assert is_homomorphically_equivalent(repaired, exchange_.target)
+    assert len(repaired) == len(core_of_bruteforce(exchange_.target))
+
+
+def test_egd_entangled_retraction_falls_back_to_replay():
+    # DEPT_DEPS contains an egd; retracting a fact entangled with its merge
+    # must fall back to the full re-chase — and still serve exact answers.
+    deps = parse_dependencies(DEPT_DEPS)
+    exchange_ = register(
+        dept_mapping(), make_instance({"E": [("a", "b"), ("a", "c"), ("b", "d")]}), deps
+    )
+    setting = ExchangeSetting(dept_mapping(), tuple(deps))
+    exchange_.retract_source_facts([("E", ("a", "b"))])
+    assert is_homomorphically_equivalent(
+        exchange_.target, exchange(setting, exchange_.source).instance
+    )
+    exchange_.retract_source_facts([("E", ("b", "d"))])
+    assert is_homomorphically_equivalent(
+        exchange_.target, exchange(setting, exchange_.source).instance
+    )
+
+
+def test_version_vectors_advance_after_in_place_retraction():
+    # In-place repair must stale exactly the touched relations' cache entries:
+    # the retracted employee's cascade (Rec, and Mgr/Roster through the
+    # over-delete + re-derive round trip, which mints a fresh manager null)
+    # goes stale, while a target relation fed by an unrelated source relation
+    # stays warm.
+    mapping = mapping_from_rules(
+        ["Rec(e^cl, d^cl) :- Emp(e, d)", "Label(x^cl) :- Tag(x)"],
+        source={"Emp": 2, "Tag": 1},
+        target={"Rec": 2, "Mgr": 2, "Roster": 2, "Label": 1},
+    )
+    deps = parse_dependencies(TGD_ONLY_DEPS)
+    source = make_instance(
+        {"Emp": [("e0", "d0"), ("e1", "d0"), ("e2", "d1")], "Tag": [("t0",)]}
+    )
+    exchange_ = register(mapping, source, deps)
+    q_rec = cq(["e"], [("Rec", ["e", "d"])])
+    q_label = cq(["x"], [("Label", ["x"])])
+    assert exchange_.certain_answers(q_rec) == {("e0",), ("e1",), ("e2",)}
+    assert exchange_.certain_answers(q_label) == {("t0",)}
+    exchange_.retract_source_facts([("Emp", ("e0", "d0"))])
+    before_hits = exchange_.cache_stats.hits
+    before_stale = exchange_.cache_stats.stale
+    assert exchange_.certain_answers(q_rec) == {("e1",), ("e2",)}  # stale miss
+    assert exchange_.certain_answers(q_label) == {("t0",)}  # warm hit
+    assert exchange_.cache_stats.hits == before_hits + 1
+    assert exchange_.cache_stats.stale == before_stale + 1
