@@ -1,7 +1,7 @@
 """EXP-RETRACT — delete-and-rederive vs re-chase-per-delete.
 
 PR 2 made additions incremental but left every deletion on a cliff: with
-target dependencies, ``retract_source_facts`` re-chased the whole target
+target dependencies, every retraction batch re-chased the whole target
 layer from the repaired canonical layer.  This benchmark replays the
 :func:`repro.workloads.churn.churn_workload` stream (~560 source tuples, 24
 interleaved retract/add batches, including retract-then-re-add) in two ways:
@@ -56,7 +56,7 @@ def _register(workload, name):
 def _force_rechase_per_delete():
     """Swap the retraction entry point for an immediate replay verdict.
 
-    ``retract_source_facts`` then runs resync + full chase + rebind — the
+    A retraction batch then runs resync + full chase + rebind — the
     pre-DRed code path, byte for byte.  Returns the undo closure.
     """
     original = materialized.retract_incremental
@@ -77,9 +77,9 @@ def _replay(exchange, operations, snapshots: bool = False):
     frozen = []
     for op, facts in operations:
         if op == "add":
-            exchange.add_source_facts(facts)
+            exchange.apply_delta(added=facts)
         else:
-            exchange.retract_source_facts(facts)
+            exchange.apply_delta(removed=facts)
         if snapshots:
             frozen.append(exchange.target.freeze())
     return frozen
@@ -169,9 +169,9 @@ def test_repaired_core_matches_full_recomputation_after_churn(benchmark):
     def churn_and_repair():
         for op, facts in workload.operations:
             if op == "add":
-                exchange.add_source_facts(facts)
+                exchange.apply_delta(added=facts)
             else:
-                exchange.retract_source_facts(facts)
+                exchange.apply_delta(removed=facts)
             exchange.core()
         return exchange.core()
 

@@ -11,7 +11,7 @@ queries) in two ways:
   canonical solution of the *current* source and evaluates naively against
   it;
 * **serving** — one :class:`~repro.serving.MaterializedExchange` registered
-  up front; updates go through ``add_source_facts`` (semi-naive trigger
+  up front; updates go through ``apply_delta`` (semi-naive trigger
   matching), queries through the version-keyed certain-answer cache.
 
 Asserts the ISSUE acceptance bar: serving is ≥ 10× faster than the baseline
@@ -79,7 +79,7 @@ def _replay_serving(workload) -> tuple[list[frozenset], "MaterializedExchange"]:
     updates = iter(workload.updates)
     for step in range(TOTAL_QUERIES):
         if step and step % len(queries) == 0:
-            exchange.add_source_facts(next(updates, ()))
+            exchange.apply_delta(added=next(updates, ()))
         answers.append(frozenset(exchange.certain_answers(queries[step % len(queries)])))
     return answers, exchange
 

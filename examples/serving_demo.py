@@ -1,18 +1,38 @@
-"""Serving demo: register a scenario once, then query and update it live.
+"""Serving demo: one ExchangeService front door — register, query, transact.
 
 Run with::
 
     PYTHONPATH=src python examples/serving_demo.py
 
-The script registers an employees/projects scenario with the serving layer,
-shows the materialized canonical solution and its core, serves a few queries
-(watching the cache go from miss to hit), pushes source updates through the
-incremental update API, and demonstrates that invalidation is scoped to the
-relations an update touches.
+The script registers an employees/projects scenario with the serving
+service, serves typed queries (watching the dispatch route go from ``core``
+to ``cache``), commits a *mixed* add/retract batch as one transaction (one
+refresh pass, one cache-invalidation round), shows that invalidation is
+scoped to the relations the batch touched, and ends with the structured
+``stats()`` snapshot.
+
+Migrating from the pre-service API::
+
+    registry = ScenarioRegistry()            service = ExchangeService()
+    ex = registry.register(n, m, s)          service.register(n, m, s)
+    ex.certain_answers(q)                    service.query(n, q).answers
+    ex.add_source_facts(facts)               service.update(n, add=facts)
+    ex.retract_source_facts(facts)           service.update(n, retract=facts)
+    add + retract back-to-back               with service.transaction(n) as txn:
+                                                 txn.add(...); txn.retract(...)
+    ex.cache_stats                           service.stats(n).cache
 """
 
 from repro import cq, make_instance, mapping_from_rules
-from repro.serving import ScenarioRegistry
+from repro.serving import ExchangeService
+
+
+def describe(result) -> str:
+    return (
+        f"{sorted(result.answers)}  "
+        f"[route={result.route}, cached={result.cached}, "
+        f"{result.elapsed_seconds * 1000:.2f}ms]"
+    )
 
 
 def main() -> None:
@@ -34,32 +54,46 @@ def main() -> None:
     )
 
     print("== Register the scenario (compile + materialize once) ==")
-    registry = ScenarioRegistry()
-    exchange = registry.register("employees", mapping, source)
-    print(f"registered: {exchange!r}")
-    print(f"canonical solution: {exchange.canonical.to_dict()}")
-    print(f"core of the target: {exchange.core().to_dict()}")
+    service = ExchangeService()
+    service.register("employees", mapping, source)
+    print(f"service: {service!r}")
+    print(f"canonical solution: {service.scenario('employees').canonical.to_dict()}")
 
-    print("\n== Serve queries (first computed, then cache hits) ==")
+    print("\n== Serve typed queries (first computed over the core, then cache hits) ==")
     by_dept = cq(["e"], [("EmpT", ["e", "d"])], name="employees")
     teams = cq(["e", "p"], [("Team", ["e", "p"])], name="teams")
-    print(f"employees: {sorted(exchange.certain_answers(by_dept))}")
-    print(f"teams:     {sorted(exchange.certain_answers(teams))}")
-    print(f"employees: {sorted(exchange.certain_answers(by_dept))}  (cached)")
-    print(f"cache stats: {exchange.cache_stats}")
+    print(f"employees: {describe(service.query('employees', by_dept))}")
+    print(f"teams:     {describe(service.query('employees', teams))}")
+    print(f"employees: {describe(service.query('employees', by_dept))}")
 
-    print("\n== Update the source incrementally ==")
-    exchange.add_source_facts([("Works", ("carol", "ranking"))])
-    print("added Works(carol, ranking)")
-    print(f"teams:     {sorted(exchange.certain_answers(teams))}  (recomputed: Team changed)")
-    print(f"employees: {sorted(exchange.certain_answers(by_dept))}  (still cached: EmpT untouched)")
-    print(f"cache stats: {exchange.cache_stats}")
+    print("\n== One mixed batch, one transaction, one refresh pass ==")
+    with service.transaction("employees") as txn:
+        txn.add([("Works", ("carol", "ranking"))])
+        txn.retract([("Works", ("bob", "build"))])
+    result = txn.results["employees"]
+    print(
+        f"committed: +{len(result.added)} -{len(result.retracted)} "
+        f"(trigger rounds={result.trigger_rounds}, "
+        f"target repairs={result.target_repairs}, "
+        f"invalidation rounds={result.invalidation_rounds})"
+    )
+    print(f"teams:     {describe(service.query('employees', teams))}  <- recomputed once")
+    print(f"employees: {describe(service.query('employees', by_dept))}  <- still cached")
 
-    print("\n== Retract a source fact ==")
-    exchange.retract_source_facts([("Works", ("bob", "build"))])
-    print("retracted Works(bob, build)")
-    print(f"teams:     {sorted(exchange.certain_answers(teams))}")
-    print(f"final state: {exchange!r}")
+    print("\n== Conflicting operations net out before touching the scenario ==")
+    with service.transaction("employees") as txn:
+        txn.retract([("Works", ("alice", "ranking"))])
+        txn.add([("Works", ("alice", "ranking"))])  # last call wins: no-op
+    print(f"net batch: {txn.results['employees'].added} / "
+          f"{txn.results['employees'].retracted} (nothing refreshed)")
+
+    print("\n== Structured introspection ==")
+    stats = service.stats("employees")
+    print(f"sizes: |S|={stats.source_tuples}, |T|={stats.target_tuples}, "
+          f"|core|={stats.core_tuples}")
+    print(f"cache: {stats.cache} ({stats.cache_entries} entries)")
+    print(f"updates: {stats.updates}")
+    print(f"lock: {stats.lock}")
 
 
 if __name__ == "__main__":

@@ -76,7 +76,7 @@ from repro.core import (
 )
 from repro.core.mapping import mapping_from_rules
 from repro.chase import chase, chase_incremental, run_chase
-from repro.serving import MaterializedExchange, ScenarioRegistry
+from repro.serving import ExchangeService, MaterializedExchange, ScenarioRegistry
 
 __version__ = "1.0.0"
 
@@ -136,4 +136,5 @@ __all__ = [
     # serving
     "ScenarioRegistry",
     "MaterializedExchange",
+    "ExchangeService",
 ]

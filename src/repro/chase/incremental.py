@@ -503,6 +503,7 @@ def chase_incremental(
     max_steps: int | None = 10_000,
     seed_delta: Iterable[Fact] | None = None,
     provenance: ChaseProvenance | None = None,
+    in_place: bool = False,
 ) -> ChaseResult:
     """Chase ``instance`` with a delta-driven worklist (see module docstring).
 
@@ -522,12 +523,22 @@ def chase_incremental(
     materialization plus freshly added facts and ``seed_delta`` is exactly
     those facts.
 
+    ``in_place=True`` chases the given instance directly instead of a copy:
+    version counters advance only for genuinely touched relations (no
+    restart-at-zero rebind for the caller to compensate) and the per-batch
+    copy disappears from the hot path.  The caller owns failure handling: a
+    :class:`ChaseFailure` (or a blown step budget) leaves the instance — and
+    any provenance — partially chased, so only callers with a rollback path
+    (the serving layer rebuilds from its repaired canonical layer) should
+    pass it.
+
     ``provenance``, when given, records every applied step (and is kept
     consistent across egd substitutions), enabling later
     :func:`retract_incremental` calls against the result.  Pass the same
     object to every chase call that extends the same maintained instance.
     """
-    worklist = _Worklist(instance.copy(), list(dependencies), max_steps, provenance)
+    working = instance if in_place else instance.copy()
+    worklist = _Worklist(working, list(dependencies), max_steps, provenance)
     if seed_delta is None:
         worklist.seed_full()
     else:
@@ -580,6 +591,7 @@ def retract_incremental(
     removed: Iterable[Fact],
     provenance: ChaseProvenance,
     max_steps: int | None = 10_000,
+    seed_delta: Iterable[Fact] | None = None,
 ) -> RetractionResult:
     """Withdraw base facts from a maintained chase result, **in place**.
 
@@ -591,11 +603,25 @@ def retract_incremental(
     is repaired in place (version counters advance only for touched
     relations) and the provenance stays consistent for future calls.
 
+    ``seed_delta`` turns the call into a *combined* repair for one mixed
+    update batch: facts the caller just added to ``instance`` (and registered
+    via :meth:`ChaseProvenance.add_base`) are propagated by the same worklist
+    drain that re-derives the survivors of the deletion — one trigger
+    propagation phase instead of a retraction pass followed by a separate
+    addition chase.  The base registrations must happen *before* this call:
+    an added fact that coincides with a fact in the downward closure of the
+    withdrawal then survives over-deletion through its open registration,
+    which is exactly the semantics of a batch that retracts one justification
+    of a fact while adding another.
+
     When a withdrawn fact supports an egd step, ``replay_required`` is set
-    and **nothing is mutated**: the caller re-chases from its repaired base
-    and rebuilds the provenance.  Raises :class:`ChaseFailure` if the
-    re-derivation pass fails (impossible when the maintained base still has a
-    solution).
+    and the retraction itself has mutated **nothing** (facts staged by the
+    caller for ``seed_delta`` are the caller's to roll back): the caller
+    re-chases from its repaired base and rebuilds the provenance.  Raises
+    :class:`ChaseFailure` if the worklist pass fails — impossible for a pure
+    retraction (a shrunken base keeps every solution of the old one), but a
+    real outcome for a combined batch whose additions violate an egd; the
+    instance is then partially repaired and the caller must rebuild.
     """
     deps = list(dependencies)
     withdrawn = [
@@ -605,19 +631,24 @@ def retract_incremental(
         )
         if fact in instance
     ]
-    if not withdrawn:
+    if not withdrawn and seed_delta is None:
         return RetractionResult(instance)
-    dead_facts, dead_steps, entangled = provenance._delete_closure(withdrawn)
-    if entangled:
-        return RetractionResult(instance, replay_required=True)
-    provenance._apply_deletion(withdrawn, dead_facts, dead_steps)
-    for fact in dead_facts:
-        instance.discard(*fact)
+    dead_facts: set[Fact] = set()
+    dead_steps: set[int] = set()
+    if withdrawn:
+        dead_facts, dead_steps, entangled = provenance._delete_closure(withdrawn)
+        if entangled:
+            return RetractionResult(instance, replay_required=True)
+        provenance._apply_deletion(withdrawn, dead_facts, dead_steps)
+        for fact in dead_facts:
+            instance.discard(*fact)
 
     worklist = _Worklist(instance, deps, max_steps, provenance)
     for dep_index, partial in _rederivation_triggers(dead_facts, deps):
         for assignment in match_atoms(list(deps[dep_index].body), instance, partial):
             worklist.push(dep_index, assignment)
+    if seed_delta is not None:
+        worklist.propagate([(name, tuple(tup)) for name, tup in seed_delta])
     terminated = worklist.run()
 
     readded = set(worklist.new_facts)

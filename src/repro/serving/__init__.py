@@ -4,30 +4,65 @@ The modules below turn the one-shot pipeline (chase, then evaluate) into a
 long-lived service, the architecture every later scaling step (sharding,
 async serving, alternative backends) plugs into:
 
+* :mod:`repro.serving.service` — :class:`ExchangeService`, the transactional,
+  concurrent front door: typed query/update requests and results, buffered
+  transactions committing one mixed batch per scenario, per-scenario
+  reader/writer locks, and a structured ``stats()`` snapshot;
 * :mod:`repro.serving.registry` — named ``(mapping, source)`` scenarios; each
-  mapping compiled once (Skolemization, trigger plan, weak-acyclicity check);
+  *structurally distinct* mapping compiled once (Skolemization, trigger plan,
+  weak-acyclicity check), shared via :func:`mapping_fingerprint`;
 * :mod:`repro.serving.materialized` — the per-scenario materialization:
   canonical layer with per-trigger support counts, chased target, lazily
-  maintained core, and the ``add_source_facts``/``retract_source_facts``
-  update API driven by semi-naive matching, the delta-seeded worklist chase,
-  and delete-and-rederive retraction over the maintained derivation
-  provenance;
+  maintained core, and the unified :meth:`MaterializedExchange.apply_delta`
+  update entry point — one mixed add/retract batch, one trigger
+  re-evaluation, one combined DRed-plus-seeded-chase target repair, one
+  cache-invalidation round, all-or-nothing rollback;
+* :mod:`repro.serving.concurrency` — the writer-preferring
+  :class:`ReadWriteLock` (with contention counters) the service guards each
+  scenario with;
 * :mod:`repro.serving.core_engine` — greedy block-based core computation with
-  candidates pruned through the instance position indexes (replacing the
-  brute-force retraction search on the serving path);
+  candidates pruned through the instance position indexes;
 * :mod:`repro.serving.cache` — the certain-answer cache keyed on
-  ``(query fingerprint, semantics, per-relation version vector)``.
+  ``(query fingerprint, semantics, per-relation version vector)``,
+  synchronised for concurrent readers.
 
 Quickstart::
 
-    from repro.serving import ScenarioRegistry
+    from repro.serving import ExchangeService, QueryRequest
 
-    registry = ScenarioRegistry()
-    exchange = registry.register("conf", mapping, source)
-    answers = exchange.certain_answers(query)        # computed, cached
-    answers = exchange.certain_answers(query)        # O(lookup)
-    exchange.add_source_facts([("Papers", ("p9", "New title"))])
-    answers = exchange.certain_answers(query)        # recomputed incrementally
+    service = ExchangeService()
+    service.register("conf", mapping, source)
+
+    result = service.query("conf", query)      # QueryResult: route="core"
+    result = service.query("conf", query)      # route="cache", cached=True
+    result.answers                             # frozenset of certain answers
+
+    with service.transaction("conf") as txn:   # one atomic mixed batch:
+        txn.add([("Papers", ("p9", "New title"))])
+        txn.retract([("Papers", ("p3", "Old title"))])
+    # ... exactly one refresh pass and one cache-invalidation round later:
+    service.query("conf", query)               # recomputed once, then cached
+    service.stats("conf")                      # sizes, cache, lock counters
+
+Migrating from the pre-service API (the old entry points survive as
+deprecated shims, warned via :class:`ServingDeprecationWarning`):
+
+===========================================  ===================================================
+old (per-operation, unguarded)               new (typed, transactional, lock-guarded)
+===========================================  ===================================================
+``registry = ScenarioRegistry()``            ``service = ExchangeService()``
+``ex = registry.register(n, m, s, deps)``    ``service.register(n, m, s, deps)``
+``ex.certain_answers(q)``                    ``service.query(n, q).answers``
+``ex.add_source_facts(facts)``               ``service.update(n, add=facts)``
+``ex.retract_source_facts(facts)``           ``service.update(n, retract=facts)``
+add + retract back-to-back                   ``with service.transaction(n) as txn: ...``
+``ex.cache_stats``                           ``service.stats(n).cache``
+===========================================  ===================================================
+
+Library code embedding a single-threaded exchange can keep using
+``ScenarioRegistry``/``MaterializedExchange`` directly — ``apply_delta`` is
+the supported update entry point there; only the split
+``add_source_facts``/``retract_source_facts`` pair is deprecated.
 """
 
 from repro.serving.cache import (
@@ -36,13 +71,32 @@ from repro.serving.cache import (
     query_fingerprint,
     version_vector,
 )
+from repro.serving.concurrency import LockStats, ReadWriteLock
 from repro.serving.core_engine import core_of_delta, core_of_indexed, null_blocks
-from repro.serving.materialized import MaterializedExchange, ServingError
+from repro.serving.materialized import (
+    AnswerOutcome,
+    AppliedDelta,
+    MaterializedExchange,
+    ServingDeprecationWarning,
+    ServingError,
+    UpdateStats,
+)
 from repro.serving.registry import (
     CompiledMapping,
     CompiledSTD,
     ScenarioRegistry,
     compile_mapping,
+    mapping_fingerprint,
+)
+from repro.serving.service import (
+    ExchangeService,
+    QueryRequest,
+    QueryResult,
+    ScenarioStats,
+    ServiceStats,
+    Transaction,
+    UpdateRequest,
+    UpdateResult,
 )
 
 __all__ = [
@@ -50,13 +104,28 @@ __all__ = [
     "CertainAnswerCache",
     "query_fingerprint",
     "version_vector",
+    "LockStats",
+    "ReadWriteLock",
     "core_of_delta",
     "core_of_indexed",
     "null_blocks",
+    "AnswerOutcome",
+    "AppliedDelta",
     "MaterializedExchange",
+    "ServingDeprecationWarning",
     "ServingError",
+    "UpdateStats",
     "CompiledMapping",
     "CompiledSTD",
     "ScenarioRegistry",
     "compile_mapping",
+    "mapping_fingerprint",
+    "ExchangeService",
+    "QueryRequest",
+    "QueryResult",
+    "ScenarioStats",
+    "ServiceStats",
+    "Transaction",
+    "UpdateRequest",
+    "UpdateResult",
 ]

@@ -12,11 +12,21 @@ target relations are fed by other relations untouched.
 
 The cache stores answer sets as ``frozenset`` and returns copies, so callers
 can mutate results freely without corrupting the cache.
+
+The cache is safe under concurrent lookups: even a *read* reorders the LRU
+list (delete-and-reinsert) and a miss is repaired with a :meth:`put`, so every
+entry operation runs under an internal mutex.  This is part of what lets the
+serving façade (:mod:`repro.serving.service`) admit many query threads under
+a shared read lock; the core computation carries its own mutex, and the
+instances' lazy position indexes are built locally and published atomically
+(concurrent cold readers may build redundantly, never observe a half-built
+index — on CPython, whose reference interpreter lock the build relies on).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, replace
 from typing import Iterable, Optional
 
 from repro.relational.instance import Instance
@@ -84,24 +94,28 @@ class CertainAnswerCache:
         # dict iteration order doubles as the LRU order: least recently used
         # first, refreshed by delete-and-reinsert on every hit and store.
         self._entries: dict[tuple[str, str], _Entry] = {}
+        # Guards entries and stats: concurrent readers reorder the LRU dict
+        # even on a pure hit, so lookups are not read-only.
+        self._mutex = threading.Lock()
         self.stats = CacheStats()
 
     def get(
         self, fingerprint: str, semantics: str, versions: VersionVector
     ) -> Optional[frozenset]:
         key = (fingerprint, semantics)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if entry.versions != versions:
-            self.stats.stale += 1
-            self.stats.misses += 1
-            return None
-        del self._entries[key]
-        self._entries[key] = entry
-        self.stats.hits += 1
-        return entry.answers
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.versions != versions:
+                self.stats.stale += 1
+                self.stats.misses += 1
+                return None
+            del self._entries[key]
+            self._entries[key] = entry
+            self.stats.hits += 1
+            return entry.answers
 
     def put(
         self,
@@ -112,12 +126,13 @@ class CertainAnswerCache:
     ) -> frozenset:
         frozen = frozenset(answers)
         key = (fingerprint, semantics)
-        self._entries.pop(key, None)
-        self._entries[key] = _Entry(versions, frozen)
-        self.stats.stores += 1
-        if self.capacity is not None and len(self._entries) > self.capacity:
-            self._entries.pop(next(iter(self._entries)))
-            self.stats.evictions += 1
+        with self._mutex:
+            self._entries.pop(key, None)
+            self._entries[key] = _Entry(versions, frozen)
+            self.stats.stores += 1
+            if self.capacity is not None and len(self._entries) > self.capacity:
+                self._entries.pop(next(iter(self._entries)))
+                self.stats.evictions += 1
         return frozen
 
     def invalidate_all(self) -> None:
@@ -128,7 +143,14 @@ class CertainAnswerCache:
         relations are not guaranteed continuous with the cached vectors, so
         the rollback clears the cache instead of auditing them.
         """
-        self._entries.clear()
+        with self._mutex:
+            self._entries.clear()
+
+    def stats_snapshot(self) -> CacheStats:
+        """A consistent copy of the hit/miss counters."""
+        with self._mutex:
+            return replace(self.stats)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mutex:
+            return len(self._entries)

@@ -1,0 +1,128 @@
+"""Reader/writer locks for the serving layer.
+
+One :class:`ReadWriteLock` guards each registered scenario: any number of
+query threads hold the lock in *read* mode simultaneously (queries only read
+the materialization — the caches they warm are safe for concurrent readers), while
+an update transaction takes it in *write* mode and gets exclusive access.
+
+The lock is **writer-preferring**: once a writer is waiting, new readers queue
+behind it.  Under a query-heavy load a FIFO-ish reader stream would otherwise
+starve updates forever — readers overlap each other, so there is always a
+reader inside.  The price is a small read-availability dip around each update,
+which is exactly the semantics a materialized exchange wants: updates are
+rare, and once one is requested the next answers should reflect it soon.
+
+The lock is not reentrant in either mode; the serving façade never nests
+acquisitions.  Multi-scenario transactions acquire their write locks in
+sorted scenario-name order (the lock-ordering rule of
+:meth:`repro.serving.service.ExchangeService.transaction`), which makes
+cross-scenario deadlocks impossible.
+
+:class:`LockStats` counts acquisitions and *contention* (acquisitions that
+had to wait), surfaced per scenario by
+:meth:`~repro.serving.service.ExchangeService.stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+
+@dataclass
+class LockStats:
+    """Acquisition/contention counters of one :class:`ReadWriteLock`."""
+
+    read_acquisitions: int = 0
+    write_acquisitions: int = 0
+    read_waits: int = 0
+    write_waits: int = 0
+    max_concurrent_readers: int = 0
+
+    def contention(self) -> int:
+        """Total acquisitions that found the lock unavailable."""
+        return self.read_waits + self.write_waits
+
+
+class ReadWriteLock:
+    """A writer-preferring reader/writer lock (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+        self._stats = LockStats()
+
+    # -- read side ---------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            if self._writer or self._writers_waiting:
+                self._stats.read_waits += 1
+                while self._writer or self._writers_waiting:
+                    self._cond.wait()
+            self._readers += 1
+            self._stats.read_acquisitions += 1
+            if self._readers > self._stats.max_concurrent_readers:
+                self._stats.max_concurrent_readers = self._readers
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- write side --------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            if self._writer or self._readers:
+                self._stats.write_waits += 1
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+            self._stats.write_acquisitions += 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    # -- context managers --------------------------------------------------
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection -----------------------------------------------------
+
+    def stats_snapshot(self) -> LockStats:
+        """A consistent copy of the counters (taken under the lock's monitor)."""
+        with self._cond:
+            return replace(self._stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._cond:
+            return (
+                f"ReadWriteLock(readers={self._readers}, writer={self._writer}, "
+                f"writers_waiting={self._writers_waiting})"
+            )

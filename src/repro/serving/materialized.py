@@ -20,25 +20,55 @@ A :class:`MaterializedExchange` keeps, for one registered scenario:
   queries are O(lookup) and an update invalidates only the queries that can
   observe the touched relations.
 
-Update propagation: ``add_source_facts`` routes the added tuples through the
-compiled trigger plan — semi-naive matching
-(:func:`repro.logic.cq.match_atoms_delta`) for CQ bodies, a full re-evaluation
-with diffing for non-monotone FO bodies (where additions may also *revoke*
-triggers) — and then extends the target chase with the delta-seeded worklist
-engine instead of re-chasing from scratch.  ``retract_source_facts``
-re-evaluates the affected STDs, drops unsupported canonical facts, and —
-when target dependencies exist — repairs the chased layer in place by
-delete-and-rederive (:func:`repro.chase.incremental.retract_incremental`)
-over the maintained :class:`~repro.chase.incremental.ChaseProvenance`;
-only a retraction entangled with an egd merge falls back to a full
-re-chase.  The cached core follows the same philosophy: additions *and*
-removals are repaired block-locally by
+Update propagation runs through one unified entry point,
+:meth:`MaterializedExchange.apply_delta`, taking a *mixed* batch of source
+additions and retractions and paying each maintenance phase **once**:
+
+1. one *trigger re-evaluation round* — retraction candidates are enumerated
+   semi-naively over the pre-removal source (a stored trigger can only die if
+   some body instantiation used a removed fact), the source is mutated, and
+   one pass over the listening STDs withdraws dead triggers (re-joining with
+   the trigger's bindings fixed over the *final* source, so a trigger kept
+   alive by an added fact never flaps) and applies fresh triggers from the
+   added delta (:func:`repro.logic.cq.match_atoms_delta`; non-monotone FO
+   bodies are re-evaluated and diffed once, since additions may also *revoke*
+   triggers);
+2. one *target repair* — with target dependencies, the canonical-layer delta
+   is staged into the chased target and a single
+   :func:`~repro.chase.incremental.retract_incremental` call repairs it in
+   place: DRed over-delete + one worklist drain that both re-derives
+   survivors and propagates the additions (a pure-addition batch takes the
+   in-place delta-seeded :func:`~repro.chase.incremental.chase_incremental`
+   instead; only an egd-entangled retraction falls back to a full re-chase);
+3. one *cache-invalidation round* — version counters advance once per touched
+   relation, so a query goes stale at most once per batch however mixed it
+   was.
+
+A failing repair (egd conflict, blown step budget) rejects the whole batch:
+the source mutation is reverted, the canonical layer re-synced, and the
+target rebuilt — all-or-nothing.  The cached core follows the same
+philosophy: additions *and* removals are repaired block-locally by
 :func:`~repro.serving.core_engine.core_of_delta`, with full recomputation
 reserved for egd rewrites.
+
+The per-operation entry points ``add_source_facts``/``retract_source_facts``
+are deprecated shims over ``apply_delta`` (a mixed churn batch through them
+pays two refreshes and two invalidation rounds); new code goes through
+:class:`repro.serving.service.ExchangeService`, which adds typed
+request/response objects, transactions, and per-scenario reader/writer
+locking on top of this class.  Concurrent *queries* against one exchange are
+safe by themselves on CPython — the answer cache and the core computation
+are mutex-guarded, and the instances' lazy index builds publish only
+fully-built structures (redundant cold builds are possible, torn reads are
+not); updates require the exclusive access the service's write lock
+provides.
 """
 
 from __future__ import annotations
 
+import threading
+import warnings
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Optional
 
 from repro.chase.engine import ChaseFailure
@@ -78,6 +108,73 @@ class ServingError(Exception):
     """Raised when a scenario cannot serve a request (failed chase, bad query)."""
 
 
+class ServingDeprecationWarning(DeprecationWarning):
+    """Warned by the deprecated per-operation update shims.
+
+    The repo's own test configuration escalates this category to an error
+    (``pytest.ini``), so internal code cannot quietly keep using the old
+    split API; external callers get an ordinary deprecation period.
+    """
+
+
+@dataclass
+class UpdateStats:
+    """Per-exchange counters of the update machinery, one increment per phase.
+
+    ``trigger_rounds``/``target_repairs``/``invalidation_rounds`` each advance
+    exactly once per applied batch — the observable guarantee that a mixed
+    add/retract batch is not paying the two-pass price of the deprecated
+    split API.  ``replays`` counts egd-entangled retractions that fell back
+    to a full re-chase, ``rollbacks`` the rejected (and fully undone)
+    batches.
+    """
+
+    batches: int = 0
+    trigger_rounds: int = 0
+    target_repairs: int = 0
+    invalidation_rounds: int = 0
+    replays: int = 0
+    rollbacks: int = 0
+
+
+@dataclass(frozen=True)
+class AppliedDelta:
+    """The net source mutation one :meth:`MaterializedExchange.apply_delta` made.
+
+    ``added``/``removed`` list the source facts actually inserted/deleted
+    (inputs already present/absent are dropped during normalisation).
+    Applying the *inverse* delta — ``apply_delta(added=removed,
+    removed=added)`` — restores the pre-batch scenario exactly: justification
+    nulls are deterministic per trigger, so the canonical layer returns
+    identically and the target up to fresh chase nulls.  The service layer's
+    multi-scenario transactions rely on this for cross-scenario rollback.
+    """
+
+    added: tuple[Fact, ...] = ()
+    removed: tuple[Fact, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed)
+
+
+@dataclass(frozen=True)
+class AnswerOutcome:
+    """One served query: the answers plus how they were produced.
+
+    ``route`` is the dispatch decision actually taken — ``"cache"`` (version
+    vector matched a stored entry), ``"core"`` (UCQ evaluated naively over
+    the maintained core), ``"target"`` (other monotone queries over the full
+    chased target), or ``"deqa"`` (non-monotone queries through the DEQA
+    procedures over the live source).  ``semantics`` is the cache-semantics
+    key (``"monotone"`` or the parameterised ``"deqa:…"``).
+    """
+
+    answers: frozenset
+    semantics: str
+    route: str
+    cached: bool
+
+
 class MaterializedExchange:
     """One scenario's materialized state (see module docstring)."""
 
@@ -104,6 +201,10 @@ class MaterializedExchange:
             cstd.index: {} for cstd in compiled.stds
         }
         self._cache = CertainAnswerCache(capacity=cache_capacity)
+        self.update_stats = UpdateStats()
+        # Serialises lazy core (re)computation between concurrent readers;
+        # updates are excluded wholesale by the service's write lock.
+        self._core_mutex = threading.Lock()
         self._core: Optional[Instance] = None
         self._core_versions: Optional[VersionVector] = None
         # Net (added, removed) target facts since the cached core was
@@ -151,6 +252,24 @@ class MaterializedExchange:
     def cache_stats(self) -> CacheStats:
         return self._cache.stats
 
+    @property
+    def cache_entries(self) -> int:
+        """Number of live answer-cache entries."""
+        return len(self._cache)
+
+    def cache_stats_snapshot(self) -> CacheStats:
+        """A consistent copy of the answer-cache counters (for ``stats()``)."""
+        return self._cache.stats_snapshot()
+
+    @property
+    def core_size(self) -> Optional[int]:
+        """Tuples in the cached core, or ``None`` if no core was computed yet.
+
+        Introspection only (``service.stats()``): reading it never triggers
+        the computation :meth:`core` would.
+        """
+        return len(self._core) if self._core is not None else None
+
     def core(self) -> Instance:
         """The core of the target, maintained rather than recomputed.
 
@@ -161,25 +280,31 @@ class MaterializedExchange:
         may have invalidated the fold that justified dropping them).  Only
         egd rewrites — whose substitutions touch unrecorded relations — fall
         back to a full block-based recomputation.
+
+        Thread-safe against concurrent readers: the computation runs under a
+        mutex (when the cached core is current, the cost is one version-vector
+        comparison).
         """
-        versions = self._target_versions()
-        if self._core is not None and self._core_versions == versions:
+        with self._core_mutex:
+            versions = self._target_versions()
+            if self._core is not None and self._core_versions == versions:
+                return self._core
+            if self._core is not None and self._core_delta is not None:
+                added, removed = self._core_delta
+                # Addition-only deltas omit the target on purpose:
+                # serving-layer additions never reuse a folded-away null
+                # (chase nulls are fresh; a justification null returns only
+                # after its facts left the target, i.e. through a removal), so
+                # the reused-null scan core_of_delta runs when given a target
+                # would be pure overhead.
+                self._core = core_of_delta(
+                    self._core, added, removed, target=self._target if removed else None
+                )
+            else:
+                self._core = core_of_indexed(self._target)
+            self._core_versions = versions
+            self._core_delta = ([], [])
             return self._core
-        if self._core is not None and self._core_delta is not None:
-            added, removed = self._core_delta
-            # Addition-only deltas omit the target on purpose: serving-layer
-            # additions never reuse a folded-away null (chase nulls are fresh;
-            # a justification null returns only after its facts left the
-            # target, i.e. through a removal), so the reused-null scan
-            # core_of_delta runs when given a target would be pure overhead.
-            self._core = core_of_delta(
-                self._core, added, removed, target=self._target if removed else None
-            )
-        else:
-            self._core = core_of_indexed(self._target)
-        self._core_versions = versions
-        self._core_delta = ([], [])
-        return self._core
 
     # -- trigger bookkeeping ----------------------------------------------
 
@@ -253,98 +378,88 @@ class MaterializedExchange:
 
     # -- update API --------------------------------------------------------
 
-    def add_source_facts(self, facts: Iterable[tuple[str, Iterable[Any]]]) -> int:
-        """Add source tuples and refresh the materialization incrementally.
+    def apply_delta(
+        self,
+        added: Iterable[tuple[str, Iterable[Any]]] = (),
+        removed: Iterable[tuple[str, Iterable[Any]]] = (),
+    ) -> AppliedDelta:
+        """Apply one mixed batch of source additions and retractions atomically.
 
-        Returns the number of tuples actually added (duplicates are ignored).
+        The single update entry point (see the module docstring for the
+        three-phase structure): however mixed the batch, the materialization
+        pays exactly one trigger re-evaluation round, one target repair, and
+        one cache-invalidation round.  Inputs are normalised against the
+        current source — additions already present and retractions already
+        absent are dropped — and the two sides must be disjoint after
+        normalisation (a transaction nets out conflicting operations before
+        calling; passing the same fact on both sides raises ``ValueError``).
+
+        On a failed repair (egd conflict, blown step budget) the batch is
+        rejected whole: :class:`ServingError` propagates after the source,
+        canonical layer and target have been rolled back to the pre-batch
+        scenario.
         """
-        delta: list[Fact] = []
-        for name, values in facts:
-            tup = tuple(values)
-            if (name, tup) not in self.source:
-                self.source.add(name, tup)
-                delta.append((name, tup))
-        if not delta:
-            return 0
-        touched = sorted({name for name, _ in delta})
-        added: list[Fact] = []
-        removed: list[Fact] = []
-        for cstd in self.compiled.listeners(touched):
-            if cstd.incremental:
+        raw_add = {(name, tuple(values)) for name, values in added}
+        raw_remove = {(name, tuple(values)) for name, values in removed}
+        overlap = raw_add & raw_remove
+        if overlap:
+            raise ValueError(
+                f"facts cannot be added and removed in the same delta: "
+                f"{sorted(overlap, key=repr)[:3]!r}"
+            )
+        to_add = sorted((fact for fact in raw_add if fact not in self.source), key=repr)
+        to_remove = sorted((fact for fact in raw_remove if fact in self.source), key=repr)
+        if not to_add and not to_remove:
+            return AppliedDelta()
+
+        self.update_stats.batches += 1
+        touched = sorted(
+            {name for name, _ in to_add} | {name for name, _ in to_remove}
+        )
+        listeners = self.compiled.listeners(touched)
+        # Semi-naive withdrawal candidates for CQ bodies, enumerated over the
+        # *pre-removal* source: a stored trigger can only disappear if some
+        # instantiation of its body used a removed fact, so the delta join
+        # yields exactly the candidate trigger keys — O(delta), not O(source).
+        candidates: dict[int, set[TriggerKey]] = {}
+        if to_remove:
+            for cstd in listeners:
+                if not cstd.incremental:
+                    continue
                 stored = self._assignments[cstd.index]
+                keys: set[TriggerKey] = set()
                 for assignment in match_atoms_delta(
-                    list(cstd.atoms), self.source, delta, equalities=list(cstd.equalities)
+                    list(cstd.atoms),
+                    self.source,
+                    to_remove,
+                    equalities=list(cstd.equalities),
                 ):
                     projected = {
                         v: assignment[v] for v in cstd.free_vars if v in assignment
                     }
                     key = self._trigger_key(cstd.index, projected)
-                    if key not in stored:
-                        added.extend(self._apply_trigger(cstd, projected, key))
-            else:
-                std_added, std_removed = self._resync_std(cstd)
-                added.extend(std_added)
-                removed.extend(std_removed)
-        try:
-            self._refresh_target(added, removed)
-        except ServingError:
-            self._undo_source_update(to_remove=delta, to_restore=[])
-            raise
-        return len(delta)
+                    if key in stored:
+                        keys.add(key)
+                candidates[cstd.index] = keys
 
-    def retract_source_facts(self, facts: Iterable[tuple[str, Iterable[Any]]]) -> int:
-        """Remove source tuples and withdraw everything they justified.
-
-        Returns the number of tuples actually removed.  The canonical layer is
-        repaired exactly through the per-fact support counts; with target
-        dependencies the chased layer is repaired *in place* by
-        delete-and-rederive over the maintained derivation provenance
-        (over-delete the downward closure of the withdrawn facts, then
-        re-derive survivors with the ordinary worklist).  Only when a
-        withdrawn fact is entangled with an egd merge — whose substitution
-        cannot be unwound — is the target re-chased from the repaired
-        canonical layer.
-        """
-        delta: list[Fact] = []
-        seen: set[Fact] = set()
-        for name, values in facts:
-            fact = (name, tuple(values))
-            if fact in self.source and fact not in seen:
-                seen.add(fact)
-                delta.append(fact)
-        if not delta:
-            return 0
-        touched = sorted({name for name, _ in delta})
-        listeners = self.compiled.listeners(touched)
-        # Semi-naive withdrawal for CQ bodies: a stored trigger can only
-        # disappear if some instantiation of its body used a removed fact, so
-        # the delta join over the *pre-removal* source enumerates exactly the
-        # candidate trigger keys — O(delta), not O(source).
-        candidates: dict[int, set[TriggerKey]] = {}
-        for cstd in listeners:
-            if not cstd.incremental:
-                continue
-            stored = self._assignments[cstd.index]
-            keys: set[TriggerKey] = set()
-            for assignment in match_atoms_delta(
-                list(cstd.atoms), self.source, delta, equalities=list(cstd.equalities)
-            ):
-                projected = {v: assignment[v] for v in cstd.free_vars if v in assignment}
-                key = self._trigger_key(cstd.index, projected)
-                if key in stored:
-                    keys.add(key)
-            candidates[cstd.index] = keys
-        for fact in delta:
+        for fact in to_remove:
             self.source.discard(*fact)
-        added: list[Fact] = []
-        removed: list[Fact] = []
+        for fact in to_add:
+            self.source.add(*fact)
+
+        # One trigger re-evaluation round over the final source.
+        self.update_stats.trigger_rounds += 1
+        canonical_added: list[Fact] = []
+        canonical_removed: list[Fact] = []
         for cstd in listeners:
             if cstd.incremental:
                 stored = self._assignments[cstd.index]
-                for key in sorted(candidates[cstd.index], key=repr):
+                for key in sorted(candidates.get(cstd.index, ()), key=repr):
                     # The projection drops ∃-quantified body variables, so a
-                    # candidate may have surviving witnesses: re-join with the
-                    # trigger's bindings fixed before withdrawing it.
+                    # candidate may have surviving witnesses — including ones
+                    # through facts this very batch added: re-join with the
+                    # trigger's bindings fixed over the final source before
+                    # withdrawing it.
                     survivor = next(
                         match_atoms(
                             list(cstd.atoms),
@@ -355,17 +470,67 @@ class MaterializedExchange:
                         None,
                     )
                     if survivor is None:
-                        removed.extend(self._retract_trigger(cstd.index, key))
+                        canonical_removed.extend(
+                            self._retract_trigger(cstd.index, key)
+                        )
+                if to_add:
+                    for assignment in match_atoms_delta(
+                        list(cstd.atoms),
+                        self.source,
+                        to_add,
+                        equalities=list(cstd.equalities),
+                    ):
+                        projected = {
+                            v: assignment[v]
+                            for v in cstd.free_vars
+                            if v in assignment
+                        }
+                        key = self._trigger_key(cstd.index, projected)
+                        if key not in stored:
+                            canonical_added.extend(
+                                self._apply_trigger(cstd, projected, key)
+                            )
             else:
                 std_added, std_removed = self._resync_std(cstd)
-                added.extend(std_added)
-                removed.extend(std_removed)
+                canonical_added.extend(std_added)
+                canonical_removed.extend(std_removed)
+
         try:
-            self._refresh_target(added, removed)
+            self._refresh_target(canonical_added, canonical_removed)
         except ServingError:
-            self._undo_source_update(to_remove=[], to_restore=delta)
+            self.update_stats.rollbacks += 1
+            self._undo_source_update(to_remove=to_add, to_restore=to_remove)
             raise
-        return len(delta)
+        return AppliedDelta(added=tuple(to_add), removed=tuple(to_remove))
+
+    def add_source_facts(self, facts: Iterable[tuple[str, Iterable[Any]]]) -> int:
+        """Deprecated shim: add source tuples (use :meth:`apply_delta`).
+
+        Returns the number of tuples actually added (duplicates are ignored).
+        A mixed churn batch split across this and :meth:`retract_source_facts`
+        pays two refresh passes and two cache-invalidation rounds; the
+        unified entry point (or a service transaction) pays one.
+        """
+        warnings.warn(
+            "add_source_facts is deprecated; use apply_delta(added=...) or an "
+            "ExchangeService transaction",
+            ServingDeprecationWarning,
+            stacklevel=2,
+        )
+        return len(self.apply_delta(added=facts).added)
+
+    def retract_source_facts(self, facts: Iterable[tuple[str, Iterable[Any]]]) -> int:
+        """Deprecated shim: remove source tuples (use :meth:`apply_delta`).
+
+        Returns the number of tuples actually removed.
+        """
+        warnings.warn(
+            "retract_source_facts is deprecated; use apply_delta(removed=...) "
+            "or an ExchangeService transaction",
+            ServingDeprecationWarning,
+            stacklevel=2,
+        )
+        return len(self.apply_delta(removed=facts).removed)
 
     def _undo_source_update(self, to_remove: list[Fact], to_restore: list[Fact]) -> None:
         """Roll the exchange back to its pre-update state after a failed chase.
@@ -418,6 +583,21 @@ class MaterializedExchange:
         return result.instance
 
     def _refresh_target(self, added: list[Fact], removed: list[Fact]) -> None:
+        """Repair the chased target for one canonical-layer delta — one pass.
+
+        Called exactly once per applied batch; counts as the batch's single
+        target repair and single cache-invalidation round.  Mixed deltas take
+        the *combined* path: the additions are staged into the target (base
+        registrations first), and one :func:`retract_incremental` call both
+        over-deletes/re-derives the withdrawal and propagates the additions
+        through the same worklist drain.  Pure additions take the in-place
+        delta-seeded chase (no per-batch copy, no version rebind — the
+        rollback path is the failure net).  In every in-place outcome the raw
+        version counters advance for exactly the touched relations, keeping
+        cache entries over untouched relations warm.
+        """
+        self.update_stats.target_repairs += 1
+        self.update_stats.invalidation_rounds += 1
         if not self.compiled.target_dependencies:
             # The target *is* the canonical layer, already repaired in place;
             # only the core-maintenance bookkeeping remains (removals repair
@@ -426,8 +606,18 @@ class MaterializedExchange:
                 self._core_delta[0].extend(added)
                 self._core_delta[1].extend(removed)
             return
-        old_versions = self._target_versions()
         if removed:
+            # Sampled for the replay branch only; the in-place paths never
+            # rebind, so they need no version bookkeeping at all.
+            old_versions = self._target_versions()
+            # Stage the additions before the combined repair: a staged fact in
+            # the downward closure of the withdrawal survives over-deletion
+            # through its fresh base registration (the batch retracted one
+            # justification while adding another).
+            if added:
+                self._provenance.add_base(added)
+                for fact in added:
+                    self._target.add(*fact)
             try:
                 retraction = retract_incremental(
                     self._target,
@@ -435,16 +625,23 @@ class MaterializedExchange:
                     removed,
                     self._provenance,
                     max_steps=self.max_chase_steps,
+                    seed_delta=added or None,
                 )
-            except ChaseFailure as failure:  # pragma: no cover - defensive: a
-                # shrunken base keeps every solution of the old one
+            except ChaseFailure as failure:
+                # Impossible for a pure retraction (a shrunken base keeps
+                # every solution of the old one) but a real outcome for a
+                # combined batch whose additions violate an egd; the caller
+                # rolls back and rebuilds.
                 raise ServingError(
                     f"scenario {self.name!r} has no solution: {failure}"
                 ) from failure
             if retraction.replay_required:
                 # A withdrawn fact supported an egd merge whose substitution
                 # cannot be unwound: replay from the repaired canonical layer
-                # (which already reflects `added` as well).
+                # (which already reflects `added`; the facts staged above are
+                # superseded by the rebind, and the replay rebuilds the
+                # provenance from scratch).
+                self.update_stats.replays += 1
                 self._rebind_target(
                     self._full_chase(self._canonical), old_versions, None
                 )
@@ -459,13 +656,16 @@ class MaterializedExchange:
             if any(step.kind == "egd" for step in retraction.steps):
                 self._core_delta = None
             elif self._core_delta is not None:
+                self._core_delta[0].extend(added)
                 self._core_delta[0].extend(retraction.added)
                 self._core_delta[1].extend(retraction.removed)
+            return
         if not added:
             return
-        # Re-sample after the in-place retraction so its version advances are
-        # preserved by the rebind below.
-        old_versions = self._target_versions()
+        # Pure addition: extend the chase in place, seeded from the delta —
+        # no per-batch target copy and no `_version_base` rebind (the ROADMAP
+        # open item); a failure leaves the target partially chased, which the
+        # caller's rollback repairs by rebuilding from the canonical layer.
         self._provenance.add_base(added)
         for fact in added:
             self._target.add(*fact)
@@ -476,6 +676,7 @@ class MaterializedExchange:
                 max_steps=self.max_chase_steps,
                 seed_delta=added,
                 provenance=self._provenance,
+                in_place=True,
             )
         except ChaseFailure as failure:
             raise ServingError(
@@ -484,16 +685,17 @@ class MaterializedExchange:
         if not result.terminated:
             raise ServingError(f"target chase of scenario {self.name!r} did not terminate")
         if any(step.kind == "egd" for step in result.steps):
-            # Substitutions rewrote existing facts in unrecorded relations.
-            self._rebind_target(result.instance, old_versions, None)
+            # Substitutions rewrote facts in relations the delta did not
+            # record; the in-place substitution bumped exactly the rewritten
+            # relations' counters, so only their cache entries go stale — but
+            # the core must be rebuilt.
             self._core_delta = None
             return
-        chase_added = [fact for step in result.steps for fact in step.added]
-        changed = {name for name, _ in added} | {name for name, _ in chase_added}
-        self._rebind_target(result.instance, old_versions, changed)
         if self._core_delta is not None:
             self._core_delta[0].extend(added)
-            self._core_delta[0].extend(chase_added)
+            self._core_delta[0].extend(
+                fact for step in result.steps for fact in step.added
+            )
 
     # -- query serving -----------------------------------------------------
 
@@ -541,13 +743,13 @@ class MaterializedExchange:
             return sorted(relations_of(query.formula))
         return sorted(relations_of(normalized.formula))
 
-    def certain_answers(
+    def answer(
         self,
         query: AnyQuery,
         extra_constants: int | None = None,
         max_extra_tuples: int | None = None,
-    ) -> set[tuple]:
-        """Serve ``certain_Σα(Q, S)`` from the materialization and the cache.
+    ) -> AnswerOutcome:
+        """Serve ``certain_Σα(Q, S)``, reporting the route the answers took.
 
         The dispatch decision is made here, once per (query, state) pair:
 
@@ -558,6 +760,9 @@ class MaterializedExchange:
         * non-monotone queries — the DEQA procedures over the live source
           (only for scenarios without target dependencies, whose semantics
           DEQA implements), cached on the source's version vector.
+
+        Safe under concurrent callers (the answer cache and the core cache
+        are safe for concurrent readers); updates still require exclusive access.
         """
         normalized = _as_query(query, self.compiled.mapping)
         fingerprint = query_fingerprint(normalized)
@@ -568,13 +773,15 @@ class MaterializedExchange:
             )
             cached = self._cache.get(fingerprint, semantics, versions)
             if cached is not None:
-                return set(cached)
+                return AnswerOutcome(cached, semantics, "cache", True)
             if isinstance(query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+                route = "core"
                 answers = certain_answers_naive(query, self.core())
             else:
+                route = "target"
                 answers = certain_answers_naive(query, self._target)
-            self._cache.put(fingerprint, semantics, versions, answers)
-            return set(answers)
+            frozen = self._cache.put(fingerprint, semantics, versions, answers)
+            return AnswerOutcome(frozen, semantics, route, False)
 
         if self.compiled.target_dependencies:
             raise ServingError(
@@ -585,7 +792,7 @@ class MaterializedExchange:
         versions = self._source_versions()
         cached = self._cache.get(fingerprint, semantics, versions)
         if cached is not None:
-            return set(cached)
+            return AnswerOutcome(cached, semantics, "cache", True)
         answers = certain_answers(
             self.compiled.mapping,
             self.source,
@@ -593,8 +800,28 @@ class MaterializedExchange:
             extra_constants=extra_constants,
             max_extra_tuples=max_extra_tuples,
         )
-        self._cache.put(fingerprint, semantics, versions, answers)
-        return set(answers)
+        frozen = self._cache.put(fingerprint, semantics, versions, answers)
+        return AnswerOutcome(frozen, semantics, "deqa", False)
+
+    def certain_answers(
+        self,
+        query: AnyQuery,
+        extra_constants: int | None = None,
+        max_extra_tuples: int | None = None,
+    ) -> set[tuple]:
+        """Serve ``certain_Σα(Q, S)`` as a plain (mutable) answer set.
+
+        Convenience wrapper over :meth:`answer` for callers that only want
+        the answers; the service layer uses :meth:`answer` to surface the
+        dispatch route and cache outcome in its typed results.
+        """
+        return set(
+            self.answer(
+                query,
+                extra_constants=extra_constants,
+                max_extra_tuples=max_extra_tuples,
+            ).answers
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -72,6 +72,27 @@ class CompiledMapping:
         return [self.stds[i] for i in indexes]
 
 
+def mapping_fingerprint(
+    mapping: SchemaMapping, target_dependencies: Sequence[TGD | EGD] = ()
+) -> str:
+    """A structural identity for ``(mapping, target dependencies)``.
+
+    Two *structurally equal* inputs — same schemas, same STD rules (heads,
+    annotations, bodies, in order), same dependencies — share a fingerprint
+    regardless of object identity, so the registry compiles them once; and
+    the string is stable across processes (it is built from the library's
+    deterministic ``repr`` forms, the same property the query-fingerprint
+    cache keys rely on), so it can key external compilation caches too.
+    STD order matters by design: trigger keys and justification nulls embed
+    the STD index, so reordered mappings are deliberately distinct.
+    """
+    source = sorted((r.name, r.arity) for r in mapping.source.relations())
+    target = sorted((r.name, r.arity) for r in mapping.target.relations())
+    stds = "; ".join(repr(std) for std in mapping.stds)
+    deps = "; ".join(repr(dep) for dep in target_dependencies)
+    return f"source={source!r}|target={target!r}|stds={stds}|deps={deps}"
+
+
 def _compile_std(index: int, std: STD) -> CompiledSTD:
     atoms: tuple[Atom, ...] | None = None
     equalities: tuple[Eq, ...] | None = None
@@ -132,19 +153,21 @@ class ScenarioRegistry:
     """
 
     def __init__(self) -> None:
-        # Compilation cache keyed by identity of (mapping, dependency tuple);
-        # the cache holds strong references, keeping the ids stable.  Each
-        # scenario records its compilation key so deregistration can evict
-        # compilations no registered scenario uses any more.
-        self._compilations: dict[tuple[int, tuple[int, ...]], CompiledMapping] = {}
+        # Compilation cache keyed by the *structural* fingerprint of
+        # (mapping, dependency tuple): structurally equal mappings compile
+        # once however many objects spell them, and the key stays meaningful
+        # across processes.  Each scenario records its compilation key so
+        # deregistration can evict compilations no registered scenario uses
+        # any more.
+        self._compilations: dict[str, CompiledMapping] = {}
         self._scenarios: dict[str, "MaterializedExchange"] = {}
-        self._scenario_keys: dict[str, tuple[int, tuple[int, ...]]] = {}
+        self._scenario_keys: dict[str, str] = {}
 
     @staticmethod
     def _compilation_key(
         mapping: SchemaMapping, target_dependencies: Sequence[TGD | EGD]
-    ) -> tuple[int, tuple[int, ...]]:
-        return (id(mapping), tuple(id(d) for d in target_dependencies))
+    ) -> str:
+        return mapping_fingerprint(mapping, target_dependencies)
 
     def compile(
         self,

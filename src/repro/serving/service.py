@@ -1,0 +1,539 @@
+"""The transactional, concurrent front door of the serving layer.
+
+:class:`ExchangeService` is the single entry point applications talk to: it
+wraps a :class:`~repro.serving.registry.ScenarioRegistry` and exposes the
+whole serving surface — registration, queries, updates, introspection — as a
+typed request/response protocol with transactional updates and per-scenario
+reader/writer locking.
+
+**Protocol.**  Queries go in as :class:`QueryRequest` (or the positional
+convenience ``service.query("conf", q)``) and come back as
+:class:`QueryResult`, carrying the answers plus the semantics served, the
+dispatch route actually taken (``cache``/``core``/``target``/``deqa``), the
+cache outcome and the wall-clock cost.  Updates go in as one
+:class:`UpdateRequest` holding a *mixed* delta of additions and retractions
+and come back as :class:`UpdateResult` with the net source mutation and the
+maintenance rounds paid (always one of each — the point of the unified
+update path).
+
+**Transactions.**  ``with service.transaction("conf") as txn:`` buffers any
+number of ``txn.add(...)``/``txn.retract(...)`` calls and commits them on
+exit as *one* batch per scenario: conflicting operations on the same fact
+net out (last call wins), and the batch is applied atomically through
+:meth:`~repro.serving.materialized.MaterializedExchange.apply_delta` — one
+trigger re-evaluation, one target repair, one cache-invalidation round,
+all-or-nothing on failure.  A transaction may span several scenarios; their
+write locks are acquired in sorted name order (the lock-ordering rule that
+makes cross-scenario deadlocks impossible) and a scenario that fails
+mid-commit rolls the already-committed scenarios back by applying their
+inverse deltas.
+
+**Concurrency.**  Each scenario carries a writer-preferring
+:class:`~repro.serving.concurrency.ReadWriteLock`: any number of query
+threads serve concurrently from the cache/core while a committing
+transaction gets exclusive access.  Queries against a
+:class:`MaterializedExchange` are themselves safe under concurrent readers
+(the answer cache and core computation are mutex-guarded, lazy index builds
+publish atomically), so the read side scales with the number of clients
+whenever query evaluation blocks or releases the interpreter lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.chase.dependencies import EGD, TGD
+from repro.core.certain import AnyQuery
+from repro.core.mapping import SchemaMapping
+from repro.relational.instance import Instance
+from repro.serving.cache import CacheStats
+from repro.serving.concurrency import LockStats, ReadWriteLock
+from repro.serving.materialized import (
+    AppliedDelta,
+    Fact,
+    MaterializedExchange,
+    ServingError,
+    UpdateStats,
+)
+from repro.serving.registry import ScenarioRegistry
+
+FactInput = tuple[str, Iterable[Any]]
+
+
+# ---------------------------------------------------------------------------
+# Protocol objects
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query against one scenario (DEQA knobs apply to non-monotone only)."""
+
+    scenario: str
+    query: AnyQuery
+    extra_constants: int | None = None
+    max_extra_tuples: int | None = None
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Served answers plus how they were produced (see the module docstring)."""
+
+    scenario: str
+    answers: frozenset
+    semantics: str
+    route: str
+    cached: bool
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """One mixed delta of additions and retractions for one scenario.
+
+    The two sides must be disjoint; a buffered :class:`Transaction` nets
+    conflicting operations out before building its requests.
+    """
+
+    scenario: str
+    add: tuple[Fact, ...] = ()
+    retract: tuple[Fact, ...] = ()
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """The net mutation one committed batch made, plus the rounds it paid."""
+
+    scenario: str
+    added: tuple[Fact, ...]
+    retracted: tuple[Fact, ...]
+    trigger_rounds: int
+    target_repairs: int
+    invalidation_rounds: int
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class ScenarioStats:
+    """One scenario's structured introspection snapshot."""
+
+    name: str
+    source_tuples: int
+    target_tuples: int
+    core_tuples: int | None
+    cache_entries: int
+    cache: CacheStats
+    updates: UpdateStats
+    lock: LockStats
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """The service-wide snapshot: one :class:`ScenarioStats` per scenario."""
+
+    scenarios: tuple[ScenarioStats, ...]
+
+    def scenario(self, name: str) -> ScenarioStats:
+        for stats in self.scenarios:
+            if stats.name == name:
+                return stats
+        raise KeyError(f"no scenario named {name!r} in this snapshot")
+
+
+def _normalise(facts: Iterable[FactInput]) -> list[Fact]:
+    return [(name, tuple(values)) for name, values in facts]
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+
+class Transaction:
+    """A buffered mixed update over one or more scenarios.
+
+    Operations are recorded in call order; the *last* operation on a fact
+    wins (``retract`` then ``add`` of a live fact is a net no-op — the fact
+    never leaves the materialization, no null is re-minted).  Nothing touches
+    the service until :meth:`commit` (called by ``__exit__`` on a clean
+    block), which takes the write locks in sorted scenario-name order and
+    applies one :meth:`~MaterializedExchange.apply_delta` batch per scenario.
+    An exception inside the ``with`` block discards the buffer.
+
+    After commit, :attr:`results` maps each touched scenario to its
+    :class:`UpdateResult`.
+    """
+
+    def __init__(self, service: "ExchangeService", scenarios: Sequence[str]):
+        if not scenarios:
+            raise ValueError("a transaction needs at least one scenario")
+        duplicates = {name for name in scenarios if scenarios.count(name) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate scenarios in transaction: {sorted(duplicates)}")
+        self._service = service
+        self._scenarios = tuple(scenarios)
+        # fact -> True (add) / False (retract); dict order is call order and
+        # assignment overwrites implement last-call-wins netting.
+        self._buffer: dict[str, dict[Fact, bool]] = {name: {} for name in scenarios}
+        self._closed = False
+        self.results: dict[str, UpdateResult] = {}
+
+    def _target_scenario(self, scenario: str | None) -> str:
+        if scenario is not None:
+            if scenario not in self._buffer:
+                raise KeyError(f"scenario {scenario!r} is not part of this transaction")
+            return scenario
+        if len(self._scenarios) == 1:
+            return self._scenarios[0]
+        raise ValueError(
+            "a multi-scenario transaction must name the scenario per operation"
+        )
+
+    def _record(
+        self, facts: Iterable[FactInput], scenario: str | None, is_add: bool
+    ) -> None:
+        if self._closed:
+            raise RuntimeError("this transaction has already been committed or aborted")
+        buffer = self._buffer[self._target_scenario(scenario)]
+        for fact in _normalise(facts):
+            buffer[fact] = is_add
+
+    def add(self, facts: Iterable[FactInput], scenario: str | None = None) -> None:
+        """Buffer source additions (for ``scenario``, or the single default)."""
+        self._record(facts, scenario, True)
+
+    def retract(self, facts: Iterable[FactInput], scenario: str | None = None) -> None:
+        """Buffer source retractions (for ``scenario``, or the single default)."""
+        self._record(facts, scenario, False)
+
+    def commit(self) -> dict[str, UpdateResult]:
+        """Apply the buffered batches atomically; see the class docstring.
+
+        On a failed scenario the already-committed ones are rolled back by
+        their inverse deltas (sound because a successfully applied delta came
+        from a consistent state — see
+        :class:`~repro.serving.materialized.AppliedDelta`), the buffer is
+        discarded, and the failure propagates: all-or-nothing across the
+        whole transaction.
+        """
+        if self._closed:
+            raise RuntimeError("this transaction has already been committed or aborted")
+        self._closed = True
+        names = sorted(name for name in self._scenarios if self._buffer[name])
+        # The lock-ordering rule: every multi-scenario commit acquires write
+        # locks in sorted name order, so two transactions can never hold
+        # locks in opposite orders.  Acquisition happens inside the
+        # try/finally (an async exception mid-acquisition must release the
+        # locks already taken), and a lock that went stale while we waited —
+        # its scenario deregistered or re-registered concurrently — restarts
+        # the acquisition against the current lock table.
+        acquired: list[ReadWriteLock] = []
+        try:
+            while True:
+                locks = [self._service._lock(name) for name in names]
+                for lock in locks:
+                    lock.acquire_write()
+                    acquired.append(lock)
+                if all(
+                    self._service._locks.get(name) is lock
+                    for name, lock in zip(names, locks)
+                ):
+                    break
+                while acquired:
+                    acquired.pop().release_write()
+
+            committed: list[tuple[str, AppliedDelta]] = []
+            try:
+                for name in names:
+                    exchange = self._service._registry.get(name)
+                    buffer = self._buffer[name]
+                    start = time.perf_counter()
+                    before = replace(exchange.update_stats)
+                    applied = exchange.apply_delta(
+                        added=[fact for fact, is_add in buffer.items() if is_add],
+                        removed=[
+                            fact for fact, is_add in buffer.items() if not is_add
+                        ],
+                    )
+                    committed.append((name, applied))
+                    after = exchange.update_stats
+                    self.results[name] = UpdateResult(
+                        scenario=name,
+                        added=applied.added,
+                        retracted=applied.removed,
+                        trigger_rounds=after.trigger_rounds - before.trigger_rounds,
+                        target_repairs=after.target_repairs - before.target_repairs,
+                        invalidation_rounds=after.invalidation_rounds
+                        - before.invalidation_rounds,
+                        elapsed_seconds=time.perf_counter() - start,
+                    )
+            except Exception:
+                self.results.clear()
+                for name, applied in reversed(committed):
+                    if not applied:
+                        continue
+                    try:
+                        self._service._registry.get(name).apply_delta(
+                            added=applied.removed, removed=applied.added
+                        )
+                    except Exception:  # pragma: no cover - inverse deltas
+                        # restore a previously consistent state, so this is
+                        # near-impossible; still: keep unwinding the other
+                        # scenarios and surface the *original* failure (the
+                        # rollback error rides along as its __context__).
+                        continue
+                raise
+        finally:
+            while acquired:
+                acquired.pop().release_write()
+        return self.results
+
+    def abort(self) -> None:
+        """Discard the buffer without touching any scenario."""
+        self._closed = True
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.abort()
+            return False
+        self.commit()
+        return False
+
+
+# ---------------------------------------------------------------------------
+# The service
+# ---------------------------------------------------------------------------
+
+
+class ExchangeService:
+    """The transactional, concurrent façade over a scenario registry.
+
+    One instance serves many scenarios to many client threads; see the
+    module docstring for the protocol, transaction and locking semantics.
+    Construct it fresh (it owns a new registry) or around an existing
+    :class:`~repro.serving.registry.ScenarioRegistry` to adopt already
+    registered scenarios.
+    """
+
+    def __init__(self, registry: ScenarioRegistry | None = None):
+        self._registry = registry if registry is not None else ScenarioRegistry()
+        self._locks: dict[str, ReadWriteLock] = {}
+        # Guards the lock table and registration.  Ordering rule: a scenario
+        # lock may be held when _admin is taken (deregister does), but never
+        # acquire a scenario lock while holding _admin — that inversion would
+        # deadlock against deregister.
+        self._admin = threading.Lock()
+        for name in self._registry.names():
+            self._locks[name] = ReadWriteLock()
+
+    # -- scenario lifecycle ------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        mapping: SchemaMapping,
+        source: Instance,
+        target_dependencies: Sequence[TGD | EGD] = (),
+        max_chase_steps: int | None = None,
+        cache_capacity: int | None = None,
+    ) -> None:
+        """Register and materialize a scenario (compiled once per structure)."""
+        with self._admin:
+            self._registry.register(
+                name,
+                mapping,
+                source,
+                target_dependencies=target_dependencies,
+                max_chase_steps=max_chase_steps,
+                cache_capacity=cache_capacity,
+            )
+            self._locks[name] = ReadWriteLock()
+
+    def deregister(self, name: str) -> None:
+        lock = self._lock(name)
+        with lock.write_locked():
+            with self._admin:
+                self._registry.deregister(name)
+                self._locks.pop(name, None)
+
+    def scenario(self, name: str) -> MaterializedExchange:
+        """Direct access to a scenario's materialization (read-only use).
+
+        An escape hatch for introspection and tests: the returned object is
+        *not* guarded by the scenario's lock, and mutating it behind the
+        service's back forfeits the transactional guarantees.
+        """
+        return self._registry.get(name)
+
+    def names(self) -> list[str]:
+        return self._registry.names()
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._registry
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def _lock(self, name: str) -> ReadWriteLock:
+        lock = self._locks.get(name)
+        if lock is None:
+            with self._admin:
+                lock = self._locks.get(name)
+                if lock is None:
+                    self._registry.get(name)  # raises KeyError for unknown names
+                    lock = self._locks[name] = ReadWriteLock()
+        return lock
+
+    def _read_locked_exchange(self, name: str) -> tuple[ReadWriteLock, MaterializedExchange]:
+        """Acquire ``name``'s read lock and resolve its exchange, atomically.
+
+        Fetching the lock and the exchange in two unsynchronised steps would
+        let a concurrent deregister/re-register pair swap the scenario in
+        between, leaving the caller reading the *new* exchange under the
+        *old* (already discarded) lock — no exclusion against writers.  So
+        the lock is validated against the lock table after acquisition and
+        the lookup retried if it went stale.  The caller must release the
+        returned lock.
+        """
+        while True:
+            lock = self._lock(name)
+            lock.acquire_read()
+            if self._locks.get(name) is lock:
+                return lock, self._registry.get(name)
+            lock.release_read()
+
+    # -- queries -----------------------------------------------------------
+
+    def query(
+        self,
+        request: QueryRequest | str,
+        query: AnyQuery | None = None,
+        extra_constants: int | None = None,
+        max_extra_tuples: int | None = None,
+    ) -> QueryResult:
+        """Serve one query under the scenario's read lock.
+
+        Accepts a :class:`QueryRequest` or the positional convenience
+        ``service.query("conf", q)``.  Any number of concurrent callers are
+        served simultaneously; a committing transaction excludes them for
+        exactly the duration of its apply.
+        """
+        if not isinstance(request, QueryRequest):
+            if query is None:
+                raise TypeError("query(scenario, query) needs the query argument")
+            request = QueryRequest(request, query, extra_constants, max_extra_tuples)
+        start = time.perf_counter()
+        lock, exchange = self._read_locked_exchange(request.scenario)
+        try:
+            outcome = exchange.answer(
+                request.query,
+                extra_constants=request.extra_constants,
+                max_extra_tuples=request.max_extra_tuples,
+            )
+        finally:
+            lock.release_read()
+        return QueryResult(
+            scenario=request.scenario,
+            answers=outcome.answers,
+            semantics=outcome.semantics,
+            route=outcome.route,
+            cached=outcome.cached,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    # -- updates -----------------------------------------------------------
+
+    def update(
+        self,
+        request: UpdateRequest | str,
+        add: Iterable[FactInput] = (),
+        retract: Iterable[FactInput] = (),
+    ) -> UpdateResult:
+        """Apply one mixed update batch transactionally (one-shot transaction).
+
+        ``service.update(UpdateRequest("conf", add=..., retract=...))`` or the
+        positional convenience ``service.update("conf", add=[...],
+        retract=[...])``.  Equivalent to a single-scenario transaction wrapping
+        the two calls.
+        """
+        if not isinstance(request, UpdateRequest):
+            request = UpdateRequest(
+                request, tuple(_normalise(add)), tuple(_normalise(retract))
+            )
+        overlap = set(_normalise(request.add)) & set(_normalise(request.retract))
+        if overlap:
+            raise ValueError(
+                f"an UpdateRequest's sides must be disjoint "
+                f"(use a transaction to net out conflicting operations): "
+                f"{sorted(overlap, key=repr)[:3]!r}"
+            )
+        txn = Transaction(self, (request.scenario,))
+        txn.retract(request.retract)
+        txn.add(request.add)
+        results = txn.commit()
+        if request.scenario in results:
+            return results[request.scenario]
+        # The whole batch normalised away (nothing to do): report a no-op.
+        return UpdateResult(
+            scenario=request.scenario,
+            added=(),
+            retracted=(),
+            trigger_rounds=0,
+            target_repairs=0,
+            invalidation_rounds=0,
+            elapsed_seconds=0.0,
+        )
+
+    def transaction(self, *scenarios: str) -> Transaction:
+        """Open a buffered transaction over ``scenarios`` (see :class:`Transaction`).
+
+        Every named scenario must exist; the write locks are taken only at
+        commit, in sorted name order.
+        """
+        for name in scenarios:
+            self._registry.get(name)
+        return Transaction(self, scenarios)
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self, scenario: str | None = None) -> ServiceStats | ScenarioStats:
+        """A structured snapshot: counters, sizes, and lock contention.
+
+        With ``scenario`` given, that scenario's :class:`ScenarioStats`;
+        otherwise a :class:`ServiceStats` covering every registered scenario.
+        Taken under each scenario's read lock, so the numbers of one scenario
+        are mutually consistent.
+        """
+        if scenario is not None:
+            return self._scenario_stats(scenario)
+        return ServiceStats(
+            tuple(self._scenario_stats(name) for name in self._registry.names())
+        )
+
+    def _scenario_stats(self, name: str) -> ScenarioStats:
+        lock, exchange = self._read_locked_exchange(name)
+        try:
+            return ScenarioStats(
+                name=name,
+                source_tuples=len(exchange.source),
+                target_tuples=len(exchange.target),
+                core_tuples=exchange.core_size,
+                cache_entries=exchange.cache_entries,
+                cache=exchange.cache_stats_snapshot(),
+                updates=replace(exchange.update_stats),
+                lock=lock.stats_snapshot(),
+            )
+        finally:
+            lock.release_read()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExchangeService({', '.join(self.names())})"

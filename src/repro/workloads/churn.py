@@ -75,6 +75,7 @@ def churn_workload(
     batches: int = 24,
     batch_size: int = 6,
     readd_lag: int = 3,
+    flaps: int = 0,
     seed: int = 0,
 ) -> ChurnWorkload:
     """Build the interleaved add/retract stream (~``employees + squads`` source
@@ -86,6 +87,14 @@ def churn_workload(
     (≈ ``employees / departments``) make most retractions hit departments
     with survivors — the over-delete/re-derive case — while some empty a
     department entirely — the pure cascade-delete case.
+
+    ``flaps`` adds that many *flapping* facts per batch: live facts listed in
+    the retract batch **and** re-added by the immediately following add batch
+    — the record-deleted-and-recreated-within-one-ingestion-window pattern of
+    real churn streams.  Replayed operation-by-operation they pay a full
+    retraction cascade plus a full re-add; a transactional replay that merges
+    each retract/add pair into one mixed batch nets them out entirely, which
+    is what the service benchmark measures.
     """
     rng = random.Random(seed)
     source = Instance()
@@ -103,9 +112,16 @@ def churn_workload(
     for batch in range(batches):
         k = min(batch_size, len(live))
         victims = [live.pop(rng.randrange(len(live))) for _ in range(k)]
-        operations.append(("retract", tuple(victims)))
+        # Flapping facts stay live overall (retracted and immediately
+        # re-added), so they are sampled without popping.
+        flapping = (
+            [live[i] for i in rng.sample(range(len(live)), min(flaps, len(live)))]
+            if flaps
+            else []
+        )
+        operations.append(("retract", tuple(victims + flapping)))
         retired.append(victims)
-        additions: list[tuple[str, tuple]] = []
+        additions: list[tuple[str, tuple]] = list(flapping)
         for _ in range(batch_size // 2):
             additions.append(("Emp", (f"e{fresh}", f"d{rng.randrange(departments)}")))
             fresh += 1
@@ -113,7 +129,7 @@ def churn_workload(
             additions.extend(retired[batch - readd_lag][: batch_size // 2])
         if additions:
             operations.append(("add", tuple(additions)))
-            live.extend(additions)
+            live.extend(a for a in additions if a not in flapping)
 
     return ChurnWorkload(
         name=f"churn_{employees}_{batches}x{batch_size}",
@@ -128,6 +144,7 @@ def churn_workload(
             ("batches", batches),
             ("batch_size", batch_size),
             ("readd_lag", readd_lag),
+            ("flaps", flaps),
             ("seed", seed),
         ),
     )

@@ -294,3 +294,22 @@ def test_property_delta_seeded_chase_equals_full_chase(instance, extra_edges):
     assert seeded.terminated and reference.terminated
     assert is_homomorphically_equivalent(seeded.instance, reference.instance)
     assert seeded.instance.constants() == reference.instance.constants()
+
+
+def test_in_place_chase_mutates_the_given_instance():
+    deps = parse_dependencies(
+        ["R(x, y) -> S(y)", "S(y) -> exists w . T(y, w)"]
+    )
+    instance = make_instance({"S": [("seed",)]})
+    instance.add("R", ("a", "b"))
+    copied = chase_incremental(instance, deps, seed_delta=[("R", ("a", "b"))])
+    assert copied.instance is not instance  # default: untouched original
+    s_version = instance.version("S")
+    in_place = chase_incremental(
+        instance, deps, seed_delta=[("R", ("a", "b"))], in_place=True
+    )
+    assert in_place.instance is instance  # same object, chased
+    assert is_homomorphically_equivalent(instance, copied.instance)
+    # Version counters advanced in place for the relations the chase touched.
+    assert instance.version("S") > s_version
+    assert instance.version("T") > 0

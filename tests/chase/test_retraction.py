@@ -353,3 +353,79 @@ def test_withdrawal_closes_only_its_own_lineage():
     # The last registration closes: the fact dies, which entangles the egd
     # that renamed it — a replay, not a silent no-op.
     assert second.replay_required
+
+
+# ---------------------------------------------------------------------------
+# Combined repair: one worklist drain for a mixed withdraw/add batch
+# ---------------------------------------------------------------------------
+
+
+def combined_matches_scratch(base, dependencies, removed, added):
+    """Stage ``added``, retract ``removed`` with ``seed_delta`` — one drain —
+    and compare against chasing the mixed-updated base from scratch."""
+    chased, provenance = chase_with_provenance(base, dependencies)
+    provenance.add_base(added)
+    for name, tup in added:
+        chased.add(name, tup)
+    result = retract_incremental(
+        chased, dependencies, removed, provenance, seed_delta=added
+    )
+    assert not result.replay_required
+    assert result.terminated
+    updated = base.copy()
+    for name, tup in removed:
+        updated.discard(name, tup)
+    for name, tup in added:
+        updated.add(name, tup)
+    reference = chase_incremental(updated, dependencies)
+    assert reference.terminated
+    assert is_homomorphically_equivalent(result.instance, reference.instance)
+    return result, provenance
+
+
+def test_combined_retract_and_add_matches_scratch_chase():
+    deps = parse_dependencies(CASCADE)
+    base = make_instance({"E": [("a", "b"), ("c", "b"), ("c", "d")]})
+    combined_matches_scratch(
+        base, deps, removed=[("E", ("a", "b"))], added=[("E", ("e", "f"))]
+    )
+
+
+def test_combined_repair_added_fact_rescues_closure_member():
+    # The staged addition coincides with a fact the withdrawal would have
+    # over-deleted: its fresh base registration keeps it (and its own
+    # cascade) alive through the closure.
+    deps = parse_dependencies(["A(x) -> B(x)", "B(x) -> C(x)"])
+    base = make_instance({"A": [("v",)]})
+    chased, provenance = chase_with_provenance(base, deps)
+    assert ("C", ("v",)) in chased
+    added = [("B", ("v",))]  # independently justified from now on
+    provenance.add_base(added)
+    for fact in added:
+        chased.add(*fact)
+    result = retract_incremental(
+        chased, deps, [("A", ("v",))], provenance, seed_delta=added
+    )
+    assert not result.replay_required
+    assert ("A", ("v",)) not in result.instance
+    assert ("B", ("v",)) in result.instance
+    assert ("C", ("v",)) in result.instance
+    # And the rescued fact is a genuine base now: retracting it cascades.
+    second = retract_incremental(result.instance, deps, added, provenance)
+    assert not second.replay_required
+    assert not len(second.instance)
+
+
+def test_combined_repair_keeps_provenance_consistent_for_later_batches():
+    deps = parse_dependencies(CASCADE)
+    base = make_instance({"E": [("a", "b"), ("c", "d")]})
+    result, provenance = combined_matches_scratch(
+        base, deps, removed=[("E", ("c", "d"))], added=[("E", ("x", "y"))]
+    )
+    # A follow-up pure retraction over the same provenance stays exact.
+    follow_up = retract_incremental(
+        result.instance, deps, [("E", ("x", "y"))], provenance
+    )
+    assert not follow_up.replay_required
+    reference = chase_incremental(make_instance({"E": [("a", "b")]}), deps)
+    assert is_homomorphically_equivalent(follow_up.instance, reference.instance)

@@ -90,7 +90,7 @@ def test_rollback_invalidates_every_cached_answer():
     assert exchange.certain_answers(q) == {("a", "1")}
     assert len(exchange._cache) == 1
     with pytest.raises(ServingError):
-        exchange.add_source_facts([("S", ("a", "2"))])
+        exchange.apply_delta(added=[("S", ("a", "2"))])
     assert len(exchange._cache) == 0
     # Correct answers (a fresh miss) after the rollback.
     misses_before = exchange.cache_stats.misses

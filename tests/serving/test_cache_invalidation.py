@@ -51,10 +51,25 @@ operations = st.lists(
         # retract-then-re-add of the same facts: the fact leaves and re-enters
         # the materialization within one step (fresh justification nulls).
         st.tuples(st.just("readd"), st.lists(facts, min_size=1, max_size=2)),
+        # one combined add/retract batch through the unified update path.
+        st.tuples(
+            st.just("mixed"),
+            st.tuples(
+                st.lists(facts, min_size=1, max_size=2),
+                st.lists(facts, min_size=1, max_size=2),
+            ),
+        ),
         st.tuples(st.just("query"), st.integers(min_value=0, max_value=len(QUERIES) - 1)),
     ),
     max_size=12,
 )
+
+
+def mixed_sides(payload):
+    """Disjoint (added, removed) sides for a drawn mixed batch."""
+    additions, removals = payload
+    removals = [fact for fact in removals if fact not in additions]
+    return additions, removals
 
 
 @settings(max_examples=60, deadline=None)
@@ -68,15 +83,18 @@ def test_interleaved_updates_and_queries_match_from_scratch(initial, ops):
     exchange = registry.register(
         "prop", mapping, make_instance({}), target_dependencies=()
     )
-    exchange.add_source_facts(initial)
+    exchange.apply_delta(added=initial)
     for op, payload in ops:
         if op == "add":
-            exchange.add_source_facts(payload)
+            exchange.apply_delta(added=payload)
         elif op == "retract":
-            exchange.retract_source_facts(payload)
+            exchange.apply_delta(removed=payload)
         elif op == "readd":
-            exchange.retract_source_facts(payload)
-            exchange.add_source_facts(payload)
+            exchange.apply_delta(removed=payload)
+            exchange.apply_delta(added=payload)
+        elif op == "mixed":
+            additions, removals = mixed_sides(payload)
+            exchange.apply_delta(added=additions, removed=removals)
         else:
             query = QUERIES[payload]
             served = exchange.certain_answers(query)
@@ -131,6 +149,14 @@ dep_operations = st.lists(
         st.tuples(st.just("add"), st.lists(dep_facts, min_size=1, max_size=3)),
         st.tuples(st.just("retract"), st.lists(dep_facts, min_size=1, max_size=2)),
         st.tuples(st.just("readd"), st.lists(dep_facts, min_size=1, max_size=2)),
+        # combined batches drive the single-pass DRed + seeded-chase repair.
+        st.tuples(
+            st.just("mixed"),
+            st.tuples(
+                st.lists(dep_facts, min_size=1, max_size=2),
+                st.lists(dep_facts, min_size=1, max_size=2),
+            ),
+        ),
         st.tuples(st.just("query"), st.integers(min_value=0, max_value=len(DEP_QUERIES) - 1)),
     ),
     max_size=10,
@@ -161,7 +187,7 @@ def test_interleaving_with_target_dependencies_matches_from_scratch(
         except ServingError:
             pass
 
-    update(served.add_source_facts, initial)
+    update(lambda facts: served.apply_delta(added=facts), initial)
 
     def check(query):
         reference = exchange(setting, served.source).instance
@@ -171,12 +197,18 @@ def test_interleaving_with_target_dependencies_matches_from_scratch(
 
     for op, payload in ops:
         if op == "add":
-            update(served.add_source_facts, payload)
+            update(lambda facts: served.apply_delta(added=facts), payload)
         elif op == "retract":
-            served.retract_source_facts(payload)
+            served.apply_delta(removed=payload)
         elif op == "readd":
-            served.retract_source_facts(payload)
-            update(served.add_source_facts, payload)
+            served.apply_delta(removed=payload)
+            update(lambda facts: served.apply_delta(added=facts), payload)
+        elif op == "mixed":
+            additions, removals = mixed_sides(payload)
+            update(
+                lambda _: served.apply_delta(added=additions, removed=removals),
+                None,
+            )
         else:
             check(DEP_QUERIES[payload])
     for query in DEP_QUERIES:

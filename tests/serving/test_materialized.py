@@ -49,34 +49,34 @@ def test_initial_materialization_matches_canonical_solution():
     assert len(exchange_.canonical) == len(reference)
 
 
-def test_add_source_facts_matches_from_scratch_exchange():
+def test_apply_delta_additions_match_from_scratch_exchange():
     exchange_ = register()
-    added = exchange_.add_source_facts(
-        [("Emp", ("carol", "d1")), ("Works", ("carol", "p2"))]
+    applied = exchange_.apply_delta(
+        added=[("Emp", ("carol", "d1")), ("Works", ("carol", "p2"))]
     )
-    assert added == 2
+    assert len(applied.added) == 2 and not applied.removed
     reference = canonical_solution(employees_mapping(), exchange_.source).instance
     assert is_homomorphically_equivalent(exchange_.target, reference)
     assert len(exchange_.target) == len(reference)
     # Duplicates are ignored and leave the state untouched.
     version_before = exchange_.target.version("EmpT")
-    assert exchange_.add_source_facts([("Emp", ("carol", "d1"))]) == 0
+    assert not exchange_.apply_delta(added=[("Emp", ("carol", "d1"))])
     assert exchange_.target.version("EmpT") == version_before
 
 
-def test_retract_source_facts_is_exact_support_counting():
+def test_retraction_is_exact_support_counting():
     mapping = mapping_from_rules(
         ["T(y) :- S(x, y)"], source={"S": 2}, target={"T": 1}
     )
     source = make_instance({"S": [("a", "v"), ("b", "v"), ("c", "w")]})
     exchange_ = register(mapping, source)
     # T(v) is supported by two triggers: retracting one keeps it.
-    exchange_.retract_source_facts([("S", ("a", "v"))])
+    exchange_.apply_delta(removed=[("S", ("a", "v"))])
     assert ("T", ("v",)) in exchange_.target
-    exchange_.retract_source_facts([("S", ("b", "v"))])
+    exchange_.apply_delta(removed=[("S", ("b", "v"))])
     assert ("T", ("v",)) not in exchange_.target
     assert ("T", ("w",)) in exchange_.target
-    assert exchange_.retract_source_facts([("S", ("zz", "zz"))]) == 0
+    assert not exchange_.apply_delta(removed=[("S", ("zz", "zz"))])
 
 
 def test_non_monotone_std_bodies_are_revoked_and_restored():
@@ -89,9 +89,9 @@ def test_non_monotone_std_bodies_are_revoked_and_restored():
     exchange_ = register(mapping, source)
     q = cq(["x"], [("Reviews", ["x", "r"])])
     assert exchange_.certain_answers(q) == {("p1",), ("p2",)}
-    exchange_.add_source_facts([("Assigned", ("p1", "alice"))])
+    exchange_.apply_delta(added=[("Assigned", ("p1", "alice"))])
     assert exchange_.certain_answers(q) == {("p2",)}
-    exchange_.retract_source_facts([("Assigned", ("p1", "alice"))])
+    exchange_.apply_delta(removed=[("Assigned", ("p1", "alice"))])
     assert exchange_.certain_answers(q) == {("p1",), ("p2",)}
 
 
@@ -118,11 +118,11 @@ def test_target_dependencies_updates_match_reference_exchange():
     assert is_homomorphically_equivalent(
         exchange_.target, exchange(setting, exchange_.source).instance
     )
-    exchange_.add_source_facts([("E", ("b", "d")), ("E", ("c", "e"))])
+    exchange_.apply_delta(added=[("E", ("b", "d")), ("E", ("c", "e"))])
     assert is_homomorphically_equivalent(
         exchange_.target, exchange(setting, exchange_.source).instance
     )
-    exchange_.retract_source_facts([("E", ("a", "b"))])
+    exchange_.apply_delta(removed=[("E", ("a", "b"))])
     assert is_homomorphically_equivalent(
         exchange_.target, exchange(setting, exchange_.source).instance
     )
@@ -134,7 +134,7 @@ def test_core_is_a_retract_and_tracks_updates():
     assert exchange_.target.contains_instance(core)
     assert is_homomorphically_equivalent(core, exchange_.target)
     assert exchange_.core() is core  # cached while the target is unchanged
-    exchange_.add_source_facts([("Emp", ("dave", "d3"))])
+    exchange_.apply_delta(added=[("Emp", ("dave", "d3"))])
     updated = exchange_.core()
     assert updated is not core
     assert exchange_.target.contains_instance(updated)
@@ -150,7 +150,7 @@ def test_cache_hits_and_relation_scoped_invalidation():
     exchange_.certain_answers(q_emp)
     assert exchange_.cache_stats.hits == 1
     # Works feeds only Team: the EmpT entry must survive the update.
-    exchange_.add_source_facts([("Works", ("bob", "p9"))])
+    exchange_.apply_delta(added=[("Works", ("bob", "p9"))])
     assert exchange_.certain_answers(q_emp) == {("alice",), ("bob",)}
     assert exchange_.cache_stats.hits == 2
     before_stale = exchange_.cache_stats.stale
@@ -165,7 +165,7 @@ def test_non_monotone_queries_served_through_deqa():
     assert exchange_.certain_answers(query) == expected
     assert exchange_.certain_answers(query) == expected  # cached
     assert exchange_.cache_stats.hits == 1
-    exchange_.add_source_facts([("Works", ("bob", "p2"))])
+    exchange_.apply_delta(added=[("Works", ("bob", "p2"))])
     assert exchange_.certain_answers(query) == certain_answers(
         employees_mapping(), exchange_.source, query
     )
@@ -214,8 +214,8 @@ def test_version_continuity_across_target_rebinds():
     exchange_ = register(mapping, make_instance({"S": [("a",)]}), deps)
     q = cq(["x"], [("R", ["x"])])
     assert exchange_.certain_answers(q) == {("a",)}
-    exchange_.retract_source_facts([("S", ("a",))])
-    exchange_.add_source_facts([("S", ("b",))])
+    exchange_.apply_delta(removed=[("S", ("a",))])
+    exchange_.apply_delta(added=[("S", ("b",))])
     assert exchange_.certain_answers(q) == {("b",)}
     assert exchange_.core().relation("T") == {("b",)}
 
@@ -233,7 +233,7 @@ def test_untouched_relations_stay_cached_across_target_rebinds():
     q_u = cq(["y"], [("U", ["y"])])
     assert exchange_.certain_answers(q_u) == {("w",)}
     # The seeded-chase rebind after this addition touches only R/T.
-    exchange_.add_source_facts([("S", ("b",))])
+    exchange_.apply_delta(added=[("S", ("b",))])
     assert exchange_.certain_answers(q_u) == {("w",)}
     assert exchange_.cache_stats.hits == 1 and exchange_.cache_stats.stale == 0
 
@@ -249,12 +249,12 @@ def test_failed_update_rolls_back_to_the_pre_update_state():
     q = cq(["x", "d"], [("D", ["x", "d"])])
     assert exchange_.certain_answers(q) == {("a", "1")}
     with pytest.raises(ServingError, match="no solution"):
-        exchange_.add_source_facts([("S", ("a", "2"))])
+        exchange_.apply_delta(added=[("S", ("a", "2"))])
     assert ("S", ("a", "2")) not in exchange_.source
     assert exchange_.certain_answers(q) == {("a", "1")}
     assert exchange_.core().relation("D") == {("a", "1")}
     # The exchange keeps working after the rejected update.
-    exchange_.add_source_facts([("S", ("b", "2"))])
+    exchange_.apply_delta(added=[("S", ("b", "2"))])
     assert exchange_.certain_answers(q) == {("a", "1"), ("b", "2")}
 
 
@@ -288,7 +288,7 @@ def test_retraction_with_target_dependencies_avoids_full_chase():
     calls = count_full_chases(exchange_)
     setting = ExchangeSetting(cascade_mapping(), tuple(deps))
     # Drains d2 entirely (cascade delete) and thins d0 (over-delete + re-derive).
-    exchange_.retract_source_facts(
+    exchange_.apply_delta(removed=
         [("Emp", ("e0", "d0")), ("Emp", ("e2", "d2")), ("Emp", ("e5", "d2")), ("Emp", ("e8", "d2"))]
     )
     assert not calls
@@ -296,8 +296,8 @@ def test_retraction_with_target_dependencies_avoids_full_chase():
         exchange_.target, exchange(setting, exchange_.source).instance
     )
     # Retract-then-re-add of the same fact: fresh justification, same semantics.
-    exchange_.retract_source_facts([("Emp", ("e1", "d1"))])
-    exchange_.add_source_facts([("Emp", ("e1", "d1"))])
+    exchange_.apply_delta(removed=[("Emp", ("e1", "d1"))])
+    exchange_.apply_delta(added=[("Emp", ("e1", "d1"))])
     assert not calls
     assert is_homomorphically_equivalent(
         exchange_.target, exchange(setting, exchange_.source).instance
@@ -311,7 +311,7 @@ def test_retraction_repairs_core_without_full_recomputation():
     source = make_instance({"Emp": [(f"e{i}", f"d{i % 3}") for i in range(9)]})
     exchange_ = register(cascade_mapping(), source, deps)
     exchange_.core()  # prime the cache: later calls must take the repair path
-    exchange_.retract_source_facts([("Emp", ("e2", "d2")), ("Emp", ("e5", "d2"))])
+    exchange_.apply_delta(removed=[("Emp", ("e2", "d2")), ("Emp", ("e5", "d2"))])
     assert exchange_._core_delta is not None  # repair, not recomputation
     repaired = exchange_.core()
     assert exchange_.target.contains_instance(repaired)
@@ -327,11 +327,11 @@ def test_egd_entangled_retraction_falls_back_to_replay():
         dept_mapping(), make_instance({"E": [("a", "b"), ("a", "c"), ("b", "d")]}), deps
     )
     setting = ExchangeSetting(dept_mapping(), tuple(deps))
-    exchange_.retract_source_facts([("E", ("a", "b"))])
+    exchange_.apply_delta(removed=[("E", ("a", "b"))])
     assert is_homomorphically_equivalent(
         exchange_.target, exchange(setting, exchange_.source).instance
     )
-    exchange_.retract_source_facts([("E", ("b", "d"))])
+    exchange_.apply_delta(removed=[("E", ("b", "d"))])
     assert is_homomorphically_equivalent(
         exchange_.target, exchange(setting, exchange_.source).instance
     )
@@ -357,10 +357,195 @@ def test_version_vectors_advance_after_in_place_retraction():
     q_label = cq(["x"], [("Label", ["x"])])
     assert exchange_.certain_answers(q_rec) == {("e0",), ("e1",), ("e2",)}
     assert exchange_.certain_answers(q_label) == {("t0",)}
-    exchange_.retract_source_facts([("Emp", ("e0", "d0"))])
+    exchange_.apply_delta(removed=[("Emp", ("e0", "d0"))])
     before_hits = exchange_.cache_stats.hits
     before_stale = exchange_.cache_stats.stale
     assert exchange_.certain_answers(q_rec) == {("e1",), ("e2",)}  # stale miss
     assert exchange_.certain_answers(q_label) == {("t0",)}  # warm hit
     assert exchange_.cache_stats.hits == before_hits + 1
     assert exchange_.cache_stats.stale == before_stale + 1
+
+
+# ---------------------------------------------------------------------------
+# The unified mixed update path (apply_delta)
+# ---------------------------------------------------------------------------
+
+
+def test_mixed_delta_pays_each_maintenance_phase_exactly_once():
+    # The acceptance bar of the unified path: however mixed the batch, one
+    # trigger re-evaluation round, one target repair, one cache-invalidation
+    # round — observable through the per-exchange counters and through the
+    # cache going stale exactly once for a relation both sides touch.
+    deps = parse_dependencies(TGD_ONLY_DEPS)
+    source = make_instance({"Emp": [(f"e{i}", f"d{i % 3}") for i in range(9)]})
+    exchange_ = register(cascade_mapping(), source, deps)
+    q_rec = cq(["e"], [("Rec", ["e", "d"])])
+    exchange_.certain_answers(q_rec)
+    before = exchange_.cache_stats.stale
+    exchange_.apply_delta(
+        added=[("Emp", ("e9", "d0")), ("Emp", ("e10", "d9"))],
+        removed=[("Emp", ("e0", "d0")), ("Emp", ("e3", "d0"))],
+    )
+    stats = exchange_.update_stats
+    assert stats.batches == 1
+    assert stats.trigger_rounds == 1
+    assert stats.target_repairs == 1
+    assert stats.invalidation_rounds == 1
+    assert stats.replays == 0 and stats.rollbacks == 0
+    # Rec was touched by additions *and* retractions, yet the cached entry
+    # goes stale exactly once (one recompute, then cached again).
+    assert exchange_.certain_answers(q_rec) == {
+        ("e1",), ("e2",), ("e4",), ("e5",), ("e6",), ("e7",), ("e8",), ("e9",), ("e10",)
+    }
+    assert exchange_.cache_stats.stale == before + 1
+    assert exchange_.certain_answers(q_rec)  # warm again
+    assert exchange_.cache_stats.stale == before + 1
+
+
+def test_mixed_delta_matches_from_scratch_exchange():
+    deps = parse_dependencies(TGD_ONLY_DEPS)
+    source = make_instance({"Emp": [(f"e{i}", f"d{i % 3}") for i in range(9)]})
+    exchange_ = register(cascade_mapping(), source, deps)
+    calls = count_full_chases(exchange_)
+    setting = ExchangeSetting(cascade_mapping(), tuple(deps))
+    # Drain d2 entirely while repopulating it and opening d3 — the combined
+    # DRed + seeded-chase repair, off the full-chase path throughout.
+    exchange_.apply_delta(
+        added=[("Emp", ("e9", "d2")), ("Emp", ("e10", "d3"))],
+        removed=[("Emp", ("e2", "d2")), ("Emp", ("e5", "d2")), ("Emp", ("e8", "d2"))],
+    )
+    assert not calls
+    assert is_homomorphically_equivalent(
+        exchange_.target, exchange(setting, exchange_.source).instance
+    )
+    repaired = exchange_.core()
+    assert exchange_.target.contains_instance(repaired)
+    assert is_homomorphically_equivalent(repaired, exchange_.target)
+
+
+def test_mixed_delta_rejects_overlapping_sides():
+    exchange_ = register()
+    with pytest.raises(ValueError, match="added and removed"):
+        exchange_.apply_delta(
+            added=[("Emp", ("alice", "d1"))], removed=[("Emp", ("alice", "d1"))]
+        )
+
+
+def test_mixed_delta_trigger_kept_alive_by_added_witness():
+    # A trigger whose only old witness is retracted while the same batch adds
+    # a fresh witness must survive in place: same trigger key, same
+    # justification null, no flap through the materialization.
+    mapping = mapping_from_rules(
+        ["U(y, z^op) :- exists x . S(x, y)"], source={"S": 2}, target={"U": 2}
+    )
+    exchange_ = register(mapping, make_instance({"S": [("a", "v")]}))
+    (before,) = exchange_.target.relation("U")
+    exchange_.apply_delta(added=[("S", ("c", "v"))], removed=[("S", ("a", "v"))])
+    (after,) = exchange_.target.relation("U")
+    assert after == before  # identical fact, identical null
+    assert exchange_.update_stats.trigger_rounds == 1
+
+
+def test_mixed_delta_rolls_back_whole_batch_on_egd_failure():
+    # All-or-nothing: the retract side is legal on its own, the add side
+    # violates an egd — the whole batch must be rejected and undone.
+    mapping = mapping_from_rules(
+        ["D(x, d) :- S(x, d)"], source={"S": 2}, target={"D": 2}
+    )
+    deps = parse_dependencies(["D(x, d1) & D(x, d2) -> d1 = d2"])
+    exchange_ = register(
+        mapping, make_instance({"S": [("a", "1"), ("b", "7")]}), deps
+    )
+    q = cq(["x", "d"], [("D", ["x", "d"])])
+    assert exchange_.certain_answers(q) == {("a", "1"), ("b", "7")}
+    with pytest.raises(ServingError, match="no solution"):
+        exchange_.apply_delta(
+            added=[("S", ("a", "2"))], removed=[("S", ("b", "7"))]
+        )
+    assert ("S", ("b", "7")) in exchange_.source
+    assert ("S", ("a", "2")) not in exchange_.source
+    assert exchange_.update_stats.rollbacks == 1
+    assert exchange_.certain_answers(q) == {("a", "1"), ("b", "7")}
+    # The exchange keeps serving and updating after the rejected batch.
+    exchange_.apply_delta(
+        added=[("S", ("c", "3"))], removed=[("S", ("b", "7"))]
+    )
+    assert exchange_.certain_answers(q) == {("a", "1"), ("c", "3")}
+
+
+def test_mixed_delta_with_egd_entangled_retraction_replays():
+    # The combined path's replay fallback: the retract side is entangled with
+    # an egd merge, so the repair re-chases from the repaired canonical layer
+    # — which must already include the batch's additions.
+    deps = parse_dependencies(DEPT_DEPS)
+    exchange_ = register(
+        dept_mapping(), make_instance({"E": [("a", "b"), ("a", "c"), ("b", "d")]}), deps
+    )
+    setting = ExchangeSetting(dept_mapping(), tuple(deps))
+    exchange_.apply_delta(
+        added=[("E", ("c", "e"))], removed=[("E", ("a", "b"))]
+    )
+    assert exchange_.update_stats.replays == 1
+    assert is_homomorphically_equivalent(
+        exchange_.target, exchange(setting, exchange_.source).instance
+    )
+
+
+def test_deprecated_shims_delegate_and_warn():
+    from repro.serving import ServingDeprecationWarning
+
+    exchange_ = register()
+    with pytest.warns(ServingDeprecationWarning, match="apply_delta"):
+        assert exchange_.add_source_facts([("Emp", ("carol", "d3"))]) == 1
+    with pytest.warns(ServingDeprecationWarning, match="apply_delta"):
+        assert exchange_.retract_source_facts([("Emp", ("carol", "d3"))]) == 1
+    assert exchange_.update_stats.batches == 2
+
+
+def test_addition_path_extends_the_target_in_place():
+    # ROADMAP open item closed by this PR: the addition path used to chase a
+    # per-batch copy and rebind it behind `_version_base` offsets; now the
+    # seeded chase runs in place — same target object, raw version counters
+    # advancing only for the touched relations, no base offsets accrued.
+    deps = parse_dependencies(TGD_ONLY_DEPS)
+    source = make_instance({"Emp": [("e0", "d0")]})
+    exchange_ = register(cascade_mapping(), source, deps)
+    target_before = exchange_.target
+    bases_before = dict(exchange_._version_base)
+    roster_version = exchange_.target.version("Roster")
+    exchange_.apply_delta(added=[("Emp", ("e1", "d0"))])  # d0 has a manager
+    exchange_.apply_delta(added=[("Emp", ("e2", "d1"))])  # d1 cascades fresh
+    assert exchange_.target is target_before  # no copy, no rebind
+    assert exchange_._version_base == bases_before  # no offset gymnastics
+    assert exchange_.target.version("Roster") > roster_version
+    setting = ExchangeSetting(cascade_mapping(), tuple(deps))
+    assert is_homomorphically_equivalent(
+        exchange_.target, exchange(setting, exchange_.source).instance
+    )
+
+
+def test_in_place_addition_failure_rolls_back_cleanly():
+    # The failure net of the in-place mode: a mid-chase egd conflict leaves
+    # the target partially chased, and the rollback rebuilds it from the
+    # repaired canonical layer — the exchange keeps serving the old state.
+    mapping = mapping_from_rules(
+        ["R(x, d) :- S(x, d)"], source={"S": 2}, target={"R": 2, "T": 2}
+    )
+    deps = parse_dependencies(
+        ["R(x, d) -> T(x, d)", "T(x, d1) & T(x, d2) -> d1 = d2"]
+    )
+    exchange_ = register(mapping, make_instance({"S": [("a", "1")]}), deps)
+    q = cq(["x", "d"], [("T", ["x", "d"])])
+    assert exchange_.certain_answers(q) == {("a", "1")}
+    with pytest.raises(ServingError, match="no solution"):
+        exchange_.apply_delta(added=[("S", ("a", "2"))])
+    assert exchange_.certain_answers(q) == {("a", "1")}
+    assert is_homomorphically_equivalent(
+        exchange_.target,
+        exchange(
+            ExchangeSetting(mapping, tuple(deps)), exchange_.source
+        ).instance,
+    )
+    # And the exchange still accepts good updates afterwards.
+    exchange_.apply_delta(added=[("S", ("b", "2"))])
+    assert exchange_.certain_answers(q) == {("a", "1"), ("b", "2")}

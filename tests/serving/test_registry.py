@@ -93,3 +93,52 @@ def test_registry_evicts_compilations_with_their_scenarios():
             "bad", egd_mapping, make_instance({"S": [("a", "1"), ("b", "2")]}), deps
         )
     assert len(registry._compilations) == 0
+
+
+def test_structurally_equal_mappings_share_one_compilation():
+    # simple_mapping() builds a fresh object every call; the registry must
+    # still compile once — the key is structural, not id()-based.
+    registry = ScenarioRegistry()
+    a = registry.register("a", simple_mapping(), make_instance({}))
+    b = registry.register("b", simple_mapping(), make_instance({}))
+    assert a.compiled is b.compiled
+    assert len(registry._compilations) == 1
+    # Same rules parsed independently with dependencies: also shared.
+    deps_a = parse_dependencies(["T(x, y) -> U(x, y)"])
+    deps_b = parse_dependencies(["T(x, y) -> U(x, y)"])
+    c = registry.register("c", simple_mapping(), make_instance({}), deps_a)
+    d = registry.register("d", simple_mapping(), make_instance({}), deps_b)
+    assert c.compiled is d.compiled
+    assert c.compiled is not a.compiled  # dependencies distinguish
+
+
+def test_mapping_fingerprint_is_structural_and_deterministic():
+    from repro.serving import mapping_fingerprint
+
+    deps = parse_dependencies(["T(x, y) -> U(x, y)"])
+    first = mapping_fingerprint(simple_mapping(), deps)
+    second = mapping_fingerprint(
+        simple_mapping(), parse_dependencies(["T(x, y) -> U(x, y)"])
+    )
+    assert isinstance(first, str)
+    assert first == second  # equal structure, distinct objects
+    assert mapping_fingerprint(simple_mapping()) != first  # deps matter
+    # Annotations are part of the structure: ^cl vs ^op must not collide.
+    closed = mapping_from_rules(
+        ["T(x, y^cl) :- S(x, y)"], source={"S": 2}, target={"T": 2}
+    )
+    open_ = mapping_from_rules(
+        ["T(x, y^op) :- S(x, y)"], source={"S": 2}, target={"T": 2}
+    )
+    assert mapping_fingerprint(closed) != mapping_fingerprint(open_)
+    # STD order is deliberately significant (trigger keys embed the index).
+    reordered = mapping_from_rules(
+        [
+            "U(x, z^op) :- S(x, y)",
+            "T(x, y) :- S(x, y)",
+            "W(x) :- S(x, y) & ~ (exists r . B(x, r))",
+        ],
+        source={"S": 2, "B": 2},
+        target={"T": 2, "U": 2, "W": 1},
+    )
+    assert mapping_fingerprint(reordered) != mapping_fingerprint(simple_mapping())

@@ -1,0 +1,194 @@
+"""Concurrency stress: interleaved readers and writer transactions.
+
+One scenario is hammered by reader threads while a writer commits a known
+sequence of mixed update transactions.  The linearizability claim of the
+per-scenario reader/writer lock is checked against the *serial oracle*:
+every answer set any reader ever observes must equal the answers a
+from-scratch exchange computes for some prefix of the applied updates — a
+torn batch (additions visible, retractions pending), a half-invalidated
+cache, or a core repaired against a moving target would all surface as an
+answer set no prefix can produce.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.chase.dependencies import parse_dependencies
+from repro.core.certain import certain_answers_naive
+from repro.core.mapping import mapping_from_rules
+from repro.core.target_constraints import ExchangeSetting, exchange
+from repro.logic.cq import cq
+from repro.relational.builders import make_instance
+from repro.relational.instance import Instance
+from repro.serving import ExchangeService
+
+DEPS = [
+    "Rec(e, d) -> exists m . Mgr(d, m)",
+    "Mgr(d, m) -> Roster(m, d)",
+]
+
+
+def cascade_mapping():
+    return mapping_from_rules(
+        ["Rec(e^cl, d^cl) :- Emp(e, d)"],
+        source={"Emp": 2},
+        target={"Rec": 2, "Mgr": 2, "Roster": 2},
+    )
+
+
+QUERIES = (
+    cq(["e"], [("Rec", ["e", "d"])], name="rec"),
+    cq(["d"], [("Mgr", ["d", "m"])], name="mgr"),
+    cq(["e", "d"], [("Rec", ["e", "d"]), ("Mgr", ["d", "m"])], name="managed"),
+)
+
+
+def build_batches(employees: int, batches: int):
+    """A deterministic mixed update stream over the employee cascade."""
+    stream = []
+    fresh = employees
+    for i in range(batches):
+        added = [("Emp", (f"e{fresh}", f"d{(i + 1) % 4}"))]
+        fresh += 1
+        removed = [("Emp", (f"e{i}", f"d{i % 4}"))]
+        if i % 3 == 2:  # every third batch also drains a recent hire
+            removed.append(("Emp", (f"e{fresh - 2}", f"d{i % 4}")))
+        stream.append((added, removed))
+    return stream
+
+
+def prefix_answer_sets(source: Instance, stream, deps) -> list[dict[str, frozenset]]:
+    """The serial oracle: per prefix, every query's from-scratch answers."""
+    setting = ExchangeSetting(cascade_mapping(), tuple(deps))
+    current = source.copy()
+    oracle = []
+    states = [current.copy()]
+    for added, removed in stream:
+        for fact in removed:
+            current.discard(*fact)
+        for fact in added:
+            current.add(*fact)
+        states.append(current.copy())
+    for state in states:
+        reference = exchange(setting, state).instance
+        oracle.append(
+            {
+                q.name: frozenset(certain_answers_naive(q, reference))
+                for q in QUERIES
+            }
+        )
+    return oracle
+
+
+def test_interleaved_readers_and_writer_observe_only_prefix_states():
+    employees, batches, readers = 12, 9, 4
+    deps = parse_dependencies(DEPS)
+    source = make_instance(
+        {"Emp": [(f"e{i}", f"d{i % 4}") for i in range(employees)]}
+    )
+    stream = build_batches(employees, batches)
+    oracle = prefix_answer_sets(source, stream, deps)
+
+    service = ExchangeService()
+    service.register("stress", cascade_mapping(), source, deps)
+
+    done = threading.Event()
+    observations: list[tuple[str, frozenset]] = []
+    errors: list[BaseException] = []
+
+    def reader(index: int) -> None:
+        step = 0
+        try:
+            while not done.is_set():
+                query = QUERIES[(index + step) % len(QUERIES)]
+                result = service.query("stress", query)
+                observations.append((query.name, result.answers))
+                step += 1
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    def writer() -> None:
+        try:
+            for added, removed in stream:
+                with service.transaction("stress") as txn:
+                    txn.add(added)
+                    txn.retract(removed)
+                time.sleep(0.002)  # let readers interleave between commits
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+        finally:
+            done.set()
+
+    with ThreadPoolExecutor(max_workers=readers + 1) as pool:
+        futures = [pool.submit(reader, i) for i in range(readers)]
+        futures.append(pool.submit(writer))
+        for future in futures:
+            future.result(timeout=60)
+
+    assert not errors, errors
+    assert len(observations) > batches  # readers genuinely interleaved
+
+    # Every observation matches the serial oracle at *some* prefix.
+    allowed = {
+        name: {prefix[name] for prefix in oracle} for name in oracle[0]
+    }
+    for name, answers in observations:
+        assert answers in allowed[name], (
+            f"query {name!r} observed an answer set matching no prefix of the "
+            f"applied updates: {sorted(answers)!r}"
+        )
+
+    # Quiescent state: every query agrees with the full-stream oracle.
+    for query in QUERIES:
+        assert service.query("stress", query).answers == oracle[-1][query.name]
+
+    stats = service.stats("stress")
+    assert stats.updates.batches == batches
+    assert stats.updates.trigger_rounds == batches  # one round per transaction
+    assert stats.lock.write_acquisitions == batches
+    assert stats.lock.read_acquisitions >= len(observations)
+
+
+def test_concurrent_readers_share_the_lock():
+    # Block one reader inside the locked section and prove a second reader
+    # still gets in (while a writer must wait until both are out).
+    service = ExchangeService()
+    service.register(
+        "shared",
+        cascade_mapping(),
+        make_instance({"Emp": [("e0", "d0")]}),
+        parse_dependencies(DEPS),
+    )
+    exchange_ = service.scenario("shared")
+    entered = threading.Event()
+    release = threading.Event()
+    original = exchange_.answer
+
+    def slow_answer(query, **kwargs):
+        entered.set()
+        release.wait(timeout=30)
+        return original(query, **kwargs)
+
+    exchange_.answer = slow_answer
+    query = QUERIES[0]
+    with ThreadPoolExecutor(max_workers=3) as pool:
+        slow = pool.submit(service.query, "shared", query)
+        assert entered.wait(timeout=30)
+        exchange_.answer = original  # second reader takes the fast path
+        fast = pool.submit(service.query, "shared", query)
+        assert fast.result(timeout=30).answers == frozenset({("e0",)})
+        assert not slow.done()  # still parked inside the read lock
+        writer = pool.submit(
+            service.update, "shared", add=[("Emp", ("e1", "d1"))]
+        )
+        time.sleep(0.05)
+        assert not writer.done()  # writers wait for the slow reader
+        release.set()
+        assert slow.result(timeout=30).answers == frozenset({("e0",)})
+        writer.result(timeout=30)
+    stats = service.stats("shared")
+    assert stats.lock.max_concurrent_readers >= 2
+    assert stats.lock.write_waits >= 1
