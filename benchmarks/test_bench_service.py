@@ -219,15 +219,18 @@ def test_mixed_batches_at_least_1_5x_faster_than_sequential(benchmark):
     assert stats.trigger_rounds == len(batches)  # exactly one round per batch
     assert stats.target_repairs == len(batches)
 
-    # Timed passes (registration excluded from both; the baseline is averaged
-    # over the same number of rounds the benchmark fixture runs).
+    # Timed passes (registration excluded from both; both sides take the
+    # *minimum* over the same number of rounds — the replays measure ~20ms,
+    # where a scheduler hiccup in one round swamps the mean and makes the
+    # gate flap under machine load; min-of-rounds is the standard low-noise
+    # estimator and compares the two paths' cleanest runs).
     sequential_rounds = []
     for round_index in range(3):
         baseline_service = _register_churn(workload, f"seq-{round_index}")
         start = time.perf_counter()
         _replay_sequential(baseline_service, f"seq-{round_index}", batches)
         sequential_rounds.append(time.perf_counter() - start)
-    sequential_seconds = sum(sequential_rounds) / len(sequential_rounds)
+    sequential_seconds = min(sequential_rounds)
 
     benchmark.pedantic(
         lambda service: _replay_transactional(service, "txn", batches),
@@ -235,7 +238,7 @@ def test_mixed_batches_at_least_1_5x_faster_than_sequential(benchmark):
         rounds=3,
         iterations=1,
     )
-    transactional_seconds = benchmark.stats.stats.mean
+    transactional_seconds = benchmark.stats.stats.min
 
     speedup = sequential_seconds / transactional_seconds
     record(

@@ -1,0 +1,354 @@
+"""EXP-SHARDING — partitioned maintenance and scatter-gather serving.
+
+Two gates for :class:`repro.serving.sharding.ShardedExchange`, both on the
+Zipf-skewed partitionable workload (:func:`repro.workloads.skewed`):
+
+* **parallel maintenance** — replaying the mixed update stream through a
+  4-shard exchange with a 4-worker pool must beat the single-shard exchange
+  ≥ 2× wall-clock.  Each per-shard ``apply_delta`` carries a small simulated
+  per-record ingest latency (the WAL append / replication ack a deployed
+  shard pays per record — a sleep, releasing the GIL, exactly like the
+  simulated response I/O of EXP-SERVICE): the single shard pays the whole
+  batch serially while the sharded exchange overlaps its per-shard
+  sub-batches, so the measured speedup is the fan-out win *net of the
+  Zipf hot-shard imbalance* (the hottest shard bounds the overlap).
+
+* **scatter-gather throughput** — the hot-query mix (selective lookups and
+  key-aligned joins, all provably intra-shard) replayed against a stream of
+  cache-invalidating updates must serve ≥ 2× the queries/second of the
+  unsharded exchange.  Every *evaluated* (non-cache-hit) answer carries a
+  simulated scan latency proportional to the tuples of the instance it
+  evaluated over: the unsharded exchange scans the whole target per miss,
+  the shards scan a quarter each — in parallel.
+
+Both replays are differentially checked against the unsharded answers, and
+the headline numbers are additionally emitted as ``BENCH_sharding.json``
+(CI uploads every ``BENCH_*.json`` artifact).
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink the sizes (CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import record
+from repro.serving import ExchangeService
+from repro.workloads.skewed import skewed_workload
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+MAINTENANCE_KWARGS = (
+    dict(customers=32, accounts=120, batches=6, batch_size=24, zipf_s=0.7)
+    if QUICK
+    else dict(customers=48, accounts=300, batches=12, batch_size=32, zipf_s=0.7)
+)
+# Simulated per-record ingest I/O (WAL append + replication ack), paid inside
+# each shard's apply — sleeps release the GIL, so shard sub-batches overlap.
+INGEST_LATENCY_PER_FACT = 0.0012
+
+QUERY_KWARGS = (
+    dict(customers=48, accounts=300, batches=4, batch_size=8)
+    if QUICK
+    else dict(customers=64, accounts=900, batches=6, batch_size=10)
+)
+# Simulated per-tuple scan I/O of one evaluation (paging the materialization
+# from storage); cache hits scan nothing and pay nothing.
+SCAN_LATENCY_PER_TUPLE = 0.00002
+
+SHARDS = 4
+WORKERS = 4
+
+BENCH_JSON = Path("BENCH_sharding.json")
+
+
+def emit(section: str, payload: dict) -> None:
+    """Merge one gate's headline numbers into BENCH_sharding.json."""
+    data = {}
+    if BENCH_JSON.exists():
+        data = json.loads(BENCH_JSON.read_text())
+    data["experiment"] = "EXP-SHARDING"
+    data["quick"] = QUICK
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def add_ingest_latency(sharded_exchange, per_fact=INGEST_LATENCY_PER_FACT):
+    """Charge every shard's apply_delta the per-record ingest I/O."""
+    for shard in sharded_exchange.shards:
+        original = shard.apply_delta
+
+        def apply_with_ingest_latency(added=(), removed=(), _original=original):
+            added, removed = list(added), list(removed)
+            time.sleep(per_fact * (len(added) + len(removed)))
+            return _original(added=added, removed=removed)
+
+        shard.apply_delta = apply_with_ingest_latency
+
+
+def add_scan_latency(exchange, per_tuple=SCAN_LATENCY_PER_TUPLE):
+    """Charge every evaluated (non-cached) answer a scan of its instance."""
+    original = exchange.answer
+
+    def answer_with_scan_latency(query, **kwargs):
+        outcome = original(query, **kwargs)
+        if not outcome.cached:
+            time.sleep(per_tuple * len(exchange.target))
+        return outcome
+
+    exchange.answer = answer_with_scan_latency
+
+
+# ---------------------------------------------------------------------------
+# Gate 1: parallel maintenance
+# ---------------------------------------------------------------------------
+
+
+def _register_maintenance(service, name, workload, shards, workers):
+    service.register(
+        name,
+        workload.mapping,
+        workload.source,
+        workload.target_dependencies,
+        shards=shards,
+        shard_workers=workers,
+    )
+    exchange = service.scenario(name)
+    add_ingest_latency(exchange)
+    return exchange
+
+
+def _replay_stream(exchange, batches):
+    for added, removed in batches:
+        exchange.apply_delta(added=added, removed=removed)
+
+
+def test_parallel_maintenance_at_least_2x_single_shard(benchmark):
+    """The ISSUE acceptance bar: 4 workers ≥2× one shard on the skewed stream."""
+    workload = skewed_workload(**MAINTENANCE_KWARGS)
+
+    # Untimed differential pass: both configurations (and the unsharded
+    # reference) converge to the same certain answers after the full stream.
+    reference = ExchangeService()
+    reference.register(
+        "flat", workload.mapping, workload.source, workload.target_dependencies
+    )
+    check = ExchangeService()
+    single_check = _register_maintenance(check, "single", workload, 1, 1)
+    wide_check = _register_maintenance(check, "wide", workload, SHARDS, WORKERS)
+    for added, removed in workload.batches:
+        reference.scenario("flat").apply_delta(added=added, removed=removed)
+        single_check.apply_delta(added=added, removed=removed)
+        wide_check.apply_delta(added=added, removed=removed)
+    for query in workload.queries:
+        flat = reference.query("flat", query).answers
+        assert check.query("single", query).answers == flat
+        assert check.query("wide", query).answers == flat
+    imbalance = wide_check.sharding_stats().imbalance
+    single_check.close()
+    wide_check.close()
+
+    # Timed passes: fresh exchanges per round, registration excluded.
+    def timed(shards, workers, rounds=3):
+        seconds = []
+        for round_index in range(rounds):
+            service = ExchangeService()
+            exchange = _register_maintenance(
+                service, f"m{shards}x{workers}-{round_index}", workload, shards, workers
+            )
+            start = time.perf_counter()
+            _replay_stream(exchange, workload.batches)
+            seconds.append(time.perf_counter() - start)
+            exchange.close()
+        return sum(seconds) / len(seconds)
+
+    single_seconds = timed(1, 1)
+
+    bench_exchanges = []  # closed below: each owns a shard worker pool
+
+    def setup_wide():
+        exchange = _register_maintenance(
+            ExchangeService(), "wide-bench", workload, SHARDS, WORKERS
+        )
+        bench_exchanges.append(exchange)
+        return (exchange,), {}
+
+    benchmark.pedantic(
+        lambda exchange: _replay_stream(exchange, workload.batches),
+        setup=setup_wide,
+        rounds=3,
+        iterations=1,
+    )
+    wide_seconds = benchmark.stats.stats.mean
+    for exchange in bench_exchanges:
+        exchange.close()
+
+    speedup = single_seconds / wide_seconds
+    record(
+        benchmark,
+        experiment="EXP-SHARDING",
+        family="parallel-maintenance",
+        shards=SHARDS,
+        workers=WORKERS,
+        batches=len(workload.batches),
+        ingest_latency_ms_per_fact=INGEST_LATENCY_PER_FACT * 1000,
+        hot_shard_imbalance=round(imbalance, 2),
+        single_shard_seconds=round(single_seconds, 4),
+        speedup=round(speedup, 2),
+    )
+    emit(
+        "parallel_maintenance",
+        {
+            "shards": SHARDS,
+            "workers": WORKERS,
+            "batches": len(workload.batches),
+            "hot_shard_imbalance": round(imbalance, 2),
+            "single_shard_seconds": round(single_seconds, 4),
+            "sharded_seconds": round(wide_seconds, 4),
+            "speedup": round(speedup, 2),
+        },
+    )
+    assert speedup >= 2.0, (
+        f"parallel maintenance only {speedup:.2f}x over the single shard "
+        f"({single_seconds:.3f}s vs {wide_seconds:.3f}s)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Gate 2: scatter-gather query throughput
+# ---------------------------------------------------------------------------
+
+
+def _register_query_service(workload, which):
+    """One service of the requested kind, scan latency injected."""
+    service = ExchangeService()
+    if which == "flat":
+        service.register(
+            "flat", workload.mapping, workload.source, workload.target_dependencies
+        )
+        add_scan_latency(service.scenario("flat"))
+    else:
+        service.register(
+            "sharded",
+            workload.mapping,
+            workload.source,
+            workload.target_dependencies,
+            shards=SHARDS,
+            shard_workers=WORKERS,
+        )
+        for shard in service.scenario("sharded").shards:
+            add_scan_latency(shard)
+    return service
+
+
+def _hot_mix(workload):
+    """The scatter-safe hot queries (the merged-route join is checked
+    differentially below but kept out of the throughput mix on both sides)."""
+    return [q for q in workload.queries if q.name != "shared_accounts"]
+
+
+def _replay_queries(service, name, batches, queries):
+    """Interleave invalidating updates with the hot mix.
+
+    Returns ``(queries served, query-only seconds)``: the updates stale the
+    caches (that is their role in the mix) but their own cost is *not* part
+    of a query-throughput number — maintenance has its own gate above.
+    """
+    served, query_seconds = 0, 0.0
+    for added, removed in batches:
+        service.update(name, add=added, retract=removed)
+        start = time.perf_counter()
+        for query in queries:
+            service.query(name, query)
+            served += 1
+        query_seconds += time.perf_counter() - start
+    return served, query_seconds
+
+
+def test_scatter_gather_throughput_at_least_2x_unsharded(benchmark):
+    """The ISSUE acceptance bar: ≥2× queries/second on the hot-query mix."""
+    workload = skewed_workload(**QUERY_KWARGS)
+    queries = _hot_mix(workload)
+
+    # Untimed differential pass over the *full* pool (merged route included).
+    flat_check = _register_query_service(workload, "flat")
+    sharded_check = _register_query_service(workload, "sharded")
+    for added, removed in workload.batches:
+        flat_check.update("flat", add=added, retract=removed)
+        sharded_check.update("sharded", add=added, retract=removed)
+        for query in workload.queries:
+            flat = flat_check.query("flat", query)
+            sharded = sharded_check.query("sharded", query)
+            assert flat.answers == sharded.answers, query.name
+    stats = sharded_check.stats("sharded").sharding
+    assert stats.scatter_queries > 0
+    sharded_check.scenario("sharded").close()
+
+    # Timed passes: fresh services per round so every round replays the same
+    # cold-to-warm cache trajectory; only the query seconds are gated.
+    def timed(which, rounds=3):
+        seconds, served = [], 0
+        for _ in range(rounds):
+            service = _register_query_service(workload, which)
+            served, query_seconds = _replay_queries(
+                service, which, workload.batches, queries
+            )
+            seconds.append(query_seconds)
+            if which == "sharded":
+                service.scenario("sharded").close()
+        return sum(seconds) / len(seconds), served
+
+    flat_seconds, served = timed("flat")
+    sharded_seconds, _ = timed("sharded")
+
+    # One more replay under the harness so the pytest-benchmark row (whole
+    # replay, updates included) lands in BENCH_quick.json alongside the rest.
+    bench_services = []  # closed below: each sharded scenario owns a pool
+
+    def setup_sharded():
+        service = _register_query_service(workload, "sharded")
+        bench_services.append(service)
+        return (service,), {}
+
+    benchmark.pedantic(
+        lambda service: _replay_queries(service, "sharded", workload.batches, queries),
+        setup=setup_sharded,
+        rounds=1,
+        iterations=1,
+    )
+    for service in bench_services:
+        service.scenario("sharded").close()
+
+    flat_qps = served / flat_seconds
+    sharded_qps = served / sharded_seconds
+    speedup = sharded_qps / flat_qps
+    record(
+        benchmark,
+        experiment="EXP-SHARDING",
+        family="scatter-gather",
+        shards=SHARDS,
+        workers=WORKERS,
+        queries_served=served,
+        scan_latency_us_per_tuple=SCAN_LATENCY_PER_TUPLE * 1e6,
+        flat_qps=round(flat_qps, 1),
+        sharded_qps=round(sharded_qps, 1),
+        speedup=round(speedup, 2),
+    )
+    emit(
+        "scatter_gather",
+        {
+            "shards": SHARDS,
+            "workers": WORKERS,
+            "queries_served": served,
+            "flat_qps": round(flat_qps, 1),
+            "sharded_qps": round(sharded_qps, 1),
+            "speedup": round(speedup, 2),
+        },
+    )
+    assert speedup >= 2.0, (
+        f"scatter-gather throughput only {speedup:.2f}x the unsharded exchange "
+        f"({sharded_qps:.0f} vs {flat_qps:.0f} queries/s)"
+    )

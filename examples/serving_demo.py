@@ -8,8 +8,14 @@ The script registers an employees/projects scenario with the serving
 service, serves typed queries (watching the dispatch route go from ``core``
 to ``cache``), commits a *mixed* add/retract batch as one transaction (one
 refresh pass, one cache-invalidation round), shows that invalidation is
-scoped to the relations the batch touched, and ends with the structured
-``stats()`` snapshot.
+scoped to the relations the batch touched, registers the same mapping as a
+**sharded** scenario (partitioned maintenance, ``scatter`` query routes,
+per-shard stats), and ends with the structured ``stats()`` snapshot.
+
+The demo escalates :class:`ServingDeprecationWarning` to an error before it
+does anything — the same policy as the repo's pytest configuration — so any
+use of the deprecated split update API here would crash instead of
+quietly warning.
 
 Migrating from the pre-service API::
 
@@ -23,8 +29,12 @@ Migrating from the pre-service API::
     ex.cache_stats                           service.stats(n).cache
 """
 
+import warnings
+
 from repro import cq, make_instance, mapping_from_rules
-from repro.serving import ExchangeService
+from repro.serving import ExchangeService, ServingDeprecationWarning
+
+warnings.simplefilter("error", ServingDeprecationWarning)
 
 
 def describe(result) -> str:
@@ -94,6 +104,23 @@ def main() -> None:
     print(f"cache: {stats.cache} ({stats.cache_entries} entries)")
     print(f"updates: {stats.updates}")
     print(f"lock: {stats.lock}")
+
+    print("\n== The same mapping, sharded: partitioned maintenance, scatter-gather ==")
+    # Two worker shards (plus the residual shard the analysis can fall back
+    # to), partitioned on the employee id — position 0 of every relation.
+    service.register("employees@2", mapping, source, shards=2)
+    sharded = service.scenario("employees@2")
+    print(f"plan: local STDs={sorted(sharded.plan.local_stds)}, "
+          f"residual sources={sorted(sharded.plan.residual_sources) or '∅'}")
+    print(f"employees: {describe(service.query('employees@2', by_dept))}  <- per-shard, unioned")
+    print(f"employees: {describe(service.query('employees@2', by_dept))}")
+    with service.transaction("employees@2") as txn:  # fans out per shard
+        txn.add([("Emp", ("dave", "infra")), ("Works", ("dave", "build"))])
+    print(f"teams:     {describe(service.query('employees@2', teams))}")
+    sharding = service.stats("employees@2").sharding
+    print(f"shards: sources={sharding.shard_source_tuples} (residual last), "
+          f"epoch={sharding.epoch}, scatter={sharding.scatter_queries}, "
+          f"imbalance={sharding.imbalance:.2f}")
 
 
 if __name__ == "__main__":

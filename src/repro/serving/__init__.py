@@ -17,9 +17,17 @@ async serving, alternative backends) plugs into:
   update entry point — one mixed add/retract batch, one trigger
   re-evaluation, one combined DRed-plus-seeded-chase target repair, one
   cache-invalidation round, all-or-nothing rollback;
+* :mod:`repro.serving.sharding` — :class:`ShardedExchange`: a scenario
+  hash-partitioned across worker shards plus a residual shard, behind a
+  registration-time *shardability analysis* (key-connected STD bodies,
+  key-propagation through dependency heads; anything unprovable falls back
+  to the residual shard, so correctness never depends on the analysis);
+  updates fan out per shard on a worker pool with inverse-delta rollback,
+  scatter-safe queries evaluate per shard in parallel and union, the rest
+  over merged views — registered via ``service.register(..., shards=N)``;
 * :mod:`repro.serving.concurrency` — the writer-preferring
-  :class:`ReadWriteLock` (with contention counters) the service guards each
-  scenario with;
+  :class:`ReadWriteLock` (with contention counters, re-entrancy misuse
+  raising instead of deadlocking) the service guards each scenario with;
 * :mod:`repro.serving.core_engine` — greedy block-based core computation with
   candidates pruned through the instance position indexes;
 * :mod:`repro.serving.cache` — the certain-answer cache keyed on
@@ -98,6 +106,13 @@ from repro.serving.service import (
     UpdateRequest,
     UpdateResult,
 )
+from repro.serving.sharding import (
+    PartitionSpec,
+    ShardedExchange,
+    ShardingStats,
+    ShardPlan,
+    analyse_shardability,
+)
 
 __all__ = [
     "CacheStats",
@@ -128,4 +143,9 @@ __all__ = [
     "Transaction",
     "UpdateRequest",
     "UpdateResult",
+    "PartitionSpec",
+    "ShardPlan",
+    "ShardedExchange",
+    "ShardingStats",
+    "analyse_shardability",
 ]

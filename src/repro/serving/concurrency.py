@@ -12,8 +12,14 @@ reader inside.  The price is a small read-availability dip around each update,
 which is exactly the semantics a materialized exchange wants: updates are
 rare, and once one is requested the next answers should reflect it soon.
 
-The lock is not reentrant in either mode; the serving façade never nests
-acquisitions.  Multi-scenario transactions acquire their write locks in
+The lock is not reentrant in either mode — and misuse is *detected*, not
+deadlocked on: a thread re-acquiring a lock it already holds (read inside
+read, read inside write, write inside either) raises ``RuntimeError``
+immediately.  The classic failure this guards against is silent: a reader
+re-entering ``acquire_read`` while a writer waits queues behind that writer,
+which in turn waits for the reader's outer hold — a deadlock that only
+manifests under concurrent load.  The serving façade never nests
+acquisitions; multi-scenario transactions acquire their write locks in
 sorted scenario-name order (the lock-ordering rule of
 :meth:`repro.serving.service.ExchangeService.transaction`), which makes
 cross-scenario deadlocks impossible.
@@ -53,24 +59,48 @@ class ReadWriteLock:
         self._cond = threading.Condition()
         self._readers = 0
         self._writer = False
+        self._writer_thread: int | None = None
+        # idents of threads currently holding a read lock (at most one hold
+        # each: re-entrant reads are rejected at acquire).
+        self._reader_threads: set[int] = set()
         self._writers_waiting = 0
         self._stats = LockStats()
+
+    def _check_not_holding(self, mode: str) -> None:
+        """Raise on re-entrant misuse instead of deadlocking (see module doc)."""
+        ident = threading.get_ident()
+        if self._writer_thread == ident:
+            raise RuntimeError(
+                f"re-entrant {mode} acquisition: this thread already holds the "
+                f"lock in write mode"
+            )
+        if ident in self._reader_threads:
+            raise RuntimeError(
+                f"re-entrant {mode} acquisition: this thread already holds the "
+                f"lock in read mode"
+            )
 
     # -- read side ---------------------------------------------------------
 
     def acquire_read(self) -> None:
         with self._cond:
+            self._check_not_holding("read")
             if self._writer or self._writers_waiting:
                 self._stats.read_waits += 1
                 while self._writer or self._writers_waiting:
                     self._cond.wait()
             self._readers += 1
+            self._reader_threads.add(threading.get_ident())
             self._stats.read_acquisitions += 1
             if self._readers > self._stats.max_concurrent_readers:
                 self._stats.max_concurrent_readers = self._readers
 
     def release_read(self) -> None:
         with self._cond:
+            ident = threading.get_ident()
+            if ident not in self._reader_threads:
+                raise RuntimeError("release_read without a matching acquire_read")
+            self._reader_threads.discard(ident)
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
@@ -79,6 +109,7 @@ class ReadWriteLock:
 
     def acquire_write(self) -> None:
         with self._cond:
+            self._check_not_holding("write")
             if self._writer or self._readers:
                 self._stats.write_waits += 1
             self._writers_waiting += 1
@@ -88,11 +119,17 @@ class ReadWriteLock:
             finally:
                 self._writers_waiting -= 1
             self._writer = True
+            self._writer_thread = threading.get_ident()
             self._stats.write_acquisitions += 1
 
     def release_write(self) -> None:
         with self._cond:
+            if self._writer_thread != threading.get_ident():
+                raise RuntimeError(
+                    "release_write by a thread that does not hold the write lock"
+                )
             self._writer = False
+            self._writer_thread = None
             self._cond.notify_all()
 
     # -- context managers --------------------------------------------------

@@ -165,14 +165,97 @@ class AnswerOutcome:
     vector matched a stored entry), ``"core"`` (UCQ evaluated naively over
     the maintained core), ``"target"`` (other monotone queries over the full
     chased target), or ``"deqa"`` (non-monotone queries through the DEQA
-    procedures over the live source).  ``semantics`` is the cache-semantics
-    key (``"monotone"`` or the parameterised ``"deqa:…"``).
+    procedures over the live source).  A sharded scenario
+    (:class:`~repro.serving.sharding.ShardedExchange`) additionally reports
+    ``"scatter"`` (parallel per-shard evaluation, answers unioned) and
+    ``"merged"`` (evaluated over the merged target view).  ``semantics`` is
+    the cache-semantics key (``"monotone"`` or the parameterised
+    ``"deqa:…"``).
     """
 
     answers: frozenset
     semantics: str
     route: str
     cached: bool
+
+
+def normalise_delta(
+    source: Instance,
+    added: Iterable[tuple[str, Iterable[Any]]],
+    removed: Iterable[tuple[str, Iterable[Any]]],
+) -> tuple[list[Fact], list[Fact]]:
+    """Normalise one mixed batch against the current source — shared contract.
+
+    Both the unsharded and the sharded ``apply_delta`` route through this:
+    overlapping sides raise (a transaction nets conflicting operations out
+    before calling), additions already present and retractions already
+    absent drop out, and the survivors come back deterministically sorted.
+    """
+    raw_add = {(name, tuple(values)) for name, values in added}
+    raw_remove = {(name, tuple(values)) for name, values in removed}
+    overlap = raw_add & raw_remove
+    if overlap:
+        raise ValueError(
+            f"facts cannot be added and removed in the same delta: "
+            f"{sorted(overlap, key=repr)[:3]!r}"
+        )
+    to_add = sorted((fact for fact in raw_add if fact not in source), key=repr)
+    to_remove = sorted((fact for fact in raw_remove if fact in source), key=repr)
+    return to_add, to_remove
+
+
+def serve_deqa(
+    compiled: CompiledMapping,
+    source: Instance,
+    cache: CertainAnswerCache,
+    query: AnyQuery,
+    fingerprint: str,
+    extra_constants: int | None,
+    max_extra_tuples: int | None,
+) -> AnswerOutcome:
+    """The non-monotone (DEQA) serving branch — one implementation.
+
+    Shared verbatim by the unsharded and the sharded exchange (the latter
+    passes its merged source view), so the guard, the parameterised
+    semantics key and the source-version cache contract can never fork
+    between the two.
+    """
+    if compiled.target_dependencies:
+        raise ServingError(
+            "non-monotone queries are served only for scenarios without "
+            "target dependencies (DEQA is defined for the mapping alone)"
+        )
+    semantics = f"deqa:{extra_constants}:{max_extra_tuples}"
+    versions = version_vector(
+        source, [r.name for r in compiled.mapping.source.relations()]
+    )
+    cached = cache.get(fingerprint, semantics, versions)
+    if cached is not None:
+        return AnswerOutcome(cached, semantics, "cache", True)
+    answers = certain_answers(
+        compiled.mapping,
+        source,
+        query,
+        extra_constants=extra_constants,
+        max_extra_tuples=max_extra_tuples,
+    )
+    frozen = cache.put(fingerprint, semantics, versions, answers)
+    return AnswerOutcome(frozen, semantics, "deqa", False)
+
+
+def query_target_relations(query: AnyQuery, normalized: Query) -> list[str]:
+    """The target relations ``query`` reads — the scope of its version guard.
+
+    ``normalized`` is the :class:`~repro.logic.queries.Query` coercion of
+    ``query`` (algebra expressions only carry their relations there).
+    """
+    if isinstance(query, ConjunctiveQuery):
+        return sorted(query.relations())
+    if isinstance(query, UnionOfConjunctiveQueries):
+        return sorted({r for cq in query.disjuncts for r in cq.relations()})
+    if isinstance(query, Query):
+        return sorted(relations_of(query.formula))
+    return sorted(relations_of(normalized.formula))
 
 
 class MaterializedExchange:
@@ -247,6 +330,11 @@ class MaterializedExchange:
     def target(self) -> Instance:
         """The chased materialization queries are answered against."""
         return self._target
+
+    @property
+    def target_size(self) -> int:
+        """Tuples in the chased target — the cheap size ``stats()`` reports."""
+        return len(self._target)
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -399,16 +487,7 @@ class MaterializedExchange:
         canonical layer and target have been rolled back to the pre-batch
         scenario.
         """
-        raw_add = {(name, tuple(values)) for name, values in added}
-        raw_remove = {(name, tuple(values)) for name, values in removed}
-        overlap = raw_add & raw_remove
-        if overlap:
-            raise ValueError(
-                f"facts cannot be added and removed in the same delta: "
-                f"{sorted(overlap, key=repr)[:3]!r}"
-            )
-        to_add = sorted((fact for fact in raw_add if fact not in self.source), key=repr)
-        to_remove = sorted((fact for fact in raw_remove if fact in self.source), key=repr)
+        to_add, to_remove = normalise_delta(self.source, added, removed)
         if not to_add and not to_remove:
             return AppliedDelta()
 
@@ -729,19 +808,8 @@ class MaterializedExchange:
         }
         self._target = new_target
 
-    def _source_versions(self) -> VersionVector:
-        return version_vector(
-            self.source, [r.name for r in self.compiled.mapping.source.relations()]
-        )
-
     def _query_target_relations(self, query: AnyQuery, normalized: Query) -> list[str]:
-        if isinstance(query, ConjunctiveQuery):
-            return sorted(query.relations())
-        if isinstance(query, UnionOfConjunctiveQueries):
-            return sorted({r for cq in query.disjuncts for r in cq.relations()})
-        if isinstance(query, Query):
-            return sorted(relations_of(query.formula))
-        return sorted(relations_of(normalized.formula))
+        return query_target_relations(query, normalized)
 
     def answer(
         self,
@@ -783,25 +851,15 @@ class MaterializedExchange:
             frozen = self._cache.put(fingerprint, semantics, versions, answers)
             return AnswerOutcome(frozen, semantics, route, False)
 
-        if self.compiled.target_dependencies:
-            raise ServingError(
-                "non-monotone queries are served only for scenarios without "
-                "target dependencies (DEQA is defined for the mapping alone)"
-            )
-        semantics = f"deqa:{extra_constants}:{max_extra_tuples}"
-        versions = self._source_versions()
-        cached = self._cache.get(fingerprint, semantics, versions)
-        if cached is not None:
-            return AnswerOutcome(cached, semantics, "cache", True)
-        answers = certain_answers(
-            self.compiled.mapping,
+        return serve_deqa(
+            self.compiled,
             self.source,
+            self._cache,
             query,
-            extra_constants=extra_constants,
-            max_extra_tuples=max_extra_tuples,
+            fingerprint,
+            extra_constants,
+            max_extra_tuples,
         )
-        frozen = self._cache.put(fingerprint, semantics, versions, answers)
-        return AnswerOutcome(frozen, semantics, "deqa", False)
 
     def certain_answers(
         self,

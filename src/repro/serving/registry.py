@@ -14,7 +14,7 @@ object queries and updates are served from.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
 from repro.chase.dependencies import EGD, TGD
 from repro.chase.weak_acyclicity import is_weakly_acyclic
@@ -25,6 +25,10 @@ from repro.logic.cq import decompose_exists_cq
 from repro.logic.formulas import Atom, Eq
 from repro.logic.terms import Var
 from repro.relational.instance import Instance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sharding imports us)
+    from repro.serving.materialized import MaterializedExchange
+    from repro.serving.sharding import PartitionSpec, ShardedExchange, ShardPlan
 
 
 @dataclass(frozen=True)
@@ -70,6 +74,23 @@ class CompiledMapping:
             {i for name in relations for i in self.trigger_plan.get(name, ())}
         )
         return [self.stds[i] for i in indexes]
+
+    def shard_plan(
+        self, partition: "PartitionSpec", force_residual: bool = False
+    ) -> "ShardPlan":
+        """The shardability analysis of this mapping under ``partition``.
+
+        Decides which STDs fire shard-locally (bodies connected through the
+        partition key), which source relations fall back to the residual
+        shard, and whether the target dependencies can join across the
+        partition — see :func:`repro.serving.sharding.analyse_shardability`.
+        The analysis is pure and cheap (a couple of fixpoint passes over the
+        STD and dependency structure), so it is recomputed per registration
+        rather than cached on this frozen object.
+        """
+        from repro.serving.sharding import analyse_shardability
+
+        return analyse_shardability(self, partition, force_residual=force_residual)
 
 
 def mapping_fingerprint(
@@ -160,7 +181,7 @@ class ScenarioRegistry:
         # deregistration can evict compilations no registered scenario uses
         # any more.
         self._compilations: dict[str, CompiledMapping] = {}
-        self._scenarios: dict[str, "MaterializedExchange"] = {}
+        self._scenarios: dict[str, "MaterializedExchange | ShardedExchange"] = {}
         self._scenario_keys: dict[str, str] = {}
 
     @staticmethod
@@ -189,11 +210,33 @@ class ScenarioRegistry:
         target_dependencies: Sequence[TGD | EGD] = (),
         max_chase_steps: int | None = None,
         cache_capacity: int | None = None,
-    ) -> "MaterializedExchange":
+        shards: int | None = None,
+        partition_keys: Mapping[str, int] | None = None,
+        shard_workers: int | None = None,
+        force_residual: bool = False,
+    ) -> "MaterializedExchange | ShardedExchange":
+        """Register a scenario (see the class docstring).
+
+        With ``shards`` given, the scenario materializes as a
+        :class:`~repro.serving.sharding.ShardedExchange`: ``shards`` worker
+        shards plus a residual shard, partitioned on ``partition_keys``
+        (position per source relation, default ``0``), updated through a
+        ``shard_workers``-wide pool.  ``force_residual=True`` skips the
+        shardability analysis and routes everything to the residual shard —
+        the always-correct degenerate configuration differential tests pin
+        the analysis against.
+        """
         from repro.serving.materialized import MaterializedExchange
 
         if name in self._scenarios:
             raise ValueError(f"scenario {name!r} is already registered")
+        if shards is None and (
+            partition_keys is not None or shard_workers is not None or force_residual
+        ):
+            raise ValueError(
+                "partition_keys/shard_workers/force_residual require shards=N "
+                "(did you forget to pass shards?)"
+            )
         key = self._compilation_key(mapping, target_dependencies)
         compiled = self._compilations.get(key)
         if compiled is None:
@@ -201,26 +244,43 @@ class ScenarioRegistry:
         # Materialization may fail (e.g. an egd conflict); cache the
         # compilation only once the scenario actually registers, so failed
         # registrations leave nothing pinned behind.
-        exchange = MaterializedExchange(
-            name,
-            compiled,
-            source,
-            max_chase_steps=max_chase_steps,
-            cache_capacity=cache_capacity,
-        )
+        if shards is not None:
+            from repro.serving.sharding import PartitionSpec, ShardedExchange
+
+            exchange = ShardedExchange(
+                name,
+                compiled,
+                source,
+                PartitionSpec(shards, partition_keys or {}),
+                max_chase_steps=max_chase_steps,
+                cache_capacity=cache_capacity,
+                max_workers=shard_workers,
+                force_residual=force_residual,
+            )
+        else:
+            exchange = MaterializedExchange(
+                name,
+                compiled,
+                source,
+                max_chase_steps=max_chase_steps,
+                cache_capacity=cache_capacity,
+            )
         self._compilations[key] = compiled
         self._scenarios[name] = exchange
         self._scenario_keys[name] = key
         return exchange
 
-    def get(self, name: str) -> "MaterializedExchange":
+    def get(self, name: str) -> "MaterializedExchange | ShardedExchange":
         try:
             return self._scenarios[name]
         except KeyError:
             raise KeyError(f"no scenario named {name!r} is registered") from None
 
     def deregister(self, name: str) -> None:
-        self._scenarios.pop(name, None)
+        exchange = self._scenarios.pop(name, None)
+        close = getattr(exchange, "close", None)
+        if close is not None:  # a sharded exchange owns a worker pool
+            close()
         key = self._scenario_keys.pop(name, None)
         if key is not None and key not in self._scenario_keys.values():
             self._compilations.pop(key, None)
@@ -231,7 +291,7 @@ class ScenarioRegistry:
     def __len__(self) -> int:
         return len(self._scenarios)
 
-    def __iter__(self) -> Iterator["MaterializedExchange"]:
+    def __iter__(self) -> Iterator["MaterializedExchange | ShardedExchange"]:
         return iter(self._scenarios[name] for name in self.names())
 
     def __contains__(self, name: object) -> bool:

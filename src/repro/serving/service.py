@@ -59,6 +59,7 @@ from repro.serving.materialized import (
     UpdateStats,
 )
 from repro.serving.registry import ScenarioRegistry
+from repro.serving.sharding import ShardedExchange, ShardingStats
 
 FactInput = tuple[str, Iterable[Any]]
 
@@ -118,7 +119,14 @@ class UpdateResult:
 
 @dataclass(frozen=True)
 class ScenarioStats:
-    """One scenario's structured introspection snapshot."""
+    """One scenario's structured introspection snapshot.
+
+    ``sharding`` is ``None`` for unsharded scenarios; for a
+    :class:`~repro.serving.sharding.ShardedExchange` it carries the
+    epoch-consistent per-shard figures (the whole snapshot is taken under
+    the scenario's read lock, so every number — merged sizes included —
+    describes the same committed batch).
+    """
 
     name: str
     source_tuples: int
@@ -128,6 +136,7 @@ class ScenarioStats:
     cache: CacheStats
     updates: UpdateStats
     lock: LockStats
+    sharding: ShardingStats | None = None
 
 
 @dataclass(frozen=True)
@@ -342,8 +351,20 @@ class ExchangeService:
         target_dependencies: Sequence[TGD | EGD] = (),
         max_chase_steps: int | None = None,
         cache_capacity: int | None = None,
+        shards: int | None = None,
+        partition_keys: dict[str, int] | None = None,
+        shard_workers: int | None = None,
+        force_residual: bool = False,
     ) -> None:
-        """Register and materialize a scenario (compiled once per structure)."""
+        """Register and materialize a scenario (compiled once per structure).
+
+        Passing ``shards`` materializes the scenario as a
+        :class:`~repro.serving.sharding.ShardedExchange` — partitioned
+        maintenance and scatter-gather serving behind the very same
+        per-scenario lock, transaction and rollback machinery (a sharded
+        scenario's ``apply_delta`` is itself all-or-nothing across its
+        shards, so multi-scenario transactions compose unchanged).
+        """
         with self._admin:
             self._registry.register(
                 name,
@@ -352,6 +373,10 @@ class ExchangeService:
                 target_dependencies=target_dependencies,
                 max_chase_steps=max_chase_steps,
                 cache_capacity=cache_capacity,
+                shards=shards,
+                partition_keys=partition_keys,
+                shard_workers=shard_workers,
+                force_residual=force_residual,
             )
             self._locks[name] = ReadWriteLock()
 
@@ -362,7 +387,7 @@ class ExchangeService:
                 self._registry.deregister(name)
                 self._locks.pop(name, None)
 
-    def scenario(self, name: str) -> MaterializedExchange:
+    def scenario(self, name: str) -> MaterializedExchange | ShardedExchange:
         """Direct access to a scenario's materialization (read-only use).
 
         An escape hatch for introspection and tests: the returned object is
@@ -512,9 +537,17 @@ class ExchangeService:
         """
         if scenario is not None:
             return self._scenario_stats(scenario)
-        return ServiceStats(
-            tuple(self._scenario_stats(name) for name in self._registry.names())
-        )
+        collected = []
+        for name in self._registry.names():
+            try:
+                collected.append(self._scenario_stats(name))
+            except KeyError:
+                # Deregistered between the name snapshot and our visit: a
+                # whole-service snapshot omits the vanished scenario instead
+                # of failing the monitoring caller.  (Asking for one scenario
+                # by name still raises — that caller named it on purpose.)
+                continue
+        return ServiceStats(tuple(collected))
 
     def _scenario_stats(self, name: str) -> ScenarioStats:
         lock, exchange = self._read_locked_exchange(name)
@@ -522,12 +555,15 @@ class ExchangeService:
             return ScenarioStats(
                 name=name,
                 source_tuples=len(exchange.source),
-                target_tuples=len(exchange.target),
+                target_tuples=exchange.target_size,
                 core_tuples=exchange.core_size,
                 cache_entries=exchange.cache_entries,
                 cache=exchange.cache_stats_snapshot(),
                 updates=replace(exchange.update_stats),
                 lock=lock.stats_snapshot(),
+                sharding=exchange.sharding_stats()
+                if isinstance(exchange, ShardedExchange)
+                else None,
             )
         finally:
             lock.release_read()

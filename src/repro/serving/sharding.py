@@ -1,0 +1,1048 @@
+"""Sharded parallel exchange: partitioned materialization, scatter-gather serving.
+
+One :class:`ShardedExchange` splits a scenario's source across ``n`` *worker
+shards* plus one *residual shard*, each backed by its own
+:class:`~repro.serving.materialized.MaterializedExchange`, and serves the
+same query/update surface as a single exchange — so it plugs into
+:class:`~repro.serving.service.ExchangeService` behind the existing
+per-scenario reader/writer locks unchanged.
+
+Partitioning and the shardability analysis
+------------------------------------------
+A :class:`PartitionSpec` names the partition key of each source relation (a
+position, ``0`` by default) and the worker-shard count.  A source fact is
+routed to ``hash(key value) % n`` — unless its relation was routed to the
+residual shard by the **shardability analysis**
+(:func:`analyse_shardability`, exposed as
+:meth:`~repro.serving.registry.CompiledMapping.shard_plan`):
+
+* an STD is *shard-local* iff its body is a conjunctive query connected
+  through the partition key — a single-atom body (each trigger uses one
+  source fact, which lives in exactly one shard), or a key-join (one
+  variable occupies the key position of every body atom, so all body facts
+  of any trigger share a key value and hash to the same shard);
+* non-local STDs (non-CQ bodies, joins not aligned on the key) route every
+  source relation they read to the residual shard; a key-join STD reading
+  both residual and partitioned relations drags the rest of its body along
+  (its triggers must be intra-shard *somewhere*);
+* target dependencies are checked against a key-propagation fixpoint over
+  the target relations: positions provably carrying the shard key are
+  tracked through STD heads and tgd heads, and a dependency is shard-safe
+  iff its body is a single atom, lives entirely in residual-produced
+  relations, or key-joins partitioned-produced relations on propagated key
+  positions.  An unsafe dependency forces the relations it touches — and,
+  transitively, everything that produces them — onto the residual shard.
+
+The analysis is *conservative by construction*: anything it cannot prove
+intra-shard lands in the residual shard, where a single exchange maintains
+it exactly like the unsharded serving layer — correctness never depends on
+the analysis being complete (``force_residual=True`` degenerates the whole
+scenario to the residual shard, which the differential tests exercise).
+
+Why the union of shard targets is a universal solution
+------------------------------------------------------
+Under a valid plan every STD trigger and every dependency trigger fires in
+exactly one shard, so the union of the shard canonical layers is the
+canonical solution of the whole source, and the union of the shard targets
+is closed under the target dependencies.  Null disjointness comes for free:
+justification nulls are deterministic per trigger (each trigger fires in
+one shard) and chase nulls carry globally unique identities
+(:class:`~repro.relational.domain.Null`'s global counter), so per-shard
+homomorphisms into any solution combine into one — the union is a universal
+solution, homomorphically equivalent to the unsharded target.
+
+Serving
+-------
+* **Updates** fan out per shard: one
+  :meth:`~repro.serving.materialized.MaterializedExchange.apply_delta` per
+  touched shard, run on a :class:`~concurrent.futures.ThreadPoolExecutor`
+  worker pool, all-or-nothing — a failing shard rejects the batch and the
+  shards that already committed are unwound by their inverse deltas (the
+  same mechanism service transactions use across scenarios).
+* **Monotone queries** evaluate *scatter-gather* when the query itself is
+  provably intra-shard (same key-connectedness test as STD bodies, plus
+  single-atom and residual-only cases): every shard answers in parallel
+  over its own core/target and the answer sets are unioned.  The union is
+  the null-aware dedup: certain answers are null-free and per-shard nulls
+  are disjoint, so no cross-shard identification could create or merge
+  answers.  Queries that may join across the partition fall back to a
+  lazily maintained **merged target view** (facts deduped set-wise; shared
+  constant facts collapse, nulls never wrongly merge).
+* **DEQA / non-monotone queries** evaluate over the maintained **merged
+  source view** — identical to the unsharded path.
+* **Caching**: one top-level certain-answer cache guarded by the *composed*
+  version vector — per-shard per-relation counters concatenated — so an
+  update to any shard stales exactly the queries that read a touched
+  relation, on any shard.
+
+``sharding_stats()`` snapshots per-shard sizes, the scatter/merged route
+counters and the batch *epoch*; taken under the service's read lock the
+numbers are epoch-consistent (writers are excluded, so every figure
+describes the same committed batch).
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.core.certain import AnyQuery, _as_query, certain_answers_naive
+from repro.logic.cq import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.logic.formulas import Atom
+from repro.logic.terms import Const, Var
+from repro.relational.instance import Instance
+from repro.serving.cache import CertainAnswerCache, VersionVector, query_fingerprint
+from repro.serving.materialized import (
+    AnswerOutcome,
+    AppliedDelta,
+    Fact,
+    MaterializedExchange,
+    ServingDeprecationWarning,
+    UpdateStats,
+    normalise_delta,
+    query_target_relations,
+    serve_deqa,
+)
+from repro.serving.registry import CompiledMapping
+
+__all__ = [
+    "PartitionSpec",
+    "ShardPlan",
+    "ShardedExchange",
+    "ShardingStats",
+    "analyse_shardability",
+    "shard_of_value",
+]
+
+
+def shard_of_value(value: Any, shards: int) -> int:
+    """The worker shard of a partition-key value.
+
+    Routing must agree with Python's ``==`` — the equality joins and chase
+    matching use — or equal-but-distinctly-spelled keys (``1`` vs ``1.0``
+    vs ``True``) would land in different shards and a key-join trigger
+    spanning them would silently never fire.  So the function hashes:
+
+    * strings/bytes by CRC32 of their content — equality-compatible *and*
+      stable across processes (``hash()`` is per-process salted for these,
+      which would make shard layouts drift between runs);
+    * everything else by ``hash()``, which CPython keeps equality-compatible
+      across the whole numeric tower (``hash(1) == hash(1.0) ==
+      hash(True)``) and unsalted for numbers — so the common key types
+      (ids, numbers) are also process-stable, while exotic hashable keys
+      are at least always routed consistently within a process.
+    """
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8", "surrogatepass")) % shards
+    if isinstance(value, bytes):
+        return zlib.crc32(value) % shards
+    return hash(value) % shards
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """How a scenario's source is partitioned.
+
+    ``shards`` counts the *worker* shards (the residual shard is always
+    added on top); ``keys`` maps source relations to the position of their
+    partition key, defaulting to position ``0`` — the common
+    "first column is the entity id" layout.
+    """
+
+    shards: int
+    keys: tuple[tuple[str, int], ...] = ()
+
+    def __init__(self, shards: int, keys: Mapping[str, int] | Iterable[tuple[str, int]] = ()):
+        if shards < 1:
+            raise ValueError("a partition needs at least one worker shard")
+        object.__setattr__(self, "shards", shards)
+        pairs = keys.items() if isinstance(keys, Mapping) else keys
+        object.__setattr__(self, "keys", tuple(sorted(pairs)))
+        # key_position sits on the per-fact routing hot path; index a dict
+        # built once instead of rebuilding it per lookup (a non-field
+        # attribute: equality/hashing stay purely field-based).
+        object.__setattr__(self, "_positions", dict(self.keys))
+
+    def key_position(self, relation: str) -> int:
+        return self._positions.get(relation, 0)
+
+
+@dataclass(frozen=True)
+class _Production:
+    """How one target relation's facts come into being, per the analysis.
+
+    ``residual``/``partitioned`` record whether any producer fires in the
+    residual shard / in worker shards; ``keys`` is the set of positions
+    *provably* carrying the shard key in every partitioned-produced fact
+    (the intersection over all partitioned producers).
+    """
+
+    residual: bool = False
+    partitioned: bool = False
+    keys: frozenset[int] = frozenset()
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The outcome of the shardability analysis for one ``(mapping, spec)``.
+
+    ``local_stds`` fire intra-shard over partitioned relations;
+    ``residual_stds`` fire only in the residual shard (their source
+    relations are all in ``residual_sources``).  ``target_keys`` holds the
+    propagated key positions of partitioned-only target relations —
+    the evidence :meth:`scatter_safe` checks query joins against.
+    ``reasons`` explains every residual routing decision.
+    """
+
+    spec: PartitionSpec
+    local_stds: frozenset[int]
+    residual_stds: frozenset[int]
+    residual_sources: frozenset[str]
+    partitioned_sources: frozenset[str]
+    residual_targets: frozenset[str]
+    partitioned_targets: frozenset[str]
+    mixed_targets: frozenset[str]
+    target_keys: tuple[tuple[str, tuple[int, ...]], ...]
+    reasons: tuple[str, ...]
+
+    @property
+    def fully_residual(self) -> bool:
+        """Did every source relation fall back to the residual shard?"""
+        return not self.partitioned_sources
+
+    def shard_of(self, relation: str, tup: tuple) -> int:
+        """The shard index of one source fact (``spec.shards`` = residual)."""
+        if relation in self.residual_sources:
+            return self.spec.shards
+        position = self.spec.key_position(relation)
+        if position >= len(tup):
+            return self.spec.shards
+        return shard_of_value(tup[position], self.spec.shards)
+
+    def scatter_safe(self, query: AnyQuery) -> bool:
+        """May ``query`` be answered per shard and unioned, losing nothing?
+
+        True when every body instantiation of the query provably lies
+        within one shard: single-atom disjuncts, disjuncts whose relations
+        are all residual-produced (co-located by construction), key-joins
+        over partitioned-only relations aligned on propagated key
+        positions — or disjuncts mentioning a never-produced relation
+        (empty everywhere, so nothing to lose).
+        """
+        if isinstance(query, UnionOfConjunctiveQueries):
+            return all(self._cq_scatter_safe(cq) for cq in query.disjuncts)
+        if isinstance(query, ConjunctiveQuery):
+            return self._cq_scatter_safe(query)
+        return False
+
+    def _cq_scatter_safe(self, cq: ConjunctiveQuery) -> bool:
+        relations = {atom.relation for atom in cq.atoms}
+        produced = self.residual_targets | self.partitioned_targets | self.mixed_targets
+        if relations - produced:
+            return True  # a never-produced relation keeps the whole CQ empty
+        if len(cq.atoms) <= 1:
+            return True
+        if relations <= self.residual_targets:
+            return True
+        if not relations <= self.partitioned_targets:
+            return False
+        keys = {name: frozenset(positions) for name, positions in self.target_keys}
+        return _key_joined(cq.atoms, keys) is not None
+
+    def scatter_shards(self, query: AnyQuery) -> Optional[frozenset[int]]:
+        """Worker shards that can contribute answers to a scatter-safe query.
+
+        ``None`` means every worker shard may contribute.  A disjunct whose
+        body names a *constant* at a key position of a partitioned-only
+        relation is pinned: all facts of such a relation carry the shard
+        key there, so every body instantiation lives in
+        ``shard_of_value(constant)`` and the other workers can only answer
+        with nothing — the hot per-entity lookup pattern turns into a
+        single-shard (plus residual) probe instead of a full fan-out.
+        The residual shard is never pruned here (the caller always keeps
+        it): residual-only disjuncts simply pin no worker at all.
+        """
+        disjuncts = (
+            query.disjuncts
+            if isinstance(query, UnionOfConjunctiveQueries)
+            else [query]
+        )
+        keys = {name: frozenset(positions) for name, positions in self.target_keys}
+        pinned: set[int] = set()
+        for cq in disjuncts:
+            if {atom.relation for atom in cq.atoms} <= self.residual_targets:
+                continue  # lives wholly in the residual shard: no worker
+            shard = self._pinned_worker(cq, keys)
+            if shard is None:
+                return None
+            pinned.add(shard)
+        return frozenset(pinned)
+
+    def _pinned_worker(
+        self, cq: ConjunctiveQuery, keys: Mapping[str, frozenset[int]]
+    ) -> Optional[int]:
+        """The one worker shard a disjunct's matches can come from, if any.
+
+        One atom with a constant on a key position of a partitioned-only
+        relation pins the whole disjunct: a body instantiation needs that
+        atom's fact, and all such facts share the constant's shard.
+        """
+        for atom in cq.atoms:
+            if atom.relation not in self.partitioned_targets:
+                continue
+            for position in keys.get(atom.relation, frozenset()):
+                if position < len(atom.terms):
+                    term = atom.terms[position]
+                    if isinstance(term, Const):
+                        return shard_of_value(term.value, self.spec.shards)
+        return None
+
+
+def _key_joined(atoms: Sequence[Atom], keys: Mapping[str, frozenset[int]]) -> Optional[Var]:
+    """The variable joining ``atoms`` on key positions, or ``None``.
+
+    A witness variable must occupy a key position of *every* atom's
+    relation: then each instantiation binds it to one (constant) key value
+    and every matched fact hashes to that value's shard.
+    """
+    first = atoms[0]
+    candidates = {
+        first.terms[p]
+        for p in keys.get(first.relation, frozenset())
+        if p < len(first.terms) and isinstance(first.terms[p], Var)
+    }
+    for var in sorted(candidates, key=repr):
+        if all(
+            any(
+                p < len(atom.terms) and atom.terms[p] == var
+                for p in keys.get(atom.relation, frozenset())
+            )
+            for atom in atoms[1:]
+        ):
+            return var
+    return None
+
+
+def _head_key_positions(head_terms: Sequence[Any], key_term: Any) -> frozenset[int]:
+    """Positions of ``key_term`` in a head atom (empty unless it is a Var)."""
+    if not isinstance(key_term, Var):
+        return frozenset()
+    return frozenset(i for i, t in enumerate(head_terms) if t == key_term)
+
+
+def analyse_shardability(
+    compiled: CompiledMapping,
+    spec: PartitionSpec,
+    force_residual: bool = False,
+) -> ShardPlan:
+    """Decide which STDs, source relations and dependencies are shard-local.
+
+    See the module docstring for the rules.  The computation is two nested
+    fixpoints: the inner one propagates key positions and production
+    placement (residual / partitioned) through the tgd heads until stable;
+    the outer one grows the residual source set whenever an unsafe
+    dependency forces relations (and, through the tgd-body closure, their
+    producers) onto the residual shard, then re-analyses.  Both lattices
+    are finite and grow/shrink monotonically, so termination is immediate.
+    """
+    source_relations = sorted(r.name for r in compiled.mapping.source.relations())
+    reasons: list[str] = []
+
+    # Step 1 — per-STD locality and its key variable (None for single-atom
+    # bodies, which are intra-shard regardless of what sits at the key).
+    std_key_var: dict[int, Optional[Var]] = {}
+    aligned: set[int] = set()
+    for cstd in compiled.stds:
+        if force_residual:
+            reasons.append(f"std {cstd.index}: residual forced by the caller")
+            continue
+        if cstd.atoms is None:
+            reasons.append(
+                f"std {cstd.index}: non-CQ body re-evaluated in full, needs the whole source"
+            )
+            continue
+        if len(cstd.atoms) == 1:
+            atom = cstd.atoms[0]
+            position = spec.key_position(atom.relation)
+            aligned.add(cstd.index)
+            std_key_var[cstd.index] = (
+                atom.terms[position]
+                if position < len(atom.terms) and isinstance(atom.terms[position], Var)
+                else None
+            )
+            continue
+        joined = _key_joined(
+            list(cstd.atoms),
+            {
+                atom.relation: frozenset({spec.key_position(atom.relation)})
+                for atom in cstd.atoms
+            },
+        )
+        if joined is None or cstd.equalities:
+            what = "extra equalities" if joined is not None else "join not aligned on the key"
+            reasons.append(f"std {cstd.index}: {what}")
+            continue
+        aligned.add(cstd.index)
+        std_key_var[cstd.index] = joined
+
+    residual_sources: set[str] = set()
+    if force_residual:
+        residual_sources = set(source_relations)
+    for cstd in compiled.stds:
+        if cstd.index not in aligned:
+            residual_sources |= cstd.source_relations
+
+    deps = compiled.target_dependencies
+    while True:
+        # Step 2 — residency closure: an aligned key-join STD with body
+        # relations on both sides of the partition would never see its
+        # triggers whole; drag its entire body to the residual shard.
+        changed = True
+        while changed:
+            changed = False
+            for cstd in compiled.stds:
+                if cstd.index not in aligned or cstd.atoms is None or len(cstd.atoms) < 2:
+                    continue
+                rels = cstd.source_relations
+                if rels & residual_sources and rels - residual_sources:
+                    reasons.append(
+                        f"std {cstd.index}: key-join straddles the partition, "
+                        f"body moved to the residual shard"
+                    )
+                    residual_sources |= rels
+                    changed = True
+        placement = {
+            cstd.index: "residual"
+            if cstd.source_relations <= residual_sources
+            else "partitioned"
+            for cstd in compiled.stds
+        }
+
+        # Step 3 — seed target production from the STD heads.
+        state: dict[str, _Production] = {}
+
+        def contribute(relation: str, residual: bool, keys: Optional[frozenset[int]]) -> bool:
+            old = state.get(relation, _Production())
+            if residual:
+                new = _Production(True, old.partitioned, old.keys)
+            else:
+                merged = keys if not old.partitioned else (old.keys & keys)
+                new = _Production(old.residual, True, merged)
+            if new != old:
+                state[relation] = new
+                return True
+            return False
+
+        for cstd in compiled.stds:
+            key_var = std_key_var.get(cstd.index)
+            for head in cstd.std.head:
+                if placement[cstd.index] == "residual":
+                    contribute(head.relation, True, None)
+                else:
+                    contribute(
+                        head.relation, False, _head_key_positions(head.terms, key_var)
+                    )
+
+        # Step 4 — inner fixpoint: classify each dependency's firing
+        # placement under the current state and push tgd-head production
+        # until nothing moves.  At the fixpoint the state is closed under
+        # its own classifications; stale optimistic contributions from
+        # earlier passes only ever *shrink* key sets or *add* placement
+        # flags, i.e. err conservative.
+        def classify(body: Sequence[Atom]) -> tuple[str, Optional[Var]]:
+            productions = [state.get(atom.relation) for atom in body]
+            if any(p is None or (not p.residual and not p.partitioned) for p in productions):
+                return "never", None  # some body relation has no facts, ever
+            if len(body) == 1:
+                production = productions[0]
+                kind = (
+                    "mixed"
+                    if production.residual and production.partitioned
+                    else ("residual" if production.residual else "partitioned")
+                )
+                return f"single-{kind}", None
+            if all(p.residual and not p.partitioned for p in productions):
+                return "residual", None
+            if all(p.partitioned and not p.residual for p in productions):
+                keys = {atom.relation: state[atom.relation].keys for atom in body}
+                joined = _key_joined(list(body), keys)
+                if joined is not None:
+                    return "partitioned", joined
+            return "unsafe", None
+
+        stable = False
+        while not stable:
+            stable = True
+            for dep in deps:
+                heads = getattr(dep, "head", ())
+                if not heads:
+                    continue  # egds produce nothing
+                firing, key_var = classify(dep.body)
+                if firing == "never" or firing == "unsafe":
+                    continue
+                if firing in ("residual", "single-residual", "single-mixed"):
+                    for head in heads:
+                        if contribute(head.relation, True, None):
+                            stable = False
+                if firing in ("partitioned", "single-partitioned", "single-mixed"):
+                    if firing == "partitioned":
+                        key_terms = {key_var}
+                    else:
+                        body_atom = dep.body[0]
+                        key_terms = {
+                            body_atom.terms[p]
+                            for p in state[body_atom.relation].keys
+                            if p < len(body_atom.terms)
+                            and isinstance(body_atom.terms[p], Var)
+                        }
+                    for head in heads:
+                        positions = frozenset(
+                            i for i, t in enumerate(head.terms) if t in key_terms
+                        )
+                        if contribute(head.relation, False, positions):
+                            stable = False
+
+        # Step 5 — unsafe dependencies force their relations residual-only.
+        forced: set[str] = set()
+        for dep in deps:
+            firing, _ = classify(dep.body)
+            if firing == "unsafe":
+                forced |= {atom.relation for atom in dep.body}
+                forced |= {atom.relation for atom in getattr(dep, "head", ())}
+                reasons.append(
+                    f"dependency {dep!r} may join across the partition; its "
+                    f"relations fall back to the residual shard"
+                )
+        if not forced:
+            break
+        # A tgd producing a forced relation from worker shards would keep
+        # scattering its facts: its body relations are forced too.
+        growing = True
+        while growing:
+            growing = False
+            for dep in deps:
+                heads = getattr(dep, "head", ())
+                if not heads:
+                    continue
+                if {atom.relation for atom in heads} & forced:
+                    body_rels = {atom.relation for atom in dep.body}
+                    if not body_rels <= forced:
+                        forced |= body_rels
+                        growing = True
+        before = set(residual_sources)
+        for cstd in compiled.stds:
+            if placement[cstd.index] == "partitioned" and (
+                {head.relation for head in cstd.std.head} & forced
+            ):
+                reasons.append(
+                    f"std {cstd.index}: produces residual-forced relations"
+                )
+                residual_sources |= cstd.source_relations
+        if residual_sources == before:
+            # Defensive backstop: every producer is already residual, so no
+            # unsafe classification should survive — but if the lattice
+            # walk ever disagrees, total fallback is always correct.
+            reasons.append("analysis backstop: whole source routed residual")
+            residual_sources = set(source_relations)
+            if before == residual_sources:
+                break
+
+    residual_targets = {
+        name for name, p in state.items() if p.residual and not p.partitioned
+    }
+    partitioned_targets = {
+        name for name, p in state.items() if p.partitioned and not p.residual
+    }
+    mixed_targets = {name for name, p in state.items() if p.residual and p.partitioned}
+    return ShardPlan(
+        spec=spec,
+        local_stds=frozenset(
+            i for i, where in placement.items() if where == "partitioned"
+        ),
+        residual_stds=frozenset(
+            i for i, where in placement.items() if where == "residual"
+        ),
+        residual_sources=frozenset(residual_sources),
+        partitioned_sources=frozenset(set(source_relations) - residual_sources),
+        residual_targets=frozenset(residual_targets),
+        partitioned_targets=frozenset(partitioned_targets),
+        mixed_targets=frozenset(mixed_targets),
+        target_keys=tuple(
+            sorted(
+                (name, tuple(sorted(state[name].keys)))
+                for name in partitioned_targets
+            )
+        ),
+        reasons=tuple(reasons),
+    )
+
+
+@dataclass(frozen=True)
+class ShardingStats:
+    """An epoch-consistent snapshot of one sharded scenario.
+
+    ``epoch`` counts committed batches; sampled under the scenario's read
+    lock (as :meth:`~repro.serving.service.ExchangeService.stats` does),
+    every per-shard figure describes the same epoch because writers are
+    excluded for the whole snapshot.  Shard tuples list the worker shards
+    in index order with the residual shard last; ``imbalance`` is the
+    hottest worker shard's source size over the worker mean (1.0 = evenly
+    spread), the number the skewed workloads push up.
+    """
+
+    epoch: int
+    shards: int
+    workers: int
+    local_stds: int
+    residual_stds: int
+    residual_sources: tuple[str, ...]
+    shard_source_tuples: tuple[int, ...]
+    shard_target_tuples: tuple[int, ...]
+    scatter_queries: int
+    merged_queries: int
+    fanout_applies: int
+    imbalance: float
+
+
+class ShardedExchange:
+    """A scenario materialized as worker shards plus a residual shard.
+
+    Duck-types the :class:`MaterializedExchange` serving surface
+    (``apply_delta``/``answer``/``certain_answers``/``update_stats``/
+    ``source``/``target``/…), so the service's locks, transactions and
+    inverse-delta rollbacks apply unchanged.  See the module docstring for
+    the partitioning, scatter-gather and caching semantics.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        compiled: CompiledMapping,
+        source: Instance,
+        partition: PartitionSpec,
+        max_chase_steps: int | None = None,
+        cache_capacity: int | None = None,
+        max_workers: int | None = None,
+        force_residual: bool = False,
+    ):
+        self.name = name
+        self.compiled = compiled
+        self.plan = compiled.shard_plan(partition, force_residual=force_residual)
+        self.source = source.copy()  # the merged live source view (DEQA reads it)
+        self._max_chase_steps = max_chase_steps
+        self._cache_capacity = cache_capacity
+        slices = [
+            Instance(schema=source.schema) for _ in range(partition.shards + 1)
+        ]
+        for relation, tup in self.source.facts():
+            slices[self.plan.shard_of(relation, tup)].add(relation, tup)
+        # Shard materialization is deliberately sequential: the initial
+        # trigger enumeration and chase are pure-Python CPU work, which a
+        # thread pool cannot overlap under the GIL — fanning it out would
+        # add coordination without shortening registration.
+        self.shards: tuple[MaterializedExchange, ...] = tuple(
+            MaterializedExchange(
+                self._shard_name(i),
+                compiled,
+                shard_source,
+                max_chase_steps=max_chase_steps,
+                cache_capacity=cache_capacity,
+            )
+            for i, shard_source in enumerate(slices)
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers or partition.shards + 1,
+            thread_name_prefix=f"shard-{name}",
+        )
+        self._cache = CertainAnswerCache(capacity=cache_capacity)
+        self.update_stats = UpdateStats()
+        self._epoch = 0
+        self._counter_mutex = threading.Lock()
+        self._scatter_queries = 0
+        self._merged_queries = 0
+        self._fanout_applies = 0
+        # The lazily maintained merged target view (the fallback for
+        # monotone queries that may join across the partition), guarded by
+        # the composed version vector like any cache entry.
+        self._merged_mutex = threading.Lock()
+        self._merged_target: Optional[Instance] = None
+        self._merged_versions: Optional[VersionVector] = None
+
+    def _shard_name(self, index: int) -> str:
+        if index == self.plan.spec.shards:
+            return f"{self.name}/residual"
+        return f"{self.name}/shard{index}"
+
+    # -- read access -------------------------------------------------------
+
+    @property
+    def mapping(self):
+        return self.compiled.mapping
+
+    @property
+    def residual(self) -> MaterializedExchange:
+        """The residual shard (always the last entry of ``shards``)."""
+        return self.shards[-1]
+
+    @property
+    def workers(self) -> tuple[MaterializedExchange, ...]:
+        """The worker shards, in partition-index order."""
+        return self.shards[:-1]
+
+    @property
+    def epoch(self) -> int:
+        """Number of committed update batches."""
+        return self._epoch
+
+    @property
+    def target(self) -> Instance:
+        """The merged target view (union of the shard targets, deduped)."""
+        return self._merged()
+
+    @property
+    def target_size(self) -> int:
+        """Target tuples across the shards — O(#shards), never a merge.
+
+        ``stats()`` polls this after every batch; forcing the O(|target|)
+        merged rebuild for a counter would turn monitoring into data work.
+        When the merged view happens to be current its exact deduplicated
+        size is reported; otherwise the per-shard sum stands in (an upper
+        bound — shards may derive the same all-constant fact independently).
+        """
+        with self._merged_mutex:
+            if (
+                self._merged_target is not None
+                and self._merged_versions == self._target_versions()
+            ):
+                return len(self._merged_target)
+        return sum(len(shard.target) for shard in self.shards)
+
+    @property
+    def canonical(self) -> Instance:
+        """The union of the shard canonical layers (built fresh per call)."""
+        merged = Instance(schema=self.compiled.mapping.target)
+        for shard in self.shards:
+            for fact in shard.canonical.facts():
+                merged.add(*fact)
+        return merged
+
+    @property
+    def core_size(self) -> Optional[int]:
+        """Summed shard core sizes, or ``None`` while any non-empty shard
+        has not computed its core yet (introspection only, like the
+        unsharded counterpart — reading it never computes anything)."""
+        total = 0
+        for shard in self.shards:
+            size = shard.core_size
+            if size is None:
+                if len(shard.target):
+                    return None
+                size = 0
+            total += size
+        return total
+
+    @property
+    def cache_entries(self) -> int:
+        return len(self._cache)
+
+    @property
+    def cache_stats(self):
+        return self._cache.stats
+
+    def cache_stats_snapshot(self):
+        return self._cache.stats_snapshot()
+
+    def sharding_stats(self) -> ShardingStats:
+        """The epoch-consistent sharding snapshot (see :class:`ShardingStats`)."""
+        with self._counter_mutex:
+            scatter, merged, fanout = (
+                self._scatter_queries,
+                self._merged_queries,
+                self._fanout_applies,
+            )
+        worker_sizes = [len(shard.source) for shard in self.workers]
+        mean = sum(worker_sizes) / len(worker_sizes) if worker_sizes else 0.0
+        return ShardingStats(
+            epoch=self._epoch,
+            shards=len(self.shards),
+            workers=len(self.workers),
+            local_stds=len(self.plan.local_stds),
+            residual_stds=len(self.plan.residual_stds),
+            residual_sources=tuple(sorted(self.plan.residual_sources)),
+            shard_source_tuples=tuple(len(shard.source) for shard in self.shards),
+            shard_target_tuples=tuple(len(shard.target) for shard in self.shards),
+            scatter_queries=scatter,
+            merged_queries=merged,
+            fanout_applies=fanout,
+            imbalance=(max(worker_sizes) / mean) if mean else 0.0,
+        )
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; no pending work is lost:
+        updates and queries synchronously drain their own futures)."""
+        self._pool.shutdown(wait=False)
+
+    # -- updates -----------------------------------------------------------
+
+    def apply_delta(
+        self,
+        added: Iterable[tuple[str, Iterable[Any]]] = (),
+        removed: Iterable[tuple[str, Iterable[Any]]] = (),
+    ) -> AppliedDelta:
+        """Apply one mixed batch, fanned out per shard — all-or-nothing.
+
+        The batch is normalised against the merged source (same contract as
+        the unsharded ``apply_delta``: overlapping sides raise, no-op facts
+        drop out), split along the shard plan, and one per-shard
+        ``apply_delta`` runs on the worker pool per *touched* shard.  If
+        any shard rejects its slice, the shards that already committed are
+        unwound by their inverse deltas and the failure propagates — the
+        scenario keeps serving the pre-batch state.  One batch counts one
+        trigger round / target repair / invalidation round, matching the
+        exactly-once contract the service asserts.
+        """
+        to_add, to_remove = normalise_delta(self.source, added, removed)
+        if not to_add and not to_remove:
+            return AppliedDelta()
+
+        per_shard: dict[int, tuple[list[Fact], list[Fact]]] = {}
+        for fact in to_add:
+            per_shard.setdefault(self.plan.shard_of(*fact), ([], []))[0].append(fact)
+        for fact in to_remove:
+            per_shard.setdefault(self.plan.shard_of(*fact), ([], []))[1].append(fact)
+
+        self.update_stats.batches += 1
+        replays_before = sum(shard.update_stats.replays for shard in self.shards)
+        futures = {
+            index: self._pool.submit(
+                self.shards[index].apply_delta, added=adds, removed=removes
+            )
+            for index, (adds, removes) in sorted(per_shard.items())
+        }
+        applied: dict[int, AppliedDelta] = {}
+        failure: Optional[BaseException] = None
+        for index, future in futures.items():
+            try:
+                applied[index] = future.result()
+            except Exception as exc:  # noqa: BLE001 - collected, re-raised below
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            # The failing shard rolled itself back; unwind the committed
+            # shards by their inverse deltas (sound for the same reason
+            # service transactions rely on: a committed delta came from a
+            # consistent state, and justification nulls are deterministic).
+            for index, delta in sorted(applied.items()):
+                if not delta:
+                    continue
+                try:
+                    self.shards[index].apply_delta(
+                        added=delta.removed, removed=delta.added
+                    )
+                except Exception:  # pragma: no cover - e.g. a step-budgeted
+                    # egd replay on the inverse path.  A shard left at the
+                    # post-batch state would silently poison every later
+                    # answer, so rebuild it wholesale from its pre-batch
+                    # source (known consistent: the batch was the only
+                    # change); if even that fails, the error propagates and
+                    # the scenario is loudly broken rather than quietly so.
+                    self._rebuild_shard(index, delta)
+            self.update_stats.rollbacks += 1
+            self._cache.invalidate_all()
+            with self._merged_mutex:
+                # A rebuilt shard restarts its version counters, which could
+                # alias the composed vector the merged view was built under.
+                self._merged_target = None
+                self._merged_versions = None
+            raise failure
+
+        for fact in to_remove:
+            self.source.discard(*fact)
+        for fact in to_add:
+            self.source.add(*fact)
+        self.update_stats.trigger_rounds += 1
+        self.update_stats.target_repairs += 1
+        self.update_stats.invalidation_rounds += 1
+        self.update_stats.replays += (
+            sum(shard.update_stats.replays for shard in self.shards) - replays_before
+        )
+        self._epoch += 1
+        with self._counter_mutex:
+            self._fanout_applies += len(futures)
+        return AppliedDelta(added=tuple(to_add), removed=tuple(to_remove))
+
+    def add_source_facts(self, facts: Iterable[tuple[str, Iterable[Any]]]) -> int:
+        """Deprecated shim: add source tuples (use :meth:`apply_delta`).
+
+        Present for surface parity with :class:`MaterializedExchange`, so
+        mid-migration callers fail with the same deprecation warning on both
+        scenario kinds instead of an ``AttributeError`` on sharded ones.
+        """
+        warnings.warn(
+            "add_source_facts is deprecated; use apply_delta(added=...) or an "
+            "ExchangeService transaction",
+            ServingDeprecationWarning,
+            stacklevel=2,
+        )
+        return len(self.apply_delta(added=facts).added)
+
+    def retract_source_facts(self, facts: Iterable[tuple[str, Iterable[Any]]]) -> int:
+        """Deprecated shim: remove source tuples (use :meth:`apply_delta`)."""
+        warnings.warn(
+            "retract_source_facts is deprecated; use apply_delta(removed=...) "
+            "or an ExchangeService transaction",
+            ServingDeprecationWarning,
+            stacklevel=2,
+        )
+        return len(self.apply_delta(removed=facts).removed)
+
+    def _rebuild_shard(self, index: int, applied: AppliedDelta) -> None:
+        """Re-materialize one shard at its pre-batch source (rollback backstop).
+
+        Used only when the inverse delta itself fails: the shard's current
+        source is the committed post-batch state, so undoing ``applied`` on
+        a copy reproduces the pre-batch source exactly, and materializing it
+        from scratch succeeds because that state was consistent before the
+        batch (deterministic justification nulls included).
+        """
+        restored = self.shards[index].source.copy()
+        for fact in applied.added:
+            restored.discard(*fact)
+        for fact in applied.removed:
+            restored.add(*fact)
+        rebuilt = MaterializedExchange(
+            self._shard_name(index),
+            self.compiled,
+            restored,
+            max_chase_steps=self._max_chase_steps,
+            cache_capacity=self._cache_capacity,
+        )
+        shards = list(self.shards)
+        shards[index] = rebuilt
+        self.shards = tuple(shards)
+
+    # -- queries -----------------------------------------------------------
+
+    def _target_versions(self, relations: Iterable[str] | None = None) -> VersionVector:
+        """The composed version guard: every shard's vector, concatenated.
+
+        A top-level cache entry goes stale exactly when *some* shard
+        touched *some* relation the query reads — the per-shard version
+        vectors composed into one guard.
+        """
+        names = list(relations) if relations is not None else None
+        entries: list[tuple[str, int]] = []
+        for index, shard in enumerate(self.shards):
+            for name, version in shard._target_versions(names):
+                entries.append((f"s{index}:{name}", version))
+        return tuple(entries)
+
+    def _merged(self) -> Instance:
+        """The merged target view, rebuilt only when some shard moved.
+
+        Facts dedup set-wise — shards may derive the same all-constant fact
+        independently — and nulls never merge across shards (identities are
+        globally unique), which is exactly the null-aware union the module
+        docstring promises.
+        """
+        with self._merged_mutex:
+            versions = self._target_versions()
+            if self._merged_target is None or self._merged_versions != versions:
+                merged = Instance(schema=self.compiled.mapping.target)
+                for shard in self.shards:
+                    for fact in shard.target.facts():
+                        merged.add(*fact)
+                self._merged_target = merged
+                self._merged_versions = versions
+            return self._merged_target
+
+    def answer(
+        self,
+        query: AnyQuery,
+        extra_constants: int | None = None,
+        max_extra_tuples: int | None = None,
+    ) -> AnswerOutcome:
+        """Serve one query; routes are ``cache``/``scatter``/``merged``/``deqa``.
+
+        Monotone queries check the top-level cache (composed version
+        guard), then either scatter-gather — parallel per-shard
+        :meth:`MaterializedExchange.answer` (each shard serves its own
+        core/cache), answers unioned — when :meth:`ShardPlan.scatter_safe`
+        proves the query intra-shard, or evaluate over the merged target
+        view.  Non-monotone queries run DEQA over the merged source,
+        exactly like the unsharded exchange.
+        """
+        normalized = _as_query(query, self.compiled.mapping)
+        fingerprint = query_fingerprint(normalized)
+        if normalized.is_monotone():
+            semantics = "monotone"
+            relations = query_target_relations(query, normalized)
+            versions = self._target_versions(relations)
+            cached = self._cache.get(fingerprint, semantics, versions)
+            if cached is not None:
+                return AnswerOutcome(cached, semantics, "cache", True)
+            if isinstance(
+                query, (ConjunctiveQuery, UnionOfConjunctiveQueries)
+            ) and self.plan.scatter_safe(query):
+                route = "scatter"
+                # Prune the fan-out: shards holding none of the query's
+                # relations cannot contribute, and a disjunct with a
+                # constant on a key position pins its worker shard — the
+                # hot per-entity lookup probes one worker plus residual.
+                pinned = self.plan.scatter_shards(query)
+                workers = self.plan.spec.shards
+                live = [
+                    shard
+                    for index, shard in enumerate(self.shards)
+                    if (pinned is None or index >= workers or index in pinned)
+                    and any(len(shard.target.relation(r)) for r in relations)
+                ]
+                futures = [self._pool.submit(shard.answer, query) for shard in live]
+                answers: set = set()
+                for future in futures:
+                    answers |= set(future.result().answers)
+                with self._counter_mutex:
+                    self._scatter_queries += 1
+            else:
+                route = "merged"
+                answers = certain_answers_naive(query, self._merged())
+                with self._counter_mutex:
+                    self._merged_queries += 1
+            frozen = self._cache.put(fingerprint, semantics, versions, answers)
+            return AnswerOutcome(frozen, semantics, route, False)
+
+        return serve_deqa(
+            self.compiled,
+            self.source,  # the maintained merged source view
+            self._cache,
+            query,
+            fingerprint,
+            extra_constants,
+            max_extra_tuples,
+        )
+
+    def certain_answers(
+        self,
+        query: AnyQuery,
+        extra_constants: int | None = None,
+        max_extra_tuples: int | None = None,
+    ) -> set[tuple]:
+        """Plain-set convenience wrapper over :meth:`answer`."""
+        return set(
+            self.answer(
+                query,
+                extra_constants=extra_constants,
+                max_extra_tuples=max_extra_tuples,
+            ).answers
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = ", ".join(str(len(shard.source)) for shard in self.shards)
+        return (
+            f"ShardedExchange({self.name!r}: shards=[{sizes}], "
+            f"epoch={self._epoch})"
+        )

@@ -26,6 +26,13 @@ from repro.workloads.scaling import (
     scaled_chase_workloads,
     scaled_copying_workload,
 )
+from repro.workloads.skewed import (
+    SkewedWorkload,
+    skewed_dependencies,
+    skewed_mapping,
+    skewed_queries,
+    skewed_workload,
+)
 
 __all__ = [
     "ChurnWorkload",
@@ -51,4 +58,9 @@ __all__ = [
     "serving_mapping",
     "serving_queries",
     "serving_workload",
+    "SkewedWorkload",
+    "skewed_dependencies",
+    "skewed_mapping",
+    "skewed_queries",
+    "skewed_workload",
 ]

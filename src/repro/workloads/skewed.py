@@ -1,0 +1,200 @@
+"""Zipf-skewed partitionable workloads for the sharding benchmarks.
+
+:func:`skewed_workload` builds the scenario ``benchmarks/test_bench_sharding``
+replays: a customers/accounts source whose partition key (the customer id,
+position ``0`` of every relation) is drawn from a Zipf distribution — a few
+customers own a large slice of the facts, so hash-partitioning them across a
+handful of shards produces the *hot shard* imbalance real entity-keyed
+traffic shows.  The mapping is deliberately shard-friendly:
+
+* ``Acct``/``Holder`` come from a single-atom STD and a key-join STD (both
+  shard-local under the default partition);
+* a tgd cascade ``Acct → Flag → Audit`` gives every account-holding customer
+  a derived audit trail, all through single-atom bodies (shard-safe), with
+  the key landing at *different* positions of ``Flag`` (0) and ``Audit``
+  (1) — exercising the key-propagation analysis rather than a fixed layout.
+
+The update stream is a sequence of *mixed* batches (simultaneous adds and
+retracts of ``Account`` facts, Zipf-keyed like the base data), and the query
+pool is a hot mix of selective per-customer lookups, key-aligned joins and a
+UCQ — all scatter-safe — plus one deliberately non-aligned join that must
+take the merged route, keeping the differential comparisons honest.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.chase.dependencies import EGD, TGD, parse_dependencies
+from repro.core.mapping import SchemaMapping, mapping_from_rules
+from repro.logic.cq import UnionOfConjunctiveQueries, cq
+from repro.logic.terms import Const
+from repro.relational.instance import Instance
+
+Batch = tuple[tuple[tuple[str, tuple], ...], tuple[tuple[str, tuple], ...]]
+
+
+@dataclass(frozen=True)
+class SkewedWorkload:
+    """A named skewed scenario: mapping + cascade, source, batches, queries.
+
+    ``batches`` holds ``(added, removed)`` pairs — one mixed ``apply_delta``
+    call each; ``queries`` is the hot mix the throughput gate replays.
+    """
+
+    name: str
+    mapping: SchemaMapping
+    target_dependencies: tuple[TGD | EGD, ...]
+    source: Instance
+    batches: tuple[Batch, ...]
+    queries: tuple
+    parameters: tuple[tuple[str, object], ...]
+
+    def parameter(self, key: str) -> object:
+        return dict(self.parameters)[key]
+
+
+def skewed_mapping() -> SchemaMapping:
+    """The customers/accounts mapping (customer id = position 0 throughout)."""
+    return mapping_from_rules(
+        [
+            "Acct(c^cl, a^cl) :- Account(c, a)",
+            "Holder(c^cl, r^cl) :- Account(c, a) & Region(c, r)",
+        ],
+        source={"Account": 2, "Region": 2},
+        target={"Acct": 2, "Holder": 2, "Flag": 2, "Audit": 2},
+        name="skewed_accounts",
+    )
+
+
+def skewed_dependencies() -> tuple[TGD | EGD, ...]:
+    """A weakly acyclic single-atom-body cascade: every account-holding
+    customer gets a compliance flag, every flag an audit entry (note the
+    customer id moves to position 1 of ``Audit``)."""
+    return tuple(
+        parse_dependencies(
+            [
+                "Acct(c, a) -> exists m . Flag(c, m)",
+                "Flag(c, m) -> Audit(m, c)",
+            ]
+        )
+    )
+
+
+def _zipf_weights(customers: int, zipf_s: float) -> list[float]:
+    """Rank-based Zipf weights for ``random.choices`` (pure, unseeded)."""
+    return [1.0 / (rank**zipf_s) for rank in range(1, customers + 1)]
+
+
+def skewed_queries(hot_customers: int = 3) -> tuple:
+    """The hot-query mix (selective lookups on the hottest customers, two
+    key-aligned joins, a UCQ — all scatter-safe — and one non-aligned join
+    that exercises the merged route)."""
+    hot = [Const(f"c{i}") for i in range(hot_customers)]
+    queries: list = []
+    for i, c in enumerate(hot):
+        queries.append(cq(["a"], [("Acct", [c, "a"])], name=f"accounts_c{i}"))
+    queries.append(
+        cq(
+            ["a", "r"],
+            [("Acct", ["c", "a"]), ("Holder", ["c", "r"])],
+            name="accounts_with_region",
+        )
+    )
+    queries.append(
+        # The key sits at position 1 of Audit but position 0 of Holder — the
+        # propagated key positions, not a fixed column, prove this intra-shard.
+        cq(
+            ["c", "r"],
+            [("Audit", ["m", "c"]), ("Holder", ["c", "r"])],
+            name="audited_regions",
+        )
+    )
+    queries.append(
+        UnionOfConjunctiveQueries(
+            [
+                cq(["x"], [("Acct", [hot[0], "x"])]),
+                cq(["x"], [("Holder", [hot[0], "x"])]),
+            ],
+            name="hot_profile",
+        )
+    )
+    queries.append(
+        # Joins on the *account* id (position 1, not the key): provably not
+        # scatter-safe, served over the merged target view.
+        cq(
+            ["c1", "c2"],
+            [("Acct", ["c1", "a"]), ("Acct", ["c2", "a"])],
+            name="shared_accounts",
+        )
+    )
+    return tuple(queries)
+
+
+def skewed_workload(
+    customers: int = 64,
+    accounts: int = 600,
+    regions: int = 8,
+    batches: int = 12,
+    batch_size: int = 24,
+    zipf_s: float = 1.0,
+    hot_customers: int = 3,
+    seed: int = 0,
+) -> SkewedWorkload:
+    """Build the skewed scenario (~``customers + accounts`` source tuples).
+
+    ``zipf_s`` steers the skew: at ``0`` customers are uniform, around ``1``
+    the head customers dominate visibly, beyond that a handful of keys owns
+    most of the stream.  Every update batch *adds* ``batch_size`` fresh
+    ``Account`` facts (Zipf-keyed) and *retracts* ``batch_size // 2`` live
+    ones in the same mixed delta, so sharded replays fan both sides out
+    per shard at once.
+    """
+    rng = random.Random(seed)
+    population = [f"c{i}" for i in range(customers)]
+    weights = _zipf_weights(customers, zipf_s)
+
+    source = Instance()
+    for i, customer in enumerate(population):
+        source.add("Region", (customer, f"r{i % regions}"))
+    live: list[tuple[str, tuple]] = []
+    for i in range(accounts):
+        customer = rng.choices(population, weights)[0]
+        fact = ("Account", (customer, f"a{i}"))
+        source.add(*fact)
+        live.append(fact)
+
+    stream: list[Batch] = []
+    fresh = accounts
+    for _ in range(batches):
+        added: list[tuple[str, tuple]] = []
+        for _ in range(batch_size):
+            customer = rng.choices(population, weights)[0]
+            added.append(("Account", (customer, f"a{fresh}")))
+            fresh += 1
+        removed = [
+            live.pop(rng.randrange(len(live)))
+            for _ in range(min(batch_size // 2, len(live)))
+        ]
+        live.extend(added)
+        stream.append((tuple(added), tuple(removed)))
+
+    return SkewedWorkload(
+        name=f"skewed_{customers}x{accounts}_s{zipf_s}",
+        mapping=skewed_mapping(),
+        target_dependencies=skewed_dependencies(),
+        source=source,
+        batches=tuple(stream),
+        queries=skewed_queries(hot_customers),
+        parameters=(
+            ("customers", customers),
+            ("accounts", accounts),
+            ("regions", regions),
+            ("batches", batches),
+            ("batch_size", batch_size),
+            ("zipf_s", zipf_s),
+            ("hot_customers", hot_customers),
+            ("seed", seed),
+        ),
+    )

@@ -1,0 +1,241 @@
+"""ReadWriteLock: writer preference, contention accounting, misuse detection."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving.concurrency import ReadWriteLock
+
+WAIT = 5.0  # generous CI-safe bound for "happens promptly"
+
+
+def test_writer_acquires_under_sustained_reader_pressure():
+    """Overlapping readers never leave the lock free; a FIFO-less reader
+    stream would starve the writer forever.  Writer preference must let the
+    writer in as soon as the *current* readers drain, and park later readers
+    behind it."""
+    lock = ReadWriteLock()
+    stop = threading.Event()
+    writer_done = threading.Event()
+    reads_after_write = threading.Event()
+
+    def reader():
+        while not stop.is_set():
+            lock.acquire_read()
+            try:
+                if writer_done.is_set():
+                    reads_after_write.set()
+                time.sleep(0.001)
+            finally:
+                lock.release_read()
+
+    threads = [threading.Thread(target=reader, daemon=True) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    try:
+        # Let the reader stream saturate the lock, then demand a write.
+        deadline = time.monotonic() + WAIT
+        while lock.stats_snapshot().read_acquisitions < 20:
+            assert time.monotonic() < deadline, "readers never got going"
+            time.sleep(0.001)
+        writer_acquired = threading.Event()
+
+        def writer():
+            lock.acquire_write()
+            writer_acquired.set()
+            time.sleep(0.005)
+            lock.release_write()
+            writer_done.set()
+
+        w = threading.Thread(target=writer, daemon=True)
+        w.start()
+        assert writer_acquired.wait(WAIT), "writer starved by sustained readers"
+        w.join(WAIT)
+        # The reader stream kept running and resumed after the write.
+        assert reads_after_write.wait(WAIT)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(WAIT)
+    stats = lock.stats_snapshot()
+    assert stats.write_acquisitions == 1
+    assert stats.write_waits == 1  # the lock was read-held when the writer asked
+    assert stats.max_concurrent_readers >= 2, "readers never actually overlapped"
+
+
+def test_new_readers_queue_behind_a_waiting_writer():
+    lock = ReadWriteLock()
+    lock.acquire_read()  # pin the lock in read mode
+
+    writer_waiting = threading.Event()
+    writer_acquired = threading.Event()
+
+    def writer():
+        writer_waiting.set()
+        lock.acquire_write()
+        writer_acquired.set()
+        lock.release_write()
+
+    late_reader_acquired = threading.Event()
+
+    def late_reader():
+        lock.acquire_read()
+        late_reader_acquired.set()
+        lock.release_read()
+
+    w = threading.Thread(target=writer, daemon=True)
+    w.start()
+    assert writer_waiting.wait(WAIT)
+    deadline = time.monotonic() + WAIT
+    while lock.stats_snapshot().write_waits < 1:
+        assert time.monotonic() < deadline, "writer never registered as waiting"
+        time.sleep(0.001)
+    r = threading.Thread(target=late_reader, daemon=True)
+    r.start()
+    # Writer preference: the late reader must not slip past the queued writer.
+    time.sleep(0.05)
+    assert not late_reader_acquired.is_set(), "reader overtook a waiting writer"
+    assert not writer_acquired.is_set()
+    lock.release_read()
+    assert writer_acquired.wait(WAIT)
+    assert late_reader_acquired.wait(WAIT)
+    w.join(WAIT)
+    r.join(WAIT)
+
+
+def test_contention_counters_are_exact():
+    """Deterministic interleaving: every wait is scripted, so the counters
+    must match exactly — one read wait, one write wait, uncontended rest."""
+    lock = ReadWriteLock()
+
+    # Uncontended read and write: zero waits.
+    with lock.read_locked():
+        pass
+    with lock.write_locked():
+        pass
+    stats = lock.stats_snapshot()
+    assert (stats.read_acquisitions, stats.write_acquisitions) == (1, 1)
+    assert stats.contention() == 0
+
+    # A writer arriving while a reader holds: exactly one write wait.
+    lock.acquire_read()
+    acquired = threading.Event()
+    release_writer = threading.Event()
+
+    def writer():
+        lock.acquire_write()
+        acquired.set()
+        release_writer.wait(WAIT)
+        lock.release_write()
+
+    w = threading.Thread(target=writer, daemon=True)
+    w.start()
+    deadline = time.monotonic() + WAIT
+    while lock.stats_snapshot().write_waits < 1:
+        assert time.monotonic() < deadline
+        time.sleep(0.001)
+    # A reader arriving behind the queued writer: exactly one read wait.
+    read_done = threading.Event()
+
+    def reader():
+        lock.acquire_read()
+        read_done.set()
+        lock.release_read()
+
+    r = threading.Thread(target=reader, daemon=True)
+    r.start()
+    deadline = time.monotonic() + WAIT
+    while lock.stats_snapshot().read_waits < 1:
+        assert time.monotonic() < deadline
+        time.sleep(0.001)
+    lock.release_read()
+    assert acquired.wait(WAIT)
+    release_writer.set()
+    assert read_done.wait(WAIT)
+    w.join(WAIT)
+    r.join(WAIT)
+
+    stats = lock.stats_snapshot()
+    assert stats.read_acquisitions == 3
+    assert stats.write_acquisitions == 2
+    assert stats.read_waits == 1
+    assert stats.write_waits == 1
+    assert stats.contention() == 2
+    assert stats.max_concurrent_readers == 1
+
+
+@pytest.mark.parametrize(
+    "first,second",
+    [
+        ("read", "read"),
+        ("read", "write"),
+        ("write", "read"),
+        ("write", "write"),
+    ],
+)
+def test_reentrant_misuse_raises_instead_of_deadlocking(first, second):
+    lock = ReadWriteLock()
+    acquire = {"read": lock.acquire_read, "write": lock.acquire_write}
+    release = {"read": lock.release_read, "write": lock.release_write}
+    acquire[first]()
+    try:
+        with pytest.raises(RuntimeError, match="re-entrant"):
+            acquire[second]()
+    finally:
+        release[first]()
+    # The lock survives the rejected call in a clean state: both modes are
+    # still acquirable (a deadlocked implementation would hang right here).
+    with lock.write_locked():
+        pass
+    with lock.read_locked():
+        pass
+
+
+def test_reentrant_read_raises_even_behind_a_waiting_writer():
+    """The scenario the guard exists for: reader holds, writer queues, the
+    same reader re-enters.  Without detection this deadlocks (the inner read
+    waits for the writer, the writer waits for the outer read); with it the
+    reader gets an immediate RuntimeError and everyone drains."""
+    lock = ReadWriteLock()
+    lock.acquire_read()
+    acquired = threading.Event()
+
+    def writer():
+        lock.acquire_write()
+        acquired.set()
+        lock.release_write()
+
+    w = threading.Thread(target=writer, daemon=True)
+    w.start()
+    deadline = time.monotonic() + WAIT
+    while lock.stats_snapshot().write_waits < 1:
+        assert time.monotonic() < deadline
+        time.sleep(0.001)
+    with pytest.raises(RuntimeError, match="re-entrant"):
+        lock.acquire_read()
+    lock.release_read()
+    assert acquired.wait(WAIT)
+    w.join(WAIT)
+
+
+def test_unbalanced_releases_raise():
+    lock = ReadWriteLock()
+    with pytest.raises(RuntimeError, match="without a matching"):
+        lock.release_read()
+    with pytest.raises(RuntimeError, match="does not hold"):
+        lock.release_write()
+    lock.acquire_write()
+    other_failed = threading.Event()
+
+    def foreign_release():
+        try:
+            lock.release_write()
+        except RuntimeError:
+            other_failed.set()
+
+    t = threading.Thread(target=foreign_release, daemon=True)
+    t.start()
+    t.join(WAIT)
+    assert other_failed.is_set(), "a non-owner thread released the write lock"
+    lock.release_write()

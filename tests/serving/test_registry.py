@@ -142,3 +142,63 @@ def test_mapping_fingerprint_is_structural_and_deterministic():
         target={"T": 2, "U": 2, "W": 1},
     )
     assert mapping_fingerprint(reordered) != mapping_fingerprint(simple_mapping())
+
+
+def test_property_fingerprint_order_annotation_and_pickle():
+    """Property test over randomly generated annotated mappings: the
+    fingerprint (a) survives a pickle round-trip unchanged — the
+    cross-process stability the compilation cache relies on, (b) changes
+    when only the STD order changes, and (c) changes when only one
+    annotation flips — while rebuilding the same mapping from scratch
+    always agrees."""
+    import pickle
+
+    from hypothesis import given, settings, strategies as st
+
+    from repro.core.mapping import SchemaMapping
+    from repro.core.std import STD, TargetAtom
+    from repro.relational.annotated import CL, OP, Annotation
+    from repro.serving import mapping_fingerprint
+    from repro.workloads.random_mappings import random_annotated_mapping
+
+    def flip_first_annotation(mapping: SchemaMapping) -> SchemaMapping:
+        stds = list(mapping.stds)
+        head = stds[0].head[0]
+        marks = list(head.annotation)
+        marks[0] = CL if marks[0] == OP else OP
+        flipped_head = [TargetAtom(head.relation, head.terms, Annotation(marks))]
+        flipped_head.extend(stds[0].head[1:])
+        stds[0] = STD(flipped_head, stds[0].body, name=stds[0].name)
+        return SchemaMapping(mapping.source, mapping.target, stds, name=mapping.name)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        stds=st.integers(min_value=2, max_value=4),
+        with_deps=st.booleans(),
+    )
+    def run(seed, stds, with_deps):
+        mapping = random_annotated_mapping(stds=stds, seed=seed)
+        deps = (
+            tuple(parse_dependencies(["T0(x) -> T0(x)"]))
+            if with_deps and any(r.arity == 1 for r in mapping.target.relations() if r.name == "T0")
+            else ()
+        )
+        fingerprint = mapping_fingerprint(mapping, deps)
+        # (a) pickled round-trips agree (and so does an independent rebuild).
+        thawed_mapping, thawed_deps = pickle.loads(pickle.dumps((mapping, deps)))
+        assert mapping_fingerprint(thawed_mapping, thawed_deps) == fingerprint
+        assert mapping_fingerprint(random_annotated_mapping(stds=stds, seed=seed), deps) == fingerprint
+        # (b) STD order is significant whenever swapping changes the sequence.
+        reordered = SchemaMapping(
+            mapping.source,
+            mapping.target,
+            list(reversed(mapping.stds)),
+            name=mapping.name,
+        )
+        if [repr(s) for s in reordered.stds] != [repr(s) for s in mapping.stds]:
+            assert mapping_fingerprint(reordered, deps) != fingerprint
+        # (c) flipping a single annotation flips the fingerprint.
+        assert mapping_fingerprint(flip_first_annotation(mapping), deps) != fingerprint
+
+    run()

@@ -216,16 +216,35 @@ def test_multi_scenario_transaction_requires_named_operations():
 
 
 def test_read_write_lock_counts_readers_and_contention():
+    import threading
+
     lock = ReadWriteLock()
     with lock.read_locked():
-        with lock.read_locked():
-            assert lock.stats_snapshot().max_concurrent_readers == 2
+        # Overlap must come from a second thread: same-thread nesting is the
+        # re-entrancy misuse the lock now rejects (tests/serving/
+        # test_concurrency.py covers that contract in depth).
+        entered, release = threading.Event(), threading.Event()
+
+        def second_reader():
+            with lock.read_locked():
+                entered.set()
+                release.wait(5)
+
+        reader = threading.Thread(target=second_reader, daemon=True)
+        reader.start()
+        assert entered.wait(5)
+        assert lock.stats_snapshot().max_concurrent_readers == 2
+        release.set()
+        reader.join(5)
     with lock.write_locked():
         stats = lock.stats_snapshot()
         assert stats.write_acquisitions == 1
     stats = lock.stats_snapshot()
     assert stats.read_acquisitions == 2
-    assert stats.contention() == 0  # single-threaded: nothing ever waited
+    assert stats.contention() == 0  # overlapping readers never wait
+    with lock.read_locked():
+        with pytest.raises(RuntimeError, match="re-entrant"):
+            lock.acquire_read()
 
 
 def test_stats_snapshot_reports_sizes_counters_and_locks():

@@ -1,0 +1,636 @@
+"""Sharded exchange: shardability analysis, routing, and differential tests.
+
+The differential sections implement the acceptance bar of the sharding
+subsystem: for every chase workload, sharded scatter-gather answers (UCQ,
+monotone-FO and DEQA routes) must equal the answers of one unsharded
+:class:`MaterializedExchange` under arbitrary interleavings of mixed
+``apply_delta`` batches — including the degenerate plan where every STD
+falls back to the residual shard (``force_residual=True``).
+"""
+
+import pytest
+
+from repro.chase.dependencies import parse_dependencies
+from repro.core.mapping import mapping_from_rules
+from repro.logic.cq import UnionOfConjunctiveQueries, cq
+from repro.logic.queries import Query
+from repro.logic.terms import Const
+from repro.relational.builders import make_instance
+from repro.serving import (
+    ExchangeService,
+    PartitionSpec,
+    ServingError,
+    ShardedExchange,
+    compile_mapping,
+)
+from repro.workloads.churn import churn_workload
+from repro.workloads.serving import serving_queries, serving_workload
+from repro.workloads.skewed import skewed_workload
+
+
+# ---------------------------------------------------------------------------
+# Shardability analysis
+# ---------------------------------------------------------------------------
+
+
+def test_partition_spec_validates_and_defaults_keys():
+    with pytest.raises(ValueError, match="at least one"):
+        PartitionSpec(0)
+    spec = PartitionSpec(4, {"Emp": 1})
+    assert spec.key_position("Emp") == 1
+    assert spec.key_position("Works") == 0  # default: first column is the key
+    assert PartitionSpec(4, {"Emp": 1}) == spec  # structural equality
+
+
+def test_single_atom_and_key_join_stds_are_local():
+    mapping = mapping_from_rules(
+        [
+            "T(x, y) :- S(x, y)",
+            "K(x, r) :- D(x, y) & E(x, r)",
+        ],
+        source={"S": 2, "D": 2, "E": 2},
+        target={"T": 2, "K": 2},
+    )
+    plan = compile_mapping(mapping).shard_plan(PartitionSpec(3))
+    assert plan.local_stds == {0, 1}
+    assert not plan.residual_sources
+    assert dict(plan.target_keys) == {"T": (0,), "K": (0,)}
+
+
+def test_non_cq_and_unaligned_bodies_go_residual_with_closure():
+    mapping = mapping_from_rules(
+        [
+            "T(x, y) :- S(x, y)",  # single atom — but S is dragged residual below
+            "J(x, w) :- S(x, y) & C(y, w)",  # join on y: positions 1 and 0 — unaligned
+            "K(x, r) :- D(x, y) & E(x, r)",  # key-join on x, untouched by the closure
+            "W(x, z^op) :- D(x, y) & ~ (exists r . B(x, r))",  # non-CQ body
+        ],
+        source={"S": 2, "C": 2, "D": 2, "E": 2, "B": 2},
+        target={"T": 2, "J": 2, "K": 2, "W": 2},
+    )
+    plan = compile_mapping(mapping).shard_plan(PartitionSpec(3))
+    # The unaligned join routes S and C residual; the non-CQ body routes D
+    # and B residual; and the key-join STD 2 reads D (now residual) and E —
+    # a straddling body — so the closure drags E along.
+    assert plan.residual_sources == {"S", "C", "D", "E", "B"}
+    assert plan.fully_residual
+    assert plan.local_stds == set()  # every STD now fires in the residual shard
+    assert any("non-CQ" in reason for reason in plan.reasons)
+    assert any("straddles" in reason for reason in plan.reasons)
+
+
+def test_key_aligned_dependencies_are_accepted():
+    # The key-constraint egd joins two T atoms on the key position.
+    mapping = mapping_from_rules(
+        ["T(x^cl, y^cl) :- S(x, y)"], source={"S": 2}, target={"T": 2}
+    )
+    deps = parse_dependencies(["T(x, y) & T(x, z) -> y = z"])
+    plan = compile_mapping(mapping, deps).shard_plan(PartitionSpec(4))
+    assert not plan.residual_sources
+    assert plan.local_stds == {0}
+
+
+def test_unsafe_dependency_forces_relations_residual():
+    mapping = mapping_from_rules(
+        ["T(x^cl, y^cl) :- S(x, y)"], source={"S": 2}, target={"T": 2, "U": 2}
+    )
+    # Joins two T facts on the *non-key* position: may join across shards.
+    deps = parse_dependencies(["T(x, y) & T(z, y) -> U(x, z)"])
+    plan = compile_mapping(mapping, deps).shard_plan(PartitionSpec(4))
+    assert plan.residual_sources == {"S"}
+    assert plan.fully_residual
+    assert any("join across the partition" in reason for reason in plan.reasons)
+
+
+def test_key_propagation_through_tgd_heads():
+    # skewed_workload's cascade moves the key from position 0 of Flag to
+    # position 1 of Audit; the analysis must track it there.
+    workload = skewed_workload(customers=8, accounts=20, batches=0)
+    compiled = compile_mapping(workload.mapping, workload.target_dependencies)
+    plan = compiled.shard_plan(PartitionSpec(4))
+    keys = dict(plan.target_keys)
+    assert keys["Flag"] == (0,)
+    assert keys["Audit"] == (1,)
+    assert plan.local_stds == {0, 1}
+
+
+def test_scatter_safety_classification():
+    workload = skewed_workload(customers=8, accounts=20, batches=0)
+    compiled = compile_mapping(workload.mapping, workload.target_dependencies)
+    plan = compiled.shard_plan(PartitionSpec(4))
+    safe = {q.name: plan.scatter_safe(q) for q in workload.queries}
+    assert safe["accounts_c0"]  # single atom
+    assert safe["accounts_with_region"]  # key-aligned join
+    assert safe["audited_regions"]  # key-aligned via propagated positions
+    assert safe["hot_profile"]  # UCQ of safe disjuncts
+    assert not safe["shared_accounts"]  # joins on the non-key account id
+    # A join over an unproduced relation is empty everywhere: trivially safe.
+    assert plan.scatter_safe(
+        cq(["x"], [("Acct", ["x", "a"]), ("Ghost", ["x"])])
+    )
+    # FO-shaped queries never scatter (they take the merged route).
+    assert not plan.scatter_safe(Query("exists a . Acct(c, a)", ("c",)))
+
+
+def test_constant_key_queries_pin_their_worker_shard():
+    from repro.serving.sharding import shard_of_value
+
+    workload = skewed_workload(customers=8, accounts=40, batches=0)
+    compiled = compile_mapping(workload.mapping, workload.target_dependencies)
+    plan = compiled.shard_plan(PartitionSpec(4))
+    hot = next(q for q in workload.queries if q.name == "accounts_c0")
+    pinned = plan.scatter_shards(hot)
+    assert pinned == {shard_of_value("c0", 4)}
+    # A variable-key query may match anywhere: no pruning.
+    assert plan.scatter_shards(cq(["c", "a"], [("Acct", ["c", "a"])])) is None
+    # The pruned scatter still answers exactly like the unsharded exchange.
+    exchange = ShardedExchange("pin", compiled, workload.source, PartitionSpec(4))
+    flat = ShardedExchange(
+        "flat", compiled, workload.source, PartitionSpec(1), force_residual=True
+    )
+    try:
+        assert exchange.certain_answers(hot) == flat.certain_answers(hot)
+        # Only the pinned worker (and possibly residual) evaluated: every
+        # other worker's shard-level cache saw no traffic at all.
+        untouched = [
+            shard
+            for index, shard in enumerate(exchange.workers)
+            if index not in pinned
+        ]
+        assert all(shard.cache_stats.misses == 0 for shard in untouched)
+    finally:
+        exchange.close()
+        flat.close()
+
+
+def test_register_rejects_sharding_kwargs_without_shards():
+    workload = skewed_workload(customers=8, accounts=20, batches=0)
+    service = ExchangeService()
+    with pytest.raises(ValueError, match="require shards"):
+        service.register(
+            "oops",
+            workload.mapping,
+            workload.source,
+            workload.target_dependencies,
+            partition_keys={"Account": 0},
+        )
+    with pytest.raises(ValueError, match="require shards"):
+        service.register(
+            "oops",
+            workload.mapping,
+            workload.source,
+            workload.target_dependencies,
+            force_residual=True,
+        )
+
+
+def test_force_residual_degenerates_the_whole_plan():
+    workload = skewed_workload(customers=8, accounts=20, batches=0)
+    compiled = compile_mapping(workload.mapping, workload.target_dependencies)
+    plan = compiled.shard_plan(PartitionSpec(4), force_residual=True)
+    assert plan.fully_residual
+    assert plan.local_stds == set()
+    # Every target relation is residual-produced, so every query is still
+    # scatter-"safe" (a one-shard scatter) — the residual shard holds it all.
+    assert all(plan.scatter_safe(q) for q in workload.queries)
+    # Routing sends every fact to the residual shard.
+    assert plan.shard_of("Account", ("c1", "a1")) == plan.spec.shards
+
+
+# ---------------------------------------------------------------------------
+# ShardedExchange mechanics
+# ---------------------------------------------------------------------------
+
+
+def fresh_sharded(shards=3, **kwargs):
+    workload = skewed_workload(customers=12, accounts=40, batches=0)
+    compiled = compile_mapping(workload.mapping, workload.target_dependencies)
+    return ShardedExchange(
+        "unit", compiled, workload.source, PartitionSpec(shards), **kwargs
+    )
+
+
+def test_routing_agrees_with_python_equality_on_mixed_key_types():
+    """Regression: routing must follow ``==`` (the join semantics), not the
+    spelling of the key — ``1``, ``1.0`` and ``True`` are one join key and
+    must co-locate, or a key-join trigger spanning them never fires."""
+    from repro.serving.sharding import shard_of_value
+
+    for shards in (2, 3, 4, 7):
+        assert (
+            shard_of_value(1, shards)
+            == shard_of_value(1.0, shards)
+            == shard_of_value(True, shards)
+        )
+    mapping = mapping_from_rules(
+        ["T(x, y, z) :- R(k, x) & S(k, y, z)"],
+        source={"R": 2, "S": 3},
+        target={"T": 3},
+    )
+    source = make_instance({"R": [(1, "a")], "S": [(1.0, "b", "c")]})
+    compiled = compile_mapping(mapping)
+    exchange = ShardedExchange("mixed", compiled, source, PartitionSpec(4))
+    try:
+        query = cq(["x", "y"], [("T", ["x", "y", "z"])], name="t")
+        assert exchange.certain_answers(query) == {("a", "b")}
+        exchange.apply_delta(added=[("R", (True, "d"))])
+        assert exchange.certain_answers(query) == {("a", "b"), ("d", "b")}
+    finally:
+        exchange.close()
+
+
+def test_shard_routing_is_stable_and_partitions_the_source():
+    exchange = fresh_sharded()
+    try:
+        total = sum(len(shard.source) for shard in exchange.shards)
+        assert total == len(exchange.source)
+        for relation, tup in exchange.source.facts():
+            index = exchange.plan.shard_of(relation, tup)
+            assert (relation, tup) in exchange.shards[index].source
+            # every other shard does not hold the fact
+            assert all(
+                (relation, tup) not in shard.source
+                for i, shard in enumerate(exchange.shards)
+                if i != index
+            )
+    finally:
+        exchange.close()
+
+
+def test_apply_delta_rejects_overlapping_sides_and_counts_rounds():
+    exchange = fresh_sharded()
+    try:
+        fact = ("Account", ("c1", "zz"))
+        with pytest.raises(ValueError, match="added and removed"):
+            exchange.apply_delta(added=[fact], removed=[fact])
+        assert exchange.apply_delta() == exchange.apply_delta(added=[], removed=[])
+        assert exchange.update_stats.batches == 0  # no-ops pay nothing
+        applied = exchange.apply_delta(added=[fact])
+        assert applied.added == (fact,)
+        stats = exchange.update_stats
+        assert stats.batches == 1
+        assert stats.trigger_rounds == 1
+        assert stats.target_repairs == 1
+        assert stats.invalidation_rounds == 1
+        assert exchange.epoch == 1
+    finally:
+        exchange.close()
+
+
+def test_failed_batch_unwinds_committed_shards_with_inverse_deltas():
+    mapping = mapping_from_rules(
+        ["T(x^cl, y^cl) :- S(x, y)"], source={"S": 2}, target={"T": 2}
+    )
+    deps = parse_dependencies(["T(x, y) & T(x, z) -> y = z"])
+    compiled = compile_mapping(mapping, deps)
+    source = make_instance({"S": [("a", "1"), ("b", "1")]})
+    exchange = ShardedExchange("k", compiled, source, PartitionSpec(4))
+    try:
+        query = cq(["x", "y"], [("T", ["x", "y"])], name="t")
+        before = exchange.certain_answers(query)
+        batch = [("S", ("a", "2"))] + [("S", (key, "9")) for key in "cdefgh"]
+        with pytest.raises(ServingError):
+            exchange.apply_delta(added=batch)
+        assert exchange.certain_answers(query) == before
+        assert exchange.update_stats.rollbacks == 1
+        assert all(("S", (key, "9")) not in exchange.source for key in "cdefgh")
+        assert sum(len(shard.source) for shard in exchange.shards) == 2
+    finally:
+        exchange.close()
+
+
+def test_rebuild_shard_restores_the_pre_batch_state():
+    """The rollback backstop: when an inverse delta cannot be applied, the
+    shard is re-materialized from its pre-batch source and must answer
+    exactly like a shard that never saw the batch."""
+    exchange = fresh_sharded()
+    try:
+        query = cq(["c", "a"], [("Acct", ["c", "a"])], name="acct")
+        before = exchange.certain_answers(query)
+        fact = ("Account", ("c1", "backstop"))
+        index = exchange.plan.shard_of(*fact)
+        applied = exchange.shards[index].apply_delta(added=[fact])
+        exchange._rebuild_shard(index, applied)
+        assert (fact not in exchange.shards[index].source)
+        exchange._cache.invalidate_all()
+        assert exchange.certain_answers(query) == before
+    finally:
+        exchange.close()
+
+
+def test_sharded_deprecated_shims_warn_like_the_unsharded_ones():
+    exchange = fresh_sharded()
+    try:
+        from repro.serving import ServingDeprecationWarning
+
+        query = cq(["c", "a"], [("Acct", ["c", "a"])], name="acct")
+        before = exchange.certain_answers(query)
+        with pytest.warns(ServingDeprecationWarning):
+            assert exchange.add_source_facts([("Account", ("c1", "shim"))]) == 1
+        with pytest.warns(ServingDeprecationWarning):
+            assert exchange.retract_source_facts([("Account", ("c1", "shim"))]) == 1
+        assert exchange.certain_answers(query) == before
+    finally:
+        exchange.close()
+
+
+# ---------------------------------------------------------------------------
+# Differential: sharded == unsharded under mixed-batch interleavings
+# ---------------------------------------------------------------------------
+
+
+def churn_case():
+    workload = churn_workload(
+        employees=80, squads=16, departments=8, batches=6, batch_size=4, flaps=1
+    )
+    operations, index, batches = list(workload.operations), 0, []
+    while index < len(operations):
+        op, facts = operations[index]
+        if (
+            op == "retract"
+            and index + 1 < len(operations)
+            and operations[index + 1][0] == "add"
+        ):
+            batches.append((operations[index + 1][1], facts))
+            index += 2
+        else:
+            batches.append((facts, ()) if op == "add" else ((), facts))
+            index += 1
+    queries = (
+        cq(["e", "d"], [("Rec", ["e", "d"])], name="rec"),
+        cq(["e", "p"], [("Member", ["e", "p"])], name="member"),
+        cq(["e", "m"], [("Rec", ["e", "d"]), ("Mgr", ["d", "m"])], name="join"),
+        UnionOfConjunctiveQueries(
+            [cq(["x"], [("Rec", ["x", "d"])]), cq(["x"], [("Member", ["x", "p"])])],
+            name="ucq",
+        ),
+    )
+    return workload.mapping, workload.target_dependencies, workload.source, batches, queries
+
+
+def serving_case():
+    workload = serving_workload(
+        employees=40, projects=15, assignments=50, update_batches=4
+    )
+    batches, previous = [], ()
+    for update in workload.updates:
+        # make the stream genuinely mixed: retract a slice of the previous
+        # batch while adding the next one.
+        batches.append((update, previous[:2]))
+        previous = update
+    return workload.mapping, (), workload.source, batches, serving_queries()
+
+
+def deqa_case():
+    # DEQA explores annotation-bounded solution spaces per candidate tuple,
+    # so the non-monotone differential runs on a deliberately tiny scenario.
+    mapping = mapping_from_rules(
+        ["EmpT(e^cl, d^cl) :- Emp(e, d)", "Team(e^cl, p^cl) :- Works(e, p)"],
+        source={"Emp": 2, "Works": 2},
+        target={"EmpT": 2, "Team": 2},
+    )
+    source = make_instance(
+        {"Emp": [("a", "d1"), ("b", "d1"), ("c", "d2")], "Works": [("a", "p1")]}
+    )
+    batches = [
+        ([("Works", ("b", "p2"))], []),
+        ([("Emp", ("d", "d2"))], [("Works", ("a", "p1"))]),
+        ([("Works", ("a", "p1"))], [("Emp", ("b", "d1"))]),
+    ]
+    queries = (
+        cq(["e", "d"], [("EmpT", ["e", "d"])], name="emp"),
+        Query("~ (exists z . Team(x, z))", ("x",), name="idle"),  # DEQA route
+    )
+    return mapping, (), source, batches, queries
+
+
+def skewed_case():
+    workload = skewed_workload(
+        customers=24, accounts=120, batches=5, batch_size=10, zipf_s=1.2
+    )
+    return (
+        workload.mapping,
+        workload.target_dependencies,
+        workload.source,
+        list(workload.batches),
+        workload.queries,
+    )
+
+
+CASES = {
+    "churn": churn_case,
+    "serving": serving_case,
+    "skewed": skewed_case,
+    "deqa": deqa_case,
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+@pytest.mark.parametrize("force_residual", [False, True], ids=["analysed", "residual"])
+def test_sharded_answers_equal_unsharded_after_every_mixed_batch(case, force_residual):
+    mapping, deps, source, batches, queries = CASES[case]()
+    service = ExchangeService()
+    service.register("flat", mapping, source, deps)
+    service.register(
+        "sharded", mapping, source, deps, shards=3, force_residual=force_residual
+    )
+    exchange = service.scenario("sharded")
+    assert exchange.plan.fully_residual == force_residual or not force_residual
+
+    def compare(batch_index):
+        for query in queries:
+            flat = service.query("flat", query)
+            sharded = service.query("sharded", query)
+            assert flat.answers == sharded.answers, (
+                case,
+                batch_index,
+                getattr(query, "name", query),
+                sharded.route,
+            )
+
+    compare(-1)
+    for batch_index, (added, removed) in enumerate(batches):
+        with service.transaction("flat", "sharded") as txn:
+            txn.retract(removed, scenario="flat")
+            txn.add(added, scenario="flat")
+            txn.retract(removed, scenario="sharded")
+            txn.add(added, scenario="sharded")
+        compare(batch_index)
+
+    stats = service.stats("sharded").sharding
+    assert stats.epoch == sum(1 for added, removed in batches if added or removed)
+    if not force_residual and case in ("serving", "skewed"):
+        # sanity: the analysed plans actually exercise both query routes.
+        assert stats.scatter_queries > 0
+        assert stats.merged_queries > 0
+    if force_residual:
+        assert stats.shard_source_tuples[:-1] == (0,) * (stats.shards - 1)
+
+
+def test_all_residual_arises_naturally_from_the_analysis_too():
+    """The cache-invalidation mapping (non-CQ body + unaligned join) lands
+    every STD in the residual shard *without* force_residual — the acceptance
+    criterion's "all STDs fall back" case reached through the analysis."""
+    mapping = mapping_from_rules(
+        [
+            "T(x, y) :- R(x, y)",
+            "J(x, w) :- R(x, y) & S(y, w)",
+            "Lone(x, z^op) :- R(x, y) & ~ (exists w . S(y, w))",
+        ],
+        source={"R": 2, "S": 2},
+        target={"T": 2, "J": 2, "Lone": 2},
+    )
+    queries = (
+        cq(["x", "y"], [("T", ["x", "y"])], name="t"),
+        cq(["x", "w"], [("J", ["x", "w"])], name="j"),
+        cq(["x"], [("Lone", ["x", "z"])], name="lone"),
+    )
+    source = make_instance({"R": [("a", "b"), ("c", "d")], "S": [("b", "w")]})
+    service = ExchangeService()
+    service.register("flat", mapping, source)
+    service.register("sharded", mapping, source, shards=3)
+    exchange = service.scenario("sharded")
+    assert exchange.plan.fully_residual
+    stream = [
+        ([("S", ("d", "u"))], []),
+        ([("R", ("e", "b"))], [("R", ("a", "b"))]),
+        ([], [("S", ("b", "w"))]),
+        ([("R", ("a", "b")), ("S", ("b", "w"))], [("R", ("c", "d"))]),
+    ]
+    for added, removed in stream:
+        service.update("flat", add=added, retract=removed)
+        service.update("sharded", add=added, retract=removed)
+        for query in queries:
+            assert (
+                service.query("flat", query).answers
+                == service.query("sharded", query).answers
+            )
+
+
+# ---------------------------------------------------------------------------
+# Service integration
+# ---------------------------------------------------------------------------
+
+
+def test_transaction_spanning_sharded_and_flat_scenarios_rolls_back_together():
+    mapping = mapping_from_rules(
+        ["T(x^cl, y^cl) :- S(x, y)"], source={"S": 2}, target={"T": 2}
+    )
+    deps = parse_dependencies(["T(x, y) & T(x, z) -> y = z"])
+    service = ExchangeService()
+    service.register("plain", mapping, make_instance({"S": [("p", "0")]}), deps)
+    service.register(
+        "sharded", mapping, make_instance({"S": [("a", "1")]}), deps, shards=2
+    )
+    query = cq(["x", "y"], [("T", ["x", "y"])], name="t")
+    plain_before = service.query("plain", query).answers
+    sharded_before = service.query("sharded", query).answers
+    with pytest.raises(ServingError):
+        with service.transaction("plain", "sharded") as txn:
+            txn.add([("S", ("q", "9"))], scenario="plain")  # commits first...
+            txn.add([("S", ("a", "2"))], scenario="sharded")  # ...then conflicts
+    # cross-scenario rollback: the committed flat scenario was unwound by its
+    # inverse delta, the sharded one by its own per-shard rollback.
+    assert service.query("plain", query).answers == plain_before
+    assert service.query("sharded", query).answers == sharded_before
+
+
+def test_sharded_scenario_surfaces_in_service_stats_and_routes():
+    workload = skewed_workload(customers=12, accounts=60, batches=1, batch_size=6)
+    service = ExchangeService()
+    service.register(
+        "hot",
+        workload.mapping,
+        workload.source,
+        workload.target_dependencies,
+        shards=4,
+        shard_workers=4,
+    )
+    first = service.query("hot", workload.queries[0])
+    assert first.route == "scatter"
+    assert service.query("hot", workload.queries[0]).route == "cache"
+    merged = service.query("hot", workload.queries[-1])
+    assert merged.route == "merged"
+    added, removed = workload.batches[0]
+    service.update("hot", add=added, retract=removed)
+    assert service.query("hot", workload.queries[0]).route == "scatter"  # stale
+    stats = service.stats("hot")
+    assert stats.sharding is not None
+    assert stats.sharding.workers == 4
+    assert stats.sharding.epoch == 1
+    assert stats.sharding.fanout_applies >= 1
+    assert sum(stats.sharding.shard_source_tuples) == stats.source_tuples
+    service.deregister("hot")  # closes the shard worker pool
+    assert "hot" not in service
+
+
+def test_property_random_mixed_interleavings_match_unsharded():
+    """Hypothesis-driven arbitrary interleavings of mixed batches: the
+    sharded exchange (analysed plan *and* forced-residual plan) agrees with
+    the unsharded one after every step, for a mapping whose analysis
+    genuinely splits (key-join local STD + Zipf-free mixed routing)."""
+    from hypothesis import given, settings, strategies as st
+
+    mapping = mapping_from_rules(
+        [
+            "T(x, y) :- R(x, y)",
+            "K(x, w) :- R(x, y) & S(x, w)",  # key-join on x: shard-local
+        ],
+        source={"R": 2, "S": 2},
+        target={"T": 2, "K": 2, "V": 2},
+    )
+    deps = parse_dependencies(["T(x, y) -> exists m . V(x, m)"])
+    queries = (
+        cq(["x", "y"], [("T", ["x", "y"])], name="t"),
+        cq(["x", "w"], [("K", ["x", "w"])], name="k"),
+        cq(["x", "y", "w"], [("T", ["x", "y"]), ("K", ["x", "w"])], name="tk"),
+        UnionOfConjunctiveQueries(
+            [cq(["x"], [("T", ["x", "y"])]), cq(["x"], [("K", ["x", "w"])])],
+            name="u",
+        ),
+    )
+    values = st.sampled_from(["a", "b", "c", "d", "e"])
+    fact = st.tuples(st.sampled_from(["R", "S"]), st.tuples(values, values))
+    batch = st.tuples(
+        st.lists(fact, max_size=3), st.lists(fact, max_size=2)
+    )
+
+    @settings(max_examples=30, deadline=None)
+    @given(initial=st.lists(fact, max_size=4), stream=st.lists(batch, max_size=5))
+    def run(initial, stream):
+        source = make_instance({})
+        for name, tup in initial:
+            source.add(name, tup)
+        registry_flat = ExchangeService()
+        registry_flat.register("flat", mapping, source, deps)
+        registry_flat.register("sh", mapping, source, deps, shards=2)
+        registry_flat.register(
+            "res", mapping, source, deps, shards=2, force_residual=True
+        )
+        try:
+            for added, removed in stream:
+                removed = [f for f in removed if f not in added]
+                for name in ("flat", "sh", "res"):
+                    with registry_flat.transaction(name) as txn:
+                        txn.retract(removed)
+                        txn.add(added)
+                for query in queries:
+                    flat = registry_flat.query("flat", query).answers
+                    assert registry_flat.query("sh", query).answers == flat
+                    assert registry_flat.query("res", query).answers == flat
+        finally:
+            registry_flat.scenario("sh").close()
+            registry_flat.scenario("res").close()
+
+    run()
+
+
+def test_registry_deregister_closes_the_worker_pool():
+    workload = skewed_workload(customers=8, accounts=20, batches=0)
+    service = ExchangeService()
+    service.register(
+        "tmp", workload.mapping, workload.source, workload.target_dependencies, shards=2
+    )
+    pool = service.scenario("tmp")._pool
+    service.deregister("tmp")
+    assert pool._shutdown
