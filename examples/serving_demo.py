@@ -10,7 +10,9 @@ to ``cache``), commits a *mixed* add/retract batch as one transaction (one
 refresh pass, one cache-invalidation round), shows that invalidation is
 scoped to the relations the batch touched, registers the same mapping as a
 **sharded** scenario (partitioned maintenance, ``scatter`` query routes,
-per-shard stats), and ends with the structured ``stats()`` snapshot.
+per-shard stats), moves the shards into dedicated **worker processes**
+(``shard_workers="process"``) and kills one to show graceful degradation,
+and ends with the structured ``stats()`` snapshot.
 
 The demo escalates :class:`ServingDeprecationWarning` to an error before it
 does anything — the same policy as the repo's pytest configuration — so any
@@ -122,6 +124,34 @@ def main() -> None:
           f"epoch={sharding.epoch}, scatter={sharding.scatter_queries}, "
           f"imbalance={sharding.imbalance:.2f}")
 
+    print("\n== Shards in worker processes: flat int buffers across the pipe ==")
+    # Same registration surface, one extra argument: every shard's
+    # materialization now lives in its own spawned process.  Deltas and
+    # scatter answers cross as interned int buffers, so joins run beyond
+    # the GIL on multi-core hosts.
+    service.register("employees@procs", mapping, source, shards=2,
+                     shard_workers="process")
+    print(f"employees: {describe(service.query('employees@procs', by_dept))}  <- scatter, workers")
+    with service.transaction("employees@procs") as txn:
+        txn.add([("Emp", ("erin", "search")), ("Works", ("erin", "ranking"))])
+    print(f"teams:     {describe(service.query('employees@procs', teams))}")
+    procs = service.scenario("employees@procs").sharding_stats()
+    print(f"workers: mode={procs.worker_mode}, failures={procs.worker_failures}")
+
+    print("\n== Kill a worker: the shard degrades to in-process, answers keep flowing ==")
+    victim = service.scenario("employees@procs").shards[0]
+    victim.kill_worker()  # simulate an OOM-killed / crashed worker
+    # The next delta hits the dead pipe; the shard rebuilds in-process and
+    # replays the batch — the scenario never observes the failure.
+    service.update("employees@procs", add=[("Emp", ("finn", "infra"))])
+    print(f"employees: {describe(service.query('employees@procs', by_dept))}  <- still correct")
+    procs = service.scenario("employees@procs").sharding_stats()
+    print(f"workers: failures={procs.worker_failures}, "
+          f"degraded={[getattr(s, 'degraded', False) for s in service.scenario('employees@procs').shards]}")
+    service.deregister("employees@procs")  # joins the surviving workers
+
 
 if __name__ == "__main__":
+    # The guard is load-bearing: worker processes use the ``spawn`` start
+    # method, which re-imports this module in each child.
     main()

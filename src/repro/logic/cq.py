@@ -31,6 +31,7 @@ from repro.logic.formulas import (
 from repro.logic.terms import Const, FuncTerm, Term, Var, term_tuple
 from repro.relational.domain import fresh_null, is_null
 from repro.relational.instance import Instance
+from repro.relational.interning import NULL_CODE_BASE, ColumnarInstance
 
 
 def _match_tuple(
@@ -82,6 +83,35 @@ def _atom_candidates(
     return best
 
 
+def _atom_estimate(atom: Atom, instance: Instance, assignment: dict[Var, Any]) -> float:
+    """Estimated candidate count for ``atom`` under ``assignment``.
+
+    The greedy planner's ranking statistic: the relation's cardinality,
+    refined to the average bucket size of any bound position (constant term
+    or already-assigned variable).  Unlike probing the actual buckets —
+    which the planner previously did for *every* remaining atom at *every*
+    search node — the averages are cached per ``Instance.version()``
+    (:meth:`~repro.relational.instance.Instance.bucket_estimate`), so on an
+    unchanged instance re-planning costs dict lookups.  Only the atom that
+    wins the ranking has its actual candidate set materialised.
+    """
+    estimate = float(len(instance._tuples(atom.relation)))
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Const):
+            pass
+        elif isinstance(term, Var):
+            if term not in assignment:
+                continue
+        else:
+            raise TypeError(f"function term {term!r} not allowed in CQ atoms")
+        refined = instance.bucket_estimate(atom.relation, position)
+        if refined < estimate:
+            estimate = refined
+            if not estimate:
+                break
+    return estimate
+
+
 def _equalities_hold(
     equalities: list[Eq], current: dict[Var, Any], require_all_bound: bool = False
 ) -> bool:
@@ -111,15 +141,24 @@ def match_atoms(
     """Enumerate assignments satisfying a conjunction of atoms (plus equalities).
 
     Atoms are matched by an index-aware backtracking join: at each step the
-    remaining atom with the smallest estimated candidate set (via
-    :func:`_atom_candidates`) is bound next.  Equalities are checked as soon
-    as their variables are bound (all equalities here are variable/constant
-    equalities, as produced by the parser and the composition algorithm's
-    normal form).
+    remaining atom with the smallest estimated candidate count (via
+    :func:`_atom_estimate` — version-cached selectivity statistics, so only
+    the winning atom's buckets are actually probed) is bound next.
+    Equalities are checked as soon as their variables are bound (all
+    equalities here are variable/constant equalities, as produced by the
+    parser and the composition algorithm's normal form).
+
+    Over a :class:`~repro.relational.interning.ColumnarInstance` the same
+    enumeration runs entirely over int codes (:func:`_columnar_search`),
+    decoding to values only at the answer boundary.
     """
     assignment = dict(assignment or {})
     equalities = list(equalities or [])
     atoms = list(atoms)
+
+    if isinstance(instance, ColumnarInstance):
+        yield from _columnar_search(atoms, instance, assignment, equalities, None)
+        return
 
     def search(remaining: list[Atom], current: dict[Var, Any]) -> Iterator[dict[Var, Any]]:
         if not _equalities_hold(equalities, current):
@@ -130,16 +169,16 @@ def match_atoms(
             yield dict(current)
             return
         best_index = 0
-        best_candidates = _atom_candidates(remaining[0], instance, current)
+        best_estimate = _atom_estimate(remaining[0], instance, current)
         for i in range(1, len(remaining)):
-            candidates = _atom_candidates(remaining[i], instance, current)
-            if len(candidates) < len(best_candidates):
-                best_index, best_candidates = i, candidates
-                if not best_candidates:
-                    break
+            if not best_estimate:
+                break
+            estimate = _atom_estimate(remaining[i], instance, current)
+            if estimate < best_estimate:
+                best_index, best_estimate = i, estimate
         atom = remaining[best_index]
         rest = remaining[:best_index] + remaining[best_index + 1 :]
-        for values in best_candidates:
+        for values in _atom_candidates(atom, instance, current):
             extended = _match_tuple(atom.terms, values, current)
             if extended is not None:
                 yield from search(rest, extended)
@@ -168,6 +207,11 @@ def match_atoms_delta(
     assignment = dict(assignment or {})
     equalities = list(equalities or [])
     atoms = list(atoms)
+
+    if isinstance(instance, ColumnarInstance):
+        yield from _columnar_match_delta(atoms, instance, delta, assignment, equalities)
+        return
+
     delta_by_rel: dict[str, set[tuple]] = {}
     for name, tup in delta:
         if (name, tuple(tup)) in instance:
@@ -192,7 +236,7 @@ def match_atoms_delta(
         if best_index is None:
             best_size = None
             for i, (atom, _mode) in enumerate(remaining):
-                size = len(_atom_candidates(atom, instance, current))
+                size = _atom_estimate(atom, instance, current)
                 if best_size is None or size < best_size:
                     best_index, best_size = i, size
         atom, mode = remaining[best_index]
@@ -217,6 +261,415 @@ def match_atoms_delta(
             for i, atom in enumerate(atoms)
         ]
         yield from search(tagged, dict(assignment))
+
+
+# -- columnar fast path ------------------------------------------------------
+#
+# Over a ColumnarInstance the backtracking join runs entirely over int codes:
+# variables compile to dense *slots* in a flat bindings list, constants to
+# their interned codes, and backtracking undoes bindings through a trail —
+# no per-candidate assignment-dict copy, no value hashing, no decoding until
+# an answer is actually yielded.  Constants the interner has never seen get
+# fresh *negative* pseudo-codes: they can never equal a stored code (all
+# stored codes are non-negative), yet compare consistently with Python
+# equality among themselves, so equality atoms behave exactly as in the
+# generic path.
+
+
+def _columnar_compile(
+    atoms: list[Atom],
+    equalities: list[Eq],
+    assignment: dict[Var, Any],
+    instance: "ColumnarInstance",
+):
+    """Compile atoms/equalities/seed bindings into slots and int codes."""
+    interner = instance.interner
+    pseudo: dict[Any, int] = {}
+    pseudo_values: dict[int, Any] = {}
+
+    def const_code(value: Any) -> int:
+        code = interner.code_of(value)
+        if code is None:
+            code = pseudo.get(value)
+            if code is None:
+                code = -(len(pseudo) + 1)
+                pseudo[value] = code
+                pseudo_values[code] = value
+        return code
+
+    slot_of: dict[Var, int] = {}
+    slot_vars: list[Var] = []
+
+    def slot(var: Var) -> int:
+        index = slot_of.get(var)
+        if index is None:
+            index = len(slot_vars)
+            slot_of[var] = index
+            slot_vars.append(var)
+        return index
+
+    compiled_atoms: list[tuple[str, tuple[tuple[int, int, int], ...]]] = []
+    for atom in atoms:
+        entries = []
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Const):
+                entries.append((position, -1, const_code(term.value)))
+            elif isinstance(term, Var):
+                entries.append((position, slot(term), 0))
+            else:
+                raise TypeError(f"function term {term!r} not allowed in CQ atoms")
+        compiled_atoms.append((atom.relation, tuple(entries)))
+
+    compiled_eqs: list[tuple[tuple[int, int], tuple[int, int]]] = []
+    for eq in equalities:
+        sides = []
+        for term in (eq.left, eq.right):
+            if isinstance(term, Const):
+                sides.append((-1, const_code(term.value)))
+            elif isinstance(term, Var):
+                sides.append((slot(term), 0))
+            else:
+                raise TypeError(f"function term {term!r} not allowed here")
+        compiled_eqs.append((sides[0], sides[1]))
+
+    for var in assignment:
+        slot(var)
+    seed: list[int | None] = [None] * len(slot_vars)
+    for var, value in assignment.items():
+        seed[slot_of[var]] = const_code(value)
+    return compiled_atoms, compiled_eqs, slot_vars, seed, pseudo_values
+
+
+def _columnar_run(
+    instance: "ColumnarInstance",
+    tagged: list[tuple[str, tuple[tuple[int, int, int], ...], str]],
+    compiled_eqs,
+    slot_vars: list[Var],
+    bindings: list,
+    pseudo_values: dict[int, Any],
+    delta_rows: dict[str, set[int]],
+) -> Iterator[dict[Var, Any]]:
+    """The trail-based backtracking enumeration shared by both entry points."""
+    interner = instance.interner
+
+    def decode(code: int) -> Any:
+        if code < 0:
+            return pseudo_values[code]
+        return interner.decode(code)
+
+    def equalities_hold(require_all: bool) -> bool:
+        for (left_slot, left_code), (right_slot, right_code) in compiled_eqs:
+            left = left_code if left_slot < 0 else bindings[left_slot]
+            right = right_code if right_slot < 0 else bindings[right_slot]
+            if left is None or right is None:
+                if require_all:
+                    return False
+                continue
+            if left != right:
+                return False
+        return True
+
+    def estimate(relation: str, entries) -> float:
+        col = instance.columnar_relation(relation)
+        if col is None or col.arity != len(entries):
+            return 0.0
+        best = float(len(col))
+        for position, slot, _code in entries:
+            if slot >= 0 and bindings[slot] is None:
+                continue
+            refined = instance.bucket_estimate(relation, position)
+            if refined < best:
+                best = refined
+                if not best:
+                    break
+        return best
+
+    def candidates(relation: str, entries):
+        col = instance.columnar_relation(relation)
+        if col is None or col.arity != len(entries):
+            return col, ()
+        rows = None
+        for position, slot, code in entries:
+            probe = code if slot < 0 else bindings[slot]
+            if probe is None:
+                continue
+            if probe < 0:  # pseudo-code: unseen value, matches nothing stored
+                return col, ()
+            bucket = col.index(position).get(probe)
+            if bucket is None:
+                return col, ()
+            if rows is None or len(bucket) < len(rows):
+                rows = bucket
+        return col, (range(len(col)) if rows is None else rows)
+
+    def search(remaining) -> Iterator[dict[Var, Any]]:
+        if not equalities_hold(False):
+            return
+        if not remaining:
+            if not equalities_hold(True):
+                return
+            yield {
+                slot_vars[index]: decode(code)
+                for index, code in enumerate(bindings)
+                if code is not None
+            }
+            return
+        best_index = next(
+            (i for i, (_r, _e, mode) in enumerate(remaining) if mode == "delta"), None
+        )
+        if best_index is None:
+            best_estimate = None
+            for i, (relation, entries, _mode) in enumerate(remaining):
+                size = estimate(relation, entries)
+                if best_estimate is None or size < best_estimate:
+                    best_index, best_estimate = i, size
+                    if not size:
+                        break
+        relation, entries, mode = remaining[best_index]
+        rest = remaining[:best_index] + remaining[best_index + 1 :]
+        if mode == "delta":
+            col = instance.columnar_relation(relation)
+            if col is None or col.arity != len(entries):
+                return
+            rows: Iterable[int] = delta_rows.get(relation, ())
+        else:
+            col, rows = candidates(relation, entries)
+        skip = delta_rows.get(relation) if mode == "old" else None
+        row_codes = col.row_codes if col is not None else ()
+        for row in rows:
+            if skip is not None and row in skip:
+                continue
+            coded = row_codes[row]
+            trail: list[int] = []
+            matched = True
+            for position, slot, code in entries:
+                value = coded[position]
+                if slot < 0:
+                    if value != code:
+                        matched = False
+                        break
+                else:
+                    bound = bindings[slot]
+                    if bound is None:
+                        bindings[slot] = value
+                        trail.append(slot)
+                    elif bound != value:
+                        matched = False
+                        break
+            if matched:
+                yield from search(rest)
+            for slot in trail:
+                bindings[slot] = None
+
+    yield from search(tagged)
+
+
+def _columnar_search(
+    atoms: list[Atom],
+    instance: "ColumnarInstance",
+    assignment: dict[Var, Any],
+    equalities: list[Eq],
+    _delta: None,
+) -> Iterator[dict[Var, Any]]:
+    """`match_atoms` over interned columns (same contract, coded inner loop)."""
+    compiled_atoms, compiled_eqs, slot_vars, seed, pseudo_values = _columnar_compile(
+        atoms, equalities, assignment, instance
+    )
+    tagged = [(relation, entries, "any") for relation, entries in compiled_atoms]
+    yield from _columnar_run(
+        instance, tagged, compiled_eqs, slot_vars, list(seed), pseudo_values, {}
+    )
+
+
+def _columnar_match_delta(
+    atoms: list[Atom],
+    instance: "ColumnarInstance",
+    delta: Iterable[tuple[str, tuple]],
+    assignment: dict[Var, Any],
+    equalities: list[Eq],
+) -> Iterator[dict[Var, Any]]:
+    """`match_atoms_delta` over interned columns (same pivot decomposition)."""
+    compiled_atoms, compiled_eqs, slot_vars, seed, pseudo_values = _columnar_compile(
+        atoms, equalities, assignment, instance
+    )
+    delta_rows: dict[str, set[int]] = {}
+    for name, tup in delta:
+        col = instance.columnar_relation(name)
+        if col is None:
+            continue
+        coded = instance._probe_tuple(tuple(tup))
+        if coded is None:
+            continue
+        row = col.row_of.get(coded)
+        if row is not None:
+            delta_rows.setdefault(name, set()).add(row)
+    if not delta_rows:
+        return
+    for pivot in range(len(atoms)):
+        if atoms[pivot].relation not in delta_rows:
+            continue
+        tagged = [
+            (
+                relation,
+                entries,
+                "delta" if i == pivot else ("old" if i < pivot else "any"),
+            )
+            for i, (relation, entries) in enumerate(compiled_atoms)
+        ]
+        yield from _columnar_run(
+            instance,
+            tagged,
+            compiled_eqs,
+            slot_vars,
+            list(seed),
+            pseudo_values,
+            delta_rows,
+        )
+
+
+def _columnar_coded_answers(
+    head: tuple[Var, ...],
+    atoms: list[Atom],
+    equalities: list[Eq],
+    instance: "ColumnarInstance",
+) -> tuple[set[tuple[int, ...]], dict[int, Any]]:
+    """Enumerate the *distinct* coded head tuples of a CQ body.
+
+    This is the evaluate fast path: answers are deduplicated as tuples of int
+    codes and decoded once at the very end, so high-multiplicity joins never
+    build per-assignment ``{Var: value}`` dicts or decode duplicate answers.
+    The instance cannot change during the call, so each atom's column, index
+    dicts, and bucket estimates are resolved once up front rather than per
+    search node.
+    """
+    compiled_atoms, compiled_eqs, slot_vars, seed, pseudo_values = _columnar_compile(
+        atoms, equalities, {}, instance
+    )
+    slot_of = {var: index for index, var in enumerate(slot_vars)}
+    head_slots = tuple(slot_of[v] for v in head)
+    bindings: list[int | None] = list(seed)
+    answers: set[tuple[int, ...]] = set()
+    add_answer = answers.add
+
+    # Per-atom prep: (entries, row_codes, index dicts and static estimates
+    # aligned with entries, base size).  A missing/mismatched column means the
+    # conjunction is unsatisfiable, full stop.
+    prepped = []
+    for relation, entries in compiled_atoms:
+        col = instance.columnar_relation(relation)
+        if col is None or col.arity != len(entries):
+            return answers, pseudo_values
+        indexes = tuple(col.index(position) for position, _slot, _code in entries)
+        estimates = tuple(
+            instance.bucket_estimate(relation, position)
+            for position, _slot, _code in entries
+        )
+        prepped.append((entries, col.row_codes, indexes, estimates, float(len(col))))
+
+    # Static greedy join order: simulate slot binding once (the planner's
+    # first-visit decision at each depth), so the search loop itself carries
+    # no per-node estimation or remaining-list slicing.
+    levels = []
+    pending = list(range(len(prepped)))
+    bound = [code is not None for code in seed]
+    while pending:
+        best_i, best_est = pending[0], None
+        for i in pending:
+            entries, _rc, _ix, estimates, size = prepped[i]
+            est = size
+            for k, (_position, slot, _code) in enumerate(entries):
+                if slot < 0 or bound[slot]:
+                    if estimates[k] < est:
+                        est = estimates[k]
+            if best_est is None or est < best_est:
+                best_i, best_est = i, est
+        levels.append(prepped[best_i])
+        pending.remove(best_i)
+        for _position, slot, _code in prepped[best_i][0]:
+            if slot >= 0:
+                bound[slot] = True
+    depth_count = len(levels)
+
+    def equalities_hold(require_all: bool) -> bool:
+        for (left_slot, left_code), (right_slot, right_code) in compiled_eqs:
+            left = left_code if left_slot < 0 else bindings[left_slot]
+            right = right_code if right_slot < 0 else bindings[right_slot]
+            if left is None or right is None:
+                if require_all:
+                    return False
+                continue
+            if left != right:
+                return False
+        return True
+
+    def search(depth: int) -> None:
+        if compiled_eqs and not equalities_hold(False):
+            return
+        if depth == depth_count:
+            if compiled_eqs and not equalities_hold(True):
+                return
+            add_answer(tuple(bindings[s] for s in head_slots))
+            return
+        entries, row_codes, indexes, _estimates, _size = levels[depth]
+        rows = None
+        for k, (_position, slot, code) in enumerate(entries):
+            probe = code if slot < 0 else bindings[slot]
+            if probe is None:
+                continue
+            if probe < 0:  # pseudo-code: unseen value, matches nothing stored
+                return
+            bucket = indexes[k].get(probe)
+            if bucket is None:
+                return
+            if rows is None or len(bucket) < len(rows):
+                rows = bucket
+        if rows is None:
+            rows = range(len(row_codes))
+        next_depth = depth + 1
+        for row in rows:
+            coded = row_codes[row]
+            trail: list[int] = []
+            matched = True
+            for position, slot, code in entries:
+                value = coded[position]
+                if slot < 0:
+                    if value != code:
+                        matched = False
+                        break
+                else:
+                    bound = bindings[slot]
+                    if bound is None:
+                        bindings[slot] = value
+                        trail.append(slot)
+                    elif bound != value:
+                        matched = False
+                        break
+            if matched:
+                search(next_depth)
+            for slot in trail:
+                bindings[slot] = None
+
+    search(0)
+    return answers, pseudo_values
+
+
+def _decode_answer_set(
+    instance: "ColumnarInstance",
+    coded: set[tuple[int, ...]],
+    pseudo_values: dict[int, Any],
+) -> set[tuple]:
+    """Decode a set of coded answer tuples in bulk (one lookup per distinct code)."""
+    if not coded:
+        return set()
+    distinct: set[int] = set()
+    for tup in coded:
+        distinct.update(tup)
+    decode = instance.interner.decode
+    value_map = {
+        code: (pseudo_values[code] if code < 0 else decode(code)) for code in distinct
+    }
+    getter = value_map.__getitem__
+    return {tuple(map(getter, tup)) for tup in coded}
 
 
 def decompose_exists_cq(
@@ -330,6 +783,11 @@ class ConjunctiveQuery:
 
     def evaluate(self, instance: Instance) -> set[tuple]:
         """All answer tuples over ``instance`` (nulls treated as plain values)."""
+        if isinstance(instance, ColumnarInstance):
+            coded, pseudo_values = _columnar_coded_answers(
+                self.head, self.atoms, self.equalities, instance
+            )
+            return _decode_answer_set(instance, coded, pseudo_values)
         answers: set[tuple] = set()
         for assignment in match_atoms(self.atoms, instance, equalities=self.equalities):
             answers.add(tuple(assignment[v] for v in self.head))
@@ -342,6 +800,12 @@ class ConjunctiveQuery:
         ``Q(T)`` of the query over the naive table ``T`` (Imieliński–Lipski),
         which is what Proposition 3 relies on.
         """
+        if isinstance(instance, ColumnarInstance):
+            coded, pseudo_values = _columnar_coded_answers(
+                self.head, self.atoms, self.equalities, instance
+            )
+            null_free = {t for t in coded if not t or max(t) < NULL_CODE_BASE}
+            return _decode_answer_set(instance, null_free, pseudo_values)
         return {t for t in self.evaluate(instance) if not any(is_null(v) for v in t)}
 
     def holds(self, instance: Instance, assignment: dict[Var, Any] | None = None) -> bool:

@@ -129,6 +129,9 @@ class Instance:
         self._indexes: dict[str, dict[int, dict[Any, set[tuple]]]] = {}
         # relation -> number of effective mutations seen so far.
         self._versions: dict[str, int] = {}
+        # (relation, position) -> (version sampled, average bucket size);
+        # the join planner's cardinality statistics, see bucket_estimate().
+        self._stat_cache: dict[tuple[str, int], tuple[int, float]] = {}
         self.schema = schema
         if data:
             for name, tuples in data.items():
@@ -266,6 +269,27 @@ class Instance:
                     buckets.setdefault(tup[position], set()).add(tup)
             positions[position] = buckets
         return buckets
+
+    def bucket_estimate(self, relation: str, position: int) -> float:
+        """Expected bucket size of the ``(relation, position)`` index.
+
+        ``|relation| / #distinct values at position`` — the selectivity
+        statistic the greedy join planner of :mod:`repro.logic.cq` ranks
+        candidate atoms by.  Cached under :meth:`version`, so between
+        mutations repeated planning reads a dict entry instead of probing
+        index buckets; the first request per (relation, position) builds the
+        index, exactly like a probe would.
+        """
+        key = (relation, position)
+        version = self._versions.get(relation, 0)
+        cached = self._stat_cache.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        buckets = self._index(relation, position)
+        size = len(self._tuples(relation))
+        estimate = size / len(buckets) if buckets else 0.0
+        self._stat_cache[key] = (version, estimate)
+        return estimate
 
     def lookup(self, relation: str, position: int, value: Any) -> RelationView:
         """Tuples of ``relation`` whose ``position``-th component is ``value``.

@@ -336,6 +336,15 @@ class MaterializedExchange:
         """Tuples in the chased target — the cheap size ``stats()`` reports."""
         return len(self._target)
 
+    def target_relation_size(self, name: str) -> int:
+        """Tuples of one target relation — the scatter-pruning probe.
+
+        Part of the shard surface (:class:`~repro.serving.workers.ProcessShard`
+        serves it from its cached state summary), so the sharded exchange can
+        prune empty shards from a fan-out without materializing any view.
+        """
+        return len(self._target.relation(name))
+
     @property
     def cache_stats(self) -> CacheStats:
         return self._cache.stats

@@ -212,7 +212,7 @@ class ScenarioRegistry:
         cache_capacity: int | None = None,
         shards: int | None = None,
         partition_keys: Mapping[str, int] | None = None,
-        shard_workers: int | None = None,
+        shard_workers: int | str | None = None,
         force_residual: bool = False,
     ) -> "MaterializedExchange | ShardedExchange":
         """Register a scenario (see the class docstring).
@@ -221,7 +221,10 @@ class ScenarioRegistry:
         :class:`~repro.serving.sharding.ShardedExchange`: ``shards`` worker
         shards plus a residual shard, partitioned on ``partition_keys``
         (position per source relation, default ``0``), updated through a
-        ``shard_workers``-wide pool.  ``force_residual=True`` skips the
+        ``shard_workers``-wide pool.  ``shard_workers="process"`` instead
+        moves each shard's exchange into a dedicated worker process
+        (beyond-GIL scatter evaluation; deltas and answers cross as flat
+        int buffers).  ``force_residual=True`` skips the
         shardability analysis and routes everything to the residual shard —
         the always-correct degenerate configuration differential tests pin
         the analysis against.
@@ -247,6 +250,16 @@ class ScenarioRegistry:
         if shards is not None:
             from repro.serving.sharding import PartitionSpec, ShardedExchange
 
+            worker_mode = "thread"
+            max_workers = shard_workers
+            if isinstance(shard_workers, str):
+                if shard_workers != "process":
+                    raise ValueError(
+                        f"shard_workers={shard_workers!r}: expected an int "
+                        'pool width or the string "process"'
+                    )
+                worker_mode = "process"
+                max_workers = None
             exchange = ShardedExchange(
                 name,
                 compiled,
@@ -254,8 +267,9 @@ class ScenarioRegistry:
                 PartitionSpec(shards, partition_keys or {}),
                 max_chase_steps=max_chase_steps,
                 cache_capacity=cache_capacity,
-                max_workers=shard_workers,
+                max_workers=max_workers,
                 force_residual=force_residual,
+                worker_mode=worker_mode,
             )
         else:
             exchange = MaterializedExchange(

@@ -353,7 +353,7 @@ class ExchangeService:
         cache_capacity: int | None = None,
         shards: int | None = None,
         partition_keys: dict[str, int] | None = None,
-        shard_workers: int | None = None,
+        shard_workers: int | str | None = None,
         force_residual: bool = False,
     ) -> None:
         """Register and materialize a scenario (compiled once per structure).

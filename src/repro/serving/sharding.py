@@ -95,6 +95,7 @@ from repro.logic.cq import ConjunctiveQuery, UnionOfConjunctiveQueries
 from repro.logic.formulas import Atom
 from repro.logic.terms import Const, Var
 from repro.relational.instance import Instance
+from repro.relational.interning import ValueInterner
 from repro.serving.cache import CertainAnswerCache, VersionVector, query_fingerprint
 from repro.serving.materialized import (
     AnswerOutcome,
@@ -606,6 +607,11 @@ class ShardingStats:
     merged_queries: int
     fanout_applies: int
     imbalance: float
+    # Execution backend: "thread" = in-process shards on the thread pool,
+    # "process" = one worker process per shard (repro.serving.workers).
+    worker_mode: str = "thread"
+    # Worker deaths/timeouts that degraded a shard to in-process evaluation.
+    worker_failures: int = 0
 
 
 class ShardedExchange:
@@ -628,36 +634,22 @@ class ShardedExchange:
         cache_capacity: int | None = None,
         max_workers: int | None = None,
         force_residual: bool = False,
+        worker_mode: str = "thread",
+        worker_timeout: float | None = None,
     ):
+        if worker_mode not in ("thread", "process"):
+            raise ValueError(
+                f"unknown worker_mode {worker_mode!r} (use 'thread' or 'process')"
+            )
         self.name = name
         self.compiled = compiled
         self.plan = compiled.shard_plan(partition, force_residual=force_residual)
         self.source = source.copy()  # the merged live source view (DEQA reads it)
         self._max_chase_steps = max_chase_steps
         self._cache_capacity = cache_capacity
-        slices = [
-            Instance(schema=source.schema) for _ in range(partition.shards + 1)
-        ]
-        for relation, tup in self.source.facts():
-            slices[self.plan.shard_of(relation, tup)].add(relation, tup)
-        # Shard materialization is deliberately sequential: the initial
-        # trigger enumeration and chase are pure-Python CPU work, which a
-        # thread pool cannot overlap under the GIL — fanning it out would
-        # add coordination without shortening registration.
-        self.shards: tuple[MaterializedExchange, ...] = tuple(
-            MaterializedExchange(
-                self._shard_name(i),
-                compiled,
-                shard_source,
-                max_chase_steps=max_chase_steps,
-                cache_capacity=cache_capacity,
-            )
-            for i, shard_source in enumerate(slices)
-        )
-        self._pool = ThreadPoolExecutor(
-            max_workers=max_workers or partition.shards + 1,
-            thread_name_prefix=f"shard-{name}",
-        )
+        self._worker_mode = worker_mode
+        self._worker_timeout = worker_timeout
+        self._worker_failures = 0
         self._cache = CertainAnswerCache(capacity=cache_capacity)
         self.update_stats = UpdateStats()
         self._epoch = 0
@@ -671,6 +663,74 @@ class ShardedExchange:
         self._merged_mutex = threading.Lock()
         self._merged_target: Optional[Instance] = None
         self._merged_versions: Optional[VersionVector] = None
+        # The parent side of the wire interner (process mode only): one table
+        # shared by every shard channel, synchronised incrementally.
+        self._worker_interner = ValueInterner() if worker_mode == "process" else None
+        slices = [
+            Instance(schema=source.schema) for _ in range(partition.shards + 1)
+        ]
+        for relation, tup in self.source.facts():
+            slices[self.plan.shard_of(relation, tup)].add(relation, tup)
+        # In thread mode shard materialization is deliberately sequential: the
+        # initial trigger enumeration and chase are pure-Python CPU work,
+        # which a thread pool cannot overlap under the GIL.  Process shards
+        # materialize inside their workers (construction returns after the
+        # init handshake), and a failed later shard must not leak the worker
+        # processes the earlier ones already started.
+        shards: list[Any] = []
+        try:
+            for i, shard_source in enumerate(slices):
+                shards.append(self._make_shard(i, shard_source))
+        except BaseException:
+            for shard in shards:
+                self._close_shard(shard)
+            raise
+        self.shards: tuple[Any, ...] = tuple(shards)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers or partition.shards + 1,
+            thread_name_prefix=f"shard-{name}",
+        )
+
+    def _make_shard(self, index: int, shard_source: Instance):
+        """One shard backend in the configured mode (init and rebuilds)."""
+        if self._worker_mode == "process":
+            from repro.serving.workers import ProcessShard
+
+            return ProcessShard(
+                self._shard_name(index),
+                index,
+                self.compiled,
+                shard_source,
+                self._worker_interner,
+                max_chase_steps=self._max_chase_steps,
+                cache_capacity=self._cache_capacity,
+                timeout=self._worker_timeout,
+                on_failure=self._note_worker_failure,
+            )
+        return MaterializedExchange(
+            self._shard_name(index),
+            self.compiled,
+            shard_source,
+            max_chase_steps=self._max_chase_steps,
+            cache_capacity=self._cache_capacity,
+        )
+
+    @staticmethod
+    def _close_shard(shard: Any) -> None:
+        close = getattr(shard, "close", None)
+        if close is not None:  # process shards own a worker process
+            close()
+
+    def _note_worker_failure(self, index: int, reason: str) -> None:
+        """A shard worker died/timed out and degraded to in-process mode.
+
+        The degraded shard's generation-salted versions already stale every
+        cache entry and the merged view; dropping the cache outright keeps
+        the (rare) failure path obviously safe rather than audited-safe.
+        """
+        with self._counter_mutex:
+            self._worker_failures += 1
+        self._cache.invalidate_all()
 
     def _shard_name(self, index: int) -> str:
         if index == self.plan.spec.shards:
@@ -684,12 +744,12 @@ class ShardedExchange:
         return self.compiled.mapping
 
     @property
-    def residual(self) -> MaterializedExchange:
+    def residual(self):
         """The residual shard (always the last entry of ``shards``)."""
         return self.shards[-1]
 
     @property
-    def workers(self) -> tuple[MaterializedExchange, ...]:
+    def workers(self):
         """The worker shards, in partition-index order."""
         return self.shards[:-1]
 
@@ -719,7 +779,7 @@ class ShardedExchange:
                 and self._merged_versions == self._target_versions()
             ):
                 return len(self._merged_target)
-        return sum(len(shard.target) for shard in self.shards)
+        return sum(shard.target_size for shard in self.shards)
 
     @property
     def canonical(self) -> Instance:
@@ -739,7 +799,7 @@ class ShardedExchange:
         for shard in self.shards:
             size = shard.core_size
             if size is None:
-                if len(shard.target):
+                if shard.target_size:
                     return None
                 size = 0
             total += size
@@ -759,10 +819,11 @@ class ShardedExchange:
     def sharding_stats(self) -> ShardingStats:
         """The epoch-consistent sharding snapshot (see :class:`ShardingStats`)."""
         with self._counter_mutex:
-            scatter, merged, fanout = (
+            scatter, merged, fanout, failures = (
                 self._scatter_queries,
                 self._merged_queries,
                 self._fanout_applies,
+                self._worker_failures,
             )
         worker_sizes = [len(shard.source) for shard in self.workers]
         mean = sum(worker_sizes) / len(worker_sizes) if worker_sizes else 0.0
@@ -774,17 +835,22 @@ class ShardedExchange:
             residual_stds=len(self.plan.residual_stds),
             residual_sources=tuple(sorted(self.plan.residual_sources)),
             shard_source_tuples=tuple(len(shard.source) for shard in self.shards),
-            shard_target_tuples=tuple(len(shard.target) for shard in self.shards),
+            shard_target_tuples=tuple(shard.target_size for shard in self.shards),
             scatter_queries=scatter,
             merged_queries=merged,
             fanout_applies=fanout,
             imbalance=(max(worker_sizes) / mean) if mean else 0.0,
+            worker_mode=self._worker_mode,
+            worker_failures=failures,
         )
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; no pending work is lost:
-        updates and queries synchronously drain their own futures)."""
+        """Shut the worker pool — and any worker processes — down (idempotent;
+        no pending work is lost: updates and queries synchronously drain
+        their own futures)."""
         self._pool.shutdown(wait=False)
+        for shard in self.shards:
+            self._close_shard(shard)
 
     # -- updates -----------------------------------------------------------
 
@@ -914,16 +980,12 @@ class ShardedExchange:
             restored.discard(*fact)
         for fact in applied.removed:
             restored.add(*fact)
-        rebuilt = MaterializedExchange(
-            self._shard_name(index),
-            self.compiled,
-            restored,
-            max_chase_steps=self._max_chase_steps,
-            cache_capacity=self._cache_capacity,
-        )
+        old = self.shards[index]
+        rebuilt = self._make_shard(index, restored)
         shards = list(self.shards)
         shards[index] = rebuilt
         self.shards = tuple(shards)
+        self._close_shard(old)
 
     # -- queries -----------------------------------------------------------
 
@@ -999,7 +1061,7 @@ class ShardedExchange:
                     shard
                     for index, shard in enumerate(self.shards)
                     if (pinned is None or index >= workers or index in pinned)
-                    and any(len(shard.target.relation(r)) for r in relations)
+                    and any(shard.target_relation_size(r) for r in relations)
                 ]
                 futures = [self._pool.submit(shard.answer, query) for shard in live]
                 answers: set = set()

@@ -1,0 +1,600 @@
+"""Per-shard worker processes: beyond-GIL scatter evaluation.
+
+A :class:`ProcessShard` hosts one shard's
+:class:`~repro.serving.materialized.MaterializedExchange` in a dedicated
+worker process (``spawn`` start method, so the layout is identical on every
+platform and Python version) while presenting the exchange's serving surface
+to the parent :class:`~repro.serving.sharding.ShardedExchange`.  CPU-bound
+join evaluation — the per-shard trigger matching of ``apply_delta`` and the
+per-shard query answering of the scatter route — then runs outside the
+parent's GIL, which is what turns the scatter fan-out into a real speedup on
+CPU-bound workloads instead of overlapped waiting.
+
+Wire format
+-----------
+Facts never cross the boundary as pickled tuple sets.  Both directions use
+the interned representation of :mod:`repro.relational.interning`:
+
+* the parent owns a :class:`~repro.relational.interning.ValueInterner` (dense
+  codes from ``0``); each worker mirrors it, receiving **string-table
+  deltas** — the ``(first_code, values)`` slices of constants interned since
+  the previous message — ahead of every coded payload;
+* facts and query answers travel as **flat int buffers** (``array('q')`` of
+  codes) plus ``(relation, arity, count)`` segment descriptors;
+* workers allocate constants the parent has never seen (e.g. literal
+  constants in STD heads) in a disjoint region at
+  ``(index + 1) * WORKER_CODE_STRIDE`` and report them back as sparse table
+  deltas riding on each reply;
+* null codes are ``NULL_CODE_BASE + ident`` — derivable from the ident on
+  both sides, so nulls need *no* table traffic at all.  Workers re-seed
+  ``Null._counter`` into a disjoint ident range, so chase nulls minted in
+  different processes can never collide.
+
+Every reply carries a **state summary** (target version vector, layer sizes,
+update-stat counters), which the parent caches — size and version reads on a
+healthy shard are local, with no round trip.
+
+Failure model
+-------------
+A worker that *rejects* a batch (egd conflict, blown step budget) has already
+rolled itself back; the parent re-raises :class:`ServingError` and the
+sharded all-or-nothing unwind proceeds exactly as in-process.  A worker that
+*dies* (killed, crashed, timed out) degrades gracefully: the parent rebuilds
+the shard in-process from its mirrored source slice — kept pre-batch-exact,
+it only advances on acknowledged commits — replays the in-flight delta if
+any, and keeps serving with ``ShardingStats.worker_failures`` counting the
+event.  Version vectors are salted with a per-shard *generation* that bumps
+on every degradation, so cache entries and merged views built against the
+dead worker can never alias the rebuilt state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from array import array
+from typing import Any, Callable, Iterable, Optional
+
+from repro.relational.instance import Instance
+from repro.relational.interning import (
+    WORKER_CODE_STRIDE,
+    ColumnarInstance,
+    ValueInterner,
+)
+from repro.serving.materialized import (
+    AnswerOutcome,
+    AppliedDelta,
+    Fact,
+    MaterializedExchange,
+    ServingError,
+    UpdateStats,
+)
+from repro.serving.registry import CompiledMapping, compile_mapping
+
+__all__ = ["ProcessShard", "WorkerGone"]
+
+#: Worker ``index`` re-seeds ``Null._counter`` at ``(index + 1) * this`` so
+#: chase nulls minted in different processes occupy disjoint ident ranges.
+NULL_IDENT_STRIDE = 1 << 34
+
+#: Version-vector salt per degradation generation: a rebuilt in-process shard
+#: restarts its raw counters, and the salt keeps the composed vector from
+#: aliasing anything observed before the failure.
+GENERATION_SALT = 1 << 40
+
+
+class WorkerGone(Exception):
+    """The worker process died, hung past the timeout, or failed internally."""
+
+
+# -- wire helpers (used on both sides of the pipe) --------------------------
+
+
+def _encode_facts(
+    facts: Iterable[Fact], interner: ValueInterner
+) -> tuple[list[tuple[str, int, int]], array]:
+    """Facts -> ``(relation, arity, count)`` segments + one flat code buffer."""
+    groups: dict[tuple[str, int], list[int]] = {}
+    counts: dict[tuple[str, int], int] = {}
+    encode = interner.encode
+    for relation, tup in facts:
+        key = (relation, len(tup))
+        codes = groups.get(key)
+        if codes is None:
+            codes = groups[key] = []
+            counts[key] = 0
+        codes.extend(map(encode, tup))
+        counts[key] += 1
+    segments = []
+    buffer = array("q")
+    for key in sorted(groups):
+        relation, arity = key
+        segments.append((relation, arity, counts[key]))
+        buffer.extend(groups[key])
+    return segments, buffer
+
+
+def _decode_facts(
+    segments: list[tuple[str, int, int]], buffer: array, interner: ValueInterner
+) -> list[Fact]:
+    decode = interner.decode
+    facts: list[Fact] = []
+    offset = 0
+    for relation, arity, count in segments:
+        for _ in range(count):
+            facts.append(
+                (relation, tuple(map(decode, buffer[offset : offset + arity])))
+            )
+            offset += arity
+    return facts
+
+
+def _register_table(interner: ValueInterner, table: Optional[tuple[int, list]]) -> None:
+    if not table:
+        return
+    first_code, values = table
+    for i, value in enumerate(values):
+        interner.register(first_code + i, value)
+
+
+def _drain_extras(
+    interner: ValueInterner, reported: int
+) -> tuple[int, Optional[tuple[int, list]]]:
+    """The dense allocations made since ``reported`` — a reply's table delta."""
+    values = interner.constants_slice(reported)
+    if not values:
+        return reported, None
+    return reported + len(values), (interner.base + reported, values)
+
+
+# -- the worker process ------------------------------------------------------
+
+
+def _summary(exchange: MaterializedExchange) -> tuple:
+    stats = exchange.update_stats
+    target = exchange.target
+    return (
+        tuple(exchange._target_versions()),
+        exchange.target_size,
+        exchange.core_size,
+        tuple(
+            sorted(
+                (name, len(target.relation(name)))
+                for name in target.relation_names()
+            )
+        ),
+        len(exchange.source),
+        (
+            stats.batches,
+            stats.trigger_rounds,
+            stats.target_repairs,
+            stats.invalidation_rounds,
+            stats.replays,
+            stats.rollbacks,
+        ),
+    )
+
+
+def _worker_main(conn, index: int) -> None:
+    """One shard's server loop: decode, delegate to the exchange, encode."""
+    import itertools
+
+    from repro.relational import domain
+
+    # Disjoint ident range: chase nulls minted here can never collide with
+    # the parent's or a sibling worker's (null codes derive from idents).
+    domain.Null._counter = itertools.count((index + 1) * NULL_IDENT_STRIDE)
+    interner = ValueInterner(base=(index + 1) * WORKER_CODE_STRIDE)
+    reported = interner.dense_size
+    exchange: Optional[MaterializedExchange] = None
+
+    def reply_ok(payload: Any) -> None:
+        nonlocal reported
+        reported, extras = _drain_extras(interner, reported)
+        conn.send(("ok", payload, extras, _summary(exchange)))
+
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "stop":
+                break
+            try:
+                if kind == "init":
+                    (
+                        _,
+                        name,
+                        mapping,
+                        dependencies,
+                        max_chase_steps,
+                        cache_capacity,
+                        table,
+                        segments,
+                        buffer,
+                    ) = message
+                    _register_table(interner, table)
+                    # The shard's source lives interned/columnar, so the
+                    # trigger joins inside apply_delta run over int codes too.
+                    source = ColumnarInstance(interner=interner)
+                    for relation, tup in _decode_facts(segments, buffer, interner):
+                        source.add(relation, tup)
+                    exchange = MaterializedExchange(
+                        name,
+                        compile_mapping(mapping, dependencies),
+                        source,
+                        max_chase_steps=max_chase_steps,
+                        cache_capacity=cache_capacity,
+                    )
+                    reply_ok(None)
+                elif kind == "apply":
+                    _, table, add_seg, add_buf, rem_seg, rem_buf = message
+                    _register_table(interner, table)
+                    applied = exchange.apply_delta(
+                        added=_decode_facts(add_seg, add_buf, interner),
+                        removed=_decode_facts(rem_seg, rem_buf, interner),
+                    )
+                    reply_ok(
+                        (
+                            _encode_facts(applied.added, interner),
+                            _encode_facts(applied.removed, interner),
+                        )
+                    )
+                elif kind == "answer":
+                    outcome = exchange.answer(message[1])
+                    answers = outcome.answers
+                    arity = len(next(iter(answers))) if answers else 0
+                    buffer = array("q")
+                    encode = interner.encode
+                    for tup in answers:
+                        buffer.extend(map(encode, tup))
+                    reply_ok(
+                        (len(answers), arity, buffer, outcome.route, outcome.cached)
+                    )
+                elif kind == "facts":
+                    reply_ok(
+                        (
+                            _encode_facts(exchange.canonical.facts(), interner),
+                            _encode_facts(exchange.target.facts(), interner),
+                        )
+                    )
+                else:  # pragma: no cover - protocol mismatch guard
+                    conn.send(("fatal", f"unknown message kind {kind!r}", None, None))
+            except ServingError as exc:
+                # The exchange rolled itself back; the scenario is intact.
+                reported, extras = _drain_extras(interner, reported)
+                conn.send(
+                    (
+                        "error",
+                        str(exc),
+                        extras,
+                        _summary(exchange) if exchange is not None else None,
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 - shipped to the parent
+                conn.send(("fatal", f"{type(exc).__name__}: {exc}", None, None))
+    except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover - parent gone
+        pass
+    finally:
+        conn.close()
+
+
+# -- the parent-side proxy ---------------------------------------------------
+
+
+class ProcessShard:
+    """One shard's exchange, hosted in a worker process (see module docstring).
+
+    Duck-types the slice of the :class:`MaterializedExchange` surface the
+    sharded exchange uses — ``apply_delta``/``answer``/``update_stats``/
+    ``source``/``target``/``canonical``/``target_size``/
+    ``target_relation_size``/``core_size``/``_target_versions``/``close`` —
+    so :class:`~repro.serving.sharding.ShardedExchange` treats thread- and
+    process-backed shards identically.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        compiled: CompiledMapping,
+        source: Instance,
+        interner: ValueInterner,
+        max_chase_steps: int | None = None,
+        cache_capacity: int | None = None,
+        timeout: float | None = None,
+        on_failure: Callable[[int, str], None] | None = None,
+    ):
+        self.name = name
+        self.index = index
+        self.compiled = compiled
+        # The parent-side mirror of the shard's source slice: advanced only on
+        # acknowledged commits, so it is pre-batch-exact whenever the worker
+        # dies mid-batch — exactly what the degradation rebuild needs.
+        self.source = source.copy()
+        self._interner = interner
+        self._watermark = 0  # dense parent constants already shipped
+        self._max_chase_steps = max_chase_steps
+        self._cache_capacity = cache_capacity
+        self._timeout = timeout
+        self._on_failure = on_failure
+        self._io_lock = threading.Lock()
+        self._summary: Optional[tuple] = None
+        self._stats_base = (0, 0, 0, 0, 0, 0)
+        self._generation = 0
+        self._local: Optional[MaterializedExchange] = None
+        self._layers: Optional[tuple[tuple, Instance, Instance]] = None
+        self._proc = None
+        self._conn = None
+
+        ctx = multiprocessing.get_context("spawn")
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_worker_main,
+            args=(child, index),
+            name=f"shard-worker-{name}",
+            daemon=True,
+        )
+        self._proc.start()
+        child.close()
+        segments, buffer = _encode_facts(self.source.facts(), interner)
+        try:
+            self._request(
+                (
+                    "init",
+                    name,
+                    compiled.mapping,
+                    compiled.target_dependencies,
+                    max_chase_steps,
+                    cache_capacity,
+                    self._table_delta(),
+                    segments,
+                    buffer,
+                )
+            )
+        except WorkerGone as gone:
+            # Materializing in-process instead surfaces any real scenario
+            # error (no solution, non-termination) exactly like thread mode.
+            self._degrade(str(gone))
+
+    # -- wire plumbing -----------------------------------------------------
+
+    def _table_delta(self) -> Optional[tuple[int, list]]:
+        values = self._interner.constants_slice(self._watermark)
+        if not values:
+            return None
+        delta = (self._interner.base + self._watermark, values)
+        self._watermark += len(values)
+        return delta
+
+    def _request(self, message: tuple) -> Any:
+        """One round trip; registers reply extras and caches the summary.
+
+        Raises :class:`WorkerGone` on death/timeout/internal failure and
+        :class:`ServingError` when the worker rejected (and rolled back) the
+        request — the two failure classes the callers treat differently.
+        """
+        with self._io_lock:
+            try:
+                self._conn.send(message)
+                if self._timeout is not None and not self._conn.poll(self._timeout):
+                    raise WorkerGone(
+                        f"shard worker {self.index} timed out after {self._timeout}s"
+                    )
+                reply = self._conn.recv()
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                raise WorkerGone(f"shard worker {self.index} died: {exc}") from exc
+        kind, payload, extras, summary = reply
+        if kind == "fatal":
+            raise WorkerGone(f"shard worker {self.index} failed: {payload}")
+        _register_table(self._interner, extras)
+        if summary is not None:
+            self._summary = summary
+        if kind == "error":
+            raise ServingError(payload)
+        return payload
+
+    def _shutdown_process(self) -> None:
+        proc, conn = self._proc, self._conn
+        self._proc = None
+        self._conn = None
+        if conn is not None:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError, ValueError):
+                pass
+            conn.close()
+        if proc is not None:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+
+    def _degrade(self, reason: str) -> None:
+        """Fall back to an in-process exchange built from the mirrored source."""
+        if self._summary is not None:
+            self._stats_base = self._summary[5]
+        self._generation += 1
+        self._layers = None
+        self._shutdown_process()
+        self._local = MaterializedExchange(
+            self.name,
+            self.compiled,
+            self.source,
+            max_chase_steps=self._max_chase_steps,
+            cache_capacity=self._cache_capacity,
+        )
+        # From here on the local exchange owns the live source.
+        self.source = self._local.source
+        if self._on_failure is not None:
+            self._on_failure(self.index, reason)
+
+    # -- the MaterializedExchange surface ----------------------------------
+
+    def apply_delta(
+        self,
+        added: Iterable[tuple[str, Iterable[Any]]] = (),
+        removed: Iterable[tuple[str, Iterable[Any]]] = (),
+    ) -> AppliedDelta:
+        if self._local is not None:
+            return self._local.apply_delta(added=added, removed=removed)
+        added = [(name, tuple(tup)) for name, tup in added]
+        removed = [(name, tuple(tup)) for name, tup in removed]
+        add_seg, add_buf = _encode_facts(added, self._interner)
+        rem_seg, rem_buf = _encode_facts(removed, self._interner)
+        try:
+            payload = self._request(
+                ("apply", self._table_delta(), add_seg, add_buf, rem_seg, rem_buf)
+            )
+        except WorkerGone as gone:
+            # The mirror is still pre-batch; rebuild and replay in-process.
+            self._degrade(str(gone))
+            return self._local.apply_delta(added=added, removed=removed)
+        (applied_add_seg, applied_add_buf), (applied_rem_seg, applied_rem_buf) = payload
+        applied_added = _decode_facts(applied_add_seg, applied_add_buf, self._interner)
+        applied_removed = _decode_facts(applied_rem_seg, applied_rem_buf, self._interner)
+        for fact in applied_removed:
+            self.source.discard(*fact)
+        for fact in applied_added:
+            self.source.add(*fact)
+        self._layers = None
+        return AppliedDelta(added=tuple(applied_added), removed=tuple(applied_removed))
+
+    def answer(
+        self,
+        query,
+        extra_constants: int | None = None,
+        max_extra_tuples: int | None = None,
+    ) -> AnswerOutcome:
+        if self._local is not None:
+            return self._local.answer(
+                query,
+                extra_constants=extra_constants,
+                max_extra_tuples=max_extra_tuples,
+            )
+        try:
+            payload = self._request(("answer", query))
+        except WorkerGone as gone:
+            self._degrade(str(gone))
+            return self._local.answer(
+                query,
+                extra_constants=extra_constants,
+                max_extra_tuples=max_extra_tuples,
+            )
+        count, arity, buffer, route, cached = payload
+        decode = self._interner.decode
+        answers = set()
+        offset = 0
+        for _ in range(count):
+            answers.add(tuple(map(decode, buffer[offset : offset + arity])))
+            offset += arity
+        return AnswerOutcome(frozenset(answers), "monotone", route, cached)
+
+    def certain_answers(self, query, **kwargs) -> set[tuple]:
+        return set(self.answer(query, **kwargs).answers)
+
+    @property
+    def update_stats(self) -> UpdateStats:
+        base = self._stats_base
+        if self._local is not None:
+            local = self._local.update_stats
+            return UpdateStats(
+                batches=base[0] + local.batches,
+                trigger_rounds=base[1] + local.trigger_rounds,
+                target_repairs=base[2] + local.target_repairs,
+                invalidation_rounds=base[3] + local.invalidation_rounds,
+                replays=base[4] + local.replays,
+                rollbacks=base[5] + local.rollbacks,
+            )
+        if self._summary is None:
+            return UpdateStats()
+        return UpdateStats(*self._summary[5])
+
+    @property
+    def degraded(self) -> bool:
+        """Has this shard fallen back to in-process evaluation?"""
+        return self._local is not None
+
+    @property
+    def target_size(self) -> int:
+        if self._local is not None:
+            return self._local.target_size
+        return self._summary[1] if self._summary is not None else 0
+
+    def target_relation_size(self, name: str) -> int:
+        if self._local is not None:
+            return self._local.target_relation_size(name)
+        if self._summary is None:
+            return 0
+        return dict(self._summary[3]).get(name, 0)
+
+    @property
+    def core_size(self) -> Optional[int]:
+        if self._local is not None:
+            return self._local.core_size
+        return self._summary[2] if self._summary is not None else None
+
+    def _target_versions(self, relations: Iterable[str] | None = None) -> tuple:
+        if self._local is not None:
+            entries = self._local._target_versions(relations)
+        elif self._summary is None:
+            entries = ()
+        else:
+            known = dict(self._summary[0])
+            if relations is None:
+                entries = tuple(sorted(known.items()))
+            else:
+                entries = tuple(
+                    (name, known.get(name, 0)) for name in sorted(set(relations))
+                )
+        salt = self._generation * GENERATION_SALT
+        return tuple((name, version + salt) for name, version in entries)
+
+    def _fetch_layers(self) -> tuple[Instance, Instance]:
+        """The decoded (canonical, target) layers, cached per version vector."""
+        versions = self._target_versions()
+        if self._layers is not None and self._layers[0] == versions:
+            return self._layers[1], self._layers[2]
+        try:
+            payload = self._request(("facts",))
+        except WorkerGone as gone:
+            self._degrade(str(gone))
+            return self._local.canonical, self._local.target
+        canonical = Instance(schema=self.compiled.mapping.target)
+        for fact in _decode_facts(*payload[0], self._interner):
+            canonical.add(*fact)
+        target = Instance(schema=self.compiled.mapping.target)
+        for fact in _decode_facts(*payload[1], self._interner):
+            target.add(*fact)
+        self._layers = (versions, canonical, target)
+        return canonical, target
+
+    @property
+    def canonical(self) -> Instance:
+        if self._local is not None:
+            return self._local.canonical
+        return self._fetch_layers()[0]
+
+    @property
+    def target(self) -> Instance:
+        if self._local is not None:
+            return self._local.target
+        return self._fetch_layers()[1]
+
+    def kill_worker(self) -> None:
+        """Hard-kill the worker process (degradation drills and demos).
+
+        The next request observes the death and degrades; nothing is lost
+        because the parent's source mirror only ever reflects acknowledged
+        commits.
+        """
+        if self._proc is not None and self._proc.is_alive():
+            self._proc.kill()
+            self._proc.join(timeout=2.0)
+
+    def close(self) -> None:
+        self._shutdown_process()
+        self._local = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "degraded" if self._local is not None else "process"
+        return f"ProcessShard({self.name!r}, index={self.index}, mode={mode})"

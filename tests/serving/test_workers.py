@@ -1,0 +1,273 @@
+"""Per-shard worker processes: differential, degradation and lifecycle tests.
+
+``shard_workers="process"`` moves each shard's :class:`MaterializedExchange`
+into a dedicated worker process; deltas and scatter answers cross the pipe as
+flat int buffers plus interner string-table deltas.  Everything observable —
+answers, update counters, rollback semantics, the composed version vector's
+cache behaviour — must be identical to the in-thread shards, and a dead or
+wedged worker must degrade gracefully to in-process evaluation instead of
+failing the scenario.
+
+Worker processes use the ``spawn`` start method (the only one that is safe
+under threads and the only one available everywhere Python 3.13 runs), so
+these tests double as the spawn-compatibility gate for the CI matrix.
+"""
+
+import pytest
+
+from repro.chase.dependencies import parse_dependencies
+from repro.core.mapping import mapping_from_rules
+from repro.logic.cq import cq
+from repro.relational.builders import make_instance
+from repro.serving.materialized import ServingError
+from repro.serving.registry import compile_mapping
+from repro.serving.service import ExchangeService
+from repro.serving.sharding import PartitionSpec, ShardedExchange
+from repro.serving.workers import ProcessShard
+from repro.workloads.churn import churn_workload
+from repro.workloads.serving import serving_queries, serving_workload
+from repro.workloads.skewed import skewed_workload
+
+
+# ---------------------------------------------------------------------------
+# Tiny mixed-batch cases (small: every process-mode register spawns 3 workers)
+# ---------------------------------------------------------------------------
+
+
+def churn_case():
+    workload = churn_workload(
+        employees=40, squads=8, departments=4, batches=4, batch_size=3, flaps=1
+    )
+    operations, index, batches = list(workload.operations), 0, []
+    while index < len(operations):
+        op, facts = operations[index]
+        if (
+            op == "retract"
+            and index + 1 < len(operations)
+            and operations[index + 1][0] == "add"
+        ):
+            batches.append((operations[index + 1][1], facts))
+            index += 2
+        else:
+            batches.append((facts, ()) if op == "add" else ((), facts))
+            index += 1
+    queries = (
+        cq(["e", "d"], [("Rec", ["e", "d"])], name="rec"),
+        cq(["e", "m"], [("Rec", ["e", "d"]), ("Mgr", ["d", "m"])], name="join"),
+    )
+    return workload.mapping, workload.target_dependencies, workload.source, batches, queries
+
+
+def serving_case():
+    workload = serving_workload(
+        employees=30, projects=10, assignments=40, update_batches=3
+    )
+    batches, previous = [], ()
+    for update in workload.updates:
+        batches.append((update, previous[:2]))
+        previous = update
+    return workload.mapping, (), workload.source, batches, serving_queries()
+
+
+def skewed_case():
+    workload = skewed_workload(
+        customers=24, accounts=100, batches=3, batch_size=8, zipf_s=1.2
+    )
+    return (
+        workload.mapping,
+        workload.target_dependencies,
+        workload.source,
+        list(workload.batches),
+        workload.queries,
+    )
+
+
+CASES = {"churn": churn_case, "serving": serving_case, "skewed": skewed_case}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_process_shards_answer_exactly_like_threads(case):
+    """The core differential: process mode == thread mode, batch by batch."""
+    mapping, deps, source, batches, queries = CASES[case]()
+    service = ExchangeService()
+    service.register("threads", mapping, source, deps, shards=2)
+    service.register("procs", mapping, source, deps, shards=2, shard_workers="process")
+    try:
+        def compare(batch_index):
+            for query in queries:
+                flat = service.query("threads", query)
+                proc = service.query("procs", query)
+                assert flat.answers == proc.answers, (
+                    case, batch_index, getattr(query, "name", query), proc.route
+                )
+
+        compare(-1)
+        for batch_index, (added, removed) in enumerate(batches):
+            # A transaction nets out overlapping sides (churn re-adds facts
+            # inside their retraction batch) for both scenarios at once.
+            with service.transaction("threads", "procs") as txn:
+                for scenario in ("threads", "procs"):
+                    txn.retract(removed, scenario=scenario)
+                    txn.add(added, scenario=scenario)
+            compare(batch_index)
+
+        # Exactly-once round counters: the worker protocol must not double
+        # count (or drop) trigger/repair/invalidation rounds.
+        assert (
+            service.scenario("procs").update_stats
+            == service.scenario("threads").update_stats
+        )
+        stats = service.scenario("procs").sharding_stats()
+        assert stats.worker_mode == "process"
+        assert stats.worker_failures == 0
+        assert stats.shard_target_tuples == (
+            service.scenario("threads").sharding_stats().shard_target_tuples
+        )
+    finally:
+        service.deregister("threads")
+        service.deregister("procs")
+
+
+def test_egd_conflict_rolls_back_without_degrading_workers():
+    """A scenario error raised *inside* a worker is a rollback, not a death:
+    the worker unwinds its own batch, the parent unwinds committed siblings,
+    and no shard degrades to in-process evaluation."""
+    mapping = mapping_from_rules(
+        ["T(x^cl, y^cl) :- S(x, y)"], source={"S": 2}, target={"T": 2}
+    )
+    deps = parse_dependencies(["T(x, y) & T(x, z) -> y = z"])
+    compiled = compile_mapping(mapping, deps)
+    query = cq(["x", "y"], [("T", ["x", "y"])], name="t")
+    answers = {}
+    for mode in ("thread", "process"):
+        source = make_instance({"S": [("a", "1"), ("b", "1")]})
+        exchange = ShardedExchange(
+            "k", compiled, source, PartitionSpec(4), worker_mode=mode
+        )
+        try:
+            before = exchange.certain_answers(query)
+            batch = [("S", ("a", "2"))] + [("S", (key, "9")) for key in "cdefgh"]
+            with pytest.raises(ServingError):
+                exchange.apply_delta(added=batch)
+            assert exchange.certain_answers(query) == before
+            assert exchange.update_stats.rollbacks == 1
+            assert exchange.sharding_stats().worker_failures == 0
+            if mode == "process":
+                assert not any(
+                    getattr(shard, "degraded", False) for shard in exchange.shards
+                )
+            answers[mode] = before
+        finally:
+            exchange.close()
+    assert answers["thread"] == answers["process"]
+
+
+def test_killed_worker_degrades_gracefully_and_keeps_serving():
+    workload = skewed_workload(
+        customers=24, accounts=100, batches=3, batch_size=8, seed=5
+    )
+    exchange = ShardedExchange(
+        "s",
+        compile_mapping(workload.mapping, workload.target_dependencies),
+        workload.source,
+        PartitionSpec(2),
+        worker_mode="process",
+    )
+    try:
+        added, removed = workload.batches[0]
+        exchange.apply_delta(added=added, removed=removed)
+        baseline = [frozenset(exchange.answer(q).answers) for q in workload.queries]
+
+        victim = exchange.shards[0]
+        assert isinstance(victim, ProcessShard) and not victim.degraded
+        victim.kill_worker()
+        # Cached summaries and answers still serve without touching the pipe.
+        assert [
+            frozenset(exchange.answer(q).answers) for q in workload.queries
+        ] == baseline
+
+        # The next delta hits the dead pipe: the shard replays the batch on a
+        # fresh in-process exchange and the failure lands in the stats.
+        added, removed = workload.batches[1]
+        exchange.apply_delta(added=added, removed=removed)
+        assert victim.degraded
+        stats = exchange.sharding_stats()
+        assert stats.worker_failures >= 1
+        assert stats.worker_mode == "process"
+        for query in workload.queries:  # still answering after degradation
+            exchange.answer(query)
+    finally:
+        exchange.close()
+
+
+def test_mid_stream_kill_stays_differentially_equal_to_threads():
+    results = {}
+    for mode in ("thread", "process"):
+        workload = skewed_workload(
+            customers=24, accounts=100, batches=3, batch_size=8, seed=5
+        )
+        exchange = ShardedExchange(
+            "s",
+            compile_mapping(workload.mapping, workload.target_dependencies),
+            workload.source,
+            PartitionSpec(2),
+            worker_mode=mode,
+        )
+        try:
+            answers = []
+            for i, (added, removed) in enumerate(workload.batches):
+                exchange.apply_delta(added=added, removed=removed)
+                if mode == "process" and i == 0:
+                    exchange.shards[1].kill_worker()
+                answers.extend(
+                    frozenset(exchange.answer(q).answers) for q in workload.queries
+                )
+            results[mode] = answers
+        finally:
+            exchange.close()
+    assert results["thread"] == results["process"]
+
+
+def test_deregister_terminates_worker_processes():
+    workload = skewed_workload(customers=12, accounts=40, batches=1, batch_size=4)
+    service = ExchangeService()
+    service.register(
+        "s",
+        workload.mapping,
+        workload.source,
+        target_dependencies=workload.target_dependencies,
+        shards=2,
+        shard_workers="process",
+    )
+    procs = [
+        shard._proc
+        for shard in service.scenario("s").shards
+        if isinstance(shard, ProcessShard) and shard._proc is not None
+    ]
+    assert procs and all(proc.is_alive() for proc in procs)
+    service.deregister("s")
+    for proc in procs:
+        proc.join(timeout=5.0)
+    assert not any(proc.is_alive() for proc in procs)
+
+
+def test_register_rejects_unknown_worker_mode_strings():
+    workload = skewed_workload(customers=12, accounts=40, batches=1, batch_size=4)
+    service = ExchangeService()
+    with pytest.raises(ValueError, match="process"):
+        service.register(
+            "s",
+            workload.mapping,
+            workload.source,
+            target_dependencies=workload.target_dependencies,
+            shards=2,
+            shard_workers="threads-please",
+        )
+    with pytest.raises(ValueError):
+        ShardedExchange(
+            "s",
+            compile_mapping(workload.mapping, workload.target_dependencies),
+            workload.source,
+            PartitionSpec(2),
+            worker_mode="fork",
+        )
