@@ -1,0 +1,49 @@
+"""Shared ``BENCH_*.json`` emission for the benchmark gates.
+
+Every benchmark module used to hand-roll the same merge-into-JSON helper;
+this one stamps a common schema instead, so the CI artifacts are uniform
+across experiments:
+
+* ``experiment`` — the DESIGN.md experiment id (``EXP-*``);
+* ``quick`` — whether ``REPRO_BENCH_QUICK`` shrank the sizes (CI smoke);
+* ``host`` — platform/python/cpu facts, so a speedup number is never read
+  without knowing what it was measured on;
+* one section per gate, merged incrementally (gates run as separate tests
+  and each rewrites only its own section).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Callable
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+
+def host_info() -> dict:
+    """The measurement-context facts stamped into every BENCH file."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def make_emitter(experiment: str, filename: str) -> Callable[[str, dict], None]:
+    """An ``emit(section, payload)`` bound to one experiment's BENCH file."""
+    path = Path(filename)
+
+    def emit(section: str, payload: dict) -> None:
+        data = {}
+        if path.exists():
+            data = json.loads(path.read_text())
+        data["experiment"] = experiment
+        data["quick"] = QUICK
+        data["host"] = host_info()
+        data[section] = payload
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    return emit

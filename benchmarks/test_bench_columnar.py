@@ -36,11 +36,10 @@ the sizes (CI smoke mode).
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
+from benchmarks._emit import make_emitter
 from benchmarks.conftest import record
 from repro.logic.cq import cq
 from repro.relational.instance import Instance
@@ -68,18 +67,7 @@ SCAN_LATENCY_PER_TUPLE = 0.00004
 
 SHARDS = 4
 
-BENCH_JSON = Path("BENCH_columnar.json")
-
-
-def emit(section: str, payload: dict) -> None:
-    """Merge one gate's headline numbers into BENCH_columnar.json."""
-    data = {}
-    if BENCH_JSON.exists():
-        data = json.loads(BENCH_JSON.read_text())
-    data["experiment"] = "EXP-COLUMNAR"
-    data["quick"] = QUICK
-    data[section] = payload
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+emit = make_emitter("EXP-COLUMNAR", "BENCH_columnar.json")
 
 
 # ---------------------------------------------------------------------------

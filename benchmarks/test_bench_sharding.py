@@ -30,11 +30,10 @@ Set ``REPRO_BENCH_QUICK=1`` to shrink the sizes (CI smoke mode).
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
+from benchmarks._emit import make_emitter
 from benchmarks.conftest import record
 from repro.serving import ExchangeService
 from repro.workloads.skewed import skewed_workload
@@ -62,18 +61,7 @@ SCAN_LATENCY_PER_TUPLE = 0.00002
 SHARDS = 4
 WORKERS = 4
 
-BENCH_JSON = Path("BENCH_sharding.json")
-
-
-def emit(section: str, payload: dict) -> None:
-    """Merge one gate's headline numbers into BENCH_sharding.json."""
-    data = {}
-    if BENCH_JSON.exists():
-        data = json.loads(BENCH_JSON.read_text())
-    data["experiment"] = "EXP-SHARDING"
-    data["quick"] = QUICK
-    data[section] = payload
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+emit = make_emitter("EXP-SHARDING", "BENCH_sharding.json")
 
 
 def add_ingest_latency(sharded_exchange, per_fact=INGEST_LATENCY_PER_FACT):

@@ -10,9 +10,11 @@ to ``cache``), commits a *mixed* add/retract batch as one transaction (one
 refresh pass, one cache-invalidation round), shows that invalidation is
 scoped to the relations the batch touched, registers the same mapping as a
 **sharded** scenario (partitioned maintenance, ``scatter`` query routes,
-per-shard stats), moves the shards into dedicated **worker processes**
-(``shard_workers="process"``) and kills one to show graceful degradation,
-and ends with the structured ``stats()`` snapshot.
+per-shard stats), prints ``service.explain(...)`` plans and enabled-tracer
+span trees for one scatter and one merged-route query, moves the shards
+into dedicated **worker processes** (``shard_workers="process"``) and kills
+one to show graceful degradation (caught by the flight recorder), and ends
+with the structured ``stats()`` and ``metrics()`` snapshots.
 
 The demo escalates :class:`ServingDeprecationWarning` to an error before it
 does anything — the same policy as the repo's pytest configuration — so any
@@ -34,6 +36,7 @@ Migrating from the pre-service API::
 import warnings
 
 from repro import cq, make_instance, mapping_from_rules
+from repro.obs import FLIGHT_RECORDER, TRACER, format_trace
 from repro.serving import ExchangeService, ServingDeprecationWarning
 
 warnings.simplefilter("error", ServingDeprecationWarning)
@@ -124,6 +127,27 @@ def main() -> None:
           f"epoch={sharding.epoch}, scatter={sharding.scatter_queries}, "
           f"imbalance={sharding.imbalance:.2f}")
 
+    print("\n== Explain: the route a query would take, and why ==")
+    # Explain evaluates nothing and mutates nothing — the cache is peeked,
+    # the scatter verdict is replayed rule by rule.  ``offices`` is a fresh
+    # single-atom query (scatter-safe); ``colleagues`` joins two atoms on a
+    # *non*-key position, so it must run over the merged view.
+    offices = cq(["e"], [("Office", ["e", "z"])], name="offices")
+    colleagues = cq(
+        ["e", "f"], [("EmpT", ["e", "d"]), ("EmpT", ["f", "d"])], name="colleagues"
+    )
+    for query in (offices, colleagues):
+        print(f"--- explain({query.name}) ---")
+        print(service.explain("employees@2", query).render())
+
+    print("\n== Tracing: per-request span trees (off by default) ==")
+    with TRACER.enable():
+        TRACER.drain()  # drop trees any earlier traced work left behind
+        service.query("employees@2", offices)     # scatter route
+        service.query("employees@2", colleagues)  # merged route
+        for root in TRACER.drain():
+            print(format_trace(root))
+
     print("\n== Shards in worker processes: flat int buffers across the pipe ==")
     # Same registration surface, one extra argument: every shard's
     # materialization now lives in its own spawned process.  Deltas and
@@ -148,6 +172,18 @@ def main() -> None:
     procs = service.scenario("employees@procs").sharding_stats()
     print(f"workers: failures={procs.worker_failures}, "
           f"degraded={[getattr(s, 'degraded', False) for s in service.scenario('employees@procs').shards]}")
+
+    print("\n== The flight recorder caught the rare-path events ==")
+    for event in FLIGHT_RECORDER.events(scenario="employees@procs"):
+        print(f"{event.kind}: {event.detail}")
+
+    print("\n== Metrics: one snapshot across instruments and scenarios ==")
+    snapshot = service.metrics()
+    for name in sorted(snapshot["instruments"]):
+        inst = snapshot["instruments"][name]
+        if inst["type"] == "histogram" and inst["count"]:
+            print(f"{name}: count={inst['count']}, mean={inst['sum'] / inst['count']:.6f}")
+    print(f"scenarios exported: {sorted(snapshot['scenarios'])}")
     service.deregister("employees@procs")  # joins the surviving workers
 
 

@@ -73,6 +73,7 @@ from repro.chase.dependencies import EGD, TGD
 from repro.chase.engine import ChaseFailure, ChaseResult, ChaseStep, _head_satisfiable
 from repro.logic.cq import match_atoms, match_atoms_delta
 from repro.logic.terms import Const, Var
+from repro.obs.trace import TRACER
 from repro.relational.domain import NullFactory, is_null
 from repro.relational.instance import Instance
 
@@ -543,7 +544,11 @@ def chase_incremental(
         worklist.seed_full()
     else:
         worklist.propagate([(name, tuple(tup)) for name, tup in seed_delta])
-    terminated = worklist.run()
+    with TRACER.span(
+        "chase.run", seeded="delta" if seed_delta is not None else "full"
+    ) as span:
+        terminated = worklist.run()
+        span.annotate(steps=len(worklist.steps), terminated=terminated)
     return ChaseResult(worklist.working, worklist.steps, terminated=terminated)
 
 
@@ -636,20 +641,27 @@ def retract_incremental(
     dead_facts: set[Fact] = set()
     dead_steps: set[int] = set()
     if withdrawn:
-        dead_facts, dead_steps, entangled = provenance._delete_closure(withdrawn)
-        if entangled:
-            return RetractionResult(instance, replay_required=True)
-        provenance._apply_deletion(withdrawn, dead_facts, dead_steps)
-        for fact in dead_facts:
-            instance.discard(*fact)
+        with TRACER.span("chase.over_delete", withdrawn=len(withdrawn)) as span:
+            dead_facts, dead_steps, entangled = provenance._delete_closure(withdrawn)
+            span.annotate(dead_facts=len(dead_facts), dead_steps=len(dead_steps))
+        with TRACER.span("chase.egd_guard", entangled=entangled):
+            if entangled:
+                return RetractionResult(instance, replay_required=True)
+            provenance._apply_deletion(withdrawn, dead_facts, dead_steps)
+            for fact in dead_facts:
+                instance.discard(*fact)
 
     worklist = _Worklist(instance, deps, max_steps, provenance)
-    for dep_index, partial in _rederivation_triggers(dead_facts, deps):
-        for assignment in match_atoms(list(deps[dep_index].body), instance, partial):
-            worklist.push(dep_index, assignment)
-    if seed_delta is not None:
-        worklist.propagate([(name, tuple(tup)) for name, tup in seed_delta])
-    terminated = worklist.run()
+    with TRACER.span("chase.rederive") as rederive:
+        for dep_index, partial in _rederivation_triggers(dead_facts, deps):
+            for assignment in match_atoms(
+                list(deps[dep_index].body), instance, partial
+            ):
+                worklist.push(dep_index, assignment)
+        if seed_delta is not None:
+            worklist.propagate([(name, tuple(tup)) for name, tup in seed_delta])
+        terminated = worklist.run()
+        rederive.annotate(steps=len(worklist.steps), terminated=terminated)
 
     readded = set(worklist.new_facts)
     net_removed = sorted(

@@ -112,6 +112,50 @@ def _atom_estimate(atom: Atom, instance: Instance, assignment: dict[Var, Any]) -
     return estimate
 
 
+def greedy_join_order(
+    query: "ConjunctiveQuery", instance: Instance
+) -> tuple[tuple[str, str, int, int], ...]:
+    """The static greedy join order the planner would bind, with cardinalities.
+
+    Replays the ranking of :func:`match_atoms` (and the columnar planner's
+    static level construction) by simulating variable binding: at each step
+    the remaining atom with the smallest :func:`_atom_estimate` under the
+    variables bound so far wins.  Returns one ``(atom, relation, estimate,
+    actual)`` entry per body atom in binding order, where ``estimate`` is
+    the planner's index-aware candidate estimate and ``actual`` the
+    relation's true cardinality — the explain layer's raw material.  Pure
+    read: no candidate set is materialised, no index is built beyond the
+    version-cached bucket statistics the planner itself uses.
+    """
+    remaining = list(query.atoms)
+    # _atom_estimate only membership-tests the assignment, so dummy values
+    # stand in for the bindings a real evaluation would carry.
+    simulated: dict[Var, Any] = {}
+    steps: list[tuple[str, str, int, int]] = []
+    while remaining:
+        best_index = 0
+        best_estimate = _atom_estimate(remaining[0], instance, simulated)
+        for i in range(1, len(remaining)):
+            if not best_estimate:
+                break
+            estimate = _atom_estimate(remaining[i], instance, simulated)
+            if estimate < best_estimate:
+                best_index, best_estimate = i, estimate
+        atom = remaining.pop(best_index)
+        steps.append(
+            (
+                repr(atom),
+                atom.relation,
+                int(best_estimate),
+                len(instance._tuples(atom.relation)),
+            )
+        )
+        for term in atom.terms:
+            if isinstance(term, Var):
+                simulated[term] = True
+    return tuple(steps)
+
+
 def _equalities_hold(
     equalities: list[Eq], current: dict[Var, Any], require_all_bound: bool = False
 ) -> bool:

@@ -1,0 +1,70 @@
+"""Zero-dependency observability for the serving stack.
+
+Three coordinated surfaces, all importable from :mod:`repro.obs`:
+
+* :mod:`repro.obs.trace` — structured tracing.  ``TRACER.span("...")``
+  opens a span; spans nest into per-request trace trees (dispatch
+  decision, cache probe, scatter fan-out, per-shard evaluate, merge for
+  queries; trigger round, over-delete / egd-guard / re-derive phases,
+  per-shard ``apply_delta`` and rollback for updates).  Tracing is
+  **off by default** — the disabled path is a single attribute check
+  returning a shared no-op context manager, so the bench gates measure
+  ≤5% overhead with instrumentation present but disabled.  Worker
+  processes ship their span trees back over the existing reply pipe as
+  compact records which the parent grafts into its live tree.
+
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges and histograms (lock wait, cache-hit latency, chase steps per
+  batch, IPC buffer bytes, join candidate sizes vs estimates) with
+  snapshot-consistent export as JSON and Prometheus-style text.  The
+  existing stats dataclasses (``ScenarioStats`` et al.) keep their
+  public shapes; the registry is the collection layer underneath.
+
+* :mod:`repro.obs.explain` + the flight recorder
+  (:mod:`repro.obs.flight`) — ``service.explain(...)`` returns the
+  dispatch route a query *would* take and why (per shard-plan-rule
+  scatter verdicts, greedy join order with estimated vs actual
+  cardinalities, the cache guard's version vector), and
+  ``FLIGHT_RECORDER`` keeps a bounded ring of recent rare-path events
+  (worker deaths, degradations, rollbacks, egd replays) for
+  postmortems.
+"""
+
+from __future__ import annotations
+
+from repro.obs.explain import (
+    CacheProbe,
+    JoinStep,
+    QueryExplain,
+    ScatterRule,
+    ShardFanout,
+)
+from repro.obs.flight import FLIGHT_RECORDER, FlightEvent, FlightRecorder
+from repro.obs.metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import TRACER, Span, Tracer, format_trace
+
+__all__ = [
+    "CacheProbe",
+    "Counter",
+    "FLIGHT_RECORDER",
+    "FlightEvent",
+    "FlightRecorder",
+    "format_trace",
+    "Gauge",
+    "Histogram",
+    "JoinStep",
+    "METRICS",
+    "MetricsRegistry",
+    "QueryExplain",
+    "ScatterRule",
+    "ShardFanout",
+    "Span",
+    "TRACER",
+    "Tracer",
+]

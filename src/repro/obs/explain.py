@@ -1,0 +1,126 @@
+"""Typed explain plans: *why* a query takes the route it takes.
+
+``service.explain(...)`` (and ``explain()`` on the exchange classes
+beneath it) mirrors the ``answer()`` dispatch without evaluating the
+query or touching any mutable state: the cache is *peeked* (no LRU
+reorder, no hit/miss counters), the shard plan's scatter analysis is
+replayed rule by rule, and the greedy join planner reports the order it
+would bind atoms in with its estimated vs actual cardinalities.  The
+``tests/serving/test_explain.py`` suite holds these verdicts
+differentially against the route ``answer()`` then actually takes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class CacheProbe:
+    """The cache guard's verdict for this query, without mutating it."""
+
+    outcome: str  # "hit" | "stale" | "miss" | "skipped"
+    fingerprint: str
+    semantics: str
+    versions: tuple[tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One atom of the greedy join order with its cardinality story."""
+
+    atom: str
+    relation: str
+    estimate: int  # the planner's index-aware candidate estimate
+    actual: int  # the relation's true cardinality at plan time
+
+
+@dataclass(frozen=True)
+class ScatterRule:
+    """One disjunct's scatter-safety verdict with the deciding rule."""
+
+    query: str
+    safe: bool
+    rule: str  # e.g. "residual-only", "key-joined(x)", "not-key-joined"
+
+
+@dataclass(frozen=True)
+class ShardFanout:
+    """Which shards a scatter would consult, and why."""
+
+    shards: int
+    pinned: tuple[int, ...] | None  # None → all worker shards
+    consulted: tuple[int, ...]  # indexes actually holding relevant facts
+
+
+@dataclass(frozen=True)
+class QueryExplain:
+    """The full dispatch explanation for one query."""
+
+    scenario: str | None
+    query: str
+    route: str  # cache | core | target | deqa | scatter | merged | error
+    monotone: bool
+    reason: str
+    cache: CacheProbe | None = None
+    scatter: tuple[ScatterRule, ...] = ()
+    fanout: ShardFanout | None = None
+    join_order: tuple[JoinStep, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "query": self.query,
+            "route": self.route,
+            "monotone": self.monotone,
+            "reason": self.reason,
+            "cache": None if self.cache is None else {
+                "outcome": self.cache.outcome,
+                "fingerprint": self.cache.fingerprint,
+                "semantics": self.cache.semantics,
+                "versions": [list(pair) for pair in self.cache.versions],
+            },
+            "scatter": [
+                {"query": rule.query, "safe": rule.safe, "rule": rule.rule}
+                for rule in self.scatter
+            ],
+            "fanout": None if self.fanout is None else {
+                "shards": self.fanout.shards,
+                "pinned": None if self.fanout.pinned is None else list(self.fanout.pinned),
+                "consulted": list(self.fanout.consulted),
+            },
+            "join_order": [
+                {
+                    "atom": step.atom,
+                    "relation": step.relation,
+                    "estimate": step.estimate,
+                    "actual": step.actual,
+                }
+                for step in self.join_order
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line plan (the demo prints this)."""
+        lines = [f"route: {self.route}  ({self.reason})"]
+        if self.cache is not None:
+            lines.append(
+                f"cache: {self.cache.outcome}  semantics={self.cache.semantics}  "
+                f"versions={dict(self.cache.versions)}"
+            )
+        for rule in self.scatter:
+            verdict = "safe" if rule.safe else "unsafe"
+            lines.append(f"scatter[{rule.query}]: {verdict}  rule={rule.rule}")
+        if self.fanout is not None:
+            pinned = "all" if self.fanout.pinned is None else list(self.fanout.pinned)
+            lines.append(
+                f"fanout: {len(self.fanout.consulted)}/{self.fanout.shards} shards  "
+                f"pinned={pinned}  consulted={list(self.fanout.consulted)}"
+            )
+        for position, step in enumerate(self.join_order, start=1):
+            lines.append(
+                f"join {position}: {step.atom}  "
+                f"estimate={step.estimate}  actual={step.actual}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,277 @@
+"""Counters, gauges and histograms with snapshot-consistent export.
+
+The registry is the collection layer beneath the serving stack's public
+stats dataclasses: hot paths bump instruments (``METRICS.counter(...)``
+once at module/request setup, ``.inc()`` / ``.observe()`` inline), and
+``snapshot()`` / ``to_json()`` / ``to_prometheus()`` export everything
+at once.
+
+Consistency model — one mutex guards every instrument, so a snapshot
+never observes a torn instrument (a histogram's count/sum/buckets all
+come from the same instant).  Scenario-level *provider* callbacks (the
+service registers one per scenario to fold ``ScenarioStats`` into the
+export) are invoked **outside** that mutex: providers take scenario
+read locks, and code paths holding scenario locks also bump instruments
+— calling providers under the registry mutex would invert that order
+and deadlock.  Each provider is internally consistent (it snapshots
+under its scenario's read lock); cross-provider atomicity is not
+claimed.
+
+Instrument updates are cheap (one lock round-trip per ``inc``), and the
+serving layers additionally gate their *per-event* observations behind
+``METRICS.enabled`` so the disabled stack stays within the ≤5% bench
+budget.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from typing import Any, Callable
+
+#: Default histogram bucket upper bounds (seconds-flavoured, but the
+#: same geometric ladder reads fine for counts and bytes).
+DEFAULT_BUCKETS = (
+    0.000001, 0.00001, 0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 100.0,
+    1000.0, 10000.0, 100000.0, 1000000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        self.name = name
+        self.help = help
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down (or be set outright)."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        self.name = name
+        self.help = help
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Observation distribution: count, sum, min/max, cumulative buckets."""
+
+    __slots__ = ("name", "help", "buckets", "_lock", "_counts", "_count",
+                 "_sum", "_min", "_max")
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        lock: threading.Lock,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        self._lock = lock
+        self._counts = [0] * (len(self.buckets) + 1)  # +1: the +Inf bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def _snapshot(self) -> dict[str, Any]:
+        cumulative, running = [], 0
+        for count in self._counts:
+            running += count
+            cumulative.append(running)
+        return {
+            "type": "histogram",
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "buckets": {
+                **{f"{le:g}": cum for le, cum in zip(self.buckets, cumulative)},
+                "+Inf": cumulative[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Process-wide named instruments plus per-scenario stat providers."""
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self._mutex = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._providers: dict[str, Callable[[], dict[str, Any]]] = {}
+
+    # -- instrument handles (idempotent: same name → same instrument) ------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._instrument(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._instrument(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        with self._mutex:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, Histogram):
+                    raise TypeError(f"metric {name!r} is a {type(existing).__name__}")
+                return existing
+            instrument = Histogram(name, help, self._mutex, buckets)
+            self._instruments[name] = instrument
+            return instrument
+
+    def _instrument(self, cls, name: str, help: str):
+        with self._mutex:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(f"metric {name!r} is a {type(existing).__name__}")
+                return existing
+            instrument = cls(name, help, self._mutex)
+            self._instruments[name] = instrument
+            return instrument
+
+    # -- providers ---------------------------------------------------------
+
+    def register_provider(self, name: str, provider: Callable[[], dict[str, Any]]) -> None:
+        """Register a callable contributing a stats mapping to exports."""
+        with self._mutex:
+            self._providers[name] = provider
+
+    def unregister_provider(self, name: str) -> None:
+        with self._mutex:
+            self._providers.pop(name, None)
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Instruments (atomic under one mutex) + provider contributions.
+
+        Providers run *outside* the mutex — see the module docstring for
+        the lock-ordering argument.
+        """
+        with self._mutex:
+            instruments = {
+                name: instrument._snapshot()
+                for name, instrument in sorted(self._instruments.items())
+            }
+            providers = list(self._providers.items())
+        scenarios: dict[str, Any] = {}
+        for name, provider in providers:
+            try:
+                scenarios[name] = provider()
+            except KeyError:
+                continue  # deregistered between listing and calling
+        return {"instruments": instruments, "scenarios": scenarios}
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True, default=repr)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of the instruments (not providers)."""
+        with self._mutex:
+            instruments = sorted(self._instruments.items())
+            lines: list[str] = []
+            for name, instrument in instruments:
+                flat = _prometheus_name(name)
+                kind = type(instrument).__name__.lower()
+                if instrument.help:
+                    lines.append(f"# HELP {flat} {instrument.help}")
+                lines.append(f"# TYPE {flat} {kind}")
+                snap = instrument._snapshot()
+                if kind in ("counter", "gauge"):
+                    lines.append(f"{flat} {_fmt(snap['value'])}")
+                else:
+                    for le, cum in snap["buckets"].items():
+                        lines.append(f'{flat}_bucket{{le="{le}"}} {cum}')
+                    lines.append(f"{flat}_sum {_fmt(snap['sum'])}")
+                    lines.append(f"{flat}_count {snap['count']}")
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Drop every instrument and provider (tests only)."""
+        with self._mutex:
+            self._instruments.clear()
+            self._providers.clear()
+
+
+def _prometheus_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _fmt(value: float) -> str:
+    return f"{value:g}"
+
+
+#: The process-wide registry every serving layer records into.
+METRICS = MetricsRegistry()

@@ -1,0 +1,266 @@
+"""Structured tracing with an off-by-default, near-zero-cost gate.
+
+The global :data:`TRACER` is disabled until someone sets
+``TRACER.enabled = True`` (or uses :meth:`Tracer.enable` as a context
+manager).  While disabled, ``TRACER.span(...)`` returns one shared
+no-op context manager without allocating — the instrumented hot paths
+pay an attribute check and a dict-free call, which is what keeps the
+disabled-overhead bench gate under 5%.
+
+While enabled, spans nest through a per-thread stack: the span opened
+most recently on *this* thread is the parent of the next one.  Scatter
+fan-out crosses threads (the pool workers are not the request thread),
+so :meth:`Tracer.context` re-parents a worker thread under the span the
+dispatching thread held.  Worker *processes* cannot share the stack at
+all; they serialize finished span trees into compact nested tuples
+(:meth:`Span.to_record`) which ride the existing reply pipe and are
+grafted into the live parent with :meth:`Tracer.graft`.
+
+Finished root spans land in a bounded ``recent`` deque for inspection
+(``TRACER.recent[-1]`` is the latest request's tree); nothing is kept
+while disabled.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+
+class Span:
+    """One timed, attributed node of a trace tree."""
+
+    __slots__ = ("name", "attrs", "start", "end", "wall", "children")
+
+    def __init__(self, name: str, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.start = time.perf_counter()
+        self.wall = time.time()
+        self.end: float | None = None
+        self.children: list[Span] = []
+
+    @property
+    def duration(self) -> float:
+        """Seconds from open to close (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes discovered after the span opened."""
+        self.attrs.update(attrs)
+
+    def to_record(self) -> tuple:
+        """Compact pipe-friendly form: (name, wall, duration, attrs, kids)."""
+        return (
+            self.name,
+            self.wall,
+            self.duration,
+            tuple(sorted(self.attrs.items())),
+            tuple(child.to_record() for child in self.children),
+        )
+
+    @classmethod
+    def from_record(cls, record: tuple) -> "Span":
+        name, wall, duration, attrs, children = record
+        span = cls.__new__(cls)
+        span.name = name
+        span.attrs = dict(attrs)
+        span.wall = wall
+        span.start = 0.0
+        span.end = duration
+        span.children = [cls.from_record(child) for child in children]
+        return span
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (used by the demo and the CI artifact dump)."""
+        return {
+            "name": self.name,
+            "wall": self.wall,
+            "duration_s": self.duration,
+            "attrs": {key: repr(value) for key, value in sorted(self.attrs.items())},
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration * 1000:.2f}ms, children={len(self.children)})"
+
+
+class _NoOpSpan:
+    """The shared disabled-path context manager: enter/exit do nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoOpSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def annotate(self, **attrs: Any) -> None:
+        return None
+
+
+_NOOP = _NoOpSpan()
+
+
+class _SpanContext:
+    """Context manager pushing/popping one live span on the thread stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc: object) -> None:
+        self._span.end = time.perf_counter()
+        self._tracer._pop(self._span)
+
+    def annotate(self, **attrs: Any) -> None:
+        self._span.annotate(**attrs)
+
+
+class Tracer:
+    """Process-wide tracer; disabled by default.
+
+    ``span()`` is the only call on hot paths — everything else runs on
+    request boundaries or in tests.  The per-thread span stack lives in
+    ``threading.local``; the ``recent`` deque of finished root trees is
+    guarded by a mutex because scatter pool threads can finish roots
+    concurrently with the request thread reading them.
+    """
+
+    def __init__(self, capacity: int = 64):
+        self.enabled = False
+        self.recent: deque[Span] = deque(maxlen=capacity)
+        self._local = threading.local()
+        self._mutex = threading.Lock()
+
+    # -- hot path ----------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span (no-op unless the tracer is enabled)."""
+        if not self.enabled:
+            return _NOOP
+        return _SpanContext(self, Span(name, attrs))
+
+    # -- stack plumbing ----------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        if not stack:
+            with self._mutex:
+                self.recent.append(span)
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def context(self, parent: Span | None) -> Iterator[None]:
+        """Adopt ``parent`` as this thread's root (scatter pool threads).
+
+        The dispatching thread captures ``TRACER.current()`` before
+        submitting to the pool; each pool thread wraps its work in
+        ``TRACER.context(parent)`` so per-shard spans attach under the
+        request's fan-out span instead of becoming orphan roots.
+        """
+        if parent is None or not self.enabled:
+            yield
+            return
+        stack = self._stack()
+        stack.append(parent)
+        try:
+            yield
+        finally:
+            if stack and stack[-1] is parent:
+                stack.pop()
+
+    def graft(self, records: tuple | list | None) -> None:
+        """Attach worker-process span records under the current span."""
+        if not records or not self.enabled:
+            return
+        parent = self.current()
+        if parent is None:
+            return
+        for record in records:
+            parent.children.append(Span.from_record(record))
+
+    # -- control + export --------------------------------------------------
+
+    @contextmanager
+    def enable(self) -> Iterator["Tracer"]:
+        """Temporarily enable tracing (tests and the demo use this)."""
+        previous = self.enabled
+        self.enabled = True
+        try:
+            yield self
+        finally:
+            self.enabled = previous
+
+    def drain(self) -> list[Span]:
+        """Pop and return every finished root span (oldest first)."""
+        with self._mutex:
+            roots = list(self.recent)
+            self.recent.clear()
+        return roots
+
+    def last(self) -> Span | None:
+        """The most recently finished root span, if any."""
+        with self._mutex:
+            return self.recent[-1] if self.recent else None
+
+    def to_json(self, roots: list[Span] | None = None) -> str:
+        """Serialize trace trees (default: the retained recent roots)."""
+        if roots is None:
+            with self._mutex:
+                roots = list(self.recent)
+        return json.dumps([root.to_dict() for root in roots], indent=2, sort_keys=True)
+
+
+def format_trace(span: Span, indent: str = "") -> str:
+    """Render one trace tree as an indented text outline."""
+    out = io.StringIO()
+    _format_into(out, span, indent)
+    return out.getvalue().rstrip("\n")
+
+
+def _format_into(out: io.StringIO, span: Span, indent: str) -> None:
+    attrs = ", ".join(
+        f"{key}={value!r}" for key, value in sorted(span.attrs.items())
+        if not key.startswith("_")
+    )
+    suffix = f"  [{attrs}]" if attrs else ""
+    out.write(f"{indent}{span.name}  {span.duration * 1000:.2f}ms{suffix}\n")
+    for child in span.children:
+        _format_into(out, child, indent + "  ")
+
+
+#: The process-wide tracer every serving layer instruments against.
+TRACER = Tracer()

@@ -34,6 +34,13 @@ async serving, alternative backends) plugs into:
   ``(query fingerprint, semantics, per-relation version vector)``,
   synchronised for concurrent readers.
 
+Every layer is threaded through :mod:`repro.obs` — off-by-default request
+tracing (``TRACER``), an always-on metrics registry (``METRICS``, exported
+by ``service.metrics()``), a flight recorder of rare events, and
+``service.explain(request)`` reporting the dispatch route a query *would*
+take and why (scatter verdicts, cache peek, greedy join order) without
+evaluating anything.
+
 Quickstart::
 
     from repro.serving import ExchangeService, QueryRequest
@@ -73,6 +80,17 @@ the supported update entry point there; only the split
 ``add_source_facts``/``retract_source_facts`` pair is deprecated.
 """
 
+from repro.obs import (
+    FLIGHT_RECORDER,
+    METRICS,
+    TRACER,
+    CacheProbe,
+    FlightEvent,
+    JoinStep,
+    QueryExplain,
+    ScatterRule,
+    ShardFanout,
+)
 from repro.serving.cache import (
     CacheStats,
     CertainAnswerCache,
@@ -115,6 +133,15 @@ from repro.serving.sharding import (
 )
 
 __all__ = [
+    "FLIGHT_RECORDER",
+    "METRICS",
+    "TRACER",
+    "CacheProbe",
+    "FlightEvent",
+    "JoinStep",
+    "QueryExplain",
+    "ScatterRule",
+    "ShardFanout",
     "CacheStats",
     "CertainAnswerCache",
     "query_fingerprint",

@@ -117,6 +117,22 @@ class CertainAnswerCache:
             self.stats.hits += 1
             return entry.answers
 
+    def peek(self, fingerprint: str, semantics: str, versions: VersionVector) -> str:
+        """The verdict :meth:`get` *would* return, without taking effect.
+
+        Returns ``"hit"``, ``"stale"`` or ``"miss"``.  No counter is
+        bumped and the LRU order is untouched — this is the explain
+        path's probe, which must not perturb the state it describes.
+        """
+        key = (fingerprint, semantics)
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None:
+                return "miss"
+            if entry.versions != versions:
+                return "stale"
+            return "hit"
+
     def put(
         self,
         fingerprint: str,

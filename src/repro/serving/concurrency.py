@@ -32,6 +32,7 @@ had to wait), surfaced per scenario by
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Iterator
@@ -39,13 +40,21 @@ from typing import Iterator
 
 @dataclass
 class LockStats:
-    """Acquisition/contention counters of one :class:`ReadWriteLock`."""
+    """Acquisition/contention counters of one :class:`ReadWriteLock`.
+
+    ``read_wait_seconds`` / ``write_wait_seconds`` accumulate the wall
+    time spent blocked inside contended acquisitions only — uncontended
+    acquisitions contribute no timer calls, so the counters stay free on
+    the fast path.
+    """
 
     read_acquisitions: int = 0
     write_acquisitions: int = 0
     read_waits: int = 0
     write_waits: int = 0
     max_concurrent_readers: int = 0
+    read_wait_seconds: float = 0.0
+    write_wait_seconds: float = 0.0
 
     def contention(self) -> int:
         """Total acquisitions that found the lock unavailable."""
@@ -87,8 +96,10 @@ class ReadWriteLock:
             self._check_not_holding("read")
             if self._writer or self._writers_waiting:
                 self._stats.read_waits += 1
+                waited_from = time.perf_counter()
                 while self._writer or self._writers_waiting:
                     self._cond.wait()
+                self._stats.read_wait_seconds += time.perf_counter() - waited_from
             self._readers += 1
             self._reader_threads.add(threading.get_ident())
             self._stats.read_acquisitions += 1
@@ -110,14 +121,18 @@ class ReadWriteLock:
     def acquire_write(self) -> None:
         with self._cond:
             self._check_not_holding("write")
+            waited_from = None
             if self._writer or self._readers:
                 self._stats.write_waits += 1
+                waited_from = time.perf_counter()
             self._writers_waiting += 1
             try:
                 while self._writer or self._readers:
                     self._cond.wait()
             finally:
                 self._writers_waiting -= 1
+            if waited_from is not None:
+                self._stats.write_wait_seconds += time.perf_counter() - waited_from
             self._writer = True
             self._writer_thread = threading.get_ident()
             self._stats.write_acquisitions += 1

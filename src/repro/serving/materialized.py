@@ -82,9 +82,14 @@ from repro.core.certain import AnyQuery, _as_query, certain_answers, certain_ans
 from repro.logic.cq import (
     ConjunctiveQuery,
     UnionOfConjunctiveQueries,
+    greedy_join_order,
     match_atoms,
     match_atoms_delta,
 )
+from repro.obs.explain import CacheProbe, JoinStep, QueryExplain
+from repro.obs.flight import FLIGHT_RECORDER
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 from repro.logic.formulas import relations_of
 from repro.logic.queries import Query
 from repro.logic.terms import Var
@@ -102,6 +107,19 @@ from repro.serving.registry import CompiledMapping, CompiledSTD
 
 Fact = tuple[str, tuple]
 TriggerKey = tuple[int, tuple]
+
+# Bound once: per-batch observations resolve no registry names inline.
+_CHASE_STEPS = METRICS.histogram(
+    "chase.steps_per_batch", "chase/DRed steps paid by one applied batch"
+)
+_JOIN_ESTIMATE = METRICS.histogram(
+    "query.join_estimate_rows",
+    "planner candidate-set estimates per explained join step",
+)
+_JOIN_ACTUAL = METRICS.histogram(
+    "query.join_actual_rows",
+    "true relation cardinalities per explained join step",
+)
 
 
 class ServingError(Exception):
@@ -539,55 +557,71 @@ class MaterializedExchange:
         self.update_stats.trigger_rounds += 1
         canonical_added: list[Fact] = []
         canonical_removed: list[Fact] = []
-        for cstd in listeners:
-            if cstd.incremental:
-                stored = self._assignments[cstd.index]
-                for key in sorted(candidates.get(cstd.index, ()), key=repr):
-                    # The projection drops ∃-quantified body variables, so a
-                    # candidate may have surviving witnesses — including ones
-                    # through facts this very batch added: re-join with the
-                    # trigger's bindings fixed over the final source before
-                    # withdrawing it.
-                    survivor = next(
-                        match_atoms(
+        with TRACER.span(
+            "exchange.trigger_round", scenario=self.name, listeners=len(listeners)
+        ) as trigger_span:
+            for cstd in listeners:
+                if cstd.incremental:
+                    stored = self._assignments[cstd.index]
+                    for key in sorted(candidates.get(cstd.index, ()), key=repr):
+                        # The projection drops ∃-quantified body variables, so a
+                        # candidate may have surviving witnesses — including ones
+                        # through facts this very batch added: re-join with the
+                        # trigger's bindings fixed over the final source before
+                        # withdrawing it.
+                        survivor = next(
+                            match_atoms(
+                                list(cstd.atoms),
+                                self.source,
+                                dict(stored[key]),
+                                equalities=list(cstd.equalities),
+                            ),
+                            None,
+                        )
+                        if survivor is None:
+                            canonical_removed.extend(
+                                self._retract_trigger(cstd.index, key)
+                            )
+                    if to_add:
+                        for assignment in match_atoms_delta(
                             list(cstd.atoms),
                             self.source,
-                            dict(stored[key]),
+                            to_add,
                             equalities=list(cstd.equalities),
-                        ),
-                        None,
-                    )
-                    if survivor is None:
-                        canonical_removed.extend(
-                            self._retract_trigger(cstd.index, key)
-                        )
-                if to_add:
-                    for assignment in match_atoms_delta(
-                        list(cstd.atoms),
-                        self.source,
-                        to_add,
-                        equalities=list(cstd.equalities),
-                    ):
-                        projected = {
-                            v: assignment[v]
-                            for v in cstd.free_vars
-                            if v in assignment
-                        }
-                        key = self._trigger_key(cstd.index, projected)
-                        if key not in stored:
-                            canonical_added.extend(
-                                self._apply_trigger(cstd, projected, key)
-                            )
-            else:
-                std_added, std_removed = self._resync_std(cstd)
-                canonical_added.extend(std_added)
-                canonical_removed.extend(std_removed)
+                        ):
+                            projected = {
+                                v: assignment[v]
+                                for v in cstd.free_vars
+                                if v in assignment
+                            }
+                            key = self._trigger_key(cstd.index, projected)
+                            if key not in stored:
+                                canonical_added.extend(
+                                    self._apply_trigger(cstd, projected, key)
+                                )
+                else:
+                    std_added, std_removed = self._resync_std(cstd)
+                    canonical_added.extend(std_added)
+                    canonical_removed.extend(std_removed)
+            trigger_span.annotate(
+                canonical_added=len(canonical_added),
+                canonical_removed=len(canonical_removed),
+            )
 
         try:
-            self._refresh_target(canonical_added, canonical_removed)
-        except ServingError:
+            with TRACER.span("exchange.refresh_target", scenario=self.name):
+                self._refresh_target(canonical_added, canonical_removed)
+        except ServingError as failure:
             self.update_stats.rollbacks += 1
-            self._undo_source_update(to_remove=to_add, to_restore=to_remove)
+            FLIGHT_RECORDER.record(
+                "rollback",
+                scenario=self.name,
+                added=len(to_add),
+                removed=len(to_remove),
+                error=str(failure),
+            )
+            with TRACER.span("exchange.rollback", scenario=self.name):
+                self._undo_source_update(to_remove=to_add, to_restore=to_remove)
             raise
         return AppliedDelta(added=tuple(to_add), removed=tuple(to_remove))
 
@@ -730,15 +764,21 @@ class MaterializedExchange:
                 # superseded by the rebind, and the replay rebuilds the
                 # provenance from scratch).
                 self.update_stats.replays += 1
-                self._rebind_target(
-                    self._full_chase(self._canonical), old_versions, None
+                FLIGHT_RECORDER.record(
+                    "egd_replay", scenario=self.name, removed=len(removed)
                 )
+                with TRACER.span("exchange.egd_replay", scenario=self.name):
+                    self._rebind_target(
+                        self._full_chase(self._canonical), old_versions, None
+                    )
                 self._core_delta = None
                 return
             if not retraction.terminated:
                 raise ServingError(
                     f"target chase of scenario {self.name!r} did not terminate"
                 )
+            if METRICS.enabled:
+                _CHASE_STEPS.observe(len(retraction.steps))
             # The target was repaired in place: raw version counters advanced
             # for exactly the touched relations, so no rebind is needed.
             if any(step.kind == "egd" for step in retraction.steps):
@@ -772,6 +812,8 @@ class MaterializedExchange:
             ) from failure
         if not result.terminated:
             raise ServingError(f"target chase of scenario {self.name!r} did not terminate")
+        if METRICS.enabled:
+            _CHASE_STEPS.observe(len(result.steps))
         if any(step.kind == "egd" for step in result.steps):
             # Substitutions rewrote facts in relations the delta did not
             # record; the in-place substitution bumped exactly the rewritten
@@ -841,6 +883,23 @@ class MaterializedExchange:
         Safe under concurrent callers (the answer cache and the core cache
         are safe for concurrent readers); updates still require exclusive access.
         """
+        if not TRACER.enabled:
+            return self._answer_impl(query, extra_constants, max_extra_tuples)
+        with TRACER.span("exchange.answer", scenario=self.name) as span:
+            outcome = self._answer_impl(query, extra_constants, max_extra_tuples)
+            span.annotate(
+                route=outcome.route,
+                cached=outcome.cached,
+                answers=len(outcome.answers),
+            )
+            return outcome
+
+    def _answer_impl(
+        self,
+        query: AnyQuery,
+        extra_constants: int | None,
+        max_extra_tuples: int | None,
+    ) -> AnswerOutcome:
         normalized = _as_query(query, self.compiled.mapping)
         fingerprint = query_fingerprint(normalized)
         if normalized.is_monotone():
@@ -848,27 +907,143 @@ class MaterializedExchange:
             versions = self._target_versions(
                 self._query_target_relations(query, normalized)
             )
-            cached = self._cache.get(fingerprint, semantics, versions)
+            with TRACER.span("exchange.cache_probe", semantics=semantics) as probe:
+                cached = self._cache.get(fingerprint, semantics, versions)
+                probe.annotate(outcome="hit" if cached is not None else "miss")
             if cached is not None:
                 return AnswerOutcome(cached, semantics, "cache", True)
             if isinstance(query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
                 route = "core"
-                answers = certain_answers_naive(query, self.core())
+                with TRACER.span("exchange.evaluate", route=route):
+                    answers = certain_answers_naive(query, self.core())
             else:
                 route = "target"
-                answers = certain_answers_naive(query, self._target)
+                with TRACER.span("exchange.evaluate", route=route):
+                    answers = certain_answers_naive(query, self._target)
             frozen = self._cache.put(fingerprint, semantics, versions, answers)
             return AnswerOutcome(frozen, semantics, route, False)
 
-        return serve_deqa(
-            self.compiled,
-            self.source,
-            self._cache,
-            query,
-            fingerprint,
-            extra_constants,
-            max_extra_tuples,
+        with TRACER.span("exchange.evaluate", route="deqa"):
+            return serve_deqa(
+                self.compiled,
+                self.source,
+                self._cache,
+                query,
+                fingerprint,
+                extra_constants,
+                max_extra_tuples,
+            )
+
+    def explain(
+        self,
+        query: AnyQuery,
+        extra_constants: int | None = None,
+        max_extra_tuples: int | None = None,
+    ) -> QueryExplain:
+        """Mirror :meth:`answer`'s dispatch without evaluating or mutating.
+
+        The cache is *peeked* (no hit/miss counters, no LRU reorder), and
+        the greedy join order is reported against the live target's
+        cardinalities (the core may be lazily stale, and explaining must
+        not trigger its recomputation).  A query :meth:`answer` would
+        reject — non-monotone under target dependencies — comes back as
+        ``route="error"`` with the reason, instead of raising.
+        """
+        normalized = _as_query(query, self.compiled.mapping)
+        fingerprint = query_fingerprint(normalized)
+        if normalized.is_monotone():
+            semantics = "monotone"
+            versions = self._target_versions(
+                self._query_target_relations(query, normalized)
+            )
+            probe = CacheProbe(
+                outcome=self._cache.peek(fingerprint, semantics, versions),
+                fingerprint=fingerprint,
+                semantics=semantics,
+                versions=versions,
+            )
+            if probe.outcome == "hit":
+                route, reason = "cache", "version vector matched a stored entry"
+            elif isinstance(query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+                route = "core"
+                reason = (
+                    f"UCQ/CQ over the maintained core (cache {probe.outcome})"
+                )
+            else:
+                route = "target"
+                reason = (
+                    f"monotone non-UCQ over the chased target "
+                    f"(cache {probe.outcome})"
+                )
+            return QueryExplain(
+                scenario=None,
+                query=query_fingerprint(query),
+                route=route,
+                monotone=True,
+                reason=reason,
+                cache=probe,
+                join_order=self._explain_join_order(query, self._target),
+            )
+        if self.compiled.target_dependencies:
+            return QueryExplain(
+                scenario=None,
+                query=query_fingerprint(query),
+                route="error",
+                monotone=False,
+                reason=(
+                    "non-monotone queries are served only for scenarios "
+                    "without target dependencies (DEQA is defined for the "
+                    "mapping alone)"
+                ),
+            )
+        semantics = f"deqa:{extra_constants}:{max_extra_tuples}"
+        versions = version_vector(
+            self.source, [r.name for r in self.compiled.mapping.source.relations()]
         )
+        probe = CacheProbe(
+            outcome=self._cache.peek(fingerprint, semantics, versions),
+            fingerprint=fingerprint,
+            semantics=semantics,
+            versions=versions,
+        )
+        if probe.outcome == "hit":
+            route, reason = "cache", "source version vector matched a stored entry"
+        else:
+            route = "deqa"
+            reason = (
+                f"non-monotone: DEQA over the live source (cache {probe.outcome})"
+            )
+        return QueryExplain(
+            scenario=None,
+            query=query_fingerprint(query),
+            route=route,
+            monotone=False,
+            reason=reason,
+            cache=probe,
+        )
+
+    @staticmethod
+    def _explain_join_order(query: AnyQuery, instance: Instance) -> tuple[JoinStep, ...]:
+        """The greedy join order(s) a CQ/UCQ would bind, with cardinalities."""
+        disjuncts: tuple[ConjunctiveQuery, ...]
+        if isinstance(query, ConjunctiveQuery):
+            disjuncts = (query,)
+        elif isinstance(query, UnionOfConjunctiveQueries):
+            disjuncts = tuple(query.disjuncts)
+        else:
+            return ()
+        steps: list[JoinStep] = []
+        for cq in disjuncts:
+            for atom, relation, estimate, actual in greedy_join_order(cq, instance):
+                steps.append(
+                    JoinStep(
+                        atom=atom, relation=relation, estimate=estimate, actual=actual
+                    )
+                )
+                if METRICS.enabled:
+                    _JOIN_ESTIMATE.observe(estimate)
+                    _JOIN_ACTUAL.observe(actual)
+        return tuple(steps)
 
     def certain_answers(
         self,

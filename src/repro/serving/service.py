@@ -42,12 +42,17 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from dataclasses import dataclass, replace
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.chase.dependencies import EGD, TGD
 from repro.core.certain import AnyQuery
 from repro.core.mapping import SchemaMapping
+from repro.obs.explain import QueryExplain
+from repro.obs.flight import FLIGHT_RECORDER
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 from repro.relational.instance import Instance
 from repro.serving.cache import CacheStats
 from repro.serving.concurrency import LockStats, ReadWriteLock
@@ -62,6 +67,26 @@ from repro.serving.registry import ScenarioRegistry
 from repro.serving.sharding import ShardedExchange, ShardingStats
 
 FactInput = tuple[str, Iterable[Any]]
+
+# Module-level instrument handles: resolving by name costs a registry
+# lookup under its mutex, so the per-request path binds them once here.
+_QUERY_LOCK_WAIT = METRICS.histogram(
+    "service.query.lock_wait_seconds",
+    "read-lock acquisition time per served query",
+)
+_QUERY_EVALUATE = METRICS.histogram(
+    "service.query.evaluate_seconds", "answer() time per served query"
+)
+_QUERY_CACHE_HIT = METRICS.histogram(
+    "service.query.cache_hit_seconds", "answer() time of cache-hit queries"
+)
+_UPDATE_LOCK_WAIT = METRICS.histogram(
+    "service.update.lock_wait_seconds",
+    "write-lock acquisition time per committed scenario batch",
+)
+_UPDATE_APPLY = METRICS.histogram(
+    "service.update.apply_seconds", "apply_delta() time per committed scenario batch"
+)
 
 
 # ---------------------------------------------------------------------------
@@ -81,7 +106,14 @@ class QueryRequest:
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Served answers plus how they were produced (see the module docstring)."""
+    """Served answers plus how they were produced (see the module docstring).
+
+    The wall-clock cost is split: ``lock_wait_seconds`` is the time spent
+    acquiring the scenario's read lock (invisible inside the single
+    latency number before the split), ``evaluate_seconds`` the time
+    inside :meth:`~MaterializedExchange.answer`; ``elapsed_seconds``
+    remains their total for callers of the old single number.
+    """
 
     scenario: str
     answers: frozenset
@@ -89,6 +121,8 @@ class QueryResult:
     route: str
     cached: bool
     elapsed_seconds: float
+    lock_wait_seconds: float = 0.0
+    evaluate_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -106,7 +140,14 @@ class UpdateRequest:
 
 @dataclass(frozen=True)
 class UpdateResult:
-    """The net mutation one committed batch made, plus the rounds it paid."""
+    """The net mutation one committed batch made, plus the rounds it paid.
+
+    ``lock_wait_seconds`` is the time this scenario's write lock took to
+    acquire at commit; ``evaluate_seconds`` the time inside
+    ``apply_delta``.  ``elapsed_seconds`` keeps its pre-split meaning —
+    the apply time only (lock wait was never part of it) — so existing
+    readers see unchanged numbers.
+    """
 
     scenario: str
     added: tuple[Fact, ...]
@@ -115,6 +156,8 @@ class UpdateResult:
     target_repairs: int
     invalidation_rounds: int
     elapsed_seconds: float
+    lock_wait_seconds: float = 0.0
+    evaluate_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -240,11 +283,16 @@ class Transaction:
         # its scenario deregistered or re-registered concurrently — restarts
         # the acquisition against the current lock table.
         acquired: list[ReadWriteLock] = []
+        lock_waits: dict[str, float] = {}
         try:
             while True:
                 locks = [self._service._lock(name) for name in names]
-                for lock in locks:
+                for name, lock in zip(names, locks):
+                    waited_from = time.perf_counter()
                     lock.acquire_write()
+                    lock_waits[name] = (
+                        lock_waits.get(name, 0.0) + time.perf_counter() - waited_from
+                    )
                     acquired.append(lock)
                 if all(
                     self._service._locks.get(name) is lock
@@ -261,14 +309,19 @@ class Transaction:
                     buffer = self._buffer[name]
                     start = time.perf_counter()
                     before = replace(exchange.update_stats)
-                    applied = exchange.apply_delta(
-                        added=[fact for fact, is_add in buffer.items() if is_add],
-                        removed=[
-                            fact for fact, is_add in buffer.items() if not is_add
-                        ],
-                    )
+                    with TRACER.span("service.commit", scenario=name):
+                        applied = exchange.apply_delta(
+                            added=[fact for fact, is_add in buffer.items() if is_add],
+                            removed=[
+                                fact for fact, is_add in buffer.items() if not is_add
+                            ],
+                        )
                     committed.append((name, applied))
                     after = exchange.update_stats
+                    elapsed = time.perf_counter() - start
+                    if METRICS.enabled:
+                        _UPDATE_LOCK_WAIT.observe(lock_waits.get(name, 0.0))
+                        _UPDATE_APPLY.observe(elapsed)
                     self.results[name] = UpdateResult(
                         scenario=name,
                         added=applied.added,
@@ -277,10 +330,18 @@ class Transaction:
                         target_repairs=after.target_repairs - before.target_repairs,
                         invalidation_rounds=after.invalidation_rounds
                         - before.invalidation_rounds,
-                        elapsed_seconds=time.perf_counter() - start,
+                        elapsed_seconds=elapsed,
+                        lock_wait_seconds=lock_waits.get(name, 0.0),
+                        evaluate_seconds=elapsed,
                     )
-            except Exception:
+            except Exception as failure:
                 self.results.clear()
+                FLIGHT_RECORDER.record(
+                    "transaction_rollback",
+                    scenario=",".join(names),
+                    committed=len(committed),
+                    error=str(failure),
+                )
                 for name, applied in reversed(committed):
                     if not applied:
                         continue
@@ -379,6 +440,37 @@ class ExchangeService:
                 force_residual=force_residual,
             )
             self._locks[name] = ReadWriteLock()
+        self._register_metrics_provider(name)
+
+    def _register_metrics_provider(self, name: str) -> None:
+        """Fold this scenario's stats into global metrics exports.
+
+        The provider holds the service only weakly — a dropped service
+        must not be pinned alive by the process-wide registry — and runs
+        outside the registry mutex (see :mod:`repro.obs.metrics`), taking
+        the scenario's read lock itself for a consistent contribution.
+        """
+        service_ref = weakref.ref(self)
+
+        def provider() -> dict[str, Any]:
+            service = service_ref()
+            if service is None:
+                raise KeyError(name)  # snapshot() skips vanished providers
+            stats = service._scenario_stats(name)
+            return {
+                "source_tuples": stats.source_tuples,
+                "target_tuples": stats.target_tuples,
+                "core_tuples": stats.core_tuples,
+                "cache_entries": stats.cache_entries,
+                "cache": vars(stats.cache).copy(),
+                "updates": vars(stats.updates).copy(),
+                "lock": vars(stats.lock).copy(),
+                "sharding": None
+                if stats.sharding is None
+                else vars(stats.sharding).copy(),
+            }
+
+        METRICS.register_provider(name, provider)
 
     def deregister(self, name: str) -> None:
         lock = self._lock(name)
@@ -386,6 +478,7 @@ class ExchangeService:
             with self._admin:
                 self._registry.deregister(name)
                 self._locks.pop(name, None)
+        METRICS.unregister_provider(name)
 
     def scenario(self, name: str) -> MaterializedExchange | ShardedExchange:
         """Direct access to a scenario's materialization (read-only use).
@@ -455,22 +548,68 @@ class ExchangeService:
             request = QueryRequest(request, query, extra_constants, max_extra_tuples)
         start = time.perf_counter()
         lock, exchange = self._read_locked_exchange(request.scenario)
+        locked_at = time.perf_counter()
         try:
-            outcome = exchange.answer(
-                request.query,
-                extra_constants=request.extra_constants,
-                max_extra_tuples=request.max_extra_tuples,
-            )
+            with TRACER.span("service.query", scenario=request.scenario) as span:
+                outcome = exchange.answer(
+                    request.query,
+                    extra_constants=request.extra_constants,
+                    max_extra_tuples=request.max_extra_tuples,
+                )
+                span.annotate(route=outcome.route, cached=outcome.cached)
         finally:
             lock.release_read()
+        done = time.perf_counter()
+        lock_wait = locked_at - start
+        evaluate = done - locked_at
+        if METRICS.enabled:
+            _QUERY_LOCK_WAIT.observe(lock_wait)
+            _QUERY_EVALUATE.observe(evaluate)
+            if outcome.cached:
+                _QUERY_CACHE_HIT.observe(evaluate)
         return QueryResult(
             scenario=request.scenario,
             answers=outcome.answers,
             semantics=outcome.semantics,
             route=outcome.route,
             cached=outcome.cached,
-            elapsed_seconds=time.perf_counter() - start,
+            elapsed_seconds=done - start,
+            lock_wait_seconds=lock_wait,
+            evaluate_seconds=evaluate,
         )
+
+    def explain(
+        self,
+        request: QueryRequest | str,
+        query: AnyQuery | None = None,
+        extra_constants: int | None = None,
+        max_extra_tuples: int | None = None,
+    ) -> QueryExplain:
+        """Explain the dispatch a query *would* take, without evaluating it.
+
+        Mirrors :meth:`query`'s signature and runs under the same read
+        lock, but evaluates nothing and mutates nothing: the cache is
+        peeked (no counters, no LRU reorder), the scatter analysis is
+        replayed rule by rule, and the greedy join planner reports its
+        order with estimated vs actual cardinalities.  A query
+        ``answer()`` would *reject* (DEQA under target dependencies)
+        comes back with ``route="error"`` and the reason instead of
+        raising.
+        """
+        if not isinstance(request, QueryRequest):
+            if query is None:
+                raise TypeError("explain(scenario, query) needs the query argument")
+            request = QueryRequest(request, query, extra_constants, max_extra_tuples)
+        lock, exchange = self._read_locked_exchange(request.scenario)
+        try:
+            explain = exchange.explain(
+                request.query,
+                extra_constants=request.extra_constants,
+                max_extra_tuples=request.max_extra_tuples,
+            )
+        finally:
+            lock.release_read()
+        return replace(explain, scenario=request.scenario)
 
     # -- updates -----------------------------------------------------------
 
@@ -567,6 +706,15 @@ class ExchangeService:
             )
         finally:
             lock.release_read()
+
+    def metrics(self) -> dict[str, Any]:
+        """The process-wide metrics snapshot (instruments + scenario stats).
+
+        Shorthand for ``repro.obs.METRICS.snapshot()`` — every scenario
+        this service registered contributes through its provider, each
+        snapshotted under its own read lock.
+        """
+        return METRICS.snapshot()
 
     def __iter__(self) -> Iterator[str]:
         return iter(self.names())

@@ -94,9 +94,18 @@ from repro.core.certain import AnyQuery, _as_query, certain_answers_naive
 from repro.logic.cq import ConjunctiveQuery, UnionOfConjunctiveQueries
 from repro.logic.formulas import Atom
 from repro.logic.terms import Const, Var
+from repro.obs.explain import CacheProbe, QueryExplain, ScatterRule, ShardFanout
+from repro.obs.flight import FLIGHT_RECORDER
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 from repro.relational.instance import Instance
 from repro.relational.interning import ValueInterner
-from repro.serving.cache import CertainAnswerCache, VersionVector, query_fingerprint
+from repro.serving.cache import (
+    CertainAnswerCache,
+    VersionVector,
+    query_fingerprint,
+    version_vector,
+)
 from repro.serving.materialized import (
     AnswerOutcome,
     AppliedDelta,
@@ -109,6 +118,14 @@ from repro.serving.materialized import (
     serve_deqa,
 )
 from repro.serving.registry import CompiledMapping
+
+# Pre-bound instrument handle: the scatter fan-out size per query, observed
+# once per scatter (never inside the per-shard loop).
+_SCATTER_FANOUT = METRICS.histogram(
+    "sharding.scatter_fanout_shards",
+    "Shards consulted per scatter-gather query after pruning",
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+)
 
 __all__ = [
     "PartitionSpec",
@@ -241,18 +258,35 @@ class ShardPlan:
         return False
 
     def _cq_scatter_safe(self, cq: ConjunctiveQuery) -> bool:
+        return self.scatter_verdict(cq)[0]
+
+    def scatter_verdict(self, cq: ConjunctiveQuery) -> tuple[bool, str]:
+        """One disjunct's scatter-safety verdict plus the deciding rule.
+
+        The single source of truth for :meth:`scatter_safe` (which reduces
+        to the boolean) and for the explain layer (which reports the rule
+        string): ``"unproduced-relation"``, ``"single-atom"``,
+        ``"residual-only"``, ``"key-joined(<var>)"`` on the safe side;
+        ``"mixed-production"``, ``"not-key-joined"`` on the unsafe side.
+        The rule order *is* the decision order — the first applicable rule
+        decides, exactly as the dispatch does.
+        """
         relations = {atom.relation for atom in cq.atoms}
         produced = self.residual_targets | self.partitioned_targets | self.mixed_targets
         if relations - produced:
-            return True  # a never-produced relation keeps the whole CQ empty
+            # a never-produced relation keeps the whole CQ empty
+            return True, "unproduced-relation"
         if len(cq.atoms) <= 1:
-            return True
+            return True, "single-atom"
         if relations <= self.residual_targets:
-            return True
+            return True, "residual-only"
         if not relations <= self.partitioned_targets:
-            return False
+            return False, "mixed-production"
         keys = {name: frozenset(positions) for name, positions in self.target_keys}
-        return _key_joined(cq.atoms, keys) is not None
+        joined = _key_joined(cq.atoms, keys)
+        if joined is not None:
+            return True, f"key-joined({joined.name})"
+        return False, "not-key-joined"
 
     def scatter_shards(self, query: AnyQuery) -> Optional[frozenset[int]]:
         """Worker shards that can contribute answers to a scatter-safe query.
@@ -730,6 +764,9 @@ class ShardedExchange:
         """
         with self._counter_mutex:
             self._worker_failures += 1
+        FLIGHT_RECORDER.record(
+            "worker_failure", scenario=self.name, shard=index, reason=reason
+        )
         self._cache.invalidate_all()
 
     def _shard_name(self, index: int) -> str:
@@ -883,12 +920,32 @@ class ShardedExchange:
 
         self.update_stats.batches += 1
         replays_before = sum(shard.update_stats.replays for shard in self.shards)
-        futures = {
-            index: self._pool.submit(
-                self.shards[index].apply_delta, added=adds, removed=removes
-            )
-            for index, (adds, removes) in sorted(per_shard.items())
-        }
+        if TRACER.enabled:
+            parent = TRACER.current()
+
+            def traced_apply(index, adds, removes):
+                with TRACER.context(parent):
+                    with TRACER.span(
+                        "shard.apply_delta",
+                        shard=self._shard_name(index),
+                        added=len(adds),
+                        removed=len(removes),
+                    ):
+                        return self.shards[index].apply_delta(
+                            added=adds, removed=removes
+                        )
+
+            futures = {
+                index: self._pool.submit(traced_apply, index, adds, removes)
+                for index, (adds, removes) in sorted(per_shard.items())
+            }
+        else:
+            futures = {
+                index: self._pool.submit(
+                    self.shards[index].apply_delta, added=adds, removed=removes
+                )
+                for index, (adds, removes) in sorted(per_shard.items())
+            }
         applied: dict[int, AppliedDelta] = {}
         failure: Optional[BaseException] = None
         for index, future in futures.items():
@@ -918,6 +975,13 @@ class ShardedExchange:
                     # the scenario is loudly broken rather than quietly so.
                     self._rebuild_shard(index, delta)
             self.update_stats.rollbacks += 1
+            FLIGHT_RECORDER.record(
+                "shard_rollback",
+                scenario=self.name,
+                shards=len(futures),
+                committed=len(applied),
+                error=str(failure),
+            )
             self._cache.invalidate_all()
             with self._merged_mutex:
                 # A rebuilt shard restarts its version counters, which could
@@ -975,6 +1039,13 @@ class ShardedExchange:
         from scratch succeeds because that state was consistent before the
         batch (deterministic justification nulls included).
         """
+        FLIGHT_RECORDER.record(
+            "shard_rebuild",
+            scenario=self.name,
+            shard=index,
+            added=len(applied.added),
+            removed=len(applied.removed),
+        )
         restored = self.shards[index].source.copy()
         for fact in applied.added:
             restored.discard(*fact)
@@ -1038,53 +1109,249 @@ class ShardedExchange:
         view.  Non-monotone queries run DEQA over the merged source,
         exactly like the unsharded exchange.
         """
+        if not TRACER.enabled:
+            return self._answer_impl(query, extra_constants, max_extra_tuples)
+        with TRACER.span("exchange.answer", scenario=self.name) as span:
+            outcome = self._answer_impl(query, extra_constants, max_extra_tuples)
+            span.annotate(
+                route=outcome.route,
+                cached=outcome.cached,
+                answers=len(outcome.answers),
+            )
+            return outcome
+
+    def _answer_impl(
+        self,
+        query: AnyQuery,
+        extra_constants: int | None,
+        max_extra_tuples: int | None,
+    ) -> AnswerOutcome:
         normalized = _as_query(query, self.compiled.mapping)
         fingerprint = query_fingerprint(normalized)
         if normalized.is_monotone():
             semantics = "monotone"
             relations = query_target_relations(query, normalized)
             versions = self._target_versions(relations)
-            cached = self._cache.get(fingerprint, semantics, versions)
+            with TRACER.span("exchange.cache_probe", semantics=semantics) as probe:
+                cached = self._cache.get(fingerprint, semantics, versions)
+                probe.annotate(outcome="hit" if cached is not None else "miss")
             if cached is not None:
                 return AnswerOutcome(cached, semantics, "cache", True)
             if isinstance(
                 query, (ConjunctiveQuery, UnionOfConjunctiveQueries)
             ) and self.plan.scatter_safe(query):
                 route = "scatter"
-                # Prune the fan-out: shards holding none of the query's
-                # relations cannot contribute, and a disjunct with a
-                # constant on a key position pins its worker shard — the
-                # hot per-entity lookup probes one worker plus residual.
-                pinned = self.plan.scatter_shards(query)
-                workers = self.plan.spec.shards
-                live = [
-                    shard
-                    for index, shard in enumerate(self.shards)
-                    if (pinned is None or index >= workers or index in pinned)
-                    and any(shard.target_relation_size(r) for r in relations)
-                ]
-                futures = [self._pool.submit(shard.answer, query) for shard in live]
-                answers: set = set()
-                for future in futures:
-                    answers |= set(future.result().answers)
+                live = self._scatter_live(query, relations)
+                with TRACER.span(
+                    "exchange.scatter",
+                    fanout=len(live),
+                    shards=len(self.shards),
+                ):
+                    if TRACER.enabled:
+                        parent = TRACER.current()
+
+                        def traced_answer(shard):
+                            with TRACER.context(parent):
+                                with TRACER.span(
+                                    "shard.answer", shard=shard.name
+                                ) as shard_span:
+                                    outcome = shard.answer(query)
+                                    shard_span.annotate(
+                                        route=outcome.route, cached=outcome.cached
+                                    )
+                                    return outcome
+
+                        futures = [
+                            self._pool.submit(traced_answer, shard) for shard in live
+                        ]
+                    else:
+                        futures = [
+                            self._pool.submit(shard.answer, query) for shard in live
+                        ]
+                    answers: set = set()
+                    with TRACER.span("exchange.merge"):
+                        for future in futures:
+                            answers |= set(future.result().answers)
+                if METRICS.enabled:
+                    _SCATTER_FANOUT.observe(len(live))
                 with self._counter_mutex:
                     self._scatter_queries += 1
             else:
                 route = "merged"
-                answers = certain_answers_naive(query, self._merged())
+                with TRACER.span("exchange.evaluate", route=route):
+                    answers = certain_answers_naive(query, self._merged())
                 with self._counter_mutex:
                     self._merged_queries += 1
             frozen = self._cache.put(fingerprint, semantics, versions, answers)
             return AnswerOutcome(frozen, semantics, route, False)
 
-        return serve_deqa(
-            self.compiled,
-            self.source,  # the maintained merged source view
-            self._cache,
-            query,
-            fingerprint,
-            extra_constants,
-            max_extra_tuples,
+        with TRACER.span("exchange.evaluate", route="deqa"):
+            return serve_deqa(
+                self.compiled,
+                self.source,  # the maintained merged source view
+                self._cache,
+                query,
+                fingerprint,
+                extra_constants,
+                max_extra_tuples,
+            )
+
+    def _scatter_live(self, query: AnyQuery, relations: list[str]) -> list[Any]:
+        """The shards a scatter actually consults (the fan-out pruning).
+
+        Shards holding none of the query's relations cannot contribute, and
+        a disjunct with a constant on a key position pins its worker shard —
+        the hot per-entity lookup probes one worker plus residual.  Shared
+        by the dispatch and the explain layer so the two can never drift.
+        """
+        pinned = self.plan.scatter_shards(query)
+        workers = self.plan.spec.shards
+        return [
+            shard
+            for index, shard in enumerate(self.shards)
+            if (pinned is None or index >= workers or index in pinned)
+            and any(shard.target_relation_size(r) for r in relations)
+        ]
+
+    def explain(
+        self,
+        query: AnyQuery,
+        extra_constants: int | None = None,
+        max_extra_tuples: int | None = None,
+    ) -> QueryExplain:
+        """Mirror :meth:`answer`'s dispatch without evaluating or mutating.
+
+        Reports the per-disjunct scatter verdicts (rule by rule), the
+        fan-out a scatter would consult, and the cache peek under the
+        composed version guard.  The greedy join order is included only
+        when the merged target view is already current — explaining must
+        not force the merged rebuild a real ``merged``-route query would.
+        """
+        normalized = _as_query(query, self.compiled.mapping)
+        fingerprint = query_fingerprint(normalized)
+        if not normalized.is_monotone():
+            if self.compiled.target_dependencies:
+                return QueryExplain(
+                    scenario=None,
+                    query=query_fingerprint(query),
+                    route="error",
+                    monotone=False,
+                    reason=(
+                        "non-monotone queries are served only for scenarios "
+                        "without target dependencies (DEQA is defined for the "
+                        "mapping alone)"
+                    ),
+                )
+            semantics = f"deqa:{extra_constants}:{max_extra_tuples}"
+            versions = version_vector(
+                self.source,
+                [r.name for r in self.compiled.mapping.source.relations()],
+            )
+            probe = CacheProbe(
+                outcome=self._cache.peek(fingerprint, semantics, versions),
+                fingerprint=fingerprint,
+                semantics=semantics,
+                versions=versions,
+            )
+            if probe.outcome == "hit":
+                route = "cache"
+                reason = "source version vector matched a stored entry"
+            else:
+                route = "deqa"
+                reason = (
+                    f"non-monotone: DEQA over the merged source "
+                    f"(cache {probe.outcome})"
+                )
+            return QueryExplain(
+                scenario=None,
+                query=query_fingerprint(query),
+                route=route,
+                monotone=False,
+                reason=reason,
+                cache=probe,
+            )
+
+        semantics = "monotone"
+        relations = query_target_relations(query, normalized)
+        versions = self._target_versions(relations)
+        probe = CacheProbe(
+            outcome=self._cache.peek(fingerprint, semantics, versions),
+            fingerprint=fingerprint,
+            semantics=semantics,
+            versions=versions,
+        )
+        if isinstance(query, ConjunctiveQuery):
+            disjuncts = [query]
+        elif isinstance(query, UnionOfConjunctiveQueries):
+            disjuncts = list(query.disjuncts)
+        else:
+            disjuncts = []
+        rules = tuple(
+            ScatterRule(query=cq.name, safe=safe, rule=rule)
+            for cq in disjuncts
+            for safe, rule in (self.plan.scatter_verdict(cq),)
+        )
+        scatter_safe = bool(disjuncts) and all(rule.safe for rule in rules)
+        fanout = None
+        if probe.outcome == "hit":
+            route = "cache"
+            reason = "composed version vector matched a stored entry"
+        elif scatter_safe:
+            route = "scatter"
+            live = self._scatter_live(query, relations)
+            pinned = self.plan.scatter_shards(query)
+            fanout = ShardFanout(
+                shards=len(self.shards),
+                pinned=None if pinned is None else tuple(sorted(pinned)),
+                consulted=tuple(
+                    index
+                    for index, shard in enumerate(self.shards)
+                    if shard in live
+                ),
+            )
+            reason = (
+                f"every disjunct provably intra-shard; "
+                f"{len(live)}/{len(self.shards)} shards consulted "
+                f"(cache {probe.outcome})"
+            )
+        else:
+            route = "merged"
+            if disjuncts:
+                unsafe = next(rule for rule in rules if not rule.safe)
+                reason = (
+                    f"disjunct {unsafe.query!r} not provably intra-shard "
+                    f"({unsafe.rule}); evaluated over the merged target view "
+                    f"(cache {probe.outcome})"
+                )
+            else:
+                rules = (
+                    ScatterRule(
+                        query=query_fingerprint(query), safe=False, rule="non-ucq"
+                    ),
+                )
+                reason = (
+                    f"monotone non-UCQ: evaluated over the merged target view "
+                    f"(cache {probe.outcome})"
+                )
+        join_order = ()
+        with self._merged_mutex:
+            merged_current = (
+                self._merged_target is not None
+                and self._merged_versions == self._target_versions()
+            )
+            merged = self._merged_target if merged_current else None
+        if merged is not None:
+            join_order = MaterializedExchange._explain_join_order(query, merged)
+        return QueryExplain(
+            scenario=None,
+            query=query_fingerprint(query),
+            route=route,
+            monotone=True,
+            reason=reason,
+            cache=probe,
+            scatter=rules,
+            fanout=fanout,
+            join_order=join_order,
         )
 
     def certain_answers(

@@ -32,7 +32,12 @@ the interned representation of :mod:`repro.relational.interning`:
 
 Every reply carries a **state summary** (target version vector, layer sizes,
 update-stat counters), which the parent caches — size and version reads on a
-healthy shard are local, with no round trip.
+healthy shard are local, with no round trip — plus a **span slot**: when the
+parent's tracer is enabled it flags the request, the worker runs it under a
+root span (its own process-global tracer enabled for just that request) and
+ships the finished tree as compact nested tuples
+(:meth:`repro.obs.trace.Span.to_record`), which the parent grafts under the
+live request span.  Untraced requests carry ``None`` and cost nothing.
 
 Failure model
 -------------
@@ -55,6 +60,9 @@ import threading
 from array import array
 from typing import Any, Callable, Iterable, Optional
 
+from repro.obs.flight import FLIGHT_RECORDER
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 from repro.relational.instance import Instance
 from repro.relational.interning import (
     WORKER_CODE_STRIDE,
@@ -81,6 +89,13 @@ NULL_IDENT_STRIDE = 1 << 34
 #: restarts its raw counters, and the salt keeps the composed vector from
 #: aliasing anything observed before the failure.
 GENERATION_SALT = 1 << 40
+
+# Pre-bound instrument handle: bytes of coded fact/answer buffers crossing
+# the worker pipe, observed once per round trip on the parent side.
+_IPC_BUFFER_BYTES = METRICS.histogram(
+    "workers.ipc_buffer_bytes",
+    "Coded int-buffer bytes shipped per worker round trip",
+)
 
 
 class WorkerGone(Exception):
@@ -175,6 +190,23 @@ def _summary(exchange: MaterializedExchange) -> tuple:
     )
 
 
+def _run_traced(trace: bool, name: str, index: int, fn: Callable[[], Any]) -> tuple:
+    """Run one request, under a worker-root span when the parent flagged it.
+
+    Returns ``(result, records)`` where ``records`` is the drained span
+    forest as compact tuples (``None`` for untraced requests).  The drain
+    before the span discards leftovers from a request that failed mid-trace,
+    so stale trees can never graft under a later request.
+    """
+    if not trace:
+        return fn(), None
+    with TRACER.enable():
+        TRACER.drain()
+        with TRACER.span(name, shard=index):
+            result = fn()
+        return result, tuple(span.to_record() for span in TRACER.drain())
+
+
 def _worker_main(conn, index: int) -> None:
     """One shard's server loop: decode, delegate to the exchange, encode."""
     import itertools
@@ -188,10 +220,10 @@ def _worker_main(conn, index: int) -> None:
     reported = interner.dense_size
     exchange: Optional[MaterializedExchange] = None
 
-    def reply_ok(payload: Any) -> None:
+    def reply_ok(payload: Any, spans: Optional[tuple] = None) -> None:
         nonlocal reported
         reported, extras = _drain_extras(interner, reported)
-        conn.send(("ok", payload, extras, _summary(exchange)))
+        conn.send(("ok", payload, extras, _summary(exchange), spans))
 
     try:
         while True:
@@ -227,20 +259,29 @@ def _worker_main(conn, index: int) -> None:
                     )
                     reply_ok(None)
                 elif kind == "apply":
-                    _, table, add_seg, add_buf, rem_seg, rem_buf = message
+                    _, table, add_seg, add_buf, rem_seg, rem_buf, trace = message
                     _register_table(interner, table)
-                    applied = exchange.apply_delta(
-                        added=_decode_facts(add_seg, add_buf, interner),
-                        removed=_decode_facts(rem_seg, rem_buf, interner),
+                    applied, spans = _run_traced(
+                        trace,
+                        "worker.apply_delta",
+                        index,
+                        lambda: exchange.apply_delta(
+                            added=_decode_facts(add_seg, add_buf, interner),
+                            removed=_decode_facts(rem_seg, rem_buf, interner),
+                        ),
                     )
                     reply_ok(
                         (
                             _encode_facts(applied.added, interner),
                             _encode_facts(applied.removed, interner),
-                        )
+                        ),
+                        spans,
                     )
                 elif kind == "answer":
-                    outcome = exchange.answer(message[1])
+                    _, query, trace = message
+                    outcome, spans = _run_traced(
+                        trace, "worker.answer", index, lambda: exchange.answer(query)
+                    )
                     answers = outcome.answers
                     arity = len(next(iter(answers))) if answers else 0
                     buffer = array("q")
@@ -248,7 +289,8 @@ def _worker_main(conn, index: int) -> None:
                     for tup in answers:
                         buffer.extend(map(encode, tup))
                     reply_ok(
-                        (len(answers), arity, buffer, outcome.route, outcome.cached)
+                        (len(answers), arity, buffer, outcome.route, outcome.cached),
+                        spans,
                     )
                 elif kind == "facts":
                     reply_ok(
@@ -258,7 +300,9 @@ def _worker_main(conn, index: int) -> None:
                         )
                     )
                 else:  # pragma: no cover - protocol mismatch guard
-                    conn.send(("fatal", f"unknown message kind {kind!r}", None, None))
+                    conn.send(
+                        ("fatal", f"unknown message kind {kind!r}", None, None, None)
+                    )
             except ServingError as exc:
                 # The exchange rolled itself back; the scenario is intact.
                 reported, extras = _drain_extras(interner, reported)
@@ -268,10 +312,11 @@ def _worker_main(conn, index: int) -> None:
                         str(exc),
                         extras,
                         _summary(exchange) if exchange is not None else None,
+                        None,
                     )
                 )
             except Exception as exc:  # noqa: BLE001 - shipped to the parent
-                conn.send(("fatal", f"{type(exc).__name__}: {exc}", None, None))
+                conn.send(("fatal", f"{type(exc).__name__}: {exc}", None, None, None))
     except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover - parent gone
         pass
     finally:
@@ -383,12 +428,13 @@ class ProcessShard:
                 reply = self._conn.recv()
             except (EOFError, OSError, BrokenPipeError) as exc:
                 raise WorkerGone(f"shard worker {self.index} died: {exc}") from exc
-        kind, payload, extras, summary = reply
+        kind, payload, extras, summary, spans = reply
         if kind == "fatal":
             raise WorkerGone(f"shard worker {self.index} failed: {payload}")
         _register_table(self._interner, extras)
         if summary is not None:
             self._summary = summary
+        TRACER.graft(spans)
         if kind == "error":
             raise ServingError(payload)
         return payload
@@ -411,6 +457,9 @@ class ProcessShard:
 
     def _degrade(self, reason: str) -> None:
         """Fall back to an in-process exchange built from the mirrored source."""
+        FLIGHT_RECORDER.record(
+            "worker_degraded", scenario=self.name, shard=self.index, reason=reason
+        )
         if self._summary is not None:
             self._stats_base = self._summary[5]
         self._generation += 1
@@ -441,9 +490,21 @@ class ProcessShard:
         removed = [(name, tuple(tup)) for name, tup in removed]
         add_seg, add_buf = _encode_facts(added, self._interner)
         rem_seg, rem_buf = _encode_facts(removed, self._interner)
+        if METRICS.enabled:
+            _IPC_BUFFER_BYTES.observe(
+                add_buf.itemsize * len(add_buf) + rem_buf.itemsize * len(rem_buf)
+            )
         try:
             payload = self._request(
-                ("apply", self._table_delta(), add_seg, add_buf, rem_seg, rem_buf)
+                (
+                    "apply",
+                    self._table_delta(),
+                    add_seg,
+                    add_buf,
+                    rem_seg,
+                    rem_buf,
+                    TRACER.enabled,
+                )
             )
         except WorkerGone as gone:
             # The mirror is still pre-batch; rebuild and replay in-process.
@@ -472,7 +533,7 @@ class ProcessShard:
                 max_extra_tuples=max_extra_tuples,
             )
         try:
-            payload = self._request(("answer", query))
+            payload = self._request(("answer", query, TRACER.enabled))
         except WorkerGone as gone:
             self._degrade(str(gone))
             return self._local.answer(
@@ -481,6 +542,8 @@ class ProcessShard:
                 max_extra_tuples=max_extra_tuples,
             )
         count, arity, buffer, route, cached = payload
+        if METRICS.enabled:
+            _IPC_BUFFER_BYTES.observe(buffer.itemsize * len(buffer))
         decode = self._interner.decode
         answers = set()
         offset = 0

@@ -1,0 +1,37 @@
+"""Flight recorder unit tests: ring bound, filtering, event shape."""
+
+from repro.obs.flight import FlightRecorder
+
+
+def test_record_and_filter_by_kind_and_scenario():
+    recorder = FlightRecorder()
+    recorder.record("rollback", scenario="a", batch=3)
+    recorder.record("worker_failure", scenario="a", shard=1)
+    recorder.record("rollback", scenario="b")
+    assert len(recorder) == 3
+    assert [e.scenario for e in recorder.events(kind="rollback")] == ["a", "b"]
+    assert [e.kind for e in recorder.events(scenario="a")] == [
+        "rollback",
+        "worker_failure",
+    ]
+    [event] = recorder.events(kind="rollback", scenario="a")
+    assert event.detail == {"batch": 3}
+    assert event.wall > 0
+    recorder.clear()
+    assert len(recorder) == 0 and recorder.events() == []
+
+
+def test_ring_drops_oldest_beyond_capacity():
+    recorder = FlightRecorder(capacity=3)
+    for index in range(7):
+        recorder.record("tick", scenario=f"s{index}")
+    assert [e.scenario for e in recorder.events()] == ["s4", "s5", "s6"]
+
+
+def test_event_to_dict_is_json_ready():
+    recorder = FlightRecorder()
+    event = recorder.record("egd_replay", scenario="x", entangled=2, why=None)
+    out = event.to_dict()
+    assert out["kind"] == "egd_replay"
+    assert out["scenario"] == "x"
+    assert out["detail"] == {"entangled": "2", "why": "None"}

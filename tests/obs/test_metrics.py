@@ -1,0 +1,123 @@
+"""Metrics registry unit tests: instruments, exports, snapshot consistency."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_instrument_handles_are_idempotent_by_name():
+    registry = MetricsRegistry()
+    counter = registry.counter("a.count", "help text")
+    assert registry.counter("a.count") is counter
+    gauge = registry.gauge("a.gauge")
+    assert registry.gauge("a.gauge") is gauge
+    histogram = registry.histogram("a.hist")
+    assert registry.histogram("a.hist") is histogram
+
+
+def test_kind_mismatch_raises_typeerror():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+    with pytest.raises(TypeError):
+        registry.histogram("x")
+
+
+def test_counter_gauge_histogram_values():
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+
+    gauge = registry.gauge("g")
+    gauge.set(10.0)
+    gauge.inc(2.0)
+    gauge.dec(5.0)
+    assert gauge.value == 7.0
+
+    histogram = registry.histogram("h", buckets=(1.0, 10.0))
+    for value in (0.5, 2.0, 20.0):
+        histogram.observe(value)
+    assert histogram.count == 3
+    assert histogram.sum == 22.5
+    assert histogram.mean() == 7.5
+    snap = histogram._snapshot()
+    assert snap["min"] == 0.5 and snap["max"] == 20.0
+    assert snap["buckets"] == {"1": 1, "10": 2, "+Inf": 3}
+
+
+def test_snapshot_includes_providers_and_skips_deregistered():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.register_provider("alive", lambda: {"queries": 7})
+    registry.register_provider("gone", _raise_keyerror)
+    snap = registry.snapshot()
+    assert snap["instruments"]["c"] == {"type": "counter", "value": 1.0}
+    assert snap["scenarios"] == {"alive": {"queries": 7}}
+    registry.unregister_provider("alive")
+    assert registry.snapshot()["scenarios"] == {}
+
+
+def _raise_keyerror():
+    raise KeyError("scenario deregistered mid-snapshot")
+
+
+def test_prometheus_exposition_format():
+    registry = MetricsRegistry()
+    registry.counter("query.total", "Requests served").inc(3)
+    registry.gauge("pool.size").set(4)
+    registry.histogram("lat.seconds", buckets=(0.01, 1.0)).observe(0.5)
+    text = registry.to_prometheus()
+    assert "# HELP query_total Requests served" in text
+    assert "# TYPE query_total counter" in text
+    assert "query_total 3" in text
+    assert "pool_size 4" in text
+    assert 'lat_seconds_bucket{le="0.01"} 0' in text
+    assert 'lat_seconds_bucket{le="1"} 1' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+    assert "lat_seconds_sum 0.5" in text
+    assert "lat_seconds_count 1" in text
+
+
+def test_snapshot_never_observes_a_torn_histogram():
+    """Concurrent observes vs snapshots: count, sum and buckets agree.
+
+    Every observe adds exactly ``value=3.0`` and one bucket entry, so any
+    snapshot in which ``sum != 3 * count`` or the +Inf cumulative bucket
+    differs from ``count`` caught the histogram mid-update — which the
+    shared registry mutex must make impossible.
+    """
+    registry = MetricsRegistry()
+    histogram = registry.histogram("torn.check", buckets=(1.0, 10.0))
+    stop = threading.Event()
+    torn: list[dict] = []
+
+    def writer():
+        while not stop.is_set():
+            histogram.observe(3.0)
+
+    def reader():
+        while not stop.is_set():
+            snap = registry.snapshot()["instruments"]["torn.check"]
+            if (
+                snap["sum"] != 3.0 * snap["count"]
+                or snap["buckets"]["+Inf"] != snap["count"]
+            ):
+                torn.append(snap)
+
+    threads = [threading.Thread(target=writer) for _ in range(2)] + [
+        threading.Thread(target=reader) for _ in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    timer = threading.Timer(0.5, stop.set)
+    timer.start()
+    for thread in threads:
+        thread.join()
+    timer.cancel()
+    assert not torn, f"snapshot saw torn histogram state: {torn[:3]}"
+    assert histogram.count > 0

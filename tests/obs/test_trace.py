@@ -1,0 +1,144 @@
+"""Tracer unit tests: nesting, records, cross-thread context, grafting."""
+
+import threading
+
+from repro.obs.trace import _NOOP, Span, Tracer, format_trace
+
+
+def test_disabled_span_is_the_shared_noop():
+    tracer = Tracer()
+    assert not tracer.enabled
+    first = tracer.span("a", route="scatter")
+    second = tracer.span("b")
+    assert first is _NOOP and second is _NOOP
+    with first as span:
+        span.annotate(ignored=True)  # no-op, no allocation, no error
+    assert tracer.drain() == []
+
+
+def test_spans_nest_on_the_thread_stack():
+    tracer = Tracer()
+    with tracer.enable():
+        with tracer.span("root", scenario="s") as root:
+            assert tracer.current() is root
+            with tracer.span("child.a") as a:
+                with tracer.span("leaf"):
+                    pass
+                assert tracer.current() is a
+            with tracer.span("child.b"):
+                pass
+        assert tracer.current() is None
+    [tree] = tracer.drain()
+    assert tree.name == "root"
+    assert [child.name for child in tree.children] == ["child.a", "child.b"]
+    assert [leaf.name for leaf in tree.children[0].children] == ["leaf"]
+    assert tree.duration > 0.0
+    assert tree.attrs == {"scenario": "s"}
+
+
+def test_annotate_attaches_late_attributes():
+    tracer = Tracer()
+    with tracer.enable():
+        with tracer.span("answer", scenario="s") as span:
+            span.annotate(route="core", answers=3)
+    [tree] = tracer.drain()
+    assert tree.attrs == {"scenario": "s", "route": "core", "answers": 3}
+
+
+def test_record_roundtrip_preserves_the_tree():
+    tracer = Tracer()
+    with tracer.enable():
+        with tracer.span("root", shard=1) as root:
+            root.annotate(route="scatter")
+            with tracer.span("kid", n=2):
+                pass
+    [tree] = tracer.drain()
+    clone = Span.from_record(tree.to_record())
+    assert clone.name == tree.name
+    assert clone.attrs == tree.attrs
+    assert clone.duration == tree.duration
+    assert [c.name for c in clone.children] == ["kid"]
+    assert clone.children[0].attrs == {"n": 2}
+    # And the roundtrip is stable: records of the clone match the original.
+    assert clone.to_record() == tree.to_record()
+
+
+def test_context_reparents_pool_threads_under_the_dispatcher():
+    tracer = Tracer()
+    with tracer.enable():
+        with tracer.span("scatter") as fanout:
+            parent = tracer.current()
+
+            def worker(index):
+                with tracer.context(parent):
+                    with tracer.span("shard.answer", shard=index):
+                        pass
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+    [tree] = tracer.drain()
+    shards = sorted(child.attrs["shard"] for child in tree.children)
+    assert shards == [0, 1, 2]
+    # Pool spans attached under the fan-out span, not as orphan roots.
+    assert all(child.name == "shard.answer" for child in tree.children)
+
+
+def test_graft_attaches_worker_records_under_the_current_span():
+    worker = Tracer()
+    with worker.enable():
+        with worker.span("worker.answer", shard=2):
+            pass
+    records = tuple(span.to_record() for span in worker.drain())
+
+    parent = Tracer()
+    with parent.enable():
+        with parent.span("exchange.answer"):
+            parent.graft(records)
+        parent.graft(records)  # no current span: silently dropped
+    [tree] = parent.drain()
+    assert [c.name for c in tree.children] == ["worker.answer"]
+    assert tree.children[0].attrs == {"shard": 2}
+
+
+def test_enable_restores_the_previous_state_and_drain_empties():
+    tracer = Tracer()
+    with tracer.enable():
+        assert tracer.enabled
+        with tracer.span("only"):
+            pass
+        with tracer.enable():  # nested enable keeps it on
+            assert tracer.enabled
+        assert tracer.enabled
+    assert not tracer.enabled
+    assert tracer.last().name == "only"
+    assert [span.name for span in tracer.drain()] == ["only"]
+    assert tracer.drain() == [] and tracer.last() is None
+
+
+def test_recent_is_bounded_by_capacity():
+    tracer = Tracer(capacity=4)
+    with tracer.enable():
+        for index in range(10):
+            with tracer.span(f"r{index}"):
+                pass
+    names = [span.name for span in tracer.drain()]
+    assert names == ["r6", "r7", "r8", "r9"]
+
+
+def test_format_trace_renders_an_indented_outline():
+    tracer = Tracer()
+    with tracer.enable():
+        with tracer.span("root", route="merged", _hidden="x"):
+            with tracer.span("kid"):
+                pass
+    [tree] = tracer.drain()
+    text = format_trace(tree)
+    lines = text.splitlines()
+    assert lines[0].startswith("root") and "route='merged'" in lines[0]
+    assert "_hidden" not in lines[0]  # underscore attrs are elided
+    assert lines[1].startswith("  kid")

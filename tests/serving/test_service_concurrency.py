@@ -192,3 +192,98 @@ def test_concurrent_readers_share_the_lock():
     stats = service.stats("shared")
     assert stats.lock.max_concurrent_readers >= 2
     assert stats.lock.write_waits >= 1
+
+
+def test_metrics_snapshot_is_never_torn_under_concurrent_updates():
+    """Readers snapshotting METRICS mid-update never observe torn state.
+
+    While a writer commits transactions (bumping the update histograms and
+    the scenario's stats) and query threads bump the latency instruments,
+    reader threads hammer ``service.metrics()``.  Every snapshot must be
+    internally consistent: each histogram's cumulative buckets must be
+    non-decreasing and end exactly at its count, ``min <= max``, the sum
+    must be bracketed by ``count * min .. count * max``, and the scenario
+    provider's contribution must always be a fully-formed stats mapping —
+    a half-updated instrument or a provider caught between fields would
+    break one of these.
+    """
+    employees, batches = 10, 12
+    source = make_instance(
+        {"Emp": [(f"e{i}", f"d{i % 4}") for i in range(employees)]}
+    )
+    stream = build_batches(employees, batches)
+    service = ExchangeService()
+    service.register(
+        "metrics_stress", cascade_mapping(), source, parse_dependencies(DEPS)
+    )
+
+    done = threading.Event()
+    errors: list[BaseException] = []
+    snapshots_taken = [0]
+
+    def check_snapshot(snapshot: dict) -> None:
+        for name, instrument in snapshot["instruments"].items():
+            if instrument["type"] != "histogram":
+                continue
+            cumulative = list(instrument["buckets"].values())
+            assert cumulative == sorted(cumulative), name
+            assert cumulative[-1] == instrument["count"], name
+            if instrument["count"]:
+                low = instrument["min"]
+                high = instrument["max"]
+                assert low <= high, name
+                slack = 1e-9 * instrument["count"]
+                assert (
+                    instrument["count"] * low - slack
+                    <= instrument["sum"]
+                    <= instrument["count"] * high + slack
+                ), name
+        scenario = snapshot["scenarios"]["metrics_stress"]
+        assert set(scenario) >= {
+            "source_tuples", "target_tuples", "cache", "updates", "lock",
+        }
+        assert 0 <= scenario["updates"]["batches"] <= batches
+
+    def metrics_reader() -> None:
+        try:
+            while not done.is_set():
+                check_snapshot(service.metrics())
+                snapshots_taken[0] += 1
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    def query_reader() -> None:
+        try:
+            step = 0
+            while not done.is_set():
+                service.query("metrics_stress", QUERIES[step % len(QUERIES)])
+                step += 1
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    def writer() -> None:
+        try:
+            for added, removed in stream:
+                with service.transaction("metrics_stress") as txn:
+                    txn.add(added)
+                    txn.retract(removed)
+                time.sleep(0.002)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+        finally:
+            done.set()
+
+    with ThreadPoolExecutor(max_workers=5) as pool:
+        futures = [pool.submit(metrics_reader) for _ in range(2)]
+        futures.append(pool.submit(query_reader))
+        futures.append(pool.submit(writer))
+        for future in futures:
+            future.result(timeout=60)
+
+    assert not errors, errors
+    assert snapshots_taken[0] > batches  # readers genuinely interleaved
+    # Quiescent check: the provider agrees with the service's own stats.
+    final = service.metrics()["scenarios"]["metrics_stress"]
+    assert final["updates"]["batches"] == batches
+    service.deregister("metrics_stress")
+    assert "metrics_stress" not in service.metrics()["scenarios"]

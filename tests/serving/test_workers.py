@@ -251,6 +251,68 @@ def test_deregister_terminates_worker_processes():
     assert not any(proc.is_alive() for proc in procs)
 
 
+def test_traced_requests_graft_worker_process_spans():
+    """Worker span records ride the reply pipe into the parent's trace tree.
+
+    With tracing enabled, a scatter query against process-mode shards must
+    yield a tree whose ``shard.answer`` spans contain grafted
+    ``worker.answer`` children (the worker traced its half of the request
+    in its own process), and a committed update must likewise graft
+    ``worker.apply_delta`` under ``shard.apply_delta``.  Explain stays
+    differentially equal to the dispatched route in process mode.
+    """
+    from repro.obs import TRACER
+
+    mapping, deps, source, batches, queries = skewed_case()
+    service = ExchangeService()
+    service.register(
+        "traced", mapping, source, deps, shards=2, shard_workers="process"
+    )
+    try:
+        stats = service.scenario("traced").sharding_stats()
+        if stats.worker_mode != "process" or stats.worker_failures:
+            pytest.skip("worker processes unavailable in this environment")
+
+        def collect(span, by_name):
+            by_name.setdefault(span.name, []).append(span)
+            for child in span.children:
+                collect(child, by_name)
+
+        with TRACER.enable():
+            TRACER.drain()
+            for query in queries:
+                explain = service.explain("traced", query)
+                result = service.query("traced", query)
+                assert explain.route == result.route
+            added, removed = batches[0]
+            with service.transaction("traced") as txn:
+                txn.retract(removed)
+                txn.add(added)
+            roots = TRACER.drain()
+
+        by_name: dict[str, list] = {}
+        for root in roots:
+            collect(root, by_name)
+        assert "worker.answer" in by_name, sorted(by_name)
+        assert "worker.apply_delta" in by_name, sorted(by_name)
+        # Grafted spans sit under the dispatching side's per-shard spans.
+        assert any(
+            child.name == "worker.answer"
+            for span in by_name["shard.answer"]
+            for child in span.children
+        )
+        assert any(
+            child.name == "worker.apply_delta"
+            for span in by_name["shard.apply_delta"]
+            for child in span.children
+        )
+        # The worker stamped its shard index into the grafted span.
+        shards = {span.attrs.get("shard") for span in by_name["worker.answer"]}
+        assert shards <= {0, 1, 2} and shards
+    finally:
+        service.deregister("traced")
+
+
 def test_register_rejects_unknown_worker_mode_strings():
     workload = skewed_workload(customers=12, accounts=40, batches=1, batch_size=4)
     service = ExchangeService()
