@@ -13,8 +13,10 @@ scoped to the relations the batch touched, registers the same mapping as a
 per-shard stats), prints ``service.explain(...)`` plans and enabled-tracer
 span trees for one scatter and one merged-route query, moves the shards
 into dedicated **worker processes** (``shard_workers="process"``) and kills
-one to show graceful degradation (caught by the flight recorder), and ends
-with the structured ``stats()`` and ``metrics()`` snapshots.
+one to show graceful degradation (caught by the flight recorder), lints a
+deliberately smelly scenario with ``service.lint`` (a redundant STD, a
+residual-forcing target dependency, and a cross-scenario containment hit),
+and ends with the structured ``stats()`` and ``metrics()`` snapshots.
 
 The demo escalates :class:`ServingDeprecationWarning` to an error before it
 does anything — the same policy as the repo's pytest configuration — so any
@@ -36,6 +38,7 @@ Migrating from the pre-service API::
 import warnings
 
 from repro import cq, make_instance, mapping_from_rules
+from repro.chase.dependencies import parse_dependencies
 from repro.obs import FLIGHT_RECORDER, TRACER, format_trace
 from repro.serving import ExchangeService, ServingDeprecationWarning
 
@@ -176,6 +179,41 @@ def main() -> None:
     print("\n== The flight recorder caught the rare-path events ==")
     for event in FLIGHT_RECORDER.events(scenario="employees@procs"):
         print(f"{event.kind}: {event.detail}")
+
+    print("\n== Static analysis: lint a scenario, probe cross-scenario containment ==")
+    # ``lint_demo`` ships two deliberate smells: STD 2 duplicates STD 1
+    # (the redundancy lint warns on both twins; ``drop_redundant=True`` at
+    # registration would trim one from the trigger plan), and the target
+    # dependency joins two EmpT atoms on the *department* — not the
+    # partition key — so the shardability pass reports it residual-forcing
+    # and drags the EmpT producer to the residual shard with it.
+    lint_mapping = mapping_from_rules(
+        [
+            "EmpT(e^cl, d^cl) :- Emp(e, d)",
+            "Team(e^cl, p^cl) :- Works(e, p)",
+            "Team(e^cl, p^cl) :- Works(e, p)",  # redundant twin of STD 1
+        ],
+        source={"Emp": 2, "Works": 2},
+        target={"EmpT": 2, "Team": 2, "Mates": 2},
+        name="lint_demo",
+    )
+    lint_deps = parse_dependencies(["EmpT(e, d) & EmpT(f, d) -> Mates(e, f)"])
+    service.register("lint_demo", lint_mapping, source,
+                     target_dependencies=lint_deps)
+    print(service.lint("lint_demo").render())
+
+    # The containment probe runs across the whole registry: ``lite`` keeps a
+    # strict subset of the employees rules over the same schemas, so its
+    # lint flags it as contained in (servable from) the bigger scenario.
+    lite_mapping = mapping_from_rules(
+        ["EmpT(e^cl, d^cl) :- Emp(e, d)"],
+        source={"Emp": 2, "Works": 2},
+        target={"EmpT": 2, "Office": 2, "Team": 2},
+        name="employees_lite",
+    )
+    service.register("lite", lite_mapping, source)
+    for diag in service.lint("lite").by_code("CONTAIN001"):
+        print(diag.render())
 
     print("\n== Metrics: one snapshot across instruments and scenarios ==")
     snapshot = service.metrics()

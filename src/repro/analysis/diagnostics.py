@@ -1,0 +1,182 @@
+"""Structured diagnostics: the output vocabulary of the static analyzer.
+
+Every analysis pass reports :class:`Diagnostic` objects with a *stable code*
+(the contract operators and CI scripts key on), a :class:`Severity`, a
+human-rendered message and a machine-readable ``payload``.  A run of one or
+more passes is collected into an :class:`AnalysisReport`, which renders as
+text (one line per diagnostic, codes first) or as JSON.
+
+Code registry
+-------------
+==========  ========  ===========================================================
+code        severity  meaning
+==========  ========  ===========================================================
+TERM001     info      termination certified by plain weak acyclicity
+TERM002     info      termination certified by a richer tier (payload: ``tier``)
+TERM003     error     no termination certificate; payload carries the witness
+                      cycle through a special edge of the position graph
+TERM004     info      richer tiers skipped (egds present interact with tgds)
+RED001      warning   an STD is implied by the rest of the mapping
+RED002     warning    a target dependency is implied by the other dependencies
+RED003      info      redundancy check skipped for a rule (non-CQ body)
+SHARD001    warning   an STD fires on the residual shard (payload: reason kind)
+SHARD002    warning   a target dependency forces relations residual
+SHARD003    warning   the whole scenario degenerates to the residual shard
+SHARD004    info      shard plan summary (payload: per-shard routing)
+CONTAIN001  info      this mapping is contained in another scenario's mapping
+CONTAIN002  info      this mapping is equivalent to another scenario's mapping
+CONTAIN003  info      containment probe skipped for a pair (payload: reason)
+==========  ========  ===========================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable, Iterator, Mapping
+
+
+class Severity(Enum):
+    """Diagnostic severities, ordered: INFO < WARNING < ERROR."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return ("info", "warning", "error").index(self.value)
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+
+#: The registered diagnostic codes (kept in sync with the module docstring
+#: table; :func:`Diagnostic.__post_init__` rejects unregistered codes so a
+#: pass can never invent an unstable one).
+KNOWN_CODES: frozenset[str] = frozenset(
+    {
+        "TERM001",
+        "TERM002",
+        "TERM003",
+        "TERM004",
+        "RED001",
+        "RED002",
+        "RED003",
+        "SHARD001",
+        "SHARD002",
+        "SHARD003",
+        "SHARD004",
+        "CONTAIN001",
+        "CONTAIN002",
+        "CONTAIN003",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one analysis pass.
+
+    ``subject`` names what the finding is about in a stable dotted form
+    (``"std:2"``, ``"dependency:0"``, ``"mapping"``, ``"scenario:conf"``);
+    ``payload`` carries the machine-readable evidence (witness cycles,
+    implication witnesses, reason kinds) as JSON-serialisable values.
+    """
+
+    code: str
+    severity: Severity
+    passname: str
+    subject: str
+    message: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code not in KNOWN_CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+
+    def render(self) -> str:
+        return f"[{self.severity.value.upper()} {self.code}] {self.subject}: {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "pass": self.passname,
+            "subject": self.subject,
+            "message": self.message,
+            "payload": dict(self.payload),
+        }
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The collected diagnostics of an analyzer run over one subject.
+
+    ``scope`` names what was analysed (a mapping name, a scenario name, or
+    ``"registry"`` for cross-scenario scans).  Reports compose with ``+``
+    so per-pass reports merge into one.
+    """
+
+    scope: str
+    diagnostics: tuple[Diagnostic, ...] = ()
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __add__(self, other: "AnalysisReport") -> "AnalysisReport":
+        scope = self.scope if self.scope == other.scope else f"{self.scope}+{other.scope}"
+        return AnalysisReport(scope, self.diagnostics + other.diagnostics)
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def by_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """No errors (warnings and infos do not block registration)."""
+        return not self.errors
+
+    def render(self) -> str:
+        """The text rendering: a header plus one line per diagnostic."""
+        counts = {s: len(self.by_severity(s)) for s in Severity}
+        header = (
+            f"analysis of {self.scope}: "
+            f"{counts[Severity.ERROR]} error(s), "
+            f"{counts[Severity.WARNING]} warning(s), "
+            f"{counts[Severity.INFO]} info(s)"
+        )
+        lines = [header]
+        for diagnostic in sorted(
+            self.diagnostics, key=lambda d: (-d.severity.rank, d.code, d.subject)
+        ):
+            lines.append("  " + diagnostic.render())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scope": self.scope,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True, default=repr)
+
+
+def report(scope: str, diagnostics: Iterable[Diagnostic]) -> AnalysisReport:
+    """Convenience constructor normalising any iterable of diagnostics."""
+    return AnalysisReport(scope, tuple(diagnostics))

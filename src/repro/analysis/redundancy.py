@@ -1,0 +1,314 @@
+"""Chase-based redundancy lint: rules implied by the rest of the mapping.
+
+Both checks are instances of the classical *canonical database* technique:
+
+* An STD ``s`` is implied by the other CQ-bodied STDs iff firing them on the
+  frozen body of ``s`` (each body variable a fresh constant, equalities
+  collapsed) produces an **annotation-equal homomorphic image** of ``s``'s
+  instantiated head — then every fact ``s`` would contribute is already
+  contributed, with the same open/closed marks, on every source instance.
+* A target dependency ``d`` is implied by the remaining dependencies iff
+  chasing the canonical instance of ``d``'s body (frozen with labelled nulls
+  so egds may merge) with the others yields an instance satisfying ``d``'s
+  head under the substitution accumulated by the egd steps.  A chase failure
+  means the frozen body cannot occur in any consistent solution, so ``d``
+  holds vacuously.
+
+Implied rules are reported as warnings (``RED001``/``RED002``); an STD with a
+non-CQ body is skipped with ``RED003`` (containment of FO bodies is
+undecidable).  :func:`redundant_std_indexes` additionally drives the optional
+``drop_redundant`` compile mode of the registry: a greedy sweep that checks
+each candidate only against the rules *not yet dropped*, so mutually implied
+twins keep one representative.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.chase.dependencies import EGD, TGD
+from repro.chase.engine import ChaseFailure, chase
+from repro.core.std import STD
+from repro.logic.cq import decompose_exists_cq
+from repro.logic.formulas import Eq
+from repro.logic.terms import Const, Term, Var
+from repro.relational.domain import NullFactory
+from repro.relational.instance import Instance
+
+PASS_NAME = "redundancy"
+
+#: Step budget for the implication chases; generous for lint-sized bodies,
+#: small enough that a pathological dependency set cannot stall registration.
+IMPLICATION_CHASE_STEPS = 2_000
+
+
+def _freeze_cq_body(
+    atoms: Sequence, equalities: Sequence[Eq], freeze: Any
+) -> tuple[Instance, dict[Var, Any]] | None:
+    """The canonical database of a CQ body, with ``freeze(var)`` values.
+
+    Equalities are collapsed union-find style; a variable equated with a
+    constant freezes to that constant, and two distinct constants equated
+    make the body unsatisfiable (``None``).
+    """
+    parent: dict[Term, Term] = {}
+
+    def find(term: Term) -> Term:
+        while term in parent:
+            term = parent[term]
+        return term
+
+    for eq in equalities:
+        left, right = find(eq.left), find(eq.right)
+        if left == right:
+            continue
+        if isinstance(left, Const) and isinstance(right, Const):
+            return None
+        if isinstance(left, Const):
+            parent[right] = left
+        else:
+            parent[left] = right
+
+    values: dict[Term, Any] = {}
+
+    def value_of(term: Term) -> Any:
+        root = find(term)
+        if isinstance(root, Const):
+            return root.value
+        if root not in values:
+            values[root] = freeze(root)
+        return values[root]
+
+    instance = Instance()
+    assignment: dict[Var, Any] = {}
+    for atom in atoms:
+        row = []
+        for term in atom.terms:
+            value = value_of(term)
+            row.append(value)
+            if isinstance(term, Var):
+                assignment[term] = value
+        instance.add(atom.relation, tuple(row))
+    for var in list(assignment):
+        assignment[var] = value_of(var)
+    return instance, assignment
+
+
+# --------------------------------------------------------------------------
+# STD implication
+# --------------------------------------------------------------------------
+
+
+def _fire_std(std: STD, source: Instance, factory: NullFactory) -> list[tuple[str, tuple, Any]]:
+    """All annotated facts the STD contributes over ``source`` (fresh nulls
+    per trigger for head-only variables, as the serving layer instantiates)."""
+    facts: list[tuple[str, tuple, Any]] = []
+    existential = sorted(std.existential_variables(), key=lambda v: v.name)
+    for assignment in std.body_assignments(source):
+        nulls = {z: factory.fresh(label=z.name) for z in existential}
+        for atom in std.head:
+            row = []
+            for term in atom.terms:
+                if isinstance(term, Const):
+                    row.append(term.value)
+                elif term in nulls:
+                    row.append(nulls[term])
+                else:
+                    row.append(assignment[term])
+            facts.append((atom.relation, tuple(row), atom.annotation))
+    return facts
+
+
+def _match_head(
+    expected: list[tuple[str, tuple[Any, ...], Any]],
+    produced: Sequence[tuple[str, tuple, Any]],
+    existential_markers: frozenset,
+) -> bool:
+    """Can the instantiated head embed into the produced facts, mapping each
+    existential marker consistently and everything else identically, with
+    identical annotations?"""
+
+    def extend(index: int, binding: dict[Any, Any]) -> bool:
+        if index == len(expected):
+            return True
+        relation, row, annotation = expected[index]
+        for candidate_relation, candidate_row, candidate_annotation in produced:
+            if candidate_relation != relation or candidate_annotation != annotation:
+                continue
+            if len(candidate_row) != len(row):
+                continue
+            attempt = dict(binding)
+            ok = True
+            for want, have in zip(row, candidate_row):
+                if want in existential_markers:
+                    if want in attempt:
+                        if attempt[want] != have:
+                            ok = False
+                            break
+                    else:
+                        attempt[want] = have
+                elif want != have:
+                    ok = False
+                    break
+            if ok and extend(index + 1, attempt):
+                return True
+        return False
+
+    return extend(0, {})
+
+
+def implied_std(index: int, stds: Sequence[STD], others: Iterable[int] | None = None) -> tuple[int, ...] | None:
+    """Is ``stds[index]`` implied by the other CQ STDs?
+
+    Returns the sorted indexes of the STDs whose firings cover the candidate's
+    head (the implication witness), or ``None`` when not implied (or when the
+    candidate has a non-CQ body and the check does not apply).
+    """
+    candidate = stds[index]
+    decomposed = decompose_exists_cq(candidate.body)
+    if decomposed is None:
+        return None
+    atoms, equalities, _quantified = decomposed
+    frozen = _freeze_cq_body(atoms, equalities, lambda var: ("frz", var.name))
+    if frozen is None:
+        return ()  # unsatisfiable body: vacuously implied by anything
+    source, assignment = frozen
+
+    expected: list[tuple[str, tuple[Any, ...], Any]] = []
+    markers: set[Any] = set()
+    for atom in candidate.head:
+        row: list[Any] = []
+        for term in atom.terms:
+            if isinstance(term, Const):
+                row.append(term.value)
+            elif term in assignment:
+                row.append(assignment[term])
+            else:
+                marker = ("head-null", term.name)
+                markers.add(marker)
+                row.append(marker)
+        expected.append((atom.relation, tuple(row), atom.annotation))
+
+    factory = NullFactory(prefix="red")
+    produced: list[tuple[str, tuple, Any]] = []
+    contributors: list[int] = []
+    other_indexes = [i for i in range(len(stds)) if i != index] if others is None else [
+        i for i in others if i != index
+    ]
+    for i in other_indexes:
+        other = stds[i]
+        if not other.is_cq():
+            continue
+        facts = _fire_std(other, source, factory)
+        if facts:
+            produced.extend(facts)
+            contributors.append(i)
+    if _match_head(expected, produced, frozenset(markers)):
+        return tuple(sorted(contributors))
+    return None
+
+
+def redundant_std_indexes(stds: Sequence[STD]) -> dict[int, tuple[int, ...]]:
+    """Greedy sweep of droppable STDs: each candidate is checked against the
+    rules not already dropped, so mutually implied twins keep one copy."""
+    dropped: dict[int, tuple[int, ...]] = {}
+    for index in range(len(stds)):
+        alive = [i for i in range(len(stds)) if i != index and i not in dropped]
+        witness = implied_std(index, stds, others=alive)
+        if witness is not None:
+            dropped[index] = witness
+    return dropped
+
+
+# --------------------------------------------------------------------------
+# target-dependency implication
+# --------------------------------------------------------------------------
+
+
+def implied_dependency(index: int, dependencies: Sequence[TGD | EGD]) -> bool:
+    """Is ``dependencies[index]`` implied by the remaining dependencies?"""
+    candidate = dependencies[index]
+    others = [d for i, d in enumerate(dependencies) if i != index]
+    factory = NullFactory(prefix="imp")
+    frozen = _freeze_cq_body(
+        candidate.body, (), lambda var: factory.fresh(label=var.name)
+    )
+    assert frozen is not None  # dependency bodies carry no equalities
+    instance, assignment = frozen
+    try:
+        result = chase(instance, others, max_steps=IMPLICATION_CHASE_STEPS)
+    except ChaseFailure:
+        return True  # the frozen body cannot occur in any consistent solution
+    if not result.terminated:
+        return False  # step budget exhausted: inconclusive, keep the rule
+
+    # egd steps merged nulls; resolve every frozen value to its survivor.
+    merged = {
+        step.equated[0]: step.equated[1] for step in result.steps if step.equated
+    }
+
+    def resolve(value: Any) -> Any:
+        while value in merged:
+            value = merged[value]
+        return value
+
+    resolved = {var: resolve(value) for var, value in assignment.items()}
+    if isinstance(candidate, TGD):
+        from repro.logic.cq import match_atoms
+
+        seed = {v: resolved[v] for v in candidate.frontier_variables()}
+        return next(match_atoms(list(candidate.head), result.instance, seed), None) is not None
+    return resolve(resolved[candidate.left]) == resolve(resolved[candidate.right])
+
+
+# --------------------------------------------------------------------------
+# the pass
+# --------------------------------------------------------------------------
+
+
+def analyse_redundancy(
+    stds: Sequence[STD], dependencies: Sequence[TGD | EGD]
+) -> tuple[Diagnostic, ...]:
+    out: list[Diagnostic] = []
+    for index, std in enumerate(stds):
+        if not std.is_cq():
+            out.append(
+                Diagnostic(
+                    "RED003",
+                    Severity.INFO,
+                    PASS_NAME,
+                    f"std:{index}",
+                    "non-CQ body: implication is undecidable, redundancy check skipped",
+                    {"std": index},
+                )
+            )
+            continue
+        witness = implied_std(index, stds)
+        if witness is not None:
+            names = ", ".join(f"std:{i}" for i in witness) or "nothing (unsatisfiable body)"
+            out.append(
+                Diagnostic(
+                    "RED001",
+                    Severity.WARNING,
+                    PASS_NAME,
+                    f"std:{index}",
+                    f"implied by {names}; it contributes no fact the rest of the "
+                    "mapping does not already produce with equal annotations",
+                    {"std": index, "implied_by": list(witness)},
+                )
+            )
+    for index, dependency in enumerate(dependencies):
+        if implied_dependency(index, dependencies):
+            out.append(
+                Diagnostic(
+                    "RED002",
+                    Severity.WARNING,
+                    PASS_NAME,
+                    f"dependency:{index}",
+                    f"target dependency {dependency!r} is implied by the remaining "
+                    "dependencies; chasing without it reaches the same solutions",
+                    {"dependency": index},
+                )
+            )
+    return tuple(out)

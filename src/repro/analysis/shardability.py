@@ -1,0 +1,102 @@
+"""Shardability report: why a rule would go residual, before paying for it.
+
+:func:`repro.serving.sharding.analyse_shardability` already decides which
+STDs and dependencies can fire intra-shard — but its reasoning used to be a
+flat list of strings buried in the :class:`ShardPlan`.  This pass lifts the
+structured :class:`~repro.serving.sharding.ResidualReason` records into
+per-STD / per-dependency diagnostics so an operator sees *why* a rule forces
+residual routing when deciding on a partition layout:
+
+* ``SHARD001`` — an STD fires on the residual shard (payload: reason kind);
+* ``SHARD002`` — a target dependency forces relations residual;
+* ``SHARD003`` — the whole scenario degenerates to the residual shard
+  (no worker shard holds any source relation — sharding buys nothing);
+* ``SHARD004`` — the plan summary (counts and routing, always emitted).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids the serving import
+    from repro.serving.registry import CompiledMapping
+    from repro.serving.sharding import PartitionSpec, ShardPlan
+
+PASS_NAME = "shardability"
+
+
+def plan_diagnostics(plan: "ShardPlan") -> tuple[Diagnostic, ...]:
+    """Diagnostics for one computed shard plan."""
+    out: list[Diagnostic] = []
+    for record in plan.reason_records:
+        if record.std is not None:
+            out.append(
+                Diagnostic(
+                    "SHARD001",
+                    Severity.WARNING,
+                    PASS_NAME,
+                    record.subject,
+                    record.message,
+                    {"kind": record.kind, "std": record.std},
+                )
+            )
+        elif record.dependency is not None:
+            out.append(
+                Diagnostic(
+                    "SHARD002",
+                    Severity.WARNING,
+                    PASS_NAME,
+                    record.subject,
+                    record.message,
+                    {"kind": record.kind, "dependency": record.dependency},
+                )
+            )
+    if plan.fully_residual:
+        out.append(
+            Diagnostic(
+                "SHARD003",
+                Severity.WARNING,
+                PASS_NAME,
+                "scenario",
+                "every source relation routed to the residual shard; the worker "
+                "shards stay empty and sharding buys nothing",
+                {"residual_sources": sorted(plan.residual_sources)},
+            )
+        )
+    out.append(
+        Diagnostic(
+            "SHARD004",
+            Severity.INFO,
+            PASS_NAME,
+            "scenario",
+            f"shard plan: {len(plan.local_stds)} local / "
+            f"{len(plan.residual_stds)} residual STD(s), "
+            f"{len(plan.partitioned_sources)} partitioned / "
+            f"{len(plan.residual_sources)} residual source relation(s)",
+            {
+                "local_stds": sorted(plan.local_stds),
+                "residual_stds": sorted(plan.residual_stds),
+                "partitioned_sources": sorted(plan.partitioned_sources),
+                "residual_sources": sorted(plan.residual_sources),
+                "partitioned_targets": sorted(plan.partitioned_targets),
+                "residual_targets": sorted(plan.residual_targets),
+                "mixed_targets": sorted(plan.mixed_targets),
+            },
+        )
+    )
+    return tuple(out)
+
+
+def analyse_shardability_diagnostics(
+    compiled: "CompiledMapping",
+    spec: "PartitionSpec | None" = None,
+    shards: int = 4,
+) -> tuple[Diagnostic, ...]:
+    """Compute (or default) a partition spec and report the plan's reasons."""
+    if spec is None:
+        from repro.serving.sharding import PartitionSpec
+
+        spec = PartitionSpec(shards)
+    return plan_diagnostics(compiled.shard_plan(spec))

@@ -114,7 +114,7 @@ def _body_facts(
                     return None
                 values.append(assignment[term])
         tup = tuple(values)
-        if tup not in instance._tuples(atom.relation):
+        if tup not in instance._tuples(atom.relation):  # lint: allow(private-accessor)
             return None
         facts.append((atom.relation, tup))
     return facts
@@ -461,7 +461,7 @@ class _Worklist:
                         else:
                             values.append(nulls[term])
                     tup = tuple(values)
-                    if tup not in working._tuples(atom.relation):
+                    if tup not in working._tuples(atom.relation):  # lint: allow(private-accessor)
                         new_facts.append((atom.relation, tup))
                     working.add(atom.relation, tup)
                     added.append((atom.relation, tup))

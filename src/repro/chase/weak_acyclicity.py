@@ -9,16 +9,20 @@ and every frontier variable ``x`` occurring in body position ``p``:
   existential variable occurs in the same atom set.
 
 A set of tgds is weakly acyclic iff no cycle goes through a special edge.
+
+The graph construction and cycle search live in
+:mod:`repro.analysis.positions` (where they also power the richer termination
+tiers and witness-cycle extraction); this module keeps the original
+light-weight API used by the chase engine and the paper-facing core.  The
+analysis import happens inside the functions: ``repro.analysis`` sits above
+the chase layer and importing it at module scope would be cyclic.
 """
 
 from __future__ import annotations
 
 from typing import Iterable
 
-import itertools
-
 from repro.chase.dependencies import TGD
-from repro.logic.terms import Var
 
 Position = tuple[str, int]
 Edge = tuple[Position, Position, bool]  # (from, to, is_special)
@@ -26,52 +30,13 @@ Edge = tuple[Position, Position, bool]  # (from, to, is_special)
 
 def dependency_graph(tgds: Iterable[TGD]) -> list[Edge]:
     """Build the (position) dependency graph of a set of tgds."""
-    edges: set[Edge] = set()
-    for tgd in tgds:
-        body_positions: dict[Var, set[Position]] = {}
-        for atom in tgd.body:
-            for index, term in enumerate(atom.terms):
-                if isinstance(term, Var):
-                    body_positions.setdefault(term, set()).add((atom.relation, index))
-        existential = tgd.existential_variables()
-        head_var_positions: dict[Var, set[Position]] = {}
-        existential_positions: set[Position] = set()
-        for atom in tgd.head:
-            for index, term in enumerate(atom.terms):
-                if isinstance(term, Var):
-                    if term in existential:
-                        existential_positions.add((atom.relation, index))
-                    else:
-                        head_var_positions.setdefault(term, set()).add((atom.relation, index))
-        for variable, positions in body_positions.items():
-            if variable not in tgd.frontier_variables():
-                continue
-            for source in positions:
-                for target in head_var_positions.get(variable, set()):
-                    edges.add((source, target, False))
-                for target in existential_positions:
-                    edges.add((source, target, True))
-    return sorted(edges)
+    from repro.analysis.positions import PositionGraph
+
+    return PositionGraph.from_tgds(tuple(tgds)).edge_triples()
 
 
 def is_weakly_acyclic(tgds: Iterable[TGD]) -> bool:
     """Is the set of tgds weakly acyclic (no cycle through a special edge)?"""
-    edges = dependency_graph(tgds)
-    nodes = sorted({e[0] for e in edges} | {e[1] for e in edges})
-    index = {node: i for i, node in enumerate(nodes)}
-    if not nodes:
-        return True
+    from repro.analysis.positions import PositionGraph
 
-    # Compute reachability; a special edge u ⇒ v participates in a bad cycle
-    # iff v can reach u.
-    n = len(nodes)
-    reach = [[False] * n for _ in range(n)]
-    for u, v, _ in edges:
-        reach[index[u]][index[v]] = True
-    for k, i, j in itertools.product(range(n), repeat=3):
-        if reach[i][k] and reach[k][j]:
-            reach[i][j] = True
-    for u, v, special in edges:
-        if special and reach[index[v]][index[u]]:
-            return False
-    return True
+    return PositionGraph.from_tgds(tuple(tgds)).special_cycle() is None

@@ -323,7 +323,10 @@ class MaterializedExchange:
         # (cache entries stay valid) and to strictly advance changed ones.
         self._version_base: dict[str, int] = {}
 
-        for cstd in compiled.stds:
+        # Fire only the active STDs: indexes dropped by the redundancy lint
+        # contribute nothing the rest of the mapping does not already derive
+        # (and they are absent from the trigger plan updates listen on).
+        for cstd in compiled.active_stds:
             for projected in cstd.std.body_assignments(self.source):
                 key = self._trigger_key(cstd.index, projected)
                 if key not in self._assignments[cstd.index]:

@@ -13,11 +13,11 @@ object queries and updates are served from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
+from repro.analysis.termination import TerminationDecision, analyse_termination
 from repro.chase.dependencies import EGD, TGD
-from repro.chase.weak_acyclicity import is_weakly_acyclic
 from repro.core.mapping import SchemaMapping
 from repro.core.skolem import SkolemMapping, skolemize
 from repro.core.std import STD
@@ -29,6 +29,19 @@ from repro.relational.instance import Instance
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sharding imports us)
     from repro.serving.materialized import MaterializedExchange
     from repro.serving.sharding import PartitionSpec, ShardedExchange, ShardPlan
+
+
+class MappingRejected(ValueError):
+    """A mapping failed the tiered termination gate.
+
+    The exception message is the rendered rejection diagnostic — tier ladder
+    plus the concrete witness cycle through a special edge — and ``decision``
+    carries the machine-readable :class:`TerminationDecision`.
+    """
+
+    def __init__(self, message: str, decision: TerminationDecision):
+        super().__init__(message)
+        self.decision = decision
 
 
 @dataclass(frozen=True)
@@ -65,8 +78,24 @@ class CompiledMapping:
     stds: tuple[CompiledSTD, ...]
     # source relation -> indexes of the STDs whose body mentions it.
     trigger_plan: dict[str, tuple[int, ...]]
-    # Weakly acyclic by construction: compile_mapping rejects anything else.
+    # Chase termination certified by the tiered gate: compile_mapping rejects
+    # anything no tier accepts.
     target_dependencies: tuple[TGD | EGD, ...]
+    # The tiered gate's verdict (None only for hand-built test fixtures).
+    termination: TerminationDecision | None = field(default=None, compare=False)
+    # STD indexes dropped by the redundancy lint (compile with
+    # drop_redundant=True).  ``stds`` stays complete with stable indexes —
+    # trigger keys and justification nulls embed them — and the dropped
+    # indexes are simply excluded from the trigger plan and from
+    # ``active_stds``, the tuple materialization fires.
+    dropped_stds: frozenset[int] = frozenset()
+
+    @property
+    def active_stds(self) -> tuple[CompiledSTD, ...]:
+        """The STDs that actually fire (everything minus the dropped ones)."""
+        if not self.dropped_stds:
+            return self.stds
+        return tuple(c for c in self.stds if c.index not in self.dropped_stds)
 
     def listeners(self, relations: Sequence[str]) -> list[CompiledSTD]:
         """The compiled STDs whose bodies mention any of ``relations``."""
@@ -136,23 +165,44 @@ def _compile_std(index: int, std: STD) -> CompiledSTD:
 def compile_mapping(
     mapping: SchemaMapping,
     target_dependencies: Sequence[TGD | EGD] = (),
+    drop_redundant: bool = False,
 ) -> CompiledMapping:
     """Compile a mapping for serving (see module docstring).
 
-    Raises ``ValueError`` when the target tgds are not weakly acyclic: a
-    long-lived materialization cannot be maintained by a chase whose
-    termination is not guaranteed.
+    The termination gate is tiered (:func:`analyse_termination`): weak
+    acyclicity first, then the safe restriction, super-weak acyclicity and
+    the stratified decomposition.  A mapping no tier certifies raises
+    :class:`MappingRejected` whose message carries the concrete witness
+    cycle through a special edge — a long-lived materialization cannot be
+    maintained by a chase whose termination is not guaranteed.
+
+    ``drop_redundant=True`` additionally runs the redundancy lint and
+    excludes STDs implied by the rest of the mapping from the trigger plan
+    (indexes stay stable; see :attr:`CompiledMapping.dropped_stds`).
     """
     deps = tuple(target_dependencies)
-    tgds = [d for d in deps if isinstance(d, TGD)]
-    if not is_weakly_acyclic(tgds):
-        raise ValueError(
-            "the target tgds are not weakly acyclic; a materialized exchange "
-            "requires guaranteed chase termination"
+    decision = analyse_termination(deps)
+    if not decision.accepted:
+        witness = decision.render_witness()
+        message = (
+            "the target tgds are not weakly acyclic and no richer termination "
+            "tier (safety, super-weak acyclicity, stratified decomposition) "
+            "certifies the chase; a materialized exchange requires guaranteed "
+            "chase termination"
         )
+        if witness:
+            message += f"; witness cycle through a special edge: {witness}"
+        raise MappingRejected(message, decision)
     stds = tuple(_compile_std(i, std) for i, std in enumerate(mapping.stds))
+    dropped: frozenset[int] = frozenset()
+    if drop_redundant:
+        from repro.analysis.redundancy import redundant_std_indexes
+
+        dropped = frozenset(redundant_std_indexes(mapping.stds))
     trigger_plan: dict[str, list[int]] = {}
     for compiled in stds:
+        if compiled.index in dropped:
+            continue
         for relation in compiled.source_relations:
             trigger_plan.setdefault(relation, []).append(compiled.index)
     return CompiledMapping(
@@ -161,6 +211,8 @@ def compile_mapping(
         stds=stds,
         trigger_plan={name: tuple(ids) for name, ids in trigger_plan.items()},
         target_dependencies=deps,
+        termination=decision,
+        dropped_stds=dropped,
     )
 
 
@@ -186,19 +238,27 @@ class ScenarioRegistry:
 
     @staticmethod
     def _compilation_key(
-        mapping: SchemaMapping, target_dependencies: Sequence[TGD | EGD]
+        mapping: SchemaMapping,
+        target_dependencies: Sequence[TGD | EGD],
+        drop_redundant: bool = False,
     ) -> str:
-        return mapping_fingerprint(mapping, target_dependencies)
+        key = mapping_fingerprint(mapping, target_dependencies)
+        # A lint-dropped trigger plan is a different compilation artifact
+        # than the full one; never let the two alias in the cache.
+        return f"{key}|drop=1" if drop_redundant else key
 
     def compile(
         self,
         mapping: SchemaMapping,
         target_dependencies: Sequence[TGD | EGD] = (),
+        drop_redundant: bool = False,
     ) -> CompiledMapping:
-        key = self._compilation_key(mapping, target_dependencies)
+        key = self._compilation_key(mapping, target_dependencies, drop_redundant)
         compiled = self._compilations.get(key)
         if compiled is None:
-            compiled = compile_mapping(mapping, target_dependencies)
+            compiled = compile_mapping(
+                mapping, target_dependencies, drop_redundant=drop_redundant
+            )
             self._compilations[key] = compiled
         return compiled
 
@@ -214,6 +274,7 @@ class ScenarioRegistry:
         partition_keys: Mapping[str, int] | None = None,
         shard_workers: int | str | None = None,
         force_residual: bool = False,
+        drop_redundant: bool = False,
     ) -> "MaterializedExchange | ShardedExchange":
         """Register a scenario (see the class docstring).
 
@@ -240,10 +301,12 @@ class ScenarioRegistry:
                 "partition_keys/shard_workers/force_residual require shards=N "
                 "(did you forget to pass shards?)"
             )
-        key = self._compilation_key(mapping, target_dependencies)
+        key = self._compilation_key(mapping, target_dependencies, drop_redundant)
         compiled = self._compilations.get(key)
         if compiled is None:
-            compiled = compile_mapping(mapping, target_dependencies)
+            compiled = compile_mapping(
+                mapping, target_dependencies, drop_redundant=drop_redundant
+            )
         # Materialization may fail (e.g. an egd conflict); cache the
         # compilation only once the scenario actually registers, so failed
         # registrations leave nothing pinned behind.

@@ -46,6 +46,15 @@ import weakref
 from dataclasses import dataclass, replace
 from typing import Any, Iterable, Iterator, Sequence
 
+from repro.analysis import (
+    AnalysisReport,
+    analyse_redundancy,
+    analyse_shardability_diagnostics,
+    analyse_termination,
+    plan_diagnostics,
+    registry_containment_scan,
+    report,
+)
 from repro.chase.dependencies import EGD, TGD
 from repro.core.certain import AnyQuery
 from repro.core.mapping import SchemaMapping
@@ -706,6 +715,57 @@ class ExchangeService:
             )
         finally:
             lock.release_read()
+
+    def lint(self, name: str) -> AnalysisReport:
+        """Run every static-analysis pass over one registered scenario.
+
+        Termination reuses the verdict the registration gate already
+        computed, redundancy re-derives the implication structure, and
+        shardability reports the *live* shard plan when the scenario is
+        sharded (a plain materialization gets the default partition spec).
+        On top of the single-mapping passes, the cross-mapping containment
+        probe compares the scenario against every other registered one and
+        contributes the diagnostics that involve ``name``.
+
+        Pure introspection: runs under read locks (one scenario at a time,
+        never two at once — no ordering constraint), mutates nothing.
+        """
+        lock, exchange = self._read_locked_exchange(name)
+        try:
+            compiled = exchange.compiled
+            decision = compiled.termination
+            if decision is None:
+                decision = analyse_termination(compiled.target_dependencies)
+            diagnostics = list(decision.diagnostics())
+            diagnostics.extend(
+                analyse_redundancy(
+                    [cstd.std for cstd in compiled.stds],
+                    compiled.target_dependencies,
+                )
+            )
+            if isinstance(exchange, ShardedExchange):
+                diagnostics.extend(plan_diagnostics(exchange.plan))
+            else:
+                diagnostics.extend(analyse_shardability_diagnostics(compiled))
+        finally:
+            lock.release_read()
+        peers: dict[str, Any] = {}
+        for other in sorted(self._registry.names()):
+            try:
+                other_lock, other_exchange = self._read_locked_exchange(other)
+            except KeyError:
+                continue  # deregistered since the name snapshot
+            try:
+                peers[other] = other_exchange.compiled
+            finally:
+                other_lock.release_read()
+        if name in peers:
+            diagnostics.extend(
+                diag
+                for diag in registry_containment_scan(peers)
+                if name in diag.payload.get("pair", ())
+            )
+        return report(name, diagnostics)
 
     def metrics(self) -> dict[str, Any]:
         """The process-wide metrics snapshot (instruments + scenario stats).

@@ -129,6 +129,7 @@ _SCATTER_FANOUT = METRICS.histogram(
 
 __all__ = [
     "PartitionSpec",
+    "ResidualReason",
     "ShardPlan",
     "ShardedExchange",
     "ShardingStats",
@@ -190,6 +191,26 @@ class PartitionSpec:
 
 
 @dataclass(frozen=True)
+class ResidualReason:
+    """One structured residual-routing decision of the shardability analysis.
+
+    ``message`` is exactly the legacy human-readable string kept in
+    :attr:`ShardPlan.reasons`; ``kind``/``subject`` (plus the optional
+    ``std``/``dependency`` indexes) are the machine-readable facets the
+    :mod:`repro.analysis.shardability` pass turns into diagnostics.
+    Kinds: ``forced``, ``non-cq``, ``unaligned-join``, ``extra-equalities``,
+    ``straddling-join``, ``unsafe-dependency``,
+    ``residual-forced-production``, ``backstop``.
+    """
+
+    kind: str
+    subject: str
+    message: str
+    std: Optional[int] = None
+    dependency: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class _Production:
     """How one target relation's facts come into being, per the analysis.
 
@@ -226,6 +247,9 @@ class ShardPlan:
     mixed_targets: frozenset[str]
     target_keys: tuple[tuple[str, tuple[int, ...]], ...]
     reasons: tuple[str, ...]
+    # The structured counterparts of ``reasons`` (same order, one record per
+    # string); defaulted so hand-built plans in tests stay constructible.
+    reason_records: tuple[ResidualReason, ...] = ()
 
     @property
     def fully_residual(self) -> bool:
@@ -386,6 +410,22 @@ def analyse_shardability(
     """
     source_relations = sorted(r.name for r in compiled.mapping.source.relations())
     reasons: list[str] = []
+    records: list[ResidualReason] = []
+
+    def note(
+        kind: str,
+        message: str,
+        std: Optional[int] = None,
+        dependency: Optional[int] = None,
+    ) -> None:
+        if std is not None:
+            subject = f"std:{std}"
+        elif dependency is not None:
+            subject = f"dependency:{dependency}"
+        else:
+            subject = "scenario"
+        reasons.append(message)
+        records.append(ResidualReason(kind, subject, message, std, dependency))
 
     # Step 1 — per-STD locality and its key variable (None for single-atom
     # bodies, which are intra-shard regardless of what sits at the key).
@@ -393,11 +433,17 @@ def analyse_shardability(
     aligned: set[int] = set()
     for cstd in compiled.stds:
         if force_residual:
-            reasons.append(f"std {cstd.index}: residual forced by the caller")
+            note(
+                "forced",
+                f"std {cstd.index}: residual forced by the caller",
+                std=cstd.index,
+            )
             continue
         if cstd.atoms is None:
-            reasons.append(
-                f"std {cstd.index}: non-CQ body re-evaluated in full, needs the whole source"
+            note(
+                "non-cq",
+                f"std {cstd.index}: non-CQ body re-evaluated in full, needs the whole source",
+                std=cstd.index,
             )
             continue
         if len(cstd.atoms) == 1:
@@ -419,7 +465,8 @@ def analyse_shardability(
         )
         if joined is None or cstd.equalities:
             what = "extra equalities" if joined is not None else "join not aligned on the key"
-            reasons.append(f"std {cstd.index}: {what}")
+            kind = "extra-equalities" if joined is not None else "unaligned-join"
+            note(kind, f"std {cstd.index}: {what}", std=cstd.index)
             continue
         aligned.add(cstd.index)
         std_key_var[cstd.index] = joined
@@ -444,9 +491,11 @@ def analyse_shardability(
                     continue
                 rels = cstd.source_relations
                 if rels & residual_sources and rels - residual_sources:
-                    reasons.append(
+                    note(
+                        "straddling-join",
                         f"std {cstd.index}: key-join straddles the partition, "
-                        f"body moved to the residual shard"
+                        f"body moved to the residual shard",
+                        std=cstd.index,
                     )
                     residual_sources |= rels
                     changed = True
@@ -543,14 +592,16 @@ def analyse_shardability(
 
         # Step 5 — unsafe dependencies force their relations residual-only.
         forced: set[str] = set()
-        for dep in deps:
+        for dep_index, dep in enumerate(deps):
             firing, _ = classify(dep.body)
             if firing == "unsafe":
                 forced |= {atom.relation for atom in dep.body}
                 forced |= {atom.relation for atom in getattr(dep, "head", ())}
-                reasons.append(
+                note(
+                    "unsafe-dependency",
                     f"dependency {dep!r} may join across the partition; its "
-                    f"relations fall back to the residual shard"
+                    f"relations fall back to the residual shard",
+                    dependency=dep_index,
                 )
         if not forced:
             break
@@ -573,15 +624,17 @@ def analyse_shardability(
             if placement[cstd.index] == "partitioned" and (
                 {head.relation for head in cstd.std.head} & forced
             ):
-                reasons.append(
-                    f"std {cstd.index}: produces residual-forced relations"
+                note(
+                    "residual-forced-production",
+                    f"std {cstd.index}: produces residual-forced relations",
+                    std=cstd.index,
                 )
                 residual_sources |= cstd.source_relations
         if residual_sources == before:
             # Defensive backstop: every producer is already residual, so no
             # unsafe classification should survive — but if the lattice
             # walk ever disagrees, total fallback is always correct.
-            reasons.append("analysis backstop: whole source routed residual")
+            note("backstop", "analysis backstop: whole source routed residual")
             residual_sources = set(source_relations)
             if before == residual_sources:
                 break
@@ -613,6 +666,7 @@ def analyse_shardability(
             )
         ),
         reasons=tuple(reasons),
+        reason_records=tuple(records),
     )
 
 

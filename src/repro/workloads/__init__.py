@@ -26,6 +26,13 @@ from repro.workloads.scaling import (
     scaled_chase_workloads,
     scaled_copying_workload,
 )
+from repro.workloads.superweak import (
+    SuperweakWorkload,
+    superweak_dependencies,
+    superweak_mapping,
+    superweak_queries,
+    superweak_workload,
+)
 from repro.workloads.skewed import (
     SkewedWorkload,
     skewed_dependencies,
@@ -63,4 +70,9 @@ __all__ = [
     "skewed_mapping",
     "skewed_queries",
     "skewed_workload",
+    "SuperweakWorkload",
+    "superweak_dependencies",
+    "superweak_mapping",
+    "superweak_queries",
+    "superweak_workload",
 ]

@@ -1,0 +1,175 @@
+"""A workload whose target tgds defeat weak acyclicity but still terminate.
+
+:func:`superweak_workload` is the admission test for the tiered termination
+gate: its target dependencies contain
+
+* ``Canary(x) -> exists a . exists b . Edge(a, b)`` — pours existential
+  nulls into *both* ``Edge`` positions, so every position of ``Edge`` is
+  *affected* and the safety restriction prunes nothing;
+* ``Edge(x, x) -> exists z . Edge(x, z)`` — a special self-loop
+  ``Edge.1 => Edge.1`` in the position graph: **not weakly acyclic**, and
+  not safe either (see above);
+* ``Edge(x, y) -> Reach(x, y)`` — a full-tgd consumer of ``Edge``.
+
+Yet every chase terminates: rule 2 could only fire on a *reflexive*
+``Edge`` fact, and that fact already witnesses its own head (``z = x``), so
+the restricted chase never fires it at all — the redundancy lint flags
+exactly this with a ``RED002``.  Super-weak acyclicity sees the same
+structure statically (the skolemized head ``Edge(x, sk(x))`` does not unify
+with the body pattern ``Edge(x, x)``, and the canary's two *distinct*
+skolem functions cannot collapse either), so the tiered gate admits the
+mapping at tier ``super-weak-acyclicity`` where the plain weak-acyclicity
+gate of earlier revisions rejected it outright.
+
+The source plants a few reflexive links so the dangerous pattern is live in
+the data, and the update stream keeps adding/removing both kinds — the
+differential benches check the served answers against the naive chase after
+every batch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.chase.dependencies import EGD, TGD, parse_dependencies
+from repro.core.mapping import SchemaMapping, mapping_from_rules
+from repro.logic.cq import cq
+from repro.logic.terms import Const
+from repro.relational.instance import Instance
+
+Batch = tuple[tuple[tuple[str, tuple], ...], tuple[tuple[str, tuple], ...]]
+
+
+@dataclass(frozen=True)
+class SuperweakWorkload:
+    """A named beyond-weak-acyclicity scenario: mapping, source, batches, queries."""
+
+    name: str
+    mapping: SchemaMapping
+    target_dependencies: tuple[TGD | EGD, ...]
+    source: Instance
+    batches: tuple[Batch, ...]
+    queries: tuple
+    parameters: tuple[tuple[str, object], ...]
+
+    def parameter(self, key: str) -> object:
+        return dict(self.parameters)[key]
+
+
+def superweak_mapping() -> SchemaMapping:
+    """Copy ``Link`` into ``Edge`` and ``Probe`` into ``Canary``."""
+    return mapping_from_rules(
+        [
+            "Edge(x^cl, y^cl) :- Link(x, y)",
+            "Canary(p^cl) :- Probe(p)",
+        ],
+        source={"Link": 2, "Probe": 1},
+        target={"Edge": 2, "Canary": 1, "Reach": 2},
+        name="superweak_graph",
+    )
+
+
+def superweak_dependencies() -> tuple[TGD | EGD, ...]:
+    """The tier-separating target tgds (see the module docstring)."""
+    return tuple(
+        parse_dependencies(
+            [
+                "Canary(x) -> exists a . exists b . Edge(a, b)",
+                "Edge(x, x) -> exists z . Edge(x, z)",
+                "Edge(x, y) -> Reach(x, y)",
+            ]
+        )
+    )
+
+
+def superweak_queries(probes: int = 2) -> tuple:
+    """Reachability lookups plus a join through the derived ``Reach``."""
+    queries: list = []
+    for i in range(probes):
+        queries.append(
+            cq(["y"], [("Reach", [Const(f"n{i}"), "y"])], name=f"reach_from_n{i}")
+        )
+    queries.append(cq(["x", "y"], [("Edge", ["x", "y"])], name="edges"))
+    queries.append(
+        cq(
+            ["x", "z"],
+            [("Reach", ["x", "y"]), ("Reach", ["y", "z"])],
+            name="two_hops",
+        )
+    )
+    return tuple(queries)
+
+
+def superweak_workload(
+    nodes: int = 24,
+    links: int = 80,
+    loops: int = 4,
+    probes: int = 3,
+    batches: int = 6,
+    batch_size: int = 10,
+    seed: int = 0,
+) -> SuperweakWorkload:
+    """Build the beyond-weak-acyclicity scenario.
+
+    ``loops`` reflexive ``Link`` facts make the non-WA rule fire for real;
+    each update batch adds ``batch_size`` fresh links (one in four a new
+    self-loop) and retracts half as many live ones.
+    """
+    rng = random.Random(seed)
+    population = [f"n{i}" for i in range(nodes)]
+
+    def draw(loop: bool) -> tuple[str, tuple]:
+        if loop:
+            node = rng.choice(population)
+            return ("Link", (node, node))
+        return ("Link", (rng.choice(population), rng.choice(population)))
+
+    source = Instance()
+    live: set[tuple[str, tuple]] = set()
+    while len(live) < links:
+        live.add(draw(loop=False))
+    for i in range(loops):
+        live.add(("Link", (population[i], population[i])))
+    for fact in sorted(live):
+        source.add(*fact)
+    for i in range(probes):
+        source.add("Probe", (f"p{i}",))
+
+    stream: list[Batch] = []
+    for _ in range(batches):
+        added: list[tuple[str, tuple]] = []
+        misses = 0
+        while len(added) < batch_size:
+            # fall back to plain links once the self-loop pool saturates
+            fact = draw(loop=len(added) % 4 == 0 and misses < 3 * nodes)
+            if fact not in live and fact not in added:
+                added.append(fact)
+            else:
+                misses += 1
+        pool = sorted(live)
+        removed = [
+            pool.pop(rng.randrange(len(pool)))
+            for _ in range(min(batch_size // 2, len(pool)))
+        ]
+        live.difference_update(removed)
+        live.update(added)
+        stream.append((tuple(added), tuple(removed)))
+
+    return SuperweakWorkload(
+        name=f"superweak_{nodes}x{links}",
+        mapping=superweak_mapping(),
+        target_dependencies=superweak_dependencies(),
+        source=source,
+        batches=tuple(stream),
+        queries=superweak_queries(min(probes, nodes)),
+        parameters=(
+            ("nodes", nodes),
+            ("links", links),
+            ("loops", loops),
+            ("probes", probes),
+            ("batches", batches),
+            ("batch_size", batch_size),
+            ("seed", seed),
+        ),
+    )

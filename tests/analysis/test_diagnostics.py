@@ -1,0 +1,77 @@
+"""Diagnostic vocabulary: stable codes, severities, rendering, JSON."""
+
+import json
+
+import pytest
+
+from repro.analysis import AnalysisReport, Diagnostic, KNOWN_CODES, Severity, report
+
+
+def diag(code="TERM001", severity=Severity.INFO, subject="dependencies", **payload):
+    return Diagnostic(code, severity, "termination", subject, "msg", payload)
+
+
+def test_known_codes_cover_every_pass_family():
+    families = {code[:-3] for code in KNOWN_CODES}
+    assert families == {"TERM", "RED", "SHARD", "CONTAIN"}
+
+
+def test_unregistered_codes_are_rejected():
+    with pytest.raises(ValueError, match="unregistered diagnostic code"):
+        Diagnostic("TERM999", Severity.INFO, "termination", "x", "msg")
+
+
+def test_severity_order_and_rank():
+    assert Severity.INFO < Severity.WARNING < Severity.ERROR
+    assert [s.rank for s in (Severity.INFO, Severity.WARNING, Severity.ERROR)] == [0, 1, 2]
+
+
+def test_render_line_has_severity_code_subject_message():
+    line = diag(code="TERM003", severity=Severity.ERROR).render()
+    assert line == "[ERROR TERM003] dependencies: msg"
+
+
+def test_report_buckets_and_ok_flag():
+    rep = report(
+        "demo",
+        [
+            diag(),
+            diag(code="RED001", severity=Severity.WARNING, subject="std:1"),
+            diag(code="TERM003", severity=Severity.ERROR),
+        ],
+    )
+    assert len(rep) == 3
+    assert [d.code for d in rep.errors] == ["TERM003"]
+    assert [d.code for d in rep.warnings] == ["RED001"]
+    assert rep.by_code("RED001")[0].subject == "std:1"
+    assert not rep.ok
+    assert report("demo", [diag()]).ok
+
+
+def test_render_sorts_most_severe_first_and_counts():
+    rep = report(
+        "demo",
+        [diag(), diag(code="TERM003", severity=Severity.ERROR)],
+    )
+    text = rep.render()
+    lines = text.splitlines()
+    assert lines[0] == "analysis of demo: 1 error(s), 0 warning(s), 1 info(s)"
+    assert "[ERROR TERM003]" in lines[1]
+    assert "[INFO TERM001]" in lines[2]
+
+
+def test_reports_merge_with_plus():
+    merged = report("demo", [diag()]) + report("demo", [diag(code="RED003")])
+    assert merged.scope == "demo"
+    assert [d.code for d in merged] == ["TERM001", "RED003"]
+    cross = report("a", []) + report("b", [])
+    assert cross.scope == "a+b"
+
+
+def test_json_round_trips_payload():
+    rep = report("demo", [diag(code="TERM002", tier="safety")])
+    loaded = json.loads(rep.to_json())
+    assert loaded["scope"] == "demo"
+    assert loaded["diagnostics"][0]["payload"] == {"tier": "safety"}
+    assert loaded["diagnostics"][0]["severity"] == "info"
+    assert loaded["diagnostics"][0]["pass"] == "termination"

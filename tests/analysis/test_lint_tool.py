@@ -1,0 +1,160 @@
+"""Self-test of tools/lint_repro.py on synthetic violations."""
+
+import importlib.util
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+TOOL = Path(__file__).resolve().parents[2] / "tools" / "lint_repro.py"
+
+
+@pytest.fixture()
+def lint(monkeypatch, tmp_path):
+    spec = importlib.util.spec_from_file_location("lint_repro_under_test", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "REPO_ROOT", tmp_path)
+    yield module, tmp_path
+    sys.modules.pop(spec.name, None)
+
+
+def write(root: Path, rel: str, code: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(code))
+    return path
+
+
+def test_private_accessor_flagged_outside_sanctioned_modules(lint):
+    module, root = lint
+    bad = write(
+        root,
+        "src/repro/serving/bad.py",
+        """
+        def peek(instance):
+            return instance._tuples("R") | instance._bucket("R", 0, "a")
+        """,
+    )
+    findings = module.lint_file(bad)
+    assert [f.rule for f in findings] == ["private-accessor", "private-accessor"]
+    assert findings[0].line == 3
+
+
+def test_private_accessor_allowed_in_relational_and_cq(lint):
+    module, root = lint
+    for rel in ("src/repro/relational/fine.py", "src/repro/logic/cq.py"):
+        path = write(root, rel, "def f(i):\n    return i._tuples('R')\n")
+        assert module.lint_file(path) == []
+
+
+def test_waiver_comment_suppresses_a_finding(lint):
+    module, root = lint
+    path = write(
+        root,
+        "src/repro/serving/waived.py",
+        """
+        def peek(instance):
+            return instance._tuples("R")  # lint: allow(private-accessor)
+        """,
+    )
+    assert module.lint_file(path) == []
+
+
+def test_waiver_only_covers_its_own_rule(lint):
+    module, root = lint
+    path = write(
+        root,
+        "src/repro/serving/wrong_waiver.py",
+        """
+        def peek(instance):
+            return instance._tuples("R")  # lint: allow(chase-timing)
+        """,
+    )
+    assert [f.rule for f in module.lint_file(path)] == ["private-accessor"]
+
+
+def test_clock_calls_flagged_inside_chase_package(lint):
+    module, root = lint
+    bad = write(
+        root,
+        "src/repro/chase/hot.py",
+        """
+        import time
+        from time import perf_counter
+
+        def step():
+            started = time.perf_counter()
+            wall = time.time()
+            return perf_counter() - started, wall
+        """,
+    )
+    assert [f.rule for f in module.lint_file(bad)] == ["chase-timing"] * 3
+
+
+def test_clock_calls_fine_outside_chase_package(lint):
+    module, root = lint
+    fine = write(
+        root,
+        "src/repro/serving/timed.py",
+        "import time\n\ndef f():\n    return time.perf_counter()\n",
+    )
+    assert module.lint_file(fine) == []
+
+
+def test_lock_order_inversion_flagged(lint):
+    module, root = lint
+    bad = write(
+        root,
+        "src/repro/obs/inversion.py",
+        """
+        def snapshot(self):
+            with self._mutex:
+                with self._admin:
+                    return dict(self._providers)
+        """,
+    )
+    (finding,) = module.lint_file(bad)
+    assert finding.rule == "lock-order"
+    assert finding.line == 4
+
+
+def test_lock_order_correct_nesting_passes(lint):
+    module, root = lint
+    fine = write(
+        root,
+        "src/repro/obs/correct.py",
+        """
+        def snapshot(self):
+            with self._admin:
+                with self._mutex:
+                    return dict(self._providers)
+        """,
+    )
+    assert module.lint_file(fine) == []
+
+
+def test_main_walks_directories_and_sets_exit_code(lint, capsys):
+    module, root = lint
+    write(
+        root,
+        "src/repro/serving/bad.py",
+        "def f(i):\n    return i._tuples('R')\n",
+    )
+    write(root, "src/repro/serving/ok.py", "x = 1\n")
+    assert module.main([str(root / "src")]) == 1
+    out = capsys.readouterr().out
+    assert "bad.py:2" in out and "private-accessor" in out
+    (root / "src/repro/serving/bad.py").unlink()
+    assert module.main([str(root / "src")]) == 0
+
+
+def test_current_tree_is_clean():
+    """The repo itself must pass its own lint (the CI gate)."""
+    spec = importlib.util.spec_from_file_location("lint_repro_clean", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    findings = module.lint_paths([TOOL.parent.parent / "src"])
+    assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,118 @@
+"""Property tests for the tiered termination analyzer.
+
+Two contracts, over randomly generated tgd sets:
+
+* **Tier monotonicity** — the ladder is genuinely ordered: every weakly
+  acyclic set must also be accepted by safety, super-weak acyclicity and
+  the stratified decomposition (each criterion strictly generalises WA).
+* **Soundness** — whenever :func:`analyse_termination` hands out a
+  certificate at *any* tier, the incremental chase of a random instance
+  under those tgds terminates within a generous step watchdog.  An
+  exhausted budget with a certificate in hand would be an analyzer
+  soundness bug, the one class of failure the gate must never have.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.termination import (
+    analyse_termination,
+    is_safe,
+    is_stratified_safe,
+    is_super_weakly_acyclic,
+)
+from repro.chase.dependencies import TGD
+from repro.chase.incremental import chase_incremental
+from repro.chase.weak_acyclicity import is_weakly_acyclic
+from repro.logic.formulas import Atom
+from repro.logic.terms import Var
+from repro.relational.builders import make_instance
+
+RELATIONS = {"R": 2, "S": 2, "P": 1}
+BODY_VARS = [Var("x"), Var("y"), Var("z")]
+EXISTENTIALS = [Var("u"), Var("v")]
+
+#: Generous bound: the random sets have ≤4 rules over ≤6-tuple instances, so
+#: any terminating chase finishes orders of magnitude below this.
+WATCHDOG_STEPS = 5_000
+
+
+@st.composite
+def atoms(draw, variables):
+    relation = draw(st.sampled_from(sorted(RELATIONS)))
+    terms = tuple(
+        draw(st.sampled_from(variables)) for _ in range(RELATIONS[relation])
+    )
+    return Atom(relation, terms)
+
+
+@st.composite
+def tgds(draw):
+    body = tuple(
+        draw(atoms(BODY_VARS)) for _ in range(draw(st.integers(1, 2)))
+    )
+    body_vars = sorted(
+        {t for atom in body for t in atom.terms}, key=lambda v: v.name
+    )
+    head_vars = body_vars + EXISTENTIALS
+    head = tuple(
+        draw(atoms(head_vars)) for _ in range(draw(st.integers(1, 2)))
+    )
+    return TGD(body, head)
+
+
+@st.composite
+def tgd_sets(draw):
+    return [draw(tgds()) for _ in range(draw(st.integers(1, 4)))]
+
+
+@st.composite
+def small_instances(draw):
+    pool = ["a", "b", "c"]
+    facts = {}
+    for relation, arity in RELATIONS.items():
+        tuples = draw(
+            st.lists(
+                st.tuples(*[st.sampled_from(pool)] * arity),
+                max_size=2,
+                unique=True,
+            )
+        )
+        if tuples:
+            facts[relation] = tuples
+    return make_instance(facts)
+
+
+@settings(max_examples=120, deadline=None)
+@given(tgd_sets())
+def test_every_weakly_acyclic_set_is_accepted_by_each_richer_tier(rules):
+    if not is_weakly_acyclic(rules):
+        return
+    assert is_safe(rules), rules
+    assert is_super_weakly_acyclic(rules), rules
+    assert is_stratified_safe(rules), rules
+
+
+@settings(max_examples=120, deadline=None)
+@given(tgd_sets())
+def test_accepted_tier_is_the_first_accepting_one(rules):
+    decision = analyse_termination(rules)
+    if not decision.accepted:
+        assert decision.tier is None
+        return
+    ladder = [t for t in decision.tiers if not t.skipped]
+    assert ladder[-1].name == decision.tier
+    assert ladder[-1].accepted
+    assert all(not t.accepted for t in ladder[:-1])
+
+
+@settings(max_examples=80, deadline=None)
+@given(tgd_sets(), small_instances())
+def test_any_certificate_implies_incremental_chase_termination(rules, instance):
+    decision = analyse_termination(rules)
+    if not decision.accepted:
+        return
+    result = chase_incremental(instance, rules, max_steps=WATCHDOG_STEPS)
+    assert result.terminated, (
+        f"tier {decision.tier!r} certified termination but the chase "
+        f"exhausted {WATCHDOG_STEPS} steps on {rules!r}"
+    )

@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Repo-invariant AST lint (no third-party deps; CI gate).
+
+Walks ``src/`` and enforces three structural invariants that code review
+kept re-litigating:
+
+* ``private-accessor`` — the raw index accessors ``Instance._tuples`` /
+  ``Instance._bucket`` are trusted read-only hot paths; nothing outside
+  ``src/repro/relational/`` and ``src/repro/logic/cq.py`` may touch them
+  (everyone else goes through ``lookup``/``relation``/``index``).
+* ``chase-timing`` — no ``time.time()`` / ``time.perf_counter()`` inside
+  ``src/repro/chase/``: the chase inner loops are measured by their
+  callers (observability lives in ``repro.obs``), and a stray clock call
+  per trigger poisons both the numbers and the cache behaviour.
+* ``lock-order`` — never acquire the registry/admin mutex while holding a
+  metrics-style ``_mutex``: the metrics snapshot path takes locks the
+  other way around, and the inversion deadlocks under concurrent
+  register/snapshot.
+
+A finding can be waived on its line with ``# lint: allow(<rule>)`` — the
+waiver is part of the diff, so it shows up in review.
+
+Usage: ``python tools/lint_repro.py [paths...]`` (default ``src``); exits
+``1`` when any unwaived finding remains.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+PRIVATE_ACCESSORS = {"_tuples", "_bucket"}
+# Directories/files allowed to use the raw accessors (repo-relative, POSIX).
+PRIVATE_ACCESSOR_ALLOWED = ("src/repro/relational/", "src/repro/logic/cq.py")
+CHASE_DIR = "src/repro/chase/"
+TIMING_CALLS = {("time", "time"), ("time", "perf_counter")}
+TIMING_BARE = {"perf_counter"}
+METRICS_MUTEXES = {"_mutex"}
+REGISTRY_MUTEXES = {"_admin"}
+
+ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+
+def _relpath(path: Path) -> str:
+    """Repo-relative POSIX path; paths outside the repo stay absolute."""
+    try:
+        return path.relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def render(self) -> str:
+        return f"{_relpath(self.path)}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _waivers(source: str) -> dict[int, set[str]]:
+    """line number -> rules waived on that line."""
+    out: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = ALLOW_RE.search(text)
+        if match:
+            out[lineno] = {rule.strip() for rule in match.group(1).split(",")}
+    return out
+
+
+def _attr_name(node: ast.expr) -> str | None:
+    return node.attr if isinstance(node, ast.Attribute) else None
+
+
+def _is_timing_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return (func.value.id, func.attr) in TIMING_CALLS
+    if isinstance(func, ast.Name):
+        return func.id in TIMING_BARE
+    return False
+
+
+def _with_mutexes(node: ast.With, names: set[str]) -> bool:
+    """Does the with statement acquire an attribute-named mutex from ``names``?"""
+    for item in node.items:
+        expr = item.context_expr
+        # both `with self._mutex:` and `with lock.acquire_timeout(...)` shapes
+        if _attr_name(expr) in names:
+            return True
+        if isinstance(expr, ast.Call) and _attr_name(expr.func) in names:
+            return True
+    return False
+
+
+def lint_file(path: Path) -> list[Finding]:
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:  # pragma: no cover - the test suite would fail first
+        return [Finding(path, exc.lineno or 1, "parse-error", str(exc))]
+    rel = _relpath(path)
+    waivers = _waivers(source)
+    findings: list[Finding] = []
+
+    def flag(node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if rule in waivers.get(line, ()):
+            return
+        findings.append(Finding(path, line, rule, message))
+
+    accessor_allowed = rel.startswith(PRIVATE_ACCESSOR_ALLOWED[0]) or rel == (
+        PRIVATE_ACCESSOR_ALLOWED[1]
+    )
+    in_chase = rel.startswith(CHASE_DIR)
+
+    for node in ast.walk(tree):
+        if (
+            not accessor_allowed
+            and isinstance(node, ast.Attribute)
+            and node.attr in PRIVATE_ACCESSORS
+        ):
+            flag(
+                node,
+                "private-accessor",
+                f"raw Instance accessor .{node.attr} outside "
+                f"{PRIVATE_ACCESSOR_ALLOWED[0]} / {PRIVATE_ACCESSOR_ALLOWED[1]}; "
+                "use lookup()/relation()/index() instead",
+            )
+        if in_chase and isinstance(node, ast.Call) and _is_timing_call(node):
+            flag(
+                node,
+                "chase-timing",
+                "clock call inside the chase package; time at the caller "
+                "(repro.obs instruments the serving layer)",
+            )
+        if isinstance(node, ast.With) and _with_mutexes(node, METRICS_MUTEXES):
+            for inner in ast.walk(node):
+                if (
+                    isinstance(inner, ast.With)
+                    and _with_mutexes(inner, REGISTRY_MUTEXES)
+                ):
+                    flag(
+                        inner,
+                        "lock-order",
+                        "registry/admin mutex acquired while holding a metrics "
+                        "_mutex; invert the nesting (snapshot paths take "
+                        "_mutex last)",
+                    )
+    return findings
+
+
+def lint_paths(paths: list[Path]) -> list[Finding]:
+    findings: list[Finding] = []
+    for root in paths:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            findings.extend(lint_file(file))
+    findings.sort(key=lambda f: (str(f.path), f.line))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    targets = [Path(arg).resolve() for arg in argv] or [REPO_ROOT / "src"]
+    findings = lint_paths(targets)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
