@@ -13,7 +13,9 @@ scoped to the relations the batch touched, registers the same mapping as a
 per-shard stats), prints ``service.explain(...)`` plans and enabled-tracer
 span trees for one scatter and one merged-route query, moves the shards
 into dedicated **worker processes** (``shard_workers="process"``) and kills
-one to show graceful degradation (caught by the flight recorder), lints a
+one to show graceful degradation (caught by the flight recorder), splits a
+structurally hot shard live with ``service.rebalance`` (epoch-published
+bucket handoff, answers pinned across the move), lints a
 deliberately smelly scenario with ``service.lint`` (a redundant STD, a
 residual-forcing target dependency, and a cross-scenario containment hit),
 and ends with the structured ``stats()`` and ``metrics()`` snapshots.
@@ -41,6 +43,7 @@ from repro import cq, make_instance, mapping_from_rules
 from repro.chase.dependencies import parse_dependencies
 from repro.obs import FLIGHT_RECORDER, TRACER, format_trace
 from repro.serving import ExchangeService, ServingDeprecationWarning
+from repro.workloads.elastic import elastic_workload
 
 warnings.simplefilter("error", ServingDeprecationWarning)
 
@@ -178,6 +181,39 @@ def main() -> None:
 
     print("\n== The flight recorder caught the rare-path events ==")
     for event in FLIGHT_RECORDER.events(scenario="employees@procs"):
+        print(f"{event.kind}: {event.detail}")
+
+    print("\n== Elastic sharding: split a hot shard while it serves ==")
+    # The elastic workload *mines* its hot customer keys onto shard 0's
+    # buckets, so the imbalance is structural — exactly the situation the
+    # rebalancer exists for.  A dry run shows the plan; the live run moves
+    # the buckets through shadow shards and publishes the new routing
+    # table at the next epoch.  Readers only ever pause for the publish
+    # (the O(#shards) swap), never for the movement itself.
+    hot = elastic_workload(customers=24, accounts=160, batches=0)
+    service.register("bank@4", hot.mapping, hot.source,
+                     hot.target_dependencies, shards=4)
+    before = service.stats("bank@4").sharding
+    print(f"before: imbalance={before.imbalance:.2f}, "
+          f"routing epoch={before.routing_epoch}, "
+          f"hot keys={[k for k, _ in before.key_histograms[0][:3]]}")
+    plan = service.rebalance("bank@4", dry_run=True)
+    print(f"dry run: {len(plan.moves)} bucket move(s), "
+          f"imbalance {plan.imbalance_before:.2f} -> "
+          f"{plan.imbalance_projected:.2f} (nothing applied)")
+    probe = hot.queries[0]  # a lookup pinned to one of the mined hot keys
+    answers_before = service.query("bank@4", probe).answers
+    report = service.rebalance("bank@4")
+    after = service.stats("bank@4").sharding
+    print(f"applied: moved {report.moved_facts} facts / {report.moved_keys} keys, "
+          f"epoch {before.routing_epoch} -> {report.epoch_after}, "
+          f"publish window {report.publish_seconds * 1000:.2f}ms "
+          f"(prepare {report.prepare_seconds * 1000:.2f}ms)")
+    print(f"after: imbalance={after.imbalance:.2f}, "
+          f"reshards={after.reshards}")
+    assert service.query("bank@4", probe).answers == answers_before
+    print("hot-key query answers unchanged across the handoff")
+    for event in FLIGHT_RECORDER.events(kind="reshard_commit", scenario="bank@4"):
         print(f"{event.kind}: {event.detail}")
 
     print("\n== Static analysis: lint a scenario, probe cross-scenario containment ==")

@@ -47,11 +47,19 @@ class ScatterRule:
 
 @dataclass(frozen=True)
 class ShardFanout:
-    """Which shards a scatter would consult, and why."""
+    """Which shards a scatter would consult, and why.
+
+    ``routing_epoch`` and ``states`` make a surprising route diagnosable
+    after a reshard or worker failure: the epoch says which bucket layout
+    pinned the probe, the per-shard state strings (``"thread"``,
+    ``"process(gen=N)"``, ``"degraded(gen=N)"``) say who would serve it.
+    """
 
     shards: int
     pinned: tuple[int, ...] | None  # None → all worker shards
     consulted: tuple[int, ...]  # indexes actually holding relevant facts
+    routing_epoch: int | None = None  # the live bucket layout's epoch
+    states: tuple[str, ...] = ()  # per-shard backend state, residual last
 
 
 @dataclass(frozen=True)
@@ -89,6 +97,8 @@ class QueryExplain:
                 "shards": self.fanout.shards,
                 "pinned": None if self.fanout.pinned is None else list(self.fanout.pinned),
                 "consulted": list(self.fanout.consulted),
+                "routing_epoch": self.fanout.routing_epoch,
+                "states": list(self.fanout.states),
             },
             "join_order": [
                 {
@@ -118,6 +128,11 @@ class QueryExplain:
                 f"fanout: {len(self.fanout.consulted)}/{self.fanout.shards} shards  "
                 f"pinned={pinned}  consulted={list(self.fanout.consulted)}"
             )
+            if self.fanout.routing_epoch is not None:
+                lines.append(
+                    f"routing: epoch={self.fanout.routing_epoch}  "
+                    f"states={list(self.fanout.states)}"
+                )
         for position, step in enumerate(self.join_order, start=1):
             lines.append(
                 f"join {position}: {step.atom}  "

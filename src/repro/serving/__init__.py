@@ -25,6 +25,13 @@ async serving, alternative backends) plugs into:
   updates fan out per shard on a worker pool with inverse-delta rollback,
   scatter-safe queries evaluate per shard in parallel and union, the rest
   over merged views — registered via ``service.register(..., shards=N)``;
+* :mod:`repro.serving.elastic` — the elastic layer on top of sharding:
+  epoch-versioned bucket routing (:class:`RoutingTable` behind
+  :class:`EpochRouter`), the service-global two-phase :class:`EpochClock`,
+  the :class:`Rebalancer` split-hot/merge-cold policy, and the bounded
+  :class:`TopKCounter` key histograms — applied live through
+  ``service.rebalance(name)`` (shadow-shard prepare under the read lock,
+  O(#shards) publish under the write lock);
 * :mod:`repro.serving.concurrency` — the writer-preferring
   :class:`ReadWriteLock` (with contention counters, re-entrancy misuse
   raising instead of deadlocking) the service guards each scenario with;
@@ -99,6 +106,16 @@ from repro.serving.cache import (
 )
 from repro.serving.concurrency import LockStats, ReadWriteLock
 from repro.serving.core_engine import core_of_delta, core_of_indexed, null_blocks
+from repro.serving.elastic import (
+    EpochClock,
+    EpochRouter,
+    PendingReshard,
+    RebalanceReport,
+    Rebalancer,
+    ReshardMove,
+    RoutingTable,
+    TopKCounter,
+)
 from repro.serving.materialized import (
     AnswerOutcome,
     AppliedDelta,
@@ -151,6 +168,14 @@ __all__ = [
     "core_of_delta",
     "core_of_indexed",
     "null_blocks",
+    "EpochClock",
+    "EpochRouter",
+    "PendingReshard",
+    "RebalanceReport",
+    "Rebalancer",
+    "ReshardMove",
+    "RoutingTable",
+    "TopKCounter",
     "AnswerOutcome",
     "AppliedDelta",
     "MaterializedExchange",

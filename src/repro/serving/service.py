@@ -65,6 +65,13 @@ from repro.obs.trace import TRACER
 from repro.relational.instance import Instance
 from repro.serving.cache import CacheStats
 from repro.serving.concurrency import LockStats, ReadWriteLock
+from repro.serving.elastic import (
+    EpochClock,
+    RebalanceReport,
+    Rebalancer,
+    ReshardMove,
+    project_worker_loads,
+)
 from repro.serving.materialized import (
     AppliedDelta,
     Fact,
@@ -132,6 +139,10 @@ class QueryResult:
     elapsed_seconds: float
     lock_wait_seconds: float = 0.0
     evaluate_seconds: float = 0.0
+    # The service-global epoch watermark this answer was served at: every
+    # publish (transaction commit, reshard) up to it had fully settled,
+    # none after it had started being visible to this reader.
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -167,6 +178,9 @@ class UpdateResult:
     elapsed_seconds: float
     lock_wait_seconds: float = 0.0
     evaluate_seconds: float = 0.0
+    # The service-global epoch this commit published at (issued by the
+    # EpochClock's two-phase publish; 0 only for pre-epoch no-op results).
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -196,6 +210,8 @@ class ServiceStats:
     """The service-wide snapshot: one :class:`ScenarioStats` per scenario."""
 
     scenarios: tuple[ScenarioStats, ...]
+    # The epoch watermark at snapshot time (see QueryResult.epoch).
+    epoch: int = 0
 
     def scenario(self, name: str) -> ScenarioStats:
         for stats in self.scenarios:
@@ -311,6 +327,14 @@ class Transaction:
                 while acquired:
                     acquired.pop().release_write()
 
+            # Two-phase global epoch publish: the token is issued once the
+            # write locks are held, settled exactly once on the way out —
+            # commit on success, abort on any failure (rollback included) —
+            # so the service watermark only ever covers fully settled
+            # publishes.  The finally also settles async-exception flights
+            # (a KeyboardInterrupt mid-commit must not stall the watermark).
+            token = self._service._epoch.begin_publish()
+            published = False
             committed: list[tuple[str, AppliedDelta]] = []
             try:
                 for name in names:
@@ -342,7 +366,9 @@ class Transaction:
                         elapsed_seconds=elapsed,
                         lock_wait_seconds=lock_waits.get(name, 0.0),
                         evaluate_seconds=elapsed,
+                        epoch=token,
                     )
+                published = True
             except Exception as failure:
                 self.results.clear()
                 FLIGHT_RECORDER.record(
@@ -365,6 +391,11 @@ class Transaction:
                         # rollback error rides along as its __context__).
                         continue
                 raise
+            finally:
+                if published:
+                    self._service._epoch.commit_publish(token)
+                else:
+                    self._service._epoch.abort_publish(token)
         finally:
             while acquired:
                 acquired.pop().release_write()
@@ -402,6 +433,10 @@ class ExchangeService:
 
     def __init__(self, registry: ScenarioRegistry | None = None):
         self._registry = registry if registry is not None else ScenarioRegistry()
+        # The service-global epoch: every publish (transaction commit,
+        # reshard) runs begin_publish -> commit/abort_publish on it, and
+        # every query reports its watermark.
+        self._epoch = EpochClock()
         self._locks: dict[str, ReadWriteLock] = {}
         # Guards the lock table and registration.  Ordering rule: a scenario
         # lock may be held when _admin is taken (deregister does), but never
@@ -566,6 +601,9 @@ class ExchangeService:
                     max_extra_tuples=request.max_extra_tuples,
                 )
                 span.annotate(route=outcome.route, cached=outcome.cached)
+            # Sampled while the read lock still excludes writers: the
+            # watermark is consistent with the data this answer read.
+            epoch = self._epoch.current()
         finally:
             lock.release_read()
         done = time.perf_counter()
@@ -585,6 +623,7 @@ class ExchangeService:
             elapsed_seconds=done - start,
             lock_wait_seconds=lock_wait,
             evaluate_seconds=evaluate,
+            epoch=epoch,
         )
 
     def explain(
@@ -695,7 +734,7 @@ class ExchangeService:
                 # of failing the monitoring caller.  (Asking for one scenario
                 # by name still raises — that caller named it on purpose.)
                 continue
-        return ServiceStats(tuple(collected))
+        return ServiceStats(tuple(collected), epoch=self._epoch.current())
 
     def _scenario_stats(self, name: str) -> ScenarioStats:
         lock, exchange = self._read_locked_exchange(name)
@@ -715,6 +754,122 @@ class ExchangeService:
             )
         finally:
             lock.release_read()
+
+    # -- elastic rebalancing -----------------------------------------------
+
+    def rebalance(
+        self,
+        name: str,
+        moves: Iterable[ReshardMove | tuple[int, int]] | None = None,
+        rebalancer: Rebalancer | None = None,
+        dry_run: bool = False,
+        max_attempts: int = 3,
+    ) -> RebalanceReport:
+        """Plan — and unless ``dry_run`` — apply one live reshard of ``name``.
+
+        With ``moves`` omitted, the :class:`Rebalancer` policy proposes the
+        plan from the live per-bucket loads (pass a configured one to tune
+        the threshold); explicit ``moves`` are validated against the live
+        routing table instead.
+
+        The lock choreography keeps readers flowing through the expensive
+        part: the plan and the shadow-shard build (phase one) run under the
+        scenario's *read* lock — writers are excluded by the
+        writer-preferring lock, readers are not — and only the O(#shards)
+        publish (phase two) takes the write lock.  If a writer slips in
+        between the phases the commit detects the stale batch epoch,
+        discards the shadows and the whole cycle retries (at most
+        ``max_attempts`` times) against the new state.  Every publish runs
+        through the service's two-phase :class:`EpochClock`, so queries
+        report a watermark covering it only once fully settled.
+        """
+        policy = rebalancer if rebalancer is not None else Rebalancer()
+        attempts = 0
+        while True:
+            attempts += 1
+            lock, exchange = self._read_locked_exchange(name)
+            pending = None
+            try:
+                if not isinstance(exchange, ShardedExchange):
+                    raise ServingError(
+                        f"scenario {name!r} is not sharded; nothing to rebalance"
+                    )
+                routing = exchange.routing_snapshot()
+                loads = exchange.bucket_loads()
+                worker_loads = project_worker_loads(loads, routing)
+                mean = sum(worker_loads) / len(worker_loads) if worker_loads else 0.0
+                imbalance_before = (max(worker_loads) / mean) if mean else 0.0
+                if moves is None:
+                    plan = policy.plan_moves(routing, loads)
+                else:
+                    plan = exchange._normalise_moves(moves, routing)
+                if plan:
+                    projected = project_worker_loads(
+                        loads,
+                        routing.reassign({m.bucket: m.recipient for m in plan}),
+                    )
+                    imbalance_projected = (max(projected) / mean) if mean else 0.0
+                else:
+                    imbalance_projected = imbalance_before
+                report = RebalanceReport(
+                    scenario=name,
+                    moves=plan,
+                    applied=False,
+                    routing_epoch=routing.epoch,
+                    imbalance_before=imbalance_before,
+                    imbalance_projected=imbalance_projected,
+                )
+                if dry_run or not plan:
+                    return report
+                pending = exchange.prepare_reshard(plan)
+            finally:
+                lock.release_read()
+
+            # Upgrade to the write lock (same stale-lock revalidation the
+            # transaction commit uses), then publish.
+            while True:
+                write_lock = self._lock(name)
+                write_lock.acquire_write()
+                if self._locks.get(name) is write_lock:
+                    break
+                write_lock.release_write()
+            token = self._epoch.begin_publish()
+            published = False
+            retry = False
+            try:
+                if name not in self._registry or self._registry.get(name) is not exchange:
+                    exchange.abort_reshard(
+                        pending, reason="scenario replaced mid-rebalance"
+                    )
+                    raise ServingError(
+                        f"scenario {name!r} was replaced during the rebalance"
+                    )
+                try:
+                    exchange.commit_reshard(pending)
+                    published = True
+                except ServingError:
+                    # A writer committed between the phases; the commit
+                    # already discarded the shadows.  Retry from scratch.
+                    if attempts >= max_attempts:
+                        raise
+                    retry = True
+            finally:
+                if published:
+                    self._epoch.commit_publish(token)
+                else:
+                    self._epoch.abort_publish(token)
+                write_lock.release_write()
+            if retry:
+                continue
+            return replace(
+                report,
+                applied=True,
+                epoch_after=pending.table.epoch,
+                moved_facts=pending.moved_facts,
+                moved_keys=pending.moved_keys,
+                prepare_seconds=pending.prepare_seconds,
+                publish_seconds=pending.publish_seconds,
+            )
 
     def lint(self, name: str) -> AnalysisReport:
         """Run every static-analysis pass over one registered scenario.

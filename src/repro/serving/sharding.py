@@ -84,8 +84,8 @@ describes the same committed batch).
 from __future__ import annotations
 
 import threading
+import time
 import warnings
-import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Optional, Sequence
@@ -106,12 +106,21 @@ from repro.serving.cache import (
     query_fingerprint,
     version_vector,
 )
+from repro.serving.elastic import (
+    EpochRouter,
+    PendingReshard,
+    ReshardMove,
+    RoutingTable,
+    TopKCounter,
+    bucket_of_value,
+)
 from repro.serving.materialized import (
     AnswerOutcome,
     AppliedDelta,
     Fact,
     MaterializedExchange,
     ServingDeprecationWarning,
+    ServingError,
     UpdateStats,
     normalise_delta,
     query_target_relations,
@@ -125,6 +134,13 @@ _SCATTER_FANOUT = METRICS.histogram(
     "sharding.scatter_fanout_shards",
     "Shards consulted per scatter-gather query after pruning",
     buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+)
+_RESHARDS_TOTAL = METRICS.counter(
+    "sharding.reshards_total", "Committed live reshards (bucket handoffs)"
+)
+_RESHARD_PUBLISH = METRICS.histogram(
+    "sharding.reshard_publish_seconds",
+    "Exclusive publish window per committed reshard (the reader-visible part)",
 )
 
 __all__ = [
@@ -154,12 +170,15 @@ def shard_of_value(value: Any, shards: int) -> int:
       hash(True)``) and unsalted for numbers — so the common key types
       (ids, numbers) are also process-stable, while exotic hashable keys
       are at least always routed consistently within a process.
+
+    Since the elastic layer this is one rule shared with the bucket
+    routing: :func:`repro.serving.elastic.bucket_of_value` holds the
+    implementation, and because the initial :class:`RoutingTable` assigns
+    bucket ``b`` to worker ``b % workers`` over a bucket count that is a
+    multiple of ``workers``, ``table.worker_of_value(v)`` equals
+    ``shard_of_value(v, workers)`` until the first reshard.
     """
-    if isinstance(value, str):
-        return zlib.crc32(value.encode("utf-8", "surrogatepass")) % shards
-    if isinstance(value, bytes):
-        return zlib.crc32(value) % shards
-    return hash(value) % shards
+    return bucket_of_value(value, shards)
 
 
 @dataclass(frozen=True)
@@ -312,18 +331,23 @@ class ShardPlan:
             return True, f"key-joined({joined.name})"
         return False, "not-key-joined"
 
-    def scatter_shards(self, query: AnyQuery) -> Optional[frozenset[int]]:
+    def scatter_shards(
+        self, query: AnyQuery, routing: Optional[RoutingTable] = None
+    ) -> Optional[frozenset[int]]:
         """Worker shards that can contribute answers to a scatter-safe query.
 
         ``None`` means every worker shard may contribute.  A disjunct whose
         body names a *constant* at a key position of a partitioned-only
         relation is pinned: all facts of such a relation carry the shard
-        key there, so every body instantiation lives in
-        ``shard_of_value(constant)`` and the other workers can only answer
-        with nothing — the hot per-entity lookup pattern turns into a
-        single-shard (plus residual) probe instead of a full fan-out.
-        The residual shard is never pruned here (the caller always keeps
-        it): residual-only disjuncts simply pin no worker at all.
+        key there, so every body instantiation lives in that constant's
+        shard and the other workers can only answer with nothing — the hot
+        per-entity lookup pattern turns into a single-shard (plus residual)
+        probe instead of a full fan-out.  ``routing`` is the live
+        epoch-versioned table (a reshard moves the pin with the bucket);
+        without one the initial modulo layout decides, which is identical
+        until the first reshard.  The residual shard is never pruned here
+        (the caller always keeps it): residual-only disjuncts simply pin no
+        worker at all.
         """
         disjuncts = (
             query.disjuncts
@@ -335,14 +359,17 @@ class ShardPlan:
         for cq in disjuncts:
             if {atom.relation for atom in cq.atoms} <= self.residual_targets:
                 continue  # lives wholly in the residual shard: no worker
-            shard = self._pinned_worker(cq, keys)
+            shard = self._pinned_worker(cq, keys, routing)
             if shard is None:
                 return None
             pinned.add(shard)
         return frozenset(pinned)
 
     def _pinned_worker(
-        self, cq: ConjunctiveQuery, keys: Mapping[str, frozenset[int]]
+        self,
+        cq: ConjunctiveQuery,
+        keys: Mapping[str, frozenset[int]],
+        routing: Optional[RoutingTable] = None,
     ) -> Optional[int]:
         """The one worker shard a disjunct's matches can come from, if any.
 
@@ -357,6 +384,8 @@ class ShardPlan:
                 if position < len(atom.terms):
                     term = atom.terms[position]
                     if isinstance(term, Const):
+                        if routing is not None:
+                            return routing.worker_of_value(term.value)
                         return shard_of_value(term.value, self.spec.shards)
         return None
 
@@ -700,6 +729,15 @@ class ShardingStats:
     worker_mode: str = "thread"
     # Worker deaths/timeouts that degraded a shard to in-process evaluation.
     worker_failures: int = 0
+    # The live routing table's epoch and bucket count (repro.serving.elastic);
+    # the epoch advances once per committed reshard.
+    routing_epoch: int = 0
+    buckets: int = 0
+    # Committed live reshards (bucket handoffs) on this exchange.
+    reshards: int = 0
+    # Per worker shard: the bounded top-K ingest histogram of partition keys
+    # (cumulative traffic, the rebalancer's capacity-debugging signal).
+    key_histograms: tuple[tuple[tuple[Any, int], ...], ...] = ()
 
 
 class ShardedExchange:
@@ -745,6 +783,13 @@ class ShardedExchange:
         self._scatter_queries = 0
         self._merged_queries = 0
         self._fanout_applies = 0
+        self._reshards = 0
+        # The epoch-versioned routing state (repro.serving.elastic): reads go
+        # through routing_snapshot(), publishes through the reshard commit.
+        # The initial table routes exactly like plan.shard_of.
+        self._router = EpochRouter(RoutingTable.initial(partition.shards))
+        # Per worker shard: bounded top-K ingest histogram of partition keys.
+        self._key_hist = tuple(TopKCounter() for _ in range(partition.shards))
         # The lazily maintained merged target view (the fallback for
         # monotone queries that may join across the partition), guarded by
         # the composed version vector like any cache entry.
@@ -757,8 +802,12 @@ class ShardedExchange:
         slices = [
             Instance(schema=source.schema) for _ in range(partition.shards + 1)
         ]
+        routing = self._router.snapshot()
         for relation, tup in self.source.facts():
-            slices[self.plan.shard_of(relation, tup)].add(relation, tup)
+            index = self._shard_of(relation, tup, routing)
+            slices[index].add(relation, tup)
+            if index < partition.shards:
+                self._key_hist[index].add(tup[partition.key_position(relation)])
         # In thread mode shard materialization is deliberately sequential: the
         # initial trigger enumeration and chase are pure-Python CPU work,
         # which a thread pool cannot overlap under the GIL.  Process shards
@@ -828,7 +877,60 @@ class ShardedExchange:
             return f"{self.name}/residual"
         return f"{self.name}/shard{index}"
 
+    def _shard_of(self, relation: str, tup: tuple, routing: RoutingTable) -> int:
+        """The live shard of one source fact under the given routing epoch.
+
+        Same residual decisions as :meth:`ShardPlan.shard_of`; the worker
+        choice goes through the epoch-versioned table so committed bucket
+        moves take effect for every later batch.
+        """
+        if relation in self.plan.residual_sources:
+            return self.plan.spec.shards
+        position = self.plan.spec.key_position(relation)
+        if position >= len(tup):
+            return self.plan.spec.shards
+        return routing.worker_of_value(tup[position])
+
     # -- read access -------------------------------------------------------
+
+    def routing_snapshot(self) -> RoutingTable:
+        """The current epoch-consistent routing table (the *only* read path —
+        the ``routing-table`` lint rule keeps raw table access inside
+        :mod:`repro.serving.elastic`)."""
+        return self._router.snapshot()
+
+    def bucket_loads(self) -> dict[int, int]:
+        """Partitioned source facts per routing bucket (the rebalancer input).
+
+        Computed from the merged source view — O(|source|), exact, and
+        independent of which worker currently owns each bucket.  Residual
+        relations and key-less tuples never occupy a bucket.
+        """
+        routing = self._router.snapshot()
+        loads = dict.fromkeys(range(routing.buckets), 0)
+        for relation, tup in self.source.facts():
+            if relation in self.plan.residual_sources:
+                continue
+            position = self.plan.spec.key_position(relation)
+            if position >= len(tup):
+                continue
+            loads[routing.bucket_of(tup[position])] += 1
+        return loads
+
+    def shard_states(self) -> tuple[str, ...]:
+        """One state string per shard (worker shards first, residual last):
+        ``"thread"``, ``"process(gen=N)"`` or ``"degraded(gen=N)"`` — the
+        per-shard generation the explain layer reports after failures."""
+        states = []
+        for shard in self.shards:
+            degraded = getattr(shard, "degraded", None)
+            if degraded is None:
+                states.append("thread")
+            elif degraded:
+                states.append(f"degraded(gen={shard.generation})")
+            else:
+                states.append(f"process(gen={shard.generation})")
+        return tuple(states)
 
     @property
     def mapping(self):
@@ -910,12 +1012,14 @@ class ShardedExchange:
     def sharding_stats(self) -> ShardingStats:
         """The epoch-consistent sharding snapshot (see :class:`ShardingStats`)."""
         with self._counter_mutex:
-            scatter, merged, fanout, failures = (
+            scatter, merged, fanout, failures, reshards = (
                 self._scatter_queries,
                 self._merged_queries,
                 self._fanout_applies,
                 self._worker_failures,
+                self._reshards,
             )
+        routing = self._router.snapshot()
         worker_sizes = [len(shard.source) for shard in self.workers]
         mean = sum(worker_sizes) / len(worker_sizes) if worker_sizes else 0.0
         return ShardingStats(
@@ -933,6 +1037,10 @@ class ShardedExchange:
             imbalance=(max(worker_sizes) / mean) if mean else 0.0,
             worker_mode=self._worker_mode,
             worker_failures=failures,
+            routing_epoch=routing.epoch,
+            buckets=routing.buckets,
+            reshards=reshards,
+            key_histograms=tuple(hist.top() for hist in self._key_hist),
         )
 
     def close(self) -> None:
@@ -966,11 +1074,20 @@ class ShardedExchange:
         if not to_add and not to_remove:
             return AppliedDelta()
 
+        routing = self._router.snapshot()
+        workers = self.plan.spec.shards
         per_shard: dict[int, tuple[list[Fact], list[Fact]]] = {}
         for fact in to_add:
-            per_shard.setdefault(self.plan.shard_of(*fact), ([], []))[0].append(fact)
+            index = self._shard_of(*fact, routing)
+            per_shard.setdefault(index, ([], []))[0].append(fact)
+            if index < workers:  # ingest-traffic histogram (adds only)
+                self._key_hist[index].add(
+                    fact[1][self.plan.spec.key_position(fact[0])]
+                )
         for fact in to_remove:
-            per_shard.setdefault(self.plan.shard_of(*fact), ([], []))[1].append(fact)
+            per_shard.setdefault(self._shard_of(*fact, routing), ([], []))[1].append(
+                fact
+            )
 
         self.update_stats.batches += 1
         replays_before = sum(shard.update_stats.replays for shard in self.shards)
@@ -1112,6 +1229,217 @@ class ShardedExchange:
         self.shards = tuple(shards)
         self._close_shard(old)
 
+    # -- live reshard (elastic bucket handoff) -----------------------------
+
+    def _normalise_moves(
+        self,
+        moves: Iterable[ReshardMove | tuple[int, int]],
+        routing: RoutingTable,
+    ) -> tuple[ReshardMove, ...]:
+        """Validate a move plan against ``routing`` and fill in the donors.
+
+        Accepts :class:`ReshardMove` records or bare ``(bucket, recipient)``
+        pairs; a move whose claimed donor disagrees with the live table is a
+        stale plan (computed under an older epoch) and is rejected rather
+        than silently rerouted.  No-op moves (recipient already owns the
+        bucket) drop out; an entirely empty plan raises.
+        """
+        workers = self.plan.spec.shards
+        plan: list[ReshardMove] = []
+        seen: set[int] = set()
+        for move in moves:
+            if isinstance(move, ReshardMove):
+                bucket, recipient, claimed = move.bucket, move.recipient, move.donor
+            else:
+                bucket, recipient = move
+                claimed = None
+            if not 0 <= bucket < routing.buckets:
+                raise ServingError(
+                    f"bucket {bucket} out of range (table has {routing.buckets})"
+                )
+            if not 0 <= recipient < workers:
+                raise ServingError(
+                    f"recipient {recipient} out of range ({workers} workers)"
+                )
+            donor = routing.worker_of_bucket(bucket)
+            if claimed is not None and claimed != donor:
+                raise ServingError(
+                    f"bucket {bucket} is owned by worker {donor}, not "
+                    f"{claimed} — stale plan (routing epoch {routing.epoch})"
+                )
+            if bucket in seen:
+                raise ServingError(f"bucket {bucket} moved twice in one plan")
+            seen.add(bucket)
+            if donor == recipient:
+                continue
+            plan.append(ReshardMove(bucket=bucket, donor=donor, recipient=recipient))
+        if not plan:
+            raise ServingError("a reshard needs at least one effective bucket move")
+        return tuple(plan)
+
+    def prepare_reshard(
+        self, moves: Iterable[ReshardMove | tuple[int, int]]
+    ) -> PendingReshard:
+        """Phase one of a live bucket handoff: build shadow shards off-line.
+
+        Readers are never touched: the moving facts are extracted from the
+        donor shards' (parent-side) sources, every affected shard is cloned
+        from its current source, and the movement is applied to the clones
+        through the same inverse-delta-protected ``apply_delta`` the data
+        plane trusts — one mixed batch per shadow, removes on donors, adds
+        on recipients.  The live shards keep serving the old layout
+        throughout; any failure (a chase error, a shadow worker-process
+        death that fails even its degraded rebuild) discards the shadows
+        and leaves the exchange exactly as it was.
+
+        Requires writers to be excluded (the service holds the scenario
+        read lock, which its writer-preferring lock guarantees); concurrent
+        readers are fine.  Returns the :class:`PendingReshard` that
+        :meth:`commit_reshard` publishes or :meth:`abort_reshard` discards.
+        """
+        begin = time.perf_counter()
+        routing = self._router.snapshot()
+        plan = self._normalise_moves(moves, routing)
+        batch_epoch = self._epoch
+
+        # One scan per donor: keep the facts whose key lands in a moving
+        # bucket.  Worker-shard sources hold only partitioned relations
+        # with in-range key positions (anything else routed residual).
+        recipient_of = {move.bucket: move.recipient for move in plan}
+        outgoing: dict[int, list[Fact]] = {}
+        incoming: dict[int, list[Fact]] = {}
+        moved_keys: set[Any] = set()
+        for donor in {move.donor for move in plan}:
+            for relation, tup in self.shards[donor].source.facts():
+                key = tup[self.plan.spec.key_position(relation)]
+                recipient = recipient_of.get(routing.bucket_of(key))
+                if recipient is None or routing.worker_of_value(key) != donor:
+                    continue
+                outgoing.setdefault(donor, []).append((relation, tup))
+                incoming.setdefault(recipient, []).append((relation, tup))
+                moved_keys.add(key)
+        moved_facts = sum(len(facts) for facts in outgoing.values())
+        FLIGHT_RECORDER.record(
+            "reshard_start",
+            scenario=self.name,
+            moves=len(plan),
+            donors=",".join(map(str, sorted({m.donor for m in plan}))),
+            recipients=",".join(map(str, sorted({m.recipient for m in plan}))),
+            moved_facts=moved_facts,
+            moved_keys=len(moved_keys),
+        )
+
+        # Shards with no facts in flight need no shadow: the published
+        # table alone re-routes their (empty) buckets.
+        shadows: dict[int, Any] = {}
+        try:
+            for index in sorted(set(outgoing) | set(incoming)):
+                shadow = self._make_shard(index, self.shards[index].source.copy())
+                shadows[index] = shadow
+                shadow.apply_delta(
+                    added=incoming.get(index, ()),
+                    removed=outgoing.get(index, ()),
+                )
+        except BaseException as exc:
+            for shadow in shadows.values():
+                self._close_shard(shadow)
+            FLIGHT_RECORDER.record(
+                "reshard_abort",
+                scenario=self.name,
+                moves=len(plan),
+                phase="prepare",
+                error=str(exc),
+            )
+            raise
+        return PendingReshard(
+            table=routing.reassign(recipient_of),
+            moves=plan,
+            shadows=shadows,
+            batch_epoch=batch_epoch,
+            moved_facts=moved_facts,
+            moved_keys=len(moved_keys),
+            prepare_seconds=time.perf_counter() - begin,
+        )
+
+    def commit_reshard(self, pending: PendingReshard) -> PendingReshard:
+        """Phase two: swap the shadows in and publish the next routing epoch.
+
+        Must run with writers *and* readers excluded (the service write
+        lock) — this is the bounded publish window, and it is O(#shards):
+        a tuple swap, one table publish, the cache drop.  If a batch
+        committed since the prepare (``batch_epoch`` mismatch) the shadows
+        would publish a lost update, so the commit aborts itself and
+        raises ``ServingError`` — the caller re-prepares against the new
+        state.  Fills in ``pending.publish_seconds`` and returns it.
+        """
+        begin = time.perf_counter()
+        if pending.batch_epoch != self._epoch:
+            reason = (
+                f"prepared at batch epoch {pending.batch_epoch}, "
+                f"exchange now at {self._epoch}"
+            )
+            self.abort_reshard(pending, reason=reason)
+            raise ServingError(f"stale reshard: {reason}; re-prepare and retry")
+        old: list[Any] = []
+        shards = list(self.shards)
+        for index, shadow in pending.shadows.items():
+            old.append(shards[index])
+            shards[index] = shadow
+        self.shards = tuple(shards)
+        self._router.publish(pending.table)
+        # The epoch-salted version vectors already stale every entry built
+        # under the old routing; dropping the cache keeps the rare path
+        # obviously safe (same stance as the worker-failure path).
+        self._cache.invalidate_all()
+        with self._merged_mutex:
+            self._merged_target = None
+            self._merged_versions = None
+        with self._counter_mutex:
+            self._reshards += 1
+        pending.publish_seconds = time.perf_counter() - begin
+        if METRICS.enabled:
+            _RESHARDS_TOTAL.inc()
+            _RESHARD_PUBLISH.observe(pending.publish_seconds)
+        FLIGHT_RECORDER.record(
+            "reshard_commit",
+            scenario=self.name,
+            routing_epoch=pending.table.epoch,
+            moves=len(pending.moves),
+            donors=",".join(map(str, pending.donors)),
+            recipients=",".join(map(str, pending.recipients)),
+            moved_facts=pending.moved_facts,
+            moved_keys=pending.moved_keys,
+        )
+        for shard in old:
+            self._close_shard(shard)
+        return pending
+
+    def abort_reshard(self, pending: PendingReshard, reason: str = "aborted") -> None:
+        """Discard a prepared reshard — live shards and routing never changed."""
+        for shadow in pending.shadows.values():
+            self._close_shard(shadow)
+        pending.shadows.clear()
+        FLIGHT_RECORDER.record(
+            "reshard_abort",
+            scenario=self.name,
+            moves=len(pending.moves),
+            phase="commit",
+            error=reason,
+        )
+
+    def reshard(
+        self, moves: Iterable[ReshardMove | tuple[int, int]]
+    ) -> PendingReshard:
+        """Prepare + commit one bucket handoff under exclusive access.
+
+        The convenience form for callers that already hold exclusive write
+        access (the same contract as calling ``apply_delta`` directly).
+        ``service.rebalance`` uses the two-phase form instead — prepare
+        under the read lock, commit under the write lock — so readers are
+        only ever paused for the O(#shards) publish window.
+        """
+        return self.commit_reshard(self.prepare_reshard(moves))
+
     # -- queries -----------------------------------------------------------
 
     def _target_versions(self, relations: Iterable[str] | None = None) -> VersionVector:
@@ -1119,10 +1447,16 @@ class ShardedExchange:
 
         A top-level cache entry goes stale exactly when *some* shard
         touched *some* relation the query reads — the per-shard version
-        vectors composed into one guard.
+        vectors composed into one guard.  The routing epoch rides along as
+        the leading component: a committed reshard moves facts between
+        shards *and* replaces shard backends (whose counters restart), so
+        without the epoch a post-reshard vector could alias a pre-reshard
+        one and the cache or merged view would serve a torn layout.
         """
         names = list(relations) if relations is not None else None
-        entries: list[tuple[str, int]] = []
+        entries: list[tuple[str, int]] = [
+            ("__routing__", self._router.snapshot().epoch)
+        ]
         for index, shard in enumerate(self.shards):
             for name, version in shard._target_versions(names):
                 entries.append((f"s{index}:{name}", version))
@@ -1257,8 +1591,10 @@ class ShardedExchange:
         a disjunct with a constant on a key position pins its worker shard —
         the hot per-entity lookup probes one worker plus residual.  Shared
         by the dispatch and the explain layer so the two can never drift.
+        Pinning consults the live routing snapshot, so a committed reshard
+        moves the probe with the bucket.
         """
-        pinned = self.plan.scatter_shards(query)
+        pinned = self.plan.scatter_shards(query, self._router.snapshot())
         workers = self.plan.spec.shards
         return [
             shard
@@ -1353,7 +1689,8 @@ class ShardedExchange:
         elif scatter_safe:
             route = "scatter"
             live = self._scatter_live(query, relations)
-            pinned = self.plan.scatter_shards(query)
+            routing = self._router.snapshot()
+            pinned = self.plan.scatter_shards(query, routing)
             fanout = ShardFanout(
                 shards=len(self.shards),
                 pinned=None if pinned is None else tuple(sorted(pinned)),
@@ -1362,6 +1699,8 @@ class ShardedExchange:
                     for index, shard in enumerate(self.shards)
                     if shard in live
                 ),
+                routing_epoch=routing.epoch,
+                states=self.shard_states(),
             )
             reason = (
                 f"every disjunct provably intra-shard; "

@@ -578,6 +578,12 @@ class ProcessShard:
         return self._local is not None
 
     @property
+    def generation(self) -> int:
+        """Degrade count — the version-vector salt multiplier, and the
+        ``gen=N`` the explain layer's shard states report."""
+        return self._generation
+
+    @property
     def target_size(self) -> int:
         if self._local is not None:
             return self._local.target_size

@@ -11,6 +11,11 @@ from repro.workloads.conference import (
     conference_source,
     one_author_per_paper_query,
 )
+from repro.workloads.elastic import (
+    elastic_queries,
+    elastic_workload,
+    hot_bucket_customers,
+)
 from repro.workloads.employees import employee_mapping, employee_skolem_mapping, employee_source
 from repro.workloads.graphs import copy_graph_mapping, path_graph, random_edges
 from repro.workloads.random_mappings import random_annotated_mapping, random_source
@@ -49,6 +54,9 @@ __all__ = [
     "conference_mapping",
     "conference_source",
     "one_author_per_paper_query",
+    "elastic_queries",
+    "elastic_workload",
+    "hot_bucket_customers",
     "employee_mapping",
     "employee_skolem_mapping",
     "employee_source",

@@ -1,0 +1,151 @@
+"""Bucket-pinned hot-shard workloads for the elastic resharding benchmarks.
+
+:func:`elastic_workload` builds the scenario ``benchmarks/test_bench_elastic``
+replays.  It reuses the skewed customers/accounts mapping and cascade
+(:mod:`repro.workloads.skewed`) but makes the hot shard *structural* rather
+than statistical: the hot customer ids are mined so their routing buckets
+all belong to one worker shard under the initial table
+(:meth:`repro.serving.elastic.RoutingTable.initial`), and a configurable
+fraction of all account facts belongs to those customers.  Hash-partitioning
+then concentrates that whole slice on a single worker — the worst case the
+Zipf workload only approximates — which makes the rebalance-recovery gate
+deterministic: splitting the hot worker's buckets provably moves load, and
+a failed split provably leaves it in place.
+
+The query pool is the hot mix the scatter-throughput gate replays: pinned
+per-customer lookups on the hot keys (each probes exactly the hot worker
+plus residual before a reshard) and one key-aligned join fanning out to
+every shard.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.logic.terms import Const
+from repro.logic.cq import cq
+from repro.relational.instance import Instance
+from repro.serving.elastic import DEFAULT_BUCKETS_PER_WORKER, RoutingTable
+from repro.workloads.skewed import (
+    Batch,
+    SkewedWorkload,
+    skewed_dependencies,
+    skewed_mapping,
+)
+
+
+def hot_bucket_customers(
+    count: int,
+    worker: int = 0,
+    workers: int = 4,
+    buckets_per_worker: int = DEFAULT_BUCKETS_PER_WORKER,
+    prefix: str = "hot",
+) -> tuple[str, ...]:
+    """``count`` customer ids whose buckets the initial table routes to ``worker``.
+
+    Mined by enumeration (the CRC32 bucket hash is process-stable, so the
+    result is deterministic): ids ``hot0, hot1, ...`` are kept when
+    ``RoutingTable.initial(workers)`` assigns their bucket to ``worker``.
+    """
+    table = RoutingTable.initial(workers, buckets_per_worker)
+    found: list[str] = []
+    candidate = 0
+    while len(found) < count:
+        name = f"{prefix}{candidate}"
+        if table.worker_of_value(name) == worker:
+            found.append(name)
+        candidate += 1
+    return tuple(found)
+
+
+def elastic_queries(hot: tuple[str, ...]) -> tuple:
+    """Pinned hot-key lookups plus one all-shard key-aligned join."""
+    queries: list = [
+        cq(["a"], [("Acct", [Const(c), "a"])], name=f"accounts_{c}") for c in hot
+    ]
+    queries.append(
+        cq(
+            ["a", "r"],
+            [("Acct", ["c", "a"]), ("Holder", ["c", "r"])],
+            name="accounts_with_region",
+        )
+    )
+    return tuple(queries)
+
+
+def elastic_workload(
+    customers: int = 48,
+    accounts: int = 600,
+    regions: int = 6,
+    batches: int = 8,
+    batch_size: int = 24,
+    hot_customers: int = 4,
+    hot_fraction: float = 0.6,
+    workers: int = 4,
+    hot_worker: int = 0,
+    seed: int = 0,
+) -> SkewedWorkload:
+    """Build the bucket-pinned hot-shard scenario.
+
+    ``hot_fraction`` of the account facts (and of every update batch's adds)
+    belongs to ``hot_customers`` ids all bucketed onto ``hot_worker`` under
+    ``workers`` shards; the rest spreads uniformly over a cold population.
+    The imbalance is therefore by construction roughly
+    ``1 + hot_fraction * (workers - 1)`` before any reshard, and a
+    rebalance can always fix it (the hot ids occupy several distinct
+    buckets, so they are splittable).
+    """
+    rng = random.Random(seed)
+    hot = list(hot_bucket_customers(hot_customers, worker=hot_worker, workers=workers))
+    cold = [f"c{i}" for i in range(customers - len(hot))]
+    population = hot + cold
+
+    source = Instance()
+    for i, customer in enumerate(population):
+        source.add("Region", (customer, f"r{i % regions}"))
+
+    def pick() -> str:
+        if rng.random() < hot_fraction:
+            return rng.choice(hot)
+        return rng.choice(cold)
+
+    live: list[tuple[str, tuple]] = []
+    for i in range(accounts):
+        fact = ("Account", (pick(), f"a{i}"))
+        source.add(*fact)
+        live.append(fact)
+
+    stream: list[Batch] = []
+    fresh = accounts
+    for _ in range(batches):
+        added: list[tuple[str, tuple]] = []
+        for _ in range(batch_size):
+            added.append(("Account", (pick(), f"a{fresh}")))
+            fresh += 1
+        removed = [
+            live.pop(rng.randrange(len(live)))
+            for _ in range(min(batch_size // 2, len(live)))
+        ]
+        live.extend(added)
+        stream.append((tuple(added), tuple(removed)))
+
+    return SkewedWorkload(
+        name=f"elastic_{customers}x{accounts}_f{hot_fraction}",
+        mapping=skewed_mapping(),
+        target_dependencies=skewed_dependencies(),
+        source=source,
+        batches=tuple(stream),
+        queries=elastic_queries(tuple(hot)),
+        parameters=(
+            ("customers", customers),
+            ("accounts", accounts),
+            ("regions", regions),
+            ("batches", batches),
+            ("batch_size", batch_size),
+            ("hot_customers", tuple(hot)),
+            ("hot_fraction", hot_fraction),
+            ("workers", workers),
+            ("hot_worker", hot_worker),
+            ("seed", seed),
+        ),
+    )

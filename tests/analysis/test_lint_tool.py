@@ -136,6 +136,35 @@ def test_lock_order_correct_nesting_passes(lint):
     assert module.lint_file(fine) == []
 
 
+def test_routing_table_access_flagged_outside_elastic(lint):
+    module, root = lint
+    bad = write(
+        root,
+        "src/repro/serving/sneaky.py",
+        """
+        def route(exchange, value):
+            return exchange._router._table.worker_of_value(value)
+        """,
+    )
+    (finding,) = module.lint_file(bad)
+    assert finding.rule == "routing-table"
+    assert "routing_snapshot" in finding.message
+
+
+def test_routing_table_access_allowed_inside_elastic(lint):
+    module, root = lint
+    fine = write(
+        root,
+        "src/repro/serving/elastic.py",
+        """
+        class EpochRouter:
+            def snapshot(self):
+                return self._table
+        """,
+    )
+    assert module.lint_file(fine) == []
+
+
 def test_main_walks_directories_and_sets_exit_code(lint, capsys):
     module, root = lint
     write(

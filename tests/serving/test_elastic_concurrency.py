@@ -1,0 +1,261 @@
+"""Reshard linearizability: readers vs. writer vs. concurrent rebalancer.
+
+The PR 4 stress recipe extended with a third antagonist: while reader
+threads hammer a sharded scenario and a writer commits a known stream of
+mixed batches, a rebalancer thread keeps relocating routing buckets
+through ``service.rebalance``.  Two claims are checked:
+
+* **Prefix linearizability** — every answer set any reader observes equals
+  the from-scratch answers of *some* prefix of the applied updates.  A
+  torn routing publish (one shard swapped, the other not), a cache entry
+  surviving its epoch, or a lost update under a reshard would all surface
+  as an answer set no prefix can produce.
+* **Epoch monotonicity** — the service epoch each reader sees never goes
+  backwards, and a reader never observes an epoch whose predecessors are
+  unsettled (the watermark contract of :class:`EpochClock`).
+
+Plus the hypothesis differential: random reshard moves interleaved with
+random mixed batches agree with the unsharded exchange after every step,
+in thread *and* process worker modes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.chase.dependencies import parse_dependencies
+from repro.core.certain import certain_answers_naive
+from repro.core.mapping import mapping_from_rules
+from repro.core.target_constraints import ExchangeSetting, exchange
+from repro.logic.cq import cq
+from repro.relational.builders import make_instance
+from repro.relational.instance import Instance
+from repro.serving import ExchangeService
+from repro.serving.materialized import ServingError
+
+DEPS = ["T(x, y) -> exists m . V(x, m)"]
+
+
+def keyed_mapping():
+    """A mapping whose shard plan genuinely partitions (key-join on x)."""
+    return mapping_from_rules(
+        [
+            "T(x, y) :- R(x, y)",
+            "K(x, w) :- R(x, y) & S(x, w)",
+        ],
+        source={"R": 2, "S": 2},
+        target={"T": 2, "K": 2, "V": 2},
+    )
+
+
+QUERIES = (
+    cq(["x", "y"], [("T", ["x", "y"])], name="t"),
+    cq(["x", "w"], [("K", ["x", "w"])], name="k"),
+    cq(["x", "y", "w"], [("T", ["x", "y"]), ("K", ["x", "w"])], name="tk"),
+)
+
+
+def build_batches(keys: int, batches: int):
+    """A deterministic mixed update stream over the keyed mapping."""
+    stream = []
+    for i in range(batches):
+        # Added facts are always fresh (n*/m* values never collide with the
+        # initial v*/w* population or with removals), so transaction netting
+        # and the oracle's discard-then-add agree on every batch.
+        added = [
+            ("R", (f"c{(i * 3) % keys}", f"n{i}")),
+            ("S", (f"c{(i * 5) % keys}", f"m{i}")),
+        ]
+        removed = [("R", (f"c{i % keys}", f"v{i % 3}"))]
+        stream.append((added, removed))
+    return stream
+
+
+def prefix_answer_sets(source: Instance, stream, deps):
+    """The serial oracle: per prefix, every query's from-scratch answers."""
+    setting = ExchangeSetting(keyed_mapping(), tuple(deps))
+    current = source.copy()
+    states = [current.copy()]
+    for added, removed in stream:
+        for fact in removed:
+            current.discard(*fact)
+        for fact in added:
+            current.add(*fact)
+        states.append(current.copy())
+    oracle = []
+    for state in states:
+        reference = exchange(setting, state).instance
+        oracle.append(
+            {
+                q.name: frozenset(certain_answers_naive(q, reference))
+                for q in QUERIES
+            }
+        )
+    return oracle
+
+
+def test_readers_writer_and_rebalancer_observe_only_prefix_states():
+    keys, batches, readers = 8, 9, 3
+    deps = parse_dependencies(DEPS)
+    source = make_instance(
+        {
+            "R": [(f"c{i}", f"v{j}") for i in range(keys) for j in range(3)],
+            "S": [(f"c{i}", f"w{i}") for i in range(keys)],
+        }
+    )
+    stream = build_batches(keys, batches)
+    oracle = prefix_answer_sets(source, stream, deps)
+
+    service = ExchangeService()
+    service.register("stress", keyed_mapping(), source, deps, shards=2)
+    buckets = service.scenario("stress").routing_snapshot().buckets
+
+    done = threading.Event()
+    observations = [[] for _ in range(readers)]  # (name, answers, epoch)
+    reshards_applied = [0]
+    errors: list[BaseException] = []
+
+    def reader(index: int) -> None:
+        step = 0
+        try:
+            while not done.is_set():
+                query = QUERIES[(index + step) % len(QUERIES)]
+                result = service.query("stress", query)
+                observations[index].append((query.name, result.answers, result.epoch))
+                step += 1
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    def writer() -> None:
+        try:
+            for added, removed in stream:
+                with service.transaction("stress") as txn:
+                    txn.add(added)
+                    txn.retract(removed)
+                time.sleep(0.002)  # let readers and reshards interleave
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+        finally:
+            done.set()
+
+    def rebalancer() -> None:
+        step = 0
+        try:
+            while not done.is_set():
+                bucket = step % buckets
+                step += 1
+                exchange_ = service.scenario("stress")
+                owner = exchange_.routing_snapshot().worker_of_bucket(bucket)
+                try:
+                    report = service.rebalance(
+                        "stress", moves=[(bucket, 1 - owner)]
+                    )
+                    if report.applied:
+                        reshards_applied[0] += 1
+                except ServingError:
+                    continue  # a writer won every retry; move on
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    with ThreadPoolExecutor(max_workers=readers + 2) as pool:
+        futures = [pool.submit(reader, i) for i in range(readers)]
+        futures.append(pool.submit(rebalancer))
+        futures.append(pool.submit(writer))
+        for future in futures:
+            future.result(timeout=120)
+
+    assert not errors, errors
+    total = sum(len(obs) for obs in observations)
+    assert total > batches  # readers genuinely interleaved
+
+    # Guarantee at least one committed handoff even on a slow machine where
+    # the storm window closed before the rebalancer won a cycle.
+    if reshards_applied[0] == 0:
+        exchange_ = service.scenario("stress")
+        owner = exchange_.routing_snapshot().worker_of_bucket(0)
+        report = service.rebalance("stress", moves=[(0, 1 - owner)])
+        assert report.applied
+        reshards_applied[0] += 1
+    stats = service.stats("stress")
+    assert stats.sharding is not None
+    assert stats.sharding.reshards == reshards_applied[0]
+    assert stats.sharding.routing_epoch >= reshards_applied[0]
+
+    # Every observation matches the serial oracle at *some* prefix, and the
+    # epochs each reader saw never went backwards.
+    allowed = {name: {prefix[name] for prefix in oracle} for name in oracle[0]}
+    for per_reader in observations:
+        epochs = [epoch for _, _, epoch in per_reader]
+        assert epochs == sorted(epochs), "a reader observed a torn epoch"
+        for name, answers, _ in per_reader:
+            assert answers in allowed[name], (
+                f"query {name!r} observed an answer set matching no prefix "
+                f"of the applied updates: {sorted(answers)!r}"
+            )
+
+    # Quiescent state: every query agrees with the full-stream oracle.
+    for query in QUERIES:
+        assert service.query("stress", query).answers == oracle[-1][query.name]
+    assert service.stats("stress").updates.batches == batches
+    service.deregister("stress")
+
+
+def _interleaved_reshards_match_unsharded(shard_workers, max_examples, stream_size):
+    """Hypothesis: random reshard moves interleaved with random mixed
+    batches stay differential against the unsharded exchange on every
+    route, after every step."""
+    from hypothesis import given, settings, strategies as st
+
+    mapping = keyed_mapping()
+    deps = parse_dependencies(DEPS)
+    values = st.sampled_from(["a", "b", "c", "d", "e"])
+    fact = st.tuples(st.sampled_from(["R", "S"]), st.tuples(values, values))
+    # One step: a mixed batch plus (optionally) one bucket to relocate.
+    step = st.tuples(
+        st.lists(fact, max_size=3),
+        st.lists(fact, max_size=2),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=31)),
+    )
+
+    @settings(max_examples=max_examples, deadline=None)
+    @given(initial=st.lists(fact, max_size=4), stream=st.lists(step, max_size=stream_size))
+    def run(initial, stream):
+        source = make_instance({})
+        for name, tup in initial:
+            source.add(name, tup)
+        service = ExchangeService()
+        service.register("flat", mapping, source, deps)
+        service.register(
+            "sh", mapping, source, deps, shards=2, shard_workers=shard_workers
+        )
+        try:
+            for added, removed, bucket in stream:
+                removed = [f for f in removed if f not in added]
+                for name in ("flat", "sh"):
+                    with service.transaction(name) as txn:
+                        txn.retract(removed)
+                        txn.add(added)
+                if bucket is not None:
+                    owner = (
+                        service.scenario("sh")
+                        .routing_snapshot()
+                        .worker_of_bucket(bucket)
+                    )
+                    report = service.rebalance("sh", moves=[(bucket, 1 - owner)])
+                    assert report.applied
+                for query in QUERIES:
+                    flat = service.query("flat", query).answers
+                    assert service.query("sh", query).answers == flat, query.name
+        finally:
+            service.deregister("sh")
+    run()
+
+
+def test_property_reshards_interleaved_with_updates_thread_mode():
+    _interleaved_reshards_match_unsharded(None, 15, 5)
+
+
+def test_property_reshards_interleaved_with_updates_process_mode():
+    _interleaved_reshards_match_unsharded("process", 2, 3)

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Repo-invariant AST lint (no third-party deps; CI gate).
 
-Walks ``src/`` and enforces three structural invariants that code review
+Walks ``src/`` and enforces four structural invariants that code review
 kept re-litigating:
 
 * ``private-accessor`` — the raw index accessors ``Instance._tuples`` /
@@ -16,6 +16,11 @@ kept re-litigating:
   metrics-style ``_mutex``: the metrics snapshot path takes locks the
   other way around, and the inversion deadlocks under concurrent
   register/snapshot.
+* ``routing-table`` — the raw routing-table attribute ``._table`` lives in
+  ``src/repro/serving/elastic.py`` only; every other layer reads the
+  epoch-versioned table through ``EpochRouter.snapshot()`` /
+  ``ShardedExchange.routing_snapshot()``, so no reader can ever observe a
+  half-published assignment.
 
 A finding can be waived on its line with ``# lint: allow(<rule>)`` — the
 waiver is part of the diff, so it shows up in review.
@@ -41,6 +46,8 @@ TIMING_CALLS = {("time", "time"), ("time", "perf_counter")}
 TIMING_BARE = {"perf_counter"}
 METRICS_MUTEXES = {"_mutex"}
 REGISTRY_MUTEXES = {"_admin"}
+ROUTING_TABLE_ATTR = "_table"
+ROUTING_TABLE_ALLOWED = "src/repro/serving/elastic.py"
 
 ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
@@ -129,6 +136,18 @@ def lint_file(path: Path) -> list[Finding]:
                 f"raw Instance accessor .{node.attr} outside "
                 f"{PRIVATE_ACCESSOR_ALLOWED[0]} / {PRIVATE_ACCESSOR_ALLOWED[1]}; "
                 "use lookup()/relation()/index() instead",
+            )
+        if (
+            rel != ROUTING_TABLE_ALLOWED
+            and isinstance(node, ast.Attribute)
+            and node.attr == ROUTING_TABLE_ATTR
+        ):
+            flag(
+                node,
+                "routing-table",
+                f"raw routing-table access .{ROUTING_TABLE_ATTR} outside "
+                f"{ROUTING_TABLE_ALLOWED}; read the epoch snapshot via "
+                "EpochRouter.snapshot() / ShardedExchange.routing_snapshot()",
             )
         if in_chase and isinstance(node, ast.Call) and _is_timing_call(node):
             flag(
