@@ -15,7 +15,10 @@ span trees for one scatter and one merged-route query, moves the shards
 into dedicated **worker processes** (``shard_workers="process"``) and kills
 one to show graceful degradation (caught by the flight recorder), splits a
 structurally hot shard live with ``service.rebalance`` (epoch-published
-bucket handoff, answers pinned across the move), lints a
+bucket handoff, answers pinned across the move), then lets the monitor's
+**autopilot** heal a second hot scenario with no rebalance call at all
+(health rules with hysteresis going critical, an audited AutoRebalance
+action firing, answers again pinned across the handoff), lints a
 deliberately smelly scenario with ``service.lint`` (a redundant STD, a
 residual-forcing target dependency, and a cross-scenario containment hit),
 and ends with the structured ``stats()`` and ``metrics()`` snapshots.
@@ -41,7 +44,7 @@ import warnings
 
 from repro import cq, make_instance, mapping_from_rules
 from repro.chase.dependencies import parse_dependencies
-from repro.obs import FLIGHT_RECORDER, TRACER, format_trace
+from repro.obs import FLIGHT_RECORDER, TRACER, AutoRebalance, format_trace
 from repro.serving import ExchangeService, ServingDeprecationWarning
 from repro.workloads.elastic import elastic_workload
 
@@ -215,6 +218,64 @@ def main() -> None:
     print("hot-key query answers unchanged across the handoff")
     for event in FLIGHT_RECORDER.events(kind="reshard_commit", scenario="bank@4"):
         print(f"{event.kind}: {event.detail}")
+
+    print("\n== Autopilot: the hot shard heals itself ==")
+    # The same structural imbalance as above, but this time *nobody calls
+    # rebalance()*: the monitor samples the metrics registry, the
+    # hot-shard rule goes critical after two consecutive hot samples
+    # (hysteresis — one spike commits nothing), and the AutoRebalance
+    # action reshards on its own, cooldown-throttled and audited.  The
+    # monitor is ticked by hand here so the drill is deterministic;
+    # ``start_monitor()`` without ``start_thread=False`` runs the same
+    # loop in a background daemon thread.
+    auto = elastic_workload(customers=24, accounts=160, batches=0)
+    service.register("bank-auto@4", auto.mapping, auto.source,
+                     auto.target_dependencies, shards=4)
+    monitor = service.start_monitor(
+        interval=0.05,
+        actions=(AutoRebalance(cooldown_ticks=3),),
+        start_thread=False,
+    )
+    hot_before = service.stats("bank-auto@4").sharding
+    print(f"hot: imbalance={hot_before.imbalance:.2f} "
+          f"— and no rebalance() call follows")
+    pinned = service.query("bank-auto@4", auto.queries[0]).answers
+    applied = None
+    while applied is None:
+        report = monitor.tick()
+        status = next(
+            (s for s in report.statuses
+             if s.rule == "hot-shard-imbalance" and s.scenario == "bank-auto@4"),
+            None,
+        )
+        if status is not None:
+            print(f"tick {report.tick}: hot-shard-imbalance={status.state} "
+                  f"(value {status.value:.2f}, since tick {status.since_tick})")
+        applied = next(
+            (a for a in monitor.audit() if a.outcome == "applied"), None
+        )
+        assert report.tick < 10, "the autopilot should have fired by now"
+    healed = service.stats("bank-auto@4").sharding
+    print(f"tick {applied.tick}: autopilot applied a reshard — imbalance "
+          f"{hot_before.imbalance:.2f} -> {healed.imbalance:.2f}, "
+          f"reshards={healed.reshards}")
+    assert service.query("bank-auto@4", auto.queries[0]).answers == pinned
+    print("hot-key query answers unchanged across the autopilot's handoff")
+    # Clearing is hysteretic too: the rule needs clear_for consecutive
+    # healthy samples before it lets go of critical.
+    for _ in range(2):
+        report = monitor.tick()
+    status = next(
+        s for s in report.statuses
+        if s.rule == "hot-shard-imbalance" and s.scenario == "bank-auto@4"
+    )
+    print(f"tick {report.tick}: hot-shard-imbalance={status.state} "
+          f"(value {status.value:.2f}) — the alert cleared itself too")
+    for event in FLIGHT_RECORDER.events(
+        kind="health_transition", scenario="bank-auto@4"
+    ):
+        print(f"{event.kind}: {event.detail}")
+    service.stop_monitor()
 
     print("\n== Static analysis: lint a scenario, probe cross-scenario containment ==")
     # ``lint_demo`` ships two deliberate smells: STD 2 duplicates STD 1

@@ -28,6 +28,14 @@ Three coordinated surfaces, all importable from :mod:`repro.obs`:
   ``FLIGHT_RECORDER`` keeps a bounded ring of recent rare-path events
   (worker deaths, degradations, rollbacks, egd replays) for
   postmortems.
+
+* :mod:`repro.obs.monitor` — observability over *time* and the first
+  closed control loop: bounded time-series sampled from the metrics
+  registry, declarative health rules with hysteresis, a slow-query log
+  with retained explain plans, and the background ``Monitor``
+  (``service.start_monitor(...)``) whose ``AutoRebalance`` action
+  reacts to sustained hot-shard alerts.  ``python -m repro.obs`` dumps
+  health + recent series + slow queries for a demo workload.
 """
 
 from __future__ import annotations
@@ -47,24 +55,50 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.monitor import (
+    ActionRecord,
+    AutoRebalance,
+    HealthReport,
+    HealthRule,
+    HealthTransition,
+    Monitor,
+    RuleStatus,
+    Series,
+    SlowQuery,
+    SlowQueryLog,
+    TimeSeriesStore,
+    default_rules,
+)
 from repro.obs.trace import TRACER, Span, Tracer, format_trace
 
 __all__ = [
+    "ActionRecord",
+    "AutoRebalance",
     "CacheProbe",
     "Counter",
+    "default_rules",
     "FLIGHT_RECORDER",
     "FlightEvent",
     "FlightRecorder",
     "format_trace",
     "Gauge",
+    "HealthReport",
+    "HealthRule",
+    "HealthTransition",
     "Histogram",
     "JoinStep",
     "METRICS",
     "MetricsRegistry",
+    "Monitor",
     "QueryExplain",
+    "RuleStatus",
     "ScatterRule",
+    "Series",
     "ShardFanout",
+    "SlowQuery",
+    "SlowQueryLog",
     "Span",
+    "TimeSeriesStore",
     "TRACER",
     "Tracer",
 ]

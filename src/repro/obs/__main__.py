@@ -1,0 +1,134 @@
+"""``python -m repro.obs`` — health, recent series and slow queries, live.
+
+Builds a demo scenario (the elastic hot-shard workload by default, or the
+skewed-accounts one), registers it sharded on an
+:class:`~repro.serving.service.ExchangeService`, attaches the monitor
+*without* its background thread, and then deterministically interleaves
+update batches, the workload's query mix and ``monitor.tick()`` calls.
+The dump at the end is the monitoring surface in one place: the health
+report, the tail of every retained time series, and the slow-query log
+with its retained explain plans.
+
+Usage::
+
+    python -m repro.obs                         # elastic workload, text report
+    python -m repro.obs --json                  # machine-readable
+    python -m repro.obs --workload skewed       # the skewed-accounts scenario
+    python -m repro.obs --auto                  # arm the auto-rebalance action
+    python -m repro.obs --slow-ms 0             # capture every query as "slow"
+    python -m repro.obs --ticks 12 --tail 5     # more samples, longer tails
+
+Exit status: ``0`` when the final health state is ``ok`` or ``unknown``,
+``1`` on ``warn``, ``2`` on ``critical`` — scriptable as a smoke probe.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.monitor import AutoRebalance, default_rules
+from repro.serving.service import ExchangeService
+from repro.workloads import elastic_workload, skewed_workload
+
+
+def build_service(workload_name: str, workers: int) -> tuple[ExchangeService, object]:
+    if workload_name == "elastic":
+        workload = elastic_workload(
+            customers=24, accounts=240, batches=6, batch_size=12, workers=workers
+        )
+    else:
+        workload = skewed_workload(customers=24, accounts=240, batches=6)
+    service = ExchangeService()
+    service.register(
+        workload.name,
+        workload.mapping,
+        workload.source,
+        target_dependencies=workload.target_dependencies,
+        shards=workers,
+        partition_keys={"Account": 0, "Region": 0},
+    )
+    return service, workload
+
+
+def drive(service: ExchangeService, workload, monitor, ticks: int) -> None:
+    """Interleave batches, queries and monitor ticks, deterministically."""
+    batches = list(workload.batches)
+    for index in range(ticks):
+        if batches:
+            added, removed = batches.pop(0)
+            service.update(workload.name, add=added, retract=removed)
+        for query in workload.queries:
+            service.query(workload.name, query)
+        monitor.tick()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__.split("\n", 1)[0]
+    )
+    parser.add_argument(
+        "--workload", choices=("elastic", "skewed"), default="elastic"
+    )
+    parser.add_argument("--workers", type=int, default=4, help="shard count")
+    parser.add_argument("--ticks", type=int, default=8, help="monitor samples to take")
+    parser.add_argument("--tail", type=int, default=4, help="series points to show")
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="slow-query threshold in milliseconds (unset: log disarmed)",
+    )
+    parser.add_argument(
+        "--auto", action="store_true", help="attach the AutoRebalance action"
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    args = parser.parse_args(argv)
+
+    service, workload = build_service(args.workload, args.workers)
+    monitor = service.start_monitor(
+        interval=0.05,
+        rules=default_rules(),
+        actions=(AutoRebalance(cooldown_ticks=3),) if args.auto else (),
+        slow_query_threshold=None if args.slow_ms is None else args.slow_ms / 1000.0,
+        start_thread=False,  # the loop below drives tick() itself
+    )
+    try:
+        drive(service, workload, monitor, args.ticks)
+        report = service.health()
+        slow = service.slow_queries()
+        if args.as_json:
+            print(
+                json.dumps(
+                    {
+                        "health": report.to_dict(),
+                        "series": monitor.store.to_dict(tail=args.tail),
+                        "slow_queries": [entry.to_dict() for entry in slow],
+                    },
+                    indent=2,
+                    sort_keys=True,
+                    default=repr,
+                )
+            )
+        else:
+            print(report.render())
+            print()
+            print(f"series ({len(monitor.store)} retained, last {args.tail} points):")
+            for name, points in monitor.store.to_dict(tail=args.tail).items():
+                values = " ".join(f"{value:.4g}" for _, value in points)
+                print(f"  {name}: {values}")
+            print()
+            print(f"slow queries ({len(slow)}):")
+            for entry in slow:
+                print(f"  {entry.render()}")
+                if entry.explain is not None:
+                    for line in entry.explain.render().splitlines():
+                        print(f"    {line}")
+        return {"ok": 0, "unknown": 0, "warn": 1}.get(report.state, 2)
+    finally:
+        service.stop_monitor()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,12 +29,17 @@ class FlightEvent:
     kind: str
     scenario: str | None
     detail: dict[str, Any] = field(default_factory=dict)
+    #: Recorder-assigned monotonic sequence number (1-based).  Survives
+    #: ring eviction and ``clear()`` so ``events(since_seq=)`` cursors
+    #: held by long-lived consumers never see a number reused.
+    seq: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "wall": self.wall,
             "kind": self.kind,
             "scenario": self.scenario,
+            "seq": self.seq,
             "detail": {key: repr(value) for key, value in sorted(self.detail.items())},
         }
 
@@ -45,26 +50,47 @@ class FlightRecorder:
     def __init__(self, capacity: int = 256):
         self._mutex = threading.Lock()
         self._events: deque[FlightEvent] = deque(maxlen=capacity)
+        self._seq = 0
 
     def record(self, kind: str, scenario: str | None = None, **detail: Any) -> FlightEvent:
-        event = FlightEvent(time.time(), kind, scenario, detail)
         with self._mutex:
+            self._seq += 1
+            event = FlightEvent(time.time(), kind, scenario, detail, self._seq)
             self._events.append(event)
         return event
 
     def events(
-        self, kind: str | None = None, scenario: str | None = None
+        self,
+        kind: str | None = None,
+        scenario: str | None = None,
+        since_seq: int | None = None,
     ) -> list[FlightEvent]:
-        """Recorded events oldest-first, optionally filtered."""
+        """Recorded events oldest-first, optionally filtered.
+
+        ``since_seq`` drains incrementally: only events with a sequence
+        number strictly greater than the cursor are returned, so a
+        consumer can feed the last seen ``seq`` back in and never
+        re-read the ring (events evicted before the cursor caught up
+        are lost — the ring is bounded by design).
+        """
         with self._mutex:
             events = list(self._events)
+        if since_seq is not None:
+            events = [event for event in events if event.seq > since_seq]
         if kind is not None:
             events = [event for event in events if event.kind == kind]
         if scenario is not None:
             events = [event for event in events if event.scenario == scenario]
         return events
 
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently recorded event (0 if none)."""
+        with self._mutex:
+            return self._seq
+
     def clear(self) -> None:
+        """Drop buffered events.  Sequence numbering keeps advancing."""
         with self._mutex:
             self._events.clear()
 

@@ -142,6 +142,39 @@ class Histogram:
         with self._lock:
             return self._sum / self._count if self._count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile by linear interpolation in buckets.
+
+        Bucket ``i`` covers ``(bounds[i-1], bounds[i]]``; the observation
+        is assumed uniform inside its bucket, so the estimate walks the
+        cumulative counts to the bucket holding rank ``q * count`` and
+        interpolates between the bucket edges.  The first bucket's lower
+        edge and the overflow bucket's upper edge are the observed
+        min/max, and the result is clamped to ``[min, max]`` so the
+        estimate never leaves the observed range.  Returns ``None`` when
+        nothing has been observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        with self._lock:
+            return self._quantile(q)
+
+    def _quantile(self, q: float) -> float | None:
+        if not self._count:
+            return None
+        assert self._min is not None and self._max is not None
+        rank = q * self._count
+        before = 0
+        for index, count in enumerate(self._counts):
+            if count and before + count >= rank:
+                lo = self.buckets[index - 1] if index > 0 else self._min
+                hi = self.buckets[index] if index < len(self.buckets) else self._max
+                fraction = (rank - before) / count
+                value = lo + fraction * (hi - lo)
+                return min(max(value, self._min), self._max)
+            before += count
+        return self._max
+
     def _snapshot(self) -> dict[str, Any]:
         cumulative, running = [], 0
         for count in self._counts:
@@ -156,6 +189,12 @@ class Histogram:
             "buckets": {
                 **{f"{le:g}": cum for le, cum in zip(self.buckets, cumulative)},
                 "+Inf": cumulative[-1],
+            },
+            "quantiles": {
+                "p50": self._quantile(0.50),
+                "p90": self._quantile(0.90),
+                "p95": self._quantile(0.95),
+                "p99": self._quantile(0.99),
             },
         }
 

@@ -342,6 +342,9 @@ class RebalanceReport:
     moved_keys: int = 0
     prepare_seconds: float = 0.0
     publish_seconds: float = 0.0
+    #: Who asked for it: ``"manual"`` for explicit calls, ``"auto:<rule>"``
+    #: when the monitor's control loop drove it.
+    trigger: str = "manual"
 
 
 @dataclass

@@ -61,9 +61,17 @@ from repro.core.mapping import SchemaMapping
 from repro.obs.explain import QueryExplain
 from repro.obs.flight import FLIGHT_RECORDER
 from repro.obs.metrics import METRICS
+from repro.obs.monitor import (
+    AutoRebalance,
+    HealthReport,
+    HealthRule,
+    Monitor,
+    SlowQuery,
+    SlowQueryLog,
+)
 from repro.obs.trace import TRACER
 from repro.relational.instance import Instance
-from repro.serving.cache import CacheStats
+from repro.serving.cache import CacheStats, query_fingerprint
 from repro.serving.concurrency import LockStats, ReadWriteLock
 from repro.serving.elastic import (
     EpochClock,
@@ -443,6 +451,13 @@ class ExchangeService:
         # acquire a scenario lock while holding _admin — that inversion would
         # deadlock against deregister.
         self._admin = threading.Lock()
+        # One guard per scenario serialising rebalances: the monitor's
+        # auto-rebalance (wait=False) must never race a manual one.
+        self._rebalance_guards: dict[str, threading.Lock] = {}
+        # The optional background monitor and its slow-query log.  The
+        # query hot path pays one attribute read while these are None.
+        self._monitor: Monitor | None = None
+        self._slow_log: SlowQueryLog | None = None
         for name in self._registry.names():
             self._locks[name] = ReadWriteLock()
 
@@ -522,7 +537,15 @@ class ExchangeService:
             with self._admin:
                 self._registry.deregister(name)
                 self._locks.pop(name, None)
+                self._rebalance_guards.pop(name, None)
         METRICS.unregister_provider(name)
+        # Keep the monitor's retention weakref-consistent with the provider
+        # scheme: a deregistered scenario's series, rule states and audit
+        # cursors go with it (a later tick would also notice, but callers
+        # deserve a health() free of the ghost immediately).
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.forget_scenario(name)
 
     def scenario(self, name: str) -> MaterializedExchange | ShardedExchange:
         """Direct access to a scenario's materialization (read-only use).
@@ -593,6 +616,8 @@ class ExchangeService:
         start = time.perf_counter()
         lock, exchange = self._read_locked_exchange(request.scenario)
         locked_at = time.perf_counter()
+        slow_plan = None
+        slow_hit = False
         try:
             with TRACER.span("service.query", scenario=request.scenario) as span:
                 outcome = exchange.answer(
@@ -604,6 +629,28 @@ class ExchangeService:
             # Sampled while the read lock still excludes writers: the
             # watermark is consistent with the data this answer read.
             epoch = self._epoch.current()
+            slow_log = self._slow_log
+            if (
+                slow_log is not None
+                and time.perf_counter() - locked_at >= slow_log.threshold
+            ):
+                # Retain the explain plan under the same read lock the
+                # answer was served under: the plan describes exactly the
+                # state this answer read, and nothing is re-evaluated (the
+                # explain machinery only peeks).
+                slow_hit = True
+                if slow_log.capture_explain:
+                    try:
+                        slow_plan = replace(
+                            exchange.explain(
+                                request.query,
+                                extra_constants=request.extra_constants,
+                                max_extra_tuples=request.max_extra_tuples,
+                            ),
+                            scenario=request.scenario,
+                        )
+                    except Exception:
+                        slow_plan = None  # capture must never fail the query
         finally:
             lock.release_read()
         done = time.perf_counter()
@@ -614,6 +661,21 @@ class ExchangeService:
             _QUERY_EVALUATE.observe(evaluate)
             if outcome.cached:
                 _QUERY_CACHE_HIT.observe(evaluate)
+        if slow_hit and (slow_log := self._slow_log) is not None:
+            slow_log.record(
+                scenario=request.scenario,
+                fingerprint=(
+                    slow_plan.query
+                    if slow_plan is not None
+                    else query_fingerprint(request.query)
+                ),
+                route=outcome.route,
+                cached=outcome.cached,
+                lock_wait_seconds=lock_wait,
+                evaluate_seconds=evaluate,
+                epoch=epoch,
+                explain=slow_plan,
+            )
         return QueryResult(
             scenario=request.scenario,
             answers=outcome.answers,
@@ -764,6 +826,8 @@ class ExchangeService:
         rebalancer: Rebalancer | None = None,
         dry_run: bool = False,
         max_attempts: int = 3,
+        wait: bool = True,
+        trigger: str = "manual",
     ) -> RebalanceReport:
         """Plan — and unless ``dry_run`` — apply one live reshard of ``name``.
 
@@ -782,7 +846,43 @@ class ExchangeService:
         ``max_attempts`` times) against the new state.  Every publish runs
         through the service's two-phase :class:`EpochClock`, so queries
         report a watermark covering it only once fully settled.
+
+        One rebalance per scenario at a time: a per-scenario guard
+        serialises concurrent callers.  ``wait=False`` (the monitor's
+        autopilot uses it) refuses instead of queueing — raising
+        :class:`ServingError` when a manual rebalance is already in
+        flight — so the control loop can never pile onto an operator's
+        reshard.  ``trigger`` is stamped into the report for the audit
+        trail (``"auto:<rule>"`` when the monitor drove it).
         """
+        guard = self._rebalance_guard(name)
+        if not guard.acquire(blocking=wait):
+            raise ServingError(
+                f"rebalance of {name!r} already in flight"
+            )
+        try:
+            return self._rebalance_locked(
+                name, moves, rebalancer, dry_run, max_attempts, trigger
+            )
+        finally:
+            guard.release()
+
+    def _rebalance_guard(self, name: str) -> threading.Lock:
+        guard = self._rebalance_guards.get(name)
+        if guard is None:
+            with self._admin:
+                guard = self._rebalance_guards.setdefault(name, threading.Lock())
+        return guard
+
+    def _rebalance_locked(
+        self,
+        name: str,
+        moves: Iterable[ReshardMove | tuple[int, int]] | None,
+        rebalancer: Rebalancer | None,
+        dry_run: bool,
+        max_attempts: int,
+        trigger: str,
+    ) -> RebalanceReport:
         policy = rebalancer if rebalancer is not None else Rebalancer()
         attempts = 0
         while True:
@@ -818,6 +918,7 @@ class ExchangeService:
                     routing_epoch=routing.epoch,
                     imbalance_before=imbalance_before,
                     imbalance_projected=imbalance_projected,
+                    trigger=trigger,
                 )
                 if dry_run or not plan:
                     return report
@@ -870,6 +971,92 @@ class ExchangeService:
                 prepare_seconds=pending.prepare_seconds,
                 publish_seconds=pending.publish_seconds,
             )
+
+    # -- monitoring --------------------------------------------------------
+
+    def start_monitor(
+        self,
+        interval: float = 1.0,
+        rules: Sequence[HealthRule] | None = None,
+        actions: Sequence[Any] | None = None,
+        auto_rebalance: bool = False,
+        slow_query_threshold: float | None = None,
+        slow_query_capacity: int = 64,
+        history: int = 240,
+        start_thread: bool = True,
+    ) -> Monitor:
+        """Attach (and by default start) the background health monitor.
+
+        Every ``interval`` seconds the monitor samples the metrics
+        registry into its bounded time-series store, evaluates the
+        health rules (``rules=None`` means the built-in set) with
+        hysteresis, records ``health_transition`` flight events, and
+        runs the ``actions``.  ``auto_rebalance=True`` is shorthand for
+        ``actions=(AutoRebalance(),)`` — the closed loop that reshards
+        a scenario whose hot-shard alert has been critical for long
+        enough.  ``slow_query_threshold`` (seconds) additionally arms
+        the slow-query log: any query whose in-lock time exceeds it is
+        captured with its retained explain plan.
+
+        ``start_thread=False`` attaches everything without spawning the
+        thread — callers then drive ``monitor.tick()`` themselves (the
+        CLI and the deterministic tests do).
+        """
+        with self._admin:
+            if self._monitor is not None:
+                raise ServingError("monitor already attached; stop_monitor() first")
+            slow_log = None
+            if slow_query_threshold is not None:
+                slow_log = SlowQueryLog(
+                    threshold=slow_query_threshold, capacity=slow_query_capacity
+                )
+            if actions is None:
+                actions = (AutoRebalance(),) if auto_rebalance else ()
+            monitor = Monitor(
+                self,
+                interval=interval,
+                rules=rules,
+                actions=actions,
+                history=history,
+                slow_queries=slow_log,
+                probes={"service.epoch": lambda service: service._epoch.current()},
+            )
+            self._slow_log = slow_log
+            self._monitor = monitor
+        if start_thread:
+            monitor.start()
+        return monitor
+
+    def stop_monitor(self) -> None:
+        """Detach the monitor (idempotent); its thread is joined."""
+        with self._admin:
+            monitor = self._monitor
+            self._monitor = None
+            self._slow_log = None
+        if monitor is not None:
+            monitor.stop()
+
+    def health(self) -> HealthReport:
+        """The structured health report.
+
+        With a monitor attached this is its latest consistent
+        evaluation; without one, a throwaway monitor takes a single
+        sample and evaluates the rules on it — rules needing history
+        (deltas, stalls) report no evidence on such a one-shot.
+        """
+        monitor = self._monitor
+        if monitor is not None:
+            return monitor.health()
+        probe = Monitor(self, interval=0.0)
+        probe.tick()
+        return probe.health()
+
+    def slow_queries(self, scenario: str | None = None) -> list[SlowQuery]:
+        """Captured slow queries (empty unless the monitor armed the log)."""
+        slow_log = self._slow_log
+        if slow_log is None:
+            return []
+        return slow_log.entries(scenario)
 
     def lint(self, name: str) -> AnalysisReport:
         """Run every static-analysis pass over one registered scenario.

@@ -735,6 +735,10 @@ class ShardingStats:
     buckets: int = 0
     # Committed live reshards (bucket handoffs) on this exchange.
     reshards: int = 0
+    # Summed process-shard generations (0 under thread mode): every worker
+    # respawn bumps a shard's generation, so a rising total is restart
+    # churn — the monitor's generation-churn rule watches the delta.
+    worker_generation_total: int = 0
     # Per worker shard: the bounded top-K ingest histogram of partition keys
     # (cumulative traffic, the rebalancer's capacity-debugging signal).
     key_histograms: tuple[tuple[tuple[Any, int], ...], ...] = ()
@@ -1040,6 +1044,9 @@ class ShardedExchange:
             routing_epoch=routing.epoch,
             buckets=routing.buckets,
             reshards=reshards,
+            worker_generation_total=sum(
+                getattr(shard, "generation", 0) or 0 for shard in self.shards
+            ),
             key_histograms=tuple(hist.top() for hist in self._key_hist),
         )
 

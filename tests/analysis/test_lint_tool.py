@@ -165,6 +165,73 @@ def test_routing_table_access_allowed_inside_elastic(lint):
     assert module.lint_file(fine) == []
 
 
+def test_monitor_clock_flagged_outside_the_sampler(lint):
+    module, root = lint
+    bad = write(
+        root,
+        "src/repro/obs/monitor.py",
+        """
+        import time
+
+        class Monitor:
+            def _now(self):
+                return time.monotonic()
+
+            def tick(self):
+                return time.monotonic()  # a second time base: flagged
+        """,
+    )
+    (finding,) = module.lint_file(bad)
+    assert finding.rule == "monitor-clock"
+    assert finding.line == 9
+    assert "Monitor._now" in finding.message
+
+
+def test_monitor_clock_allowed_in_the_sampler_and_elsewhere_in_the_tree(lint):
+    module, root = lint
+    fine = write(
+        root,
+        "src/repro/obs/monitor.py",
+        """
+        import time
+
+        class Monitor:
+            def _now(self):
+                return time.monotonic()
+        """,
+    )
+    assert module.lint_file(fine) == []
+    # the rule is scoped to the monitor module; other files may monotonic
+    other = write(
+        root,
+        "src/repro/serving/concurrency.py",
+        "import time\ndeadline = time.monotonic()\n",
+    )
+    assert module.lint_file(other) == []
+    # wall-clock and perf_counter stay unrestricted in the monitor module
+    clocks = write(
+        root,
+        "src/repro/obs/monitor.py",
+        "import time\nstamp = time.time()\nspan = time.perf_counter()\n",
+    )
+    assert module.lint_file(clocks) == []
+
+
+def test_monitor_clock_waiver(lint):
+    module, root = lint
+    waived = write(
+        root,
+        "src/repro/obs/monitor.py",
+        """
+        import time
+
+        def helper():
+            return time.monotonic()  # lint: allow(monitor-clock)
+        """,
+    )
+    assert module.lint_file(waived) == []
+
+
 def test_main_walks_directories_and_sets_exit_code(lint, capsys):
     module, root = lint
     write(

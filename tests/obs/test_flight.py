@@ -35,3 +35,46 @@ def test_event_to_dict_is_json_ready():
     assert out["kind"] == "egd_replay"
     assert out["scenario"] == "x"
     assert out["detail"] == {"entangled": "2", "why": "None"}
+
+
+# ---------------------------------------------------------------------------
+# Sequence numbers and cursor draining
+# ---------------------------------------------------------------------------
+
+
+def test_events_carry_monotonic_sequence_numbers():
+    recorder = FlightRecorder()
+    first = recorder.record("a")
+    second = recorder.record("b")
+    third = recorder.record("c")
+    assert [first.seq, second.seq, third.seq] == [1, 2, 3]
+    assert recorder.last_seq == 3
+    assert first.to_dict()["seq"] == 1
+
+
+def test_since_seq_drains_incrementally():
+    recorder = FlightRecorder()
+    recorder.record("a")
+    recorder.record("b")
+    cursor = recorder.last_seq
+    assert recorder.events(since_seq=cursor) == []
+    recorder.record("c", scenario="s")
+    recorder.record("d")
+    fresh = recorder.events(since_seq=cursor)
+    assert [event.kind for event in fresh] == ["c", "d"]
+    # feeding the new cursor back drains nothing until the next record
+    cursor = fresh[-1].seq
+    assert recorder.events(since_seq=cursor) == []
+    # filters compose with the cursor
+    recorder.record("c", scenario="t")
+    assert [e.scenario for e in recorder.events(kind="c", since_seq=cursor)] == ["t"]
+
+
+def test_sequence_survives_eviction_and_clear():
+    recorder = FlightRecorder(capacity=2)
+    for _ in range(5):
+        recorder.record("tick")
+    assert [event.seq for event in recorder.events()] == [4, 5]
+    recorder.clear()
+    assert recorder.last_seq == 5
+    assert recorder.record("next").seq == 6

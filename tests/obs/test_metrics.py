@@ -121,3 +121,69 @@ def test_snapshot_never_observes_a_torn_histogram():
     timer.cancel()
     assert not torn, f"snapshot saw torn histogram state: {torn[:3]}"
     assert histogram.count > 0
+
+
+# ---------------------------------------------------------------------------
+# Quantiles (linear interpolation inside cumulative buckets)
+# ---------------------------------------------------------------------------
+
+
+def test_quantile_uniform_distribution_is_exact_at_bucket_edges():
+    """1..100 uniform into decade-wide buckets: edge-aligned ranks are exact
+    and interior ranks interpolate linearly inside their bucket."""
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "q.uniform", buckets=tuple(float(b) for b in range(10, 101, 10))
+    )
+    for value in range(1, 101):
+        histogram.observe(float(value))
+    assert histogram.quantile(0.5) == pytest.approx(50.0)
+    assert histogram.quantile(0.9) == pytest.approx(90.0)
+    # rank 95 falls halfway through the (90, 100] bucket
+    assert histogram.quantile(0.95) == pytest.approx(95.0)
+    # extremes clamp to the observed range
+    assert histogram.quantile(0.0) == pytest.approx(1.0)
+    assert histogram.quantile(1.0) == pytest.approx(100.0)
+
+
+def test_quantile_skewed_distribution_lands_in_the_right_bucket():
+    """90 fast observations and 10 slow ones: p50 stays in the fast bucket,
+    p99 lands inside the slow bucket."""
+    registry = MetricsRegistry()
+    histogram = registry.histogram("q.skewed", buckets=(0.01, 0.1, 1.0, 10.0))
+    for _ in range(90):
+        histogram.observe(0.005)
+    for _ in range(10):
+        histogram.observe(5.0)
+    p50 = histogram.quantile(0.5)
+    assert p50 is not None and p50 <= 0.01
+    p99 = histogram.quantile(0.99)
+    assert p99 is not None and 1.0 < p99 <= 5.0  # clamped by the observed max
+
+
+def test_quantile_unobserved_and_invalid_inputs():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("q.empty")
+    assert histogram.quantile(0.5) is None
+    with pytest.raises(ValueError):
+        histogram.quantile(1.5)
+    with pytest.raises(ValueError):
+        histogram.quantile(-0.1)
+
+
+def test_snapshot_carries_a_quantiles_block():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("q.snap", buckets=(1.0, 10.0))
+    snap = registry.snapshot()["instruments"]["q.snap"]
+    assert snap["quantiles"] == {"p50": None, "p90": None, "p95": None, "p99": None}
+    for value in (0.5, 2.0, 3.0, 8.0):
+        histogram.observe(value)
+    snap = registry.snapshot()["instruments"]["q.snap"]
+    quantiles = snap["quantiles"]
+    assert set(quantiles) == {"p50", "p90", "p95", "p99"}
+    assert 0.5 <= quantiles["p50"] <= quantiles["p95"] <= quantiles["p99"] <= 8.0
+    # the JSON export inherits the block
+    import json
+
+    exported = json.loads(registry.to_json())
+    assert "quantiles" in exported["instruments"]["q.snap"]

@@ -1,0 +1,134 @@
+"""The closed control loop under fire: monitor thread + readers + writers
++ a racing manual rebalance, with differential answer checking.
+
+The monitored service runs the real background monitor at a tight
+interval with an aggressive :class:`AutoRebalance`; a shadow service gets
+the identical update stream but no monitor and no rebalances.  Invariants
+under the storm:
+
+* health reports are never torn — every status in a report comes from
+  the same evaluation tick;
+* per-reader epoch monotonicity survives auto-reshards racing commits;
+* the auto-rebalanced service stays differentially equal to the
+  untouched shadow (a reshard moves data, never changes answers);
+* the loop actually fires (an ``applied`` audit record) without any
+  explicit ``rebalance`` call from the test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.monitor import AutoRebalance
+from repro.serving import ExchangeService
+from repro.serving.materialized import ServingError
+from repro.workloads.elastic import elastic_workload
+
+WORKERS = 4
+
+
+def register(service: ExchangeService, name: str, workload) -> None:
+    service.register(
+        name,
+        workload.mapping,
+        workload.source,
+        target_dependencies=workload.target_dependencies,
+        shards=WORKERS,
+        partition_keys={"Account": 0, "Region": 0},
+    )
+
+
+def test_control_loop_stress_no_torn_reports_monotone_epochs_equal_answers():
+    workload = elastic_workload(
+        customers=24, accounts=300, batches=8, batch_size=16, workers=WORKERS
+    )
+    monitored = ExchangeService()
+    register(monitored, "live", workload)
+    shadow = ExchangeService()
+    register(shadow, "shadow", workload)
+
+    monitor = monitored.start_monitor(
+        interval=0.02,
+        actions=(AutoRebalance(cooldown_ticks=2),),
+    )
+    stop = threading.Event()
+    errors: list[str] = []
+
+    def reader(index: int) -> None:
+        last_epoch = -1
+        query = workload.queries[index % len(workload.queries)]
+        while not stop.is_set():
+            result = monitored.query("live", query)
+            if result.epoch < last_epoch:
+                errors.append(
+                    f"reader {index}: epoch went backwards "
+                    f"{last_epoch} -> {result.epoch}"
+                )
+                return
+            last_epoch = result.epoch
+
+    def health_checker() -> None:
+        while not stop.is_set():
+            report = monitored.health()
+            if any(status.tick != report.tick for status in report.statuses):
+                errors.append(f"torn health report at tick {report.tick}")
+                return
+
+    def manual_rebalancer() -> None:
+        # Dry-run plans contend the per-scenario guard without mutating
+        # state, so the auto loop's wait=False refusals get exercised
+        # while the differential check below stays deterministic.
+        while not stop.is_set():
+            try:
+                monitored.rebalance("live", dry_run=True, wait=False)
+            except ServingError:
+                pass  # the auto loop held the guard — exactly the point
+            time.sleep(0.005)
+
+    threads = (
+        [threading.Thread(target=reader, args=(i,)) for i in range(3)]
+        + [threading.Thread(target=health_checker)]
+        + [threading.Thread(target=manual_rebalancer)]
+    )
+    for thread in threads:
+        thread.start()
+    try:
+        def differential() -> None:
+            for query in workload.queries:
+                live = monitored.query("live", query).answers
+                expected = shadow.query("shadow", query).answers
+                assert live == expected, f"answers diverged on {query}"
+
+        # Writer: the same batch stream into both services, checked after
+        # every batch while the monitor reshards underneath.
+        for added, removed in workload.batches:
+            monitored.update("live", add=added, retract=removed)
+            shadow.update("shadow", add=added, retract=removed)
+            differential()
+
+        # Keep serving until the control loop has demonstrably fired.
+        deadline = time.perf_counter() + 10.0
+        while time.perf_counter() < deadline and not any(
+            record.outcome == "applied" for record in monitor.audit()
+        ):
+            differential()
+            time.sleep(0.02)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        monitored.stop_monitor()
+
+    assert not errors, errors
+    applied = [record for record in monitor.audit() if record.outcome == "applied"]
+    assert applied, "the auto-rebalance loop never fired"
+    assert monitored.stats("live").sharding.reshards >= 1
+    report = monitor.health()
+    assert all(status.tick == report.tick for status in report.statuses)
+    # one last differential pass at quiescence
+    for query in workload.queries:
+        assert (
+            monitored.query("live", query).answers
+            == shadow.query("shadow", query).answers
+        )

@@ -21,6 +21,11 @@ kept re-litigating:
   epoch-versioned table through ``EpochRouter.snapshot()`` /
   ``ShardedExchange.routing_snapshot()``, so no reader can ever observe a
   half-published assignment.
+* ``monitor-clock`` — inside ``src/repro/obs/monitor.py`` the monotonic
+  clock is read in exactly one place, the sampler (``Monitor._now``);
+  series timestamps and rule windows derive from sampler ticks, so tests
+  and the CLI can drive ``tick(at=...)`` deterministically.  A stray
+  ``time.monotonic()`` elsewhere would fork the time base.
 
 A finding can be waived on its line with ``# lint: allow(<rule>)`` — the
 waiver is part of the diff, so it shows up in review.
@@ -48,6 +53,11 @@ METRICS_MUTEXES = {"_mutex"}
 REGISTRY_MUTEXES = {"_admin"}
 ROUTING_TABLE_ATTR = "_table"
 ROUTING_TABLE_ALLOWED = "src/repro/serving/elastic.py"
+MONITOR_FILE = "src/repro/obs/monitor.py"
+MONOTONIC_CALLS = {("time", "monotonic")}
+MONOTONIC_BARE = {"monotonic"}
+# The sampler: the one function allowed to read the monotonic clock.
+MONITOR_CLOCK_ALLOWED = {"_now"}
 
 ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
@@ -91,6 +101,27 @@ def _is_timing_call(call: ast.Call) -> bool:
     return False
 
 
+def _is_monotonic_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return (func.value.id, func.attr) in MONOTONIC_CALLS
+    if isinstance(func, ast.Name):
+        return func.id in MONOTONIC_BARE
+    return False
+
+
+def _sampler_spans(tree: ast.AST) -> list[tuple[int, int]]:
+    """Line spans of the functions allowed to read the monotonic clock."""
+    spans = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name in MONITOR_CLOCK_ALLOWED
+        ):
+            spans.append((node.lineno, node.end_lineno or node.lineno))
+    return spans
+
+
 def _with_mutexes(node: ast.With, names: set[str]) -> bool:
     """Does the with statement acquire an attribute-named mutex from ``names``?"""
     for item in node.items:
@@ -123,6 +154,7 @@ def lint_file(path: Path) -> list[Finding]:
         PRIVATE_ACCESSOR_ALLOWED[1]
     )
     in_chase = rel.startswith(CHASE_DIR)
+    sampler_spans = _sampler_spans(tree) if rel == MONITOR_FILE else None
 
     for node in ast.walk(tree):
         if (
@@ -155,6 +187,20 @@ def lint_file(path: Path) -> list[Finding]:
                 "chase-timing",
                 "clock call inside the chase package; time at the caller "
                 "(repro.obs instruments the serving layer)",
+            )
+        if (
+            sampler_spans is not None
+            and isinstance(node, ast.Call)
+            and _is_monotonic_call(node)
+            and not any(
+                start <= node.lineno <= end for start, end in sampler_spans
+            )
+        ):
+            flag(
+                node,
+                "monitor-clock",
+                "time.monotonic() outside the sampler (Monitor._now) in "
+                f"{MONITOR_FILE}; derive timestamps from tick(at=...) instead",
             )
         if isinstance(node, ast.With) and _with_mutexes(node, METRICS_MUTEXES):
             for inner in ast.walk(node):
